@@ -1,0 +1,215 @@
+package sigfile
+
+// This file is the benchmark harness required by DESIGN.md: one
+// testing.B target per table and figure of the paper's evaluation, each
+// regenerating the artifact through internal/experiments, plus
+// system-level micro-benchmarks of the three facilities at a scaled-down
+// instance of the paper's workload.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-artifact benchmarks print nothing (output goes to io.Discard);
+// use cmd/sigbench to see the regenerated rows.
+
+import (
+	"io"
+	"testing"
+
+	"sigfile/internal/experiments"
+	"sigfile/internal/workload"
+)
+
+// benchArtifact runs one experiment b.N times.
+func benchArtifact(b *testing.B, id string, opt experiments.Options) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// analytic evaluates the cost model only — the numbers of the paper's
+// artifact itself.
+var analytic = experiments.Options{}
+
+// measuredFast also runs the real facilities on a 1/32-scale instance.
+var measuredFast = experiments.Options{Measured: true, Scale: 32, Trials: 2}
+
+func BenchmarkFig1DropExample(b *testing.B)       { benchArtifact(b, "fig1", analytic) }
+func BenchmarkFig2DropExample(b *testing.B)       { benchArtifact(b, "fig2", analytic) }
+func BenchmarkFig4RetrievalSuperset(b *testing.B) { benchArtifact(b, "fig4", analytic) }
+func BenchmarkFig5SmallM(b *testing.B)            { benchArtifact(b, "fig5", analytic) }
+func BenchmarkFig6SmartSuperset(b *testing.B)     { benchArtifact(b, "fig6", analytic) }
+func BenchmarkFig7SmartSuperset100(b *testing.B)  { benchArtifact(b, "fig7", analytic) }
+func BenchmarkFig8RetrievalSubset(b *testing.B)   { benchArtifact(b, "fig8", analytic) }
+func BenchmarkFig9SmartSubset(b *testing.B)       { benchArtifact(b, "fig9", analytic) }
+func BenchmarkFig10SmartSubset100(b *testing.B)   { benchArtifact(b, "fig10", analytic) }
+func BenchmarkTable5NIXStorage(b *testing.B)      { benchArtifact(b, "tab5", analytic) }
+func BenchmarkTable6Storage(b *testing.B)         { benchArtifact(b, "tab6", analytic) }
+func BenchmarkTable7Update(b *testing.B)          { benchArtifact(b, "tab7", analytic) }
+
+// BenchmarkCrossValidation runs the model-vs-measured experiment: each
+// iteration builds the three facilities over a 1/32-scale instance and
+// measures every (facility, query type, Dq) point.
+func BenchmarkCrossValidation(b *testing.B) { benchArtifact(b, "xval", measuredFast) }
+
+// Ablation benches (DESIGN.md §5): each isolates one design choice.
+// BenchmarkExtensionFSSF regenerates the frame-sliced comparison table.
+func BenchmarkExtensionFSSF(b *testing.B) { benchArtifact(b, "ext-fssf", analytic) }
+
+// BenchmarkSummary re-derives the paper's §6 conclusion checklist.
+func BenchmarkSummary(b *testing.B) { benchArtifact(b, "summary", analytic) }
+
+// BenchmarkExtensionOperators evaluates the overlap/equality/membership
+// cost formulas (§6 future work, implemented here).
+func BenchmarkExtensionOperators(b *testing.B) { benchArtifact(b, "ext-operators", analytic) }
+
+func BenchmarkAblationSmartK(b *testing.B)  { benchArtifact(b, "ablation-smartk", analytic) }
+func BenchmarkAblationBuffer(b *testing.B)  { benchArtifact(b, "ablation-buffer", measuredFast) }
+func BenchmarkAblationHash(b *testing.B)    { benchArtifact(b, "ablation-hash", measuredFast) }
+func BenchmarkAblationVarCard(b *testing.B) { benchArtifact(b, "ablation-varcard", measuredFast) }
+
+// --------------------------------------------------------------------------
+// System micro-benchmarks: facility operations on a scaled instance of
+// the paper's workload (N=2000, V=812, Dt=10 — 1/16 scale).
+
+type benchSystem struct {
+	inst    *workload.Instance
+	ssf     *SSF
+	bssf    *BSSF
+	nix     *NIX
+	queries [][]string
+}
+
+func newBenchSystem(b *testing.B, dq int) *benchSystem {
+	b.Helper()
+	cfg := workload.Scaled(10, 16)
+	inst, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := NewScheme(250, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &benchSystem{inst: inst}
+	if s.ssf, err = NewSSF(scheme, inst, nil); err != nil {
+		b.Fatal(err)
+	}
+	if s.bssf, err = NewBSSF(scheme, inst, nil); err != nil {
+		b.Fatal(err)
+	}
+	if s.nix, err = NewNIX(inst, nil); err != nil {
+		b.Fatal(err)
+	}
+	for oid := uint64(1); oid <= uint64(cfg.N); oid++ {
+		set := inst.Sets[oid]
+		if err := s.ssf.Insert(oid, set); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.bssf.Insert(oid, set); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.nix.Insert(oid, set); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s.queries, err = inst.Queries(workload.RandomQuery, dq, 64, 7); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchSearch(b *testing.B, am AccessMethod, pred Predicate, sys *benchSystem) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pages int64
+	for i := 0; i < b.N; i++ {
+		res, err := am.Search(pred, sys.queries[i%len(sys.queries)], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pages += res.Stats.TotalPages()
+	}
+	b.ReportMetric(float64(pages)/float64(b.N), "pages/op")
+}
+
+func BenchmarkSearchSupersetSSF(b *testing.B) {
+	s := newBenchSystem(b, 3)
+	benchSearch(b, s.ssf, Superset, s)
+}
+func BenchmarkSearchSupersetBSSF(b *testing.B) {
+	s := newBenchSystem(b, 3)
+	benchSearch(b, s.bssf, Superset, s)
+}
+func BenchmarkSearchSupersetNIX(b *testing.B) {
+	s := newBenchSystem(b, 3)
+	benchSearch(b, s.nix, Superset, s)
+}
+
+func BenchmarkSearchSubsetSSF(b *testing.B) {
+	s := newBenchSystem(b, 40)
+	benchSearch(b, s.ssf, Subset, s)
+}
+func BenchmarkSearchSubsetBSSF(b *testing.B) {
+	s := newBenchSystem(b, 40)
+	benchSearch(b, s.bssf, Subset, s)
+}
+func BenchmarkSearchSubsetNIX(b *testing.B) {
+	s := newBenchSystem(b, 40)
+	benchSearch(b, s.nix, Subset, s)
+}
+
+func BenchmarkInsertSSF(b *testing.B) {
+	sys := newBenchSystem(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := uint64(100000 + i)
+		sys.inst.Sets[oid] = sys.queries[i%len(sys.queries)]
+		if err := sys.ssf.Insert(oid, sys.inst.Sets[oid]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertBSSF(b *testing.B) {
+	sys := newBenchSystem(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := uint64(100000 + i)
+		sys.inst.Sets[oid] = sys.queries[i%len(sys.queries)]
+		if err := sys.bssf.Insert(oid, sys.inst.Sets[oid]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertNIX(b *testing.B) {
+	sys := newBenchSystem(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := uint64(100000 + i)
+		sys.inst.Sets[oid] = sys.queries[i%len(sys.queries)]
+		if err := sys.nix.Insert(oid, sys.inst.Sets[oid]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFalseDropProbability measures the analytical hot path used by
+// planners to choose designs.
+func BenchmarkFalseDropProbability(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = FalseDropSuperset(500, 2, 10, float64(1+i%10))
+	}
+}

@@ -1,0 +1,64 @@
+// Command sigbench regenerates the tables and figures of "Evaluation of
+// Signature Files as Set Access Facilities in OODBs" (SIGMOD 1993) from
+// this reproduction's analytical cost model and, optionally, from
+// measured runs of the real access facilities.
+//
+// Usage:
+//
+//	sigbench                         # run every experiment (model only)
+//	sigbench -experiment fig8        # one artifact
+//	sigbench -measured -scale 8      # add measured columns at 1/8 scale
+//	sigbench -list                   # enumerate experiment ids
+//
+// Experiment ids: fig1 fig2 fig4..fig10 (the paper's figures), tab5 tab6
+// tab7 (its tables), xval (model-vs-measured cross-validation) and the
+// ablation-* studies documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigfile/internal/experiments"
+)
+
+func main() {
+	var (
+		id       = flag.String("experiment", "", "experiment id to run (empty = all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		measured = flag.Bool("measured", false, "also run the real facilities and print measured page counts")
+		scale    = flag.Int("scale", 8, "divide the paper's N and V by this for measured runs")
+		trials   = flag.Int("trials", 5, "random queries averaged per measured point")
+		seed     = flag.Int64("seed", 1, "seed for measured workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %-24s %s\n", e.ID, e.Artifact, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Measured: *measured, Scale: *scale, Trials: *trials, Seed: *seed}
+	if *id == "" {
+		if err := experiments.RunAll(os.Stdout, opt); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*id)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q; try -list", *id))
+	}
+	fmt.Printf("==== %s — %s (%s) ====\n", e.ID, e.Artifact, e.Title)
+	if err := e.Run(os.Stdout, opt); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sigbench:", err)
+	os.Exit(1)
+}

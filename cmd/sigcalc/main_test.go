@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sigfile/internal/costmodel"
+)
+
+func TestReportSuperset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report(&buf, costmodel.Paper(10, 250, 2), 3, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"m_opt (eq. 3)            = 17.33",
+		"SSF  = 308   BSSF = 313   NIX = 690",
+		"BSSF UC_I = 251 (improved 20.2)",
+		"retrieval cost RC, T ⊇ Q, Dq=3",
+		"recommendation (paper §6)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestReportSubset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report(&buf, costmodel.Paper(10, 500, 2), 100, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "retrieval cost RC, T ⊆ Q, Dq=100") {
+		t.Fatalf("subset section missing:\n%s", out)
+	}
+	if !strings.Contains(out, "D_q^opt = 290") {
+		t.Fatalf("D_q^opt missing:\n%s", out)
+	}
+}
+
+func TestReportValidatesParams(t *testing.T) {
+	bad := costmodel.Paper(10, 250, 2)
+	bad.M = -1
+	if err := report(&bytes.Buffer{}, bad, 3, false); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

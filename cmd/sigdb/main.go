@@ -1,0 +1,177 @@
+// Command sigdb is an interactive shell over the mini OODB of this
+// reproduction, populated with the paper's university schema (Teacher,
+// Course, Student). It parses the paper's SQL-like query language and
+// routes set predicates through a chosen set access facility.
+//
+// Usage:
+//
+//	sigdb [-students 2000] [-index bssf|ssf|nix|none] [-f 256] [-m 2]
+//
+// Then type queries such as:
+//
+//	select Student where hobbies has-subset ("Baseball", "Fishing")
+//	select Student where hobbies in-subset ("Baseball", "Fishing", "Tennis")
+//	select Student where courses in-subset (select Course where category = "DB")
+//	explain select Student where hobbies has-element "Chess"
+//	help | stats | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sigfile/internal/oodb"
+	"sigfile/internal/query"
+	"sigfile/internal/signature"
+)
+
+func main() {
+	var (
+		students = flag.Int("students", 2000, "number of Student objects")
+		indexSel = flag.String("index", "bssf", "facility for Student set attributes: ssf, bssf, nix, none")
+		f        = flag.Int("f", 256, "signature width F (ssf/bssf)")
+		m        = flag.Int("m", 2, "element signature weight m (ssf/bssf)")
+		seed     = flag.Int64("seed", 1, "data generator seed")
+	)
+	flag.Parse()
+
+	cfg := oodb.DefaultSampleConfig()
+	cfg.Students = *students
+	cfg.Seed = *seed
+	fmt.Printf("loading university database: %d students, %d courses, %d teachers...\n",
+		cfg.Students, cfg.Courses, cfg.Teachers)
+	db, err := oodb.NewSampleDatabase(cfg, nil)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := query.NewEngine(db)
+	if err != nil {
+		fatal(err)
+	}
+
+	var kind query.IndexKind
+	withIndex := true
+	switch strings.ToLower(*indexSel) {
+	case "ssf":
+		kind = query.KindSSF
+	case "bssf":
+		kind = query.KindBSSF
+	case "nix":
+		kind = query.KindNIX
+	case "none":
+		withIndex = false
+	default:
+		fatal(fmt.Errorf("unknown index kind %q", *indexSel))
+	}
+	if withIndex {
+		scheme, err := signature.New(*f, *m)
+		if err != nil {
+			fatal(err)
+		}
+		for _, attr := range []string{"hobbies", "courses"} {
+			if _, err := eng.CreateIndex("Student", attr, kind, scheme, nil); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("created %s index on Student.%s\n", kind, attr)
+		}
+	}
+	fmt.Println(`type "help" for the language, "quit" to exit`)
+	runREPL(eng, db, os.Stdin, os.Stdout)
+}
+
+// runREPL drives the interactive loop; factored out of main so the
+// command is testable end to end.
+func runREPL(eng *query.Engine, db *oodb.Database, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "sigdb> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "quit" || line == "exit":
+			return
+		case line == "help":
+			printHelp(out)
+		case line == "stats":
+			printStats(out, eng, db)
+		case strings.HasPrefix(line, "explain "):
+			plan, err := eng.Explain(strings.TrimPrefix(line, "explain "))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, plan)
+		default:
+			run(out, eng, line)
+		}
+	}
+}
+
+func run(out io.Writer, eng *query.Engine, line string) {
+	res, err := eng.Run(line)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprintf(out, "plan: %s\n", res.Plan)
+	if res.IndexStats != nil {
+		fmt.Fprintf(out, "cost: %s\n", res.IndexStats)
+	}
+	limit := len(res.Objects)
+	if limit > 10 {
+		limit = 10
+	}
+	for _, o := range res.Objects[:limit] {
+		name := o.Attrs["name"].Str
+		fmt.Fprintf(out, "  %6d  %s\n", o.OID, name)
+	}
+	if len(res.Objects) > limit {
+		fmt.Fprintf(out, "  ... %d more\n", len(res.Objects)-limit)
+	}
+	fmt.Fprintf(out, "%d object(s)\n", len(res.Objects))
+}
+
+func printStats(out io.Writer, eng *query.Engine, db *oodb.Database) {
+	for _, class := range []string{"Student", "Course", "Teacher"} {
+		fmt.Fprintf(out, "  %-8s %6d objects in %4d pages\n",
+			class, db.Count(class), db.Heap(class).Pages())
+	}
+	for _, attr := range []string{"hobbies", "courses"} {
+		if am := eng.Index("Student", attr); am != nil {
+			fmt.Fprintf(out, "  index %s on Student.%s: %d pages, %d entries\n",
+				am.Name(), attr, am.StoragePages(), am.Count())
+		}
+	}
+}
+
+func printHelp(out io.Writer) {
+	fmt.Fprint(out, `queries (the paper's §2 language):
+  select Student where hobbies has-subset ("Baseball", "Fishing")   # T ⊇ Q
+  select Student where hobbies in-subset ("Baseball", "Tennis")     # T ⊆ Q
+  select Student where hobbies overlaps ("Chess", "Yoga")
+  select Student where hobbies equals ("Chess", "Yoga")
+  select Student where hobbies has-element "Chess"
+  select Course  where category = "DB"
+  select Student where hobbies has-element "Chess" and hobbies overlaps ("Golf")
+  select Student where courses in-subset (select Course where category = "DB")
+  select Student where courses.category in-subset ("DB")   # nested path (§4.3)
+commands:
+  explain <query>   show the plan without materializing objects
+  stats             storage summary
+  quit              exit
+`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sigdb:", err)
+	os.Exit(1)
+}

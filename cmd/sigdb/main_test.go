@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sigfile/internal/oodb"
+	"sigfile/internal/query"
+	"sigfile/internal/signature"
+)
+
+func newTestEngine(t *testing.T) (*query.Engine, *oodb.Database) {
+	t.Helper()
+	cfg := oodb.SampleConfig{
+		Students: 200, Courses: 30, Teachers: 5,
+		CoursesPerStud: 4, HobbiesPerStud: 3, Seed: 3,
+	}
+	db, err := oodb.NewSampleDatabase(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := query.NewEngine(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.CreateIndex("Student", "hobbies", query.KindBSSF, signature.MustNew(128, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	return eng, db
+}
+
+func TestREPLSession(t *testing.T) {
+	eng, db := newTestEngine(t)
+	in := strings.NewReader(`help
+stats
+select Student where hobbies has-element "Chess"
+explain select Student where hobbies has-subset ("Chess")
+select Bogus where x = 1
+
+quit
+`)
+	var out bytes.Buffer
+	runREPL(eng, db, in, &out)
+	got := out.String()
+	for _, want := range []string{
+		"queries (the paper's §2 language)", // help
+		"Student",                           // stats
+		"plan: index(BSSF Student.hobbies",  // query plan
+		"object(s)",                         // results footer
+		"index(BSSF Student.hobbies q ∈ T)", // explain
+		"error: query: unknown class",       // error surfaced, loop continues
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q\n%s", want, got)
+		}
+	}
+	// quit must end the loop before reading further input.
+	if strings.Count(got, "sigdb> ") != 7 {
+		t.Errorf("prompt count %d, want 7\n%s", strings.Count(got, "sigdb> "), got)
+	}
+}
+
+func TestREPLEOFTerminates(t *testing.T) {
+	eng, db := newTestEngine(t)
+	var out bytes.Buffer
+	runREPL(eng, db, strings.NewReader("stats\n"), &out)
+	if !strings.HasSuffix(out.String(), "sigdb> \n") {
+		t.Errorf("EOF did not end cleanly: %q", out.String()[len(out.String())-20:])
+	}
+}
+
+func TestREPLTruncatesLongResults(t *testing.T) {
+	eng, db := newTestEngine(t)
+	var out bytes.Buffer
+	// An in-subset query with the whole hobby list matches every student.
+	all := `select Student where hobbies in-subset ("` +
+		strings.Join(oodb.Hobbies, `", "`) + `")` + "\nquit\n"
+	runREPL(eng, db, strings.NewReader(all), &out)
+	if !strings.Contains(out.String(), "more") {
+		t.Errorf("long result not truncated:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "200 object(s)") {
+		t.Errorf("footer missing:\n%s", out.String())
+	}
+}

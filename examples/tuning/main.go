@@ -1,0 +1,65 @@
+// Tuning: explore the (F, m) design space for a user workload with the
+// paper's cost model before loading any data — the workflow §5 implies:
+// pick a facility, then pick F and m for your Dt and query mix.
+//
+//	go run ./examples/tuning [-dt 10] [-dq 3] [-n 32000] [-v 13000]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"sigfile"
+)
+
+func main() {
+	var (
+		dt = flag.Float64("dt", 10, "target set cardinality")
+		dq = flag.Float64("dq", 3, "typical query cardinality (T ⊇ Q)")
+		n  = flag.Int("n", 32000, "number of objects")
+		v  = flag.Int("v", 13000, "element domain cardinality")
+	)
+	flag.Parse()
+
+	fmt.Printf("workload: N=%d V=%d Dt=%g, typical superset query Dq=%g\n\n", *n, *v, *dt, *dq)
+	fmt.Printf("%6s %4s | %10s %10s | %8s %8s | %9s %9s\n",
+		"F", "m", "Fd ⊇", "Fd ⊆(3Dt)", "SC bssf", "SC nix", "RC ⊇bssf", "RC ⊇nix")
+	fmt.Println("----------------------------------------------------------------------------------")
+
+	type pick struct {
+		f, m int
+		rc   float64
+	}
+	best := pick{rc: 1 << 40}
+	for _, f := range []int{125, 250, 500, 1000, 2500} {
+		for _, m := range []int{1, 2, 3, 4, sigfile.OptimalM(f, *dt)} {
+			model := sigfile.PaperModel(*dt, f, float64(m))
+			model.N, model.V = *n, *v
+			if model.Validate() != nil {
+				continue
+			}
+			rcB := model.BSSFRetrievalSuperset(*dq)
+			fmt.Printf("%6d %4d | %10.2e %10.2e | %8.0f %8.0f | %9.1f %9.1f\n",
+				f, m,
+				sigfile.FalseDropSuperset(f, m, *dt, *dq),
+				sigfile.FalseDropSubset(f, m, *dt, 3**dt),
+				model.BSSFStorage(), model.NIXStorage(),
+				rcB, model.NIXRetrievalSuperset(*dq))
+			// Prefer the cheapest retrieval; break storage ties toward
+			// smaller F.
+			if rcB < best.rc || (rcB == best.rc && f < best.f) {
+				best = pick{f: f, m: m, rc: rcB}
+			}
+		}
+	}
+
+	model := sigfile.PaperModel(*dt, best.f, float64(best.m))
+	model.N, model.V = *n, *v
+	smart, k := model.BSSFSmartSuperset(*dq)
+	fmt.Printf("\nsuggested design: BSSF with F=%d, m=%d\n", best.f, best.m)
+	fmt.Printf("  RC(T⊇Q, Dq=%g) = %.1f pages (smart strategy: %.1f with k=%d probes)\n", *dq, best.rc, smart, k)
+	fmt.Printf("  RC(T⊆Q) stays ≤ %.1f pages for any Dq up to D_q^opt = %.0f\n",
+		model.BSSFSmartSubset(*dt), model.BSSFSubsetDqOpt())
+	fmt.Printf("  storage %.0f pages vs NIX %.0f; insert %.1f pages/object (improved path)\n",
+		model.BSSFStorage(), model.NIXStorage(), model.BSSFImprovedInsertCost())
+}

@@ -1,0 +1,3 @@
+module sigfile
+
+go 1.22

@@ -1,0 +1,305 @@
+package sigfile
+
+// Integration tests driving the full stack the way a deployment would:
+// the university database and query engine over the paged object store,
+// all four facilities on a disk-backed page store with reopen, bulk
+// loading, compaction under churn, and agreement across facilities.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"sigfile/internal/core"
+	"sigfile/internal/oodb"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/query"
+	"sigfile/internal/signature"
+	"sigfile/internal/workload"
+)
+
+// TestIntegrationUniversityEndToEnd builds the paper's scenario on a
+// disk store, runs the §1/§2 queries through every facility, restarts
+// (reopening database and indexes from disk), and checks answers
+// survive.
+func TestIntegrationUniversityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfg := oodb.SampleConfig{
+		Students: 800, Courses: 60, Teachers: 10,
+		CoursesPerStud: 5, HobbiesPerStud: 4, Seed: 99,
+	}
+	queries := []string{
+		`select Student where hobbies has-subset ("Baseball", "Fishing")`,
+		`select Student where hobbies in-subset ("Baseball", "Fishing", "Tennis", "Golf", "Chess", "Reading")`,
+		`select Student where courses in-subset (select Course where category = "DB")`,
+		`select Student where hobbies has-element "Chess" and hobbies overlaps ("Golf", "Yoga")`,
+	}
+
+	var firstRun [][]oodb.OID
+	// Phase 1: create, index, query, leave on disk.
+	{
+		store, err := pagestore.NewDiskStore(filepath.Join(dir, "db"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := oodb.NewSampleDatabase(cfg, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := query.NewEngine(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxStore, err := pagestore.NewDiskStore(filepath.Join(dir, "idx"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.CreateIndex("Student", "hobbies", query.KindBSSF, signature.MustNew(128, 2), idxStore); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.CreateIndex("Student", "courses", query.KindBSSF, signature.MustNew(256, 2), idxStore); err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range queries {
+			res, err := eng.Run(src)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			firstRun = append(firstRun, res.OIDs())
+		}
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := idxStore.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 2: reopen everything from disk; answers must be identical.
+	{
+		store, err := pagestore.NewDiskStore(filepath.Join(dir, "db"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := oodb.NewDatabase(oodb.SampleSchema(), store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.Count("Student") != cfg.Students {
+			t.Fatalf("reopened Student count %d", db.Count("Student"))
+		}
+		eng, err := query.NewEngine(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxStore, err := pagestore.NewDiskStore(filepath.Join(dir, "idx"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// CreateIndex reopens the existing files; re-inserting everything
+		// would corrupt them, so open the facilities directly.
+		hobbySrc, err := db.NewSetSource("Student", "hobbies")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hobbies, err := core.NewBSSF(signature.MustNew(128, 2), hobbySrc,
+			pagestore.Prefixed(idxStore, "Student.hobbies"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hobbies.Count() != cfg.Students {
+			t.Fatalf("reopened index count %d", hobbies.Count())
+		}
+		res, err := hobbies.Search(signature.Superset, []string{"Baseball", "Fishing"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.OIDs) != len(firstRun[0]) {
+			t.Fatalf("reopened index: %d results, want %d", len(res.OIDs), len(firstRun[0]))
+		}
+		for i, oid := range res.OIDs {
+			if oodb.OID(oid) != firstRun[0][i] {
+				t.Fatal("reopened index returns different OIDs")
+			}
+		}
+		// Scan-based engine answers still agree for the other queries.
+		for i, src := range queries[1:3] {
+			r, err := eng.Run(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := r.OIDs()
+			if len(got) != len(firstRun[i+1]) {
+				t.Fatalf("%s after reopen: %d vs %d results", src, len(got), len(firstRun[i+1]))
+			}
+		}
+	}
+}
+
+// TestIntegrationChurnAndCompaction runs a mixed workload (inserts,
+// deletes, searches) against all four facilities simultaneously, then
+// compacts the signature files and re-validates.
+func TestIntegrationChurnAndCompaction(t *testing.T) {
+	inst, err := workload.Generate(workload.Config{N: 600, V: 120, Dt: 6, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := signature.MustNew(160, 2)
+	frame := signature.MustFrameScheme(10, 16, 2)
+	ssf, _ := core.NewSSF(scheme, inst, nil)
+	bssf, _ := core.NewBSSF(scheme, inst, nil)
+	fssf, _ := core.NewFSSF(frame, inst, nil)
+	nix, _ := core.NewNIX(inst, nil)
+	ams := []AccessMethod{ssf, bssf, fssf, nix}
+
+	live := map[uint64][]string{}
+	for oid := uint64(1); oid <= 600; oid++ {
+		set := inst.Sets[oid]
+		live[oid] = set
+		for _, am := range ams {
+			if err := am.Insert(oid, set); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	next := uint64(601)
+	for step := 0; step < 300; step++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			set := []string{workload.Element(rng.Intn(120)), workload.Element(rng.Intn(120))}
+			inst.Sets[next] = set
+			live[next] = set
+			for _, am := range ams {
+				if err := am.Insert(next, set); err != nil {
+					t.Fatal(err)
+				}
+			}
+			next++
+		case 1: // delete
+			for oid, set := range live {
+				for _, am := range ams {
+					if err := am.Delete(oid, set); err != nil {
+						t.Fatal(err)
+					}
+				}
+				delete(live, oid)
+				break
+			}
+		case 2: // cross-validate a search
+			q := []string{workload.Element(rng.Intn(120))}
+			want := -1
+			for _, am := range ams {
+				res, err := am.Search(Superset, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == -1 {
+					want = len(res.OIDs)
+				} else if len(res.OIDs) != want {
+					t.Fatalf("step %d: %s disagrees (%d vs %d results)", step, am.Name(), len(res.OIDs), want)
+				}
+			}
+		}
+	}
+
+	// Compact the signature files; answers must not change.
+	q := []string{workload.Element(7)}
+	before, err := bssf.Search(Superset, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssf.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bssf.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	afterSSF, err := ssf.Search(Superset, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterBSSF, err := bssf.Search(Superset, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afterSSF.OIDs) != len(before.OIDs) || len(afterBSSF.OIDs) != len(before.OIDs) {
+		t.Fatal("compaction changed answers")
+	}
+	for _, am := range ams {
+		if am.Count() != len(live) {
+			t.Fatalf("%s count %d, want %d", am.Name(), am.Count(), len(live))
+		}
+	}
+}
+
+// TestIntegrationPaperWorkloadAllFacilities loads the scaled paper
+// workload via batch insertion into all four facilities and confirms
+// they agree on a spread of queries of both types.
+func TestIntegrationPaperWorkloadAllFacilities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration workload skipped in -short mode")
+	}
+	cfg := workload.Scaled(10, 16) // N=2000, V=812
+	inst, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]Entry, 0, cfg.N)
+	for oid := uint64(1); oid <= uint64(cfg.N); oid++ {
+		entries = append(entries, Entry{OID: oid, Elems: inst.Sets[oid]})
+	}
+	scheme := signature.MustNew(250, 2)
+	frame := signature.MustFrameScheme(10, 25, 2)
+	ssf, _ := core.NewSSF(scheme, inst, nil)
+	bssf, _ := core.NewBSSF(scheme, inst, nil)
+	fssf, _ := core.NewFSSF(frame, inst, nil)
+	nix, _ := core.NewNIX(inst, nil)
+	ams := []AccessMethod{ssf, bssf, fssf, nix}
+	for _, am := range ams {
+		if err := am.(BatchInserter).InsertBatch(entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dq := range []int{1, 3, 10} {
+		qs, err := inst.Queries(workload.RandomQuery, dq, 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			var want []uint64
+			for i, am := range ams {
+				res, err := am.Search(Superset, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					want = res.OIDs
+				} else if fmt.Sprint(res.OIDs) != fmt.Sprint(want) {
+					t.Fatalf("superset dq=%d: %s disagrees", dq, am.Name())
+				}
+			}
+		}
+	}
+	for _, dq := range []int{20, 100} {
+		qs, err := inst.Queries(workload.RandomQuery, dq, 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			var want []uint64
+			for i, am := range ams {
+				res, err := am.Search(Subset, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					want = res.OIDs
+				} else if fmt.Sprint(res.OIDs) != fmt.Sprint(want) {
+					t.Fatalf("subset dq=%d: %s disagrees", dq, am.Name())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	b := New(0)
+	if b.Len() != 0 || b.Count() != 0 || b.Any() {
+		t.Fatalf("empty set: Len=%d Count=%d Any=%v", b.Len(), b.Count(), b.Any())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, f := range map[string]func(){
+		"Set(10)":   func() { b.Set(10) },
+		"Test(-1)":  func() { b.Test(-1) },
+		"Clear(99)": func() { b.Clear(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFillResetNot(t *testing.T) {
+	b := New(70)
+	b.Fill()
+	if b.Count() != 70 {
+		t.Fatalf("Fill: Count = %d, want 70", b.Count())
+	}
+	b.Not()
+	if b.Count() != 0 {
+		t.Fatalf("Not after Fill: Count = %d, want 0", b.Count())
+	}
+	b.Not()
+	if b.Count() != 70 {
+		t.Fatalf("double Not: Count = %d, want 70", b.Count())
+	}
+	b.Reset()
+	if b.Any() {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestTrimInvariant(t *testing.T) {
+	// Operations on a 70-bit set must never set the 58 tail bits of the
+	// second word; otherwise Count and Equal would be wrong.
+	b := New(70)
+	b.Fill()
+	if w := b.Words()[1]; w != (1<<6)-1 {
+		t.Fatalf("tail word = %#x, want %#x", w, uint64((1<<6)-1))
+	}
+	b.Not()
+	if w := b.Words()[1]; w != 0 {
+		t.Fatalf("tail word after Not = %#x, want 0", w)
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	or := a.Clone()
+	or.Or(b)
+	and := a.Clone()
+	and.And(b)
+	xor := a.Clone()
+	xor.Xor(b)
+	diff := a.Clone()
+	diff.AndNot(b)
+	for i := 0; i < 100; i++ {
+		ea, eb := i%2 == 0, i%3 == 0
+		if or.Test(i) != (ea || eb) {
+			t.Fatalf("Or bit %d wrong", i)
+		}
+		if and.Test(i) != (ea && eb) {
+			t.Fatalf("And bit %d wrong", i)
+		}
+		if xor.Test(i) != (ea != eb) {
+			t.Fatalf("Xor bit %d wrong", i)
+		}
+		if diff.Test(i) != (ea && !eb) {
+			t.Fatalf("AndNot bit %d wrong", i)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched lengths did not panic")
+		}
+	}()
+	a.Or(b)
+}
+
+func TestContainsAllAndSubsetOf(t *testing.T) {
+	// The paper's Figure 1 example: query 01010100, target 01101011 does
+	// NOT match (bit 3 of query not in target); target 01011101 does.
+	q, err := ParseString("01010100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, _ := ParseString("01011101")
+	nomatch, _ := ParseString("01101011")
+	if !match.ContainsAll(q) {
+		t.Error("expected 01011101 ⊇ 01010100")
+	}
+	if nomatch.ContainsAll(q) {
+		t.Error("expected 01101011 ⊉ 01010100")
+	}
+	if !q.SubsetOf(match) {
+		t.Error("expected 01010100 ⊆ 01011101")
+	}
+	if q.SubsetOf(nomatch) {
+		t.Error("expected 01010100 ⊄ 01101011")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(128), New(128)
+	if a.Intersects(b) {
+		t.Fatal("two empty sets intersect")
+	}
+	a.Set(127)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets intersect")
+	}
+	b.Set(127)
+	if !a.Intersects(b) {
+		t.Fatal("sets sharing bit 127 do not intersect")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(65), New(65)
+	if !a.Equal(b) {
+		t.Fatal("fresh equal-length sets not Equal")
+	}
+	a.Set(64)
+	if a.Equal(b) {
+		t.Fatal("different sets Equal")
+	}
+	b.Set(64)
+	if !a.Equal(b) {
+		t.Fatal("same sets not Equal")
+	}
+	if a.Equal(New(64)) {
+		t.Fatal("sets of different length Equal")
+	}
+}
+
+func TestNextSetAndOnes(t *testing.T) {
+	b := New(200)
+	want := []int{0, 63, 64, 65, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Ones()
+	if len(got) != len(want) {
+		t.Fatalf("Ones = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", got, want)
+		}
+	}
+	if _, ok := b.NextSet(200); ok {
+		t.Fatal("NextSet past end returned ok")
+	}
+	if i, ok := b.NextSet(66); !ok || i != 128 {
+		t.Fatalf("NextSet(66) = %d,%v want 128,true", i, ok)
+	}
+}
+
+func TestNextClearAndZeros(t *testing.T) {
+	b := New(130)
+	b.Fill()
+	if _, ok := b.NextClear(0); ok {
+		t.Fatal("NextClear on full set returned ok")
+	}
+	b.Clear(0)
+	b.Clear(64)
+	b.Clear(129)
+	zeros := b.Zeros()
+	want := []int{0, 64, 129}
+	if len(zeros) != 3 || zeros[0] != 0 || zeros[1] != 64 || zeros[2] != 129 {
+		t.Fatalf("Zeros = %v, want %v", zeros, want)
+	}
+	if i, ok := b.NextClear(1); !ok || i != 64 {
+		t.Fatalf("NextClear(1) = %d,%v want 64,true", i, ok)
+	}
+	if i, ok := b.NextClear(65); !ok || i != 129 {
+		t.Fatalf("NextClear(65) = %d,%v want 129,true", i, ok)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	s := "0110010110001000000000000000000000000000000000000000000000000000011"
+	b, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != s {
+		t.Fatalf("round trip: got %s", b.String())
+	}
+	if _, err := ParseString("01x"); err == nil {
+		t.Fatal("ParseString accepted invalid rune")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 65, 250, 500, 2500} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		b := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				b.Set(i)
+			}
+		}
+		buf := make([]byte, ByteLen(n))
+		if got := b.MarshalBinaryTo(buf); got != ByteLen(n) {
+			t.Fatalf("n=%d: wrote %d bytes, want %d", n, got, ByteLen(n))
+		}
+		back, err := UnmarshalBinary(n, buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !b.Equal(back) {
+			t.Fatalf("n=%d: round trip mismatch\n got %s\nwant %s", n, back, b)
+		}
+	}
+}
+
+func TestUnmarshalShortBuffer(t *testing.T) {
+	if _, err := UnmarshalBinary(64, make([]byte, 7)); err == nil {
+		t.Fatal("UnmarshalBinary accepted short buffer")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	b := FromWords(70, []uint64{^uint64(0), ^uint64(0)})
+	if b.Count() != 70 {
+		t.Fatalf("FromWords did not trim tail: Count = %d", b.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromWords with short slice did not panic")
+		}
+	}()
+	FromWords(129, []uint64{0, 0})
+}
+
+// randomSet builds a bitset of n bits with each bit set with probability
+// 1/2 using the given seed.
+func randomSet(n int, seed int64) *BitSet {
+	rng := rand.New(rand.NewSource(seed))
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+// Property: for random sets, a.Or(b) ⊇ a, ⊇ b and a.And(b) ⊆ a, ⊆ b.
+func TestPropertyOrAndOrdering(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomSet(300, seedA)
+		b := randomSet(300, seedB)
+		or := a.Clone()
+		or.Or(b)
+		and := a.Clone()
+		and.And(b)
+		return or.ContainsAll(a) && or.ContainsAll(b) &&
+			and.SubsetOf(a) && and.SubsetOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ContainsAll(q) is exactly the same as "q.AndNot(target) is
+// empty", the definition of bit-level containment.
+func TestPropertyContainsAllDefinition(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		target := randomSet(250, seedA)
+		q := randomSet(250, seedB)
+		q.And(target) // force a subset half the time
+		if seedB%2 == 0 {
+			q = randomSet(250, seedB)
+		}
+		diff := q.Clone()
+		diff.AndNot(target)
+		return target.ContainsAll(q) == diff.None()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count(a) + Count(b) == Count(a|b) + Count(a&b).
+func TestPropertyInclusionExclusion(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomSet(500, seedA)
+		b := randomSet(500, seedB)
+		or := a.Clone()
+		or.Or(b)
+		and := a.Clone()
+		and.And(b)
+		return a.Count()+b.Count() == or.Count()+and.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marshal/unmarshal is the identity for arbitrary sizes.
+func TestPropertyMarshalIdentity(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		n := int(sz%3000) + 1
+		b := randomSet(n, seed)
+		buf := make([]byte, ByteLen(n))
+		b.MarshalBinaryTo(buf)
+		back, err := UnmarshalBinary(n, buf)
+		return err == nil && b.Equal(back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ones and Zeros partition [0, n).
+func TestPropertyOnesZerosPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		b := randomSet(333, seed)
+		ones, zeros := b.Ones(), b.Zeros()
+		if len(ones)+len(zeros) != 333 {
+			return false
+		}
+		seen := make(map[int]bool, 333)
+		for _, i := range ones {
+			if !b.Test(i) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for _, i := range zeros {
+			if b.Test(i) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkContainsAll(b *testing.B) {
+	target := randomSet(2500, 1)
+	q := randomSet(2500, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		target.ContainsAll(q)
+	}
+}
+
+func BenchmarkOr(b *testing.B) {
+	x := randomSet(2500, 1)
+	y := randomSet(2500, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}

@@ -1,0 +1,30 @@
+package bitset
+
+import "testing"
+
+// FuzzUnmarshalBinary: arbitrary bytes with arbitrary claimed lengths
+// must never panic, and successful unmarshals must round-trip.
+func FuzzUnmarshalBinary(f *testing.F) {
+	f.Add(uint16(64), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint16(0), []byte{})
+	f.Add(uint16(250), make([]byte, 32))
+	f.Fuzz(func(t *testing.T, nraw uint16, data []byte) {
+		n := int(nraw)
+		b, err := UnmarshalBinary(n, data)
+		if err != nil {
+			if len(data) >= ByteLen(n) {
+				t.Fatalf("sufficient buffer rejected: n=%d len=%d", n, len(data))
+			}
+			return
+		}
+		if b.Len() != n {
+			t.Fatalf("length %d, want %d", b.Len(), n)
+		}
+		out := make([]byte, ByteLen(n))
+		b.MarshalBinaryTo(out)
+		back, err := UnmarshalBinary(n, out)
+		if err != nil || !b.Equal(back) {
+			t.Fatal("round trip failed")
+		}
+	})
+}

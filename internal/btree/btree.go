@@ -1,0 +1,835 @@
+// Package btree implements a page-based B⁺-tree mapping variable-length
+// byte-string keys to postings lists of OIDs. It is the storage substrate
+// of the nested index (NIX) that the paper compares the signature files
+// against: each leaf entry is "(key value, list of OIDs of objects whose
+// indexed set attribute contains that value)", exactly the leaf format of
+// §4.3.
+//
+// The tree lives in a pagestore.File, so every traversal is accounted in
+// page accesses and can be compared against the paper's analytical lookup
+// cost rc = (tree height) + 1. Small postings lists are stored inline in
+// the leaf entry (matching the paper's leaf-entry size model
+// Il = d·oid + kl + mid); a postings list whose entry would exceed half a
+// page moves to a chain of overflow pages so that skewed workloads (the
+// Zipf extension) remain correct.
+//
+// Structure-modifying operations split nodes on overflow; underfull nodes
+// are not merged (deletes only shrink postings), a common simplification
+// that does not affect the paper's read-path analysis.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sigfile/internal/pagestore"
+)
+
+// MaxKeyLen is the largest accepted key length in bytes. It is chosen so
+// that any node entry fits in half a page, which guarantees node splits
+// always succeed.
+const MaxKeyLen = 1024
+
+const (
+	typeInternal = 1
+	typeLeaf     = 2
+	typeOverflow = 3
+
+	metaMagic = 0x4249584e // "NIXB"
+
+	// nodeCapacity is the serialized-size budget for a node's entries.
+	nodeHeaderSize = 8 // type(1) + nkeys(2) + next/child0(4) + pad(1)
+	nodeCapacity   = pagestore.PageSize - nodeHeaderSize
+	// entryMax bounds one serialized entry so a split always yields two
+	// fitting halves.
+	entryMax = nodeCapacity / 2
+
+	// overflowHeader = type(1) + count(2) + next(4).
+	overflowHeader  = 7
+	overflowPerPage = (pagestore.PageSize - overflowHeader) / 8
+)
+
+// Tree is a B⁺-tree over a page file. Create one with New (fresh file) or
+// Open (existing file). A Tree is not safe for concurrent mutation; wrap
+// it if shared.
+type Tree struct {
+	file   pagestore.File
+	root   pagestore.PageID
+	height int // number of levels, 1 = root is a leaf
+	nkeys  int // number of distinct keys
+}
+
+// New initializes a B⁺-tree in an empty page file.
+func New(file pagestore.File) (*Tree, error) {
+	if file.NumPages() != 0 {
+		return nil, fmt.Errorf("btree: New requires an empty file; use Open")
+	}
+	// Page 0 is the meta page; page 1 the initial empty leaf root.
+	if _, err := file.Allocate(); err != nil {
+		return nil, fmt.Errorf("btree: %w", err)
+	}
+	rootID, err := file.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("btree: %w", err)
+	}
+	t := &Tree{file: file, root: rootID, height: 1}
+	if err := t.writeNode(&node{id: rootID, leaf: true}); err != nil {
+		return nil, err
+	}
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads a B⁺-tree previously created by New in the file.
+func Open(file pagestore.File) (*Tree, error) {
+	if file.NumPages() == 0 {
+		return New(file)
+	}
+	buf := make([]byte, pagestore.PageSize)
+	if err := file.ReadPage(0, buf); err != nil {
+		return nil, fmt.Errorf("btree: read meta: %w", err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != metaMagic {
+		return nil, fmt.Errorf("btree: bad magic in meta page")
+	}
+	t := &Tree{
+		file:   file,
+		root:   pagestore.PageID(binary.LittleEndian.Uint32(buf[4:8])),
+		height: int(binary.LittleEndian.Uint32(buf[8:12])),
+		nkeys:  int(binary.LittleEndian.Uint64(buf[12:20])),
+	}
+	return t, nil
+}
+
+func (t *Tree) writeMeta() error {
+	buf := make([]byte, pagestore.PageSize)
+	binary.LittleEndian.PutUint32(buf[0:4], metaMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(t.root))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(t.height))
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(t.nkeys))
+	if err := t.file.WritePage(0, buf); err != nil {
+		return fmt.Errorf("btree: write meta: %w", err)
+	}
+	return nil
+}
+
+// Height returns the number of levels (1 = the root is a leaf). The
+// paper's lookup cost is rc = Height() + overflow-chain length, typically
+// Height() itself since postings are inline.
+func (t *Tree) Height() int { return t.height }
+
+// Keys returns the number of distinct keys in the tree.
+func (t *Tree) Keys() int { return t.nkeys }
+
+// Pages returns the total number of pages the tree occupies, including
+// the meta page.
+func (t *Tree) Pages() int { return t.file.NumPages() }
+
+// Stats exposes the page-access counters of the underlying file.
+func (t *Tree) Stats() *pagestore.Stats { return t.file.Stats() }
+
+// ---------------------------------------------------------------------------
+// Node representation and codec
+
+type leafEntry struct {
+	key      []byte
+	oids     []uint64         // inline postings, sorted; nil if overflow
+	overflow pagestore.PageID // head of overflow chain if nonzero
+	count    uint32           // total postings when overflow is used
+}
+
+type node struct {
+	id   pagestore.PageID
+	leaf bool
+	// Internal nodes: len(children) == len(keys)+1; subtree children[i]
+	// holds keys k with keys[i-1] <= k < keys[i].
+	keys     [][]byte
+	children []pagestore.PageID
+	// Leaf nodes.
+	entries []leafEntry
+	next    pagestore.PageID // right sibling, 0 = none
+}
+
+func (e *leafEntry) size() int {
+	n := uvarintLen(uint64(len(e.key))) + len(e.key) + 1 // key + flag
+	if e.overflow != 0 {
+		return n + 8 // count(4) + page(4)
+	}
+	return n + uvarintLen(uint64(len(e.oids))) + 8*len(e.oids)
+}
+
+func internalEntrySize(key []byte) int {
+	return uvarintLen(uint64(len(key))) + len(key) + 4
+}
+
+func (n *node) size() int {
+	sz := 0
+	if n.leaf {
+		for i := range n.entries {
+			sz += n.entries[i].size()
+		}
+		return sz
+	}
+	for _, k := range n.keys {
+		sz += internalEntrySize(k)
+	}
+	return sz
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func (t *Tree) readNode(id pagestore.PageID) (*node, error) {
+	buf := make([]byte, pagestore.PageSize)
+	if err := t.file.ReadPage(id, buf); err != nil {
+		return nil, fmt.Errorf("btree: read node %d: %w", id, err)
+	}
+	return decodeNode(id, buf)
+}
+
+func decodeNode(id pagestore.PageID, buf []byte) (*node, error) {
+	n := &node{id: id}
+	typ := buf[0]
+	nkeys := int(binary.LittleEndian.Uint16(buf[1:3]))
+	link := pagestore.PageID(binary.LittleEndian.Uint32(buf[3:7]))
+	pos := nodeHeaderSize
+	switch typ {
+	case typeLeaf:
+		n.leaf = true
+		n.next = link
+		n.entries = make([]leafEntry, 0, nkeys)
+		for i := 0; i < nkeys; i++ {
+			key, np, err := readBytes(buf, pos)
+			if err != nil {
+				return nil, fmt.Errorf("btree: node %d entry %d: %w", id, i, err)
+			}
+			pos = np
+			if pos >= len(buf) {
+				return nil, fmt.Errorf("btree: node %d entry %d truncated", id, i)
+			}
+			flag := buf[pos]
+			pos++
+			e := leafEntry{key: key}
+			if flag == 1 {
+				if pos+8 > len(buf) {
+					return nil, fmt.Errorf("btree: node %d entry %d overflow ref truncated", id, i)
+				}
+				e.count = binary.LittleEndian.Uint32(buf[pos : pos+4])
+				e.overflow = pagestore.PageID(binary.LittleEndian.Uint32(buf[pos+4 : pos+8]))
+				pos += 8
+			} else {
+				cnt, np2, err := readUvarint(buf, pos)
+				if err != nil {
+					return nil, fmt.Errorf("btree: node %d entry %d count: %w", id, i, err)
+				}
+				pos = np2
+				if pos+int(cnt)*8 > len(buf) {
+					return nil, fmt.Errorf("btree: node %d entry %d postings truncated", id, i)
+				}
+				e.oids = make([]uint64, cnt)
+				for j := range e.oids {
+					e.oids[j] = binary.LittleEndian.Uint64(buf[pos : pos+8])
+					pos += 8
+				}
+				e.count = uint32(cnt)
+			}
+			n.entries = append(n.entries, e)
+		}
+	case typeInternal:
+		n.children = make([]pagestore.PageID, 1, nkeys+1)
+		n.children[0] = link
+		n.keys = make([][]byte, 0, nkeys)
+		for i := 0; i < nkeys; i++ {
+			key, np, err := readBytes(buf, pos)
+			if err != nil {
+				return nil, fmt.Errorf("btree: node %d key %d: %w", id, i, err)
+			}
+			pos = np
+			if pos+4 > len(buf) {
+				return nil, fmt.Errorf("btree: node %d child %d truncated", id, i)
+			}
+			n.keys = append(n.keys, key)
+			n.children = append(n.children, pagestore.PageID(binary.LittleEndian.Uint32(buf[pos:pos+4])))
+			pos += 4
+		}
+	default:
+		return nil, fmt.Errorf("btree: node %d has unexpected type %d", id, typ)
+	}
+	return n, nil
+}
+
+func (t *Tree) writeNode(n *node) error {
+	buf := make([]byte, pagestore.PageSize)
+	if n.leaf {
+		buf[0] = typeLeaf
+		binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+		binary.LittleEndian.PutUint32(buf[3:7], uint32(n.next))
+		pos := nodeHeaderSize
+		for i := range n.entries {
+			e := &n.entries[i]
+			pos = appendBytesAt(buf, pos, e.key)
+			if e.overflow != 0 {
+				buf[pos] = 1
+				pos++
+				binary.LittleEndian.PutUint32(buf[pos:pos+4], e.count)
+				binary.LittleEndian.PutUint32(buf[pos+4:pos+8], uint32(e.overflow))
+				pos += 8
+			} else {
+				buf[pos] = 0
+				pos++
+				pos += binary.PutUvarint(buf[pos:], uint64(len(e.oids)))
+				for _, oid := range e.oids {
+					binary.LittleEndian.PutUint64(buf[pos:pos+8], oid)
+					pos += 8
+				}
+			}
+		}
+	} else {
+		buf[0] = typeInternal
+		binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+		binary.LittleEndian.PutUint32(buf[3:7], uint32(n.children[0]))
+		pos := nodeHeaderSize
+		for i, k := range n.keys {
+			pos = appendBytesAt(buf, pos, k)
+			binary.LittleEndian.PutUint32(buf[pos:pos+4], uint32(n.children[i+1]))
+			pos += 4
+		}
+	}
+	if err := t.file.WritePage(n.id, buf); err != nil {
+		return fmt.Errorf("btree: write node %d: %w", n.id, err)
+	}
+	return nil
+}
+
+func readBytes(buf []byte, pos int) ([]byte, int, error) {
+	v, np, err := readUvarint(buf, pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	if np+int(v) > len(buf) {
+		return nil, 0, fmt.Errorf("byte string truncated")
+	}
+	out := make([]byte, v)
+	copy(out, buf[np:np+int(v)])
+	return out, np + int(v), nil
+}
+
+func readUvarint(buf []byte, pos int) (uint64, int, error) {
+	if pos >= len(buf) {
+		return 0, 0, fmt.Errorf("uvarint truncated")
+	}
+	v, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("bad uvarint")
+	}
+	return v, pos + n, nil
+}
+
+func appendBytesAt(buf []byte, pos int, b []byte) int {
+	pos += binary.PutUvarint(buf[pos:], uint64(len(b)))
+	copy(buf[pos:], b)
+	return pos + len(b)
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+
+// Lookup returns the postings list for key (sorted ascending) or an empty
+// slice if absent. Page cost: Height() reads plus one read per overflow
+// page.
+func (t *Tree) Lookup(key []byte) ([]uint64, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	n, err := t.descend(key)
+	if err != nil {
+		return nil, err
+	}
+	i, found := n.find(key)
+	if !found {
+		return nil, nil
+	}
+	return t.entryPostings(&n.entries[i])
+}
+
+// Contains reports whether (key, oid) is present.
+func (t *Tree) Contains(key []byte, oid uint64) (bool, error) {
+	oids, err := t.Lookup(key)
+	if err != nil {
+		return false, err
+	}
+	i := sort.Search(len(oids), func(i int) bool { return oids[i] >= oid })
+	return i < len(oids) && oids[i] == oid, nil
+}
+
+// descend walks from the root to the leaf that owns key.
+func (t *Tree) descend(key []byte) (*node, error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			return n, nil
+		}
+		id = n.childFor(key)
+	}
+}
+
+func (n *node) childFor(key []byte) pagestore.PageID {
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+	return n.children[i]
+}
+
+// find locates key within a leaf, returning the index where it is or
+// would be inserted.
+func (n *node) find(key []byte) (int, bool) {
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return bytes.Compare(n.entries[i].key, key) >= 0
+	})
+	return i, i < len(n.entries) && bytes.Equal(n.entries[i].key, key)
+}
+
+func (t *Tree) entryPostings(e *leafEntry) ([]uint64, error) {
+	if e.overflow == 0 {
+		out := make([]uint64, len(e.oids))
+		copy(out, e.oids)
+		return out, nil
+	}
+	out := make([]uint64, 0, e.count)
+	buf := make([]byte, pagestore.PageSize)
+	for pid := e.overflow; pid != 0; {
+		if err := t.file.ReadPage(pid, buf); err != nil {
+			return nil, fmt.Errorf("btree: read overflow %d: %w", pid, err)
+		}
+		if buf[0] != typeOverflow {
+			return nil, fmt.Errorf("btree: page %d is not an overflow page", pid)
+		}
+		cnt := int(binary.LittleEndian.Uint16(buf[1:3]))
+		next := pagestore.PageID(binary.LittleEndian.Uint32(buf[3:7]))
+		for i := 0; i < cnt; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[overflowHeader+8*i:]))
+		}
+		pid = next
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func checkKey(key []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("btree: empty key")
+	}
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("btree: key length %d exceeds %d", len(key), MaxKeyLen)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+
+// Insert adds oid to the postings of key, creating the key if needed. It
+// is idempotent: inserting an existing (key, oid) pair is a no-op.
+func (t *Tree) Insert(key []byte, oid uint64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	sep, right, changed, err := t.insert(t.root, 1, key, oid)
+	if err != nil {
+		return err
+	}
+	if right != 0 {
+		// Root split: grow the tree by one level.
+		newRoot, err := t.file.Allocate()
+		if err != nil {
+			return fmt.Errorf("btree: %w", err)
+		}
+		root := &node{
+			id:       newRoot,
+			keys:     [][]byte{sep},
+			children: []pagestore.PageID{t.root, right},
+		}
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		t.root = newRoot
+		t.height++
+		changed = true
+	}
+	if changed {
+		return t.writeMeta()
+	}
+	return nil
+}
+
+// insert recursively adds (key, oid) below node id at the given level
+// (1 = root level). It returns a separator and new right-sibling page if
+// the node split, and whether tree metadata changed.
+func (t *Tree) insert(id pagestore.PageID, level int, key []byte, oid uint64) (sep []byte, right pagestore.PageID, changed bool, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !n.leaf {
+		childSep, childRight, childChanged, err := t.insert(n.childFor(key), level+1, key, oid)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		changed = childChanged
+		if childRight == 0 {
+			return nil, 0, changed, nil
+		}
+		// Insert the separator and new child into this node.
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(childSep, n.keys[i]) < 0 })
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = childSep
+		n.children = append(n.children, 0)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = childRight
+		if n.size() <= nodeCapacity {
+			return nil, 0, changed, t.writeNode(n)
+		}
+		return t.splitInternal(n)
+	}
+
+	// Leaf: add oid to the key's entry.
+	i, found := n.find(key)
+	if found {
+		e := &n.entries[i]
+		grew, err := t.addToEntry(e, oid)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if !grew {
+			return nil, 0, false, nil // duplicate (key, oid): nothing to do
+		}
+	} else {
+		e := leafEntry{key: append([]byte(nil), key...), oids: []uint64{oid}, count: 1}
+		n.entries = append(n.entries, leafEntry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		t.nkeys++
+		changed = true
+	}
+	// Keep entries within the size bound by spilling to overflow pages.
+	if n.entries[i].overflow == 0 && n.entries[i].size() > entryMax {
+		if err := t.spillEntry(&n.entries[i]); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	if n.size() <= nodeCapacity {
+		return nil, 0, changed, t.writeNode(n)
+	}
+	sep, right, err = t.splitLeaf(n)
+	return sep, right, true, err
+}
+
+// addToEntry inserts oid into the entry's postings, reporting whether the
+// postings actually grew.
+func (t *Tree) addToEntry(e *leafEntry, oid uint64) (bool, error) {
+	if e.overflow != 0 {
+		// Check for duplicates, then push onto the head page.
+		oids, err := t.entryPostings(e)
+		if err != nil {
+			return false, err
+		}
+		i := sort.Search(len(oids), func(i int) bool { return oids[i] >= oid })
+		if i < len(oids) && oids[i] == oid {
+			return false, nil
+		}
+		if err := t.overflowPush(e, oid); err != nil {
+			return false, err
+		}
+		e.count++
+		return true, nil
+	}
+	i := sort.Search(len(e.oids), func(i int) bool { return e.oids[i] >= oid })
+	if i < len(e.oids) && e.oids[i] == oid {
+		return false, nil
+	}
+	e.oids = append(e.oids, 0)
+	copy(e.oids[i+1:], e.oids[i:])
+	e.oids[i] = oid
+	e.count++
+	return true, nil
+}
+
+// spillEntry moves an inline postings list onto overflow pages.
+func (t *Tree) spillEntry(e *leafEntry) error {
+	oids := e.oids
+	e.oids = nil
+	e.overflow = 0
+	e.count = 0
+	for _, oid := range oids {
+		if err := t.overflowPush(e, oid); err != nil {
+			return err
+		}
+		e.count++
+	}
+	return nil
+}
+
+// overflowPush appends one OID to the entry's overflow chain, allocating
+// a new head page when the current head is full (O(1) page accesses).
+func (t *Tree) overflowPush(e *leafEntry, oid uint64) error {
+	buf := make([]byte, pagestore.PageSize)
+	if e.overflow != 0 {
+		if err := t.file.ReadPage(e.overflow, buf); err != nil {
+			return fmt.Errorf("btree: read overflow head: %w", err)
+		}
+		cnt := int(binary.LittleEndian.Uint16(buf[1:3]))
+		if cnt < overflowPerPage {
+			binary.LittleEndian.PutUint64(buf[overflowHeader+8*cnt:], oid)
+			binary.LittleEndian.PutUint16(buf[1:3], uint16(cnt+1))
+			return t.file.WritePage(e.overflow, buf)
+		}
+	}
+	id, err := t.file.Allocate()
+	if err != nil {
+		return fmt.Errorf("btree: %w", err)
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = typeOverflow
+	binary.LittleEndian.PutUint16(buf[1:3], 1)
+	binary.LittleEndian.PutUint32(buf[3:7], uint32(e.overflow))
+	binary.LittleEndian.PutUint64(buf[overflowHeader:], oid)
+	if err := t.file.WritePage(id, buf); err != nil {
+		return err
+	}
+	e.overflow = id
+	return nil
+}
+
+// splitLeaf splits n into two leaves and returns the separator (the first
+// key of the right leaf) and the right leaf's page id.
+func (t *Tree) splitLeaf(n *node) ([]byte, pagestore.PageID, error) {
+	split := splitPoint(len(n.entries), func(i int) int { return n.entries[i].size() })
+	rightID, err := t.file.Allocate()
+	if err != nil {
+		return nil, 0, fmt.Errorf("btree: %w", err)
+	}
+	right := &node{
+		id:      rightID,
+		leaf:    true,
+		entries: append([]leafEntry(nil), n.entries[split:]...),
+		next:    n.next,
+	}
+	n.entries = n.entries[:split]
+	n.next = rightID
+	if err := t.writeNode(right); err != nil {
+		return nil, 0, err
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, 0, err
+	}
+	return right.entries[0].key, rightID, nil
+}
+
+// splitInternal splits internal node n; the middle key moves up as the
+// separator (it does not stay in either half).
+func (t *Tree) splitInternal(n *node) ([]byte, pagestore.PageID, bool, error) {
+	mid := splitPoint(len(n.keys), func(i int) int { return internalEntrySize(n.keys[i]) })
+	if mid >= len(n.keys) {
+		mid = len(n.keys) - 1
+	}
+	if mid < 1 {
+		mid = 1
+	}
+	sep := n.keys[mid]
+	rightID, err := t.file.Allocate()
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("btree: %w", err)
+	}
+	right := &node{
+		id:       rightID,
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]pagestore.PageID(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.writeNode(right); err != nil {
+		return nil, 0, false, err
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, 0, false, err
+	}
+	return sep, rightID, true, nil
+}
+
+// splitPoint picks the split index whose two halves are most balanced by
+// cumulative size subject to both fitting a node. Because every entry is
+// bounded by entryMax = nodeCapacity/2, at least one valid split always
+// exists for an overflowing node.
+func splitPoint(n int, sz func(int) int) int {
+	sizes := make([]int, n)
+	total := 0
+	for i := range sizes {
+		sizes[i] = sz(i)
+		total += sizes[i]
+	}
+	best, bestDiff := -1, int(^uint(0)>>1)
+	prefix := 0
+	for i := 0; i < n-1; i++ {
+		prefix += sizes[i]
+		if prefix > nodeCapacity {
+			break
+		}
+		suffix := total - prefix
+		if suffix > nodeCapacity {
+			continue
+		}
+		diff := prefix - suffix
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			best, bestDiff = i+1, diff
+		}
+	}
+	if best == -1 {
+		return n / 2 // unreachable while entries respect entryMax
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+
+// Delete removes oid from key's postings. Removing the last OID removes
+// the key. Deleting a missing pair is a no-op. Empty overflow chains are
+// abandoned (space is not reclaimed), consistent with the paper's
+// tombstone-style deletion model.
+func (t *Tree) Delete(key []byte, oid uint64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	n, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	i, found := n.find(key)
+	if !found {
+		return nil
+	}
+	e := &n.entries[i]
+	if e.overflow != 0 {
+		oids, err := t.entryPostings(e)
+		if err != nil {
+			return err
+		}
+		j := sort.Search(len(oids), func(i int) bool { return oids[i] >= oid })
+		if j >= len(oids) || oids[j] != oid {
+			return nil
+		}
+		oids = append(oids[:j], oids[j+1:]...)
+		// Rewrite the chain compactly (or inline if it shrank enough).
+		e.overflow = 0
+		e.oids = oids
+		e.count = uint32(len(oids))
+		if e.size() > entryMax {
+			if err := t.spillEntry(e); err != nil {
+				return err
+			}
+		}
+	} else {
+		j := sort.Search(len(e.oids), func(i int) bool { return e.oids[i] >= oid })
+		if j >= len(e.oids) || e.oids[j] != oid {
+			return nil
+		}
+		e.oids = append(e.oids[:j], e.oids[j+1:]...)
+		e.count--
+	}
+	if e.count == 0 && e.overflow == 0 {
+		n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		t.nkeys--
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		return t.writeMeta()
+	}
+	return t.writeNode(n)
+}
+
+// ---------------------------------------------------------------------------
+// Iteration and statistics
+
+// Range calls fn for every key in [lo, hi) in ascending order with its
+// postings. A nil hi means "to the end". fn returning false stops the
+// scan.
+func (t *Tree) Range(lo, hi []byte, fn func(key []byte, oids []uint64) bool) error {
+	if lo == nil {
+		lo = []byte{0}
+	}
+	n, err := t.descend(lo)
+	if err != nil {
+		return err
+	}
+	i, _ := n.find(lo)
+	for {
+		for ; i < len(n.entries); i++ {
+			e := &n.entries[i]
+			if hi != nil && bytes.Compare(e.key, hi) >= 0 {
+				return nil
+			}
+			oids, err := t.entryPostings(e)
+			if err != nil {
+				return err
+			}
+			if !fn(e.key, oids) {
+				return nil
+			}
+		}
+		if n.next == 0 {
+			return nil
+		}
+		n, err = t.readNode(n.next)
+		if err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// PageBreakdown reports how many pages of each kind the tree uses, for
+// the storage-cost experiments: lp leaf pages, nlp internal pages, op
+// overflow pages (plus one meta page not included).
+type PageBreakdown struct {
+	Leaf, Internal, Overflow int
+}
+
+// Breakdown scans the file and classifies every page.
+func (t *Tree) Breakdown() (PageBreakdown, error) {
+	var pb PageBreakdown
+	buf := make([]byte, pagestore.PageSize)
+	for p := 1; p < t.file.NumPages(); p++ {
+		if err := t.file.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return pb, err
+		}
+		switch buf[0] {
+		case typeLeaf:
+			pb.Leaf++
+		case typeInternal:
+			pb.Internal++
+		case typeOverflow:
+			pb.Overflow++
+		default:
+			return pb, fmt.Errorf("btree: page %d has unknown type %d", p, buf[0])
+		}
+	}
+	return pb, nil
+}

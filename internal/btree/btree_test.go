@@ -1,0 +1,490 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sigfile/internal/pagestore"
+)
+
+func newTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(pagestore.NewMemFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewRequiresEmptyFile(t *testing.T) {
+	f := pagestore.NewMemFile()
+	if _, err := New(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(f); err == nil {
+		t.Fatal("New accepted non-empty file")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTree(t)
+	if tr.Height() != 1 || tr.Keys() != 0 {
+		t.Fatalf("empty tree: height=%d keys=%d", tr.Height(), tr.Keys())
+	}
+	oids, err := tr.Lookup([]byte("nothing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != 0 {
+		t.Fatalf("lookup in empty tree returned %v", oids)
+	}
+	if err := tr.Delete([]byte("nothing"), 1); err != nil {
+		t.Fatalf("delete of missing key errored: %v", err)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(nil, 1); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := tr.Insert(make([]byte, MaxKeyLen+1), 1); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if _, err := tr.Lookup([]byte{}); err == nil {
+		t.Fatal("empty key lookup accepted")
+	}
+	if err := tr.Delete([]byte{}, 1); err == nil {
+		t.Fatal("empty key delete accepted")
+	}
+}
+
+func TestInsertLookupSingle(t *testing.T) {
+	tr := newTree(t)
+	key := []byte("Baseball")
+	for _, oid := range []uint64{5, 3, 9, 3} { // 3 twice: idempotent
+		if err := tr.Insert(key, oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oids, err := tr.Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 5, 9}
+	if !equalU64(oids, want) {
+		t.Fatalf("Lookup = %v, want %v", oids, want)
+	}
+	if tr.Keys() != 1 {
+		t.Fatalf("Keys = %d, want 1", tr.Keys())
+	}
+	ok, err := tr.Contains(key, 5)
+	if err != nil || !ok {
+		t.Fatalf("Contains(5) = %v, %v", ok, err)
+	}
+	ok, _ = tr.Contains(key, 6)
+	if ok {
+		t.Fatal("Contains(6) true")
+	}
+}
+
+func TestDeletePostingsAndKeys(t *testing.T) {
+	tr := newTree(t)
+	key := []byte("k")
+	for oid := uint64(1); oid <= 5; oid++ {
+		if err := tr.Insert(key, oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Delete(key, 3); err != nil {
+		t.Fatal(err)
+	}
+	oids, _ := tr.Lookup(key)
+	if !equalU64(oids, []uint64{1, 2, 4, 5}) {
+		t.Fatalf("after delete: %v", oids)
+	}
+	// Deleting a missing OID is a no-op.
+	if err := tr.Delete(key, 99); err != nil {
+		t.Fatal(err)
+	}
+	for _, oid := range []uint64{1, 2, 4, 5} {
+		if err := tr.Delete(key, oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Keys() != 0 {
+		t.Fatalf("Keys = %d after removing all postings", tr.Keys())
+	}
+	if oids, _ := tr.Lookup(key); len(oids) != 0 {
+		t.Fatalf("key survived: %v", oids)
+	}
+}
+
+func TestManyKeysForcesSplits(t *testing.T) {
+	tr := newTree(t)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("element-%05d", i))
+		if err := tr.Insert(key, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Insert(key, uint64(i+100000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Keys() != n {
+		t.Fatalf("Keys = %d, want %d", tr.Keys(), n)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height %d; %d keys should have split the root", tr.Height(), n)
+	}
+	for _, i := range []int{0, 1, 1234, n - 1} {
+		key := []byte(fmt.Sprintf("element-%05d", i))
+		oids, err := tr.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalU64(oids, []uint64{uint64(i + 1), uint64(i + 100000)}) {
+			t.Fatalf("key %s: %v", key, oids)
+		}
+	}
+	pb, err := tr.Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Leaf == 0 || pb.Internal == 0 {
+		t.Fatalf("breakdown %+v should have both node kinds", pb)
+	}
+	if pb.Leaf+pb.Internal+pb.Overflow+1 != tr.Pages() {
+		t.Fatalf("breakdown %+v does not account for %d pages", pb, tr.Pages())
+	}
+}
+
+func TestLookupCostMatchesHeight(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 5000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("element-%05d", i)), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Stats().Reset()
+	if _, err := tr.Lookup([]byte("element-02500")); err != nil {
+		t.Fatal(err)
+	}
+	// Inline postings: a lookup reads exactly one page per level — the
+	// paper's rc = height + 1 with their height convention (levels above
+	// the leaves), i.e. our Height() levels in total.
+	if got := tr.Stats().Reads(); got != int64(tr.Height()) {
+		t.Fatalf("lookup cost %d reads, want height %d", got, tr.Height())
+	}
+}
+
+func TestOverflowChains(t *testing.T) {
+	tr := newTree(t)
+	key := []byte("hot")
+	const n = 3000 // ≫ inline capacity, forces overflow chain
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(key, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oids, err := tr.Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oids) != n {
+		t.Fatalf("overflow postings: %d, want %d", len(oids), n)
+	}
+	for i, oid := range oids {
+		if oid != uint64(i+1) {
+			t.Fatalf("postings not sorted/complete at %d: %d", i, oid)
+		}
+	}
+	pb, err := tr.Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Overflow == 0 {
+		t.Fatal("no overflow pages for 3000 postings")
+	}
+	// Duplicate insert into overflow is still idempotent.
+	if err := tr.Insert(key, 17); err != nil {
+		t.Fatal(err)
+	}
+	oids, _ = tr.Lookup(key)
+	if len(oids) != n {
+		t.Fatalf("duplicate insert grew postings to %d", len(oids))
+	}
+	// Delete from overflow.
+	if err := tr.Delete(key, 17); err != nil {
+		t.Fatal(err)
+	}
+	oids, _ = tr.Lookup(key)
+	if len(oids) != n-1 {
+		t.Fatalf("delete from overflow: %d", len(oids))
+	}
+	for _, oid := range oids {
+		if oid == 17 {
+			t.Fatal("oid 17 survived delete")
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%03d", i)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.Range([]byte("k010"), []byte("k020"), func(key []byte, oids []uint64) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != "k010" || got[9] != "k019" {
+		t.Fatalf("Range = %v", got)
+	}
+	// Full scan.
+	count := 0
+	if err := tr.Range(nil, nil, func([]byte, []uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("full Range saw %d keys", count)
+	}
+	// Early stop.
+	count = 0
+	tr.Range(nil, nil, func([]byte, []uint64) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop saw %d keys", count)
+	}
+}
+
+func TestOpenPersistedTree(t *testing.T) {
+	f := pagestore.NewMemFile()
+	tr, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("key-%04d", i)), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr2, err := Open(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Keys() != tr.Keys() || tr2.Height() != tr.Height() {
+		t.Fatalf("reopened: keys=%d height=%d, want %d/%d", tr2.Keys(), tr2.Height(), tr.Keys(), tr.Height())
+	}
+	oids, err := tr2.Lookup([]byte("key-1500"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU64(oids, []uint64{1501}) {
+		t.Fatalf("reopened lookup: %v", oids)
+	}
+	// Open on an empty file bootstraps a new tree.
+	tr3, err := Open(pagestore.NewMemFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3.Keys() != 0 {
+		t.Fatal("Open on empty file not fresh")
+	}
+	// Open on garbage fails.
+	g := pagestore.NewMemFile()
+	g.Allocate()
+	buf := make([]byte, pagestore.PageSize)
+	buf[0] = 0xff
+	g.WritePage(0, buf)
+	if _, err := Open(g); err == nil {
+		t.Fatal("Open accepted garbage meta page")
+	}
+}
+
+func TestIOErrorPropagation(t *testing.T) {
+	ff := pagestore.NewFaultFile(pagestore.NewMemFile())
+	tr, err := New(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%02d", i)), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ff.FailReadAfter(0)
+	if _, err := tr.Lookup([]byte("k50")); err == nil {
+		t.Fatal("Lookup swallowed read fault")
+	}
+	ff.FailWriteAfter(0)
+	if err := tr.Insert([]byte("k50"), 12345); err == nil {
+		t.Fatal("Insert swallowed write fault")
+	}
+}
+
+// Property: the tree behaves like map[string]set[uint64] under random
+// insert/delete/lookup sequences, including keys large enough to force
+// entry spills.
+func TestPropertyTreeActsLikePostingsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, err := New(pagestore.NewMemFile())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		model := map[string]map[uint64]bool{}
+		keys := make([]string, 30)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key-%02d", i)
+		}
+		for step := 0; step < 400; step++ {
+			key := keys[rng.Intn(len(keys))]
+			oid := uint64(rng.Intn(200) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				if err := tr.Insert([]byte(key), oid); err != nil {
+					return false
+				}
+				if model[key] == nil {
+					model[key] = map[uint64]bool{}
+				}
+				model[key][oid] = true
+			case 1:
+				if err := tr.Delete([]byte(key), oid); err != nil {
+					return false
+				}
+				if model[key] != nil {
+					delete(model[key], oid)
+					if len(model[key]) == 0 {
+						delete(model, key)
+					}
+				}
+			case 2:
+				got, err := tr.Lookup([]byte(key))
+				if err != nil {
+					return false
+				}
+				var want []uint64
+				for o := range model[key] {
+					want = append(want, o)
+				}
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if !equalU64(got, want) {
+					return false
+				}
+			}
+		}
+		if tr.Keys() != len(model) {
+			return false
+		}
+		// Final verification of every key via Range.
+		seen := map[string][]uint64{}
+		if err := tr.Range(nil, nil, func(k []byte, oids []uint64) bool {
+			seen[string(k)] = oids
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(seen) != len(model) {
+			return false
+		}
+		for k, oset := range model {
+			var want []uint64
+			for o := range oset {
+				want = append(want, o)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if !equalU64(seen[k], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: keys come back from Range in strictly ascending order no
+// matter the insertion order.
+func TestPropertyRangeOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, err := New(pagestore.NewMemFile())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			key := make([]byte, 1+rng.Intn(20))
+			rng.Read(key)
+			if err := tr.Insert(key, uint64(i+1)); err != nil {
+				return false
+			}
+		}
+		var prev []byte
+		ok := true
+		tr.Range(nil, nil, func(k []byte, _ []uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				ok = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr, err := New(pagestore.NewMemFile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert([]byte(fmt.Sprintf("element-%07d", i%100000)), uint64(i+1))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr, err := New(pagestore.NewMemFile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		tr.Insert([]byte(fmt.Sprintf("element-%07d", i)), uint64(i+1))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup([]byte(fmt.Sprintf("element-%07d", i%50000)))
+	}
+}

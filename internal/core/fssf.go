@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sigfile/internal/bitset"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// FSSF is the frame-sliced signature file, an extension beyond the
+// paper's two organizations (§3.1 notes "a number of choices in physical
+// signature file organizations"; frame slicing is the classical third
+// point in that design space). The F = K·S signature bits are split into
+// K frames of S bits; each element hashes into one frame; frame j of
+// every signature is stored row-wise in frame file j.
+//
+// Costs sit between SSF and BSSF:
+//
+//	T ⊇ Q reads only the frames the query elements hash to
+//	  (≈ K·(1−(1−1/K)^Dq) frame files, each ⌈N·S/(P·b)⌉ pages);
+//	T ⊆ Q must read every frame (like SSF's full scan);
+//	insertion writes one page per frame touched by the object
+//	  (≤ min(Dt, K) + 1, far below BSSF's m_t + 1).
+type FSSF struct {
+	scheme *signature.FrameScheme
+	src    SetSource
+	frames []pagestore.File
+	oid    *oidFile
+	count  int
+
+	recBytes    int // bytes per frame record (⌈S/8⌉)
+	recsPerPage int
+	tails       [][]byte
+}
+
+// NewFSSF creates (or reopens) a frame-sliced signature file in store
+// using files "fssf.frame.<j>" and "fssf.oid".
+func NewFSSF(scheme *signature.FrameScheme, src SetSource, store pagestore.Store) (*FSSF, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("core: FSSF needs a frame scheme")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: FSSF needs a SetSource for drop resolution")
+	}
+	if store == nil {
+		store = pagestore.NewMemStore()
+	}
+	recBytes := bitset.ByteLen(scheme.S())
+	f := &FSSF{
+		scheme:      scheme,
+		src:         src,
+		recBytes:    recBytes,
+		recsPerPage: pagestore.PageSize / recBytes,
+	}
+	if f.recsPerPage == 0 {
+		return nil, fmt.Errorf("core: frame size S=%d (%d bytes) exceeds page size", scheme.S(), recBytes)
+	}
+	f.frames = make([]pagestore.File, scheme.K())
+	f.tails = make([][]byte, scheme.K())
+	for j := range f.frames {
+		file, err := store.Open(fmt.Sprintf("fssf.frame.%04d", j))
+		if err != nil {
+			return nil, fmt.Errorf("core: open frame %d: %w", j, err)
+		}
+		f.frames[j] = file
+		f.tails[j] = make([]byte, pagestore.PageSize)
+		if np := file.NumPages(); np > 0 {
+			if err := file.ReadPage(pagestore.PageID(np-1), f.tails[j]); err != nil {
+				return nil, fmt.Errorf("core: recover frame %d tail: %w", j, err)
+			}
+		}
+	}
+	oidF, err := store.Open("fssf.oid")
+	if err != nil {
+		return nil, fmt.Errorf("core: open oid file: %w", err)
+	}
+	if f.oid, err = newOIDFile(oidF); err != nil {
+		return nil, err
+	}
+	f.count = f.oid.n
+	return f, nil
+}
+
+// Name implements AccessMethod.
+func (f *FSSF) Name() string { return "FSSF" }
+
+// Count implements AccessMethod.
+func (f *FSSF) Count() int { return f.oid.live }
+
+// Scheme returns the frame scheme in use.
+func (f *FSSF) Scheme() *signature.FrameScheme { return f.scheme }
+
+// FramePages returns the storage cost of one frame file in pages.
+func (f *FSSF) FramePages() int {
+	if len(f.frames) == 0 {
+		return 0
+	}
+	return f.frames[0].NumPages()
+}
+
+// OIDPages returns SC_OID.
+func (f *FSSF) OIDPages() int { return f.oid.pages() }
+
+// StoragePages implements AccessMethod.
+func (f *FSSF) StoragePages() int {
+	n := f.oid.pages()
+	for _, file := range f.frames {
+		n += file.NumPages()
+	}
+	return n
+}
+
+// Insert implements AccessMethod. Cost: one page write per frame the
+// object's elements hash to, plus one OID-file write.
+func (f *FSSF) Insert(oid uint64, elems []string) error {
+	sig := f.scheme.SetSignature(dedup(elems))
+	idx := f.count
+	slot := idx % f.recsPerPage
+	if slot == 0 {
+		for j, file := range f.frames {
+			if _, err := file.Allocate(); err != nil {
+				return fmt.Errorf("core: extend frame %d: %w", j, err)
+			}
+			for i := range f.tails[j] {
+				f.tails[j][i] = 0
+			}
+		}
+	}
+	page := pagestore.PageID(idx / f.recsPerPage)
+	for _, j := range sig.TouchedFrames() {
+		sig.Frame(j).MarshalBinaryTo(f.tails[j][slot*f.recBytes:])
+		if err := f.frames[j].WritePage(page, f.tails[j]); err != nil {
+			return fmt.Errorf("core: write frame %d: %w", j, err)
+		}
+	}
+	if _, err := f.oid.append(oid); err != nil {
+		return err
+	}
+	f.count++
+	return nil
+}
+
+// Delete implements AccessMethod: tombstones the OID entry, like the
+// other signature files.
+func (f *FSSF) Delete(oid uint64, _ []string) error {
+	found, err := f.oid.delete(oid)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("core: FSSF delete: OID %d not present", oid)
+	}
+	return nil
+}
+
+// scanFrame reads frame file j over all count records, invoking fn with
+// each record's index and content. The record bitset is reused between
+// calls; fn must not retain it.
+func (f *FSSF) scanFrame(j int, stats *SearchStats, fn func(idx int, rec *bitset.BitSet)) error {
+	buf := make([]byte, pagestore.PageSize)
+	stats.SlicesRead++
+	for p := 0; p*f.recsPerPage < f.count; p++ {
+		if err := f.frames[j].ReadPage(pagestore.PageID(p), buf); err != nil {
+			return fmt.Errorf("core: read frame %d page %d: %w", j, p, err)
+		}
+		stats.IndexPages++
+		limit := f.count - p*f.recsPerPage
+		if limit > f.recsPerPage {
+			limit = f.recsPerPage
+		}
+		for i := 0; i < limit; i++ {
+			rec, err := bitset.UnmarshalBinary(f.scheme.S(), buf[i*f.recBytes:(i+1)*f.recBytes])
+			if err != nil {
+				return fmt.Errorf("core: frame %d page %d slot %d: %w", j, p, i, err)
+			}
+			fn(p*f.recsPerPage+i, rec)
+		}
+	}
+	return nil
+}
+
+// Search implements AccessMethod.
+func (f *FSSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	if !pred.Valid() {
+		return nil, fmt.Errorf("core: invalid predicate")
+	}
+	query = dedup(query)
+	probe := probeElements(query, opts, pred)
+	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+
+	var candidateBits *bitset.BitSet
+	var err error
+	switch pred {
+	case signature.Superset, signature.Contains:
+		candidateBits, err = f.supersetCandidates(probe, &stats)
+	case signature.Subset:
+		candidateBits, err = f.subsetCandidates(query, &stats)
+	case signature.Overlap:
+		candidateBits, err = f.overlapCandidates(query, &stats)
+	case signature.Equals:
+		candidateBits, err = f.equalsCandidates(query, &stats)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	candidates, oidPages, err := f.oid.getMany(candidateBits.Ones())
+	if err != nil {
+		return nil, err
+	}
+	stats.OIDPages = oidPages
+	results, err := verifyCandidates(f.src, pred, query, candidates, &stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// supersetCandidates reads only the frames the probe elements hash to:
+// a target qualifies if, in every touched frame, its frame content
+// covers the union of the probe elements' bits there.
+func (f *FSSF) supersetCandidates(probe []string, stats *SearchStats) (*bitset.BitSet, error) {
+	need := make(map[int]*bitset.BitSet)
+	for _, e := range probe {
+		frame, bits := f.scheme.ElementFrame([]byte(e))
+		if need[frame] == nil {
+			need[frame] = bitset.New(f.scheme.S())
+		}
+		for _, b := range bits {
+			need[frame].Set(b)
+		}
+	}
+	acc := bitset.New(f.count)
+	acc.Fill()
+	for _, j := range sortedKeys(need) {
+		want := need[j]
+		err := f.scanFrame(j, stats, func(idx int, rec *bitset.BitSet) {
+			if !rec.ContainsAll(want) {
+				acc.Clear(idx)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// subsetCandidates reads every frame: a target qualifies if each of its
+// frame contents is contained in the query's.
+func (f *FSSF) subsetCandidates(query []string, stats *SearchStats) (*bitset.BitSet, error) {
+	qsig := f.scheme.SetSignature(query)
+	acc := bitset.New(f.count)
+	acc.Fill()
+	empty := bitset.New(f.scheme.S())
+	for j := 0; j < f.scheme.K(); j++ {
+		qf := qsig.Frame(j)
+		if qf == nil {
+			qf = empty
+		}
+		err := f.scanFrame(j, stats, func(idx int, rec *bitset.BitSet) {
+			if !rec.SubsetOf(qf) {
+				acc.Clear(idx)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// overlapCandidates marks targets whose frame contains all bits of at
+// least one query element — a finer filter than bit-level intersection.
+func (f *FSSF) overlapCandidates(query []string, stats *SearchStats) (*bitset.BitSet, error) {
+	perFrame := make(map[int][]*bitset.BitSet)
+	for _, e := range query {
+		frame, bits := f.scheme.ElementFrame([]byte(e))
+		eb := bitset.New(f.scheme.S())
+		for _, b := range bits {
+			eb.Set(b)
+		}
+		perFrame[frame] = append(perFrame[frame], eb)
+	}
+	acc := bitset.New(f.count)
+	for _, j := range sortedKeys(perFrame) {
+		elems := perFrame[j]
+		err := f.scanFrame(j, stats, func(idx int, rec *bitset.BitSet) {
+			for _, eb := range elems {
+				if rec.ContainsAll(eb) {
+					acc.Set(idx)
+					return
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// equalsCandidates reads every frame: the target's frame content must
+// equal the query signature's in each frame.
+func (f *FSSF) equalsCandidates(query []string, stats *SearchStats) (*bitset.BitSet, error) {
+	qsig := f.scheme.SetSignature(query)
+	acc := bitset.New(f.count)
+	acc.Fill()
+	empty := bitset.New(f.scheme.S())
+	for j := 0; j < f.scheme.K(); j++ {
+		qf := qsig.Frame(j)
+		if qf == nil {
+			qf = empty
+		}
+		err := f.scanFrame(j, stats, func(idx int, rec *bitset.BitSet) {
+			if !rec.Equal(qf) {
+				acc.Clear(idx)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+var _ AccessMethod = (*FSSF)(nil)

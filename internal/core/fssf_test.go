@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+func newFSSFFixture(t testing.TB, n, dt, v int, seed int64) (*FSSF, map[uint64][]string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	universe := make([]string, v)
+	for i := range universe {
+		universe[i] = fmt.Sprintf("elem-%05d", i)
+	}
+	sets := make(map[uint64][]string, n)
+	for oid := uint64(1); oid <= uint64(n); oid++ {
+		perm := rng.Perm(v)[:dt]
+		set := make([]string, dt)
+		for i, j := range perm {
+			set[i] = universe[j]
+		}
+		sets[oid] = set
+	}
+	fssf, err := NewFSSF(signature.MustFrameScheme(8, 16, 3), MapSource(sets), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid := uint64(1); oid <= uint64(n); oid++ {
+		if err := fssf.Insert(oid, sets[oid]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fssf, sets
+}
+
+func TestFSSFConstructorValidation(t *testing.T) {
+	src := MapSource{}
+	if _, err := NewFSSF(nil, src, nil); err == nil {
+		t.Fatal("nil scheme accepted")
+	}
+	if _, err := NewFSSF(signature.MustFrameScheme(4, 16, 2), nil, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	big, err := signature.NewFrameScheme(2, pagestore.PageSize*8+8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFSSF(big, src, nil); err == nil {
+		t.Fatal("frame wider than a page accepted")
+	}
+}
+
+func TestFSSFMatchesBruteForce(t *testing.T) {
+	fssf, sets := newFSSFFixture(t, 300, 6, 60, 21)
+	rng := rand.New(rand.NewSource(22))
+	universe := make([]string, 60)
+	for i := range universe {
+		universe[i] = fmt.Sprintf("elem-%05d", i)
+	}
+	for trial := 0; trial < 20; trial++ {
+		var query []string
+		switch trial % 3 {
+		case 0:
+			for _, j := range rng.Perm(60)[:1+rng.Intn(4)] {
+				query = append(query, universe[j])
+			}
+		case 1:
+			for _, j := range rng.Perm(60)[:10+rng.Intn(30)] {
+				query = append(query, universe[j])
+			}
+		case 2:
+			oid := uint64(1 + rng.Intn(300))
+			query = append(query, sets[oid]...)
+		}
+		for _, pred := range allPredicates {
+			q := query
+			if pred == signature.Contains {
+				q = query[:1]
+			}
+			want := bruteForce(sets, pred, q)
+			res, err := fssf.Search(pred, q, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", pred, err)
+			}
+			if !sameOIDs(res.OIDs, want) {
+				t.Fatalf("%v query=%v: got %v want %v", pred, q, res.OIDs, want)
+			}
+		}
+	}
+}
+
+func TestFSSFSupersetReadsOnlyTouchedFrames(t *testing.T) {
+	fssf, _ := newFSSFFixture(t, 500, 6, 60, 23)
+	res, err := fssf.Search(signature.Superset, []string{"elem-00001"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-element query touches exactly one frame.
+	if res.Stats.SlicesRead != 1 {
+		t.Fatalf("frames read %d, want 1", res.Stats.SlicesRead)
+	}
+	// A subset query must scan all K frames.
+	res, err = fssf.Search(signature.Subset, []string{"elem-00001", "elem-00002"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SlicesRead != fssf.Scheme().K() {
+		t.Fatalf("subset frames read %d, want K=%d", res.Stats.SlicesRead, fssf.Scheme().K())
+	}
+}
+
+func TestFSSFInsertCostIsTouchedFramesPlusOne(t *testing.T) {
+	sets := MapSource{}
+	store := pagestore.NewMemStore()
+	fssf, err := NewFSSF(signature.MustFrameScheme(16, 16, 2), sets, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := []string{"a", "b", "c", "d"}
+	sets[1] = set
+	if err := fssf.Insert(1, set); err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: count frame writes for a second insert.
+	before, _ := store.TotalStats()
+	_, w0 := store.TotalStats()
+	sets[2] = set
+	if err := fssf.Insert(2, set); err != nil {
+		t.Fatal(err)
+	}
+	_, w1 := store.TotalStats()
+	_ = before
+	sig := fssf.Scheme().SetSignature(set)
+	wantWrites := int64(len(sig.TouchedFrames()) + 1) // frames + OID file
+	if w1-w0 != wantWrites {
+		t.Fatalf("insert cost %d writes, want %d", w1-w0, wantWrites)
+	}
+}
+
+func TestFSSFDeleteAndPersistence(t *testing.T) {
+	sets := MapSource{1: {"a", "b"}, 2: {"b", "c"}, 3: {"c", "d"}}
+	store := pagestore.NewMemStore()
+	scheme := signature.MustFrameScheme(4, 16, 2)
+	fssf, err := NewFSSF(scheme, sets, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid, s := range map[uint64][]string(sets) {
+		if err := fssf.Insert(oid, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fssf.Delete(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fssf.Delete(2, nil); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	// Reopen.
+	fssf2, err := NewFSSF(scheme, sets, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fssf2.Count() != 2 {
+		t.Fatalf("reopened Count = %d", fssf2.Count())
+	}
+	res, err := fssf2.Search(signature.Superset, []string{"b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOIDs(res.OIDs, []uint64{1}) {
+		t.Fatalf("reopened search: %v", res.OIDs)
+	}
+	sets[4] = []string{"b"}
+	if err := fssf2.Insert(4, sets[4]); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = fssf2.Search(signature.Superset, []string{"b"}, nil)
+	if !sameOIDs(res.OIDs, []uint64{1, 4}) {
+		t.Fatalf("post-reopen insert: %v", res.OIDs)
+	}
+	if fssf2.StoragePages() != scheme.K()*fssf2.FramePages()+fssf2.OIDPages() {
+		t.Fatal("FSSF storage identity broken")
+	}
+	if fssf2.Name() != "FSSF" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestFSSFEmptySetAndQuery(t *testing.T) {
+	sets := map[uint64][]string{1: {"a", "b"}, 2: {}, 3: {"c"}}
+	fssf, err := NewFSSF(signature.MustFrameScheme(4, 16, 2), MapSource(sets), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid, s := range sets {
+		if err := fssf.Insert(oid, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pred := range allPredicates {
+		for _, query := range [][]string{{}, {"a"}, {"a", "b", "c"}} {
+			want := bruteForce(sets, pred, query)
+			res, err := fssf.Search(pred, query, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", pred, err)
+			}
+			if !sameOIDs(res.OIDs, want) {
+				t.Fatalf("%v query=%v: got %v want %v", pred, query, res.OIDs, want)
+			}
+		}
+	}
+}
+
+func TestFSSFSmartProbe(t *testing.T) {
+	fssf, sets := newFSSFFixture(t, 200, 8, 50, 24)
+	query := []string{"elem-00001", "elem-00002", "elem-00003", "elem-00004"}
+	want := bruteForce(sets, signature.Superset, query)
+	for k := 1; k <= 4; k++ {
+		res, err := fssf.Search(signature.Superset, query, &SearchOptions{MaxProbeElements: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameOIDs(res.OIDs, want) {
+			t.Fatalf("k=%d: wrong answer", k)
+		}
+		if res.Stats.ProbedElements != k {
+			t.Fatalf("k=%d: probed %d", k, res.Stats.ProbedElements)
+		}
+	}
+}
+
+func TestFSSFFaultPropagation(t *testing.T) {
+	sets := MapSource{1: {"a"}}
+	fs := pagestore.NewFaultStore(pagestore.NewMemStore())
+	fssf, err := NewFSSF(signature.MustFrameScheme(2, 16, 2), sets, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fssf.Insert(1, sets[1]); err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := fssf.Scheme().ElementFrame([]byte("a"))
+	fs.File(fmt.Sprintf("fssf.frame.%04d", frame)).FailReadAfter(0)
+	if _, err := fssf.Search(signature.Superset, []string{"a"}, nil); err == nil {
+		t.Fatal("search swallowed read fault")
+	}
+	if _, err := fssf.Search(signature.Predicate(99), []string{"a"}, nil); err == nil {
+		t.Fatal("invalid predicate accepted")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sigfile/internal/btree"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// NIX is the nested index (§4.3): a B⁺-tree whose leaf entries map each
+// set element value to the list of OIDs of objects whose indexed set
+// attribute contains that value — the [Ber89]-style comparison baseline.
+//
+// Query processing follows §4.3:
+//
+//	T ⊇ Q: look up every query element and intersect the OID lists (the
+//	intersection is exact, so resolution always succeeds);
+//	T ⊆ Q: look up every query element, union the OID lists, and check
+//	each candidate against the stored object (Appendix B);
+//	overlap: union (exact); equality: intersect then verify cardinality;
+//	membership: a single lookup.
+//
+// The smart strategy for T ⊇ Q (§5.1.3) probes only k query elements and
+// verifies candidates, trading lookups against candidate fetches.
+type NIX struct {
+	tree *btree.Tree
+	src  SetSource
+	// live tracks the OIDs the index covers.
+	live map[uint64]struct{}
+	// empty tracks live OIDs whose indexed set is empty: they have no
+	// postings, yet ∅ ⊆ Q makes them answers to every Subset query.
+	// (They cannot be recovered from a reopened index file — an object
+	// with no postings left no trace — so persistent deployments should
+	// not index empty sets; the signature files handle them natively.)
+	empty map[uint64]struct{}
+}
+
+// NewNIX creates (or reopens) a nested index in store using the file
+// "nix.btree".
+func NewNIX(src SetSource, store pagestore.Store) (*NIX, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: NIX needs a SetSource for candidate verification")
+	}
+	if store == nil {
+		store = pagestore.NewMemStore()
+	}
+	f, err := store.Open("nix.btree")
+	if err != nil {
+		return nil, fmt.Errorf("core: open nix file: %w", err)
+	}
+	tree, err := btree.Open(f)
+	if err != nil {
+		return nil, err
+	}
+	n := &NIX{tree: tree, src: src, live: make(map[uint64]struct{}), empty: make(map[uint64]struct{})}
+	// Recover the live-object set from the postings.
+	if err := tree.Range(nil, nil, func(_ []byte, oids []uint64) bool {
+		for _, oid := range oids {
+			n.live[oid] = struct{}{}
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Name implements AccessMethod.
+func (n *NIX) Name() string { return "NIX" }
+
+// Count implements AccessMethod.
+func (n *NIX) Count() int { return len(n.live) }
+
+// Tree exposes the underlying B⁺-tree (read-only use: height, breakdown).
+func (n *NIX) Tree() *btree.Tree { return n.tree }
+
+// StoragePages implements AccessMethod: lp + nlp (+ overflow and meta
+// pages, which the paper's model folds into the leaf estimate).
+func (n *NIX) StoragePages() int { return n.tree.Pages() }
+
+// LookupCost returns rc, the page accesses of one element lookup: the
+// tree height (nonleaf levels + leaf), matching the paper's rc = h + 1.
+func (n *NIX) LookupCost() int { return n.tree.Height() }
+
+// Insert implements AccessMethod: one B⁺-tree insertion per element,
+// D_t insertions in total (UC_I = rc·D_t).
+func (n *NIX) Insert(oid uint64, elems []string) error {
+	if oid == 0 {
+		return fmt.Errorf("core: OID 0 is reserved")
+	}
+	if _, dup := n.live[oid]; dup {
+		return fmt.Errorf("core: NIX insert: OID %d already indexed", oid)
+	}
+	deduped := dedup(elems)
+	for _, e := range deduped {
+		if err := n.tree.Insert([]byte(e), oid); err != nil {
+			return fmt.Errorf("core: NIX insert %q: %w", e, err)
+		}
+	}
+	n.live[oid] = struct{}{}
+	if len(deduped) == 0 {
+		n.empty[oid] = struct{}{}
+	}
+	return nil
+}
+
+// Delete implements AccessMethod: elems must be the indexed set value of
+// the object (D_t deletions, UC_D = rc·D_t).
+func (n *NIX) Delete(oid uint64, elems []string) error {
+	if _, ok := n.live[oid]; !ok {
+		return fmt.Errorf("core: NIX delete: OID %d not indexed", oid)
+	}
+	for _, e := range dedup(elems) {
+		if err := n.tree.Delete([]byte(e), oid); err != nil {
+			return fmt.Errorf("core: NIX delete %q: %w", e, err)
+		}
+	}
+	delete(n.live, oid)
+	delete(n.empty, oid)
+	return nil
+}
+
+// Search implements AccessMethod.
+func (n *NIX) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	if !pred.Valid() {
+		return nil, fmt.Errorf("core: invalid predicate")
+	}
+	query = dedup(query)
+	probe := probeElements(query, opts, pred)
+	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+
+	// Look up the probe elements, measuring tree page accesses.
+	r0, w0, _ := n.tree.Stats().Snapshot()
+	postings := make([][]uint64, 0, len(probe))
+	for _, e := range probe {
+		oids, err := n.tree.Lookup([]byte(e))
+		if err != nil {
+			return nil, fmt.Errorf("core: NIX lookup %q: %w", e, err)
+		}
+		postings = append(postings, oids)
+	}
+	r1, w1, _ := n.tree.Stats().Snapshot()
+	stats.IndexPages = (r1 - r0) + (w1 - w0)
+
+	var candidates []uint64
+	switch pred {
+	case signature.Superset, signature.Contains, signature.Equals:
+		// Equality candidates are supersets of the query with the right
+		// cardinality; intersection plus verification covers it.
+		if len(probe) == 0 {
+			candidates = n.allOIDs()
+		} else {
+			candidates = intersectSorted(postings)
+		}
+	case signature.Subset:
+		// Union of postings plus, when the empty set is a legal answer
+		// (∅ ⊆ Q always), the objects appearing under no element at all.
+		// Objects with empty sets have no postings, so they must be
+		// checked separately; the paper's model ignores them (every set
+		// has cardinality D_t > 0) and so do we unless they exist.
+		candidates = unionSorted(postings)
+		candidates = append(candidates, n.emptySetOIDs()...)
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	case signature.Overlap:
+		candidates = unionSorted(postings)
+	}
+
+	results, err := verifyCandidates(n.src, pred, query, candidates, &stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// allOIDs returns every indexed OID sorted (the candidate set of a
+// vacuous query).
+func (n *NIX) allOIDs() []uint64 {
+	out := make([]uint64, 0, len(n.live))
+	for oid := range n.live {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// emptySetOIDs returns live OIDs whose indexed set is empty (tracked
+// incrementally at insert/delete time).
+func (n *NIX) emptySetOIDs() []uint64 {
+	out := make([]uint64, 0, len(n.empty))
+	for oid := range n.empty {
+		out = append(out, oid)
+	}
+	return out
+}
+
+// intersectSorted intersects sorted OID lists.
+func intersectSorted(lists [][]uint64) []uint64 {
+	if len(lists) == 0 {
+		return nil
+	}
+	// Start from the shortest list to keep the working set small.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		if len(acc) == 0 {
+			return nil
+		}
+		out := acc[:0:0]
+		i, j := 0, 0
+		for i < len(acc) && j < len(l) {
+			switch {
+			case acc[i] == l[j]:
+				out = append(out, acc[i])
+				i++
+				j++
+			case acc[i] < l[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		acc = out
+	}
+	return acc
+}
+
+// unionSorted unions sorted OID lists into a sorted, deduplicated list.
+func unionSorted(lists [][]uint64) []uint64 {
+	var out []uint64
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dst := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+var _ AccessMethod = (*NIX)(nil)

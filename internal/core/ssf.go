@@ -1,0 +1,306 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sigfile/internal/bitset"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// SSF is the sequential signature file organization (§4.1): target
+// signatures stored row-wise in insertion order in a signature file, with
+// a parallel OID file mapping signature positions to OIDs.
+//
+// Retrieval scans the entire signature file — its storage cost SC_SIG is
+// the dominant term of its retrieval cost, the dilemma §5.1.1 describes.
+// Insertion appends to both files (UC_I = 2 page writes); deletion
+// tombstones the OID-file entry (UC_D ≈ SC_OID/2 reads + 1 write),
+// leaving the stale signature in place exactly as the paper assumes.
+type SSF struct {
+	scheme *signature.Scheme
+	src    SetSource
+	sig    pagestore.File
+	oid    *oidFile
+
+	sigBytes    int // bytes per signature record
+	sigsPerPage int
+	count       int // signatures appended (live + stale)
+	// tail caches the signature page being filled so appends cost one
+	// write.
+	tail     []byte
+	tailPage pagestore.PageID
+}
+
+// NewSSF creates (or reopens) a sequential signature file in store using
+// the files "ssf.sig" and "ssf.oid". src resolves OIDs during false-drop
+// resolution.
+func NewSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store) (*SSF, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("core: SSF needs a signature scheme")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: SSF needs a SetSource for drop resolution")
+	}
+	if store == nil {
+		store = pagestore.NewMemStore()
+	}
+	sigFile, err := store.Open("ssf.sig")
+	if err != nil {
+		return nil, fmt.Errorf("core: open signature file: %w", err)
+	}
+	oidF, err := store.Open("ssf.oid")
+	if err != nil {
+		return nil, fmt.Errorf("core: open oid file: %w", err)
+	}
+	o, err := newOIDFile(oidF)
+	if err != nil {
+		return nil, err
+	}
+	sigBytes := bitset.ByteLen(scheme.F())
+	s := &SSF{
+		scheme:      scheme,
+		src:         src,
+		sig:         sigFile,
+		oid:         o,
+		sigBytes:    sigBytes,
+		sigsPerPage: pagestore.PageSize / sigBytes,
+		tail:        make([]byte, pagestore.PageSize),
+	}
+	if s.sigsPerPage == 0 {
+		return nil, fmt.Errorf("core: signature width F=%d (%d bytes) exceeds page size", scheme.F(), sigBytes)
+	}
+	// Recover the signature count from the OID file (authoritative: both
+	// files are appended in lockstep) and reload the tail page.
+	s.count = o.n
+	if np := sigFile.NumPages(); np > 0 {
+		s.tailPage = pagestore.PageID(np - 1)
+		if err := sigFile.ReadPage(s.tailPage, s.tail); err != nil {
+			return nil, fmt.Errorf("core: recover SSF tail: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Name implements AccessMethod.
+func (s *SSF) Name() string { return "SSF" }
+
+// Count implements AccessMethod.
+func (s *SSF) Count() int { return s.oid.live }
+
+// Scheme returns the signature scheme in use.
+func (s *SSF) Scheme() *signature.Scheme { return s.scheme }
+
+// SignaturePages returns SC_SIG, the storage cost of the signature file.
+func (s *SSF) SignaturePages() int { return s.sig.NumPages() }
+
+// OIDPages returns SC_OID.
+func (s *SSF) OIDPages() int { return s.oid.pages() }
+
+// StoragePages implements AccessMethod: SC = SC_SIG + SC_OID.
+func (s *SSF) StoragePages() int { return s.SignaturePages() + s.OIDPages() }
+
+// Insert implements AccessMethod. Cost: one write to the signature file
+// and one to the OID file — the paper's UC_I = 2.
+func (s *SSF) Insert(oid uint64, elems []string) error {
+	sig := s.scheme.SetSignatureStrings(dedup(elems))
+	slot := s.count % s.sigsPerPage
+	if slot == 0 {
+		id, err := s.sig.Allocate()
+		if err != nil {
+			return fmt.Errorf("core: SSF insert: %w", err)
+		}
+		s.tailPage = id
+		for i := range s.tail {
+			s.tail[i] = 0
+		}
+	}
+	sig.MarshalBinaryTo(s.tail[slot*s.sigBytes:])
+	if err := s.sig.WritePage(s.tailPage, s.tail); err != nil {
+		return fmt.Errorf("core: SSF insert: %w", err)
+	}
+	s.count++
+	if _, err := s.oid.append(oid); err != nil {
+		// Keep the two files aligned: undo the signature append logically
+		// by rolling the count back (the stale slot is overwritten by the
+		// next insert).
+		s.count--
+		return err
+	}
+	return nil
+}
+
+// Delete implements AccessMethod: tombstones the OID entry; the stale
+// signature remains and any future match on it resolves to nothing.
+func (s *SSF) Delete(oid uint64, _ []string) error {
+	found, err := s.oid.delete(oid)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("core: SSF delete: OID %d not present", oid)
+	}
+	return nil
+}
+
+// Search implements AccessMethod following §4.1's three steps: form the
+// query signature, scan the signature file collecting drops, then map
+// drops through the OID file and resolve them against the objects.
+func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	if !pred.Valid() {
+		return nil, fmt.Errorf("core: invalid predicate")
+	}
+	query = dedup(query)
+	probe := probeElements(query, opts, pred)
+	qsig := s.scheme.SetSignatureStrings(probe)
+
+	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+
+	// Full scan of the signature file (SC_SIG page reads).
+	var matchIdx []int
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p*s.sigsPerPage < s.count; p++ {
+		if err := s.sig.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return nil, fmt.Errorf("core: SSF scan: %w", err)
+		}
+		stats.IndexPages++
+		limit := s.count - p*s.sigsPerPage
+		if limit > s.sigsPerPage {
+			limit = s.sigsPerPage
+		}
+		for i := 0; i < limit; i++ {
+			tsig, err := bitset.UnmarshalBinary(s.scheme.F(), buf[i*s.sigBytes:(i+1)*s.sigBytes])
+			if err != nil {
+				return nil, fmt.Errorf("core: SSF scan page %d slot %d: %w", p, i, err)
+			}
+			if signature.Matches(pred, tsig, qsig) {
+				matchIdx = append(matchIdx, p*s.sigsPerPage+i)
+			}
+		}
+	}
+
+	// OID look-up (LC_OID): indexes are produced in ascending order, so
+	// each OID page is read at most once.
+	candidates, oidPages, err := s.oid.getMany(matchIdx)
+	if err != nil {
+		return nil, err
+	}
+	stats.OIDPages = oidPages
+
+	// False drop resolution.
+	results, err := verifyCandidates(s.src, pred, query, candidates, &stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// Compact rebuilds the signature and OID files without tombstoned
+// entries, reclaiming the space deletions leave behind (an extension the
+// paper's update model leaves open). The store must be the one the SSF
+// was created with; compaction rewrites in place.
+func (s *SSF) Compact() error {
+	type rec struct {
+		oid uint64
+		sig []byte
+	}
+	var live []rec
+	buf := make([]byte, pagestore.PageSize)
+	err := s.oid.scan(func(idx int, oid uint64) error {
+		p := idx / s.sigsPerPage
+		if err := s.sig.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+		slot := idx % s.sigsPerPage
+		sig := make([]byte, s.sigBytes)
+		copy(sig, buf[slot*s.sigBytes:])
+		live = append(live, rec{oid: oid, sig: sig})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: SSF compact: %w", err)
+	}
+	// Rewrite both files from scratch. Page files cannot shrink, so we
+	// rewrite the prefix and track the logical count; the paper's storage
+	// metric uses ceil(count/sigsPerPage) which Pages() reflects only for
+	// fresh builds — Compact is for reclaiming scan cost, which depends on
+	// s.count.
+	s.count = 0
+	s.oid.n = 0
+	s.oid.live = 0
+	for i := range s.tail {
+		s.tail[i] = 0
+	}
+	// Reuse existing pages in order.
+	s.tailPage = 0
+	nextSig := 0
+	for _, r := range live {
+		slot := s.count % s.sigsPerPage
+		if slot == 0 {
+			if nextSig < s.sig.NumPages() {
+				s.tailPage = pagestore.PageID(nextSig)
+			} else {
+				id, err := s.sig.Allocate()
+				if err != nil {
+					return err
+				}
+				s.tailPage = id
+			}
+			nextSig++
+			for i := range s.tail {
+				s.tail[i] = 0
+			}
+		}
+		copy(s.tail[slot*s.sigBytes:], r.sig)
+		if err := s.sig.WritePage(s.tailPage, s.tail); err != nil {
+			return err
+		}
+		s.count++
+	}
+	// Rebuild the OID file the same way.
+	s.oid.tailPage = 0
+	nextOID := 0
+	for i := range s.oid.tail {
+		s.oid.tail[i] = 0
+	}
+	for _, r := range live {
+		slot := s.oid.n % oidsPerPage
+		if slot == 0 {
+			if nextOID < s.oid.file.NumPages() {
+				s.oid.tailPage = pagestore.PageID(nextOID)
+			} else {
+				id, err := s.oid.file.Allocate()
+				if err != nil {
+					return err
+				}
+				s.oid.tailPage = id
+			}
+			nextOID++
+			for i := range s.oid.tail {
+				s.oid.tail[i] = 0
+			}
+		}
+		putOID(s.oid.tail, slot, r.oid)
+		if err := s.oid.file.WritePage(s.oid.tailPage, s.oid.tail); err != nil {
+			return err
+		}
+		s.oid.n++
+		s.oid.live++
+	}
+	// Zero any now-unused trailing OID pages so recovery sees the right
+	// count.
+	zero := make([]byte, pagestore.PageSize)
+	for p := nextOID; p < s.oid.file.NumPages(); p++ {
+		if err := s.oid.file.WritePage(pagestore.PageID(p), zero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func putOID(page []byte, slot int, oid uint64) {
+	binary.LittleEndian.PutUint64(page[slot*8:], oid)
+}
+
+var _ AccessMethod = (*SSF)(nil)

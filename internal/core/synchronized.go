@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+
+	"sigfile/internal/signature"
+)
+
+// Synchronized wraps an AccessMethod with a readers-writer lock so it can
+// be shared across goroutines: searches run concurrently, updates
+// exclusively. The underlying facilities are deliberately single-writer
+// (the paper's model has no concurrency dimension); this wrapper is the
+// deployment-facing convenience.
+//
+// Search mutates no index state and so takes the read lock; callers must
+// not bypass the wrapper once it is in use. One caveat: NIX attributes
+// tree page reads to a search by diffing the shared page counters, so
+// under concurrent searches the IndexPages of individual results can
+// swap between them (their sum stays correct); answers are unaffected.
+type Synchronized struct {
+	mu sync.RWMutex
+	am AccessMethod
+}
+
+// Synchronize wraps am. Wrapping an already-synchronized method returns
+// it unchanged.
+func Synchronize(am AccessMethod) *Synchronized {
+	if s, ok := am.(*Synchronized); ok {
+		return s
+	}
+	return &Synchronized{am: am}
+}
+
+// Unwrap returns the underlying access method. Use only when no other
+// goroutine can touch the wrapper.
+func (s *Synchronized) Unwrap() AccessMethod { return s.am }
+
+// Name implements AccessMethod.
+func (s *Synchronized) Name() string { return s.am.Name() }
+
+// Insert implements AccessMethod (exclusive).
+func (s *Synchronized) Insert(oid uint64, elems []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.am.Insert(oid, elems)
+}
+
+// Delete implements AccessMethod (exclusive).
+func (s *Synchronized) Delete(oid uint64, elems []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.am.Delete(oid, elems)
+}
+
+// Search implements AccessMethod (shared).
+func (s *Synchronized) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.am.Search(pred, query, opts)
+}
+
+// StoragePages implements AccessMethod (shared).
+func (s *Synchronized) StoragePages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.am.StoragePages()
+}
+
+// Count implements AccessMethod (shared).
+func (s *Synchronized) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.am.Count()
+}
+
+var _ AccessMethod = (*Synchronized)(nil)

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sigfile/internal/signature"
+)
+
+func TestSynchronizeIdempotent(t *testing.T) {
+	scheme := signature.MustNew(64, 2)
+	ssf, err := NewSSF(scheme, MapSource{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Synchronize(ssf)
+	if Synchronize(s) != s {
+		t.Fatal("double wrap created a new wrapper")
+	}
+	if s.Unwrap() != AccessMethod(ssf) {
+		t.Fatal("Unwrap lost the inner method")
+	}
+	if s.Name() != "SSF" {
+		t.Fatal("Name not forwarded")
+	}
+}
+
+// TestSynchronizedConcurrentUse hammers a wrapped facility with
+// concurrent searches while a writer inserts and deletes, then verifies
+// the final state against brute force. (Run with -race to check memory
+// safety; the test itself checks linearizable end state.)
+func TestSynchronizedConcurrentUse(t *testing.T) {
+	sets := make(MapSource)
+	var setsMu sync.Mutex
+	// A SetSource safe for the concurrent resolver reads.
+	src := lockedSource{m: sets, mu: &setsMu}
+
+	scheme := signature.MustNew(128, 2)
+	inner, err := NewBSSF(scheme, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := Synchronize(inner)
+
+	// Seed data.
+	for oid := uint64(1); oid <= 200; oid++ {
+		set := []string{fmt.Sprintf("e%d", oid%17), fmt.Sprintf("e%d", oid%23)}
+		setsMu.Lock()
+		sets[oid] = set
+		setsMu.Unlock()
+		if err := am.Insert(oid, set); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Readers.
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := []string{fmt.Sprintf("e%d", (r+i)%17)}
+				if _, err := am.Search(signature.Superset, q, nil); err != nil {
+					errs <- err
+					return
+				}
+				am.Count()
+				am.StoragePages()
+			}
+		}(r)
+	}
+	// One writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for oid := uint64(201); oid <= 260; oid++ {
+			set := []string{fmt.Sprintf("e%d", oid%17)}
+			setsMu.Lock()
+			sets[oid] = set
+			setsMu.Unlock()
+			if err := am.Insert(oid, set); err != nil {
+				errs <- err
+				return
+			}
+		}
+		for oid := uint64(1); oid <= 30; oid++ {
+			if err := am.Delete(oid, nil); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if am.Count() != 230 {
+		t.Fatalf("final Count = %d, want 230", am.Count())
+	}
+	// Final answers match brute force over the surviving objects.
+	query := []string{"e3"}
+	res, err := am.Search(signature.Superset, query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]bool{}
+	setsMu.Lock()
+	for oid, set := range sets {
+		if oid <= 30 {
+			continue // deleted
+		}
+		for _, e := range set {
+			if e == "e3" {
+				want[oid] = true
+			}
+		}
+	}
+	setsMu.Unlock()
+	if len(res.OIDs) != len(want) {
+		t.Fatalf("final search: %d results, want %d", len(res.OIDs), len(want))
+	}
+	for _, oid := range res.OIDs {
+		if !want[oid] {
+			t.Fatalf("unexpected OID %d", oid)
+		}
+	}
+}
+
+// lockedSource guards a MapSource with a mutex for concurrent resolver
+// access.
+type lockedSource struct {
+	m  MapSource
+	mu *sync.Mutex
+}
+
+// Set implements SetSource.
+func (s lockedSource) Set(oid uint64) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Set(oid)
+}

@@ -1,0 +1,175 @@
+// Package costmodel implements the analytical cost model of §3–§4 of
+// "Evaluation of Signature Files as Set Access Facilities in OODBs"
+// (Ishikawa, Kitagawa, Ohbo; SIGMOD 1993), including the appendices:
+// retrieval cost RC, storage cost SC and update costs UC_I/UC_D for the
+// sequential signature file (SSF), the bit-sliced signature file (BSSF)
+// and the nested index (NIX), for the two query types T ⊇ Q and T ⊆ Q,
+// plus the smart object retrieval strategies of §5 and the optimal query
+// cardinality D_q^opt of Appendix C.
+//
+// All costs are in pages, as float64 — the paper's analysis treats m and
+// expected values as real numbers. The experiments package evaluates these
+// formulas to regenerate every figure and table and compares them against
+// the measured implementation in internal/core.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"sigfile/internal/signature"
+)
+
+// Params carries the constant parameters of Table 2 plus the signature
+// design parameters.
+type Params struct {
+	N       int     // total number of objects (paper: 32 000)
+	P       int     // disk page size in bytes (4096)
+	OIDSize int     // size of an OID in bytes (8)
+	V       int     // cardinality of the set domain (13 000)
+	Dt      float64 // cardinality of every target set (10 or 100)
+	F       int     // signature size in bits
+	M       float64 // weight of an element signature (may be fractional)
+
+	// NIX parameters (Table 4).
+	KeyLen   float64 // kl: size of a key value (8 bytes)
+	MIDLen   float64 // mid: size of the OID-count field (2 bytes)
+	Fanout   float64 // f: average fanout of a nonleaf node (218)
+	Ps, Pu   float64 // page accesses per object on successful/unsuccessful retrieval (1, 1)
+	UseExact bool    // use exact false-drop forms instead of the paper's exponential approximations
+}
+
+// Paper returns the paper's Table 2 / Table 4 constants for the given
+// target cardinality and signature design.
+func Paper(dt float64, f int, m float64) Params {
+	return Params{
+		N: 32000, P: 4096, OIDSize: 8, V: 13000,
+		Dt: dt, F: f, M: m,
+		KeyLen: 8, MIDLen: 2, Fanout: 218, Ps: 1, Pu: 1,
+	}
+}
+
+// Validate checks the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return fmt.Errorf("costmodel: N=%d must be positive", p.N)
+	case p.P <= 0 || p.OIDSize <= 0 || p.P < p.OIDSize:
+		return fmt.Errorf("costmodel: invalid page/oid sizes P=%d oid=%d", p.P, p.OIDSize)
+	case p.V <= 0:
+		return fmt.Errorf("costmodel: V=%d must be positive", p.V)
+	case p.Dt <= 0 || p.Dt > float64(p.V):
+		return fmt.Errorf("costmodel: Dt=%v must be in (0, V=%d]", p.Dt, p.V)
+	case p.F <= 0:
+		return fmt.Errorf("costmodel: F=%d must be positive", p.F)
+	case p.M <= 0 || p.M > float64(p.F):
+		return fmt.Errorf("costmodel: m=%v must be in (0, F=%d]", p.M, p.F)
+	case p.Fanout <= 1:
+		return fmt.Errorf("costmodel: fanout=%v must exceed 1", p.Fanout)
+	}
+	return nil
+}
+
+// WithOptimalM returns a copy of p with m set to m_opt = F·ln2/Dt (eq. 3).
+func (p Params) WithOptimalM() Params {
+	p.M = signature.OptimalM(float64(p.F), p.Dt)
+	return p
+}
+
+// --------------------------------------------------------------------------
+// Shared derived quantities
+
+// OP returns O_P, the number of OIDs per page (512 for the paper's
+// constants).
+func (p Params) OP() int { return p.P / p.OIDSize }
+
+// SCOID returns SC_OID = ⌈N/O_P⌉, the OID file size in pages (63).
+func (p Params) SCOID() float64 {
+	return math.Ceil(float64(p.N) / float64(p.OP()))
+}
+
+// Mq returns m_q (= m_t for D = Dt), the expected signature weight for a
+// set of cardinality d.
+func (p Params) Mq(d float64) float64 {
+	if p.UseExact {
+		return signature.ExpectedWeight(float64(p.F), p.M, d)
+	}
+	return signature.ExpectedWeightApprox(float64(p.F), p.M, d)
+}
+
+// FdSuperset returns the false-drop probability for T ⊇ Q (eq. 2).
+func (p Params) FdSuperset(dq float64) float64 {
+	if p.UseExact {
+		return signature.FalseDropSuperset(float64(p.F), p.M, p.Dt, dq)
+	}
+	return signature.FalseDropSupersetApprox(float64(p.F), p.M, p.Dt, dq)
+}
+
+// FdSubset returns the false-drop probability for T ⊆ Q (eq. 6).
+func (p Params) FdSubset(dq float64) float64 {
+	if p.UseExact {
+		return signature.FalseDropSubset(float64(p.F), p.M, p.Dt, dq)
+	}
+	return signature.FalseDropSubsetApprox(float64(p.F), p.M, p.Dt, dq)
+}
+
+// ActualDropsSuperset returns A for T ⊇ Q (§4.4): the expected number of
+// target sets containing a fixed query set of cardinality dq,
+// A = N·C(V−Dq, Dt−Dq)/C(V, Dt) = N·∏_{i<Dq}(Dt−i)/(V−i).
+func (p Params) ActualDropsSuperset(dq float64) float64 {
+	if dq > p.Dt {
+		return 0
+	}
+	a := float64(p.N)
+	for i := 0.0; i < dq; i++ {
+		a *= (p.Dt - i) / (float64(p.V) - i)
+	}
+	return a
+}
+
+// ActualDropsSubset returns A for T ⊆ Q (§4.4): the expected number of
+// target sets contained in a fixed query set of cardinality dq,
+// A = N·C(Dq, Dt)/C(V, Dt) = N·∏_{i<Dt}(Dq−i)/(V−i).
+func (p Params) ActualDropsSubset(dq float64) float64 {
+	if dq < p.Dt {
+		return 0
+	}
+	a := float64(p.N)
+	for i := 0.0; i < p.Dt; i++ {
+		a *= (dq - i) / (float64(p.V) - i)
+	}
+	return a
+}
+
+// ProbOverlap returns Pr{T ∩ Q ≠ ∅} = 1 − C(V−Dq, Dt)/C(V, Dt), used by
+// the NIX T ⊆ Q cost (Appendix B).
+func (p Params) ProbOverlap(dq float64) float64 {
+	none := 1.0
+	for i := 0.0; i < p.Dt; i++ {
+		num := float64(p.V) - dq - i
+		if num <= 0 {
+			none = 0
+			break
+		}
+		none *= num / (float64(p.V) - i)
+	}
+	return 1 - none
+}
+
+// LCOID returns the OID-file look-up cost (§4.1):
+// LC_OID = SC_OID · min(Fd·(O_P − α) + α, 1), with α = A/SC_OID.
+func (p Params) LCOID(fd, actual float64) float64 {
+	scoid := p.SCOID()
+	alpha := actual / scoid
+	perPage := fd*(float64(p.OP())-alpha) + alpha
+	if perPage > 1 {
+		perPage = 1
+	}
+	return scoid * perPage
+}
+
+// dropResolution returns the object-access cost of the false-drop
+// resolution step: P_s·A + P_u·Fd·(N − A).
+func (p Params) dropResolution(fd, actual float64) float64 {
+	return p.Ps*actual + p.Pu*fd*(float64(p.N)-actual)
+}

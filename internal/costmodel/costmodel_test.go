@@ -1,0 +1,393 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"sigfile/internal/signature"
+)
+
+// The paper prints enough concrete numbers to pin the model down. Every
+// anchor below is a value stated in the paper (Tables 5–6, the §6
+// summary, or derived parameters it quotes); the model must reproduce
+// them exactly.
+
+func TestParamsDerived(t *testing.T) {
+	p := Paper(10, 500, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.OP() != 512 {
+		t.Fatalf("O_P = %d, want 512", p.OP())
+	}
+	if p.SCOID() != 63 {
+		t.Fatalf("SC_OID = %v, want 63", p.SCOID())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{},
+		{N: 1, P: 4096, OIDSize: 8, V: 10, Dt: 0, F: 10, M: 1, Fanout: 2},
+		{N: 1, P: 4096, OIDSize: 8, V: 10, Dt: 1, F: 0, M: 1, Fanout: 2},
+		{N: 1, P: 4096, OIDSize: 8, V: 10, Dt: 1, F: 10, M: 11, Fanout: 2},
+		{N: 1, P: 4096, OIDSize: 8, V: 10, Dt: 1, F: 10, M: 1, Fanout: 1},
+		{N: 1, P: 4, OIDSize: 8, V: 10, Dt: 1, F: 10, M: 1, Fanout: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestTable5NIXStorage(t *testing.T) {
+	cases := []struct {
+		dt            float64
+		lp, nlp, sc   float64
+		d             float64 // derived average postings length
+		leafEntrySize float64
+	}{
+		{dt: 10, lp: 685, nlp: 5, sc: 690},
+		{dt: 100, lp: 6500, nlp: 31, sc: 6531},
+	}
+	for _, c := range cases {
+		p := Paper(c.dt, 500, 2)
+		if got := p.NIXLeafPages(); got != c.lp {
+			t.Errorf("Dt=%v: lp = %v, want %v", c.dt, got, c.lp)
+		}
+		if got := p.NIXNonLeafPages(); got != c.nlp {
+			t.Errorf("Dt=%v: nlp = %v, want %v", c.dt, got, c.nlp)
+		}
+		if got := p.NIXStorage(); got != c.sc {
+			t.Errorf("Dt=%v: SC = %v, want %v", c.dt, got, c.sc)
+		}
+		// Height 2 nonleaf levels → rc = 3 (§4.3).
+		if got := p.NIXLookupCost(); got != 3 {
+			t.Errorf("Dt=%v: rc = %v, want 3", c.dt, got)
+		}
+	}
+}
+
+func TestTable6Storage(t *testing.T) {
+	cases := []struct {
+		dt        float64
+		f         int
+		ssf, bssf float64
+	}{
+		{10, 250, 308, 313},
+		{10, 500, 556, 563},
+		{100, 1000, 1063, 1063},
+		{100, 2500, 2525, 2563},
+	}
+	for _, c := range cases {
+		p := Paper(c.dt, c.f, 2)
+		if got := p.SSFStorage(); got != c.ssf {
+			t.Errorf("Dt=%v F=%d: SSF SC = %v, want %v", c.dt, c.f, got, c.ssf)
+		}
+		if got := p.BSSFStorage(); got != c.bssf {
+			t.Errorf("Dt=%v F=%d: BSSF SC = %v, want %v", c.dt, c.f, got, c.bssf)
+		}
+	}
+	// §6 storage ratios: SSF/NIX ≈ 45% and 80% for Dt=10, ≈16% and 38%
+	// for Dt=100.
+	ratios := []struct {
+		dt   float64
+		f    int
+		want float64
+	}{
+		{10, 250, 0.45}, {10, 500, 0.80}, {100, 1000, 0.16}, {100, 2500, 0.38},
+	}
+	for _, r := range ratios {
+		p := Paper(r.dt, r.f, 2)
+		got := p.SSFStorage() / p.NIXStorage()
+		if math.Abs(got-r.want) > 0.012 {
+			t.Errorf("Dt=%v F=%d: SSF/NIX = %.3f, want ≈ %.2f", r.dt, r.f, got, r.want)
+		}
+	}
+}
+
+func TestTable7UpdateCosts(t *testing.T) {
+	for _, c := range []struct {
+		dt float64
+		f  int
+	}{{10, 250}, {10, 500}, {100, 1000}, {100, 2500}} {
+		p := Paper(c.dt, c.f, 2)
+		if p.SSFInsertCost() != 2 {
+			t.Error("SSF UC_I != 2")
+		}
+		if p.SSFDeleteCost() != 31.5 {
+			t.Errorf("SSF UC_D = %v, want 31.5", p.SSFDeleteCost())
+		}
+		if p.BSSFInsertCost() != float64(c.f)+1 {
+			t.Errorf("BSSF UC_I = %v, want %d", p.BSSFInsertCost(), c.f+1)
+		}
+		if p.BSSFDeleteCost() != 31.5 {
+			t.Errorf("BSSF UC_D = %v, want 31.5", p.BSSFDeleteCost())
+		}
+		if p.NIXInsertCost() != 3*c.dt || p.NIXDeleteCost() != 3*c.dt {
+			t.Errorf("NIX UC = %v/%v, want %v", p.NIXInsertCost(), p.NIXDeleteCost(), 3*c.dt)
+		}
+		// Improved BSSF insertion beats the worst case by a wide margin.
+		if p.BSSFImprovedInsertCost() >= p.BSSFInsertCost()/2 {
+			t.Errorf("improved insert %v not far below worst case %v",
+				p.BSSFImprovedInsertCost(), p.BSSFInsertCost())
+		}
+	}
+}
+
+func TestActualDrops(t *testing.T) {
+	p := Paper(10, 500, 2)
+	// Dq=1: A = N·Dt/V = 32000·10/13000 ≈ 24.6.
+	if got := p.ActualDropsSuperset(1); math.Abs(got-24.615) > 0.01 {
+		t.Errorf("A_⊇(1) = %v, want ≈24.6", got)
+	}
+	// Monotone decreasing in Dq; zero beyond Dt.
+	prev := math.Inf(1)
+	for dq := 1.0; dq <= 10; dq++ {
+		a := p.ActualDropsSuperset(dq)
+		if a > prev {
+			t.Fatalf("A_⊇ not decreasing at dq=%v", dq)
+		}
+		prev = a
+	}
+	if p.ActualDropsSuperset(11) != 0 {
+		t.Error("A_⊇(Dq>Dt) should be 0")
+	}
+	// Subset: zero below Dt, increasing beyond; equals superset form at
+	// Dq=Dt.
+	if p.ActualDropsSubset(9) != 0 {
+		t.Error("A_⊆(Dq<Dt) should be 0")
+	}
+	if a10, a1000 := p.ActualDropsSubset(10), p.ActualDropsSubset(1000); a10 >= a1000 {
+		t.Errorf("A_⊆ should grow with Dq: %v vs %v", a10, a1000)
+	}
+	// "Almost negligible for probable values" (§4.4).
+	if a := p.ActualDropsSubset(100); a > 0.001 {
+		t.Errorf("A_⊆(100) = %v, expected negligible", a)
+	}
+}
+
+func TestProbOverlap(t *testing.T) {
+	p := Paper(10, 500, 2)
+	if got := p.ProbOverlap(0); got != 0 {
+		t.Errorf("overlap with empty query = %v", got)
+	}
+	if got := p.ProbOverlap(float64(p.V)); got != 1 {
+		t.Errorf("overlap with full domain = %v", got)
+	}
+	// Approximately 1 − (1 − Dq/V)^Dt for small Dq.
+	got := p.ProbOverlap(100)
+	approx := 1 - math.Pow(1-100.0/13000, 10)
+	if math.Abs(got-approx) > 0.01 {
+		t.Errorf("ProbOverlap(100) = %v, approx %v", got, approx)
+	}
+}
+
+func TestLCOIDCapsAtFullFile(t *testing.T) {
+	p := Paper(10, 500, 2)
+	// With Fd = 1 every OID page is touched: LC_OID = SC_OID.
+	if got := p.LCOID(1, 0); got != p.SCOID() {
+		t.Errorf("LCOID(1,0) = %v, want %v", got, p.SCOID())
+	}
+	// With Fd = 0 and A actual drops, cost is A pages (α per page).
+	if got := p.LCOID(0, 24.6); math.Abs(got-24.6) > 1e-9 {
+		t.Errorf("LCOID(0,24.6) = %v, want 24.6", got)
+	}
+	if p.LCOID(0, 0) != 0 {
+		t.Error("LCOID(0,0) != 0")
+	}
+}
+
+// TestFigure4Shape checks §5.1.1: with m = m_opt, both signature files
+// lose to NIX for T ⊇ Q, and SSF's cost is dominated by its storage.
+func TestFigure4Shape(t *testing.T) {
+	for _, f := range []int{250, 500} {
+		p := Paper(10, f, 0).WithOptimalM()
+		for dq := 1.0; dq <= 10; dq++ {
+			ssf := p.SSFRetrievalSuperset(dq)
+			bssf := p.BSSFRetrievalSuperset(dq)
+			nix := p.NIXRetrievalSuperset(dq)
+			if nix >= bssf || nix >= ssf {
+				t.Errorf("F=%d dq=%v: NIX (%v) should beat SSF (%v) and BSSF (%v) at m_opt",
+					f, dq, nix, ssf, bssf)
+			}
+			if ssf < p.SSFSigPages() {
+				t.Errorf("SSF RC below its own scan cost")
+			}
+		}
+	}
+}
+
+// TestFigure5Shape checks §5.1.2: with small m, BSSF becomes comparable
+// to NIX for T ⊇ Q except at Dq = 1.
+func TestFigure5Shape(t *testing.T) {
+	p := Paper(10, 500, 2)
+	// Dq = 1: NIX wins.
+	if p.NIXRetrievalSuperset(1) >= p.BSSFRetrievalSuperset(1) {
+		t.Error("at Dq=1 NIX should beat BSSF")
+	}
+	// Dq in 2..10 with the smart strategies: BSSF comparable or better.
+	for dq := 2.0; dq <= 10; dq++ {
+		bssf, _ := p.BSSFSmartSuperset(dq)
+		nix, _ := p.NIXSmartSuperset(dq)
+		if bssf > nix*1.15 {
+			t.Errorf("dq=%v: smart BSSF %v not comparable to smart NIX %v", dq, bssf, nix)
+		}
+	}
+}
+
+// TestSmartSupersetConstantTail checks §5.1.3: under the smart strategy
+// the cost is constant once dq exceeds the optimal probe size.
+func TestSmartSupersetConstantTail(t *testing.T) {
+	p := Paper(10, 250, 2)
+	cost3, _ := p.BSSFSmartSuperset(3)
+	cost10, _ := p.BSSFSmartSuperset(10)
+	if math.Abs(cost3-cost10) > 1e-9 {
+		t.Errorf("smart BSSF cost not constant: %v vs %v", cost3, cost10)
+	}
+	n3, _ := p.NIXSmartSuperset(3)
+	n10, _ := p.NIXSmartSuperset(10)
+	if math.Abs(n3-n10) > 1e-9 {
+		t.Errorf("smart NIX cost not constant: %v vs %v", n3, n10)
+	}
+	// The paper picks k = 2 by inspecting Figure 5 (F = 500, m = 2): its
+	// worked example — RC(Dq=3) = 6.0 pages dropping to 4.0 with a
+	// two-element probe — must come out of the model, and k = 2 must be
+	// the argmin at those parameters.
+	p500 := Paper(10, 500, 2)
+	if rc3 := p500.BSSFRetrievalSuperset(3); math.Abs(rc3-6.0) > 0.25 {
+		t.Errorf("RC(Dq=3, F=500, m=2) = %v, paper reads 6.0", rc3)
+	}
+	if rc2 := p500.BSSFRetrievalSuperset(2); math.Abs(rc2-4.0) > 0.25 {
+		t.Errorf("RC(Dq=2, F=500, m=2) = %v, paper reads 4.0", rc2)
+	}
+	_, k := p500.BSSFSmartSuperset(10)
+	if k != 2 {
+		t.Errorf("argmin k = %d at F=500, paper uses 2", k)
+	}
+	_, k = p500.NIXSmartSuperset(10)
+	if k != 2 {
+		t.Errorf("NIX argmin k = %d, paper uses 2", k)
+	}
+	// At F = 250 the tighter signature makes a third probe element pay
+	// for itself — the argmin generalizes the paper's fixed choice.
+	_, k = p.BSSFSmartSuperset(10)
+	if k < 2 || k > 3 {
+		t.Errorf("argmin k = %d at F=250, expected 2 or 3", k)
+	}
+}
+
+// TestFigure8Shape checks §5.2.1: for T ⊆ Q, BSSF beats SSF everywhere;
+// both approach P_u·N for large Dq; BSSF (m=2) has an interior minimum
+// near Dq ≈ 300; NIX grows with Dq.
+func TestFigure8Shape(t *testing.T) {
+	p := Paper(10, 500, 2)
+	for _, dq := range []float64{10, 30, 100, 300, 1000} {
+		if p.BSSFRetrievalSubset(dq) >= p.SSFRetrievalSubset(dq) {
+			t.Errorf("dq=%v: BSSF should beat SSF for T ⊆ Q", dq)
+		}
+	}
+	// Interior minimum near 300.
+	dqOpt := p.BSSFSubsetDqOpt()
+	if dqOpt < 200 || dqOpt > 400 {
+		t.Errorf("D_q^opt = %v, expected ≈300 (paper §5.2.2)", dqOpt)
+	}
+	// Large-Dq limit approaches Pu·N plus the scan terms.
+	large := p.SSFRetrievalSubset(8000)
+	if large < float64(p.N)/2 {
+		t.Errorf("SSF subset cost at huge Dq = %v, expected ≈ N", large)
+	}
+	// NIX monotone growth.
+	if p.NIXRetrievalSubset(10) >= p.NIXRetrievalSubset(100) ||
+		p.NIXRetrievalSubset(100) >= p.NIXRetrievalSubset(1000) {
+		t.Error("NIX subset cost should grow with Dq")
+	}
+}
+
+// TestDqOptClosedFormMatchesNumeric validates the re-derived Appendix C
+// closed form against brute-force minimization.
+func TestDqOptClosedFormMatchesNumeric(t *testing.T) {
+	for _, c := range []struct {
+		dt float64
+		f  int
+		m  float64
+	}{
+		{10, 500, 2}, {10, 250, 2}, {100, 2500, 3}, {10, 500, 3}, {100, 1000, 2},
+	} {
+		p := Paper(c.dt, c.f, c.m)
+		closed := p.BSSFSubsetDqOpt()
+		numeric := p.BSSFSubsetDqOptNumeric()
+		// The closed form neglects actual drops and LC_OID rounding; it
+		// should land within a few percent of the true argmin, and the
+		// cost at either point should be nearly identical (the minimum is
+		// flat).
+		cClosed := p.BSSFRetrievalSubset(closed)
+		cNumeric := p.BSSFRetrievalSubset(numeric)
+		if cClosed > cNumeric*1.05 {
+			t.Errorf("Dt=%v F=%d m=%v: closed-form Dq^opt=%v costs %v, numeric %v costs %v",
+				c.dt, c.f, c.m, closed, cClosed, numeric, cNumeric)
+		}
+	}
+}
+
+// TestFigure9Shape checks §5.2.2: smart BSSF subset cost is constant for
+// dq ≤ D_q^opt and far below NIX (the paper: "BSSF ... overwhelms NIX").
+func TestFigure9Shape(t *testing.T) {
+	p := Paper(10, 500, 2)
+	base := p.BSSFSmartSubset(10)
+	for _, dq := range []float64{10, 50, 100, 200} {
+		c := p.BSSFSmartSubset(dq)
+		if math.Abs(c-base)/base > 0.02 {
+			t.Errorf("smart subset cost not constant: dq=%v cost=%v base=%v", dq, c, base)
+		}
+		if nix := p.NIXRetrievalSubset(dq); c >= nix {
+			t.Errorf("dq=%v: smart BSSF %v should overwhelm NIX %v", dq, c, nix)
+		}
+	}
+	// Beyond D_q^opt the smart strategy degrades gracefully to the plain
+	// cost.
+	dqOpt := p.BSSFSubsetDqOpt()
+	if got, want := p.BSSFSmartSubset(dqOpt+100), p.BSSFRetrievalSubset(dqOpt+100); got != want {
+		t.Errorf("smart subset beyond optimum: %v != plain %v", got, want)
+	}
+}
+
+// TestFigure10Shape repeats Figure 9's claim at Dt = 100, F = 2500, m = 3.
+func TestFigure10Shape(t *testing.T) {
+	p := Paper(100, 2500, 3)
+	for _, dq := range []float64{100, 200, 500} {
+		bssf := p.BSSFSmartSubset(dq)
+		nix := p.NIXRetrievalSubset(dq)
+		if bssf >= nix {
+			t.Errorf("dq=%v: smart BSSF %v should beat NIX %v at Dt=100", dq, bssf, nix)
+		}
+	}
+}
+
+func TestExactVsApproxAgree(t *testing.T) {
+	p := Paper(10, 500, 2)
+	pe := p
+	pe.UseExact = true
+	for dq := 1.0; dq <= 10; dq++ {
+		a := p.BSSFRetrievalSuperset(dq)
+		b := pe.BSSFRetrievalSuperset(dq)
+		if math.Abs(a-b)/math.Max(a, 1) > 0.05 {
+			t.Errorf("dq=%v: approx %v vs exact %v diverge", dq, a, b)
+		}
+	}
+}
+
+func TestWithOptimalM(t *testing.T) {
+	p := Paper(10, 250, 1).WithOptimalM()
+	if math.Abs(p.M-signature.OptimalM(250, 10)) > 1e-12 {
+		t.Fatalf("WithOptimalM: m = %v", p.M)
+	}
+}
+
+func TestSSFSigPagesOversized(t *testing.T) {
+	p := Paper(10, 4096*8+1, 2)
+	if !math.IsInf(p.SSFSigPages(), 1) {
+		t.Fatal("oversized signature should be infinite SSF storage")
+	}
+}

@@ -1,0 +1,68 @@
+package costmodel
+
+import "math"
+
+// This file extends the paper's cost model to the frame-sliced signature
+// file (FSSF), the third classical signature-file organization (see
+// internal/core's FSSF). Formulas follow the same style as §4.1–§4.2;
+// the false-drop probability is unchanged from eq. 2/6 because a frame's
+// expected bit density equals the flat scheme's (m·Dt/F).
+
+// FSSFParams extends Params with the frame split F = K·S.
+type FSSFParams struct {
+	Params
+	K int // number of frames; S = F/K
+}
+
+// FSSF wraps p with a frame count. F must be divisible by k.
+func (p Params) FSSF(k int) FSSFParams { return FSSFParams{Params: p, K: k} }
+
+// S returns the frame size in bits.
+func (p FSSFParams) S() float64 { return float64(p.F) / float64(p.K) }
+
+// FramePages returns the size of one frame file in pages:
+// ⌈N·S/(P·b)⌉ with row-wise S-bit records, i.e. ⌈N/⌊P·b/S⌋⌉.
+func (p FSSFParams) FramePages() float64 {
+	perPage := math.Floor(float64(p.P*8) / p.S())
+	if perPage < 1 {
+		return math.Inf(1)
+	}
+	return math.Ceil(float64(p.N) / perPage)
+}
+
+// FSSFStorage returns SC = K·FramePages + SC_OID (≈ SSF's storage).
+func (p FSSFParams) FSSFStorage() float64 {
+	return float64(p.K)*p.FramePages() + p.SCOID()
+}
+
+// TouchedFrames returns the expected number of distinct frames d
+// uniformly hashed elements occupy: K·(1 − (1 − 1/K)^d).
+func (p FSSFParams) TouchedFrames(d float64) float64 {
+	return float64(p.K) * (1 - math.Pow(1-1/float64(p.K), d))
+}
+
+// FSSFRetrievalSuperset returns RC for T ⊇ Q: read the frames the query
+// elements hash to, then the usual OID and resolution terms.
+func (p FSSFParams) FSSFRetrievalSuperset(dq float64) float64 {
+	fd := p.FdSuperset(dq)
+	a := p.ActualDropsSuperset(dq)
+	return p.FramePages()*p.TouchedFrames(dq) + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// FSSFRetrievalSubset returns RC for T ⊆ Q: every frame must be scanned
+// (a target bit in any frame can violate containment), so the scan term
+// is the full K·FramePages like SSF.
+func (p FSSFParams) FSSFRetrievalSubset(dq float64) float64 {
+	fd := p.FdSubset(dq)
+	a := p.ActualDropsSubset(dq)
+	return float64(p.K)*p.FramePages() + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// FSSFInsertCost returns UC_I: one page write per frame the object's
+// elements touch, plus the OID file — K·(1−(1−1/K)^Dt) + 1.
+func (p FSSFParams) FSSFInsertCost() float64 {
+	return p.TouchedFrames(p.Dt) + 1
+}
+
+// FSSFDeleteCost returns UC_D = SC_OID/2, identical to SSF/BSSF.
+func (p FSSFParams) FSSFDeleteCost() float64 { return p.SCOID() / 2 }

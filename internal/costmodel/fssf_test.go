@@ -1,0 +1,78 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFSSFStorageMatchesSSF(t *testing.T) {
+	// With S dividing the page evenly, FSSF stores the same N·F bits as
+	// SSF plus per-frame rounding: the totals must be close.
+	p := Paper(10, 250, 2).FSSF(10) // K=10, S=25
+	ssf := p.SSFStorage()
+	fssf := p.FSSFStorage()
+	if fssf < ssf || fssf > ssf*1.1 {
+		t.Fatalf("FSSF storage %v vs SSF %v", fssf, ssf)
+	}
+}
+
+func TestFSSFTouchedFrames(t *testing.T) {
+	p := Paper(10, 250, 2).FSSF(10)
+	if got := p.TouchedFrames(1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("TouchedFrames(1) = %v", got)
+	}
+	// Monotone, bounded by K.
+	prev := 0.0
+	for d := 1.0; d <= 100; d *= 2 {
+		tf := p.TouchedFrames(d)
+		if tf <= prev || tf > 10 {
+			t.Fatalf("TouchedFrames not monotone/bounded at d=%v: %v", d, tf)
+		}
+		prev = tf
+	}
+	if got := p.S(); got != 25 {
+		t.Fatalf("S = %v", got)
+	}
+}
+
+func TestFSSFRetrievalBetweenSSFAndBSSF(t *testing.T) {
+	// For T ⊇ Q the frame-sliced scan reads TouchedFrames(dq) frame
+	// files ≪ the SSF full scan; it cannot beat BSSF's per-bit slices
+	// but must land far below SSF.
+	p := Paper(10, 250, 2)
+	pf := p.FSSF(10)
+	for dq := 1.0; dq <= 10; dq++ {
+		fssf := pf.FSSFRetrievalSuperset(dq)
+		ssf := p.SSFRetrievalSuperset(dq)
+		if fssf >= ssf {
+			t.Fatalf("dq=%v: FSSF %v should beat SSF %v on T ⊇ Q", dq, fssf, ssf)
+		}
+	}
+	// For T ⊆ Q it degenerates to a full scan, like SSF.
+	if got, want := pf.FSSFRetrievalSubset(100), p.SSFRetrievalSubset(100); math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("FSSF subset %v should approximate SSF %v", got, want)
+	}
+}
+
+func TestFSSFInsertCost(t *testing.T) {
+	p := Paper(10, 250, 2).FSSF(10)
+	// Dt=10 over K=10 frames: ≈ 6.5 frames touched + 1 OID write — far
+	// below BSSF's F+1 and the flat m_t+1.
+	uci := p.FSSFInsertCost()
+	if uci < 2 || uci > 11 {
+		t.Fatalf("FSSF UC_I = %v", uci)
+	}
+	if uci >= p.BSSFImprovedInsertCost() {
+		t.Fatalf("FSSF insert %v should beat BSSF improved %v", uci, p.BSSFImprovedInsertCost())
+	}
+	if p.FSSFDeleteCost() != 31.5 {
+		t.Fatalf("FSSF UC_D = %v", p.FSSFDeleteCost())
+	}
+}
+
+func TestFSSFOversizedFrame(t *testing.T) {
+	p := Paper(10, (4096*8+8)*2, 2).FSSF(2)
+	if !math.IsInf(p.FramePages(), 1) {
+		t.Fatal("frame wider than a page should be infinite storage")
+	}
+}

@@ -1,0 +1,124 @@
+package costmodel
+
+import "math"
+
+// This file implements §4.3 (NIX costs, extending the Bertino-Kim model)
+// and Appendix B (the T ⊆ Q retrieval cost).
+
+// NIXD returns d, the average number of objects whose indexed set
+// attribute contains a given element: d = Dt·N/V.
+func (p Params) NIXD() float64 {
+	return p.Dt * float64(p.N) / float64(p.V)
+}
+
+// NIXLeafEntrySize returns Il = d·oid + kl + mid bytes.
+func (p Params) NIXLeafEntrySize() float64 {
+	return p.NIXD()*float64(p.OIDSize) + p.KeyLen + p.MIDLen
+}
+
+// NIXLeafPages returns lp = ⌈V / ⌊P/Il⌋⌉: the paper assumes every domain
+// value has at least one posting, so the leaf level holds V entries.
+func (p Params) NIXLeafPages() float64 {
+	perPage := math.Floor(float64(p.P) / p.NIXLeafEntrySize())
+	if perPage < 1 {
+		// An entry larger than a page spills; the model charges
+		// ⌈Il/P⌉ pages per entry.
+		return float64(p.V) * math.Ceil(p.NIXLeafEntrySize()/float64(p.P))
+	}
+	return math.Ceil(float64(p.V) / perPage)
+}
+
+// NIXNonLeafPages returns nlp: the sum of ⌈·/f⌉ levels above the leaves
+// down to a single root page.
+func (p Params) NIXNonLeafPages() float64 {
+	nlp := 0.0
+	level := p.NIXLeafPages()
+	for level > 1 {
+		level = math.Ceil(level / p.Fanout)
+		nlp += level
+	}
+	if nlp == 0 {
+		nlp = 1 // a root always exists
+	}
+	return nlp
+}
+
+// NIXHeight returns the number of nonleaf levels.
+func (p Params) NIXHeight() float64 {
+	h := 0.0
+	level := p.NIXLeafPages()
+	for level > 1 {
+		level = math.Ceil(level / p.Fanout)
+		h++
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// NIXLookupCost returns rc, the page accesses of one index lookup:
+// nonleaf levels + 1 leaf access (3 for the paper's parameters).
+func (p Params) NIXLookupCost() float64 { return p.NIXHeight() + 1 }
+
+// NIXStorage returns SC = lp + nlp (Table 5: 690 for Dt=10, 6531 for
+// Dt=100).
+func (p Params) NIXStorage() float64 { return p.NIXLeafPages() + p.NIXNonLeafPages() }
+
+// NIXRetrievalSuperset returns RC for NIX on T ⊇ Q (§4.3): D_q lookups,
+// intersection (exact), then retrieval of the A qualifying objects:
+// RC = rc·D_q + P_s·A.
+func (p Params) NIXRetrievalSuperset(dq float64) float64 {
+	return p.NIXLookupCost()*dq + p.Ps*p.ActualDropsSuperset(dq)
+}
+
+// NIXRetrievalSubset returns RC for NIX on T ⊆ Q (Appendix B): D_q
+// lookups, union, then one access per candidate — candidates are the
+// objects overlapping the query; those that are not subsets are fetched
+// and rejected (P_u each), the true subsets are fetched and returned
+// (P_s each):
+//
+//	RC = rc·D_q + P_u·N·(Pr{T∩Q≠∅} − Pr{T⊆Q}) + P_s·N·Pr{T⊆Q}.
+func (p Params) NIXRetrievalSubset(dq float64) float64 {
+	overlap := p.ProbOverlap(dq)
+	subset := p.ActualDropsSubset(dq) / float64(p.N)
+	nonQual := overlap - subset
+	if nonQual < 0 {
+		nonQual = 0
+	}
+	return p.NIXLookupCost()*dq + p.Pu*float64(p.N)*nonQual + p.Ps*float64(p.N)*subset
+}
+
+// NIXInsertCost returns UC_I = rc·Dt (one index insertion per element,
+// node splits neglected).
+func (p Params) NIXInsertCost() float64 { return p.NIXLookupCost() * p.Dt }
+
+// NIXDeleteCost returns UC_D = rc·Dt.
+func (p Params) NIXDeleteCost() float64 { return p.NIXLookupCost() * p.Dt }
+
+// --------------------------------------------------------------------------
+// Smart object retrieval for NIX, T ⊇ Q (§5.1.3)
+
+// NIXSmartSupersetFixed probes min(dq, k) elements: rc·k lookups, then
+// every object containing those k elements is fetched and verified.
+func (p Params) NIXSmartSupersetFixed(dq, k float64) float64 {
+	if k > dq {
+		k = dq
+	}
+	candidates := p.ActualDropsSuperset(k)
+	return p.NIXLookupCost()*k + p.Ps*candidates
+}
+
+// NIXSmartSuperset returns the minimum fixed-k cost over k = 1..dq and
+// the k attaining it (the paper fixes k = 2).
+func (p Params) NIXSmartSuperset(dq float64) (cost float64, k int) {
+	best := math.Inf(1)
+	bestK := 1
+	for kk := 1; float64(kk) <= dq; kk++ {
+		c := p.NIXSmartSupersetFixed(dq, float64(kk))
+		if c < best {
+			best, bestK = c, kk
+		}
+	}
+	return best, bestK
+}

@@ -1,0 +1,117 @@
+package costmodel
+
+import "math"
+
+// This file extends the cost model to the remaining §2 operators —
+// overlap (T ∩ Q ≠ ∅), set equality (T = Q) and membership (q ∈ T) —
+// which the paper lists and defers ("support of other set operations" in
+// §6's future work). The derivations follow the same independence
+// assumptions as eq. 2/6; the ext-operators experiment validates them
+// against the implementation.
+
+// ----------------------------------------------------------------------
+// Overlap: T ∩ Q ≠ ∅
+
+// ActualDropsOverlap returns the expected number of targets sharing at
+// least one element with the query: N·Pr{T ∩ Q ≠ ∅}.
+func (p Params) ActualDropsOverlap(dq float64) float64 {
+	return float64(p.N) * p.ProbOverlap(dq)
+}
+
+// FdOverlap returns the probability that a target DISJOINT from the
+// query still intersects it at the signature level: at least one of the
+// ~m_q query-signature bits is set in the target,
+//
+//	Fd_∩ = 1 − Pr{all m_q query bits are 0 in T} = 1 − (1 − m_t/F)^{m_q}
+//	     ≈ 1 − e^{−m_t·m_q/F}.
+func (p Params) FdOverlap(dq float64) float64 {
+	mt := p.Mq(p.Dt)
+	mq := p.Mq(dq)
+	return 1 - math.Exp(-mt*mq/float64(p.F))
+}
+
+// SSFRetrievalOverlap returns RC for SSF on an overlap query: the usual
+// full scan plus candidates (all true overlaps plus false drops among
+// the disjoint remainder).
+func (p Params) SSFRetrievalOverlap(dq float64) float64 {
+	a := p.ActualDropsOverlap(dq)
+	fd := p.FdOverlap(dq)
+	return p.SSFSigPages() + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// BSSFRetrievalOverlap returns RC for BSSF: read the m_q one-slices, OR
+// them, resolve.
+func (p Params) BSSFRetrievalOverlap(dq float64) float64 {
+	a := p.ActualDropsOverlap(dq)
+	fd := p.FdOverlap(dq)
+	return p.BSSFSlicePages()*p.Mq(dq) + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// NIXRetrievalOverlap returns RC for NIX: D_q lookups, union — exact, so
+// every fetched object is an answer: RC = rc·D_q + P_s·N·Pr{overlap}.
+func (p Params) NIXRetrievalOverlap(dq float64) float64 {
+	return p.NIXLookupCost()*dq + p.Ps*p.ActualDropsOverlap(dq)
+}
+
+// ----------------------------------------------------------------------
+// Equality: T = Q
+
+// ActualDropsEquals returns the expected number of targets exactly equal
+// to the query set: N/C(V, Dt) when D_q = D_t, zero otherwise.
+func (p Params) ActualDropsEquals(dq float64) float64 {
+	if dq != p.Dt {
+		return 0
+	}
+	// N · 1/C(V, Dt) via the product form ∏ (Dt−i)/(V−i).
+	a := float64(p.N)
+	for i := 0.0; i < p.Dt; i++ {
+		a *= (p.Dt - i) / (float64(p.V) - i)
+	}
+	return a
+}
+
+// FdEquals returns the probability that a target with a different set
+// has an identical signature: it must both cover the query bits and be
+// covered by them, so Fd_= ≈ Fd_⊇ · Fd_⊆ under independence (an upper
+// bound is min of the two; the product is the standard approximation).
+func (p Params) FdEquals(dq float64) float64 {
+	return p.FdSuperset(dq) * p.FdSubset(dq)
+}
+
+// SSFRetrievalEquals returns RC for SSF on an equality query.
+func (p Params) SSFRetrievalEquals(dq float64) float64 {
+	a := p.ActualDropsEquals(dq)
+	fd := p.FdEquals(dq)
+	return p.SSFSigPages() + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// BSSFRetrievalEquals returns RC for BSSF: the match needs 1s at the
+// query's one-positions and 0s at its zero-positions, so all F slices
+// are read (the implementation in internal/core does exactly that).
+func (p Params) BSSFRetrievalEquals(dq float64) float64 {
+	a := p.ActualDropsEquals(dq)
+	fd := p.FdEquals(dq)
+	return p.BSSFSlicePages()*float64(p.F) + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// NIXRetrievalEquals returns RC for NIX: D_q lookups, intersection (the
+// superset candidates), then each candidate fetched to verify
+// cardinality: RC = rc·D_q + P_u·A_⊇ (candidates; the equal ones among
+// them are the answers).
+func (p Params) NIXRetrievalEquals(dq float64) float64 {
+	return p.NIXLookupCost()*dq + p.Pu*p.ActualDropsSuperset(dq)
+}
+
+// ----------------------------------------------------------------------
+// Membership: q ∈ T (the D_q = 1 superset query)
+
+// SSFRetrievalContains returns RC for SSF on a membership query.
+func (p Params) SSFRetrievalContains() float64 { return p.SSFRetrievalSuperset(1) }
+
+// BSSFRetrievalContains returns RC for BSSF: m slice reads plus the
+// resolution of the ~d = Dt·N/V true containers (and false drops).
+func (p Params) BSSFRetrievalContains() float64 { return p.BSSFRetrievalSuperset(1) }
+
+// NIXRetrievalContains returns RC for NIX: one lookup plus the d
+// matching objects — the query NIX is built for.
+func (p Params) NIXRetrievalContains() float64 { return p.NIXRetrievalSuperset(1) }

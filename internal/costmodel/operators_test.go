@@ -1,0 +1,92 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestActualDropsOverlap(t *testing.T) {
+	p := Paper(10, 250, 2)
+	if p.ActualDropsOverlap(0) != 0 {
+		t.Fatal("overlap drops with empty query nonzero")
+	}
+	// Dq=1: overlap = containment of one element: d = Dt·N/V ≈ 24.6.
+	if got := p.ActualDropsOverlap(1); math.Abs(got-24.6) > 0.1 {
+		t.Fatalf("A_∩(1) = %v, want ≈24.6", got)
+	}
+	// Monotone toward N.
+	if p.ActualDropsOverlap(100) >= p.ActualDropsOverlap(1000) {
+		t.Fatal("overlap drops not increasing")
+	}
+	if p.ActualDropsOverlap(float64(p.V)) != float64(p.N) {
+		t.Fatal("full-domain query should overlap everything")
+	}
+}
+
+func TestFdOverlapRange(t *testing.T) {
+	p := Paper(10, 250, 2)
+	prev := 0.0
+	for dq := 1.0; dq <= 50; dq += 7 {
+		fd := p.FdOverlap(dq)
+		if fd <= prev || fd >= 1 {
+			t.Fatalf("Fd_∩(%v) = %v not in (prev, 1)", dq, fd)
+		}
+		prev = fd
+	}
+}
+
+func TestOverlapRetrievalShapes(t *testing.T) {
+	p := Paper(10, 250, 2)
+	// NIX overlap is exact: it never pays false drops, so for small Dq it
+	// beats the signature files whose Fd_∩ is substantial.
+	for _, dq := range []float64{1, 2, 5} {
+		nix := p.NIXRetrievalOverlap(dq)
+		bssf := p.BSSFRetrievalOverlap(dq)
+		ssf := p.SSFRetrievalOverlap(dq)
+		if nix >= bssf || nix >= ssf {
+			t.Fatalf("dq=%v: NIX overlap %v should beat BSSF %v and SSF %v", dq, nix, bssf, ssf)
+		}
+		if bssf >= ssf {
+			t.Fatalf("dq=%v: BSSF overlap %v should beat SSF %v", dq, bssf, ssf)
+		}
+	}
+}
+
+func TestEqualsDrops(t *testing.T) {
+	p := Paper(10, 250, 2)
+	if p.ActualDropsEquals(9) != 0 || p.ActualDropsEquals(11) != 0 {
+		t.Fatal("equality drops nonzero for Dq != Dt")
+	}
+	a := p.ActualDropsEquals(10)
+	if a <= 0 || a > 1e-20 {
+		t.Fatalf("A_=(10) = %v, expected tiny positive", a)
+	}
+	// Fd_= below both constituent probabilities.
+	fd := p.FdEquals(10)
+	if fd > p.FdSuperset(10) || fd > p.FdSubset(10) {
+		t.Fatal("Fd_= exceeds a one-sided bound")
+	}
+}
+
+func TestEqualsRetrievalShapes(t *testing.T) {
+	p := Paper(10, 250, 2)
+	// BSSF equality reads all F slices; NIX resolves via intersection and
+	// wins comfortably at Dt=10.
+	bssf := p.BSSFRetrievalEquals(10)
+	nix := p.NIXRetrievalEquals(10)
+	if bssf < float64(p.F) {
+		t.Fatalf("BSSF equality %v below its own slice scan F=%d", bssf, p.F)
+	}
+	if nix >= bssf {
+		t.Fatalf("NIX equality %v should beat BSSF %v at Dt=10", nix, bssf)
+	}
+}
+
+func TestContainsDelegates(t *testing.T) {
+	p := Paper(10, 250, 2)
+	if p.SSFRetrievalContains() != p.SSFRetrievalSuperset(1) ||
+		p.BSSFRetrievalContains() != p.BSSFRetrievalSuperset(1) ||
+		p.NIXRetrievalContains() != p.NIXRetrievalSuperset(1) {
+		t.Fatal("membership cost should be the Dq=1 superset cost")
+	}
+}

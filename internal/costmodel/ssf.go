@@ -1,0 +1,45 @@
+package costmodel
+
+import "math"
+
+// This file implements §4.1, the cost estimation of the sequential
+// signature file.
+
+// SSFSigPages returns SC_SIG = ⌈N / ⌊P·b/F⌋⌉, the signature-file size in
+// pages: ⌊P·b/F⌋ signatures of F bits fit a page of P bytes (b = 8 bits
+// per byte).
+func (p Params) SSFSigPages() float64 {
+	perPage := (p.P * 8) / p.F
+	if perPage == 0 {
+		return math.Inf(1) // a signature wider than a page cannot be stored row-wise
+	}
+	return math.Ceil(float64(p.N) / float64(perPage))
+}
+
+// SSFStorage returns SC = SC_SIG + SC_OID.
+func (p Params) SSFStorage() float64 { return p.SSFSigPages() + p.SCOID() }
+
+// SSFRetrievalSuperset returns RC for SSF on a T ⊇ Q query (eq. 7):
+// RC = SC_SIG + LC_OID + P_s·A + P_u·Fd·(N − A).
+func (p Params) SSFRetrievalSuperset(dq float64) float64 {
+	fd := p.FdSuperset(dq)
+	a := p.ActualDropsSuperset(dq)
+	return p.SSFSigPages() + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// SSFRetrievalSubset returns RC for SSF on a T ⊆ Q query: the same
+// structure as eq. 7 with the subset false-drop probability and actual
+// drops.
+func (p Params) SSFRetrievalSubset(dq float64) float64 {
+	fd := p.FdSubset(dq)
+	a := p.ActualDropsSubset(dq)
+	return p.SSFSigPages() + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// SSFInsertCost returns UC_I = 2: one page access to append to the
+// signature file and one to the OID file.
+func (p Params) SSFInsertCost() float64 { return 2 }
+
+// SSFDeleteCost returns UC_D = SC_OID/2: scanning half the OID file on
+// average to set the delete flag.
+func (p Params) SSFDeleteCost() float64 { return p.SCOID() / 2 }

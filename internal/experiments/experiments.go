@@ -1,0 +1,115 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the cross-validation and ablation studies this
+// reproduction adds.
+//
+// Each experiment prints the same rows or series the paper's artifact
+// shows, computed from the analytical cost model (internal/costmodel).
+// Experiments marked measurable additionally run the real access methods
+// (internal/core) on a scaled-down instance and print measured page
+// counts next to the model's prediction at the same scale, so the
+// implementation and the analysis validate each other.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tunes how experiments run.
+type Options struct {
+	// Measured also runs the real implementations where supported.
+	Measured bool
+	// Scale divides the paper's N and V for measured runs (the model is
+	// evaluated at the same scaled parameters, so the comparison stays
+	// apples-to-apples). 1 = full paper scale. Default 8.
+	Scale int
+	// Trials is the number of random queries averaged per measured data
+	// point. Default 5.
+	Trials int
+	// Seed makes measured runs reproducible. Default 1.
+	Seed int64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 8
+	}
+	if o.Trials <= 0 {
+		o.Trials = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Experiment reproduces one artifact of the paper.
+type Experiment struct {
+	// ID is the short name used by cmd/sigbench (-experiment fig4).
+	ID string
+	// Title is the paper's caption.
+	Title string
+	// Artifact says what the paper shows ("Figure 4", "Table 6", ...).
+	Artifact string
+	// Run writes the reproduced rows/series to w.
+	Run func(w io.Writer, opt Options) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment ordered by ID group (figures, tables,
+// cross-validation, ablations).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts fig1 < fig2 < ... < fig10 < tab5 ... < xval < ablations.
+func orderKey(id string) string {
+	var prefix string
+	var num int
+	if n, _ := fmt.Sscanf(id, "fig%d", &num); n == 1 {
+		prefix = "0fig"
+	} else if n, _ := fmt.Sscanf(id, "tab%d", &num); n == 1 {
+		prefix = "1tab"
+	} else {
+		return "2" + id
+	}
+	return fmt.Sprintf("%s%04d", prefix, num)
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAll executes every experiment in order. The full-scale measurement
+// (which always builds N=32000 facilities) only runs when opt.Measured
+// is set; everything else runs regardless.
+func RunAll(w io.Writer, opt Options) error {
+	for _, e := range All() {
+		if e.ID == "fullscale" && !opt.Measured {
+			fmt.Fprintf(w, "\n==== %s — skipped (pass -measured to run the N=32000 build) ====\n", e.ID)
+			continue
+		}
+		fmt.Fprintf(w, "\n==== %s — %s (%s) ====\n", e.ID, e.Artifact, e.Title)
+		if err := e.Run(w, opt); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

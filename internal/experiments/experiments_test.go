@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sigfile/internal/signature"
+	"sigfile/internal/workload"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"tab5", "tab6", "tab7", "xval", "ext-fssf", "ext-operators", "summary", "fullscale",
+		"ablation-smartk", "ablation-buffer", "ablation-hash", "ablation-varcard",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	// Ordering: figures first, tables next.
+	all := All()
+	if all[0].ID != "fig1" || all[8].ID != "fig10" || all[9].ID != "tab5" {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Errorf("ordering wrong: %v", ids)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID invented an experiment")
+	}
+}
+
+// TestAnalyticExperimentsRun executes every experiment without measured
+// runs and sanity-checks the output.
+func TestAnalyticExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		if e.ID == "fullscale" {
+			continue // always measured, paper scale; covered by its own test
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			// Ablations always measure; keep their instances small here.
+			if err := e.Run(&buf, Options{Scale: 32, Trials: 2}); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if strings.Contains(out, "FALSE DISMISSAL") {
+				t.Fatalf("figure demo reported a false dismissal:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestFig1Classifications pins the worked example: an actual drop, a
+// false drop (or no drop — hash dependent), and the classification
+// column present.
+func TestFig1Classifications(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mustByID(t, "fig1").Run(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "actual drop") {
+		t.Fatalf("fig1 lost its actual drop:\n%s", out)
+	}
+}
+
+func mustByID(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	return e
+}
+
+// TestMeasuredSmoke runs the full pipeline (model + measurement) on a
+// heavily scaled instance for the most load-bearing experiments.
+func TestMeasuredSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiments skipped in -short mode")
+	}
+	opt := Options{Measured: true, Scale: 32, Trials: 2, Seed: 1}
+	for _, id := range []string{"fig4", "fig8", "tab5", "tab6", "tab7", "xval", "ext-fssf", "ext-operators"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := mustByID(t, id).Run(&buf, opt); err != nil {
+				t.Fatalf("%s: %v\n%s", id, err, buf.String())
+			}
+		})
+	}
+}
+
+// TestXvalModelAgreesWithMeasurement is the headline validation: across
+// facilities and query types the measured cost must track the model
+// within a factor of two on the geometric mean.
+func TestXvalModelAgreesWithMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("xval skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := mustByID(t, "xval").Run(&buf, Options{Measured: true, Scale: 16, Trials: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	i := strings.Index(out, "geometric mean measured/model = ")
+	if i < 0 {
+		t.Fatalf("no geometric mean in output:\n%s", out)
+	}
+	rest := out[i+len("geometric mean measured/model = "):]
+	gm, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if err != nil {
+		t.Fatalf("parse geometric mean: %v", err)
+	}
+	if math.Abs(math.Log(gm)) > math.Log(2) {
+		t.Fatalf("geometric mean measured/model = %v, outside [0.5, 2]:\n%s", gm, out)
+	}
+}
+
+// TestSummaryAllReproduced pins the §6 checklist: every claim must come
+// out "reproduced".
+func TestSummaryAllReproduced(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mustByID(t, "summary").Run(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NOT reproduced") {
+		t.Fatalf("summary has failing claims:\n%s", buf.String())
+	}
+	if strings.Count(buf.String(), "reproduced") < 8 {
+		t.Fatalf("summary lost claims:\n%s", buf.String())
+	}
+}
+
+// TestFullScaleSmoke runs the full-paper-scale measurement once with a
+// single trial per point (~seconds at N=32000).
+func TestFullScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := mustByID(t, "fullscale").Run(&buf, Options{Trials: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "N=32000") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestBuildMeasuredRejectsBadConfig(t *testing.T) {
+	if _, err := buildMeasured(workload.Config{}, 100, 2); err == nil {
+		t.Fatal("bad workload config accepted")
+	}
+	if _, err := buildMeasured(workload.Config{N: 10, V: 10, Dt: 2, Seed: 1}, 0, 0); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestAvgCostPropagatesQueryErrors(t *testing.T) {
+	setup, err := buildMeasured(workload.Config{N: 20, V: 10, Dt: 2, Seed: 1}, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.avgCost(setup.ssf, signature.Superset, 0, 1, 1, nil); err == nil {
+		t.Fatal("Dq=0 accepted")
+	}
+}
+
+func TestScaleDq(t *testing.T) {
+	if scaleDq(1000, 1625, 13000) != 125 {
+		t.Fatalf("scaleDq(1000) = %d", scaleDq(1000, 1625, 13000))
+	}
+	if scaleDq(1, 100, 13000) != 1 {
+		t.Fatal("scaleDq should clamp to 1")
+	}
+	if scaleDq(26000, 1625, 13000) != 1625 {
+		t.Fatal("scaleDq should clamp to V")
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := map[any]string{
+		"x":      "x",
+		42:       "42",
+		int64(7): "7",
+		0.0:      "0",
+		1234.6:   "1235",
+		3.25:     "3.2",
+		0.00001:  "1.00e-05",
+		true:     "true",
+	}
+	for in, want := range cases {
+		if got := formatCell(in); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig4", "tab7", "xval"} {
+		if !strings.Contains(buf.String(), "==== "+id) {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}

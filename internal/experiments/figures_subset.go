@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sigfile/internal/core"
+	"sigfile/internal/costmodel"
+	"sigfile/internal/signature"
+	"sigfile/internal/workload"
+)
+
+// This file reproduces the T ⊆ Q retrieval-cost figures (Figures 8–10).
+
+func init() {
+	register(Experiment{
+		ID:       "fig8",
+		Artifact: "Figure 8",
+		Title:    "Retrieval cost RC, T ⊆ Q, Dt=10, F=500",
+		Run:      runFig8,
+	})
+	register(Experiment{
+		ID:       "fig9",
+		Artifact: "Figure 9",
+		Title:    "Smart retrieval cost, T ⊆ Q, Dt=10",
+		Run:      runFig9,
+	})
+	register(Experiment{
+		ID:       "fig10",
+		Artifact: "Figure 10",
+		Title:    "Smart retrieval cost, T ⊆ Q, Dt=100",
+		Run:      runFig10,
+	})
+}
+
+// fig8Sweep is the Dq axis of Figure 8 (log-spaced from Dt to 1000).
+var fig8Sweep = []int{10, 20, 30, 50, 70, 100, 150, 200, 300, 500, 700, 1000}
+
+// runFig8 prints RC(Dq) for T ⊆ Q at Dt=10, F=500: SSF and BSSF with
+// m = 2 and m = m_opt, and NIX.
+func runFig8(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	p2 := costmodel.Paper(10, 500, 2)
+	pOpt := costmodel.Paper(10, 500, 0).WithOptimalM()
+
+	cols := []string{"Dq", "SSF m=2", "BSSF m=2", "BSSF m=mopt", "NIX"}
+	var setup *measuredSetup
+	if opt.Measured {
+		cols = append(cols, "BSSF m=2 meas", "NIX meas", "model@scale")
+		var err error
+		setup, err = buildMeasured(workload.Scaled(10, opt.Scale), 500, 2)
+		if err != nil {
+			return err
+		}
+	}
+	t := newTable(cols...)
+	for _, dq := range fig8Sweep {
+		fdq := float64(dq)
+		row := []any{dq,
+			p2.SSFRetrievalSubset(fdq), p2.BSSFRetrievalSubset(fdq),
+			pOpt.BSSFRetrievalSubset(fdq), p2.NIXRetrievalSubset(fdq),
+		}
+		if opt.Measured {
+			dqScaled := scaleDq(dq, setup.cfg.V, 13000)
+			mb, err := setup.avgCost(setup.bssf, signature.Subset, dqScaled, opt.Trials, opt.Seed, nil)
+			if err != nil {
+				return err
+			}
+			mn, err := setup.avgCost(setup.nix, signature.Subset, dqScaled, opt.Trials, opt.Seed, nil)
+			if err != nil {
+				return err
+			}
+			ps := setup.params(500, 2)
+			row = append(row, mb, mn,
+				fmt.Sprintf("%.1f/%.1f", ps.BSSFRetrievalSubset(float64(dqScaled)), ps.NIXRetrievalSubset(float64(dqScaled))))
+		}
+		t.addf(row...)
+	}
+	t.fprint(w)
+	fmt.Fprintln(w, "  (pages; paper: BSSF beats SSF throughout; BSSF m=2 has a minimum near Dq=300; NIX grows)")
+	return nil
+}
+
+// scaleDq maps a paper-scale query cardinality onto a scaled instance,
+// clamping to the target cardinality so subset queries stay meaningful.
+func scaleDq(dq, vScaled, vPaper int) int {
+	scaled := int(math.Round(float64(dq) * float64(vScaled) / float64(vPaper)))
+	if scaled < 1 {
+		scaled = 1
+	}
+	if scaled > vScaled {
+		scaled = vScaled
+	}
+	return scaled
+}
+
+// runSmartSubset is the common engine for Figures 9 and 10.
+func runSmartSubset(w io.Writer, opt Options, dt float64, m, f int, sweep []int) error {
+	opt = opt.withDefaults()
+	p := costmodel.Paper(dt, f, float64(m))
+	dqOpt := p.BSSFSubsetDqOpt()
+
+	cols := []string{"Dq", fmt.Sprintf("BSSF smart m=%d F=%d", m, f), "BSSF plain", "NIX"}
+	var setup *measuredSetup
+	var ps costmodel.Params
+	if opt.Measured {
+		cols = append(cols, "BSSF smart meas", "NIX meas")
+		var err error
+		setup, err = buildMeasured(workload.Scaled(int(dt), opt.Scale), f, m)
+		if err != nil {
+			return err
+		}
+		ps = setup.params(f, float64(m))
+	}
+	t := newTable(cols...)
+	for _, dq := range sweep {
+		fdq := float64(dq)
+		row := []any{dq, p.BSSFSmartSubset(fdq), p.BSSFRetrievalSubset(fdq), p.NIXRetrievalSubset(fdq)}
+		if opt.Measured {
+			dqScaled := scaleDq(dq, setup.cfg.V, 13000)
+			if dqScaled < setup.cfg.Dt {
+				dqScaled = setup.cfg.Dt
+			}
+			// The smart strategy at scale: cap the zero slices at
+			// F − m_q(D_q^opt) of the scaled model.
+			scaledOpt := ps.BSSFSubsetDqOpt()
+			maxZero := 0
+			if float64(dqScaled) < scaledOpt {
+				maxZero = int(math.Round(float64(f) - ps.Mq(scaledOpt)))
+			}
+			mb, err := setup.avgCost(setup.bssf, signature.Subset, dqScaled, opt.Trials, opt.Seed,
+				&core.SearchOptions{MaxZeroSlices: maxZero})
+			if err != nil {
+				return err
+			}
+			mn, err := setup.avgCost(setup.nix, signature.Subset, dqScaled, opt.Trials, opt.Seed, nil)
+			if err != nil {
+				return err
+			}
+			row = append(row, mb, mn)
+		}
+		t.addf(row...)
+	}
+	t.fprint(w)
+	fmt.Fprintf(w, "  (pages; D_q^opt = %.0f; paper: smart BSSF constant below D_q^opt and far below NIX)\n", dqOpt)
+	return nil
+}
+
+func runFig9(w io.Writer, opt Options) error {
+	return runSmartSubset(w, opt, 10, 2, 500, fig8Sweep)
+}
+
+func runFig10(w io.Writer, opt Options) error {
+	return runSmartSubset(w, opt, 100, 3, 2500,
+		[]int{100, 150, 200, 300, 500, 700, 1000, 1500, 2000, 3000})
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table accumulates aligned rows for plain-text output in the shape of
+// the paper's tables and figure series.
+type table struct {
+	columns []string
+	rows    [][]string
+}
+
+func newTable(columns ...string) *table {
+	return &table{columns: columns}
+}
+
+func (t *table) add(cells ...string) {
+	row := make([]string, len(t.columns))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// addf formats each cell: strings pass through, float64 print with one
+// decimal (or scientific when tiny), ints as integers.
+func (t *table) addf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, formatCell(c))
+	}
+	t.add(row...)
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case int:
+		return fmt.Sprintf("%d", v)
+	case int64:
+		return fmt.Sprintf("%d", v)
+	case float64:
+		switch {
+		case v == 0:
+			return "0"
+		case v < 0.005 && v > -0.005:
+			return fmt.Sprintf("%.2e", v)
+		case v >= 1000:
+			return fmt.Sprintf("%.0f", v)
+		default:
+			return fmt.Sprintf("%.1f", v)
+		}
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func (t *table) fprint(w io.Writer) {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.columns)
+	sep := make([]string, len(t.columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sigfile/internal/costmodel"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/workload"
+)
+
+// This file reproduces the paper's Tables 5–7.
+
+func init() {
+	register(Experiment{
+		ID:       "tab5",
+		Artifact: "Table 5",
+		Title:    "Storage cost of NIX",
+		Run:      runTab5,
+	})
+	register(Experiment{
+		ID:       "tab6",
+		Artifact: "Table 6",
+		Title:    "Storage cost of SSF, BSSF and NIX",
+		Run:      runTab6,
+	})
+	register(Experiment{
+		ID:       "tab7",
+		Artifact: "Table 7",
+		Title:    "Update costs UC_I and UC_D",
+		Run:      runTab7,
+	})
+}
+
+func runTab5(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	cols := []string{"Dt", "lp", "nlp", "SC"}
+	if opt.Measured {
+		cols = append(cols, "lp meas@scale", "nlp meas", "SC meas", "model@scale")
+	}
+	t := newTable(cols...)
+	for _, dt := range []float64{10, 100} {
+		p := costmodel.Paper(dt, 500, 2)
+		row := []any{int(dt), p.NIXLeafPages(), p.NIXNonLeafPages(), p.NIXStorage()}
+		if opt.Measured {
+			setup, err := buildMeasured(workload.Scaled(int(dt), opt.Scale), 500, 2)
+			if err != nil {
+				return err
+			}
+			pb, err := setup.nix.Tree().Breakdown()
+			if err != nil {
+				return err
+			}
+			ps := setup.params(500, 2)
+			row = append(row, pb.Leaf, pb.Internal, setup.nix.StoragePages(),
+				fmt.Sprintf("%.0f/%.0f/%.0f", ps.NIXLeafPages(), ps.NIXNonLeafPages(), ps.NIXStorage()))
+		}
+		t.addf(row...)
+	}
+	t.fprint(w)
+	fmt.Fprintln(w, "  (paper: lp=685 nlp=5 SC=690 for Dt=10; lp=6500 nlp=31 SC=6531 for Dt=100.")
+	fmt.Fprintln(w, "   Measured leaf counts run ~40-70% above the model: the model assumes fully")
+	fmt.Fprintln(w, "   packed leaves and a uniform postings length d, while a real B⁺-tree sits")
+	fmt.Fprintln(w, "   near ln2 ≈ 69% occupancy after splits and spills oversized postings to")
+	fmt.Fprintln(w, "   overflow pages — the paper's NIX storage numbers are a best case)")
+	return nil
+}
+
+// tab6Configs are the paper's four design points.
+var tab6Configs = []struct {
+	dt float64
+	f  int
+	m  int // the small m §5 recommends
+}{
+	{10, 250, 2}, {10, 500, 2}, {100, 1000, 3}, {100, 2500, 3},
+}
+
+func runTab6(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	cols := []string{"Dt", "F", "SSF SC", "BSSF SC", "NIX SC", "SSF/NIX"}
+	if opt.Measured {
+		cols = append(cols, "SSF meas@scale", "BSSF meas", "NIX meas", "model@scale")
+	}
+	t := newTable(cols...)
+	for _, c := range tab6Configs {
+		p := costmodel.Paper(c.dt, c.f, float64(c.m))
+		row := []any{int(c.dt), c.f, p.SSFStorage(), p.BSSFStorage(), p.NIXStorage(),
+			fmt.Sprintf("%.0f%%", 100*p.SSFStorage()/p.NIXStorage())}
+		if opt.Measured {
+			setup, err := buildMeasured(workload.Scaled(int(c.dt), opt.Scale), c.f, c.m)
+			if err != nil {
+				return err
+			}
+			ps := setup.params(c.f, float64(c.m))
+			row = append(row, setup.ssf.StoragePages(), setup.bssf.StoragePages(), setup.nix.StoragePages(),
+				fmt.Sprintf("%.0f/%.0f/%.0f", ps.SSFStorage(), ps.BSSFStorage(), ps.NIXStorage()))
+		}
+		t.addf(row...)
+	}
+	t.fprint(w)
+	fmt.Fprintln(w, "  (pages; paper Table 6: 308/313/690, 556/563/690, 1063/1063/6531, 2525/2563/6531)")
+	return nil
+}
+
+func runTab7(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	cols := []string{"Dt", "F",
+		"SSF UC_I", "SSF UC_D", "BSSF UC_I", "BSSF UC_I improved", "BSSF UC_D", "NIX UC_I", "NIX UC_D"}
+	t := newTable(cols...)
+	for _, c := range tab6Configs {
+		p := costmodel.Paper(c.dt, c.f, float64(c.m))
+		t.addf(int(c.dt), c.f,
+			p.SSFInsertCost(), p.SSFDeleteCost(),
+			p.BSSFInsertCost(), p.BSSFImprovedInsertCost(), p.BSSFDeleteCost(),
+			p.NIXInsertCost(), p.NIXDeleteCost())
+	}
+	t.fprint(w)
+	fmt.Fprintln(w, "  (pages; paper Table 7: SSF 2/31.5, BSSF F+1/31.5, NIX 3Dt/3Dt;")
+	fmt.Fprintln(w, "   the improved column is the optimization §6 anticipates: write only the set bits' slices)")
+	if opt.Measured {
+		return runTab7Measured(w, opt)
+	}
+	return nil
+}
+
+// runTab7Measured measures steady-state update costs on a scaled
+// instance: writes per insert and page accesses per delete.
+func runTab7Measured(w io.Writer, opt Options) error {
+	cfg := workload.Scaled(10, opt.Scale)
+	setup, err := buildMeasured(cfg, 250, 2)
+	if err != nil {
+		return err
+	}
+	inst := setup.inst
+	// Grow the instance by a few objects and meter the facilities.
+	qs, err := inst.Queries(workload.RandomQuery, cfg.Dt, 3, opt.Seed+99)
+	if err != nil {
+		return err
+	}
+	t := newTable("facility", "insert pages (meas)", "delete pages (meas)", "model (UC_I / UC_D)")
+	type metered interface {
+		Insert(uint64, []string) error
+		Delete(uint64, []string) error
+	}
+	ps := setup.params(250, 2)
+	for _, x := range []struct {
+		name  string
+		am    metered
+		store *pagestore.MemStore
+		model string
+	}{
+		{"SSF", setup.ssf, setup.ssfStore, fmt.Sprintf("%.1f / %.1f", ps.SSFInsertCost(), ps.SSFDeleteCost())},
+		{"BSSF", setup.bssf, setup.bssfStore, fmt.Sprintf("%.1f / %.1f (improved %.1f)", ps.BSSFInsertCost(), ps.BSSFDeleteCost(), ps.BSSFImprovedInsertCost())},
+		{"NIX", setup.nix, setup.nixStore, fmt.Sprintf("%.1f / %.1f", ps.NIXInsertCost(), ps.NIXDeleteCost())},
+	} {
+		oid := uint64(cfg.N + 1)
+		inst.Sets[oid] = qs[0]
+		r0, w0 := x.store.TotalStats()
+		if err := x.am.Insert(oid, qs[0]); err != nil {
+			return err
+		}
+		r1, w1 := x.store.TotalStats()
+		insertCost := (r1 - r0) + (w1 - w0)
+		if err := x.am.Delete(oid, qs[0]); err != nil {
+			return err
+		}
+		r2, w2 := x.store.TotalStats()
+		deleteCost := (r2 - r1) + (w2 - w1)
+		delete(inst.Sets, oid)
+		t.addf(x.name, float64(insertCost), float64(deleteCost), x.model)
+	}
+	fmt.Fprintln(w)
+	t.fprint(w)
+	fmt.Fprintf(w, "  (measured at scale 1/%d: N=%d; the measured BSSF insert uses the improved\n", opt.Scale, cfg.N)
+	fmt.Fprintln(w, "   write-only-set-slices path; deletes scan the OID file from the front, and the")
+	fmt.Fprintln(w, "   victim sits at the end here, so the measured delete reads the whole OID file")
+	fmt.Fprintln(w, "   where the model quotes the SC_OID/2 average)")
+	return nil
+}

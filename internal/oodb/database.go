@@ -1,0 +1,277 @@
+package oodb
+
+import (
+	"fmt"
+	"sort"
+
+	"sigfile/internal/pagestore"
+)
+
+// Database binds a schema to object storage and allocates OIDs. Objects of
+// all classes share one OID space; each class gets its own heap file in
+// the backing Store (named "objects/<class>").
+type Database struct {
+	schema  *Schema
+	store   pagestore.Store
+	heaps   map[string]*ObjectStore
+	classOf map[OID]string
+	nextOID OID
+}
+
+// NewDatabase creates a database with the given schema over the given
+// page store.
+func NewDatabase(schema *Schema, store pagestore.Store) (*Database, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("oodb: nil schema")
+	}
+	if store == nil {
+		store = pagestore.NewMemStore()
+	}
+	db := &Database{
+		schema:  schema,
+		store:   store,
+		heaps:   make(map[string]*ObjectStore),
+		classOf: make(map[OID]string),
+		nextOID: 1,
+	}
+	for _, name := range schema.Classes() {
+		f, err := store.Open("objects/" + name)
+		if err != nil {
+			return nil, fmt.Errorf("oodb: open heap for %s: %w", name, err)
+		}
+		h, err := NewObjectStore(f)
+		if err != nil {
+			return nil, fmt.Errorf("oodb: heap for %s: %w", name, err)
+		}
+		db.heaps[name] = h
+		for _, oid := range h.OIDs() {
+			db.classOf[oid] = name
+			if oid >= db.nextOID {
+				db.nextOID = oid + 1
+			}
+		}
+	}
+	return db, nil
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *Schema { return db.schema }
+
+// Heap returns the object store for a class, or nil if the class is
+// unknown.
+func (db *Database) Heap(class string) *ObjectStore { return db.heaps[class] }
+
+// Count returns the number of live objects of the class.
+func (db *Database) Count(class string) int {
+	h := db.heaps[class]
+	if h == nil {
+		return 0
+	}
+	return h.Count()
+}
+
+// Insert validates attrs against the class, assigns a fresh OID, stores
+// the object, and returns its OID.
+func (db *Database) Insert(class string, attrs map[string]Value) (OID, error) {
+	c, ok := db.schema.Class(class)
+	if !ok {
+		return NilOID, fmt.Errorf("oodb: unknown class %q", class)
+	}
+	if err := c.Validate(attrs); err != nil {
+		return NilOID, err
+	}
+	oid := db.nextOID
+	o := &Object{OID: oid, Class: class, Attrs: attrs}
+	if err := db.heaps[class].Put(o); err != nil {
+		return NilOID, err
+	}
+	db.nextOID++
+	db.classOf[oid] = class
+	return oid, nil
+}
+
+// Get fetches an object by OID (one page read).
+func (db *Database) Get(oid OID) (*Object, error) {
+	class, ok := db.classOf[oid]
+	if !ok {
+		return nil, fmt.Errorf("oodb: object %d not found", oid)
+	}
+	return db.heaps[class].Get(oid)
+}
+
+// Delete removes an object.
+func (db *Database) Delete(oid OID) error {
+	class, ok := db.classOf[oid]
+	if !ok {
+		return fmt.Errorf("oodb: object %d not found", oid)
+	}
+	if err := db.heaps[class].Delete(oid); err != nil {
+		return err
+	}
+	delete(db.classOf, oid)
+	return nil
+}
+
+// Update replaces the attributes of an existing object. It validates like
+// Insert and rewrites the record (delete + put under the same OID).
+func (db *Database) Update(oid OID, attrs map[string]Value) error {
+	class, ok := db.classOf[oid]
+	if !ok {
+		return fmt.Errorf("oodb: object %d not found", oid)
+	}
+	c, _ := db.schema.Class(class)
+	if err := c.Validate(attrs); err != nil {
+		return err
+	}
+	h := db.heaps[class]
+	if err := h.Delete(oid); err != nil {
+		return err
+	}
+	return h.Put(&Object{OID: oid, Class: class, Attrs: attrs})
+}
+
+// Scan invokes fn for every live object of the class in page order.
+func (db *Database) Scan(class string, fn func(*Object) error) error {
+	h := db.heaps[class]
+	if h == nil {
+		return fmt.Errorf("oodb: unknown class %q", class)
+	}
+	return h.Scan(fn)
+}
+
+// OIDsOf returns the sorted OIDs of all live objects of the class.
+func (db *Database) OIDsOf(class string) []OID {
+	h := db.heaps[class]
+	if h == nil {
+		return nil
+	}
+	oids := h.OIDs()
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids
+}
+
+// SetSource adapts one (class, attribute) path of the database to the
+// resolver interface the access methods use during false-drop resolution:
+// fetching the target set of an OID costs one page read on the heap file.
+type SetSource struct {
+	db    *Database
+	class string
+	attr  string
+}
+
+// NewSetSource validates that class.attr is a set-valued path and returns
+// a resolver for it.
+func (db *Database) NewSetSource(class, attr string) (*SetSource, error) {
+	c, ok := db.schema.Class(class)
+	if !ok {
+		return nil, fmt.Errorf("oodb: unknown class %q", class)
+	}
+	k, ok := c.AttrKind(attr)
+	if !ok {
+		return nil, fmt.Errorf("oodb: class %s has no attribute %q", class, attr)
+	}
+	if !k.IsSet() {
+		return nil, fmt.Errorf("oodb: %s.%s is %v, not a set", class, attr, k)
+	}
+	return &SetSource{db: db, class: class, attr: attr}, nil
+}
+
+// Set returns the canonical element strings of the indexed attribute of
+// the object identified by oid.
+func (s *SetSource) Set(oid uint64) ([]string, error) {
+	o, err := s.db.Get(OID(oid))
+	if err != nil {
+		return nil, err
+	}
+	return o.SetAttr(s.attr)
+}
+
+// Class returns the class this source reads.
+func (s *SetSource) Class() string { return s.class }
+
+// Attr returns the attribute this source reads.
+func (s *SetSource) Attr() string { return s.attr }
+
+// NestedSetSource resolves the paper's §4.3 nested path
+// class.setAttr.leafAttr: the indexed set value of an object is the set
+// of leafAttr values of the objects its setAttr references — e.g. on
+// "Student.courses.category" the set of category strings of a student's
+// courses. Fetching it costs 1 + |setAttr| page reads (the object plus
+// each referenced object), which is exactly why the paper's nested index
+// materializes the mapping.
+type NestedSetSource struct {
+	db       *Database
+	class    string
+	setAttr  string
+	leafAttr string
+}
+
+// NewNestedSetSource validates the path: class.setAttr must be a
+// set<ref>, and leafAttr must be a primitive attribute on every class
+// the references can point to (checked lazily per object, since the
+// model does not type refs).
+func (db *Database) NewNestedSetSource(class, setAttr, leafAttr string) (*NestedSetSource, error) {
+	c, ok := db.schema.Class(class)
+	if !ok {
+		return nil, fmt.Errorf("oodb: unknown class %q", class)
+	}
+	k, ok := c.AttrKind(setAttr)
+	if !ok {
+		return nil, fmt.Errorf("oodb: class %s has no attribute %q", class, setAttr)
+	}
+	if k != KindRefSet {
+		return nil, fmt.Errorf("oodb: %s.%s is %v; a nested path needs set<ref>", class, setAttr, k)
+	}
+	if leafAttr == "" {
+		return nil, fmt.Errorf("oodb: empty leaf attribute in nested path")
+	}
+	return &NestedSetSource{db: db, class: class, setAttr: setAttr, leafAttr: leafAttr}, nil
+}
+
+// Set implements the resolver: the deduplicated, sorted leaf values
+// reached through the object's reference set.
+func (s *NestedSetSource) Set(oid uint64) ([]string, error) {
+	o, err := s.db.Get(OID(oid))
+	if err != nil {
+		return nil, err
+	}
+	v, ok := o.Attr(s.setAttr)
+	if !ok || v.Kind != KindRefSet {
+		return nil, fmt.Errorf("oodb: object %d lacks set<ref> attribute %q", oid, s.setAttr)
+	}
+	seen := make(map[string]struct{}, len(v.RefSet))
+	out := make([]string, 0, len(v.RefSet))
+	for _, ref := range v.RefSet {
+		target, err := s.db.Get(ref)
+		if err != nil {
+			return nil, fmt.Errorf("oodb: nested path %s.%s.%s: %w", s.class, s.setAttr, s.leafAttr, err)
+		}
+		lv, ok := target.Attr(s.leafAttr)
+		if !ok {
+			return nil, fmt.Errorf("oodb: nested path: %s object %d has no attribute %q", target.Class, ref, s.leafAttr)
+		}
+		var elem string
+		switch lv.Kind {
+		case KindString:
+			elem = lv.Str
+		case KindInt:
+			elem = fmt.Sprintf("%d", lv.Int)
+		case KindRef:
+			elem = EncodeOID(lv.Ref)
+		default:
+			return nil, fmt.Errorf("oodb: nested path leaf %s.%s is %v; need a scalar", target.Class, s.leafAttr, lv.Kind)
+		}
+		if _, dup := seen[elem]; dup {
+			continue
+		}
+		seen[elem] = struct{}{}
+		out = append(out, elem)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Path returns the dotted path this source resolves.
+func (s *NestedSetSource) Path() string {
+	return s.class + "." + s.setAttr + "." + s.leafAttr
+}

@@ -1,0 +1,179 @@
+package oodb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary object encoding. Records are self-describing so a heap page can
+// be decoded without consulting the schema:
+//
+//	record  := oid(8) class(str) nattrs(uvarint) attr*
+//	attr    := name(str) kind(1) payload
+//	str     := len(uvarint) bytes
+//	payload := str                      (KindString)
+//	         | fixed64                  (KindInt, KindFloat, KindRef)
+//	         | n(uvarint) str*          (KindStringSet)
+//	         | n(uvarint) fixed64*      (KindRefSet)
+//
+// Attributes are encoded in sorted name order so encoding is canonical:
+// equal objects encode to equal bytes.
+
+// EncodeObject serializes o. The object's OID must already be assigned.
+func EncodeObject(o *Object) []byte {
+	buf := make([]byte, 0, 64+16*len(o.Attrs))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(o.OID))
+	buf = appendString(buf, o.Class)
+	buf = binary.AppendUvarint(buf, uint64(len(o.Attrs)))
+	names := make([]string, 0, len(o.Attrs))
+	for name := range o.Attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := o.Attrs[name]
+		buf = appendString(buf, name)
+		buf = append(buf, byte(v.Kind))
+		switch v.Kind {
+		case KindString:
+			buf = appendString(buf, v.Str)
+		case KindInt:
+			buf = binary.BigEndian.AppendUint64(buf, uint64(v.Int))
+		case KindFloat:
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.Float))
+		case KindRef:
+			buf = binary.BigEndian.AppendUint64(buf, uint64(v.Ref))
+		case KindStringSet:
+			buf = binary.AppendUvarint(buf, uint64(len(v.StrSet)))
+			for _, e := range v.StrSet {
+				buf = appendString(buf, e)
+			}
+		case KindRefSet:
+			buf = binary.AppendUvarint(buf, uint64(len(v.RefSet)))
+			for _, r := range v.RefSet {
+				buf = binary.BigEndian.AppendUint64(buf, uint64(r))
+			}
+		default:
+			panic(fmt.Sprintf("oodb: cannot encode kind %v", v.Kind))
+		}
+	}
+	return buf
+}
+
+// DecodeObject inverts EncodeObject.
+func DecodeObject(data []byte) (*Object, error) {
+	d := decoder{buf: data}
+	oid := d.fixed64()
+	class := d.str()
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, fmt.Errorf("oodb: decode header: %w", d.err)
+	}
+	if n > uint64(len(data)) { // each attr needs at least a few bytes
+		return nil, fmt.Errorf("oodb: implausible attribute count %d", n)
+	}
+	o := &Object{OID: OID(oid), Class: class, Attrs: make(map[string]Value, n)}
+	for i := uint64(0); i < n; i++ {
+		name := d.str()
+		kind := Kind(d.byte())
+		var v Value
+		v.Kind = kind
+		switch kind {
+		case KindString:
+			v.Str = d.str()
+		case KindInt:
+			v.Int = int64(d.fixed64())
+		case KindFloat:
+			v.Float = math.Float64frombits(d.fixed64())
+		case KindRef:
+			v.Ref = OID(d.fixed64())
+		case KindStringSet:
+			cnt := d.uvarint()
+			if d.err == nil && cnt > uint64(len(data)) {
+				return nil, fmt.Errorf("oodb: implausible set size %d", cnt)
+			}
+			v.StrSet = make([]string, 0, cnt)
+			for j := uint64(0); j < cnt && d.err == nil; j++ {
+				v.StrSet = append(v.StrSet, d.str())
+			}
+		case KindRefSet:
+			cnt := d.uvarint()
+			if d.err == nil && cnt > uint64(len(data)) {
+				return nil, fmt.Errorf("oodb: implausible set size %d", cnt)
+			}
+			v.RefSet = make([]OID, 0, cnt)
+			for j := uint64(0); j < cnt && d.err == nil; j++ {
+				v.RefSet = append(v.RefSet, OID(d.fixed64()))
+			}
+		default:
+			return nil, fmt.Errorf("oodb: decode attribute %q: invalid kind %d", name, kind)
+		}
+		if d.err != nil {
+			return nil, fmt.Errorf("oodb: decode attribute %q: %w", name, d.err)
+		}
+		o.Attrs[name] = v
+	}
+	return o, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated record")
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) fixed64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil || uint64(len(d.buf)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}

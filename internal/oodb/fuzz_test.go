@@ -1,0 +1,48 @@
+package oodb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeObject: arbitrary bytes must never panic the codec, and any
+// record that decodes must re-encode to an equivalent object.
+func FuzzDecodeObject(f *testing.F) {
+	f.Add(EncodeObject(sampleObject()))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 42, 1, 'C', 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := DecodeObject(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded record must survive a round trip.
+		back, err := DecodeObject(EncodeObject(o))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.OID != o.OID || back.Class != o.Class || len(back.Attrs) != len(o.Attrs) {
+			t.Fatalf("round trip changed the object: %+v vs %+v", back, o)
+		}
+	})
+}
+
+// FuzzDecodeOID: only 8-byte strings decode, and every decode inverts
+// EncodeOID.
+func FuzzDecodeOID(f *testing.F) {
+	f.Add("12345678")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		oid, err := DecodeOID(s)
+		if err != nil {
+			if len(s) == 8 {
+				t.Fatalf("8-byte string rejected: %q", s)
+			}
+			return
+		}
+		if EncodeOID(oid) != s {
+			t.Fatalf("EncodeOID(DecodeOID(%q)) != input", s)
+		}
+	})
+}

@@ -1,0 +1,241 @@
+// Package oodb implements the object-oriented database substrate the paper
+// assumes around its set access facilities: classes with primitive,
+// reference and set-valued attributes; objects identified by OIDs; and a
+// paged object store in which fetching one object costs one page access
+// (the paper's parameters P_s = P_u = 1).
+//
+// The substrate is deliberately small but real: objects are serialized
+// into slotted 4 KiB pages, OIDs resolve to (page, slot) locations, and
+// all I/O flows through pagestore so experiments can account page accesses
+// exactly. The sample schema of the paper's introduction (Student, Course,
+// Teacher) is provided by NewSampleDatabase.
+package oodb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OID identifies an object. OID 0 is the nil reference; real OIDs are
+// allocated from 1 in insertion order.
+type OID uint64
+
+// NilOID is the zero, invalid object identifier.
+const NilOID OID = 0
+
+// Kind enumerates the attribute types of the data model: the primitive
+// types, object references, and the two set constructors the paper's
+// queries target.
+type Kind uint8
+
+// Attribute kinds.
+const (
+	KindInvalid Kind = iota
+	// KindString is a primitive string attribute (e.g. Student.name).
+	KindString
+	// KindInt is a 64-bit integer attribute.
+	KindInt
+	// KindFloat is a float64 attribute.
+	KindFloat
+	// KindRef is a single object reference.
+	KindRef
+	// KindStringSet is a set of strings (e.g. Student.hobbies).
+	KindStringSet
+	// KindRefSet is a set of object references (e.g. Student.courses).
+	KindRefSet
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindRef:
+		return "ref"
+	case KindStringSet:
+		return "set<string>"
+	case KindRefSet:
+		return "set<ref>"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsSet reports whether the kind is one of the set constructors.
+func (k Kind) IsSet() bool { return k == KindStringSet || k == KindRefSet }
+
+// Value is a dynamically typed attribute value. Exactly one field is
+// meaningful, selected by Kind.
+type Value struct {
+	Kind   Kind
+	Str    string
+	Int    int64
+	Float  float64
+	Ref    OID
+	StrSet []string
+	RefSet []OID
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Int constructs an int Value.
+func Int(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// Float constructs a float Value.
+func Float(f float64) Value { return Value{Kind: KindFloat, Float: f} }
+
+// Ref constructs a reference Value.
+func Ref(oid OID) Value { return Value{Kind: KindRef, Ref: oid} }
+
+// StringSet constructs a set-of-strings Value. The slice is not copied.
+func StringSet(elems ...string) Value { return Value{Kind: KindStringSet, StrSet: elems} }
+
+// RefSet constructs a set-of-references Value. The slice is not copied.
+func RefSet(oids ...OID) Value { return Value{Kind: KindRefSet, RefSet: oids} }
+
+// Equal reports deep equality of two values, with set-valued attributes
+// compared as sets (order- and duplicate-insensitive).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.Str == o.Str
+	case KindInt:
+		return v.Int == o.Int
+	case KindFloat:
+		return v.Float == o.Float
+	case KindRef:
+		return v.Ref == o.Ref
+	case KindStringSet:
+		return stringSetEqual(v.StrSet, o.StrSet)
+	case KindRefSet:
+		return refSetEqual(v.RefSet, o.RefSet)
+	default:
+		return false
+	}
+}
+
+func stringSetEqual(a, b []string) bool {
+	as := map[string]struct{}{}
+	for _, e := range a {
+		as[e] = struct{}{}
+	}
+	bs := map[string]struct{}{}
+	for _, e := range b {
+		bs[e] = struct{}{}
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for e := range as {
+		if _, ok := bs[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func refSetEqual(a, b []OID) bool {
+	as := map[OID]struct{}{}
+	for _, e := range a {
+		as[e] = struct{}{}
+	}
+	bs := map[OID]struct{}{}
+	for _, e := range b {
+		bs[e] = struct{}{}
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for e := range as {
+		if _, ok := bs[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SetElements returns the value of a set-valued attribute as canonical
+// element strings: the raw strings for a string set, EncodeOID strings for
+// a ref set. It fails for non-set kinds. The result is sorted and
+// de-duplicated so signatures and indexes see true set semantics.
+func (v Value) SetElements() ([]string, error) {
+	var elems []string
+	switch v.Kind {
+	case KindStringSet:
+		elems = append(elems, v.StrSet...)
+	case KindRefSet:
+		elems = make([]string, 0, len(v.RefSet))
+		for _, oid := range v.RefSet {
+			elems = append(elems, EncodeOID(oid))
+		}
+	default:
+		return nil, fmt.Errorf("oodb: attribute kind %v is not a set", v.Kind)
+	}
+	sort.Strings(elems)
+	return dedupSorted(elems), nil
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, e := range s {
+		if i == 0 || e != s[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EncodeOID renders an OID as a fixed-width 8-byte big-endian string so
+// that reference-set elements hash and compare like any other element.
+func EncodeOID(oid OID) string {
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(oid)
+		oid >>= 8
+	}
+	return string(b[:])
+}
+
+// DecodeOID inverts EncodeOID.
+func DecodeOID(s string) (OID, error) {
+	if len(s) != 8 {
+		return NilOID, fmt.Errorf("oodb: encoded OID must be 8 bytes, got %d", len(s))
+	}
+	var oid OID
+	for i := 0; i < 8; i++ {
+		oid = oid<<8 | OID(s[i])
+	}
+	return oid, nil
+}
+
+// Object is an instance of a class: a bag of named attribute values. The
+// OID is assigned by the database on insertion.
+type Object struct {
+	OID   OID
+	Class string
+	Attrs map[string]Value
+}
+
+// Attr returns the named attribute value, or a zero Value and false.
+func (o *Object) Attr(name string) (Value, bool) {
+	v, ok := o.Attrs[name]
+	return v, ok
+}
+
+// SetAttr returns the named set attribute in canonical element-string
+// form.
+func (o *Object) SetAttr(name string) ([]string, error) {
+	v, ok := o.Attrs[name]
+	if !ok {
+		return nil, fmt.Errorf("oodb: object %d has no attribute %q", o.OID, name)
+	}
+	return v.SetElements()
+}

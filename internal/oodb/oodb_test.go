@@ -1,0 +1,719 @@
+package oodb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sigfile/internal/pagestore"
+)
+
+func TestKindString(t *testing.T) {
+	for k := KindString; k <= KindRefSet; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d missing name", k)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("fallback name wrong: %s", Kind(200))
+	}
+	if !KindStringSet.IsSet() || !KindRefSet.IsSet() || KindString.IsSet() {
+		t.Error("IsSet misclassifies")
+	}
+}
+
+func TestValueConstructorsAndEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		eq   bool
+	}{
+		{String("x"), String("x"), true},
+		{String("x"), String("y"), false},
+		{Int(3), Int(3), true},
+		{Int(3), Int(4), false},
+		{Float(1.5), Float(1.5), true},
+		{Float(1.5), Float(2.5), false},
+		{Ref(7), Ref(7), true},
+		{Ref(7), Ref(8), false},
+		{StringSet("a", "b"), StringSet("b", "a"), true},
+		{StringSet("a", "b", "b"), StringSet("b", "a"), true}, // duplicate-insensitive
+		{StringSet("a"), StringSet("a", "b"), false},
+		{RefSet(1, 2), RefSet(2, 1), true},
+		{RefSet(1), RefSet(1, 2), false},
+		{String("x"), Int(0), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.eq {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.eq)
+		}
+	}
+}
+
+func TestOIDEncoding(t *testing.T) {
+	for _, oid := range []OID{0, 1, 255, 256, 1 << 20, 1<<63 + 12345} {
+		s := EncodeOID(oid)
+		if len(s) != 8 {
+			t.Fatalf("EncodeOID(%d) length %d", oid, len(s))
+		}
+		back, err := DecodeOID(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != oid {
+			t.Fatalf("round trip %d -> %d", oid, back)
+		}
+	}
+	// Big-endian encoding preserves order, so sorted element strings sort
+	// like OIDs — relied on by canonical set elements.
+	if !(EncodeOID(5) < EncodeOID(300)) {
+		t.Fatal("EncodeOID does not preserve order")
+	}
+	if _, err := DecodeOID("short"); err == nil {
+		t.Fatal("DecodeOID accepted bad length")
+	}
+}
+
+func TestSetElements(t *testing.T) {
+	v := StringSet("b", "a", "b")
+	elems, err := v.SetElements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 2 || elems[0] != "a" || elems[1] != "b" {
+		t.Fatalf("SetElements = %v", elems)
+	}
+	rv := RefSet(300, 5, 300)
+	relems, err := rv.SetElements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relems) != 2 || relems[0] != EncodeOID(5) || relems[1] != EncodeOID(300) {
+		t.Fatalf("ref SetElements wrong: %d elements", len(relems))
+	}
+	if _, err := String("x").SetElements(); err == nil {
+		t.Fatal("SetElements on a string value should fail")
+	}
+}
+
+func sampleObject() *Object {
+	return &Object{
+		OID:   42,
+		Class: "Student",
+		Attrs: map[string]Value{
+			"name":    String("Jeff"),
+			"gpa":     Float(3.5),
+			"year":    Int(-2),
+			"advisor": Ref(9),
+			"hobbies": StringSet("Baseball", "Fishing"),
+			"courses": RefSet(1, 3, 4),
+		},
+	}
+}
+
+func TestEncodeDecodeObject(t *testing.T) {
+	o := sampleObject()
+	data := EncodeObject(o)
+	back, err := DecodeObject(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.OID != o.OID || back.Class != o.Class || len(back.Attrs) != len(o.Attrs) {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	for name, v := range o.Attrs {
+		bv, ok := back.Attrs[name]
+		if !ok || !bv.Equal(v) {
+			t.Fatalf("attribute %q mismatch: %+v vs %+v", name, bv, v)
+		}
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	a := sampleObject()
+	b := sampleObject()
+	if string(EncodeObject(a)) != string(EncodeObject(b)) {
+		t.Fatal("encoding is not canonical for equal objects")
+	}
+}
+
+func TestDecodeCorruptData(t *testing.T) {
+	data := EncodeObject(sampleObject())
+	// Every strict prefix must fail cleanly, never panic.
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeObject(data[:n]); err == nil {
+			// Prefixes that happen to parse as a smaller valid record are
+			// acceptable only if they decode entirely; attribute counts
+			// make this impossible here.
+			t.Fatalf("prefix of %d bytes decoded without error", n)
+		}
+	}
+	// A bogus kind byte fails.
+	bad := append([]byte{}, data...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := DecodeObject(bad[:0]); err == nil {
+		t.Fatal("empty record decoded")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	c := MustClass("C",
+		AttrDef{Name: "s", Kind: KindString},
+		AttrDef{Name: "set", Kind: KindStringSet},
+	)
+	ok := map[string]Value{"s": String("x"), "set": StringSet("a")}
+	if err := c.Validate(ok); err != nil {
+		t.Fatalf("valid attrs rejected: %v", err)
+	}
+	if err := c.Validate(map[string]Value{"s": String("x")}); err == nil {
+		t.Fatal("missing attribute accepted")
+	}
+	if err := c.Validate(map[string]Value{"s": Int(1), "set": StringSet()}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if err := c.Validate(map[string]Value{"s": String("x"), "set": StringSet(), "extra": Int(1)}); err == nil {
+		t.Fatal("extra attribute accepted")
+	}
+
+	if _, err := NewClass(""); err == nil {
+		t.Fatal("empty class name accepted")
+	}
+	if _, err := NewClass("C", AttrDef{Name: "", Kind: KindInt}); err == nil {
+		t.Fatal("empty attribute name accepted")
+	}
+	if _, err := NewClass("C", AttrDef{Name: "a", Kind: KindInvalid}); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	if _, err := NewClass("C", AttrDef{Name: "a", Kind: KindInt}, AttrDef{Name: "a", Kind: KindInt}); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := NewSchema(c, c); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+}
+
+func newTestStore(t *testing.T) *ObjectStore {
+	t.Helper()
+	s, err := NewObjectStore(pagestore.NewMemFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestObjectStoreBasics(t *testing.T) {
+	s := newTestStore(t)
+	o := sampleObject()
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 || !s.Contains(42) {
+		t.Fatal("Put not reflected in Count/Contains")
+	}
+	back, err := s.Get(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Attrs["name"].Str != "Jeff" {
+		t.Fatalf("Get returned wrong object: %+v", back)
+	}
+	if err := s.Put(o); err == nil {
+		t.Fatal("duplicate OID accepted")
+	}
+	if err := s.Put(&Object{Class: "X"}); err == nil {
+		t.Fatal("nil OID accepted")
+	}
+	if _, err := s.Get(999); err == nil {
+		t.Fatal("Get of missing object succeeded")
+	}
+	if err := s.Delete(42); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(42) || s.Count() != 0 {
+		t.Fatal("Delete not reflected")
+	}
+	if err := s.Delete(42); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestObjectStoreGetCostsOnePageRead(t *testing.T) {
+	s := newTestStore(t)
+	for i := 1; i <= 100; i++ {
+		o := sampleObject()
+		o.OID = OID(i)
+		if err := s.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Stats().Reset()
+	if _, err := s.Get(57); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Stats().Reads(); r != 1 {
+		t.Fatalf("Get cost %d page reads, want exactly 1 (paper's P_s = 1)", r)
+	}
+}
+
+func TestObjectStoreFillsPages(t *testing.T) {
+	s := newTestStore(t)
+	// ~130-byte records: a 4 KiB page should hold dozens, so 100 objects
+	// must occupy only a few pages.
+	for i := 1; i <= 100; i++ {
+		o := sampleObject()
+		o.OID = OID(i)
+		if err := s.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Pages() > 10 {
+		t.Fatalf("100 small objects used %d pages; slotted packing broken", s.Pages())
+	}
+}
+
+func TestObjectStoreSlotReuse(t *testing.T) {
+	s := newTestStore(t)
+	o := sampleObject()
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(o.OID); err != nil {
+		t.Fatal(err)
+	}
+	o2 := sampleObject()
+	o2.OID = 43
+	if err := s.Put(o2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pages() != 1 {
+		t.Fatalf("slot reuse failed: %d pages", s.Pages())
+	}
+	if _, err := s.Get(43); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectStoreRejectsOversizedObject(t *testing.T) {
+	s := newTestStore(t)
+	big := &Object{OID: 1, Class: "C", Attrs: map[string]Value{
+		"blob": String(strings.Repeat("x", pagestore.PageSize)),
+	}}
+	if err := s.Put(big); err == nil {
+		t.Fatal("oversized object accepted")
+	}
+}
+
+func TestObjectStoreRebuildIndex(t *testing.T) {
+	file := pagestore.NewMemFile()
+	s, err := NewObjectStore(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		o := sampleObject()
+		o.OID = OID(i)
+		if err := s.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete(7)
+	// A second store over the same file must see the same live set.
+	s2, err := NewObjectStore(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count() != 49 || s2.Contains(7) {
+		t.Fatalf("rebuild: count=%d contains(7)=%v", s2.Count(), s2.Contains(7))
+	}
+	if _, err := s2.Get(33); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectStoreScan(t *testing.T) {
+	s := newTestStore(t)
+	want := map[OID]bool{}
+	for i := 1; i <= 30; i++ {
+		o := sampleObject()
+		o.OID = OID(i)
+		if err := s.Put(o); err != nil {
+			t.Fatal(err)
+		}
+		want[OID(i)] = true
+	}
+	s.Delete(11)
+	delete(want, 11)
+	got := map[OID]bool{}
+	if err := s.Scan(func(o *Object) error { got[o.OID] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Scan saw %d objects, want %d", len(got), len(want))
+	}
+	for oid := range want {
+		if !got[oid] {
+			t.Fatalf("Scan missed %d", oid)
+		}
+	}
+	// Error propagation.
+	sentinel := fmt.Errorf("stop")
+	if err := s.Scan(func(*Object) error { return sentinel }); err != sentinel {
+		t.Fatalf("Scan did not propagate error: %v", err)
+	}
+}
+
+func TestObjectStorePropagatesIOErrors(t *testing.T) {
+	ff := pagestore.NewFaultFile(pagestore.NewMemFile())
+	s, err := NewObjectStore(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sampleObject()
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	ff.FailReadAfter(0)
+	if _, err := s.Get(o.OID); err == nil {
+		t.Fatal("Get swallowed injected read error")
+	}
+	ff.FailWriteAfter(0)
+	o2 := sampleObject()
+	o2.OID = 77
+	if err := s.Put(o2); err == nil {
+		t.Fatal("Put swallowed injected write error")
+	}
+}
+
+func TestDatabaseCRUD(t *testing.T) {
+	db, err := NewDatabase(SampleSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := db.Insert("Teacher", map[string]Value{"name": String("Prof")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, err := db.Insert("Course", map[string]Value{
+		"name": String("DB Theory"), "category": String("DB"), "teacher": Ref(tid),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := db.Insert("Student", map[string]Value{
+		"name":    String("Jeff"),
+		"courses": RefSet(cid),
+		"hobbies": StringSet("Baseball", "Fishing"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid == cid || cid == sid {
+		t.Fatal("OIDs not unique across classes")
+	}
+
+	o, err := db.Get(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hobbies, err := o.SetAttr("hobbies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hobbies) != 2 {
+		t.Fatalf("hobbies = %v", hobbies)
+	}
+	if _, err := o.SetAttr("name"); err == nil {
+		t.Fatal("SetAttr on primitive succeeded")
+	}
+	if _, err := o.SetAttr("missing"); err == nil {
+		t.Fatal("SetAttr on missing attribute succeeded")
+	}
+
+	// Update.
+	if err := db.Update(sid, map[string]Value{
+		"name":    String("Jeff"),
+		"courses": RefSet(cid),
+		"hobbies": StringSet("Tennis"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	o, _ = db.Get(sid)
+	hobbies, _ = o.SetAttr("hobbies")
+	if len(hobbies) != 1 || hobbies[0] != "Tennis" {
+		t.Fatalf("update not applied: %v", hobbies)
+	}
+
+	// Validation failures.
+	if _, err := db.Insert("Nope", nil); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := db.Insert("Teacher", map[string]Value{"name": Int(3)}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if err := db.Update(sid, map[string]Value{"name": String("x")}); err == nil {
+		t.Fatal("incomplete update accepted")
+	}
+	if err := db.Update(99999, nil); err == nil {
+		t.Fatal("update of missing object accepted")
+	}
+
+	// Delete.
+	if err := db.Delete(sid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(sid); err == nil {
+		t.Fatal("deleted object still readable")
+	}
+	if err := db.Delete(sid); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if db.Count("Student") != 0 || db.Count("Course") != 1 {
+		t.Fatalf("counts wrong: students=%d courses=%d", db.Count("Student"), db.Count("Course"))
+	}
+	if db.Count("Nope") != 0 {
+		t.Fatal("unknown class count nonzero")
+	}
+}
+
+func TestSetSource(t *testing.T) {
+	db, err := NewDatabase(SampleSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := db.Insert("Student", map[string]Value{
+		"name":    String("A"),
+		"courses": RefSet(),
+		"hobbies": StringSet("Chess", "Baseball"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := db.NewSetSource("Student", "hobbies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Class() != "Student" || src.Attr() != "hobbies" {
+		t.Fatal("source metadata wrong")
+	}
+	set, err := src.Set(uint64(sid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0] != "Baseball" || set[1] != "Chess" {
+		t.Fatalf("Set = %v", set)
+	}
+	if _, err := src.Set(424242); err == nil {
+		t.Fatal("Set of missing OID succeeded")
+	}
+	if _, err := db.NewSetSource("Student", "name"); err == nil {
+		t.Fatal("non-set attribute accepted")
+	}
+	if _, err := db.NewSetSource("Student", "zzz"); err == nil {
+		t.Fatal("missing attribute accepted")
+	}
+	if _, err := db.NewSetSource("Nope", "hobbies"); err == nil {
+		t.Fatal("missing class accepted")
+	}
+}
+
+func TestSampleDatabase(t *testing.T) {
+	cfg := SampleConfig{Students: 100, Courses: 30, Teachers: 5, CoursesPerStud: 4, HobbiesPerStud: 3, Seed: 7}
+	db, err := NewSampleDatabase(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("Student") != 100 || db.Count("Course") != 30 || db.Count("Teacher") != 5 {
+		t.Fatalf("counts: %d/%d/%d", db.Count("Student"), db.Count("Course"), db.Count("Teacher"))
+	}
+	// Every student has exactly the configured cardinalities, referencing
+	// live courses.
+	err = db.Scan("Student", func(o *Object) error {
+		courses, err := o.SetAttr("courses")
+		if err != nil {
+			return err
+		}
+		if len(courses) != cfg.CoursesPerStud {
+			return fmt.Errorf("student %d has %d courses", o.OID, len(courses))
+		}
+		for _, c := range courses {
+			oid, err := DecodeOID(c)
+			if err != nil {
+				return err
+			}
+			co, err := db.Get(oid)
+			if err != nil {
+				return err
+			}
+			if co.Class != "Course" {
+				return fmt.Errorf("courses element references %s", co.Class)
+			}
+		}
+		hobbies, err := o.SetAttr("hobbies")
+		if err != nil {
+			return err
+		}
+		if len(hobbies) != cfg.HobbiesPerStud {
+			return fmt.Errorf("student %d has %d hobbies", o.OID, len(hobbies))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Config validation.
+	if _, err := NewSampleDatabase(SampleConfig{Students: 1, Courses: 2, Teachers: 1, CoursesPerStud: 5, HobbiesPerStud: 1}, nil); err == nil {
+		t.Fatal("invalid CoursesPerStud accepted")
+	}
+	if _, err := NewSampleDatabase(SampleConfig{Students: 1, Courses: 2, Teachers: 1, CoursesPerStud: 1, HobbiesPerStud: 999}, nil); err == nil {
+		t.Fatal("invalid HobbiesPerStud accepted")
+	}
+}
+
+// Property: encode/decode is the identity on randomly generated objects.
+func TestPropertyEncodeDecodeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := &Object{
+			OID:   OID(rng.Uint64() | 1),
+			Class: fmt.Sprintf("C%d", rng.Intn(10)),
+			Attrs: map[string]Value{},
+		}
+		for i := 0; i < rng.Intn(8); i++ {
+			name := fmt.Sprintf("a%d", i)
+			switch rng.Intn(6) {
+			case 0:
+				o.Attrs[name] = String(randWord(rng))
+			case 1:
+				o.Attrs[name] = Int(rng.Int63() - rng.Int63())
+			case 2:
+				o.Attrs[name] = Float(rng.NormFloat64())
+			case 3:
+				o.Attrs[name] = Ref(OID(rng.Uint64()))
+			case 4:
+				n := rng.Intn(20)
+				ss := make([]string, n)
+				for j := range ss {
+					ss[j] = randWord(rng)
+				}
+				o.Attrs[name] = StringSet(ss...)
+			case 5:
+				n := rng.Intn(20)
+				rs := make([]OID, n)
+				for j := range rs {
+					rs[j] = OID(rng.Uint64())
+				}
+				o.Attrs[name] = RefSet(rs...)
+			}
+		}
+		back, err := DecodeObject(EncodeObject(o))
+		if err != nil {
+			return false
+		}
+		if back.OID != o.OID || back.Class != o.Class || len(back.Attrs) != len(o.Attrs) {
+			return false
+		}
+		for name, v := range o.Attrs {
+			bv, ok := back.Attrs[name]
+			if !ok || bv.Kind != v.Kind {
+				return false
+			}
+			// Sets compare exactly (ordered) at the codec level.
+			switch v.Kind {
+			case KindStringSet:
+				if len(bv.StrSet) != len(v.StrSet) {
+					return false
+				}
+				for i := range v.StrSet {
+					if bv.StrSet[i] != v.StrSet[i] {
+						return false
+					}
+				}
+			case KindRefSet:
+				if len(bv.RefSet) != len(v.RefSet) {
+					return false
+				}
+				for i := range v.RefSet {
+					if bv.RefSet[i] != v.RefSet[i] {
+						return false
+					}
+				}
+			default:
+				if !bv.Equal(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	b := make([]byte, rng.Intn(12))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
+// Property: the object store behaves like a map OID→Object under random
+// put/get/delete sequences.
+func TestPropertyStoreActsLikeMap(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := NewObjectStore(pagestore.NewMemFile())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		model := map[OID]string{}
+		next := OID(1)
+		for step := 0; step < 120; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				name := randWord(rng)
+				o := &Object{OID: next, Class: "C", Attrs: map[string]Value{"n": String(name)}}
+				if err := s.Put(o); err != nil {
+					return false
+				}
+				model[next] = name
+				next++
+			case 1:
+				if len(model) == 0 {
+					continue
+				}
+				oid := anyKey(rng, model)
+				got, err := s.Get(oid)
+				if err != nil || got.Attrs["n"].Str != model[oid] {
+					return false
+				}
+			case 2:
+				if len(model) == 0 {
+					continue
+				}
+				oid := anyKey(rng, model)
+				if err := s.Delete(oid); err != nil {
+					return false
+				}
+				delete(model, oid)
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyKey(rng *rand.Rand, m map[OID]string) OID {
+	keys := make([]OID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys[rng.Intn(len(keys))]
+}

@@ -1,0 +1,128 @@
+package oodb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigfile/internal/pagestore"
+)
+
+// This file builds the paper's running example: a university database with
+// Teacher, Course and Student classes, where Student.courses is a set of
+// Course references and Student.hobbies is a set of strings — the two
+// indexed set attributes the sample queries Q1/Q2 target.
+
+// SampleSchema returns the three-class schema of the paper's §1.
+func SampleSchema() *Schema {
+	teacher := MustClass("Teacher",
+		AttrDef{Name: "name", Kind: KindString},
+	)
+	course := MustClass("Course",
+		AttrDef{Name: "name", Kind: KindString},
+		AttrDef{Name: "category", Kind: KindString},
+		AttrDef{Name: "teacher", Kind: KindRef},
+	)
+	student := MustClass("Student",
+		AttrDef{Name: "name", Kind: KindString},
+		AttrDef{Name: "courses", Kind: KindRefSet},
+		AttrDef{Name: "hobbies", Kind: KindStringSet},
+	)
+	s, err := NewSchema(teacher, course, student)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SampleConfig controls the size and shape of the generated university
+// database.
+type SampleConfig struct {
+	Students       int // number of Student objects
+	Courses        int // number of Course objects
+	Teachers       int // number of Teacher objects
+	CoursesPerStud int // cardinality of each Student.courses set
+	HobbiesPerStud int // cardinality of each Student.hobbies set
+	Seed           int64
+}
+
+// DefaultSampleConfig is a laptop-friendly instance of the sample
+// database.
+func DefaultSampleConfig() SampleConfig {
+	return SampleConfig{
+		Students:       2000,
+		Courses:        200,
+		Teachers:       40,
+		CoursesPerStud: 5,
+		HobbiesPerStud: 4,
+		Seed:           1,
+	}
+}
+
+// Hobbies is the hobby vocabulary used by the generator; the paper's
+// examples ("Baseball", "Fishing", "Tennis", ...) come first.
+var Hobbies = []string{
+	"Baseball", "Fishing", "Tennis", "Golf", "Football", "Soccer",
+	"Swimming", "Chess", "Reading", "Cooking", "Hiking", "Cycling",
+	"Painting", "Photography", "Gardening", "Skiing", "Climbing",
+	"Running", "Sailing", "Archery", "Bowling", "Dancing", "Drumming",
+	"Juggling", "Karate", "Origami", "Pottery", "Rowing", "Surfing",
+	"Yoga",
+}
+
+// CourseCategories is the category vocabulary; "DB" matches the paper's
+// sample queries.
+var CourseCategories = []string{"DB", "OS", "AI", "PL", "NW", "HW", "SE", "TH"}
+
+// NewSampleDatabase creates and populates the university database.
+func NewSampleDatabase(cfg SampleConfig, store pagestore.Store) (*Database, error) {
+	if cfg.CoursesPerStud > cfg.Courses {
+		return nil, fmt.Errorf("oodb: CoursesPerStud %d > Courses %d", cfg.CoursesPerStud, cfg.Courses)
+	}
+	if cfg.HobbiesPerStud > len(Hobbies) {
+		return nil, fmt.Errorf("oodb: HobbiesPerStud %d > %d available hobbies", cfg.HobbiesPerStud, len(Hobbies))
+	}
+	db, err := NewDatabase(SampleSchema(), store)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	teachers := make([]OID, cfg.Teachers)
+	for i := range teachers {
+		teachers[i], err = db.Insert("Teacher", map[string]Value{
+			"name": String(fmt.Sprintf("Teacher-%03d", i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	courses := make([]OID, cfg.Courses)
+	for i := range courses {
+		courses[i], err = db.Insert("Course", map[string]Value{
+			"name":     String(fmt.Sprintf("Course-%03d", i)),
+			"category": String(CourseCategories[rng.Intn(len(CourseCategories))]),
+			"teacher":  Ref(teachers[rng.Intn(len(teachers))]),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Students; i++ {
+		cs := make([]OID, 0, cfg.CoursesPerStud)
+		for _, j := range rng.Perm(cfg.Courses)[:cfg.CoursesPerStud] {
+			cs = append(cs, courses[j])
+		}
+		hs := make([]string, 0, cfg.HobbiesPerStud)
+		for _, j := range rng.Perm(len(Hobbies))[:cfg.HobbiesPerStud] {
+			hs = append(hs, Hobbies[j])
+		}
+		if _, err := db.Insert("Student", map[string]Value{
+			"name":    String(fmt.Sprintf("Student-%05d", i)),
+			"courses": RefSet(cs...),
+			"hobbies": StringSet(hs...),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,108 @@
+package oodb
+
+import "fmt"
+
+// AttrDef declares one attribute of a class.
+type AttrDef struct {
+	Name string
+	Kind Kind
+}
+
+// Class declares a class: a name plus its attribute definitions. The data
+// model is flat (no inheritance) — the paper's analysis does not depend on
+// class hierarchies.
+type Class struct {
+	Name  string
+	Attrs []AttrDef
+
+	byName map[string]Kind
+}
+
+// NewClass builds a class definition, validating that the class and its
+// attributes are well formed and uniquely named.
+func NewClass(name string, attrs ...AttrDef) (*Class, error) {
+	if name == "" {
+		return nil, fmt.Errorf("oodb: class name must not be empty")
+	}
+	c := &Class{Name: name, Attrs: attrs, byName: make(map[string]Kind, len(attrs))}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("oodb: class %s: attribute name must not be empty", name)
+		}
+		if a.Kind == KindInvalid || a.Kind > KindRefSet {
+			return nil, fmt.Errorf("oodb: class %s: attribute %s has invalid kind %d", name, a.Name, a.Kind)
+		}
+		if _, dup := c.byName[a.Name]; dup {
+			return nil, fmt.Errorf("oodb: class %s: duplicate attribute %s", name, a.Name)
+		}
+		c.byName[a.Name] = a.Kind
+	}
+	return c, nil
+}
+
+// MustClass is NewClass but panics on error; for statically known schemas.
+func MustClass(name string, attrs ...AttrDef) *Class {
+	c, err := NewClass(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// AttrKind returns the kind of the named attribute and whether it exists.
+func (c *Class) AttrKind(name string) (Kind, bool) {
+	k, ok := c.byName[name]
+	return k, ok
+}
+
+// Validate checks that attrs provides exactly the attributes the class
+// declares, each with the declared kind.
+func (c *Class) Validate(attrs map[string]Value) error {
+	for name, v := range attrs {
+		k, ok := c.byName[name]
+		if !ok {
+			return fmt.Errorf("oodb: class %s has no attribute %q", c.Name, name)
+		}
+		if v.Kind != k {
+			return fmt.Errorf("oodb: class %s attribute %q: got %v, want %v", c.Name, name, v.Kind, k)
+		}
+	}
+	for name := range c.byName {
+		if _, ok := attrs[name]; !ok {
+			return fmt.Errorf("oodb: class %s: attribute %q missing", c.Name, name)
+		}
+	}
+	return nil
+}
+
+// Schema is a collection of class definitions.
+type Schema struct {
+	classes map[string]*Class
+}
+
+// NewSchema builds a schema from the given classes, rejecting duplicates.
+func NewSchema(classes ...*Class) (*Schema, error) {
+	s := &Schema{classes: make(map[string]*Class, len(classes))}
+	for _, c := range classes {
+		if _, dup := s.classes[c.Name]; dup {
+			return nil, fmt.Errorf("oodb: duplicate class %s", c.Name)
+		}
+		s.classes[c.Name] = c
+	}
+	return s, nil
+}
+
+// Class returns the named class, or nil and false.
+func (s *Schema) Class(name string) (*Class, bool) {
+	c, ok := s.classes[name]
+	return c, ok
+}
+
+// Classes returns the class names in unspecified order.
+func (s *Schema) Classes() []string {
+	out := make([]string, 0, len(s.classes))
+	for name := range s.classes {
+		out = append(out, name)
+	}
+	return out
+}

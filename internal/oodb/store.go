@@ -1,0 +1,274 @@
+package oodb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sigfile/internal/pagestore"
+)
+
+// ObjectStore is a heap of objects in slotted pages over a pagestore.File.
+//
+// Page layout (little endian):
+//
+//	offset 0: nslots  uint16
+//	offset 2: freeOff uint16  — first free byte; records grow upward from 4
+//	...records...
+//	...free space...
+//	slot i at PageSize−4·(i+1): {recOff uint16, recLen uint16}
+//
+// recLen 0 marks a deleted slot (tombstone), matching the paper's
+// delete-flag model of updates. Fetching an object costs exactly one page
+// read, the paper's P_s = P_u = 1.
+type ObjectStore struct {
+	file pagestore.File
+	// loc maps every live OID to its location. The paper assumes direct
+	// access by OID; the map plays the role of the OID→address table and
+	// can be rebuilt from the pages (RebuildIndex).
+	loc map[OID]objLoc
+	// lastPage is the current fill target for inserts.
+	lastPage pagestore.PageID
+	hasPage  bool
+	buf      []byte // page-sized scratch buffer
+}
+
+type objLoc struct {
+	page pagestore.PageID
+	slot int
+}
+
+const (
+	pageHeaderSize = 4
+	slotSize       = 4
+	maxRecordSize  = pagestore.PageSize - pageHeaderSize - slotSize
+)
+
+// NewObjectStore creates an object store over file. The file may be empty
+// or contain pages previously written by an ObjectStore; existing objects
+// are indexed by RebuildIndex.
+func NewObjectStore(file pagestore.File) (*ObjectStore, error) {
+	s := &ObjectStore{
+		file: file,
+		loc:  make(map[OID]objLoc),
+		buf:  make([]byte, pagestore.PageSize),
+	}
+	if file.NumPages() > 0 {
+		if err := s.RebuildIndex(); err != nil {
+			return nil, err
+		}
+		s.lastPage = pagestore.PageID(file.NumPages() - 1)
+		s.hasPage = true
+	}
+	return s, nil
+}
+
+// RebuildIndex scans every page and reconstructs the OID→location map.
+func (s *ObjectStore) RebuildIndex() error {
+	s.loc = make(map[OID]objLoc)
+	for p := 0; p < s.file.NumPages(); p++ {
+		if err := s.file.ReadPage(pagestore.PageID(p), s.buf); err != nil {
+			return fmt.Errorf("oodb: rebuild index: %w", err)
+		}
+		nslots := int(binary.LittleEndian.Uint16(s.buf[0:2]))
+		for slot := 0; slot < nslots; slot++ {
+			off, length := slotEntry(s.buf, slot)
+			if length == 0 {
+				continue
+			}
+			rec := s.buf[off : off+length]
+			if len(rec) < 8 {
+				return fmt.Errorf("oodb: page %d slot %d: record too short", p, slot)
+			}
+			oid := OID(binary.BigEndian.Uint64(rec[:8]))
+			s.loc[oid] = objLoc{page: pagestore.PageID(p), slot: slot}
+		}
+	}
+	return nil
+}
+
+func slotEntry(page []byte, slot int) (off, length int) {
+	base := pagestore.PageSize - slotSize*(slot+1)
+	return int(binary.LittleEndian.Uint16(page[base : base+2])),
+		int(binary.LittleEndian.Uint16(page[base+2 : base+4]))
+}
+
+func setSlotEntry(page []byte, slot, off, length int) {
+	base := pagestore.PageSize - slotSize*(slot+1)
+	binary.LittleEndian.PutUint16(page[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(page[base+2:base+4], uint16(length))
+}
+
+// Count returns the number of live objects.
+func (s *ObjectStore) Count() int { return len(s.loc) }
+
+// Pages returns the number of pages the store occupies.
+func (s *ObjectStore) Pages() int { return s.file.NumPages() }
+
+// Stats exposes the underlying file's page-access counters.
+func (s *ObjectStore) Stats() *pagestore.Stats { return s.file.Stats() }
+
+// Contains reports whether the store holds a live object with the OID.
+func (s *ObjectStore) Contains(oid OID) bool {
+	_, ok := s.loc[oid]
+	return ok
+}
+
+// OIDs returns the OIDs of all live objects in unspecified order.
+func (s *ObjectStore) OIDs() []OID {
+	out := make([]OID, 0, len(s.loc))
+	for oid := range s.loc {
+		out = append(out, oid)
+	}
+	return out
+}
+
+// Put stores the encoded object and records its location. The object's
+// OID must be nonzero and not already present.
+func (s *ObjectStore) Put(o *Object) error {
+	if o.OID == NilOID {
+		return fmt.Errorf("oodb: Put: object has no OID")
+	}
+	if _, dup := s.loc[o.OID]; dup {
+		return fmt.Errorf("oodb: Put: OID %d already stored", o.OID)
+	}
+	rec := EncodeObject(o)
+	if len(rec) > maxRecordSize {
+		return fmt.Errorf("oodb: object %d encodes to %d bytes, page capacity is %d",
+			o.OID, len(rec), maxRecordSize)
+	}
+
+	// Fill the last page; allocate a fresh one when the record won't fit.
+	if s.hasPage {
+		if err := s.file.ReadPage(s.lastPage, s.buf); err != nil {
+			return fmt.Errorf("oodb: Put: %w", err)
+		}
+		if slot, ok := s.placeRecord(rec); ok {
+			if err := s.file.WritePage(s.lastPage, s.buf); err != nil {
+				return fmt.Errorf("oodb: Put: %w", err)
+			}
+			s.loc[o.OID] = objLoc{page: s.lastPage, slot: slot}
+			return nil
+		}
+	}
+	id, err := s.file.Allocate()
+	if err != nil {
+		return fmt.Errorf("oodb: Put: %w", err)
+	}
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint16(s.buf[2:4], pageHeaderSize)
+	slot, ok := s.placeRecord(rec)
+	if !ok {
+		return fmt.Errorf("oodb: Put: record does not fit an empty page")
+	}
+	if err := s.file.WritePage(id, s.buf); err != nil {
+		return fmt.Errorf("oodb: Put: %w", err)
+	}
+	s.lastPage, s.hasPage = id, true
+	s.loc[o.OID] = objLoc{page: id, slot: slot}
+	return nil
+}
+
+// placeRecord tries to add rec to the page in s.buf, returning the slot
+// used. It prefers reusing a dead slot's directory entry.
+func (s *ObjectStore) placeRecord(rec []byte) (int, bool) {
+	nslots := int(binary.LittleEndian.Uint16(s.buf[0:2]))
+	freeOff := int(binary.LittleEndian.Uint16(s.buf[2:4]))
+	if freeOff == 0 {
+		freeOff = pageHeaderSize
+	}
+	// Reuse a dead slot if one exists (no new directory entry needed).
+	slot := -1
+	for i := 0; i < nslots; i++ {
+		if _, length := slotEntry(s.buf, i); length == 0 {
+			slot = i
+			break
+		}
+	}
+	needDir := 0
+	if slot == -1 {
+		needDir = slotSize
+	}
+	if freeOff+len(rec) > pagestore.PageSize-slotSize*nslots-needDir {
+		return 0, false
+	}
+	if slot == -1 {
+		slot = nslots
+		nslots++
+		binary.LittleEndian.PutUint16(s.buf[0:2], uint16(nslots))
+	}
+	copy(s.buf[freeOff:], rec)
+	setSlotEntry(s.buf, slot, freeOff, len(rec))
+	binary.LittleEndian.PutUint16(s.buf[2:4], uint16(freeOff+len(rec)))
+	return slot, true
+}
+
+// Get fetches and decodes the object with the given OID, costing one page
+// read.
+func (s *ObjectStore) Get(oid OID) (*Object, error) {
+	l, ok := s.loc[oid]
+	if !ok {
+		return nil, fmt.Errorf("oodb: object %d not found", oid)
+	}
+	if err := s.file.ReadPage(l.page, s.buf); err != nil {
+		return nil, fmt.Errorf("oodb: Get %d: %w", oid, err)
+	}
+	off, length := slotEntry(s.buf, l.slot)
+	if length == 0 {
+		return nil, fmt.Errorf("oodb: object %d location points at dead slot", oid)
+	}
+	o, err := DecodeObject(s.buf[off : off+length])
+	if err != nil {
+		return nil, fmt.Errorf("oodb: Get %d: %w", oid, err)
+	}
+	if o.OID != oid {
+		return nil, fmt.Errorf("oodb: Get %d: record holds OID %d", oid, o.OID)
+	}
+	return o, nil
+}
+
+// Delete tombstones the object's slot. The space is reclaimed when the
+// slot is reused by a later insert to the same page.
+func (s *ObjectStore) Delete(oid OID) error {
+	l, ok := s.loc[oid]
+	if !ok {
+		return fmt.Errorf("oodb: Delete: object %d not found", oid)
+	}
+	if err := s.file.ReadPage(l.page, s.buf); err != nil {
+		return fmt.Errorf("oodb: Delete %d: %w", oid, err)
+	}
+	off, _ := slotEntry(s.buf, l.slot)
+	setSlotEntry(s.buf, l.slot, off, 0)
+	if err := s.file.WritePage(l.page, s.buf); err != nil {
+		return fmt.Errorf("oodb: Delete %d: %w", oid, err)
+	}
+	delete(s.loc, oid)
+	return nil
+}
+
+// Scan invokes fn for every live object in page order. Scanning reads
+// every page once (a full heap scan).
+func (s *ObjectStore) Scan(fn func(*Object) error) error {
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p < s.file.NumPages(); p++ {
+		if err := s.file.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return fmt.Errorf("oodb: Scan: %w", err)
+		}
+		nslots := int(binary.LittleEndian.Uint16(buf[0:2]))
+		for slot := 0; slot < nslots; slot++ {
+			off, length := slotEntry(buf, slot)
+			if length == 0 {
+				continue
+			}
+			o, err := DecodeObject(buf[off : off+length])
+			if err != nil {
+				return fmt.Errorf("oodb: Scan page %d slot %d: %w", p, slot, err)
+			}
+			if err := fn(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

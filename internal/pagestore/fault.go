@@ -1,0 +1,148 @@
+package pagestore
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error produced by a FaultFile when a scheduled fault
+// fires. Callers in tests match it with errors.Is.
+var ErrInjected = errors.New("pagestore: injected fault")
+
+// FaultFile wraps a File and fails operations on demand. It exists for
+// failure-injection tests: the access facilities must propagate storage
+// errors instead of panicking or silently corrupting results.
+type FaultFile struct {
+	inner File
+
+	mu sync.Mutex
+	// failReadAfter / failWriteAfter count down on each operation; when a
+	// counter reaches zero the operation fails with ErrInjected. Negative
+	// means disabled.
+	failReadAfter  int
+	failWriteAfter int
+	failAllocAfter int
+}
+
+// NewFaultFile wraps inner with all faults disabled.
+func NewFaultFile(inner File) *FaultFile {
+	return &FaultFile{inner: inner, failReadAfter: -1, failWriteAfter: -1, failAllocAfter: -1}
+}
+
+// FailReadAfter arranges for the n-th subsequent read (0 = the next one)
+// to fail with ErrInjected.
+func (f *FaultFile) FailReadAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failReadAfter = n
+}
+
+// FailWriteAfter arranges for the n-th subsequent write to fail.
+func (f *FaultFile) FailWriteAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWriteAfter = n
+}
+
+// FailAllocAfter arranges for the n-th subsequent allocation to fail.
+func (f *FaultFile) FailAllocAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAllocAfter = n
+}
+
+func (f *FaultFile) trip(counter *int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if *counter < 0 {
+		return false
+	}
+	if *counter == 0 {
+		*counter = -1
+		return true
+	}
+	*counter--
+	return false
+}
+
+// ReadPage implements File.
+func (f *FaultFile) ReadPage(id PageID, buf []byte) error {
+	if f.trip(&f.failReadAfter) {
+		return ErrInjected
+	}
+	return f.inner.ReadPage(id, buf)
+}
+
+// WritePage implements File.
+func (f *FaultFile) WritePage(id PageID, buf []byte) error {
+	if f.trip(&f.failWriteAfter) {
+		return ErrInjected
+	}
+	return f.inner.WritePage(id, buf)
+}
+
+// Allocate implements File.
+func (f *FaultFile) Allocate() (PageID, error) {
+	if f.trip(&f.failAllocAfter) {
+		return 0, ErrInjected
+	}
+	return f.inner.Allocate()
+}
+
+// NumPages implements File.
+func (f *FaultFile) NumPages() int { return f.inner.NumPages() }
+
+// Stats implements File.
+func (f *FaultFile) Stats() *Stats { return f.inner.Stats() }
+
+// Sync implements File.
+func (f *FaultFile) Sync() error { return f.inner.Sync() }
+
+// Close implements File.
+func (f *FaultFile) Close() error { return f.inner.Close() }
+
+var _ File = (*FaultFile)(nil)
+
+// FaultStore wraps a Store so that every file it opens is wrapped in a
+// FaultFile. Opened fault files are retained for the test to arm.
+type FaultStore struct {
+	inner Store
+
+	mu    sync.Mutex
+	files map[string]*FaultFile
+}
+
+// NewFaultStore wraps inner.
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{inner: inner, files: make(map[string]*FaultFile)}
+}
+
+// Open implements Store.
+func (s *FaultStore) Open(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[name]; ok {
+		return f, nil
+	}
+	inner, err := s.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	f := NewFaultFile(inner)
+	s.files[name] = f
+	return f, nil
+}
+
+// File returns the fault wrapper previously opened under name, or nil.
+func (s *FaultStore) File(name string) *FaultFile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.files[name]
+}
+
+// Close implements Store.
+func (s *FaultStore) Close() error { return s.inner.Close() }
+
+var _ Store = (*FaultStore)(nil)
+var _ Store = (*MemStore)(nil)
+var _ Store = (*DiskStore)(nil)

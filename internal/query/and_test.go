@@ -1,0 +1,186 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"sigfile/internal/oodb"
+	"sigfile/internal/signature"
+)
+
+func TestParseConjunction(t *testing.T) {
+	q, err := Parse(`select Student where hobbies has-subset ("Chess") and name = "Jeff" and hobbies overlaps ("Golf")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(*AndPredicate)
+	if !ok {
+		t.Fatalf("expected AndPredicate, got %T", q.Where)
+	}
+	if len(and.Parts) != 3 {
+		t.Fatalf("%d parts", len(and.Parts))
+	}
+	if _, ok := and.Parts[0].(*SetPredicate); !ok {
+		t.Fatal("part 0 not a set predicate")
+	}
+	if _, ok := and.Parts[1].(*ComparePredicate); !ok {
+		t.Fatal("part 1 not a compare predicate")
+	}
+	// Round trip.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("round trip: %q", q2.String())
+	}
+	// A single predicate stays simple (no 1-element And).
+	q3, _ := Parse(`select S where a has-subset ("x")`)
+	if _, ok := q3.Where.(*AndPredicate); ok {
+		t.Fatal("single predicate wrapped in AndPredicate")
+	}
+	// Errors.
+	for _, bad := range []string{
+		`select S where a = 1 and`,
+		`select S where and a = 1`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// bruteConjunction evaluates a conjunction of checks directly.
+func bruteConjunction(t *testing.T, e *Engine, checks func(o *oodb.Object) bool) map[oodb.OID]bool {
+	t.Helper()
+	want := map[oodb.OID]bool{}
+	if err := e.DB().Scan("Student", func(o *oodb.Object) error {
+		if checks(o) {
+			want[o.OID] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func hasHobby(o *oodb.Object, hobby string) bool {
+	hs, _ := o.SetAttr("hobbies")
+	for _, h := range hs {
+		if h == hobby {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConjunctionScanAndIndexAgree(t *testing.T) {
+	src := `select Student where hobbies has-subset ("Chess") and hobbies overlaps ("Golf", "Tennis")`
+	want := func(e *Engine) map[oodb.OID]bool {
+		return bruteConjunction(t, e, func(o *oodb.Object) bool {
+			return hasHobby(o, "Chess") && (hasHobby(o, "Golf") || hasHobby(o, "Tennis"))
+		})
+	}
+	// Scan plan.
+	e := newUniversity(t)
+	res, err := e.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "scan(") {
+		t.Fatalf("plan %q", res.Plan)
+	}
+	w := want(e)
+	if len(res.Objects) != len(w) {
+		t.Fatalf("scan conjunction: %d results, want %d", len(res.Objects), len(w))
+	}
+
+	// Index-driven plan.
+	e2 := newUniversity(t)
+	if _, err := e2.CreateIndex("Student", "hobbies", KindBSSF, signature.MustNew(128, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res2.Plan, "index(BSSF") || !strings.Contains(res2.Plan, "filter(1)") {
+		t.Fatalf("plan %q", res2.Plan)
+	}
+	w2 := want(e2)
+	if len(res2.Objects) != len(w2) {
+		t.Fatalf("indexed conjunction: %d results, want %d", len(res2.Objects), len(w2))
+	}
+	for _, o := range res2.Objects {
+		if !w2[o.OID] {
+			t.Fatalf("unexpected OID %d", o.OID)
+		}
+	}
+}
+
+func TestConjunctionMixedSetAndCompare(t *testing.T) {
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "hobbies", KindNIX, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a student with a known name and hobby.
+	var name, hobby string
+	e.DB().Scan("Student", func(o *oodb.Object) error {
+		if name == "" {
+			name = o.Attrs["name"].Str
+			hs, _ := o.SetAttr("hobbies")
+			hobby = hs[0]
+		}
+		return nil
+	})
+	res, err := e.Run(`select Student where hobbies has-element "` + hobby + `" and name = "` + name + `"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != 1 || res.Objects[0].Attrs["name"].Str != name {
+		t.Fatalf("mixed conjunction: %d results", len(res.Objects))
+	}
+	if !strings.Contains(res.Plan, "index(NIX") {
+		t.Fatalf("plan %q", res.Plan)
+	}
+	// The compare part is validated at compile time even in conjunctions.
+	if _, err := e.Run(`select Student where hobbies has-element "x" and name = 3`); err == nil {
+		t.Fatal("type mismatch in conjunction accepted")
+	}
+	if _, err := e.Run(`select Student where hobbies has-element "x" and nope = "y"`); err == nil {
+		t.Fatal("unknown attribute in conjunction accepted")
+	}
+}
+
+func TestConjunctionCompareOnly(t *testing.T) {
+	e := newUniversity(t)
+	res, err := e.Run(`select Course where category = "DB" and name != "Course-000"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Objects {
+		if o.Attrs["category"].Str != "DB" || o.Attrs["name"].Str == "Course-000" {
+			t.Fatal("conjunction filter leaked")
+		}
+	}
+	if !strings.HasPrefix(res.Plan, "scan(Course)") {
+		t.Fatalf("plan %q", res.Plan)
+	}
+}
+
+func TestExplainConjunction(t *testing.T) {
+	e := newUniversity(t)
+	e.CreateIndex("Student", "hobbies", KindBSSF, signature.MustNew(64, 2), nil)
+	plan, err := e.Explain(`select Student where hobbies has-subset ("Chess") and name = "X"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index(BSSF") || !strings.Contains(plan, "filter compare") {
+		t.Fatalf("explain: %s", plan)
+	}
+	plan, _ = e.Explain(`select Course where category = "DB" and name = "X"`)
+	if !strings.Contains(plan, "via scan(Course)") {
+		t.Fatalf("explain: %s", plan)
+	}
+}

@@ -1,0 +1,151 @@
+// Package query implements the SQL-like query language of the paper's §2
+// over the mini OODB, with set predicates served by the set access
+// facilities of internal/core.
+//
+// The grammar (queries Q1 and Q2 of the paper are its canonical
+// sentences):
+//
+//	query     = "select" class "where" predicate .
+//	predicate = simple { "and" simple } .
+//	simple    = path setop operand
+//	          | path ("=" | "!=") literal .
+//	setop     = "has-subset"    // T ⊇ Q
+//	          | "in-subset"     // T ⊆ Q
+//	          | "overlaps"      // T ∩ Q ≠ ∅
+//	          | "equals"        // T = Q
+//	          | "has-element" . // q ∈ T
+//	operand   = "(" literal { "," literal } ")"
+//	          | "(" query ")" .  // subquery: its result OIDs become the query set
+//	literal   = string | number .
+//
+// The paper's motivating query — find all students taking only "DB"
+// lectures — is written exactly as §1 plans it:
+//
+//	select Student where courses in-subset (select Course where category = "DB")
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"sigfile/internal/signature"
+)
+
+// Query is a parsed select statement.
+type Query struct {
+	Class string
+	Where Predicate
+}
+
+// String renders the query in source form.
+func (q *Query) String() string {
+	return fmt.Sprintf("select %s where %s", q.Class, q.Where)
+}
+
+// Predicate is a where-clause condition.
+type Predicate interface {
+	fmt.Stringer
+	pred()
+}
+
+// SetPredicate compares a set-valued attribute against a query set given
+// either literally or by a subquery.
+type SetPredicate struct {
+	Attr string
+	Op   signature.Predicate
+	// Exactly one of Elems and Sub is set.
+	Elems []string
+	Sub   *Query
+}
+
+func (*SetPredicate) pred() {}
+
+// String implements fmt.Stringer.
+func (p *SetPredicate) String() string {
+	op := map[signature.Predicate]string{
+		signature.Superset: "has-subset",
+		signature.Subset:   "in-subset",
+		signature.Overlap:  "overlaps",
+		signature.Equals:   "equals",
+		signature.Contains: "has-element",
+	}[p.Op]
+	if p.Sub != nil {
+		return fmt.Sprintf("%s %s (%s)", p.Attr, op, p.Sub)
+	}
+	quoted := make([]string, len(p.Elems))
+	for i, e := range p.Elems {
+		quoted[i] = quoteString(e)
+	}
+	return fmt.Sprintf("%s %s (%s)", p.Attr, op, strings.Join(quoted, ", "))
+}
+
+// quoteString renders s as a string literal using exactly the escape set
+// the lexer understands (\" \\ \n \t); all other bytes pass through raw,
+// so String output always reparses (fuzz-checked).
+func quoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// AndPredicate is the conjunction of two or more simple predicates. The
+// executor drives it from the first indexable set predicate and filters
+// the rest per object.
+type AndPredicate struct {
+	Parts []Predicate // each a *SetPredicate or *ComparePredicate
+}
+
+func (*AndPredicate) pred() {}
+
+// String implements fmt.Stringer.
+func (p *AndPredicate) String() string {
+	parts := make([]string, len(p.Parts))
+	for i, part := range p.Parts {
+		parts[i] = part.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// ComparePredicate compares a primitive attribute against a literal.
+type ComparePredicate struct {
+	Attr  string
+	Neq   bool // true for !=
+	Str   *string
+	Int   *int64
+	Float *float64
+}
+
+func (*ComparePredicate) pred() {}
+
+// String implements fmt.Stringer.
+func (p *ComparePredicate) String() string {
+	op := "="
+	if p.Neq {
+		op = "!="
+	}
+	switch {
+	case p.Str != nil:
+		return fmt.Sprintf("%s %s %s", p.Attr, op, quoteString(*p.Str))
+	case p.Int != nil:
+		return fmt.Sprintf("%s %s %d", p.Attr, op, *p.Int)
+	case p.Float != nil:
+		return fmt.Sprintf("%s %s %g", p.Attr, op, *p.Float)
+	default:
+		return fmt.Sprintf("%s %s <nil>", p.Attr, op)
+	}
+}

@@ -1,0 +1,554 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sigfile/internal/core"
+	"sigfile/internal/oodb"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// IndexKind selects a set access facility for CreateIndex.
+type IndexKind int
+
+// The available facilities.
+const (
+	KindSSF IndexKind = iota
+	KindBSSF
+	KindNIX
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case KindSSF:
+		return "SSF"
+	case KindBSSF:
+		return "BSSF"
+	case KindNIX:
+		return "NIX"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// Engine executes queries over an oodb.Database, routing set predicates
+// through registered set access facilities and maintaining those
+// facilities across inserts and deletes. Mutations must flow through the
+// engine (Insert/Delete), not the raw database, or indexes go stale.
+type Engine struct {
+	db      *oodb.Database
+	indexes map[string]*indexEntry // key: "Class.attr"
+}
+
+type indexEntry struct {
+	am    core.AccessMethod
+	class string
+	attr  string // direct attribute name, or dotted "setAttr.leafAttr" path
+	// nested resolves the paper's §4.3 nested path (attr contains a
+	// dot); nil for direct set attributes.
+	nested *oodb.NestedSetSource
+}
+
+// elemsOf returns the indexed set value of one stored object under this
+// entry's path.
+func (ent *indexEntry) elemsOf(db *oodb.Database, oid oodb.OID) ([]string, error) {
+	if ent.nested != nil {
+		return ent.nested.Set(uint64(oid))
+	}
+	o, err := db.Get(oid)
+	if err != nil {
+		return nil, err
+	}
+	return o.SetAttr(ent.attr)
+}
+
+// NewEngine wraps a database.
+func NewEngine(db *oodb.Database) (*Engine, error) {
+	if db == nil {
+		return nil, fmt.Errorf("query: nil database")
+	}
+	return &Engine{db: db, indexes: make(map[string]*indexEntry)}, nil
+}
+
+// DB returns the underlying database.
+func (e *Engine) DB() *oodb.Database { return e.db }
+
+// CreateIndex builds a set access facility of the given kind on the path
+// class.attr, bulk-loading it from the existing objects. attr may be a
+// nested path "setAttr.leafAttr" through a set<ref> attribute — the
+// paper's §4.3 example is the NIX on "Student.courses.category". scheme
+// is required for SSF/BSSF and ignored for NIX. store receives the
+// facility's files (nil = in-memory).
+//
+// Nested indexes are maintained when objects of the indexed class are
+// inserted or deleted through the engine; like the paper's model, they
+// do NOT track updates to the *referenced* objects (changing a course's
+// category does not re-key the students pointing at it) — the classical
+// nested-index maintenance problem, out of scope here.
+func (e *Engine) CreateIndex(class, attr string, kind IndexKind, scheme *signature.Scheme, store pagestore.Store) (core.AccessMethod, error) {
+	key := class + "." + attr
+	if _, dup := e.indexes[key]; dup {
+		return nil, fmt.Errorf("query: index on %s already exists", key)
+	}
+	var src core.SetSource
+	var nested *oodb.NestedSetSource
+	var err error
+	if setAttr, leafAttr, isNested := strings.Cut(attr, "."); isNested {
+		nested, err = e.db.NewNestedSetSource(class, setAttr, leafAttr)
+		src = nested
+	} else {
+		src, err = e.db.NewSetSource(class, attr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if store != nil {
+		// Namespace the facility's files so several indexes can share
+		// one store.
+		store = pagestore.Prefixed(store, key)
+	}
+	var am core.AccessMethod
+	switch kind {
+	case KindSSF:
+		am, err = core.NewSSF(scheme, src, store)
+	case KindBSSF:
+		am, err = core.NewBSSF(scheme, src, store)
+	case KindNIX:
+		am, err = core.NewNIX(src, store)
+	default:
+		return nil, fmt.Errorf("query: unknown index kind %d", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Bulk load from the heap, batching page writes where the facility
+	// supports it.
+	var entries []core.Entry
+	err = e.db.Scan(class, func(o *oodb.Object) error {
+		var elems []string
+		var err error
+		if nested != nil {
+			elems, err = nested.Set(uint64(o.OID))
+		} else {
+			elems, err = o.SetAttr(attr)
+		}
+		if err != nil {
+			return err
+		}
+		entries = append(entries, core.Entry{OID: uint64(o.OID), Elems: elems})
+		return nil
+	})
+	if err == nil {
+		err = am.(core.BatchInserter).InsertBatch(entries)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("query: bulk load %s: %w", key, err)
+	}
+	e.indexes[key] = &indexEntry{am: am, class: class, attr: attr, nested: nested}
+	return am, nil
+}
+
+// Index returns the access method registered on class.attr, or nil.
+func (e *Engine) Index(class, attr string) core.AccessMethod {
+	ent := e.indexes[class+"."+attr]
+	if ent == nil {
+		return nil
+	}
+	return ent.am
+}
+
+// Insert stores a new object and maintains every index on its class.
+func (e *Engine) Insert(class string, attrs map[string]oodb.Value) (oodb.OID, error) {
+	oid, err := e.db.Insert(class, attrs)
+	if err != nil {
+		return oodb.NilOID, err
+	}
+	for _, ent := range e.indexes {
+		if ent.class != class {
+			continue
+		}
+		elems, err := ent.elemsOf(e.db, oid)
+		if err != nil {
+			return oodb.NilOID, fmt.Errorf("query: maintain index %s.%s: %w", ent.class, ent.attr, err)
+		}
+		if err := ent.am.Insert(uint64(oid), elems); err != nil {
+			return oodb.NilOID, fmt.Errorf("query: maintain index %s.%s: %w", ent.class, ent.attr, err)
+		}
+	}
+	return oid, nil
+}
+
+// Delete removes an object and maintains every index on its class.
+func (e *Engine) Delete(oid oodb.OID) error {
+	o, err := e.db.Get(oid)
+	if err != nil {
+		return err
+	}
+	for _, ent := range e.indexes {
+		if ent.class != o.Class {
+			continue
+		}
+		elems, err := ent.elemsOf(e.db, oid)
+		if err != nil {
+			return err
+		}
+		if err := ent.am.Delete(uint64(oid), elems); err != nil {
+			return fmt.Errorf("query: maintain index %s.%s: %w", ent.class, ent.attr, err)
+		}
+	}
+	return e.db.Delete(oid)
+}
+
+// ResultSet is the outcome of a query.
+type ResultSet struct {
+	// Objects are the qualifying objects in ascending OID order.
+	Objects []*oodb.Object
+	// Plan describes how the query was executed, e.g.
+	// "index(BSSF Student.hobbies T ⊇ Q)" or "scan(Student)".
+	Plan string
+	// IndexStats holds the access-method cost decomposition when an
+	// index served the query.
+	IndexStats *core.SearchStats
+}
+
+// OIDs returns the result OIDs.
+func (r *ResultSet) OIDs() []oodb.OID {
+	out := make([]oodb.OID, len(r.Objects))
+	for i, o := range r.Objects {
+		out[i] = o.OID
+	}
+	return out
+}
+
+// Run parses and executes a query in one step.
+func (e *Engine) Run(input string) (*ResultSet, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Execute runs a parsed query. Conjunctions are driven by the first set
+// predicate with a registered access facility; the remaining parts
+// filter its candidates per object. Without an indexable part the query
+// falls back to a heap scan evaluating every part.
+func (e *Engine) Execute(q *Query) (*ResultSet, error) {
+	cls, ok := e.db.Schema().Class(q.Class)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown class %q", q.Class)
+	}
+	parts, err := e.compileParts(cls, q.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick the driver: the first indexed set predicate.
+	driver := -1
+	for i, p := range parts {
+		if p.set != nil && e.indexes[q.Class+"."+p.set.Attr] != nil {
+			driver = i
+			break
+		}
+	}
+	if driver < 0 {
+		return e.scanAll(q.Class, cls, parts)
+	}
+
+	d := parts[driver]
+	ent := e.indexes[q.Class+"."+d.set.Attr]
+	res, err := ent.am.Search(d.set.Op, d.elems, nil)
+	if err != nil {
+		return nil, err
+	}
+	rest := append(append([]compiledPart{}, parts[:driver]...), parts[driver+1:]...)
+	objs := make([]*oodb.Object, 0, len(res.OIDs))
+	for _, oid := range res.OIDs {
+		o, err := e.db.Get(oodb.OID(oid))
+		if err != nil {
+			return nil, err
+		}
+		ok, err := evalParts(o, rest)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			objs = append(objs, o)
+		}
+	}
+	plan := fmt.Sprintf("index(%s %s.%s %s)", ent.am.Name(), q.Class, d.set.Attr, d.set.Op)
+	if len(rest) > 0 {
+		plan += fmt.Sprintf(" + filter(%d)", len(rest))
+	}
+	plan += subPlans(parts)
+	stats := res.Stats
+	return &ResultSet{Objects: objs, Plan: plan, IndexStats: &stats}, nil
+}
+
+// compiledPart is a predicate with its operands resolved (subqueries
+// executed, attribute kinds validated).
+type compiledPart struct {
+	set     *SetPredicate
+	elems   []string // resolved query set (set parts only)
+	subPlan string
+	// nested resolves a dotted-path set predicate per object.
+	nested  *oodb.NestedSetSource
+	cmp     *ComparePredicate
+	cmpKind oodb.Kind
+}
+
+// flattenPredicate lists the conjunction's parts (a simple predicate is
+// its own 1-element conjunction).
+func flattenPredicate(p Predicate) []Predicate {
+	if and, ok := p.(*AndPredicate); ok {
+		return and.Parts
+	}
+	return []Predicate{p}
+}
+
+// compileParts validates and resolves every part of the where clause.
+func (e *Engine) compileParts(cls *oodb.Class, where Predicate) ([]compiledPart, error) {
+	var out []compiledPart
+	for _, p := range flattenPredicate(where) {
+		switch pred := p.(type) {
+		case *SetPredicate:
+			elems, subPlan, err := e.resolveElems(cls, pred)
+			if err != nil {
+				return nil, err
+			}
+			part := compiledPart{set: pred, elems: elems, subPlan: subPlan}
+			if setAttr, leafAttr, isNested := strings.Cut(pred.Attr, "."); isNested {
+				part.nested, err = e.db.NewNestedSetSource(cls.Name, setAttr, leafAttr)
+				if err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, part)
+		case *ComparePredicate:
+			kind, ok := cls.AttrKind(pred.Attr)
+			if !ok {
+				return nil, fmt.Errorf("query: class %s has no attribute %q", cls.Name, pred.Attr)
+			}
+			if err := checkCompareKind(cls.Name, pred, kind); err != nil {
+				return nil, err
+			}
+			out = append(out, compiledPart{cmp: pred, cmpKind: kind})
+		default:
+			return nil, fmt.Errorf("query: unsupported predicate %T", p)
+		}
+	}
+	return out, nil
+}
+
+// checkCompareKind validates literal/attribute type compatibility at
+// compile time.
+func checkCompareKind(class string, pred *ComparePredicate, kind oodb.Kind) error {
+	switch {
+	case pred.Str != nil:
+		if kind != oodb.KindString {
+			return fmt.Errorf("query: %s.%s is %v, compared to a string", class, pred.Attr, kind)
+		}
+	case pred.Int != nil:
+		if kind != oodb.KindInt && kind != oodb.KindRef {
+			return fmt.Errorf("query: %s.%s is %v, compared to an integer", class, pred.Attr, kind)
+		}
+	case pred.Float != nil:
+		if kind != oodb.KindFloat {
+			return fmt.Errorf("query: %s.%s is %v, compared to a float", class, pred.Attr, kind)
+		}
+	default:
+		return fmt.Errorf("query: comparison without a literal")
+	}
+	return nil
+}
+
+// evalParts evaluates every compiled part against one object.
+func evalParts(o *oodb.Object, parts []compiledPart) (bool, error) {
+	for _, p := range parts {
+		ok, err := evalPart(o, p)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func evalPart(o *oodb.Object, p compiledPart) (bool, error) {
+	if p.set != nil {
+		var target []string
+		var err error
+		if p.nested != nil {
+			target, err = p.nested.Set(uint64(o.OID))
+		} else {
+			target, err = o.SetAttr(p.set.Attr)
+		}
+		if err != nil {
+			return false, err
+		}
+		return signature.EvaluateSets(p.set.Op, target, p.elems), nil
+	}
+	v, ok := o.Attr(p.cmp.Attr)
+	if !ok {
+		return false, fmt.Errorf("query: object %d lacks attribute %q", o.OID, p.cmp.Attr)
+	}
+	var hit bool
+	switch {
+	case p.cmp.Str != nil:
+		hit = v.Str == *p.cmp.Str
+	case p.cmp.Int != nil:
+		if p.cmpKind == oodb.KindRef {
+			hit = v.Ref == oodb.OID(*p.cmp.Int)
+		} else {
+			hit = v.Int == *p.cmp.Int
+		}
+	case p.cmp.Float != nil:
+		hit = v.Float == *p.cmp.Float
+	}
+	return hit != p.cmp.Neq, nil
+}
+
+// subPlans concatenates the subquery plans of all parts for display.
+func subPlans(parts []compiledPart) string {
+	out := ""
+	for _, p := range parts {
+		if p.subPlan != "" {
+			out += " <- " + p.subPlan
+		}
+	}
+	return out
+}
+
+// scanAll answers a query by scanning the heap and evaluating every
+// part.
+func (e *Engine) scanAll(class string, cls *oodb.Class, parts []compiledPart) (*ResultSet, error) {
+	var objs []*oodb.Object
+	err := e.db.Scan(class, func(o *oodb.Object) error {
+		ok, err := evalParts(o, parts)
+		if err != nil {
+			return err
+		}
+		if ok {
+			objs = append(objs, o)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortObjects(objs)
+	var desc []string
+	for _, p := range parts {
+		if p.set != nil {
+			desc = append(desc, p.set.Op.String())
+		}
+	}
+	plan := fmt.Sprintf("scan(%s)", class)
+	if len(desc) > 0 {
+		plan = fmt.Sprintf("scan(%s filter %s)", class, strings.Join(desc, ","))
+	}
+	plan += subPlans(parts)
+	return &ResultSet{Objects: objs, Plan: plan}, nil
+}
+
+// resolveElems materializes the query set of a set predicate, executing
+// the subquery if present. Subquery results are encoded as OID elements,
+// so they are only meaningful against set<ref> attributes.
+func (e *Engine) resolveElems(cls *oodb.Class, pred *SetPredicate) ([]string, string, error) {
+	if strings.Contains(pred.Attr, ".") {
+		// Nested path: the indexed elements are the (scalar) leaf values,
+		// so literals pass through and subqueries are rejected.
+		if pred.Sub != nil {
+			return nil, "", fmt.Errorf("query: nested path %s.%s does not take a subquery operand", cls.Name, pred.Attr)
+		}
+		return pred.Elems, "", nil
+	}
+	kind, ok := cls.AttrKind(pred.Attr)
+	if !ok {
+		return nil, "", fmt.Errorf("query: class %s has no attribute %q", cls.Name, pred.Attr)
+	}
+	if !kind.IsSet() {
+		return nil, "", fmt.Errorf("query: %s.%s is %v; set operators need a set attribute", cls.Name, pred.Attr, kind)
+	}
+	if pred.Sub == nil {
+		if kind == oodb.KindRefSet {
+			// Literal operands against a ref set are numeric OIDs.
+			elems := make([]string, 0, len(pred.Elems))
+			for _, lit := range pred.Elems {
+				oid, err := strconv.ParseUint(lit, 10, 64)
+				if err != nil {
+					return nil, "", fmt.Errorf("query: %s.%s is set<ref>; element %q is not an OID", cls.Name, pred.Attr, lit)
+				}
+				elems = append(elems, oodb.EncodeOID(oodb.OID(oid)))
+			}
+			return elems, "", nil
+		}
+		return pred.Elems, "", nil
+	}
+	if kind != oodb.KindRefSet {
+		return nil, "", fmt.Errorf("query: %s.%s is %v; a subquery operand needs a set<ref> attribute", cls.Name, pred.Attr, kind)
+	}
+	sub, err := e.Execute(pred.Sub)
+	if err != nil {
+		return nil, "", fmt.Errorf("query: subquery: %w", err)
+	}
+	elems := make([]string, 0, len(sub.Objects))
+	for _, o := range sub.Objects {
+		elems = append(elems, oodb.EncodeOID(o.OID))
+	}
+	return elems, sub.Plan, nil
+}
+
+func sortObjects(objs []*oodb.Object) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].OID < objs[j].OID })
+}
+
+// Explain returns the plan a query would use without running the data
+// access (subqueries are still executed to resolve their plans).
+func (e *Engine) Explain(input string) (string, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", q)
+	for i, part := range flattenPredicate(q.Where) {
+		prefix := "plan: "
+		if i > 0 {
+			prefix = "  and "
+		}
+		if sp, ok := part.(*SetPredicate); ok {
+			if ent := e.indexes[q.Class+"."+sp.Attr]; ent != nil && i == firstIndexed(e, q) {
+				fmt.Fprintf(&b, "%s index(%s %s.%s %s)\n", prefix, ent.am.Name(), q.Class, sp.Attr, sp.Op)
+				continue
+			}
+			fmt.Fprintf(&b, "%s filter %s on %s\n", prefix, sp.Op, q.Class)
+			continue
+		}
+		fmt.Fprintf(&b, "%s filter compare on %s\n", prefix, q.Class)
+	}
+	if firstIndexed(e, q) < 0 {
+		fmt.Fprintf(&b, "  via scan(%s)", q.Class)
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+// firstIndexed returns the index of the first part of q's conjunction
+// that an access facility can drive, or -1.
+func firstIndexed(e *Engine, q *Query) int {
+	for i, part := range flattenPredicate(q.Where) {
+		if sp, ok := part.(*SetPredicate); ok {
+			if e.indexes[q.Class+"."+sp.Attr] != nil {
+				return i
+			}
+		}
+	}
+	return -1
+}

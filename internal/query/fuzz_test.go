@@ -1,0 +1,35 @@
+package query
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// render (String) and reparse to the same text — the grammar's printer
+// and parser agree.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`select Student where hobbies has-subset ("Baseball", "Fishing")`,
+		`select Student where hobbies in-subset ("a")`,
+		`select Student where courses in-subset (select Course where category = "DB")`,
+		`select S where a has-element "x" and b = 3 and c != 1.5`,
+		`select S where a equals ()`,
+		`select`,
+		`"unterminated`,
+		`select S where a has-subset ("x",`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered query does not reparse: %q: %v", rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("printer/parser disagree: %q vs %q", q2.String(), rendered)
+		}
+	})
+}

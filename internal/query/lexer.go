@@ -1,0 +1,148 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq
+	tokNeq
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier name, unquoted string value, or number text
+	pos  int    // byte offset in the input
+}
+
+// lex tokenizes the input. Identifiers may contain hyphens so that the
+// paper's operators (has-subset, in-subset, has-element) lex as single
+// tokens; strings are double-quoted with backslash escapes.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 >= len(input) || input[i+1] != '=' {
+				return nil, fmt.Errorf("query: position %d: expected '=' after '!'", i)
+			}
+			toks = append(toks, token{tokNeq, "!=", i})
+			i += 2
+		case c == '"':
+			val, next, err := lexString(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{tokString, val, i})
+			i = next
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			i++
+			for i < len(input) && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(input) && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		default:
+			return nil, fmt.Errorf("query: position %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func lexString(input string, start int) (string, int, error) {
+	var sb strings.Builder
+	i := start + 1
+	for i < len(input) {
+		switch input[i] {
+		case '"':
+			return sb.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(input) {
+				return "", 0, fmt.Errorf("query: position %d: dangling escape", i)
+			}
+			switch input[i+1] {
+			case '"', '\\':
+				sb.WriteByte(input[i+1])
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				return "", 0, fmt.Errorf("query: position %d: unknown escape \\%c", i, input[i+1])
+			}
+			i += 2
+		default:
+			sb.WriteByte(input[i])
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("query: position %d: unterminated string", start)
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}

@@ -1,0 +1,199 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"sigfile/internal/oodb"
+	"sigfile/internal/signature"
+)
+
+// dbCategories returns, per student OID, the set of categories of the
+// student's courses — the ground truth for the nested path
+// Student.courses.category.
+func dbCategories(t *testing.T, e *Engine) map[oodb.OID]map[string]bool {
+	t.Helper()
+	course := map[oodb.OID]string{}
+	if err := e.DB().Scan("Course", func(o *oodb.Object) error {
+		course[o.OID] = o.Attrs["category"].Str
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := map[oodb.OID]map[string]bool{}
+	if err := e.DB().Scan("Student", func(o *oodb.Object) error {
+		cats := map[string]bool{}
+		for _, c := range o.Attrs["courses"].RefSet {
+			cats[course[c]] = true
+		}
+		out[o.OID] = cats
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestNestedPathIndex reproduces the paper's §4.3 example: an index on
+// the path Student.courses.category answering category-level set
+// predicates over students.
+func TestNestedPathIndex(t *testing.T) {
+	for _, kind := range []IndexKind{KindNIX, KindBSSF, KindSSF} {
+		e := newUniversity(t)
+		if _, err := e.CreateIndex("Student", "courses.category", kind, signature.MustNew(64, 2), nil); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		truth := dbCategories(t, e)
+
+		// has-element: students taking at least one DB course (the leaf
+		// entry "[DB, {s1, s2}]" of the paper's example).
+		res, err := e.Run(`select Student where courses.category has-element "DB"`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(res.Plan, "index("+kind.String()+" Student.courses.category") {
+			t.Fatalf("%v plan: %q", kind, res.Plan)
+		}
+		want := 0
+		for _, cats := range truth {
+			if cats["DB"] {
+				want++
+			}
+		}
+		if len(res.Objects) != want {
+			t.Fatalf("%v has-element: %d results, want %d", kind, len(res.Objects), want)
+		}
+
+		// has-subset: students with both a DB and an AI course.
+		res, err = e.Run(`select Student where courses.category has-subset ("DB", "AI")`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = 0
+		for _, cats := range truth {
+			if cats["DB"] && cats["AI"] {
+				want++
+			}
+		}
+		if len(res.Objects) != want {
+			t.Fatalf("%v has-subset: %d results, want %d", kind, len(res.Objects), want)
+		}
+
+		// in-subset: the paper's "students who take only DB lectures",
+		// now expressible WITHOUT a subquery.
+		res, err = e.Run(`select Student where courses.category in-subset ("DB")`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = 0
+		for _, cats := range truth {
+			only := len(cats) > 0
+			for c := range cats {
+				if c != "DB" {
+					only = false
+				}
+			}
+			if only || len(cats) == 0 {
+				want++
+			}
+		}
+		if len(res.Objects) != want {
+			t.Fatalf("%v in-subset: %d results, want %d", kind, len(res.Objects), want)
+		}
+	}
+}
+
+// TestNestedPathScanFallback answers the same queries without an index.
+func TestNestedPathScanFallback(t *testing.T) {
+	e := newUniversity(t)
+	truth := dbCategories(t, e)
+	res, err := e.Run(`select Student where courses.category has-element "DB"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "scan(") {
+		t.Fatalf("plan %q", res.Plan)
+	}
+	want := 0
+	for _, cats := range truth {
+		if cats["DB"] {
+			want++
+		}
+	}
+	if len(res.Objects) != want {
+		t.Fatalf("scan fallback: %d results, want %d", len(res.Objects), want)
+	}
+}
+
+// TestNestedPathMaintenance checks insert/delete maintenance through the
+// engine.
+func TestNestedPathMaintenance(t *testing.T) {
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "courses.category", KindNIX, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Find one DB course to reference.
+	var dbCourse oodb.OID
+	e.DB().Scan("Course", func(o *oodb.Object) error {
+		if dbCourse == 0 && o.Attrs["category"].Str == "DB" {
+			dbCourse = o.OID
+		}
+		return nil
+	})
+	oid, err := e.Insert("Student", map[string]oodb.Value{
+		"name":    oodb.String("OnlyDB"),
+		"courses": oodb.RefSet(dbCourse),
+		"hobbies": oodb.StringSet("Chess"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(`select Student where courses.category in-subset ("DB")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range res.Objects {
+		if o.OID == oid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted student not visible through nested index")
+	}
+	if err := e.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = e.Run(`select Student where courses.category in-subset ("DB")`)
+	for _, o := range res.Objects {
+		if o.OID == oid {
+			t.Fatal("deleted student still indexed")
+		}
+	}
+}
+
+// TestNestedPathValidation covers the error paths.
+func TestNestedPathValidation(t *testing.T) {
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "hobbies.x", KindNIX, nil, nil); err == nil {
+		t.Fatal("nested path through set<string> accepted")
+	}
+	if _, err := e.CreateIndex("Student", "nope.x", KindNIX, nil, nil); err == nil {
+		t.Fatal("nested path through missing attribute accepted")
+	}
+	if _, err := e.Run(`select Student where courses.category in-subset (select Course where category = "DB")`); err == nil {
+		t.Fatal("subquery against nested path accepted")
+	}
+	// A leaf attribute missing on the referenced class surfaces at
+	// evaluation time.
+	if _, err := e.Run(`select Student where courses.bogus has-element "x"`); err == nil {
+		t.Fatal("missing leaf attribute accepted")
+	}
+	// oodb-level validation.
+	if _, err := e.DB().NewNestedSetSource("Student", "courses", ""); err == nil {
+		t.Fatal("empty leaf attribute accepted")
+	}
+	if _, err := e.DB().NewNestedSetSource("Ghost", "courses", "x"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sigfile/internal/signature"
+)
+
+// Parse parses one select statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting with %s", p.peek().kind)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("query: position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectIdent(keyword string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, keyword) {
+		return fmt.Errorf("query: position %d: expected %q, got %q", t.pos, keyword, t.text)
+	}
+	return nil
+}
+
+// setOps maps the language's set operators to predicates.
+var setOps = map[string]signature.Predicate{
+	"has-subset":  signature.Superset,
+	"in-subset":   signature.Subset,
+	"overlaps":    signature.Overlap,
+	"equals":      signature.Equals,
+	"has-element": signature.Contains,
+}
+
+func (p *parser) query() (*Query, error) {
+	if err := p.expectIdent("select"); err != nil {
+		return nil, err
+	}
+	cls := p.next()
+	if cls.kind != tokIdent {
+		return nil, fmt.Errorf("query: position %d: expected class name, got %s", cls.pos, cls.kind)
+	}
+	if err := p.expectIdent("where"); err != nil {
+		return nil, err
+	}
+	pred, err := p.predicate()
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Class: cls.text, Where: pred}, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	first, err := p.simplePredicate()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Predicate{first}
+	for p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "and") {
+		p.next()
+		next, err := p.simplePredicate()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return &AndPredicate{Parts: parts}, nil
+}
+
+func (p *parser) simplePredicate() (Predicate, error) {
+	attr := p.next()
+	if attr.kind != tokIdent {
+		return nil, fmt.Errorf("query: position %d: expected attribute name, got %s", attr.pos, attr.kind)
+	}
+	op := p.next()
+	switch op.kind {
+	case tokEq, tokNeq:
+		return p.compare(attr.text, op.kind == tokNeq)
+	case tokIdent:
+		sp, ok := setOps[strings.ToLower(op.text)]
+		if !ok {
+			return nil, fmt.Errorf("query: position %d: unknown operator %q", op.pos, op.text)
+		}
+		return p.setOperand(attr.text, sp)
+	default:
+		return nil, fmt.Errorf("query: position %d: expected an operator, got %s", op.pos, op.kind)
+	}
+}
+
+func (p *parser) compare(attr string, neq bool) (Predicate, error) {
+	t := p.next()
+	pred := &ComparePredicate{Attr: attr, Neq: neq}
+	switch t.kind {
+	case tokString:
+		s := t.text
+		pred.Str = &s
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: position %d: bad number %q: %w", t.pos, t.text, err)
+			}
+			pred.Float = &f
+		} else {
+			i, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: position %d: bad number %q: %w", t.pos, t.text, err)
+			}
+			pred.Int = &i
+		}
+	default:
+		return nil, fmt.Errorf("query: position %d: expected a literal, got %s", t.pos, t.kind)
+	}
+	return pred, nil
+}
+
+// setOperand parses either a literal element list or a parenthesized
+// subquery. has-element additionally accepts a bare literal:
+// `hobbies has-element "Chess"`.
+func (p *parser) setOperand(attr string, op signature.Predicate) (Predicate, error) {
+	if op == signature.Contains && p.peek().kind == tokString {
+		t := p.next()
+		return &SetPredicate{Attr: attr, Op: op, Elems: []string{t.text}}, nil
+	}
+	if t := p.next(); t.kind != tokLParen {
+		return nil, fmt.Errorf("query: position %d: expected '(', got %s", t.pos, t.kind)
+	}
+	// Subquery?
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "select") {
+		sub, err := p.query()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.next(); t.kind != tokRParen {
+			return nil, fmt.Errorf("query: position %d: expected ')' after subquery, got %s", t.pos, t.kind)
+		}
+		return &SetPredicate{Attr: attr, Op: op, Sub: sub}, nil
+	}
+	// Literal list (possibly empty: "()" is the empty set).
+	var elems []string
+	for p.peek().kind != tokRParen {
+		t := p.next()
+		switch t.kind {
+		case tokString, tokNumber:
+			elems = append(elems, t.text)
+		default:
+			return nil, fmt.Errorf("query: position %d: expected a literal, got %s", t.pos, t.kind)
+		}
+		switch p.peek().kind {
+		case tokComma:
+			p.next()
+			if p.peek().kind == tokRParen {
+				return nil, p.errorf("trailing comma in element list")
+			}
+		case tokRParen:
+			// list ends
+		default:
+			return nil, p.errorf("expected ',' or ')' in element list, got %s", p.peek().kind)
+		}
+	}
+	p.next() // consume ')'
+	return &SetPredicate{Attr: attr, Op: op, Elems: elems}, nil
+}

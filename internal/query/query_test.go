@@ -1,0 +1,475 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"sigfile/internal/oodb"
+	"sigfile/internal/signature"
+)
+
+func TestLexer(t *testing.T) {
+	toks, err := lex(`select Student where hobbies has-subset ("Baseball", "Fi\"sh")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokIdent, tokIdent, tokIdent, tokIdent, tokIdent, tokLParen, tokString, tokComma, tokString, tokRParen, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("%d tokens, want %d: %+v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Fatalf("token %d: %v, want %v", i, toks[i].kind, k)
+		}
+	}
+	if toks[8].text != `Fi"sh` {
+		t.Fatalf("escaped string: %q", toks[8].text)
+	}
+	// Numbers, operators.
+	toks, err = lex(`x = -3.5 y != 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokEq || toks[2].kind != tokNumber || toks[4].kind != tokNeq {
+		t.Fatalf("operator lexing wrong: %+v", toks)
+	}
+	// Errors.
+	for _, bad := range []string{`"unterminated`, `!x`, `"bad\q"`, "@", `"dangling\`} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// Query Q1 (§2).
+	q, err := Parse(`select Student where hobbies has-subset ("Baseball", "Fishing")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Class != "Student" {
+		t.Fatalf("class %q", q.Class)
+	}
+	sp, ok := q.Where.(*SetPredicate)
+	if !ok || sp.Op != signature.Superset || len(sp.Elems) != 2 {
+		t.Fatalf("Q1 parsed wrong: %+v", q.Where)
+	}
+	// Query Q2 (§2).
+	q, err = Parse(`select Student where hobbies in-subset ("Baseball", "Fishing", "Tennis")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp = q.Where.(*SetPredicate)
+	if sp.Op != signature.Subset || len(sp.Elems) != 3 {
+		t.Fatalf("Q2 parsed wrong: %+v", sp)
+	}
+	// The §1 motivating query with a subquery.
+	q, err = Parse(`select Student where courses in-subset (select Course where category = "DB")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp = q.Where.(*SetPredicate)
+	if sp.Sub == nil || sp.Sub.Class != "Course" {
+		t.Fatalf("subquery parsed wrong: %+v", sp)
+	}
+	cp, ok := sp.Sub.Where.(*ComparePredicate)
+	if !ok || cp.Str == nil || *cp.Str != "DB" {
+		t.Fatalf("subquery predicate wrong: %+v", sp.Sub.Where)
+	}
+	// Round trip through String/Parse.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Fatalf("round trip: %q vs %q", q2.String(), q.String())
+	}
+}
+
+func TestParseOtherOperators(t *testing.T) {
+	for src, want := range map[string]signature.Predicate{
+		`select S where a overlaps ("x")`:    signature.Overlap,
+		`select S where a equals ("x", "y")`: signature.Equals,
+		`select S where a has-element "x"`:   signature.Contains,
+		`select S where a has-element ("x")`: signature.Contains,
+		`select S where a has-subset ()`:     signature.Superset,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if q.Where.(*SetPredicate).Op != want {
+			t.Fatalf("%s: op %v", src, q.Where.(*SetPredicate).Op)
+		}
+	}
+	// Comparisons.
+	q, err := Parse(`select S where year != 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := q.Where.(*ComparePredicate)
+	if !cp.Neq || cp.Int == nil || *cp.Int != 3 {
+		t.Fatalf("int compare wrong: %+v", cp)
+	}
+	q, err = Parse(`select S where gpa = 3.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp = q.Where.(*ComparePredicate)
+	if cp.Float == nil || *cp.Float != 3.5 {
+		t.Fatalf("float compare wrong: %+v", cp)
+	}
+	if !strings.Contains(cp.String(), "3.5") {
+		t.Fatal("ComparePredicate.String misses value")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`select`,
+		`select Student`,
+		`select Student where`,
+		`select Student where hobbies`,
+		`select Student where hobbies frobnicates ("x")`,
+		`select Student where hobbies has-subset "x", "y"`,
+		`select Student where hobbies has-subset ("x" "y")`,
+		`select Student where hobbies has-subset ("x",)`,
+		`select Student where hobbies has-subset ("x") trailing`,
+		`select Student where hobbies has-subset (select Course where category = "DB"`,
+		`select Student where name = `,
+		`select where x = 1`,
+		`select Student where hobbies has-subset (where)`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+// newUniversity builds the engine over the paper's sample schema with a
+// deterministic data set small enough to brute-force.
+func newUniversity(t *testing.T) *Engine {
+	t.Helper()
+	db, err := oodb.NewSampleDatabase(oodb.SampleConfig{
+		Students: 300, Courses: 40, Teachers: 8,
+		CoursesPerStud: 5, HobbiesPerStud: 4, Seed: 11,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineScanFallback(t *testing.T) {
+	e := newUniversity(t)
+	res, err := e.Run(`select Student where hobbies has-subset ("Baseball", "Fishing")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "scan(") {
+		t.Fatalf("plan %q should be a scan without indexes", res.Plan)
+	}
+	// Verify against direct evaluation.
+	count := 0
+	e.DB().Scan("Student", func(o *oodb.Object) error {
+		hobbies, _ := o.SetAttr("hobbies")
+		if signature.EvaluateSets(signature.Superset, hobbies, []string{"Baseball", "Fishing"}) {
+			count++
+		}
+		return nil
+	})
+	if len(res.Objects) != count {
+		t.Fatalf("scan answer %d, brute force %d", len(res.Objects), count)
+	}
+}
+
+func TestEngineIndexedQueriesAgreeWithScan(t *testing.T) {
+	queries := []string{
+		`select Student where hobbies has-subset ("Baseball", "Fishing")`,
+		`select Student where hobbies in-subset ("Baseball", "Fishing", "Tennis", "Golf", "Chess", "Reading", "Cooking", "Hiking")`,
+		`select Student where hobbies overlaps ("Baseball", "Yoga")`,
+		`select Student where hobbies has-element "Chess"`,
+	}
+	// Baseline: no index.
+	base := newUniversity(t)
+	var want [][]oodb.OID
+	for _, src := range queries {
+		res, err := base.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.OIDs())
+	}
+	for _, kind := range []IndexKind{KindSSF, KindBSSF, KindNIX} {
+		e := newUniversity(t)
+		if _, err := e.CreateIndex("Student", "hobbies", kind, signature.MustNew(128, 3), nil); err != nil {
+			t.Fatal(err)
+		}
+		for i, src := range queries {
+			res, err := e.Run(src)
+			if err != nil {
+				t.Fatalf("%v %s: %v", kind, src, err)
+			}
+			if !strings.HasPrefix(res.Plan, "index("+kind.String()) {
+				t.Fatalf("%v: plan %q", kind, res.Plan)
+			}
+			if res.IndexStats == nil {
+				t.Fatalf("%v: missing index stats", kind)
+			}
+			got := res.OIDs()
+			if len(got) != len(want[i]) {
+				t.Fatalf("%v %s: %d results, scan gave %d", kind, src, len(got), len(want[i]))
+			}
+			for j := range got {
+				if got[j] != want[i][j] {
+					t.Fatalf("%v %s: result %d differs", kind, src, j)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineSubquery(t *testing.T) {
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "courses", KindBSSF, signature.MustNew(256, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(`select Student where courses in-subset (select Course where category = "DB")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "index(BSSF Student.courses") || !strings.Contains(res.Plan, "scan(Course)") {
+		t.Fatalf("plan %q", res.Plan)
+	}
+	// Brute-force the paper's motivating query.
+	dbCourses := map[oodb.OID]bool{}
+	e.DB().Scan("Course", func(o *oodb.Object) error {
+		if o.Attrs["category"].Str == "DB" {
+			dbCourses[o.OID] = true
+		}
+		return nil
+	})
+	wantCount := 0
+	e.DB().Scan("Student", func(o *oodb.Object) error {
+		all := true
+		for _, c := range o.Attrs["courses"].RefSet {
+			if !dbCourses[c] {
+				all = false
+				break
+			}
+		}
+		if all {
+			wantCount++
+		}
+		return nil
+	})
+	if len(res.Objects) != wantCount {
+		t.Fatalf("subquery answer %d, brute force %d", len(res.Objects), wantCount)
+	}
+	// "Find all students who take all of the DB lectures" (T ⊇ Q).
+	res2, err := e.Run(`select Student where courses has-subset (select Course where category = "DB")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll := 0
+	e.DB().Scan("Student", func(o *oodb.Object) error {
+		have := map[oodb.OID]bool{}
+		for _, c := range o.Attrs["courses"].RefSet {
+			have[c] = true
+		}
+		for c := range dbCourses {
+			if !have[c] {
+				return nil
+			}
+		}
+		wantAll++
+		return nil
+	})
+	if len(res2.Objects) != wantAll {
+		t.Fatalf("has-subset subquery: %d, brute force %d", len(res2.Objects), wantAll)
+	}
+}
+
+func TestEngineRefSetLiterals(t *testing.T) {
+	e := newUniversity(t)
+	// Find one student's course OIDs and query by literal OID.
+	var sid oodb.OID
+	var course oodb.OID
+	e.DB().Scan("Student", func(o *oodb.Object) error {
+		if sid == 0 {
+			sid = o.OID
+			course = o.Attrs["courses"].RefSet[0]
+		}
+		return nil
+	})
+	res, err := e.Run(`select Student where courses has-element "ignored"`)
+	if err == nil {
+		_ = res // has-element with a string against set<ref> must fail
+		t.Fatal("string literal accepted against set<ref>")
+	}
+	res, err = e.Run(
+		`select Student where courses has-subset (` + itoa(uint64(course)) + `)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range res.Objects {
+		if o.OID == sid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("literal-OID query missed the known student")
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestEngineMutationsMaintainIndexes(t *testing.T) {
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "hobbies", KindBSSF, signature.MustNew(128, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := e.Insert("Student", map[string]oodb.Value{
+		"name":    oodb.String("Newcomer"),
+		"courses": oodb.RefSet(),
+		"hobbies": oodb.StringSet("Origami", "Juggling"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(`select Student where hobbies has-subset ("Origami", "Juggling")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range res.Objects {
+		if o.OID == oid {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted object not found via index")
+	}
+	if err := e.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = e.Run(`select Student where hobbies has-subset ("Origami", "Juggling")`)
+	for _, o := range res.Objects {
+		if o.OID == oid {
+			t.Fatal("deleted object still indexed")
+		}
+	}
+	if err := e.Delete(oid); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestEngineCompareScans(t *testing.T) {
+	e := newUniversity(t)
+	res, err := e.Run(`select Course where category = "DB"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Objects {
+		if o.Attrs["category"].Str != "DB" {
+			t.Fatal("wrong category in result")
+		}
+	}
+	neg, err := e.Run(`select Course where category != "DB"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects)+len(neg.Objects) != e.DB().Count("Course") {
+		t.Fatal("= and != do not partition")
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := newUniversity(t)
+	bad := []string{
+		`select Nope where x = 1`,
+		`select Student where nope has-subset ("x")`,
+		`select Student where name has-subset ("x")`,                                   // not a set
+		`select Student where hobbies = "x"`,                                           // set compared as primitive... actually kind mismatch
+		`select Student where name = 3`,                                                // type mismatch
+		`select Student where courses in-subset ("x")`,                                 // non-OID literal on set<ref>
+		`select Student where hobbies in-subset (select Course where category = "DB")`, // subquery on string set
+	}
+	for _, src := range bad {
+		if _, err := e.Run(src); err == nil {
+			t.Errorf("Run(%q) accepted", src)
+		}
+	}
+	if _, err := NewEngine(nil); err == nil {
+		t.Fatal("NewEngine(nil) accepted")
+	}
+	if _, err := e.CreateIndex("Student", "name", KindNIX, nil, nil); err == nil {
+		t.Fatal("index on primitive attribute accepted")
+	}
+	if _, err := e.CreateIndex("Student", "hobbies", KindNIX, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateIndex("Student", "hobbies", KindSSF, signature.MustNew(64, 2), nil); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if e.Index("Student", "hobbies") == nil {
+		t.Fatal("Index lookup failed")
+	}
+	if e.Index("Student", "courses") != nil {
+		t.Fatal("Index invented an access method")
+	}
+	if _, err := e.CreateIndex("Student", "courses", IndexKind(9), nil, nil); err == nil {
+		t.Fatal("unknown index kind accepted")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	e := newUniversity(t)
+	plan, err := e.Explain(`select Student where hobbies has-subset ("Chess")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "scan(Student") {
+		t.Fatalf("explain: %s", plan)
+	}
+	e.CreateIndex("Student", "hobbies", KindBSSF, signature.MustNew(64, 2), nil)
+	plan, _ = e.Explain(`select Student where hobbies has-subset ("Chess")`)
+	if !strings.Contains(plan, "index(BSSF") {
+		t.Fatalf("explain after index: %s", plan)
+	}
+	plan, _ = e.Explain(`select Course where category = "DB"`)
+	if !strings.Contains(plan, "scan(Course)") {
+		t.Fatalf("explain compare: %s", plan)
+	}
+	if _, err := e.Explain(`garbage`); err == nil {
+		t.Fatal("Explain accepted garbage")
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	if KindSSF.String() != "SSF" || KindBSSF.String() != "BSSF" || KindNIX.String() != "NIX" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.HasPrefix(IndexKind(7).String(), "IndexKind(") {
+		t.Fatal("unknown kind name wrong")
+	}
+}

@@ -1,0 +1,203 @@
+package signature
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameSchemeValidation(t *testing.T) {
+	cases := []struct {
+		k, s, m int
+		ok      bool
+	}{
+		{10, 25, 2, true}, {1, 8, 8, true},
+		{0, 8, 2, false}, {-1, 8, 2, false}, {4, 0, 1, false},
+		{4, 8, 0, false}, {4, 8, 9, false},
+	}
+	for _, c := range cases {
+		_, err := NewFrameScheme(c.k, c.s, c.m)
+		if (err == nil) != c.ok {
+			t.Errorf("NewFrameScheme(%d,%d,%d): err=%v, want ok=%v", c.k, c.s, c.m, err, c.ok)
+		}
+	}
+	fs := MustFrameScheme(10, 25, 2)
+	if fs.K() != 10 || fs.S() != 25 || fs.M() != 2 || fs.F() != 250 {
+		t.Fatalf("accessors wrong: %d %d %d %d", fs.K(), fs.S(), fs.M(), fs.F())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFrameScheme(0,0,0) did not panic")
+		}
+	}()
+	MustFrameScheme(0, 0, 0)
+}
+
+func TestElementFrameDeterministicAndInRange(t *testing.T) {
+	fs := MustFrameScheme(16, 32, 3)
+	for i := 0; i < 200; i++ {
+		elem := []byte(fmt.Sprintf("elem-%03d", i))
+		f1, b1 := fs.ElementFrame(elem)
+		f2, b2 := fs.ElementFrame(elem)
+		if f1 != f2 {
+			t.Fatal("frame not deterministic")
+		}
+		if f1 < 0 || f1 >= 16 {
+			t.Fatalf("frame %d out of range", f1)
+		}
+		if len(b1) != 3 {
+			t.Fatalf("%d bits, want 3", len(b1))
+		}
+		seen := map[int]bool{}
+		for j, b := range b1 {
+			if b < 0 || b >= 32 {
+				t.Fatalf("bit %d out of frame", b)
+			}
+			if b != b2[j] {
+				t.Fatal("bits not deterministic")
+			}
+			if seen[b] {
+				t.Fatal("duplicate bit positions")
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestFrameDistributionUniform(t *testing.T) {
+	// Frames should be hit roughly uniformly over many elements.
+	const k, n = 8, 8000
+	fs := MustFrameScheme(k, 16, 2)
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		f, _ := fs.ElementFrame([]byte(fmt.Sprintf("v%06d", i)))
+		counts[f]++
+	}
+	want := float64(n) / k
+	for j, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("frame %d hit %d times, expected ≈%.0f (counts %v)", j, c, want, counts)
+		}
+	}
+}
+
+func TestFrameSetSignature(t *testing.T) {
+	fs := MustFrameScheme(8, 16, 2)
+	elems := []string{"Baseball", "Fishing", "Golf", "Tennis"}
+	sig := fs.SetSignature(elems)
+	// Every element's bits must be present in its frame.
+	for _, e := range elems {
+		frame, bits := fs.ElementFrame([]byte(e))
+		fr := sig.Frame(frame)
+		if fr == nil {
+			t.Fatalf("frame %d of %s empty", frame, e)
+		}
+		for _, b := range bits {
+			if !fr.Test(b) {
+				t.Fatalf("bit %d of %s missing", b, e)
+			}
+		}
+	}
+	touched := sig.TouchedFrames()
+	if len(touched) == 0 || len(touched) > len(elems) {
+		t.Fatalf("touched frames: %v", touched)
+	}
+	for i := 1; i < len(touched); i++ {
+		if touched[i] <= touched[i-1] {
+			t.Fatal("touched frames not ascending")
+		}
+	}
+	// Empty set: no frames touched, flat signature zero.
+	empty := fs.SetSignature(nil)
+	if len(empty.TouchedFrames()) != 0 || empty.Flat().Any() {
+		t.Fatal("empty set signature not empty")
+	}
+}
+
+func TestFrameFlatMatchesPerFrame(t *testing.T) {
+	fs := MustFrameScheme(10, 25, 2)
+	sig := fs.SetSignature([]string{"a", "b", "c", "d", "e"})
+	flat := sig.Flat()
+	if flat.Len() != 250 {
+		t.Fatalf("flat length %d", flat.Len())
+	}
+	count := 0
+	for j := 0; j < fs.K(); j++ {
+		if fr := sig.Frame(j); fr != nil {
+			count += fr.Count()
+			for b, ok := fr.NextSet(0); ok; b, ok = fr.NextSet(b + 1) {
+				if !flat.Test(j*fs.S() + b) {
+					t.Fatalf("flat missing frame %d bit %d", j, b)
+				}
+			}
+		}
+	}
+	if flat.Count() != count {
+		t.Fatalf("flat weight %d, frames sum %d", flat.Count(), count)
+	}
+}
+
+// Property: frame signatures never false-dismiss supersets — if
+// target ⊇ query then every query frame content is contained in the
+// target's.
+func TestPropertyFrameNoFalseDismissals(t *testing.T) {
+	fs := MustFrameScheme(8, 32, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := make([]string, 30)
+		for i := range universe {
+			universe[i] = fmt.Sprintf("e%02d", i)
+		}
+		tcard := 1 + rng.Intn(10)
+		target := make([]string, 0, tcard)
+		for _, j := range rng.Perm(30)[:tcard] {
+			target = append(target, universe[j])
+		}
+		query := target[:1+rng.Intn(len(target))]
+		tsig := fs.SetSignature(target)
+		qsig := fs.SetSignature(query)
+		for j := 0; j < fs.K(); j++ {
+			qf := qsig.Frame(j)
+			if qf == nil {
+				continue
+			}
+			tf := tsig.Frame(j)
+			if tf == nil || !tf.ContainsAll(qf) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrameDensityMatchesFlatModel validates the claim that frame
+// slicing leaves the expected overall bit density (and hence eq. 2)
+// unchanged: the mean flat weight over random Dt-sets should match
+// ExpectedWeight(F, m, Dt) within sampling error.
+func TestFrameDensityMatchesFlatModel(t *testing.T) {
+	const k, s, m, dt, trials = 10, 25, 2, 10, 2000
+	fs := MustFrameScheme(k, s, m)
+	rng := rand.New(rand.NewSource(9))
+	total := 0
+	for i := 0; i < trials; i++ {
+		set := make([]string, dt)
+		for j := range set {
+			set[j] = fmt.Sprintf("v%06d", rng.Intn(100000))
+		}
+		total += fs.SetSignature(set).Flat().Count()
+	}
+	mean := float64(total) / trials
+	// The flat model assumes each element draws m positions from all F
+	// bits; frame slicing draws m from one S-bit frame, which collides
+	// slightly more within an element's own frame when two elements
+	// share a frame. Allow 5%.
+	want := ExpectedWeight(float64(k*s), m, dt)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("mean frame-sliced weight %.2f, flat model %.2f", mean, want)
+	}
+}

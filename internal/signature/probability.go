@@ -1,0 +1,165 @@
+package signature
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements §3.2 of the paper: the false-drop probability
+// estimators for the two query types and the optimal element-signature
+// weight. Both the exact combinatorial forms and the exponential
+// approximations used in the paper's analysis are provided; the cost model
+// uses the approximations (as the paper does) and the tests check that
+// exact, approximate and simulated values agree.
+
+// ExpectedWeight returns m_t (or m_q): the expected number of 1 bits in a
+// signature superimposed from d element signatures of weight m in width f,
+//
+//	m_t = F · (1 − (1 − m/F)^D).
+//
+// Parameters are float64 because the paper's analysis treats m = m_opt as
+// a real number.
+func ExpectedWeight(f, m, d float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return f * (1 - math.Pow(1-m/f, d))
+}
+
+// ExpectedWeightApprox is the exponential approximation
+// m_t ≈ F·(1 − e^{−mD/F}) valid for m/F ≪ 1.
+func ExpectedWeightApprox(f, m, d float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return f * (1 - math.Exp(-m*d/f))
+}
+
+// FalseDropSuperset returns the false-drop probability Fd for a query
+// T ⊇ Q (paper eq. 2, exact base):
+//
+//	Fd = (1 − (1 − m/F)^{D_t})^{m·D_q}
+//
+// i.e. each of the ~m·D_q distinct 1 bits of the query signature must
+// independently hit a 1 bit of the target signature.
+func FalseDropSuperset(f, m, dt, dq float64) float64 {
+	if dq == 0 {
+		return 1 // the empty query matches everything
+	}
+	p := 1 - math.Pow(1-m/f, dt)
+	return math.Pow(p, m*dq)
+}
+
+// FalseDropSupersetApprox is the paper's eq. 2 with the exponential
+// approximation: Fd ≈ (1 − e^{−m·D_t/F})^{m·D_q}.
+func FalseDropSupersetApprox(f, m, dt, dq float64) float64 {
+	if dq == 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-m*dt/f), m*dq)
+}
+
+// FalseDropSubset returns the false-drop probability for a query T ⊆ Q
+// (paper eq. 6). By the duality derived in §3.2.2 (via Appendix A) it is
+// eq. 2 with the roles of target and query exchanged:
+//
+//	Fd = (1 − (1 − m/F)^{D_q})^{m·D_t}
+//
+// i.e. every 1 bit of the target signature must land inside the 1 bits of
+// the query signature.
+func FalseDropSubset(f, m, dt, dq float64) float64 {
+	if dt == 0 {
+		return 1 // the empty target is a subset of everything
+	}
+	p := 1 - math.Pow(1-m/f, dq)
+	return math.Pow(p, m*dt)
+}
+
+// FalseDropSubsetApprox is eq. 6 with the exponential approximation:
+// Fd ≈ (1 − e^{−m·D_q/F})^{m·D_t}.
+func FalseDropSubsetApprox(f, m, dt, dq float64) float64 {
+	if dt == 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-m*dq/f), m*dt)
+}
+
+// OptimalM returns m_opt = F·ln2 / D_t (paper eq. 3): the element weight
+// minimizing the superset false-drop probability for targets of
+// cardinality dt. The result is a real number; round and clamp with
+// OptimalMInt when an implementable integer weight is needed.
+func OptimalM(f, dt float64) float64 {
+	if dt <= 0 {
+		return f
+	}
+	return f * math.Ln2 / dt
+}
+
+// OptimalMInt returns OptimalM rounded to the nearest integer, clamped to
+// [1, f].
+func OptimalMInt(f int, dt float64) int {
+	m := int(math.Round(OptimalM(float64(f), dt)))
+	if m < 1 {
+		m = 1
+	}
+	if m > f {
+		m = f
+	}
+	return m
+}
+
+// FalseDropSupersetAtOptimalM returns the paper's eq. 4, the false-drop
+// probability when m = m_opt: Fd = (1/2)^{m_opt·D_q}.
+func FalseDropSupersetAtOptimalM(f, dt, dq float64) float64 {
+	return math.Pow(0.5, OptimalM(f, dt)*dq)
+}
+
+// OptimalMSubset returns the weight F·ln2/D_q minimizing the subset
+// false-drop probability; the paper notes (§3.2.2) this is impractical as
+// a design rule because D_q varies per query.
+func OptimalMSubset(f, dq float64) float64 {
+	if dq <= 0 {
+		return f
+	}
+	return f * math.Ln2 / dq
+}
+
+// Design captures the outcome of a parameter search: the smallest width F
+// (as a multiple of step) whose optimal weight keeps the superset
+// false-drop probability under the target, following the standard
+// signature-file sizing rule Fd = (1/2)^{F·ln2/D_t · D_q}.
+type Design struct {
+	F  int
+	M  int
+	Fd float64
+}
+
+// Size finds the smallest F ≥ step (rounded up to a multiple of step) such
+// that with m = m_opt the false-drop probability for targets of
+// cardinality dt and queries of cardinality dq is at most maxFd.
+func Size(dt, dq float64, maxFd float64, step int) (Design, error) {
+	if maxFd <= 0 || maxFd >= 1 {
+		return Design{}, fmt.Errorf("signature: maxFd %v must be in (0,1)", maxFd)
+	}
+	if step <= 0 {
+		step = 8
+	}
+	// Closed form: Fd = 2^{−(F ln2/Dt)·Dq} ≤ maxFd
+	//   ⇔ F ≥ Dt·log2(1/maxFd)/(Dq·ln2).
+	need := dt * math.Log2(1/maxFd) / (dq * math.Ln2)
+	fi := int(math.Ceil(need/float64(step))) * step
+	if fi < step {
+		fi = step
+	}
+	// The closed form assumes a real-valued m_opt; rounding m to an
+	// implementable integer can push the exact Fd slightly above the
+	// target, so grow F until the exact value complies.
+	for {
+		m := OptimalMInt(fi, dt)
+		fd := FalseDropSuperset(float64(fi), float64(m), dt, dq)
+		if fd <= maxFd {
+			return Design{F: fi, M: m, Fd: fd}, nil
+		}
+		fi += step
+	}
+}

@@ -1,0 +1,435 @@
+package signature
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		f, m int
+		ok   bool
+	}{
+		{250, 2, true}, {8, 8, true}, {1, 1, true},
+		{0, 1, false}, {-5, 1, false}, {10, 0, false}, {10, 11, false}, {10, -1, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.f, c.m)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d): err=%v, want ok=%v", c.f, c.m, err, c.ok)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0,0) did not panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestElementSignatureWeight(t *testing.T) {
+	for _, hasher := range []Hasher{DoubleHasher{}, IndependentHasher{}} {
+		for _, cfg := range []struct{ f, m int }{{250, 2}, {500, 35}, {64, 64}, {8, 3}} {
+			s, err := NewWithHasher(cfg.f, cfg.m, hasher)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 50; i++ {
+				sig := s.ElementSignature([]byte(fmt.Sprintf("elem-%d", i)))
+				if sig.Len() != cfg.f {
+					t.Fatalf("%T F=%d m=%d: width %d", hasher, cfg.f, cfg.m, sig.Len())
+				}
+				if sig.Count() != cfg.m {
+					t.Fatalf("%T F=%d m=%d: weight %d", hasher, cfg.f, cfg.m, sig.Count())
+				}
+			}
+		}
+	}
+}
+
+func TestElementSignatureDeterministic(t *testing.T) {
+	s := MustNew(500, 4)
+	a := s.ElementSignature([]byte("Baseball"))
+	b := s.ElementSignature([]byte("Baseball"))
+	if !a.Equal(b) {
+		t.Fatal("element signature is not deterministic")
+	}
+	c := s.ElementSignature([]byte("Fishing"))
+	if a.Equal(c) {
+		t.Fatal("distinct elements produced identical signatures (suspicious for F=500)")
+	}
+}
+
+func TestSetSignatureIsUnionOfElements(t *testing.T) {
+	s := MustNew(250, 3)
+	elems := []string{"Baseball", "Fishing", "Golf"}
+	set := s.SetSignatureStrings(elems)
+	union := s.SetSignatureStrings(nil)
+	if union.Any() {
+		t.Fatal("empty set signature is not all-zero")
+	}
+	for _, e := range elems {
+		union.Or(s.ElementSignature([]byte(e)))
+	}
+	if !set.Equal(union) {
+		t.Fatal("set signature != OR of element signatures")
+	}
+	for _, e := range elems {
+		if !set.ContainsAll(s.ElementSignature([]byte(e))) {
+			t.Fatalf("set signature does not contain element %s", e)
+		}
+	}
+}
+
+func TestAddToIncremental(t *testing.T) {
+	s := MustNew(100, 5)
+	sig := s.SetSignatureStrings([]string{"a", "b"})
+	s.AddTo(sig, []byte("c"))
+	if !sig.Equal(s.SetSignatureStrings([]string{"a", "b", "c"})) {
+		t.Fatal("AddTo does not match batch construction")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddTo with wrong width did not panic")
+		}
+	}()
+	s.AddTo(MustNew(99, 5).SetSignatureStrings(nil), []byte("x"))
+}
+
+// TestPaperFigure1 reproduces the paper's Figure 1 semantics: with any
+// scheme, a target that truly contains the query must match (no false
+// dismissals), and for the worked example sizes, unrelated targets can
+// still match (false drops are possible but targets missing query bits are
+// rejected).
+func TestPaperFigure1Semantics(t *testing.T) {
+	s := MustNew(8, 2)
+	query := []string{"Baseball", "Fishing"}
+	qsig := s.SetSignatureStrings(query)
+
+	actual := []string{"Baseball", "Golf", "Fishing"} // ⊇ query
+	asig := s.SetSignatureStrings(actual)
+	if !Matches(Superset, asig, qsig) {
+		t.Fatal("actual drop was dismissed — signature files must never false-dismiss")
+	}
+	if !EvaluateSets(Superset, actual, query) {
+		t.Fatal("EvaluateSets disagrees on a true superset")
+	}
+}
+
+func TestMatchesAllPredicates(t *testing.T) {
+	s := MustNew(512, 4) // wide enough that these tiny sets do not collide
+	T := s.SetSignatureStrings([]string{"a", "b", "c"})
+	sub := s.SetSignatureStrings([]string{"a", "b"})
+	disjoint := s.SetSignatureStrings([]string{"x", "y"})
+	same := s.SetSignatureStrings([]string{"c", "b", "a"})
+
+	if !Matches(Superset, T, sub) {
+		t.Error("T ⊇ {a,b} should match")
+	}
+	if Matches(Superset, sub, T) {
+		t.Error("{a,b} ⊉ {a,b,c} at F=512")
+	}
+	if !Matches(Subset, sub, T) {
+		t.Error("{a,b} ⊆ T should match")
+	}
+	if !Matches(Overlap, T, sub) {
+		t.Error("overlap should match")
+	}
+	if Matches(Overlap, T, disjoint) {
+		t.Error("disjoint small sets at F=512 should not overlap at signature level")
+	}
+	if !Matches(Equals, T, same) {
+		t.Error("equal sets must have equal signatures")
+	}
+	if Matches(Equals, T, sub) {
+		t.Error("different-weight signatures reported equal")
+	}
+	q := s.ElementSignature([]byte("b"))
+	if !Matches(Contains, T, q) {
+		t.Error("b ∈ T should match")
+	}
+}
+
+func TestEvaluateSetsAllPredicates(t *testing.T) {
+	T := []string{"a", "b", "c"}
+	cases := []struct {
+		p    Predicate
+		q    []string
+		want bool
+	}{
+		{Superset, []string{"a", "c"}, true},
+		{Superset, []string{"a", "z"}, false},
+		{Superset, nil, true},
+		{Subset, []string{"a", "b", "c", "d"}, true},
+		{Subset, []string{"a", "b"}, false},
+		{Overlap, []string{"z", "c"}, true},
+		{Overlap, []string{"z", "w"}, false},
+		{Overlap, nil, false},
+		{Equals, []string{"c", "a", "b"}, true},
+		{Equals, []string{"a", "b"}, false},
+		{Contains, []string{"b"}, true},
+		{Contains, []string{"q"}, false},
+	}
+	for _, c := range cases {
+		if got := EvaluateSets(c.p, T, c.q); got != c.want {
+			t.Errorf("EvaluateSets(%v, T, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	for p := Superset; p <= Contains; p++ {
+		if !p.Valid() {
+			t.Errorf("%d should be valid", p)
+		}
+		if p.String() == "" {
+			t.Errorf("empty String for %d", p)
+		}
+	}
+	if Predicate(99).Valid() {
+		t.Error("Predicate(99) reported valid")
+	}
+	if Predicate(99).String() != "Predicate(99)" {
+		t.Errorf("fallback String = %q", Predicate(99).String())
+	}
+}
+
+func TestMatchesInvalidPredicatePanics(t *testing.T) {
+	s := MustNew(8, 1)
+	a := s.SetSignatureStrings([]string{"x"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid predicate did not panic")
+		}
+	}()
+	Matches(Predicate(42), a, a)
+}
+
+// Property: no false dismissals for any predicate — if the sets satisfy
+// the predicate, the signatures must match.
+func TestPropertyNoFalseDismissals(t *testing.T) {
+	s := MustNew(250, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := make([]string, 40)
+		for i := range universe {
+			universe[i] = fmt.Sprintf("e%02d", i)
+		}
+		target := sample(rng, universe, 1+rng.Intn(10))
+		var query []string
+		switch rng.Intn(3) {
+		case 0: // query ⊆ target (superset/overlap/contains hold)
+			query = sample(rng, target, 1+rng.Intn(len(target)))
+		case 1: // query ⊇ target (subset holds)
+			query = append(append([]string{}, target...), sample(rng, universe, rng.Intn(5))...)
+		case 2: // query = target
+			query = append([]string{}, target...)
+		}
+		tsig := s.SetSignatureStrings(target)
+		qsig := s.SetSignatureStrings(query)
+		for _, p := range []Predicate{Superset, Subset, Overlap, Equals} {
+			if EvaluateSets(p, target, query) && !Matches(p, tsig, qsig) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sample(rng *rand.Rand, pool []string, n int) []string {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+func TestExpectedWeightFormulas(t *testing.T) {
+	// m_t(D=1) = m exactly.
+	if got := ExpectedWeight(500, 4, 1); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("ExpectedWeight(D=1) = %v, want 4", got)
+	}
+	// Monotone in D and bounded by F.
+	prev := 0.0
+	for d := 1.0; d <= 1000; d *= 2 {
+		w := ExpectedWeight(500, 4, d)
+		if w <= prev || w > 500 {
+			t.Fatalf("ExpectedWeight not monotone/bounded at D=%v: %v", d, w)
+		}
+		prev = w
+	}
+	// Approximation close to exact for m/F small.
+	exact := ExpectedWeight(2500, 3, 100)
+	approx := ExpectedWeightApprox(2500, 3, 100)
+	if math.Abs(exact-approx)/exact > 0.01 {
+		t.Fatalf("weight approximation off: exact %v approx %v", exact, approx)
+	}
+}
+
+func TestOptimalM(t *testing.T) {
+	// Paper's examples: F=250, Dt=10 → m_opt ≈ 17.3; F=500 → ≈ 34.7.
+	if got := OptimalM(250, 10); math.Abs(got-17.328) > 0.01 {
+		t.Fatalf("OptimalM(250,10) = %v", got)
+	}
+	if got := OptimalM(500, 10); math.Abs(got-34.657) > 0.01 {
+		t.Fatalf("OptimalM(500,10) = %v", got)
+	}
+	if OptimalMInt(250, 10) != 17 {
+		t.Fatalf("OptimalMInt(250,10) = %d", OptimalMInt(250, 10))
+	}
+	// Clamping.
+	if OptimalMInt(4, 100) != 1 {
+		t.Fatalf("OptimalMInt should clamp low: %d", OptimalMInt(4, 100))
+	}
+	if OptimalMInt(8, 0.001) != 8 {
+		t.Fatalf("OptimalMInt should clamp high: %d", OptimalMInt(8, 0.001))
+	}
+}
+
+func TestFalseDropMinimizedAtOptimalM(t *testing.T) {
+	// Fd(m) should be minimized near m_opt = F ln2 / Dt.
+	const f, dt, dq = 500.0, 10.0, 3.0
+	mopt := OptimalM(f, dt)
+	fdOpt := FalseDropSupersetApprox(f, mopt, dt, dq)
+	for _, m := range []float64{mopt / 2, mopt * 2} {
+		if FalseDropSupersetApprox(f, m, dt, dq) < fdOpt {
+			t.Fatalf("Fd(m=%v) < Fd(m_opt=%v)", m, mopt)
+		}
+	}
+	// eq. 4 agrees with eq. 2 at m = m_opt.
+	eq4 := FalseDropSupersetAtOptimalM(f, dt, dq)
+	eq2 := FalseDropSupersetApprox(f, mopt, dt, dq)
+	if relErr(eq4, eq2) > 1e-6 {
+		t.Fatalf("eq4 %v != eq2 %v at m_opt", eq4, eq2)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestFalseDropDuality(t *testing.T) {
+	// Fd_⊆(F,m,Dt,Dq) = Fd_⊇(F,m,Dq,Dt): the two estimators are duals.
+	for _, c := range []struct{ f, m, dt, dq float64 }{
+		{500, 2, 10, 100}, {250, 2, 10, 5}, {2500, 3, 100, 300},
+	} {
+		a := FalseDropSubset(c.f, c.m, c.dt, c.dq)
+		b := FalseDropSuperset(c.f, c.m, c.dq, c.dt)
+		if relErr(a, b) > 1e-12 {
+			t.Fatalf("duality broken at %+v: %v vs %v", c, a, b)
+		}
+	}
+}
+
+func TestFalseDropEdgeCases(t *testing.T) {
+	if FalseDropSuperset(500, 2, 10, 0) != 1 {
+		t.Fatal("empty query should have Fd=1 for superset")
+	}
+	if FalseDropSubset(500, 2, 0, 10) != 1 {
+		t.Fatal("empty target should have Fd=1 for subset")
+	}
+	// Fd in [0,1] over a parameter sweep.
+	for m := 1.0; m <= 64; m++ {
+		for _, dq := range []float64{1, 5, 10, 100} {
+			fd := FalseDropSuperset(500, m, 10, dq)
+			if fd < 0 || fd > 1 || math.IsNaN(fd) {
+				t.Fatalf("Fd out of range: m=%v dq=%v fd=%v", m, dq, fd)
+			}
+		}
+	}
+}
+
+// TestFalseDropMatchesSimulation validates eq. 2 and eq. 6 against a Monte
+// Carlo run of the real hashing pipeline: the predicted and measured false
+// drop rates must agree within sampling error. This is the core empirical
+// check that the reproduction's hash function satisfies the paper's
+// ideal-hash assumption.
+func TestFalseDropMatchesSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo validation skipped in -short mode")
+	}
+	const (
+		fBits  = 120
+		m      = 2
+		dt     = 10
+		dq     = 4
+		v      = 2000
+		trials = 30000
+	)
+	rng := rand.New(rand.NewSource(42))
+	s := MustNew(fBits, m)
+	universe := make([]string, v)
+	for i := range universe {
+		universe[i] = fmt.Sprintf("val-%04d", i)
+	}
+	query := sample(rng, universe, dq)
+	qsig := s.SetSignatureStrings(query)
+
+	drops, eligible := 0, 0
+	for i := 0; i < trials; i++ {
+		target := sample(rng, universe, dt)
+		if EvaluateSets(Superset, target, query) {
+			continue // exclude actual drops per the Fd definition
+		}
+		eligible++
+		if Matches(Superset, s.SetSignatureStrings(target), qsig) {
+			drops++
+		}
+	}
+	measured := float64(drops) / float64(eligible)
+	predicted := FalseDropSuperset(fBits, m, dt, dq)
+	// 3-sigma binomial tolerance plus a small model-error allowance.
+	sigma := math.Sqrt(predicted * (1 - predicted) / float64(eligible))
+	tol := 3*sigma + 0.15*predicted
+	if math.Abs(measured-predicted) > tol {
+		t.Fatalf("superset Fd: measured %v predicted %v (tol %v, eligible %d)",
+			measured, predicted, tol, eligible)
+	}
+}
+
+func TestSize(t *testing.T) {
+	d, err := Size(10, 1, 1e-4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fd > 1e-4 {
+		t.Fatalf("Size returned Fd %v > target", d.Fd)
+	}
+	if d.F%8 != 0 || d.F <= 0 {
+		t.Fatalf("Size returned F=%d not a positive multiple of 8", d.F)
+	}
+	if _, err := Size(10, 1, 0, 8); err == nil {
+		t.Fatal("Size accepted maxFd=0")
+	}
+	if _, err := Size(10, 1, 1.5, 8); err == nil {
+		t.Fatal("Size accepted maxFd>1")
+	}
+}
+
+func BenchmarkSetSignature(b *testing.B) {
+	s := MustNew(500, 2)
+	elems := make([][]byte, 10)
+	for i := range elems {
+		elems[i] = []byte(fmt.Sprintf("element-%d", i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SetSignature(elems)
+	}
+}

@@ -1,0 +1,221 @@
+// Package workload generates the synthetic data and queries of the
+// paper's evaluation (§4's assumptions): N objects whose indexed set
+// attribute holds Dt elements drawn uniformly from a V-element domain,
+// and query sets of a chosen cardinality Dq.
+//
+// Beyond the paper's uniform fixed-cardinality setting, the package
+// implements the extensions §6 lists as future work: variable target-set
+// cardinality and skewed (Zipf) element popularity, used by the ablation
+// benchmarks.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Distribution selects how set elements are drawn from the domain.
+type Distribution int
+
+const (
+	// Uniform draws every element equiprobably — the paper's assumption.
+	Uniform Distribution = iota
+	// Zipf draws elements with Zipfian popularity (s = 1.1), the skewed
+	// extension.
+	Zipf
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipf:
+		return "zipf"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Config describes a synthetic instance.
+type Config struct {
+	// N is the number of objects.
+	N int
+	// V is the cardinality of the element domain.
+	V int
+	// Dt is the target-set cardinality. If DtMax > Dt, cardinalities are
+	// drawn uniformly from [Dt, DtMax] (the variable-cardinality
+	// extension); otherwise every set has exactly Dt elements.
+	Dt    int
+	DtMax int
+	// Dist selects the element popularity distribution.
+	Dist Distribution
+	// Seed makes the instance reproducible.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("workload: N=%d must be positive", c.N)
+	case c.V <= 0:
+		return fmt.Errorf("workload: V=%d must be positive", c.V)
+	case c.Dt <= 0 || c.Dt > c.V:
+		return fmt.Errorf("workload: Dt=%d must be in [1, V=%d]", c.Dt, c.V)
+	case c.DtMax != 0 && (c.DtMax < c.Dt || c.DtMax > c.V):
+		return fmt.Errorf("workload: DtMax=%d must be in [Dt=%d, V=%d]", c.DtMax, c.Dt, c.V)
+	}
+	return nil
+}
+
+// Paper returns the paper's instance: N = 32 000 objects, V = 13 000
+// domain values, uniform sets of cardinality dt.
+func Paper(dt int) Config {
+	return Config{N: 32000, V: 13000, Dt: dt, Seed: 1}
+}
+
+// Scaled returns the paper's instance shrunk by an integer factor (N and
+// V divided by it), used to keep measured experiments fast while the cost
+// model is evaluated at the same scaled parameters.
+func Scaled(dt, factor int) Config {
+	if factor < 1 {
+		factor = 1
+	}
+	return Config{N: 32000 / factor, V: 13000 / factor, Dt: dt, Seed: 1}
+}
+
+// Element renders domain value i as its canonical element string.
+func Element(i int) string { return fmt.Sprintf("v%06d", i) }
+
+// Instance is a generated data set: the indexed set value of every
+// object, keyed by OID 1..N.
+type Instance struct {
+	Config Config
+	Sets   map[uint64][]string
+
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// Generate materializes an instance from the configuration.
+func Generate(cfg Config) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		Config: cfg,
+		Sets:   make(map[uint64][]string, cfg.N),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Dist == Zipf {
+		inst.zipf = rand.NewZipf(inst.rng, 1.1, 1, uint64(cfg.V-1))
+	}
+	for oid := uint64(1); oid <= uint64(cfg.N); oid++ {
+		inst.Sets[oid] = inst.drawSet()
+	}
+	return inst, nil
+}
+
+// drawSet draws one target set according to the configuration.
+func (inst *Instance) drawSet() []string {
+	cfg := inst.Config
+	card := cfg.Dt
+	if cfg.DtMax > cfg.Dt {
+		card = cfg.Dt + inst.rng.Intn(cfg.DtMax-cfg.Dt+1)
+	}
+	switch cfg.Dist {
+	case Zipf:
+		seen := make(map[uint64]struct{}, card)
+		out := make([]string, 0, card)
+		for len(out) < card {
+			v := inst.zipf.Uint64()
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, Element(int(v)))
+		}
+		return out
+	default:
+		out := make([]string, 0, card)
+		for _, j := range inst.rng.Perm(cfg.V)[:card] {
+			out = append(out, Element(j))
+		}
+		return out
+	}
+}
+
+// Set returns the set of the given OID (implements core.SetSource).
+func (inst *Instance) Set(oid uint64) ([]string, error) {
+	s, ok := inst.Sets[oid]
+	if !ok {
+		return nil, fmt.Errorf("workload: OID %d not in instance", oid)
+	}
+	return s, nil
+}
+
+// QueryKind selects how query sets are drawn.
+type QueryKind int
+
+const (
+	// RandomQuery draws dq distinct elements uniformly from the domain —
+	// the paper's unsuccessful-search regime (few or no actual drops).
+	RandomQuery QueryKind = iota
+	// SubsetOfTargetQuery draws dq elements from a random target set, so
+	// Superset queries have at least one actual drop.
+	SubsetOfTargetQuery
+	// SupersetOfTargetQuery embeds a random target set in the query, so
+	// Subset queries have at least one actual drop.
+	SupersetOfTargetQuery
+)
+
+// Queries draws n query sets of cardinality dq.
+func (inst *Instance) Queries(kind QueryKind, dq, n int, seed int64) ([][]string, error) {
+	cfg := inst.Config
+	if dq <= 0 || dq > cfg.V {
+		return nil, fmt.Errorf("workload: Dq=%d must be in [1, V=%d]", dq, cfg.V)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch kind {
+		case SubsetOfTargetQuery:
+			target := inst.Sets[uint64(1+rng.Intn(cfg.N))]
+			if dq > len(target) {
+				return nil, fmt.Errorf("workload: Dq=%d exceeds target cardinality %d", dq, len(target))
+			}
+			q := make([]string, 0, dq)
+			for _, j := range rng.Perm(len(target))[:dq] {
+				q = append(q, target[j])
+			}
+			out = append(out, q)
+		case SupersetOfTargetQuery:
+			target := inst.Sets[uint64(1+rng.Intn(cfg.N))]
+			if dq < len(target) {
+				return nil, fmt.Errorf("workload: Dq=%d below target cardinality %d", dq, len(target))
+			}
+			q := append([]string{}, target...)
+			have := make(map[string]struct{}, dq)
+			for _, e := range q {
+				have[e] = struct{}{}
+			}
+			for len(q) < dq {
+				e := Element(rng.Intn(cfg.V))
+				if _, dup := have[e]; dup {
+					continue
+				}
+				have[e] = struct{}{}
+				q = append(q, e)
+			}
+			out = append(out, q)
+		default:
+			q := make([]string, 0, dq)
+			for _, j := range rng.Perm(cfg.V)[:dq] {
+				q = append(q, Element(j))
+			}
+			out = append(out, q)
+		}
+	}
+	return out, nil
+}

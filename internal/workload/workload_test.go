@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{N: 10, V: 0, Dt: 1},
+		{N: 10, V: 5, Dt: 0},
+		{N: 10, V: 5, Dt: 6},
+		{N: 10, V: 5, Dt: 2, DtMax: 1},
+		{N: 10, V: 5, Dt: 2, DtMax: 6},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if err := Paper(10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Scaled(10, 8).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Scaled(10, 0).N != 32000 {
+		t.Fatal("Scaled factor<1 should clamp to 1")
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	cfg := Config{N: 500, V: 200, Dt: 10, Seed: 1}
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Sets) != 500 {
+		t.Fatalf("generated %d sets", len(inst.Sets))
+	}
+	for oid := uint64(1); oid <= 500; oid++ {
+		set, err := inst.Set(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != 10 {
+			t.Fatalf("oid %d: cardinality %d", oid, len(set))
+		}
+		seen := map[string]bool{}
+		for _, e := range set {
+			if seen[e] {
+				t.Fatalf("oid %d: duplicate element %s", oid, e)
+			}
+			seen[e] = true
+			if !strings.HasPrefix(e, "v") {
+				t.Fatalf("element %q not canonical", e)
+			}
+		}
+	}
+	if _, err := inst.Set(9999); err == nil {
+		t.Fatal("missing OID accepted")
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	a, _ := Generate(Config{N: 100, V: 50, Dt: 5, Seed: 42})
+	b, _ := Generate(Config{N: 100, V: 50, Dt: 5, Seed: 42})
+	for oid := uint64(1); oid <= 100; oid++ {
+		as, bs := a.Sets[oid], b.Sets[oid]
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Fatal("same seed produced different instances")
+			}
+		}
+	}
+	c, _ := Generate(Config{N: 100, V: 50, Dt: 5, Seed: 43})
+	same := true
+	for oid := uint64(1); oid <= 100 && same; oid++ {
+		for i := range a.Sets[oid] {
+			if a.Sets[oid][i] != c.Sets[oid][i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances (suspicious)")
+	}
+}
+
+func TestVariableCardinality(t *testing.T) {
+	inst, err := Generate(Config{N: 1000, V: 100, Dt: 5, DtMax: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 1000, 0
+	for _, set := range inst.Sets {
+		if len(set) < lo {
+			lo = len(set)
+		}
+		if len(set) > hi {
+			hi = len(set)
+		}
+	}
+	if lo < 5 || hi > 15 {
+		t.Fatalf("cardinalities [%d,%d] outside [5,15]", lo, hi)
+	}
+	if lo == hi {
+		t.Fatal("variable cardinality produced constant cardinality")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	inst, err := Generate(Config{N: 2000, V: 500, Dt: 8, Dist: Zipf, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := map[string]int{}
+	for _, set := range inst.Sets {
+		if len(set) != 8 {
+			t.Fatalf("zipf set cardinality %d", len(set))
+		}
+		for _, e := range set {
+			freq[e]++
+		}
+	}
+	// The most popular element should be far more frequent than the
+	// median — the defining property of the skewed workload.
+	max := 0
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+	}
+	mean := 2000 * 8 / len(freq)
+	if max < 4*mean {
+		t.Fatalf("zipf max frequency %d not skewed vs mean %d over %d values", max, mean, len(freq))
+	}
+	if Zipf.String() != "zipf" || Uniform.String() != "uniform" {
+		t.Fatal("Distribution names wrong")
+	}
+	if Distribution(9).String() == "" {
+		t.Fatal("unknown distribution has empty name")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	inst, err := Generate(Config{N: 300, V: 100, Dt: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random queries: right cardinality, distinct elements.
+	qs, err := inst.Queries(RandomQuery, 4, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(q) != 4 {
+			t.Fatalf("query cardinality %d", len(q))
+		}
+	}
+	// Subset-of-target: every query is included in some target set, so a
+	// Superset search has at least one hit.
+	qs, err = inst.Queries(SubsetOfTargetQuery, 3, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		found := false
+		for _, set := range inst.Sets {
+			m := map[string]bool{}
+			for _, e := range set {
+				m[e] = true
+			}
+			all := true
+			for _, e := range q {
+				if !m[e] {
+					all = false
+					break
+				}
+			}
+			if all {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("subset-of-target query %v contained in no target", q)
+		}
+	}
+	// Superset-of-target: some target is inside every query.
+	qs, err = inst.Queries(SupersetOfTargetQuery, 20, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		m := map[string]bool{}
+		for _, e := range q {
+			m[e] = true
+		}
+		found := false
+		for _, set := range inst.Sets {
+			all := true
+			for _, e := range set {
+				if !m[e] {
+					all = false
+					break
+				}
+			}
+			if all {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("superset-of-target query contains no target")
+		}
+	}
+	// Validation.
+	if _, err := inst.Queries(RandomQuery, 0, 1, 1); err == nil {
+		t.Fatal("Dq=0 accepted")
+	}
+	if _, err := inst.Queries(RandomQuery, 101, 1, 1); err == nil {
+		t.Fatal("Dq>V accepted")
+	}
+	if _, err := inst.Queries(SubsetOfTargetQuery, 7, 1, 1); err == nil {
+		t.Fatal("Dq>Dt accepted for subset-of-target")
+	}
+	if _, err := inst.Queries(SupersetOfTargetQuery, 3, 1, 1); err == nil {
+		t.Fatal("Dq<Dt accepted for superset-of-target")
+	}
+}
+
+// Property: query elements always come from the domain and are distinct.
+func TestPropertyQueriesWellFormed(t *testing.T) {
+	inst, err := Generate(Config{N: 100, V: 60, Dt: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, dqRaw uint8) bool {
+		dq := int(dqRaw%20) + 1
+		qs, err := inst.Queries(RandomQuery, dq, 5, seed)
+		if err != nil {
+			return false
+		}
+		for _, q := range qs {
+			seen := map[string]bool{}
+			for _, e := range q {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+			}
+			if len(q) != dq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package sigfile is a production-quality Go implementation of signature
+// files as set access facilities for object-oriented databases,
+// reproducing "Evaluation of Signature Files as Set Access Facilities in
+// OODBs" (Ishikawa, Kitagawa, Ohbo; SIGMOD 1993).
+//
+// The library provides three facilities for indexing a set-valued
+// attribute, all behind the AccessMethod interface:
+//
+//   - SSF — the sequential signature file: superimposed-coding set
+//     signatures stored row-wise plus an OID file. Cheapest to update,
+//     slowest to search (full scan).
+//   - BSSF — the bit-sliced signature file: the signature matrix stored
+//     column-wise, one file per bit position, so a query touches only the
+//     slices it needs. The paper's recommended facility.
+//   - NIX — the nested index: a B⁺-tree from set element to the OIDs of
+//     objects containing it, the classical comparison baseline.
+//
+// All three answer the set predicates of the paper's §2: T ⊇ Q
+// (has-subset), T ⊆ Q (in-subset), overlap, set equality and membership —
+// with no false dismissals, resolving signature false drops against the
+// stored objects through a SetSource.
+//
+// # Quick start
+//
+//	sets := sigfile.MapSource{
+//	    1: {"Baseball", "Fishing"},
+//	    2: {"Baseball", "Golf", "Fishing"},
+//	    3: {"Tennis"},
+//	}
+//	scheme, _ := sigfile.NewScheme(250, 2) // F=250 bits, m=2 bits/element
+//	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
+//	for oid, set := range sets {
+//	    idx.Insert(oid, set)
+//	}
+//	res, _ := idx.Search(sigfile.Superset, []string{"Baseball", "Fishing"}, nil)
+//	// res.OIDs == [1, 2]; res.Stats decomposes the page-access cost.
+//
+// Beyond the facilities themselves the module ships the paper's full
+// analytical cost model (CostModel), the mini OODB and SQL-like query
+// language of the paper's examples (cmd/sigdb, internal/query), and a
+// harness regenerating every table and figure of the evaluation
+// (cmd/sigbench, bench_test.go).
+package sigfile
+
+import (
+	"sigfile/internal/core"
+	"sigfile/internal/costmodel"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// Re-exported core types. See the respective internal packages for the
+// full method sets.
+type (
+	// AccessMethod is a set access facility over one indexed set-valued
+	// attribute: Insert, Delete, Search, StoragePages, Count.
+	AccessMethod = core.AccessMethod
+	// SSF is the sequential signature file.
+	SSF = core.SSF
+	// BSSF is the bit-sliced signature file.
+	BSSF = core.BSSF
+	// NIX is the nested index.
+	NIX = core.NIX
+	// FSSF is the frame-sliced signature file (extension: the third
+	// classical organization, between SSF and BSSF).
+	FSSF = core.FSSF
+	// FrameScheme is the frame-partitioned superimposed-coding
+	// configuration FSSF uses.
+	FrameScheme = signature.FrameScheme
+	// Result is a search outcome: qualifying OIDs plus measured cost.
+	Result = core.Result
+	// SearchStats decomposes a search's page accesses the way the
+	// paper's RC formulas do.
+	SearchStats = core.SearchStats
+	// SearchOptions selects a retrieval strategy (the paper's smart
+	// object retrieval).
+	SearchOptions = core.SearchOptions
+	// SetSource resolves an OID to its stored set during false-drop
+	// resolution.
+	SetSource = core.SetSource
+	// MapSource is an in-memory SetSource.
+	MapSource = core.MapSource
+	// Scheme is a superimposed-coding configuration (width F, weight m).
+	Scheme = signature.Scheme
+	// Predicate is a set-comparison operator.
+	Predicate = signature.Predicate
+	// Store provides named page files (in memory or on disk) to a
+	// facility.
+	Store = pagestore.Store
+	// Stats counts physical page accesses of one file.
+	Stats = pagestore.Stats
+	// CostModel evaluates the paper's analytical formulas; construct
+	// with PaperModel or a costmodel literal.
+	CostModel = costmodel.Params
+	// Entry is one (OID, set) pair for batch loading.
+	Entry = core.Entry
+	// BatchInserter is satisfied by every facility; InsertBatch amortizes
+	// page writes across a bulk load (the insertion-cost improvement the
+	// paper's §6 anticipates, taken to its limit).
+	BatchInserter = core.BatchInserter
+)
+
+// The set predicates of the paper's §2.
+const (
+	// Superset is T ⊇ Q: targets containing every query element.
+	Superset = signature.Superset
+	// Subset is T ⊆ Q: targets contained in the query set.
+	Subset = signature.Subset
+	// Overlap is T ∩ Q ≠ ∅.
+	Overlap = signature.Overlap
+	// Equals is T = Q.
+	Equals = signature.Equals
+	// Contains is membership: q ∈ T.
+	Contains = signature.Contains
+)
+
+// NewScheme returns a superimposed-coding scheme of f bits with m bits
+// per element signature.
+func NewScheme(f, m int) (*Scheme, error) { return signature.New(f, m) }
+
+// OptimalM returns m_opt = F·ln2/D_t, the element-signature weight
+// minimizing the T ⊇ Q false-drop probability for target sets of
+// cardinality dt (paper eq. 3). Note §5's finding: for set access a much
+// smaller m (2–3) usually yields better total retrieval cost.
+func OptimalM(f int, dt float64) int { return signature.OptimalMInt(f, dt) }
+
+// NewSSF creates (or reopens) a sequential signature file in store (nil
+// for in-memory). src resolves OIDs during false-drop resolution.
+func NewSSF(scheme *Scheme, src SetSource, store Store) (*SSF, error) {
+	return core.NewSSF(scheme, src, store)
+}
+
+// NewBSSF creates (or reopens) a bit-sliced signature file.
+func NewBSSF(scheme *Scheme, src SetSource, store Store) (*BSSF, error) {
+	return core.NewBSSF(scheme, src, store)
+}
+
+// NewNIX creates (or reopens) a nested index.
+func NewNIX(src SetSource, store Store) (*NIX, error) {
+	return core.NewNIX(src, store)
+}
+
+// NewFrameScheme returns a frame-sliced coding scheme: k frames of s
+// bits (total width F = k·s) with m bits per element signature.
+func NewFrameScheme(k, s, m int) (*FrameScheme, error) {
+	return signature.NewFrameScheme(k, s, m)
+}
+
+// NewFSSF creates (or reopens) a frame-sliced signature file — cheap
+// insertion like SSF, T ⊇ Q retrieval that reads only the frames the
+// query hashes to.
+func NewFSSF(scheme *FrameScheme, src SetSource, store Store) (*FSSF, error) {
+	return core.NewFSSF(scheme, src, store)
+}
+
+// Synchronize wraps an access method with a readers-writer lock so it
+// can be shared across goroutines (concurrent searches, exclusive
+// updates).
+func Synchronize(am AccessMethod) AccessMethod { return core.Synchronize(am) }
+
+// NewMemStore returns an in-memory page store.
+func NewMemStore() Store { return pagestore.NewMemStore() }
+
+// NewDiskStore returns a page store writing files under dir.
+func NewDiskStore(dir string) (Store, error) { return pagestore.NewDiskStore(dir) }
+
+// PaperModel returns the analytical cost model instantiated with the
+// paper's Table 2 constants (N=32000, P=4096, V=13000) for target
+// cardinality dt and signature design (f, m).
+func PaperModel(dt float64, f int, m float64) CostModel {
+	return costmodel.Paper(dt, f, m)
+}
+
+// FalseDropSuperset returns the T ⊇ Q false-drop probability of a design
+// (paper eq. 2).
+func FalseDropSuperset(f, m int, dt, dq float64) float64 {
+	return signature.FalseDropSuperset(float64(f), float64(m), dt, dq)
+}
+
+// FalseDropSubset returns the T ⊆ Q false-drop probability (paper eq. 6).
+func FalseDropSubset(f, m int, dt, dq float64) float64 {
+	return signature.FalseDropSubset(float64(f), float64(m), dt, dq)
+}

@@ -1,0 +1,128 @@
+package sigfile
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestQuickstart exercises the package-comment example end to end for
+// every facility.
+func TestQuickstart(t *testing.T) {
+	sets := MapSource{
+		1: {"Baseball", "Fishing"},
+		2: {"Baseball", "Golf", "Fishing"},
+		3: {"Tennis"},
+	}
+	scheme, err := NewScheme(250, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(name string) AccessMethod {
+		var am AccessMethod
+		switch name {
+		case "SSF":
+			am, err = NewSSF(scheme, sets, nil)
+		case "BSSF":
+			am, err = NewBSSF(scheme, sets, nil)
+		case "NIX":
+			am, err = NewNIX(sets, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oid, set := range sets {
+			if err := am.Insert(oid, set); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return am
+	}
+	for _, name := range []string{"SSF", "BSSF", "NIX"} {
+		am := build(name)
+		res, err := am.Search(Superset, []string{"Baseball", "Fishing"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.OIDs) != 2 || res.OIDs[0] != 1 || res.OIDs[1] != 2 {
+			t.Fatalf("%s: OIDs = %v, want [1 2]", name, res.OIDs)
+		}
+		res, err = am.Search(Subset, []string{"Tennis", "Chess"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.OIDs) != 1 || res.OIDs[0] != 3 {
+			t.Fatalf("%s: subset OIDs = %v, want [3]", name, res.OIDs)
+		}
+		if am.StoragePages() <= 0 || am.Count() != 3 {
+			t.Fatalf("%s: storage=%d count=%d", name, am.StoragePages(), am.Count())
+		}
+	}
+}
+
+func TestDiskBackedFacility(t *testing.T) {
+	sets := MapSource{1: {"a", "b"}, 2: {"b", "c"}}
+	scheme, _ := NewScheme(64, 2)
+	store, err := NewDiskStore(filepath.Join(t.TempDir(), "idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssf, err := NewSSF(scheme, sets, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid, set := range sets {
+		if err := ssf.Insert(oid, set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen from the same directory.
+	ssf2, err := NewSSF(scheme, sets, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ssf2.Search(Superset, []string{"b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OIDs) != 2 {
+		t.Fatalf("disk-backed search: %v", res.OIDs)
+	}
+}
+
+func TestPaperModelFacade(t *testing.T) {
+	m := PaperModel(10, 500, 2)
+	if m.NIXStorage() != 690 {
+		t.Fatalf("facade model NIX storage = %v", m.NIXStorage())
+	}
+	if OptimalM(250, 10) != 17 {
+		t.Fatalf("OptimalM = %d", OptimalM(250, 10))
+	}
+	if FalseDropSuperset(500, 2, 10, 3) <= 0 || FalseDropSuperset(500, 2, 10, 3) >= 1 {
+		t.Fatal("false drop out of range")
+	}
+	if FalseDropSubset(500, 2, 10, 100) <= 0 {
+		t.Fatal("subset false drop out of range")
+	}
+}
+
+func TestSmartOptionsFacade(t *testing.T) {
+	sets := MapSource{}
+	for oid := uint64(1); oid <= 50; oid++ {
+		sets[oid] = []string{"x", "y", "z"}
+	}
+	scheme, _ := NewScheme(128, 2)
+	bssf, err := NewBSSF(scheme, sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid, set := range sets {
+		bssf.Insert(oid, set)
+	}
+	res, err := bssf.Search(Superset, []string{"x", "y", "z"}, &SearchOptions{MaxProbeElements: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ProbedElements != 1 || len(res.OIDs) != 50 {
+		t.Fatalf("smart search: %+v", res.Stats)
+	}
+}
