@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	sigdb [-students 2000] [-index bssf|ssf|nix|none] [-f 256] [-m 2]
+//	sigdb [-students 2000] [-index bssf|ssf|nix|none] [-f 256] [-m 2] [-db dir]
+//
+// With -db the database (heaps and indexes) lives in a crash-safe
+// durable store under dir: the sample data is generated only on first
+// run, "save" checkpoints mid-session, quitting checkpoints
+// automatically, and a crash at any point is repaired from the
+// write-ahead log on the next start.
 //
 // Then type queries such as:
 //
@@ -25,6 +31,7 @@ import (
 	"strings"
 
 	"sigfile/internal/oodb"
+	"sigfile/internal/pagestore"
 	"sigfile/internal/query"
 	"sigfile/internal/signature"
 )
@@ -36,17 +43,43 @@ func main() {
 		f        = flag.Int("f", 256, "signature width F (ssf/bssf)")
 		m        = flag.Int("m", 2, "element signature weight m (ssf/bssf)")
 		seed     = flag.Int64("seed", 1, "data generator seed")
+		dbDir    = flag.String("db", "", "directory for a persistent crash-safe database (default: in-memory)")
 	)
 	flag.Parse()
 
 	cfg := oodb.DefaultSampleConfig()
 	cfg.Students = *students
 	cfg.Seed = *seed
-	fmt.Printf("loading university database: %d students, %d courses, %d teachers...\n",
-		cfg.Students, cfg.Courses, cfg.Teachers)
-	db, err := oodb.NewSampleDatabase(cfg, nil)
-	if err != nil {
-		fatal(err)
+
+	var store pagestore.Store
+	if *dbDir != "" {
+		ds, err := pagestore.OpenDurableStore(*dbDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	}
+
+	var db *oodb.Database
+	if store != nil {
+		existing, err := oodb.NewDatabase(oodb.SampleSchema(), store)
+		if err != nil {
+			fatal(err)
+		}
+		if existing.Count("Student") > 0 {
+			fmt.Printf("opened database at %s: %d students, %d courses, %d teachers\n",
+				*dbDir, existing.Count("Student"), existing.Count("Course"), existing.Count("Teacher"))
+			db = existing
+		}
+	}
+	if db == nil {
+		fmt.Printf("loading university database: %d students, %d courses, %d teachers...\n",
+			cfg.Students, cfg.Courses, cfg.Teachers)
+		var err error
+		db, err = oodb.NewSampleDatabase(cfg, store)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	eng, err := query.NewEngine(db)
 	if err != nil {
@@ -73,14 +106,28 @@ func main() {
 			fatal(err)
 		}
 		for _, attr := range []string{"hobbies", "courses"} {
-			if _, err := eng.CreateIndex("Student", attr, kind, scheme, nil); err != nil {
+			// With -db the index files live in the same durable store
+			// (and commit scope) as the heaps; on reopen CreateIndex
+			// recovers them instead of bulk loading.
+			am, err := eng.CreateIndex("Student", attr, kind, scheme, store)
+			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("created %s index on Student.%s\n", kind, attr)
+			fmt.Printf("%s index on Student.%s: %d entries\n", kind, attr, am.Count())
+		}
+	}
+	if store != nil {
+		// Make the freshly generated (or just recovered) state durable
+		// before accepting commands.
+		if err := db.Checkpoint(); err != nil {
+			fatal(err)
 		}
 	}
 	fmt.Println(`type "help" for the language, "quit" to exit`)
 	runREPL(eng, db, os.Stdin, os.Stdout)
+	if err := db.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 // runREPL drives the interactive loop; factored out of main so the
@@ -99,6 +146,12 @@ func runREPL(eng *query.Engine, db *oodb.Database, in io.Reader, out io.Writer) 
 			continue
 		case line == "quit" || line == "exit":
 			return
+		case line == "save":
+			if err := db.Checkpoint(); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintln(out, "saved")
 		case line == "help":
 			printHelp(out)
 		case line == "stats":
@@ -167,7 +220,8 @@ func printHelp(out io.Writer) {
 commands:
   explain <query>   show the plan without materializing objects
   stats             storage summary
-  quit              exit
+  save              checkpoint a -db database (commit + truncate WAL)
+  quit              exit (checkpoints a -db database)
 `)
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sigfile/internal/oodb"
+	"sigfile/internal/pagestore"
 	"sigfile/internal/query"
 	"sigfile/internal/signature"
 )
@@ -82,5 +83,73 @@ func TestREPLTruncatesLongResults(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "200 object(s)") {
 		t.Errorf("footer missing:\n%s", out.String())
+	}
+}
+
+// TestREPLSaveAndReopen drives the -db code path end to end: populate a
+// durable store, save from the REPL, reopen, and check the indexes are
+// recovered (not re-bulk-loaded) and queries still answer.
+func TestREPLSaveAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := oodb.SampleConfig{
+		Students: 50, Courses: 10, Teachers: 3,
+		CoursesPerStud: 3, HobbiesPerStud: 3, Seed: 7,
+	}
+
+	store, err := pagestore.OpenDurableStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := oodb.NewSampleDatabase(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := query.NewEngine(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := eng.CreateIndex("Student", "hobbies", query.KindBSSF, signature.MustNew(128, 2), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.Count() != 50 {
+		t.Fatalf("index holds %d entries after bulk load, want 50", am.Count())
+	}
+	var out bytes.Buffer
+	runREPL(eng, db, strings.NewReader("save\nquit\n"), &out)
+	if !strings.Contains(out.String(), "saved") {
+		t.Fatalf("save command gave no confirmation:\n%s", out.String())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := pagestore.OpenDurableStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := oodb.NewDatabase(oodb.SampleSchema(), store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.Count("Student"); got != 50 {
+		t.Fatalf("Count after reopen = %d, want 50", got)
+	}
+	eng2, err := query.NewEngine(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am2, err := eng2.CreateIndex("Student", "hobbies", query.KindBSSF, signature.MustNew(128, 2), store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am2.Count() != 50 {
+		t.Fatalf("recovered index holds %d entries, want 50", am2.Count())
+	}
+	var out2 bytes.Buffer
+	runREPL(eng2, db2, strings.NewReader("select Student where hobbies has-element \"Chess\"\nquit\n"), &out2)
+	if !strings.Contains(out2.String(), "plan: index(BSSF Student.hobbies") {
+		t.Fatalf("reopened session did not use the recovered index:\n%s", out2.String())
 	}
 }

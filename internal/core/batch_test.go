@@ -217,7 +217,7 @@ func TestBSSFMultiPageSlices(t *testing.T) {
 	want := 0
 	var firstHit, lastHit uint64
 	for oid, set := range src {
-		if signature.EvaluateSets(signature.Superset, set, []string{"e3", "e46"}) {
+		if ok, _ := signature.EvaluateSets(signature.Superset, set, []string{"e3", "e46"}); ok {
 			want++
 			if firstHit == 0 || oid < firstHit {
 				firstHit = oid

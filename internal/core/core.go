@@ -179,7 +179,11 @@ func verifyCandidates(src SetSource, pred signature.Predicate, query []string, c
 			return nil, fmt.Errorf("core: resolve OID %d: %w", oid, err)
 		}
 		stats.ObjectFetches++
-		if signature.EvaluateSets(pred, target, query) {
+		ok, err := signature.EvaluateSets(pred, target, query)
+		if err != nil {
+			return nil, fmt.Errorf("core: verify OID %d: %w", oid, err)
+		}
+		if ok {
 			results = append(results, oid)
 		}
 	}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"sigfile/internal/pagestore"
+	"sigfile/internal/pagestore/crashtest"
+	"sigfile/internal/signature"
+)
+
+// crashSource is the object base for the crash-consistency scenarios:
+// four pre-existing objects plus the one the crashed insert adds. Each
+// object carries a private marker element so a fingerprint can tell
+// exactly which objects a recovered facility still indexes.
+var crashSource = MapSource{
+	1: {"alpha", "common"},
+	2: {"beta", "common"},
+	3: {"gamma", "common"},
+	4: {"delta", "common"},
+	5: {"epsilon", "common", "zeta"},
+}
+
+// crashFingerprint summarizes which objects am indexes, via Count plus a
+// per-marker Overlap search (exercising slice reads, postings walks and
+// false-drop resolution against crashSource).
+func crashFingerprint(am AccessMethod) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "count=%d", am.Count())
+	for _, marker := range []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"} {
+		res, err := am.Search(signature.Overlap, []string{marker}, nil)
+		if err != nil {
+			return "", err
+		}
+		oids := append([]uint64(nil), res.OIDs...)
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+		fmt.Fprintf(&sb, " %s=%v", marker, oids)
+	}
+	return sb.String(), nil
+}
+
+// facilityCrashScenario builds a Scenario that inserts objects 1..4,
+// then (as the crashed update) inserts object 5 and commits.
+func facilityCrashScenario(open func(store pagestore.Store) (AccessMethod, error)) crashtest.Scenario {
+	return crashtest.Scenario{
+		Setup: func(s *pagestore.DurableStore) error {
+			am, err := open(s)
+			if err != nil {
+				return err
+			}
+			for oid := uint64(1); oid <= 4; oid++ {
+				if err := am.Insert(oid, crashSource[oid]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Update: func(s *pagestore.DurableStore) error {
+			am, err := open(s)
+			if err != nil {
+				return err
+			}
+			if err := am.Insert(5, crashSource[5]); err != nil {
+				return err
+			}
+			return s.Commit()
+		},
+		Fingerprint: func(s *pagestore.DurableStore) (string, error) {
+			am, err := open(s)
+			if err != nil {
+				return "", err
+			}
+			return crashFingerprint(am)
+		},
+	}
+}
+
+func TestCrashConsistencySSFInsert(t *testing.T) {
+	scheme := signature.MustNew(64, 8)
+	crashtest.Run(t, facilityCrashScenario(func(store pagestore.Store) (AccessMethod, error) {
+		return NewSSF(scheme, crashSource, store)
+	}))
+}
+
+func TestCrashConsistencyBSSFInsert(t *testing.T) {
+	scheme := signature.MustNew(32, 4)
+	crashtest.Run(t, facilityCrashScenario(func(store pagestore.Store) (AccessMethod, error) {
+		return NewBSSF(scheme, crashSource, store)
+	}))
+}
+
+func TestCrashConsistencyNIXInsert(t *testing.T) {
+	crashtest.Run(t, facilityCrashScenario(func(store pagestore.Store) (AccessMethod, error) {
+		return NewNIX(crashSource, store)
+	}))
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// TestFaultPropagation drives every facility × operation × fault-kind
+// combination through an armed FaultStore and asserts that the injected
+// storage error surfaces to the caller wrapped (matchable with
+// errors.Is(err, pagestore.ErrInjected)) — never a panic, never a partial
+// result presented as success.
+func TestFaultPropagation(t *testing.T) {
+	facilities := []struct {
+		name string
+		open func(store pagestore.Store) (AccessMethod, error)
+	}{
+		{"SSF", func(store pagestore.Store) (AccessMethod, error) {
+			return NewSSF(signature.MustNew(64, 8), crashSource, store)
+		}},
+		{"BSSF", func(store pagestore.Store) (AccessMethod, error) {
+			return NewBSSF(signature.MustNew(32, 4), crashSource, store)
+		}},
+		{"NIX", func(store pagestore.Store) (AccessMethod, error) {
+			return NewNIX(crashSource, store)
+		}},
+	}
+
+	// Fault kinds arm every file of the facility; counters fire once and
+	// auto-disarm, so whichever file the operation touches first trips.
+	armRead := func(fs *pagestore.FaultStore) {
+		for _, f := range fs.Files() {
+			f.FailReadAfter(0)
+		}
+	}
+	armWrite := func(fs *pagestore.FaultStore) {
+		for _, f := range fs.Files() {
+			f.FailWriteAfter(0)
+		}
+	}
+
+	ops := []struct {
+		name string
+		arm  func(fs *pagestore.FaultStore)
+		run  func(am AccessMethod) (*Result, error)
+	}{
+		{"search-superset", armRead, func(am AccessMethod) (*Result, error) {
+			return am.Search(signature.Superset, []string{"common"}, nil)
+		}},
+		{"search-subset", armRead, func(am AccessMethod) (*Result, error) {
+			return am.Search(signature.Subset, []string{"alpha", "beta", "common"}, nil)
+		}},
+		{"search-overlap", armRead, func(am AccessMethod) (*Result, error) {
+			return am.Search(signature.Overlap, []string{"gamma"}, nil)
+		}},
+		{"insert", armWrite, func(am AccessMethod) (*Result, error) {
+			return nil, am.Insert(9, []string{"iota", "common"})
+		}},
+		{"delete", armWrite, func(am AccessMethod) (*Result, error) {
+			return nil, am.Delete(2, crashSource[2])
+		}},
+	}
+
+	for _, fac := range facilities {
+		for _, op := range ops {
+			t.Run(fac.name+"/"+op.name, func(t *testing.T) {
+				fs := pagestore.NewFaultStore(pagestore.NewMemStore())
+				am, err := fac.open(fs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for oid := uint64(1); oid <= 4; oid++ {
+					if err := am.Insert(oid, crashSource[oid]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				op.arm(fs)
+				res, err := op.run(am)
+				if !errors.Is(err, pagestore.ErrInjected) {
+					t.Fatalf("%s on %s with fault armed: err = %v, want ErrInjected", op.name, fac.name, err)
+				}
+				if res != nil {
+					t.Fatalf("%s on %s returned a result alongside the error", op.name, fac.name)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultRecoveryAfterInjection: once the armed fault has fired (they
+// auto-disarm), the same facility instance must serve the operation
+// correctly — the error path may not corrupt in-memory state.
+func TestFaultRecoveryAfterInjection(t *testing.T) {
+	for _, fac := range []struct {
+		name string
+		open func(store pagestore.Store) (AccessMethod, error)
+	}{
+		{"SSF", func(store pagestore.Store) (AccessMethod, error) {
+			return NewSSF(signature.MustNew(64, 8), crashSource, store)
+		}},
+		{"BSSF", func(store pagestore.Store) (AccessMethod, error) {
+			return NewBSSF(signature.MustNew(32, 4), crashSource, store)
+		}},
+		{"NIX", func(store pagestore.Store) (AccessMethod, error) {
+			return NewNIX(crashSource, store)
+		}},
+	} {
+		t.Run(fac.name, func(t *testing.T) {
+			fs := pagestore.NewFaultStore(pagestore.NewMemStore())
+			am, err := fac.open(fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for oid := uint64(1); oid <= 4; oid++ {
+				if err := am.Insert(oid, crashSource[oid]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, f := range fs.Files() {
+				f.FailReadAfter(0)
+			}
+			if _, err := am.Search(signature.Overlap, []string{"common"}, nil); !errors.Is(err, pagestore.ErrInjected) {
+				t.Fatalf("armed search: err = %v, want ErrInjected", err)
+			}
+			// Only the first file read tripped; disarm the rest for the retry.
+			for _, f := range fs.Files() {
+				f.FailReadAfter(-1)
+			}
+			res, err := am.Search(signature.Overlap, []string{"common"}, nil)
+			if err != nil {
+				t.Fatalf("search after fault cleared: %v", err)
+			}
+			if len(res.OIDs) != 4 {
+				t.Fatalf("search after fault found %v, want OIDs 1-4", res.OIDs)
+			}
+		})
+	}
+}

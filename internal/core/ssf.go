@@ -174,7 +174,11 @@ func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptio
 			if err != nil {
 				return nil, fmt.Errorf("core: SSF scan page %d slot %d: %w", p, i, err)
 			}
-			if signature.Matches(pred, tsig, qsig) {
+			hit, err := signature.Matches(pred, tsig, qsig)
+			if err != nil {
+				return nil, fmt.Errorf("core: SSF scan: %w", err)
+			}
+			if hit {
 				matchIdx = append(matchIdx, p*s.sigsPerPage+i)
 			}
 		}

@@ -217,11 +217,11 @@ func runAblationHash(w io.Writer, opt Options) error {
 			for _, q := range queries {
 				qsig := scheme.SetSignatureStrings(q)
 				for oid := uint64(1); oid <= n; oid++ {
-					if signature.EvaluateSets(signature.Superset, inst.Sets[oid], q) {
+					if ok, _ := signature.EvaluateSets(signature.Superset, inst.Sets[oid], q); ok {
 						continue
 					}
 					eligible++
-					if signature.Matches(signature.Superset, tsigs[oid], qsig) {
+					if ok, _ := signature.Matches(signature.Superset, tsigs[oid], qsig); ok {
 						drops++
 					}
 				}

@@ -69,8 +69,14 @@ func runFig1(w io.Writer, _ Options) error {
 		{"Chess", "Origami", "Karate"},
 	} {
 		tsig := s.SetSignatureStrings(target)
-		match := signature.Matches(signature.Superset, tsig, qsig)
-		truth := signature.EvaluateSets(signature.Superset, target, query)
+		match, err := signature.Matches(signature.Superset, tsig, qsig)
+		if err != nil {
+			panic(err) // static predicate: cannot fail
+		}
+		truth, err := signature.EvaluateSets(signature.Superset, target, query)
+		if err != nil {
+			panic(err)
+		}
 		t.addf(fmt.Sprintf("%v", target), tsig.String(), match, truth, classify(match, truth))
 	}
 	t.fprint(w)
@@ -91,8 +97,14 @@ func runFig2(w io.Writer, _ Options) error {
 		{"Chess", "Origami", "Karate", "Yoga"},
 	} {
 		tsig := s.SetSignatureStrings(target)
-		match := signature.Matches(signature.Subset, tsig, qsig)
-		truth := signature.EvaluateSets(signature.Subset, target, query)
+		match, err := signature.Matches(signature.Subset, tsig, qsig)
+		if err != nil {
+			panic(err) // static predicate: cannot fail
+		}
+		truth, err := signature.EvaluateSets(signature.Subset, target, query)
+		if err != nil {
+			panic(err)
+		}
 		t.addf(fmt.Sprintf("%v", target), tsig.String(), match, truth, classify(match, truth))
 	}
 	t.fprint(w)

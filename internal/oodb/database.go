@@ -54,8 +54,51 @@ func NewDatabase(schema *Schema, store pagestore.Store) (*Database, error) {
 	return db, nil
 }
 
+// OpenDatabase opens (creating if necessary) a crash-safe database
+// rooted at dir: every heap lives in a pagestore.DurableStore, writes
+// become durable at Commit/Checkpoint, and opening replays any committed
+// write-ahead-log records a crash left behind.
+func OpenDatabase(schema *Schema, dir string) (*Database, error) {
+	store, err := pagestore.OpenDurableStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	db, err := NewDatabase(schema, store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
 // Schema returns the database schema.
 func (db *Database) Schema() *Schema { return db.schema }
+
+// Store returns the backing page store, so callers can house indexes in
+// the same store (and the same commit scope) as the heaps.
+func (db *Database) Store() pagestore.Store { return db.store }
+
+// Commit makes all writes since the last Commit durable and atomic if
+// the backing store is transactional (implements pagestore.Committer);
+// over a plain store it is a no-op.
+func (db *Database) Commit() error {
+	if c, ok := db.store.(pagestore.Committer); ok {
+		return c.Commit()
+	}
+	return nil
+}
+
+// Checkpoint commits and additionally truncates the store's write-ahead
+// log after fsyncing the page files; a no-op over a plain store.
+func (db *Database) Checkpoint() error {
+	if c, ok := db.store.(pagestore.Committer); ok {
+		return c.Checkpoint()
+	}
+	return nil
+}
+
+// Close commits pending writes and closes the backing store.
+func (db *Database) Close() error { return db.store.Close() }
 
 // Heap returns the object store for a class, or nil if the class is
 // unknown.

@@ -1,0 +1,81 @@
+package pagestore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BlockFile is the byte-oriented backend a DiskFile or WAL writes to: the
+// subset of *os.File the durability layer needs. Factoring it out lets the
+// crash-consistency harness substitute an in-memory device (CrashFile)
+// that can tear writes and die mid-schedule, while production code runs
+// over the operating system's files.
+type BlockFile interface {
+	io.ReaderAt
+	io.WriterAt
+	// Truncate resizes the file to size bytes.
+	Truncate(size int64) error
+	// Sync is the durability barrier: after it returns, preceding writes
+	// must survive a crash.
+	Sync() error
+	// Size returns the current length in bytes.
+	Size() (int64, error)
+	Close() error
+}
+
+// BlockFS opens BlockFiles by name. It is the filesystem seam under
+// DurableStore: OSBlockFS maps names to files in a directory, CrashFS to
+// in-memory crash-injectable devices.
+type BlockFS interface {
+	Open(name string) (BlockFile, error)
+}
+
+// osBlockFile adapts *os.File to BlockFile.
+type osBlockFile struct {
+	*os.File
+}
+
+// Size implements BlockFile.
+func (f osBlockFile) Size() (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// OSBlockFS is the BlockFS over a directory of operating-system files.
+type OSBlockFS struct {
+	root string
+}
+
+// NewOSBlockFS returns a BlockFS rooted at dir, creating it if needed.
+func NewOSBlockFS(dir string) (*OSBlockFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		// The *PathError already names the path and operation.
+		return nil, fmt.Errorf("pagestore: %w", err)
+	}
+	return &OSBlockFS{root: dir}, nil
+}
+
+// Open implements BlockFS. Slashes map to subdirectories; names may not
+// escape the root.
+func (fs *OSBlockFS) Open(name string) (BlockFile, error) {
+	if name == "" || strings.Contains(name, "..") || filepath.IsAbs(name) {
+		return nil, fmt.Errorf("pagestore: invalid file name %q", name)
+	}
+	path := filepath.Join(fs.root, filepath.FromSlash(name))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("pagestore: mkdir for %s: %w", name, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: open %s: %w", path, err)
+	}
+	return osBlockFile{f}, nil
+}
+
+var _ BlockFS = (*OSBlockFS)(nil)

@@ -2,6 +2,7 @@ package pagestore
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -178,27 +179,36 @@ func (p *BufferPool) NumPages() int { return p.inner.NumPages() }
 func (p *BufferPool) Stats() *Stats { return &p.stats }
 
 // Sync implements File: flushes all dirty pages to the inner file and
-// syncs it.
+// syncs it. A page whose write-back fails stays dirty and is retried on
+// the next Sync or Close; the flush continues past it so one bad page
+// does not strand the others, and the joined errors are returned.
 func (p *BufferPool) Sync() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var errs []error
 	for el := p.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*poolEntry)
 		if !e.dirty {
 			continue
 		}
 		if err := p.inner.WritePage(e.id, e.data); err != nil {
-			return fmt.Errorf("pagestore: flush page %d: %w", e.id, err)
+			errs = append(errs, fmt.Errorf("pagestore: flush page %d: %w", e.id, err))
+			continue
 		}
 		e.dirty = false
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
 	}
 	return p.inner.Sync()
 }
 
-// Close implements File: flushes and closes the inner file.
+// Close implements File: flushes and closes the inner file. If the flush
+// fails the inner file is left open and the dirty pages retained, so the
+// caller can retry Sync/Close after clearing the fault rather than
+// silently losing the writes.
 func (p *BufferPool) Close() error {
 	if err := p.Sync(); err != nil {
-		p.inner.Close()
 		return err
 	}
 	return p.inner.Close()

@@ -1,0 +1,136 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestBufferPoolEvictionWriteBackErrorSurfaces is the regression test
+// for lost write-back errors: when evicting a dirty page fails, the
+// caller must see the error, the page must stay cached and dirty, and a
+// later Sync must land it.
+func TestBufferPoolEvictionWriteBackErrorSurfaces(t *testing.T) {
+	inner := NewMemFile()
+	ff := NewFaultFile(inner)
+	pool, err := NewBufferPool(ff, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.WritePage(0, page(0xaa)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.WritePage(1, page(0xbb)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Faulting in page 2 evicts dirty page 0; its write-back fails.
+	ff.FailWriteAfter(0)
+	buf := make([]byte, PageSize)
+	err = pool.ReadPage(2, buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("eviction write-back failure did not surface: %v", err)
+	}
+
+	// The victim was retained dirty, so Sync (fault now clear) flushes it.
+	if err := pool.Sync(); err != nil {
+		t.Fatalf("retry Sync: %v", err)
+	}
+	if err := inner.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, page(0xaa)) {
+		t.Fatal("dirty page lost after failed eviction + retry Sync")
+	}
+}
+
+// TestBufferPoolSyncFlushesPastFailures: a Sync that hits a write-back
+// error keeps flushing the remaining dirty pages, reports the error, and
+// retries the failed page on the next Sync.
+func TestBufferPoolSyncFlushesPastFailures(t *testing.T) {
+	inner := NewMemFile()
+	ff := NewFaultFile(inner)
+	pool, err := NewBufferPool(ff, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.WritePage(PageID(i), page(byte(0x10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ff.FailWriteAfter(0) // first flushed page fails, the others continue
+	err = pool.Sync()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync swallowed the write-back failure: %v", err)
+	}
+	flushed := 0
+	buf := make([]byte, PageSize)
+	for i := 0; i < 3; i++ {
+		if err := inner.ReadPage(PageID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(buf, page(byte(0x10+i))) {
+			flushed++
+		}
+	}
+	if flushed != 2 {
+		t.Fatalf("Sync flushed %d of 3 pages past the failure, want 2", flushed)
+	}
+
+	// The failed page stayed dirty: the retry completes the flush.
+	if err := pool.Sync(); err != nil {
+		t.Fatalf("retry Sync: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := inner.ReadPage(PageID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, page(byte(0x10+i))) {
+			t.Fatalf("page %d not flushed after retry", i)
+		}
+	}
+}
+
+// TestBufferPoolCloseKeepsInnerOpenOnFlushFailure: Close must not close
+// the inner file while dirty pages remain unflushed, or the retry the
+// error invites would be impossible.
+func TestBufferPoolCloseKeepsInnerOpenOnFlushFailure(t *testing.T) {
+	inner := NewMemFile()
+	ff := NewFaultFile(inner)
+	pool, err := NewBufferPool(ff, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.WritePage(0, page(0xcc)); err != nil {
+		t.Fatal(err)
+	}
+	ff.FailWriteAfter(0)
+	if err := pool.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close swallowed the flush failure: %v", err)
+	}
+	// The inner file must still be open and reachable for a retry.
+	buf := make([]byte, PageSize)
+	if err := inner.ReadPage(0, buf); err != nil {
+		t.Fatalf("inner file unusable after failed Close: %v", err)
+	}
+	// Fault cleared: the retried Close flushes and closes.
+	if err := pool.Close(); err != nil {
+		t.Fatalf("retry Close: %v", err)
+	}
+	if err := inner.ReadPage(0, buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("inner file not closed after successful Close: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is returned by every I/O operation on a CrashFile after its
+// CrashClock expired: the simulated machine is down.
+var ErrCrashed = errors.New("pagestore: simulated crash")
+
+// CrashClock kills a set of CrashFiles after a budget of mutating
+// operations (WriteAt, Truncate). The operation that exhausts the budget
+// is *torn*: only the first half of its bytes land, modeling a write the
+// power cut interrupted. Every operation after that fails with
+// ErrCrashed. Reads never consume budget — a crashed disk is simply gone,
+// and the harness snapshots state instead of reading through the clock.
+//
+// A nil *CrashClock never crashes. The clock is shared by all files of a
+// CrashFS so a schedule spans the page files and the WAL together.
+type CrashClock struct {
+	mu      sync.Mutex
+	limit   int
+	ops     int
+	crashed bool
+}
+
+// NewCrashClock returns a clock that tears the (limit+1)-th mutating
+// operation and fails all later ones. limit < 0 means never crash while
+// still counting, for measuring a schedule's length.
+func NewCrashClock(limit int) *CrashClock {
+	return &CrashClock{limit: limit}
+}
+
+// Ops returns how many mutating operations have been observed.
+func (c *CrashClock) Ops() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Crashed reports whether the clock has expired.
+func (c *CrashClock) Crashed() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// tick accounts one mutating operation of n bytes. It returns the number
+// of bytes that still reach the device and, when the operation must
+// fail, ErrCrashed. The expiring operation keeps its first n/2 bytes —
+// the torn write — and subsequent ones keep none.
+func (c *CrashClock) tick(n int) (int, error) {
+	if c == nil {
+		return n, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	c.ops++
+	if c.limit >= 0 && c.ops > c.limit {
+		c.crashed = true
+		return n / 2, ErrCrashed
+	}
+	return n, nil
+}
+
+// CrashFile is an in-memory BlockFile wired to a CrashClock. It grows on
+// write like a sparse file and serves reads from whatever bytes survived.
+type CrashFile struct {
+	mu    sync.Mutex
+	clock *CrashClock
+	data  []byte
+}
+
+// ReadAt implements BlockFile. Reads past the end are zero-filled up to
+// len(p) with io.EOF semantics matching os.File closely enough for the
+// layers above (they never read past Size).
+func (f *CrashFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.clock.Crashed() {
+		return 0, ErrCrashed
+	}
+	if off >= int64(len(f.data)) {
+		return 0, fmt.Errorf("pagestore: crashfile read at %d beyond size %d", off, len(f.data))
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("pagestore: crashfile short read at %d", off)
+	}
+	return n, nil
+}
+
+// WriteAt implements BlockFile, consuming one clock tick; the expiring
+// write is torn in half.
+func (f *CrashFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keep, err := f.clock.tick(len(p))
+	if keep > 0 {
+		end := off + int64(keep)
+		if end > int64(len(f.data)) {
+			f.data = append(f.data, make([]byte, end-int64(len(f.data)))...)
+		}
+		copy(f.data[off:end], p[:keep])
+	}
+	if err != nil {
+		return keep, err
+	}
+	return len(p), nil
+}
+
+// Truncate implements BlockFile, consuming one clock tick. A torn
+// truncate simply does not happen (truncation is metadata, not bytes).
+func (f *CrashFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keep, err := f.clock.tick(1)
+	if err != nil && keep == 0 {
+		return err
+	}
+	if int64(len(f.data)) > size {
+		f.data = f.data[:size]
+	} else {
+		f.data = append(f.data, make([]byte, size-int64(len(f.data)))...)
+	}
+	return err
+}
+
+// Sync implements BlockFile. The in-memory device is always "durable";
+// after a crash it reports failure like every other operation.
+func (f *CrashFile) Sync() error {
+	if f.clock.Crashed() {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Size implements BlockFile.
+func (f *CrashFile) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.clock.Crashed() {
+		return 0, ErrCrashed
+	}
+	return int64(len(f.data)), nil
+}
+
+// Close implements BlockFile. The bytes persist in the CrashFS — closing
+// a file does not discard the simulated disk.
+func (f *CrashFile) Close() error { return nil }
+
+// CrashFS is an in-memory BlockFS whose files share one CrashClock. The
+// crash-consistency harness runs a DurableStore over it, snapshots the
+// byte state, re-runs an update schedule under ever-shorter clocks, and
+// reopens from the surviving bytes to exercise recovery.
+type CrashFS struct {
+	mu    sync.Mutex
+	clock *CrashClock
+	files map[string]*CrashFile
+}
+
+// NewCrashFS returns an empty filesystem governed by clock (nil = never
+// crash).
+func NewCrashFS(clock *CrashClock) *CrashFS {
+	return &CrashFS{clock: clock, files: make(map[string]*CrashFile)}
+}
+
+// Open implements BlockFS.
+func (fs *CrashFS) Open(name string) (BlockFile, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.clock.Crashed() {
+		return nil, ErrCrashed
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		f = &CrashFile{clock: fs.clock}
+		fs.files[name] = f
+	}
+	return f, nil
+}
+
+// SetClock rearms every file with clock; used between harness runs.
+func (fs *CrashFS) SetClock(clock *CrashClock) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.clock = clock
+	for _, f := range fs.files {
+		f.mu.Lock()
+		f.clock = clock
+		f.mu.Unlock()
+	}
+}
+
+// Snapshot copies the full byte state of every file — the "disk image"
+// at this instant.
+func (fs *CrashFS) Snapshot() map[string][]byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	snap := make(map[string][]byte, len(fs.files))
+	for name, f := range fs.files {
+		f.mu.Lock()
+		snap[name] = append([]byte(nil), f.data...)
+		f.mu.Unlock()
+	}
+	return snap
+}
+
+// Restore replaces the filesystem contents with a prior Snapshot.
+func (fs *CrashFS) Restore(snap map[string][]byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files = make(map[string]*CrashFile, len(snap))
+	for name, data := range snap {
+		fs.files[name] = &CrashFile{clock: fs.clock, data: append([]byte(nil), data...)}
+	}
+}
+
+// Names returns the file names present, sorted.
+func (fs *CrashFS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// VerifyChecksums reads every page of the named page file through the
+// checksum layer, returning the first corruption found. name is the
+// BlockFS-level name (including any suffix).
+func VerifyChecksums(fs BlockFS, name string) error {
+	dev, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	f, err := newDiskFile(dev, name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, PageSize)
+	for i := 0; i < f.NumPages(); i++ {
+		if err := f.ReadPage(PageID(i), buf); err != nil {
+			return fmt.Errorf("%s page %d: %w", name, i, err)
+		}
+	}
+	return nil
+}
+
+var (
+	_ BlockFile = (*CrashFile)(nil)
+	_ BlockFS   = (*CrashFS)(nil)
+)

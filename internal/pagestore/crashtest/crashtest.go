@@ -1,0 +1,141 @@
+// Package crashtest is the crash-consistency harness for the durable
+// page stores. A Scenario describes one multi-page update against a
+// DurableStore; Run replays it while injecting a crash after every
+// prefix of the mutating I/O schedule, reopens the surviving bytes
+// (running WAL recovery), and asserts the facility is observed either
+// fully pre-update or fully post-update — never a mix — with every page
+// checksum intact.
+package crashtest
+
+import (
+	"strings"
+	"testing"
+
+	"sigfile/internal/pagestore"
+)
+
+// Scenario is one crash-consistency case.
+type Scenario struct {
+	// Setup populates a fresh store with the pre-update state. The
+	// harness checkpoints after Setup, so its writes are never part of
+	// the crash schedule.
+	Setup func(s *pagestore.DurableStore) error
+	// Update performs the multi-page update under test and must make it
+	// durable itself (call s.Commit or s.Checkpoint). During crash runs
+	// its error is ignored — the machine is dying under it.
+	Update func(s *pagestore.DurableStore) error
+	// Fingerprint summarizes the logical state the update must change
+	// atomically (e.g. search results, the OID map). It must be
+	// deterministic.
+	Fingerprint func(s *pagestore.DurableStore) (string, error)
+}
+
+// Run executes the scenario: a clean pass to learn the schedule length
+// and the post-update fingerprint, then one crashed pass per prefix.
+func Run(t *testing.T, sc Scenario) {
+	t.Helper()
+
+	// Build the pre-update state on a never-crashing clock.
+	fs := pagestore.NewCrashFS(pagestore.NewCrashClock(-1))
+	store, err := pagestore.OpenDurableStoreFS(fs)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	if err := sc.Setup(store); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := store.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after setup: %v", err)
+	}
+	pre, err := sc.Fingerprint(store)
+	if err != nil {
+		t.Fatalf("pre fingerprint: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("close after setup: %v", err)
+	}
+	base := fs.Snapshot()
+
+	// Clean pass: measure the mutating-I/O schedule and the post state.
+	clock := pagestore.NewCrashClock(-1)
+	fs.SetClock(clock)
+	store, err = pagestore.OpenDurableStoreFS(fs)
+	if err != nil {
+		t.Fatalf("open store for clean run: %v", err)
+	}
+	if err := sc.Update(store); err != nil {
+		t.Fatalf("clean update: %v", err)
+	}
+	post, err := sc.Fingerprint(store)
+	if err != nil {
+		t.Fatalf("post fingerprint: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("close after clean update: %v", err)
+	}
+	total := clock.Ops()
+	if post == pre {
+		t.Fatalf("scenario is vacuous: update did not change the fingerprint %q", pre)
+	}
+	if total == 0 {
+		t.Fatalf("scenario is vacuous: update performed no mutating I/O")
+	}
+
+	// Crash pass per prefix: crash point k tears mutating op k+1 and
+	// kills everything after it.
+	sawPre, sawPost := false, false
+	for k := 0; k < total; k++ {
+		fs.Restore(base)
+		clock := pagestore.NewCrashClock(k)
+		fs.SetClock(clock)
+		crashed, err := pagestore.OpenDurableStoreFS(fs)
+		if err == nil {
+			// The machine dies somewhere in here; errors are the
+			// simulated crash, and the half-written state on "disk" is
+			// what recovery must cope with. Close is part of the
+			// schedule so late crash points (mid-checkpoint) expire too.
+			_ = sc.Update(crashed)
+			_ = crashed.Close()
+		}
+		if !clock.Crashed() {
+			t.Fatalf("crash point %d/%d: schedule ended before the clock expired", k, total)
+		}
+
+		// Reboot: reopen the surviving bytes with a healthy clock.
+		fs.SetClock(pagestore.NewCrashClock(-1))
+		recovered, err := pagestore.OpenDurableStoreFS(fs)
+		if err != nil {
+			t.Fatalf("crash point %d/%d: recovery failed: %v", k, total, err)
+		}
+		got, err := sc.Fingerprint(recovered)
+		if err != nil {
+			t.Fatalf("crash point %d/%d: fingerprint after recovery: %v", k, total, err)
+		}
+		switch got {
+		case pre:
+			sawPre = true
+		case post:
+			sawPost = true
+		default:
+			t.Fatalf("crash point %d/%d: recovered state is neither pre nor post:\n pre: %q\npost: %q\n got: %q",
+				k, total, pre, post, got)
+		}
+		for _, name := range fs.Names() {
+			if !strings.HasSuffix(name, ".pag") {
+				continue
+			}
+			if err := pagestore.VerifyChecksums(fs, name); err != nil {
+				t.Fatalf("crash point %d/%d: checksum verification: %v", k, total, err)
+			}
+		}
+		if err := recovered.Close(); err != nil {
+			t.Fatalf("crash point %d/%d: close recovered store: %v", k, total, err)
+		}
+	}
+	if !sawPre {
+		t.Errorf("no crash point left the store in the pre-update state (schedule length %d)", total)
+	}
+	if !sawPost {
+		t.Errorf("no crash point reached the post-update state (schedule length %d)", total)
+	}
+}

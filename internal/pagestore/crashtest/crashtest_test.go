@@ -1,0 +1,85 @@
+package crashtest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sigfile/internal/pagestore"
+)
+
+// fill returns a page with every byte set to b.
+func fill(b byte) []byte {
+	p := make([]byte, pagestore.PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+// TestHarnessRawStore exercises the harness on a bare two-file update:
+// the minimal shape of a BSSF insert (several files, several pages, one
+// allocation) without the facility on top.
+func TestHarnessRawStore(t *testing.T) {
+	names := []string{"alpha", "beta"}
+	Run(t, Scenario{
+		Setup: func(s *pagestore.DurableStore) error {
+			for i, name := range names {
+				f, err := s.Open(name)
+				if err != nil {
+					return err
+				}
+				for p := 0; p < 2; p++ {
+					if _, err := f.Allocate(); err != nil {
+						return err
+					}
+					if err := f.WritePage(pagestore.PageID(p), fill(byte(16*i+p))); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+		Update: func(s *pagestore.DurableStore) error {
+			for i, name := range names {
+				f, err := s.Open(name)
+				if err != nil {
+					return err
+				}
+				if err := f.WritePage(1, fill(byte(0xa0+i))); err != nil {
+					return err
+				}
+			}
+			f, err := s.Open(names[0])
+			if err != nil {
+				return err
+			}
+			if _, err := f.Allocate(); err != nil {
+				return err
+			}
+			if err := f.WritePage(2, fill(0xee)); err != nil {
+				return err
+			}
+			return s.Commit()
+		},
+		Fingerprint: func(s *pagestore.DurableStore) (string, error) {
+			var sb strings.Builder
+			buf := make([]byte, pagestore.PageSize)
+			for _, name := range names {
+				f, err := s.Open(name)
+				if err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&sb, "%s[%d]:", name, f.NumPages())
+				for p := 0; p < f.NumPages(); p++ {
+					if err := f.ReadPage(pagestore.PageID(p), buf); err != nil {
+						return "", err
+					}
+					fmt.Fprintf(&sb, " %02x", buf[0])
+				}
+				sb.WriteString("\n")
+			}
+			return sb.String(), nil
+		},
+	})
+}

@@ -1,0 +1,510 @@
+package pagestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Committer is implemented by the durable files and stores: their writes
+// accumulate in a write-ahead log transaction until Commit makes them
+// durable and atomic. Layers above (oodb.Database, cmd/sigdb) detect the
+// interface to expose save points without depending on the concrete
+// store.
+type Committer interface {
+	// Commit appends the pending page writes to the WAL, fsyncs it, and
+	// applies them in place. After Commit returns, the batch survives a
+	// crash; if the process dies before, recovery restores the previous
+	// committed state — never a mix.
+	Commit() error
+	// Checkpoint commits pending writes, fsyncs the page files, and
+	// truncates the WAL.
+	Checkpoint() error
+}
+
+// DurableFile is a crash-safe page file: a DiskFile plus a sidecar
+// write-ahead log (path + ".wal"). WritePage and Allocate buffer in
+// memory; Commit writes the batch to the log, fsyncs, and applies it in
+// place. Opening the file replays any committed log records a crash left
+// behind (see OpenDiskFile), so a multi-page update is always observed
+// fully applied or not at all.
+type DurableFile struct {
+	mu    sync.RWMutex
+	inner *DiskFile
+	tag   string
+	// Exactly one of wal (standalone file) and store (member of a
+	// DurableStore sharing its log) is non-nil.
+	wal     *wal
+	store   *DurableStore
+	pending map[PageID][]byte
+	npages  int
+	closed  bool
+	stats   Stats
+}
+
+// OpenDurableFile opens (creating if necessary) a crash-safe page file
+// at path with its WAL at path + ".wal", recovering any committed but
+// unapplied writes first.
+func OpenDurableFile(path string) (*DurableFile, error) {
+	inner, err := OpenDiskFile(path) // replays the sidecar if present
+	if err != nil {
+		return nil, err
+	}
+	wf, err := os.OpenFile(path+walSuffix, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		inner.Close()
+		return nil, fmt.Errorf("pagestore: open wal %s: %w", path+walSuffix, err)
+	}
+	w, err := openWAL(osBlockFile{wf}, path+walSuffix)
+	if err != nil {
+		inner.Close()
+		wf.Close()
+		return nil, err
+	}
+	return &DurableFile{inner: inner, wal: w, pending: make(map[PageID][]byte), npages: inner.NumPages()}, nil
+}
+
+// recoverSidecar replays the committed records of path's WAL sidecar
+// into d and truncates the log.
+func recoverSidecar(path string, d *DiskFile) error {
+	wf, err := os.OpenFile(path+walSuffix, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("pagestore: open wal %s: %w", path+walSuffix, err)
+	}
+	defer wf.Close()
+	w, err := openWAL(osBlockFile{wf}, path+walSuffix)
+	if err != nil {
+		return err
+	}
+	return w.replayInto(func(string) (*DiskFile, error) { return d, nil })
+}
+
+// newStoreFile wraps inner as a member of store.
+func newStoreFile(inner *DiskFile, tag string, store *DurableStore) *DurableFile {
+	return &DurableFile{inner: inner, tag: tag, store: store,
+		pending: make(map[PageID][]byte), npages: inner.NumPages()}
+}
+
+// ReadPage implements File, serving pending writes from the overlay so a
+// transaction reads its own uncommitted data.
+func (f *DurableFile) ReadPage(id PageID, buf []byte) error {
+	if len(buf) < PageSize {
+		return fmt.Errorf("pagestore: read buffer %d bytes, need %d", len(buf), PageSize)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if int(id) >= f.npages {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, f.npages)
+	}
+	if img, ok := f.pending[id]; ok {
+		copy(buf[:PageSize], img)
+		f.stats.reads.Add(1)
+		return nil
+	}
+	if int(id) >= f.inner.NumPages() {
+		// Allocated in this transaction, never written: all zero.
+		for i := range buf[:PageSize] {
+			buf[i] = 0
+		}
+		f.stats.reads.Add(1)
+		return nil
+	}
+	if err := f.inner.ReadPage(id, buf); err != nil {
+		return err
+	}
+	f.stats.reads.Add(1)
+	return nil
+}
+
+// WritePage implements File: the write lands in the pending overlay and
+// reaches the page file at Commit, after the WAL holds its image.
+func (f *DurableFile) WritePage(id PageID, buf []byte) error {
+	if len(buf) < PageSize {
+		return fmt.Errorf("pagestore: write buffer %d bytes, need %d", len(buf), PageSize)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if int(id) >= f.npages {
+		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, id, f.npages)
+	}
+	img, ok := f.pending[id]
+	if !ok {
+		img = make([]byte, PageSize)
+		f.pending[id] = img
+	}
+	copy(img, buf[:PageSize])
+	f.stats.writes.Add(1)
+	return nil
+}
+
+// Allocate implements File. The extension is logical until Commit, when
+// an extend record persists it.
+func (f *DurableFile) Allocate() (PageID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	f.npages++
+	f.stats.allocs.Add(1)
+	return PageID(f.npages - 1), nil
+}
+
+// NumPages implements File.
+func (f *DurableFile) NumPages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.npages
+}
+
+// Stats implements File, returning the file's logical access counters
+// (overlay hits included); physical accesses are on the inner DiskFile.
+func (f *DurableFile) Stats() *Stats { return &f.stats }
+
+// dirtyLocked reports whether the file has uncommitted writes or
+// allocations. Caller holds f.mu.
+func (f *DurableFile) dirtyLocked() bool {
+	return len(f.pending) > 0 || f.npages > f.inner.NumPages()
+}
+
+// logPendingLocked appends the file's extent and page images to w.
+// Caller holds f.mu.
+func (f *DurableFile) logPendingLocked(w *wal) error {
+	if f.npages > f.inner.NumPages() {
+		if err := w.appendExtend(f.tag, f.npages); err != nil {
+			return err
+		}
+	}
+	ids := make([]PageID, 0, len(f.pending))
+	for id := range f.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := w.appendPage(f.tag, id, f.pending[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyPendingLocked writes the committed batch through to the inner
+// file and clears the overlay. Caller holds f.mu; the WAL already holds
+// the commit record.
+func (f *DurableFile) applyPendingLocked() error {
+	if err := f.inner.extendTo(f.npages); err != nil {
+		return err
+	}
+	ids := make([]PageID, 0, len(f.pending))
+	for id := range f.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := f.inner.WritePage(id, f.pending[id]); err != nil {
+			return err
+		}
+	}
+	f.pending = make(map[PageID][]byte)
+	return nil
+}
+
+// Commit implements Committer. For a store-owned file it commits the
+// whole store (the WAL is shared, so transactions span files).
+func (f *DurableFile) Commit() error {
+	if f.store != nil {
+		return f.store.Commit()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.commitLocked()
+}
+
+// commitLocked runs the log-sync-apply sequence for a standalone file.
+func (f *DurableFile) commitLocked() error {
+	if f.closed {
+		return ErrClosed
+	}
+	if !f.dirtyLocked() {
+		return nil
+	}
+	if err := f.logPendingLocked(f.wal); err != nil {
+		return err
+	}
+	if err := f.wal.commit(); err != nil {
+		return err
+	}
+	return f.applyPendingLocked()
+}
+
+// Checkpoint implements Committer: commit, fsync the page file, truncate
+// the log.
+func (f *DurableFile) Checkpoint() error {
+	if f.store != nil {
+		return f.store.Checkpoint()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.commitLocked(); err != nil {
+		return err
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	return f.wal.reset()
+}
+
+// Sync implements File as Commit: after Sync returns the preceding
+// writes are atomic and durable.
+func (f *DurableFile) Sync() error { return f.Commit() }
+
+// Close implements File. A standalone file checkpoints (clean shutdown
+// leaves an empty log) and closes both devices. A store-owned file defers
+// to the store's lifecycle: closing the store commits and closes every
+// member.
+func (f *DurableFile) Close() error {
+	if f.store != nil {
+		return nil
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	err := f.commitLocked()
+	if err == nil {
+		if serr := f.inner.Sync(); serr == nil {
+			err = f.wal.reset()
+		} else {
+			err = serr
+		}
+	}
+	f.closed = true
+	f.mu.Unlock()
+	if cerr := f.inner.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := f.wal.dev.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// DurableStore is a crash-safe Store: a directory of checksummed page
+// files sharing one write-ahead log ("store.wal"), so a Commit covers
+// every file — a BSSF insert touching F slice files plus the OID file is
+// one atomic transaction. Opening the store recovers committed state
+// from the log.
+//
+// The store follows the paper's single-writer model: any number of
+// concurrent readers, one writer driving WritePage/Allocate/Commit.
+type DurableStore struct {
+	mu    sync.Mutex
+	fs    BlockFS
+	wal   *wal
+	files map[string]*DurableFile
+}
+
+// storeWALName is the shared log's name inside the store's BlockFS.
+const storeWALName = "store" + walSuffix
+
+// pageFileSuffix distinguishes page files from the log.
+const pageFileSuffix = ".pag"
+
+// OpenDurableStore opens (creating if necessary) a durable store rooted
+// at dir and runs crash recovery.
+func OpenDurableStore(dir string) (*DurableStore, error) {
+	fs, err := NewOSBlockFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return OpenDurableStoreFS(fs)
+}
+
+// OpenDurableStoreFS is OpenDurableStore over an explicit filesystem;
+// the crash-consistency harness passes a CrashFS.
+func OpenDurableStoreFS(fs BlockFS) (*DurableStore, error) {
+	dev, err := fs.Open(storeWALName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(dev, storeWALName)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	s := &DurableStore{fs: fs, wal: w, files: make(map[string]*DurableFile)}
+	if err := s.recover(); err != nil {
+		dev.Close()
+		return nil, fmt.Errorf("pagestore: recover durable store: %w", err)
+	}
+	return s, nil
+}
+
+// recover replays committed WAL records into their page files. It runs
+// before any Open call, so the files are opened directly and closed
+// again after being repaired.
+func (s *DurableStore) recover() error {
+	opened := make(map[string]*DiskFile)
+	err := s.wal.replayInto(func(tag string) (*DiskFile, error) {
+		dev, err := s.fs.Open(tag + pageFileSuffix)
+		if err != nil {
+			return nil, err
+		}
+		f, err := newDiskFile(dev, tag)
+		if err != nil {
+			dev.Close()
+			return nil, err
+		}
+		opened[tag] = f
+		return f, nil
+	})
+	for _, f := range opened {
+		f.Close()
+	}
+	return err
+}
+
+// Open implements Store. Slashes in the name map to subdirectories;
+// names may not escape the store.
+func (s *DurableStore) Open(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[name]; ok {
+		return f, nil
+	}
+	if name == "" || strings.Contains(name, "..") || filepath.IsAbs(name) {
+		return nil, fmt.Errorf("pagestore: invalid file name %q", name)
+	}
+	dev, err := s.fs.Open(name + pageFileSuffix)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := newDiskFile(dev, name)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	f := newStoreFile(inner, name, s)
+	s.files[name] = f
+	return f, nil
+}
+
+// dirtyFilesLocked returns the members with uncommitted state, sorted by
+// tag, with their mutexes held. The caller must call the returned unlock
+// function. Caller holds s.mu.
+func (s *DurableStore) dirtyFilesLocked() ([]*DurableFile, func()) {
+	tags := make([]string, 0, len(s.files))
+	for tag := range s.files {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	var dirty []*DurableFile
+	for _, tag := range tags {
+		f := s.files[tag]
+		f.mu.Lock()
+		if f.dirtyLocked() {
+			dirty = append(dirty, f)
+		} else {
+			f.mu.Unlock()
+		}
+	}
+	return dirty, func() {
+		for _, f := range dirty {
+			f.mu.Unlock()
+		}
+	}
+}
+
+// Commit implements Committer: one transaction covering every member
+// file's pending writes.
+func (s *DurableStore) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitLocked()
+}
+
+func (s *DurableStore) commitLocked() error {
+	dirty, unlock := s.dirtyFilesLocked()
+	defer unlock()
+	if len(dirty) == 0 {
+		return nil
+	}
+	for _, f := range dirty {
+		if err := f.logPendingLocked(s.wal); err != nil {
+			return err
+		}
+	}
+	if err := s.wal.commit(); err != nil {
+		return err
+	}
+	for _, f := range dirty {
+		if err := f.applyPendingLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint implements Committer: commit, fsync every page file,
+// truncate the shared log.
+func (s *DurableStore) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	for _, f := range s.files {
+		if err := f.inner.Sync(); err != nil {
+			return err
+		}
+	}
+	return s.wal.reset()
+}
+
+// Close implements Store: checkpoint (clean shutdown leaves an empty
+// log) and close every member file and the log device.
+func (s *DurableStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.commitLocked()
+	if err == nil {
+		for _, f := range s.files {
+			if serr := f.inner.Sync(); serr != nil {
+				err = serr
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = s.wal.reset()
+	}
+	for _, f := range s.files {
+		f.mu.Lock()
+		f.closed = true
+		f.mu.Unlock()
+		if cerr := f.inner.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := s.wal.dev.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var (
+	_ File      = (*DurableFile)(nil)
+	_ Committer = (*DurableFile)(nil)
+	_ Store     = (*DurableStore)(nil)
+	_ Committer = (*DurableStore)(nil)
+)

@@ -140,6 +140,20 @@ func (s *FaultStore) File(name string) *FaultFile {
 	return s.files[name]
 }
 
+// Files returns every fault wrapper opened through the store, for tests
+// that arm a fault on all of a facility's files at once (a facility like
+// BSSF spans many files and which one a given operation touches first is
+// an implementation detail).
+func (s *FaultStore) Files() []*FaultFile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*FaultFile, 0, len(s.files))
+	for _, f := range s.files {
+		out = append(out, f)
+	}
+	return out
+}
+
 // Close implements Store.
 func (s *FaultStore) Close() error { return s.inner.Close() }
 

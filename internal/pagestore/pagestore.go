@@ -17,9 +17,10 @@
 package pagestore
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,6 +42,12 @@ var ErrPageOutOfRange = errors.New("pagestore: page out of range")
 
 // ErrClosed is returned by operations on a closed file.
 var ErrClosed = errors.New("pagestore: file is closed")
+
+// ErrChecksum is returned by DiskFile.ReadPage when a page's stored
+// CRC32C does not match its contents — the signature of a torn or
+// corrupted write. A page protected by the WAL is repaired on recovery;
+// an unprotected torn page is detected, never silently read.
+var ErrChecksum = errors.New("pagestore: page checksum mismatch")
 
 // Stats counts physical page accesses. All counters are cumulative; use
 // Snapshot/Reset around a measured operation. Counters are updated
@@ -195,36 +202,85 @@ func (f *MemFile) Close() error {
 	return nil
 }
 
-// DiskFile is a File backed by an operating-system file. Page i lives at
-// byte offset i*PageSize.
+// Page frames on disk carry an 8-byte trailer after the PageSize data
+// bytes: a CRC32C (Castagnoli) of the data followed by a format magic.
+// ReadPage recomputes the CRC and fails with ErrChecksum on mismatch, so
+// a write torn by a crash (or bit rot) is detected instead of silently
+// returned to the facility above.
+const (
+	pageTrailerSize = 8
+	diskFrameSize   = PageSize + pageTrailerSize
+	pageMagic       = 0x53504731 // "SPG1", page-frame format version 1
+)
+
+// castagnoli is the CRC32C polynomial table shared by page trailers and
+// WAL records.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DiskFile is a File backed by a BlockFile (usually an operating-system
+// file). Page i's frame lives at byte offset i*diskFrameSize: PageSize
+// data bytes followed by the checksum trailer.
 type DiskFile struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      BlockFile
+	name   string
 	npages int
 	closed bool
 	stats  Stats
+	frame  [diskFrameSize]byte // scratch, guarded by mu
 }
 
 // OpenDiskFile opens (creating if necessary) the page file at path. An
-// existing file must have a size that is a multiple of PageSize.
+// existing file must have a size that is a multiple of the page frame
+// size. If a WAL sidecar (path + ".wal") from a crashed durable session
+// exists, its committed records are replayed into the file and the log
+// is truncated before the file is returned — see DurableFile.
 func OpenDiskFile(path string) (*DiskFile, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: open %s: %w", path, err)
 	}
-	fi, err := f.Stat()
+	d, err := newDiskFile(osBlockFile{f}, path)
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("pagestore: stat %s: %w", path, err)
+		return nil, err
 	}
-	if fi.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("pagestore: %s size %d is not a multiple of %d", path, fi.Size(), PageSize)
+	if fi, err := os.Stat(path + walSuffix); err == nil && fi.Size() > 0 {
+		if err := recoverSidecar(path, d); err != nil {
+			d.Close()
+			return nil, err
+		}
 	}
-	return &DiskFile{f: f, npages: int(fi.Size() / PageSize)}, nil
+	return d, nil
 }
 
-// ReadPage implements File.
+// newDiskFile wraps an already-open device. name is used in errors only.
+// A trailing partial frame — the remnant of an append torn by a crash —
+// is truncated away; the page it belonged to was never committed without
+// a WAL record, so recovery re-creates it if it matters.
+func newDiskFile(bf BlockFile, name string) (*DiskFile, error) {
+	size, err := bf.Size()
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: size of %s: %w", name, err)
+	}
+	if rem := size % diskFrameSize; rem != 0 {
+		size -= rem
+		if err := bf.Truncate(size); err != nil {
+			return nil, fmt.Errorf("pagestore: truncate torn tail of %s: %w", name, err)
+		}
+	}
+	return &DiskFile{f: bf, name: name, npages: int(size / diskFrameSize)}, nil
+}
+
+// sealFrame fills d.frame with data plus its checksum trailer.
+func (d *DiskFile) sealFrame(data []byte) {
+	copy(d.frame[:PageSize], data[:PageSize])
+	binary.LittleEndian.PutUint32(d.frame[PageSize:], crc32.Checksum(d.frame[:PageSize], castagnoli))
+	binary.LittleEndian.PutUint32(d.frame[PageSize+4:], pageMagic)
+}
+
+// ReadPage implements File. It verifies the page checksum and returns an
+// error wrapping ErrChecksum for a torn or corrupt page.
 func (d *DiskFile) ReadPage(id PageID, buf []byte) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("pagestore: read buffer %d bytes, need %d", len(buf), PageSize)
@@ -237,14 +293,24 @@ func (d *DiskFile) ReadPage(id PageID, buf []byte) error {
 	if int(id) >= d.npages {
 		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, d.npages)
 	}
-	if _, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
+	if _, err := d.f.ReadAt(d.frame[:], int64(id)*diskFrameSize); err != nil {
 		return fmt.Errorf("pagestore: read page %d: %w", id, err)
 	}
+	if magic := binary.LittleEndian.Uint32(d.frame[PageSize+4:]); magic != pageMagic {
+		return fmt.Errorf("%w: %s page %d has bad frame magic %#x", ErrChecksum, d.name, id, magic)
+	}
+	want := binary.LittleEndian.Uint32(d.frame[PageSize:])
+	if got := crc32.Checksum(d.frame[:PageSize], castagnoli); got != want {
+		return fmt.Errorf("%w: %s page %d crc %#x, stored %#x", ErrChecksum, d.name, id, got, want)
+	}
+	copy(buf[:PageSize], d.frame[:PageSize])
 	d.stats.reads.Add(1)
 	return nil
 }
 
-// WritePage implements File.
+// WritePage implements File. The data and its checksum trailer are
+// written as one frame; a crash mid-write leaves a checksum mismatch
+// that ReadPage detects.
 func (d *DiskFile) WritePage(id PageID, buf []byte) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("pagestore: write buffer %d bytes, need %d", len(buf), PageSize)
@@ -257,7 +323,8 @@ func (d *DiskFile) WritePage(id PageID, buf []byte) error {
 	if int(id) >= d.npages {
 		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, id, d.npages)
 	}
-	if _, err := d.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+	d.sealFrame(buf)
+	if _, err := d.f.WriteAt(d.frame[:], int64(id)*diskFrameSize); err != nil {
 		return fmt.Errorf("pagestore: write page %d: %w", id, err)
 	}
 	d.stats.writes.Add(1)
@@ -272,12 +339,24 @@ func (d *DiskFile) Allocate() (PageID, error) {
 		return 0, ErrClosed
 	}
 	var zero [PageSize]byte
-	if _, err := d.f.WriteAt(zero[:], int64(d.npages)*PageSize); err != nil {
+	d.sealFrame(zero[:])
+	if _, err := d.f.WriteAt(d.frame[:], int64(d.npages)*diskFrameSize); err != nil {
 		return 0, fmt.Errorf("pagestore: extend to page %d: %w", d.npages, err)
 	}
 	d.npages++
 	d.stats.allocs.Add(1)
 	return PageID(d.npages - 1), nil
+}
+
+// extendTo grows the file to at least n pages with zeroed frames; WAL
+// recovery uses it to re-create allocations of a committed transaction.
+func (d *DiskFile) extendTo(n int) error {
+	for d.NumPages() < n {
+		if _, err := d.Allocate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NumPages implements File.

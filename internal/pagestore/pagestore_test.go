@@ -192,14 +192,51 @@ func TestDiskFilePersistence(t *testing.T) {
 	}
 }
 
-func TestDiskFileRejectsMisalignedSize(t *testing.T) {
+func TestDiskFileTruncatesTornTail(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "bad.pag")
-	if err := writeFile(path, make([]byte, PageSize+1)); err != nil {
+	path := filepath.Join(dir, "torn.pag")
+	f, err := OpenDiskFile(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenDiskFile(path); err == nil {
-		t.Fatal("OpenDiskFile accepted misaligned file")
+	for i := 0; i < 2; i++ {
+		if _, err := f.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WritePage(1, page(0x77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate an append torn by a crash: a partial frame at the tail.
+	osf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := osf.Write(make([]byte, diskFrameSize/3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := osf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := OpenDiskFile(path)
+	if err != nil {
+		t.Fatalf("OpenDiskFile rejected torn tail: %v", err)
+	}
+	defer f2.Close()
+	if f2.NumPages() != 2 {
+		t.Fatalf("NumPages = %d after torn-tail truncation, want 2", f2.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	if err := f2.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, page(0x77)) {
+		t.Fatal("surviving page corrupted by torn-tail truncation")
 	}
 }
 

@@ -126,6 +126,13 @@ func (e *Engine) CreateIndex(class, attr string, kind IndexKind, scheme *signatu
 	if err != nil {
 		return nil, err
 	}
+	if am.Count() > 0 {
+		// The store already holds this facility's files (a persistent
+		// store reopened after a shutdown or crash): the constructor
+		// recovered its state, so bulk loading would double-insert.
+		e.indexes[key] = &indexEntry{am: am, class: class, attr: attr, nested: nested}
+		return am, nil
+	}
 	// Bulk load from the heap, batching page writes where the facility
 	// supports it.
 	var entries []core.Entry
@@ -393,7 +400,7 @@ func evalPart(o *oodb.Object, p compiledPart) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		return signature.EvaluateSets(p.set.Op, target, p.elems), nil
+		return signature.EvaluateSets(p.set.Op, target, p.elems)
 	}
 	v, ok := o.Attr(p.cmp.Attr)
 	if !ok {

@@ -179,7 +179,7 @@ func TestEngineScanFallback(t *testing.T) {
 	count := 0
 	e.DB().Scan("Student", func(o *oodb.Object) error {
 		hobbies, _ := o.SetAttr("hobbies")
-		if signature.EvaluateSets(signature.Superset, hobbies, []string{"Baseball", "Fishing"}) {
+		if ok, _ := signature.EvaluateSets(signature.Superset, hobbies, []string{"Baseball", "Fishing"}); ok {
 			count++
 		}
 		return nil

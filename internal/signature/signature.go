@@ -17,6 +17,7 @@
 package signature
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -188,13 +189,25 @@ func (s *Scheme) SetSignatureStrings(elems []string) *bitset.BitSet {
 	return sig
 }
 
+// ErrWidthMismatch is returned when a signature of the wrong width is
+// passed to a scheme operation; match it with errors.Is.
+var ErrWidthMismatch = errors.New("signature: width mismatch")
+
+// ErrInvalidPredicate is returned when a Predicate value outside the
+// defined operators reaches a match or evaluation routine — typically an
+// unvalidated value from a parser or the wire; match it with errors.Is.
+var ErrInvalidPredicate = errors.New("signature: invalid predicate")
+
 // AddTo superimposes elem's element signature onto sig, which must have
-// width F. Used for incremental signature maintenance on updates.
-func (s *Scheme) AddTo(sig *bitset.BitSet, elem []byte) {
+// width F. Used for incremental signature maintenance on updates. It
+// returns an error wrapping ErrWidthMismatch if sig's width is not F
+// (e.g. a page of signatures read back under a different scheme).
+func (s *Scheme) AddTo(sig *bitset.BitSet, elem []byte) error {
 	if sig.Len() != s.f {
-		panic(fmt.Sprintf("signature: AddTo width %d != F %d", sig.Len(), s.f))
+		return fmt.Errorf("%w: AddTo width %d != F %d", ErrWidthMismatch, sig.Len(), s.f)
 	}
 	s.addElement(sig, elem)
+	return nil
 }
 
 // Predicate identifies a set-comparison operator supported by the
@@ -245,31 +258,33 @@ func (p Predicate) Valid() bool { return p >= Superset && p <= Contains }
 // a target signature against a query signature. A false return guarantees
 // the underlying sets cannot satisfy p (no false dismissals); a true
 // return makes the object a drop that must still be verified against the
-// stored set (false drops are possible).
-func Matches(p Predicate, target, query *bitset.BitSet) bool {
+// stored set (false drops are possible). An undefined predicate yields an
+// error wrapping ErrInvalidPredicate.
+func Matches(p Predicate, target, query *bitset.BitSet) (bool, error) {
 	switch p {
 	case Superset, Contains:
 		// Every 1 in the query signature must be 1 in the target.
-		return target.ContainsAll(query)
+		return target.ContainsAll(query), nil
 	case Subset:
 		// Every 1 in the target signature must be 1 in the query.
-		return target.SubsetOf(query)
+		return target.SubsetOf(query), nil
 	case Overlap:
 		// A shared element forces at least one shared 1 bit. An empty
 		// query (or target) cannot overlap anything.
-		return target.Intersects(query)
+		return target.Intersects(query), nil
 	case Equals:
 		// Equal sets have identical signatures; unequal weights can still
 		// collide, hence verification.
-		return target.Equal(query)
+		return target.Equal(query), nil
 	default:
-		panic(fmt.Sprintf("signature: invalid predicate %d", int(p)))
+		return false, fmt.Errorf("%w: %d", ErrInvalidPredicate, int(p))
 	}
 }
 
 // EvaluateSets decides predicate p exactly on the underlying sets; this is
 // the false-drop resolution test. Elements are compared as raw strings.
-func EvaluateSets(p Predicate, target, query []string) bool {
+// An undefined predicate yields an error wrapping ErrInvalidPredicate.
+func EvaluateSets(p Predicate, target, query []string) (bool, error) {
 	tset := make(map[string]struct{}, len(target))
 	for _, e := range target {
 		tset[e] = struct{}{}
@@ -282,35 +297,35 @@ func EvaluateSets(p Predicate, target, query []string) bool {
 	case Superset, Contains:
 		for e := range qset {
 			if _, ok := tset[e]; !ok {
-				return false
+				return false, nil
 			}
 		}
-		return true
+		return true, nil
 	case Subset:
 		for e := range tset {
 			if _, ok := qset[e]; !ok {
-				return false
+				return false, nil
 			}
 		}
-		return true
+		return true, nil
 	case Overlap:
 		for e := range qset {
 			if _, ok := tset[e]; ok {
-				return true
+				return true, nil
 			}
 		}
-		return false
+		return false, nil
 	case Equals:
 		if len(tset) != len(qset) {
-			return false
+			return false, nil
 		}
 		for e := range qset {
 			if _, ok := tset[e]; !ok {
-				return false
+				return false, nil
 			}
 		}
-		return true
+		return true, nil
 	default:
-		panic(fmt.Sprintf("signature: invalid predicate %d", int(p)))
+		return false, fmt.Errorf("%w: %d", ErrInvalidPredicate, int(p))
 	}
 }

@@ -1,11 +1,14 @@
 package signature
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"sigfile/internal/bitset"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -90,16 +93,36 @@ func TestSetSignatureIsUnionOfElements(t *testing.T) {
 func TestAddToIncremental(t *testing.T) {
 	s := MustNew(100, 5)
 	sig := s.SetSignatureStrings([]string{"a", "b"})
-	s.AddTo(sig, []byte("c"))
+	if err := s.AddTo(sig, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
 	if !sig.Equal(s.SetSignatureStrings([]string{"a", "b", "c"})) {
 		t.Fatal("AddTo does not match batch construction")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddTo with wrong width did not panic")
-		}
-	}()
-	s.AddTo(MustNew(99, 5).SetSignatureStrings(nil), []byte("x"))
+	err := s.AddTo(MustNew(99, 5).SetSignatureStrings(nil), []byte("x"))
+	if !errors.Is(err, ErrWidthMismatch) {
+		t.Fatalf("AddTo with wrong width: err = %v, want ErrWidthMismatch", err)
+	}
+}
+
+// mustMatch and mustEval unwrap the error returns for the defined
+// predicates, where an error would itself be a test failure.
+func mustMatch(t *testing.T, p Predicate, target, query *bitset.BitSet) bool {
+	t.Helper()
+	ok, err := Matches(p, target, query)
+	if err != nil {
+		t.Fatalf("Matches(%v): %v", p, err)
+	}
+	return ok
+}
+
+func mustEval(t *testing.T, p Predicate, target, query []string) bool {
+	t.Helper()
+	ok, err := EvaluateSets(p, target, query)
+	if err != nil {
+		t.Fatalf("EvaluateSets(%v): %v", p, err)
+	}
+	return ok
 }
 
 // TestPaperFigure1 reproduces the paper's Figure 1 semantics: with any
@@ -114,10 +137,10 @@ func TestPaperFigure1Semantics(t *testing.T) {
 
 	actual := []string{"Baseball", "Golf", "Fishing"} // ⊇ query
 	asig := s.SetSignatureStrings(actual)
-	if !Matches(Superset, asig, qsig) {
+	if !mustMatch(t, Superset, asig, qsig) {
 		t.Fatal("actual drop was dismissed — signature files must never false-dismiss")
 	}
-	if !EvaluateSets(Superset, actual, query) {
+	if !mustEval(t, Superset, actual, query) {
 		t.Fatal("EvaluateSets disagrees on a true superset")
 	}
 }
@@ -129,29 +152,29 @@ func TestMatchesAllPredicates(t *testing.T) {
 	disjoint := s.SetSignatureStrings([]string{"x", "y"})
 	same := s.SetSignatureStrings([]string{"c", "b", "a"})
 
-	if !Matches(Superset, T, sub) {
+	if !mustMatch(t, Superset, T, sub) {
 		t.Error("T ⊇ {a,b} should match")
 	}
-	if Matches(Superset, sub, T) {
+	if mustMatch(t, Superset, sub, T) {
 		t.Error("{a,b} ⊉ {a,b,c} at F=512")
 	}
-	if !Matches(Subset, sub, T) {
+	if !mustMatch(t, Subset, sub, T) {
 		t.Error("{a,b} ⊆ T should match")
 	}
-	if !Matches(Overlap, T, sub) {
+	if !mustMatch(t, Overlap, T, sub) {
 		t.Error("overlap should match")
 	}
-	if Matches(Overlap, T, disjoint) {
+	if mustMatch(t, Overlap, T, disjoint) {
 		t.Error("disjoint small sets at F=512 should not overlap at signature level")
 	}
-	if !Matches(Equals, T, same) {
+	if !mustMatch(t, Equals, T, same) {
 		t.Error("equal sets must have equal signatures")
 	}
-	if Matches(Equals, T, sub) {
+	if mustMatch(t, Equals, T, sub) {
 		t.Error("different-weight signatures reported equal")
 	}
 	q := s.ElementSignature([]byte("b"))
-	if !Matches(Contains, T, q) {
+	if !mustMatch(t, Contains, T, q) {
 		t.Error("b ∈ T should match")
 	}
 }
@@ -177,7 +200,7 @@ func TestEvaluateSetsAllPredicates(t *testing.T) {
 		{Contains, []string{"q"}, false},
 	}
 	for _, c := range cases {
-		if got := EvaluateSets(c.p, T, c.q); got != c.want {
+		if got := mustEval(t, c.p, T, c.q); got != c.want {
 			t.Errorf("EvaluateSets(%v, T, %v) = %v, want %v", c.p, c.q, got, c.want)
 		}
 	}
@@ -200,15 +223,15 @@ func TestPredicateString(t *testing.T) {
 	}
 }
 
-func TestMatchesInvalidPredicatePanics(t *testing.T) {
+func TestInvalidPredicateErrors(t *testing.T) {
 	s := MustNew(8, 1)
 	a := s.SetSignatureStrings([]string{"x"})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid predicate did not panic")
-		}
-	}()
-	Matches(Predicate(42), a, a)
+	if ok, err := Matches(Predicate(42), a, a); !errors.Is(err, ErrInvalidPredicate) || ok {
+		t.Fatalf("Matches(Predicate(42)) = %v, %v; want false, ErrInvalidPredicate", ok, err)
+	}
+	if ok, err := EvaluateSets(Predicate(42), []string{"x"}, []string{"x"}); !errors.Is(err, ErrInvalidPredicate) || ok {
+		t.Fatalf("EvaluateSets(Predicate(42)) = %v, %v; want false, ErrInvalidPredicate", ok, err)
+	}
 }
 
 // Property: no false dismissals for any predicate — if the sets satisfy
@@ -234,7 +257,7 @@ func TestPropertyNoFalseDismissals(t *testing.T) {
 		tsig := s.SetSignatureStrings(target)
 		qsig := s.SetSignatureStrings(query)
 		for _, p := range []Predicate{Superset, Subset, Overlap, Equals} {
-			if EvaluateSets(p, target, query) && !Matches(p, tsig, qsig) {
+			if mustEval(t, p, target, query) && !mustMatch(t, p, tsig, qsig) {
 				return false
 			}
 		}
@@ -384,11 +407,11 @@ func TestFalseDropMatchesSimulation(t *testing.T) {
 	drops, eligible := 0, 0
 	for i := 0; i < trials; i++ {
 		target := sample(rng, universe, dt)
-		if EvaluateSets(Superset, target, query) {
+		if mustEval(t, Superset, target, query) {
 			continue // exclude actual drops per the Fd definition
 		}
 		eligible++
-		if Matches(Superset, s.SetSignatureStrings(target), qsig) {
+		if mustMatch(t, Superset, s.SetSignatureStrings(target), qsig) {
 			drops++
 		}
 	}

@@ -164,6 +164,15 @@ func NewMemStore() Store { return pagestore.NewMemStore() }
 // NewDiskStore returns a page store writing files under dir.
 func NewDiskStore(dir string) (Store, error) { return pagestore.NewDiskStore(dir) }
 
+// OpenDurableStore returns a crash-safe page store under dir: page writes
+// are buffered until Commit, which logs them to a shared write-ahead log
+// before applying, and every on-disk page carries a checksum verified on
+// read. Opening the store replays any committed-but-unapplied log tail,
+// so a facility survives a crash at any instant in exactly its last
+// committed state. The returned store also implements
+// pagestore.Committer (Commit, Checkpoint) and io.Closer.
+func OpenDurableStore(dir string) (Store, error) { return pagestore.OpenDurableStore(dir) }
+
 // PaperModel returns the analytical cost model instantiated with the
 // paper's Table 2 constants (N=32000, P=4096, V=13000) for target
 // cardinality dt and signature design (f, m).
