@@ -8,6 +8,7 @@
 //	sigbench                         # run every experiment (model only)
 //	sigbench -experiment fig8        # one artifact
 //	sigbench -measured -scale 8      # add measured columns at 1/8 scale
+//	sigbench -throughput -workers 8  # parallel-search QPS (not a paper artifact)
 //	sigbench -list                   # enumerate experiment ids
 //
 // Experiment ids: fig1 fig2 fig4..fig10 (the paper's figures), tab5 tab6
@@ -31,8 +32,26 @@ func main() {
 		scale    = flag.Int("scale", 8, "divide the paper's N and V by this for measured runs")
 		trials   = flag.Int("trials", 5, "random queries averaged per measured point")
 		seed     = flag.Int64("seed", 1, "seed for measured workloads")
+
+		throughput = flag.Bool("throughput", false, "measure parallel-search QPS instead of paper artifacts")
+		facility   = flag.String("facility", "all", "throughput mode: ssf, bssf, nix, fssf or all")
+		objects    = flag.Int("objects", 8192, "throughput mode: objects indexed")
+		queries    = flag.Int("queries", 64, "throughput mode: batch size per SearchMany round")
+		workers    = flag.Int("workers", 4, "throughput mode: parallelism compared against workers=1")
+		seconds    = flag.Int("seconds", 2, "throughput mode: wall-clock budget per point")
 	)
 	flag.Parse()
+
+	if *throughput {
+		cfg := throughputConfig{
+			facility: *facility, n: *objects, queries: *queries,
+			workers: *workers, seconds: *seconds, seed: *seed,
+		}
+		if err := runThroughput(os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

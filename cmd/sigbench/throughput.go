@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"sigfile"
+)
+
+// throughputConfig drives the -throughput mode: a serving-style QPS
+// measurement of the parallel search layer, outside the page-cost
+// experiments the rest of sigbench reproduces.
+type throughputConfig struct {
+	facility string // ssf | bssf | nix | fssf | all
+	n        int    // objects indexed
+	queries  int    // batch size per SearchMany round
+	workers  int    // parallelism levels measured: 1 and this
+	seconds  int    // wall-clock budget per (facility, level)
+	seed     int64
+}
+
+const (
+	tpDt = 8   // target set cardinality
+	tpV  = 400 // element universe
+	tpF  = 500 // signature width
+	tpM  = 3   // bits per element
+)
+
+// runThroughput indexes a synthetic instance per facility and reports
+// searches/second for batched Superset/Overlap queries at parallelism 1
+// and at the requested worker count.
+func runThroughput(w io.Writer, cfg throughputConfig) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	universe := make([]string, tpV)
+	for i := range universe {
+		universe[i] = fmt.Sprintf("elem-%05d", i)
+	}
+	sets := make(sigfile.MapSource, cfg.n)
+	entries := make([]sigfile.Entry, 0, cfg.n)
+	for oid := uint64(1); oid <= uint64(cfg.n); oid++ {
+		perm := rng.Perm(tpV)[:tpDt]
+		set := make([]string, tpDt)
+		for i, j := range perm {
+			set[i] = universe[j]
+		}
+		sets[oid] = set
+		entries = append(entries, sigfile.Entry{OID: oid, Elems: set})
+	}
+	reqs := make([]sigfile.SearchRequest, cfg.queries)
+	for i := range reqs {
+		dq := 1 + rng.Intn(4)
+		perm := rng.Perm(tpV)[:dq]
+		q := make([]string, dq)
+		for j, k := range perm {
+			q[j] = universe[k]
+		}
+		pred := sigfile.Superset
+		if i%2 == 1 {
+			pred = sigfile.Overlap
+		}
+		reqs[i] = sigfile.SearchRequest{Pred: pred, Query: q}
+	}
+
+	scheme, err := sigfile.NewScheme(tpF, tpM)
+	if err != nil {
+		return err
+	}
+	fscheme, err := sigfile.NewFrameScheme(16, 32, tpM)
+	if err != nil {
+		return err
+	}
+	builders := []struct {
+		name string
+		mk   func() (sigfile.AccessMethod, error)
+	}{
+		{"ssf", func() (sigfile.AccessMethod, error) { return sigfile.NewSSF(scheme, sets, nil) }},
+		{"bssf", func() (sigfile.AccessMethod, error) { return sigfile.NewBSSF(scheme, sets, nil) }},
+		{"nix", func() (sigfile.AccessMethod, error) { return sigfile.NewNIX(sets, nil) }},
+		{"fssf", func() (sigfile.AccessMethod, error) { return sigfile.NewFSSF(fscheme, sets, nil) }},
+	}
+
+	fmt.Fprintf(w, "throughput: N=%d, batch=%d queries (Superset/Overlap mix), %ds per point\n",
+		cfg.n, cfg.queries, cfg.seconds)
+	fmt.Fprintf(w, "%-6s %10s %14s %10s\n", "fac", "workers", "searches/sec", "speedup")
+	for _, b := range builders {
+		if cfg.facility != "all" && cfg.facility != b.name {
+			continue
+		}
+		am, err := b.mk()
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		if err := am.(sigfile.BatchInserter).InsertBatch(entries); err != nil {
+			return fmt.Errorf("%s load: %w", b.name, err)
+		}
+		var baseQPS float64
+		for _, workers := range []int{1, cfg.workers} {
+			qps, err := measureQPS(am, reqs, workers, time.Duration(cfg.seconds)*time.Second)
+			if err != nil {
+				return fmt.Errorf("%s workers=%d: %w", b.name, workers, err)
+			}
+			speedup := "1.00x"
+			if workers == 1 {
+				baseQPS = qps
+			} else if baseQPS > 0 {
+				speedup = fmt.Sprintf("%.2fx", qps/baseQPS)
+			}
+			fmt.Fprintf(w, "%-6s %10d %14.0f %10s\n", b.name, workers, qps, speedup)
+			if cfg.workers == 1 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// measureQPS runs SearchMany rounds until the budget elapses and returns
+// completed searches per second.
+func measureQPS(am sigfile.AccessMethod, reqs []sigfile.SearchRequest, workers int, budget time.Duration) (float64, error) {
+	var done int
+	start := time.Now()
+	for time.Since(start) < budget {
+		if _, err := sigfile.SearchMany(am, reqs, workers); err != nil {
+			return 0, err
+		}
+		done += len(reqs)
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(done) / elapsed, nil
+}

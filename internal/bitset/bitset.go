@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 )
 
 const (
@@ -367,11 +368,22 @@ func (b *BitSet) MarshalBinaryTo(dst []byte) int {
 // UnmarshalBinary deserializes nbits bits from src (as produced by
 // MarshalBinaryTo) into a fresh BitSet.
 func UnmarshalBinary(nbits int, src []byte) (*BitSet, error) {
-	n := ByteLen(nbits)
-	if len(src) < n {
-		return nil, fmt.Errorf("bitset: source %d bytes, need %d for %d bits", len(src), n, nbits)
-	}
 	b := New(nbits)
+	if err := b.LoadBinary(src); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// LoadBinary overwrites b in place from src (as produced by
+// MarshalBinaryTo), keeping b's length. It is UnmarshalBinary without the
+// allocation, for scan loops that decode one record per slot into a
+// reusable scratch set.
+func (b *BitSet) LoadBinary(src []byte) error {
+	n := ByteLen(b.nbits)
+	if len(src) < n {
+		return fmt.Errorf("bitset: source %d bytes, need %d for %d bits", len(src), n, b.nbits)
+	}
 	var buf [8]byte
 	for wi := range b.words {
 		copy(buf[:], src[wi*8:min(n, (wi+1)*8)])
@@ -379,7 +391,83 @@ func UnmarshalBinary(nbits int, src []byte) (*BitSet, error) {
 		buf = [8]byte{}
 	}
 	b.trim()
-	return b, nil
+	return nil
+}
+
+// LoadWordsAt overwrites b's words starting at word index wordOff with the
+// little-endian 64-bit words packed in src. It is the bulk page-to-bitset
+// path of the bit-sliced organizations: one slice page holds a word-aligned
+// run of positions, so a page read lands directly in the accumulator
+// without per-bit addressing. Words beyond b's backing are ignored; the
+// final word is re-trimmed so tail bits beyond Len() stay zero.
+func (b *BitSet) LoadWordsAt(wordOff int, src []byte) {
+	if wordOff < 0 || wordOff > len(b.words) {
+		panic(fmt.Sprintf("bitset: word offset %d out of range [0,%d]", wordOff, len(b.words)))
+	}
+	n := len(src) / 8
+	if rest := len(b.words) - wordOff; n > rest {
+		n = rest
+	}
+	for i := 0; i < n; i++ {
+		b.words[wordOff+i] = binary.LittleEndian.Uint64(src[i*8:])
+	}
+	b.trim()
+}
+
+// AndAll sets dst to the intersection of dst and every set in srcs,
+// splitting the word range across up to workers goroutines. Bitwise AND
+// is associative and commutative, so the result is identical to folding
+// the sets in sequentially — parallelism changes wall-clock only. All
+// sets must have dst's length.
+func AndAll(dst *BitSet, srcs []*BitSet, workers int) {
+	combineAll(dst, srcs, workers, func(d, s []uint64) {
+		for i, w := range s {
+			d[i] &= w
+		}
+	})
+}
+
+// OrAll sets dst to the union of dst and every set in srcs, splitting the
+// word range across up to workers goroutines. See AndAll.
+func OrAll(dst *BitSet, srcs []*BitSet, workers int) {
+	combineAll(dst, srcs, workers, func(d, s []uint64) {
+		for i, w := range s {
+			d[i] |= w
+		}
+	})
+}
+
+// combineWorkerWords is the minimum number of words one combine worker
+// should own; below this the goroutine overhead outweighs the scan.
+const combineWorkerWords = 1024
+
+func combineAll(dst *BitSet, srcs []*BitSet, workers int, op func(d, s []uint64)) {
+	for _, s := range srcs {
+		dst.mustMatch(s)
+	}
+	nw := len(dst.words)
+	if workers > nw/combineWorkerWords {
+		workers = nw / combineWorkerWords
+	}
+	if workers <= 1 || len(srcs) == 0 {
+		for _, s := range srcs {
+			op(dst.words, s.words)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for part := 0; part < workers; part++ {
+		lo := part * nw / workers
+		hi := (part + 1) * nw / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, s := range srcs {
+				op(dst.words[lo:hi], s.words[lo:hi])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 func min(a, b int) int {

@@ -348,18 +348,31 @@ func appendBytesAt(buf []byte, pos int, b []byte) int {
 // slice if absent. Page cost: Height() reads plus one read per overflow
 // page.
 func (t *Tree) Lookup(key []byte) ([]uint64, error) {
+	oids, _, err := t.LookupPages(key)
+	return oids, err
+}
+
+// LookupPages is Lookup plus the number of tree pages the lookup read
+// (Height() node pages, plus one per overflow page of the postings).
+// Counting per call keeps a caller's cost accounting exact even when many
+// lookups run concurrently, where diffing the shared file Stats would
+// attribute pages to the wrong caller. Lookups touch no tree state, so
+// any number may run in parallel as long as no mutation is in flight.
+func (t *Tree) LookupPages(key []byte) ([]uint64, int64, error) {
 	if err := checkKey(key); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	n, err := t.descend(key)
+	var pages int64
+	n, err := t.descend(key, &pages)
 	if err != nil {
-		return nil, err
+		return nil, pages, err
 	}
 	i, found := n.find(key)
 	if !found {
-		return nil, nil
+		return nil, pages, nil
 	}
-	return t.entryPostings(&n.entries[i])
+	oids, err := t.entryPostings(&n.entries[i], &pages)
+	return oids, pages, err
 }
 
 // Contains reports whether (key, oid) is present.
@@ -372,13 +385,17 @@ func (t *Tree) Contains(key []byte, oid uint64) (bool, error) {
 	return i < len(oids) && oids[i] == oid, nil
 }
 
-// descend walks from the root to the leaf that owns key.
-func (t *Tree) descend(key []byte) (*node, error) {
+// descend walks from the root to the leaf that owns key, adding one to
+// *pages per node read (pages may be nil).
+func (t *Tree) descend(key []byte, pages *int64) (*node, error) {
 	id := t.root
 	for {
 		n, err := t.readNode(id)
 		if err != nil {
 			return nil, err
+		}
+		if pages != nil {
+			*pages++
 		}
 		if n.leaf {
 			return n, nil
@@ -401,7 +418,7 @@ func (n *node) find(key []byte) (int, bool) {
 	return i, i < len(n.entries) && bytes.Equal(n.entries[i].key, key)
 }
 
-func (t *Tree) entryPostings(e *leafEntry) ([]uint64, error) {
+func (t *Tree) entryPostings(e *leafEntry, pages *int64) ([]uint64, error) {
 	if e.overflow == 0 {
 		out := make([]uint64, len(e.oids))
 		copy(out, e.oids)
@@ -412,6 +429,9 @@ func (t *Tree) entryPostings(e *leafEntry) ([]uint64, error) {
 	for pid := e.overflow; pid != 0; {
 		if err := t.file.ReadPage(pid, buf); err != nil {
 			return nil, fmt.Errorf("btree: read overflow %d: %w", pid, err)
+		}
+		if pages != nil {
+			*pages++
 		}
 		if buf[0] != typeOverflow {
 			return nil, fmt.Errorf("btree: page %d is not an overflow page", pid)
@@ -542,7 +562,7 @@ func (t *Tree) insert(id pagestore.PageID, level int, key []byte, oid uint64) (s
 func (t *Tree) addToEntry(e *leafEntry, oid uint64) (bool, error) {
 	if e.overflow != 0 {
 		// Check for duplicates, then push onto the head page.
-		oids, err := t.entryPostings(e)
+		oids, err := t.entryPostings(e, nil)
 		if err != nil {
 			return false, err
 		}
@@ -718,7 +738,7 @@ func (t *Tree) Delete(key []byte, oid uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
 	}
-	n, err := t.descend(key)
+	n, err := t.descend(key, nil)
 	if err != nil {
 		return err
 	}
@@ -728,7 +748,7 @@ func (t *Tree) Delete(key []byte, oid uint64) error {
 	}
 	e := &n.entries[i]
 	if e.overflow != 0 {
-		oids, err := t.entryPostings(e)
+		oids, err := t.entryPostings(e, nil)
 		if err != nil {
 			return err
 		}
@@ -775,7 +795,7 @@ func (t *Tree) Range(lo, hi []byte, fn func(key []byte, oids []uint64) bool) err
 	if lo == nil {
 		lo = []byte{0}
 	}
-	n, err := t.descend(lo)
+	n, err := t.descend(lo, nil)
 	if err != nil {
 		return err
 	}
@@ -786,7 +806,7 @@ func (t *Tree) Range(lo, hi []byte, fn func(key []byte, oids []uint64) bool) err
 			if hi != nil && bytes.Compare(e.key, hi) >= 0 {
 				return nil
 			}
-			oids, err := t.entryPostings(e)
+			oids, err := t.entryPostings(e, nil)
 			if err != nil {
 				return err
 			}

@@ -33,6 +33,8 @@ func (b *BSSF) InsertBatch(entries []Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	// Validate up front: a failed entry mid-batch must not leave pages
 	// half-written.
 	for _, e := range entries {
@@ -95,8 +97,10 @@ func (s *SSF) InsertBatch(entries []Entry) error {
 	// SSF's single-insert cost is already the minimal 2 writes, so the
 	// batch path simply loops; it exists to satisfy BatchInserter and to
 	// keep bulk-load call sites uniform.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, e := range entries {
-		if err := s.Insert(e.OID, e.Elems); err != nil {
+		if err := s.insert(e.OID, e.Elems); err != nil {
 			return err
 		}
 	}
@@ -111,6 +115,8 @@ func (f *FSSF) InsertBatch(entries []Entry) error {
 			return fmt.Errorf("core: FSSF batch: OID 0 is reserved")
 		}
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	dirty := make(map[int]struct{}, f.scheme.K())
 	flush := func() error {
 		if len(dirty) == 0 {
@@ -158,8 +164,10 @@ func (f *FSSF) InsertBatch(entries []Entry) error {
 // insertions have no page-level batching win without a full bulk-load
 // rebuild, which Delete-free workloads rarely need.
 func (n *NIX) InsertBatch(entries []Entry) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	for _, e := range entries {
-		if err := n.Insert(e.OID, e.Elems); err != nil {
+		if err := n.insert(e.OID, e.Elems); err != nil {
 			return err
 		}
 	}

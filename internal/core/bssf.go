@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sigfile/internal/bitset"
 	"sigfile/internal/pagestore"
@@ -18,7 +19,14 @@ import (
 // T ⊆ Q. That asymmetry is what makes BSSF the paper's recommended
 // facility. Insertion touches one page in every slice file whose bit is
 // set (the paper's worst case writes all F; see WorstCaseInsert).
+//
+// A BSSF is safe for concurrent use: searches run in parallel with each
+// other; updates exclude searches and one another through an internal
+// readers-writer lock.
 type BSSF struct {
+	// mu: searches hold it shared, updates exclusive (the tail caches and
+	// count are mutated on every insert).
+	mu     sync.RWMutex
 	scheme *signature.Scheme
 	src    SetSource
 	slices []pagestore.File
@@ -96,7 +104,11 @@ func NewBSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store, opt
 func (b *BSSF) Name() string { return "BSSF" }
 
 // Count implements AccessMethod.
-func (b *BSSF) Count() int { return b.oid.live }
+func (b *BSSF) Count() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.oid.live
+}
 
 // Scheme returns the signature scheme in use.
 func (b *BSSF) Scheme() *signature.Scheme { return b.scheme }
@@ -104,6 +116,8 @@ func (b *BSSF) Scheme() *signature.Scheme { return b.scheme }
 // SlicePages returns the storage cost of one bit-slice file,
 // ⌈N/(P·b)⌉ in the paper's model.
 func (b *BSSF) SlicePages() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if len(b.slices) == 0 {
 		return 0
 	}
@@ -111,10 +125,16 @@ func (b *BSSF) SlicePages() int {
 }
 
 // OIDPages returns SC_OID.
-func (b *BSSF) OIDPages() int { return b.oid.pages() }
+func (b *BSSF) OIDPages() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.oid.pages()
+}
 
 // StoragePages implements AccessMethod: SC = ⌈N/(P·b)⌉·F + SC_OID.
 func (b *BSSF) StoragePages() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	n := b.oid.pages()
 	for _, s := range b.slices {
 		n += s.NumPages()
@@ -126,6 +146,12 @@ func (b *BSSF) StoragePages() int {
 // the set signature (≈ m_t writes) plus one OID-file write. With
 // WithWorstCaseInsert: F + 1 writes, the paper's Table 7 value.
 func (b *BSSF) Insert(oid uint64, elems []string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.insert(oid, elems)
+}
+
+func (b *BSSF) insert(oid uint64, elems []string) error {
 	sig := b.scheme.SetSignatureStrings(dedup(elems))
 	idx := b.count
 	if idx%bitsPerSlicePage == 0 {
@@ -164,6 +190,8 @@ func (b *BSSF) Insert(oid uint64, elems []string) error {
 // bits of the deleted object remain and are filtered at OID mapping time,
 // exactly the paper's delete-flag model (UC_D ≈ SC_OID/2).
 func (b *BSSF) Delete(oid uint64, _ []string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	found, err := b.oid.delete(oid)
 	if err != nil {
 		return err
@@ -175,7 +203,9 @@ func (b *BSSF) Delete(oid uint64, _ []string) error {
 }
 
 // readSlice loads slice j over all count bit positions, adding the page
-// reads to stats.
+// reads to stats. A slice page is a word-aligned run of positions
+// (bitsPerSlicePage is a multiple of 64), so each page lands in the
+// result with one bulk word copy.
 func (b *BSSF) readSlice(j int, stats *SearchStats) (*bitset.BitSet, error) {
 	out := bitset.New(b.count)
 	buf := make([]byte, pagestore.PageSize)
@@ -185,55 +215,73 @@ func (b *BSSF) readSlice(j int, stats *SearchStats) (*bitset.BitSet, error) {
 			return nil, fmt.Errorf("core: read slice %d page %d: %w", j, p, err)
 		}
 		stats.IndexPages++
-		lo := p * bitsPerSlicePage
-		hi := lo + bitsPerSlicePage
-		if hi > b.count {
-			hi = b.count
-		}
-		chunk, err := bitset.UnmarshalBinary(hi-lo, buf)
-		if err != nil {
-			return nil, err
-		}
-		for i, ok := chunk.NextSet(0); ok; i, ok = chunk.NextSet(i + 1) {
-			out.Set(lo + i)
-		}
+		out.LoadWordsAt(p*bitsPerSlicePage/64, buf)
 	}
+	return out, nil
+}
+
+// readSlices loads every slice in js, fanning the reads across up to
+// workers goroutines. Slice i of the result corresponds to js[i], and
+// each read counts pages into its own per-slice stats, folded into stats
+// in js order — so SlicesRead and IndexPages match a sequential pass
+// exactly.
+func (b *BSSF) readSlices(js []int, workers int, stats *SearchStats) ([]*bitset.BitSet, error) {
+	out := make([]*bitset.BitSet, len(js))
+	parts := make([]SearchStats, len(js))
+	err := forEachTask(workers, len(js), func(i int) error {
+		s, err := b.readSlice(js[i], &parts[i])
+		if err != nil {
+			return err
+		}
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addStats(stats, parts)
 	return out, nil
 }
 
 // Search implements AccessMethod following §4.2's per-query-type slice
 // selection, §5.1.3's smart probe cap (opts.MaxProbeElements) and
-// §5.2.2's smart zero-slice cap (opts.MaxZeroSlices).
+// §5.2.2's smart zero-slice cap (opts.MaxZeroSlices). With
+// opts.Parallelism > 1 the slice reads fan across a worker pool and the
+// AND/OR combine splits its word range across the same workers; AND and
+// OR are commutative, so the Result is identical at any setting.
 func (b *BSSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
 	if !pred.Valid() {
 		return nil, fmt.Errorf("core: invalid predicate")
 	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	query = dedup(query)
 	probe := probeElements(query, opts, pred)
 	qsig := b.scheme.SetSignatureStrings(probe)
+	workers := searchWorkers(opts)
 	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
 
 	var candidateBits *bitset.BitSet
 	var err error
 	switch pred {
 	case signature.Superset, signature.Contains:
-		candidateBits, err = b.andOnes(qsig, &stats)
+		candidateBits, err = b.andOnes(qsig, workers, &stats)
 	case signature.Subset:
 		maxZero := 0
 		if opts != nil {
 			maxZero = opts.MaxZeroSlices
 		}
-		candidateBits, err = b.orZerosComplement(qsig, maxZero, &stats)
+		candidateBits, err = b.orZerosComplement(qsig, maxZero, workers, &stats)
 	case signature.Overlap:
-		candidateBits, err = b.orOnes(qsig, &stats)
+		candidateBits, err = b.orOnes(qsig, workers, &stats)
 	case signature.Equals:
 		// Equality needs both conditions: 1s everywhere the query has 1s
 		// and 0s everywhere it has 0s.
-		ones, err1 := b.andOnes(qsig, &stats)
+		ones, err1 := b.andOnes(qsig, workers, &stats)
 		if err1 != nil {
 			return nil, err1
 		}
-		zeros, err2 := b.orZerosComplement(qsig, 0, &stats)
+		zeros, err2 := b.orZerosComplement(qsig, 0, workers, &stats)
 		if err2 != nil {
 			return nil, err2
 		}
@@ -251,7 +299,7 @@ func (b *BSSF) Search(pred signature.Predicate, query []string, opts *SearchOpti
 	}
 	stats.OIDPages = oidPages
 
-	results, err := verifyCandidates(b.src, pred, query, candidates, &stats)
+	results, err := verifyCandidates(b.src, pred, query, candidates, &stats, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -260,32 +308,28 @@ func (b *BSSF) Search(pred signature.Predicate, query []string, opts *SearchOpti
 
 // andOnes ANDs the slices at the query signature's one-positions; an
 // empty probe yields all positions (everything matches a vacuous ⊇).
-func (b *BSSF) andOnes(qsig *bitset.BitSet, stats *SearchStats) (*bitset.BitSet, error) {
+func (b *BSSF) andOnes(qsig *bitset.BitSet, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	acc := bitset.New(b.count)
 	acc.Fill()
-	for _, j := range qsig.Ones() {
-		slice, err := b.readSlice(j, stats)
-		if err != nil {
-			return nil, err
-		}
-		acc.And(slice)
-		// Note: a real system could stop early once acc is empty; the
-		// paper's algorithm (and cost model) reads all m_q slices, so we
-		// do too to keep measured costs comparable.
+	slices, err := b.readSlices(qsig.Ones(), workers, stats)
+	if err != nil {
+		return nil, err
 	}
+	// Note: a real system could stop early once acc is empty; the
+	// paper's algorithm (and cost model) reads all m_q slices, so we
+	// do too to keep measured costs comparable.
+	bitset.AndAll(acc, slices, workers)
 	return acc, nil
 }
 
 // orOnes ORs the slices at the query's one-positions (overlap search).
-func (b *BSSF) orOnes(qsig *bitset.BitSet, stats *SearchStats) (*bitset.BitSet, error) {
+func (b *BSSF) orOnes(qsig *bitset.BitSet, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	acc := bitset.New(b.count)
-	for _, j := range qsig.Ones() {
-		slice, err := b.readSlice(j, stats)
-		if err != nil {
-			return nil, err
-		}
-		acc.Or(slice)
+	slices, err := b.readSlices(qsig.Ones(), workers, stats)
+	if err != nil {
+		return nil, err
 	}
+	bitset.OrAll(acc, slices, workers)
 	return acc, nil
 }
 
@@ -293,25 +337,25 @@ func (b *BSSF) orOnes(qsig *bitset.BitSet, stats *SearchStats) (*bitset.BitSet, 
 // complements: surviving positions have 0 at every scanned zero slice —
 // the T ⊆ Q match condition. maxZero > 0 caps how many zero slices are
 // scanned (smart strategy; the filter stays sound, just weaker).
-func (b *BSSF) orZerosComplement(qsig *bitset.BitSet, maxZero int, stats *SearchStats) (*bitset.BitSet, error) {
+func (b *BSSF) orZerosComplement(qsig *bitset.BitSet, maxZero, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	zeros := qsig.Zeros()
 	if maxZero > 0 && len(zeros) > maxZero {
 		zeros = zeros[:maxZero]
 	}
 	acc := bitset.New(b.count)
-	for _, j := range zeros {
-		slice, err := b.readSlice(j, stats)
-		if err != nil {
-			return nil, err
-		}
-		acc.Or(slice)
+	slices, err := b.readSlices(zeros, workers, stats)
+	if err != nil {
+		return nil, err
 	}
+	bitset.OrAll(acc, slices, workers)
 	acc.Not()
 	return acc, nil
 }
 
 // Compact rebuilds the slice and OID files without tombstoned entries.
 func (b *BSSF) Compact() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	// Collect live entries in index order.
 	type live struct {
 		idx int

@@ -106,6 +106,14 @@ type SearchOptions struct {
 	// T ⊆ Q (§5.2.2). Zero means "read all F − m_q zero slices". Other
 	// access methods ignore it.
 	MaxZeroSlices int
+	// Parallelism fans the search across up to this many goroutines: the
+	// SSF scan is sharded into page segments, BSSF slice reads and the
+	// AND/OR combine run on a worker pool, NIX posting lookups proceed
+	// concurrently, and false-drop resolution fetches objects in
+	// parallel. 0 or 1 means sequential (the default); negative means one
+	// worker per CPU. The result — OIDs and every Stats field — is
+	// identical at any setting.
+	Parallelism int
 }
 
 var defaultOptions = SearchOptions{}
@@ -170,21 +178,34 @@ func probeElements(query []string, opts *SearchOptions, pred signature.Predicate
 }
 
 // verifyCandidates resolves each candidate OID against the exact
-// predicate, updating stats, and returns the qualifying OIDs.
-func verifyCandidates(src SetSource, pred signature.Predicate, query []string, candidates []uint64, stats *SearchStats) ([]uint64, error) {
-	results := make([]uint64, 0, len(candidates))
-	for _, oid := range candidates {
+// predicate on up to workers goroutines, updating stats, and returns the
+// qualifying OIDs. Each candidate's verdict lands in its own slot, so the
+// result set and every stats field are independent of worker count. On
+// error the stats are unreliable and the caller must discard them, which
+// also means a partial fetch count need not be reported.
+func verifyCandidates(src SetSource, pred signature.Predicate, query []string, candidates []uint64, stats *SearchStats, workers int) ([]uint64, error) {
+	keep := make([]bool, len(candidates))
+	err := forEachTask(workers, len(candidates), func(i int) error {
+		oid := candidates[i]
 		target, err := src.Set(oid)
 		if err != nil {
-			return nil, fmt.Errorf("core: resolve OID %d: %w", oid, err)
+			return fmt.Errorf("core: resolve OID %d: %w", oid, err)
 		}
-		stats.ObjectFetches++
 		ok, err := signature.EvaluateSets(pred, target, query)
 		if err != nil {
-			return nil, fmt.Errorf("core: verify OID %d: %w", oid, err)
+			return fmt.Errorf("core: verify OID %d: %w", oid, err)
 		}
+		keep[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.ObjectFetches += int64(len(candidates))
+	results := make([]uint64, 0, len(candidates))
+	for i, ok := range keep {
 		if ok {
-			results = append(results, oid)
+			results = append(results, candidates[i])
 		}
 	}
 	stats.Candidates = len(candidates)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sigfile/internal/bitset"
 	"sigfile/internal/pagestore"
@@ -23,7 +24,14 @@ import (
 //	T ⊆ Q must read every frame (like SSF's full scan);
 //	insertion writes one page per frame touched by the object
 //	  (≤ min(Dt, K) + 1, far below BSSF's m_t + 1).
+//
+// An FSSF is safe for concurrent use: searches run in parallel with each
+// other; updates exclude searches and one another through an internal
+// readers-writer lock.
 type FSSF struct {
+	// mu: searches hold it shared, updates exclusive (the tail caches
+	// and count are mutated on every insert).
+	mu     sync.RWMutex
 	scheme *signature.FrameScheme
 	src    SetSource
 	frames []pagestore.File
@@ -87,13 +95,19 @@ func NewFSSF(scheme *signature.FrameScheme, src SetSource, store pagestore.Store
 func (f *FSSF) Name() string { return "FSSF" }
 
 // Count implements AccessMethod.
-func (f *FSSF) Count() int { return f.oid.live }
+func (f *FSSF) Count() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.oid.live
+}
 
 // Scheme returns the frame scheme in use.
 func (f *FSSF) Scheme() *signature.FrameScheme { return f.scheme }
 
 // FramePages returns the storage cost of one frame file in pages.
 func (f *FSSF) FramePages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if len(f.frames) == 0 {
 		return 0
 	}
@@ -101,10 +115,16 @@ func (f *FSSF) FramePages() int {
 }
 
 // OIDPages returns SC_OID.
-func (f *FSSF) OIDPages() int { return f.oid.pages() }
+func (f *FSSF) OIDPages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.oid.pages()
+}
 
 // StoragePages implements AccessMethod.
 func (f *FSSF) StoragePages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	n := f.oid.pages()
 	for _, file := range f.frames {
 		n += file.NumPages()
@@ -115,6 +135,12 @@ func (f *FSSF) StoragePages() int {
 // Insert implements AccessMethod. Cost: one page write per frame the
 // object's elements hash to, plus one OID-file write.
 func (f *FSSF) Insert(oid uint64, elems []string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.insert(oid, elems)
+}
+
+func (f *FSSF) insert(oid uint64, elems []string) error {
 	sig := f.scheme.SetSignature(dedup(elems))
 	idx := f.count
 	slot := idx % f.recsPerPage
@@ -145,6 +171,8 @@ func (f *FSSF) Insert(oid uint64, elems []string) error {
 // Delete implements AccessMethod: tombstones the OID entry, like the
 // other signature files.
 func (f *FSSF) Delete(oid uint64, _ []string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	found, err := f.oid.delete(oid)
 	if err != nil {
 		return err
@@ -157,9 +185,11 @@ func (f *FSSF) Delete(oid uint64, _ []string) error {
 
 // scanFrame reads frame file j over all count records, invoking fn with
 // each record's index and content. The record bitset is reused between
-// calls; fn must not retain it.
+// calls; fn must not retain it. It allocates its own buffers, so
+// concurrent scans of different frames share nothing.
 func (f *FSSF) scanFrame(j int, stats *SearchStats, fn func(idx int, rec *bitset.BitSet)) error {
 	buf := make([]byte, pagestore.PageSize)
+	rec := bitset.New(f.scheme.S())
 	stats.SlicesRead++
 	for p := 0; p*f.recsPerPage < f.count; p++ {
 		if err := f.frames[j].ReadPage(pagestore.PageID(p), buf); err != nil {
@@ -171,8 +201,7 @@ func (f *FSSF) scanFrame(j int, stats *SearchStats, fn func(idx int, rec *bitset
 			limit = f.recsPerPage
 		}
 		for i := 0; i < limit; i++ {
-			rec, err := bitset.UnmarshalBinary(f.scheme.S(), buf[i*f.recBytes:(i+1)*f.recBytes])
-			if err != nil {
+			if err := rec.LoadBinary(buf[i*f.recBytes : (i+1)*f.recBytes]); err != nil {
 				return fmt.Errorf("core: frame %d page %d slot %d: %w", j, p, i, err)
 			}
 			fn(p*f.recsPerPage+i, rec)
@@ -181,26 +210,60 @@ func (f *FSSF) scanFrame(j int, stats *SearchStats, fn func(idx int, rec *bitset
 	return nil
 }
 
-// Search implements AccessMethod.
+// frameMasks scans every frame in js on up to workers goroutines, each
+// scan building its own position mask (bit idx set iff pass reported the
+// record qualifying) and counting pages locally; the per-frame stats are
+// folded into stats in js order, so the counts match a sequential pass.
+func (f *FSSF) frameMasks(js []int, workers int, stats *SearchStats, pass func(j int, rec *bitset.BitSet) bool) ([]*bitset.BitSet, error) {
+	masks := make([]*bitset.BitSet, len(js))
+	parts := make([]SearchStats, len(js))
+	err := forEachTask(workers, len(js), func(i int) error {
+		j := js[i]
+		mask := bitset.New(f.count)
+		err := f.scanFrame(j, &parts[i], func(idx int, rec *bitset.BitSet) {
+			if pass(j, rec) {
+				mask.Set(idx)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		masks[i] = mask
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addStats(stats, parts)
+	return masks, nil
+}
+
+// Search implements AccessMethod. With opts.Parallelism > 1 the frame
+// scans run on a worker pool, each producing a per-frame qualifying
+// mask; the masks are then intersected or unioned — both commutative —
+// so the Result is identical at any setting.
 func (f *FSSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
 	if !pred.Valid() {
 		return nil, fmt.Errorf("core: invalid predicate")
 	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	query = dedup(query)
 	probe := probeElements(query, opts, pred)
+	workers := searchWorkers(opts)
 	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
 
 	var candidateBits *bitset.BitSet
 	var err error
 	switch pred {
 	case signature.Superset, signature.Contains:
-		candidateBits, err = f.supersetCandidates(probe, &stats)
+		candidateBits, err = f.supersetCandidates(probe, workers, &stats)
 	case signature.Subset:
-		candidateBits, err = f.subsetCandidates(query, &stats)
+		candidateBits, err = f.subsetCandidates(query, workers, &stats)
 	case signature.Overlap:
-		candidateBits, err = f.overlapCandidates(query, &stats)
+		candidateBits, err = f.overlapCandidates(query, workers, &stats)
 	case signature.Equals:
-		candidateBits, err = f.equalsCandidates(query, &stats)
+		candidateBits, err = f.equalsCandidates(query, workers, &stats)
 	}
 	if err != nil {
 		return nil, err
@@ -211,7 +274,7 @@ func (f *FSSF) Search(pred signature.Predicate, query []string, opts *SearchOpti
 		return nil, err
 	}
 	stats.OIDPages = oidPages
-	results, err := verifyCandidates(f.src, pred, query, candidates, &stats)
+	results, err := verifyCandidates(f.src, pred, query, candidates, &stats, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +284,7 @@ func (f *FSSF) Search(pred signature.Predicate, query []string, opts *SearchOpti
 // supersetCandidates reads only the frames the probe elements hash to:
 // a target qualifies if, in every touched frame, its frame content
 // covers the union of the probe elements' bits there.
-func (f *FSSF) supersetCandidates(probe []string, stats *SearchStats) (*bitset.BitSet, error) {
+func (f *FSSF) supersetCandidates(probe []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	need := make(map[int]*bitset.BitSet)
 	for _, e := range probe {
 		frame, bits := f.scheme.ElementFrame([]byte(e))
@@ -232,49 +295,44 @@ func (f *FSSF) supersetCandidates(probe []string, stats *SearchStats) (*bitset.B
 			need[frame].Set(b)
 		}
 	}
+	masks, err := f.frameMasks(sortedKeys(need), workers, stats, func(j int, rec *bitset.BitSet) bool {
+		return rec.ContainsAll(need[j])
+	})
+	if err != nil {
+		return nil, err
+	}
 	acc := bitset.New(f.count)
 	acc.Fill()
-	for _, j := range sortedKeys(need) {
-		want := need[j]
-		err := f.scanFrame(j, stats, func(idx int, rec *bitset.BitSet) {
-			if !rec.ContainsAll(want) {
-				acc.Clear(idx)
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
+	bitset.AndAll(acc, masks, workers)
 	return acc, nil
 }
 
 // subsetCandidates reads every frame: a target qualifies if each of its
 // frame contents is contained in the query's.
-func (f *FSSF) subsetCandidates(query []string, stats *SearchStats) (*bitset.BitSet, error) {
+func (f *FSSF) subsetCandidates(query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	qsig := f.scheme.SetSignature(query)
+	empty := bitset.New(f.scheme.S())
+	qframe := func(j int) *bitset.BitSet {
+		if qf := qsig.Frame(j); qf != nil {
+			return qf
+		}
+		return empty
+	}
+	masks, err := f.frameMasks(allFrames(f.scheme.K()), workers, stats, func(j int, rec *bitset.BitSet) bool {
+		return rec.SubsetOf(qframe(j))
+	})
+	if err != nil {
+		return nil, err
+	}
 	acc := bitset.New(f.count)
 	acc.Fill()
-	empty := bitset.New(f.scheme.S())
-	for j := 0; j < f.scheme.K(); j++ {
-		qf := qsig.Frame(j)
-		if qf == nil {
-			qf = empty
-		}
-		err := f.scanFrame(j, stats, func(idx int, rec *bitset.BitSet) {
-			if !rec.SubsetOf(qf) {
-				acc.Clear(idx)
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
+	bitset.AndAll(acc, masks, workers)
 	return acc, nil
 }
 
 // overlapCandidates marks targets whose frame contains all bits of at
 // least one query element — a finer filter than bit-level intersection.
-func (f *FSSF) overlapCandidates(query []string, stats *SearchStats) (*bitset.BitSet, error) {
+func (f *FSSF) overlapCandidates(query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	perFrame := make(map[int][]*bitset.BitSet)
 	for _, e := range query {
 		frame, bits := f.scheme.ElementFrame([]byte(e))
@@ -284,45 +342,42 @@ func (f *FSSF) overlapCandidates(query []string, stats *SearchStats) (*bitset.Bi
 		}
 		perFrame[frame] = append(perFrame[frame], eb)
 	}
-	acc := bitset.New(f.count)
-	for _, j := range sortedKeys(perFrame) {
-		elems := perFrame[j]
-		err := f.scanFrame(j, stats, func(idx int, rec *bitset.BitSet) {
-			for _, eb := range elems {
-				if rec.ContainsAll(eb) {
-					acc.Set(idx)
-					return
-				}
+	masks, err := f.frameMasks(sortedKeys(perFrame), workers, stats, func(j int, rec *bitset.BitSet) bool {
+		for _, eb := range perFrame[j] {
+			if rec.ContainsAll(eb) {
+				return true
 			}
-		})
-		if err != nil {
-			return nil, err
 		}
+		return false
+	})
+	if err != nil {
+		return nil, err
 	}
+	acc := bitset.New(f.count)
+	bitset.OrAll(acc, masks, workers)
 	return acc, nil
 }
 
 // equalsCandidates reads every frame: the target's frame content must
 // equal the query signature's in each frame.
-func (f *FSSF) equalsCandidates(query []string, stats *SearchStats) (*bitset.BitSet, error) {
+func (f *FSSF) equalsCandidates(query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	qsig := f.scheme.SetSignature(query)
+	empty := bitset.New(f.scheme.S())
+	qframe := func(j int) *bitset.BitSet {
+		if qf := qsig.Frame(j); qf != nil {
+			return qf
+		}
+		return empty
+	}
+	masks, err := f.frameMasks(allFrames(f.scheme.K()), workers, stats, func(j int, rec *bitset.BitSet) bool {
+		return rec.Equal(qframe(j))
+	})
+	if err != nil {
+		return nil, err
+	}
 	acc := bitset.New(f.count)
 	acc.Fill()
-	empty := bitset.New(f.scheme.S())
-	for j := 0; j < f.scheme.K(); j++ {
-		qf := qsig.Frame(j)
-		if qf == nil {
-			qf = empty
-		}
-		err := f.scanFrame(j, stats, func(idx int, rec *bitset.BitSet) {
-			if !rec.Equal(qf) {
-				acc.Clear(idx)
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
+	bitset.AndAll(acc, masks, workers)
 	return acc, nil
 }
 
@@ -332,6 +387,15 @@ func sortedKeys[V any](m map[int]V) []int {
 		out = append(out, k)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// allFrames returns [0, k) — the frame list of the full-scan predicates.
+func allFrames(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
 	return out
 }
 

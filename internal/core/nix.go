@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sigfile/internal/btree"
 	"sigfile/internal/pagestore"
@@ -24,7 +25,15 @@ import (
 //
 // The smart strategy for T ⊇ Q (§5.1.3) probes only k query elements and
 // verifies candidates, trading lookups against candidate fetches.
+//
+// A NIX is safe for concurrent use: searches run in parallel with each
+// other (tree lookups read no mutable tree state and count their own
+// pages); updates exclude searches and one another through an internal
+// readers-writer lock.
 type NIX struct {
+	// mu: searches hold it shared, updates exclusive (Insert/Delete
+	// mutate the tree and the live/empty maps).
+	mu   sync.RWMutex
 	tree *btree.Tree
 	src  SetSource
 	// live tracks the OIDs the index covers.
@@ -71,14 +80,22 @@ func NewNIX(src SetSource, store pagestore.Store) (*NIX, error) {
 func (n *NIX) Name() string { return "NIX" }
 
 // Count implements AccessMethod.
-func (n *NIX) Count() int { return len(n.live) }
+func (n *NIX) Count() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.live)
+}
 
 // Tree exposes the underlying B⁺-tree (read-only use: height, breakdown).
 func (n *NIX) Tree() *btree.Tree { return n.tree }
 
 // StoragePages implements AccessMethod: lp + nlp (+ overflow and meta
 // pages, which the paper's model folds into the leaf estimate).
-func (n *NIX) StoragePages() int { return n.tree.Pages() }
+func (n *NIX) StoragePages() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.tree.Pages()
+}
 
 // LookupCost returns rc, the page accesses of one element lookup: the
 // tree height (nonleaf levels + leaf), matching the paper's rc = h + 1.
@@ -87,6 +104,12 @@ func (n *NIX) LookupCost() int { return n.tree.Height() }
 // Insert implements AccessMethod: one B⁺-tree insertion per element,
 // D_t insertions in total (UC_I = rc·D_t).
 func (n *NIX) Insert(oid uint64, elems []string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.insert(oid, elems)
+}
+
+func (n *NIX) insert(oid uint64, elems []string) error {
 	if oid == 0 {
 		return fmt.Errorf("core: OID 0 is reserved")
 	}
@@ -109,6 +132,8 @@ func (n *NIX) Insert(oid uint64, elems []string) error {
 // Delete implements AccessMethod: elems must be the indexed set value of
 // the object (D_t deletions, UC_D = rc·D_t).
 func (n *NIX) Delete(oid uint64, elems []string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, ok := n.live[oid]; !ok {
 		return fmt.Errorf("core: NIX delete: OID %d not indexed", oid)
 	}
@@ -122,27 +147,41 @@ func (n *NIX) Delete(oid uint64, elems []string) error {
 	return nil
 }
 
-// Search implements AccessMethod.
+// Search implements AccessMethod. With opts.Parallelism > 1 the probe
+// lookups and false-drop resolution fan across a worker pool; each
+// lookup counts its own tree pages (btree.LookupPages), so IndexPages is
+// exact and identical at any worker count.
 func (n *NIX) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
 	if !pred.Valid() {
 		return nil, fmt.Errorf("core: invalid predicate")
 	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	query = dedup(query)
 	probe := probeElements(query, opts, pred)
+	workers := searchWorkers(opts)
 	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
 
-	// Look up the probe elements, measuring tree page accesses.
-	r0, w0, _ := n.tree.Stats().Snapshot()
-	postings := make([][]uint64, 0, len(probe))
-	for _, e := range probe {
-		oids, err := n.tree.Lookup([]byte(e))
+	// Look up the probe elements, each lookup counting the tree pages it
+	// touched into its own slot; the slots sum to exactly the sequential
+	// page count.
+	postings := make([][]uint64, len(probe))
+	pages := make([]int64, len(probe))
+	err := forEachTask(workers, len(probe), func(i int) error {
+		oids, np, err := n.tree.LookupPages([]byte(probe[i]))
 		if err != nil {
-			return nil, fmt.Errorf("core: NIX lookup %q: %w", e, err)
+			return fmt.Errorf("core: NIX lookup %q: %w", probe[i], err)
 		}
-		postings = append(postings, oids)
+		postings[i] = oids
+		pages[i] = np
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	r1, w1, _ := n.tree.Stats().Snapshot()
-	stats.IndexPages = (r1 - r0) + (w1 - w0)
+	for _, np := range pages {
+		stats.IndexPages += np
+	}
 
 	var candidates []uint64
 	switch pred {
@@ -167,7 +206,7 @@ func (n *NIX) Search(pred signature.Predicate, query []string, opts *SearchOptio
 		candidates = unionSorted(postings)
 	}
 
-	results, err := verifyCandidates(n.src, pred, query, candidates, &stats)
+	results, err := verifyCandidates(n.src, pred, query, candidates, &stats, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sigfile/internal/signature"
+)
+
+// This file is the concurrency substrate of the parallel search layer:
+// a small work-pool primitive the facilities shard their page scans,
+// slice reads and drop resolution over, plus the batched SearchMany
+// entry point for serving-style workloads.
+//
+// The design constraint throughout is determinism: a parallel search
+// must return byte-identical Results (OIDs and Stats) to the sequential
+// one. Every parallel site therefore writes into a per-task slot and the
+// caller folds the slots together in task order; nothing is accumulated
+// in shared state during the fan-out.
+
+// searchWorkers resolves the effective worker count of a search: the
+// Parallelism option, 0 or 1 meaning sequential, and a negative value
+// meaning "one worker per CPU".
+func searchWorkers(opts *SearchOptions) int {
+	if opts == nil {
+		return 1
+	}
+	p := opts.Parallelism
+	if p < 0 {
+		p = runtime.NumCPU()
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// forEachTask runs fn(task) for every task in [0, ntasks) on up to
+// workers goroutines. With workers <= 1 (or a single task) it degrades
+// to a plain loop on the calling goroutine, so the sequential and
+// parallel paths execute the same code. Tasks are claimed from a shared
+// counter, so uneven task costs balance across the pool. All tasks run
+// even if one fails; the joined errors are returned so a fault is never
+// masked by a faster worker's success.
+func forEachTask(workers, ntasks int, fn func(task int) error) error {
+	if ntasks <= 0 {
+		return nil
+	}
+	if workers > ntasks {
+		workers = ntasks
+	}
+	if workers <= 1 {
+		var errs []error
+		for i := 0; i < ntasks; i++ {
+			if err := fn(i); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		errs  []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task := int(next.Add(1)) - 1
+				if task >= ntasks {
+					return
+				}
+				if err := fn(task); err != nil {
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// shardRange splits [0, n) into nshards near-equal contiguous ranges and
+// returns the bounds of shard i.
+func shardRange(n, nshards, i int) (lo, hi int) {
+	return i * n / nshards, (i + 1) * n / nshards
+}
+
+// addStats folds per-task stats into dst in task order. All fields are
+// sums of non-negative per-task counts, so the fold is deterministic
+// regardless of the order tasks *completed* in.
+func addStats(dst *SearchStats, parts []SearchStats) {
+	for i := range parts {
+		dst.SlicesRead += parts[i].SlicesRead
+		dst.IndexPages += parts[i].IndexPages
+		dst.OIDPages += parts[i].OIDPages
+		dst.ObjectFetches += parts[i].ObjectFetches
+	}
+}
+
+// SearchRequest is one search of a batch submitted to SearchMany.
+type SearchRequest struct {
+	Pred  signature.Predicate
+	Query []string
+	// Opts selects the retrieval strategy of this request; nil means
+	// default. Per-request Parallelism multiplies with the batch-level
+	// fan-out, so serving workloads usually leave it zero and let the
+	// batch spread across the pool.
+	Opts *SearchOptions
+}
+
+// SearchMany answers a batch of searches against one facility, fanning
+// the requests across up to parallelism goroutines (0 or 1 = one at a
+// time; negative = one per CPU). Result i corresponds to request i. If
+// any request fails, the failed slots are nil and the joined errors are
+// returned; the remaining results are still valid.
+//
+// The facilities in this package are safe for any number of concurrent
+// Search calls (updates are excluded by their internal reader/writer
+// lock), so SearchMany needs no coordination beyond the pool — it is the
+// serving-style entry point: throughput scales with the pool while every
+// individual Result stays identical to a sequential call.
+func SearchMany(am AccessMethod, reqs []SearchRequest, parallelism int) ([]*Result, error) {
+	out := make([]*Result, len(reqs))
+	workers := searchWorkers(&SearchOptions{Parallelism: parallelism})
+	err := forEachTask(workers, len(reqs), func(i int) error {
+		res, err := am.Search(reqs[i].Pred, reqs[i].Query, reqs[i].Opts)
+		if err != nil {
+			return fmt.Errorf("core: SearchMany request %d: %w", i, err)
+		}
+		out[i] = res
+		return nil
+	})
+	return out, err
+}

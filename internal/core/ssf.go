@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"sigfile/internal/bitset"
 	"sigfile/internal/pagestore"
@@ -18,7 +19,16 @@ import (
 // Insertion appends to both files (UC_I = 2 page writes); deletion
 // tombstones the OID-file entry (UC_D ≈ SC_OID/2 reads + 1 write),
 // leaving the stale signature in place exactly as the paper assumes.
+//
+// An SSF is safe for concurrent use: any number of Search calls may run
+// in parallel with each other, and updates (Insert, Delete, Compact)
+// exclude searches and one another through an internal readers-writer
+// lock.
 type SSF struct {
+	// mu is the reader/writer contract: searches hold it shared, updates
+	// exclusive. The tail cache and count make even Insert a reader-
+	// visible mutation, so updates cannot overlap any search.
+	mu     sync.RWMutex
 	scheme *signature.Scheme
 	src    SetSource
 	sig    pagestore.File
@@ -87,23 +97,45 @@ func NewSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store) (*SS
 func (s *SSF) Name() string { return "SSF" }
 
 // Count implements AccessMethod.
-func (s *SSF) Count() int { return s.oid.live }
+func (s *SSF) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.oid.live
+}
 
 // Scheme returns the signature scheme in use.
 func (s *SSF) Scheme() *signature.Scheme { return s.scheme }
 
 // SignaturePages returns SC_SIG, the storage cost of the signature file.
-func (s *SSF) SignaturePages() int { return s.sig.NumPages() }
+func (s *SSF) SignaturePages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sig.NumPages()
+}
 
 // OIDPages returns SC_OID.
-func (s *SSF) OIDPages() int { return s.oid.pages() }
+func (s *SSF) OIDPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.oid.pages()
+}
 
 // StoragePages implements AccessMethod: SC = SC_SIG + SC_OID.
-func (s *SSF) StoragePages() int { return s.SignaturePages() + s.OIDPages() }
+func (s *SSF) StoragePages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sig.NumPages() + s.oid.pages()
+}
 
 // Insert implements AccessMethod. Cost: one write to the signature file
 // and one to the OID file — the paper's UC_I = 2.
 func (s *SSF) Insert(oid uint64, elems []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insert(oid, elems)
+}
+
+func (s *SSF) insert(oid uint64, elems []string) error {
 	sig := s.scheme.SetSignatureStrings(dedup(elems))
 	slot := s.count % s.sigsPerPage
 	if slot == 0 {
@@ -134,6 +166,8 @@ func (s *SSF) Insert(oid uint64, elems []string) error {
 // Delete implements AccessMethod: tombstones the OID entry; the stale
 // signature remains and any future match on it resolves to nothing.
 func (s *SSF) Delete(oid uint64, _ []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	found, err := s.oid.delete(oid)
 	if err != nil {
 		return err
@@ -146,21 +180,78 @@ func (s *SSF) Delete(oid uint64, _ []string) error {
 
 // Search implements AccessMethod following §4.1's three steps: form the
 // query signature, scan the signature file collecting drops, then map
-// drops through the OID file and resolve them against the objects.
+// drops through the OID file and resolve them against the objects. With
+// opts.Parallelism > 1 the scan is sharded into contiguous page segments
+// and drop resolution fans across the same worker count; the Result is
+// identical either way.
 func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
 	if !pred.Valid() {
 		return nil, fmt.Errorf("core: invalid predicate")
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	query = dedup(query)
 	probe := probeElements(query, opts, pred)
 	qsig := s.scheme.SetSignatureStrings(probe)
+	workers := searchWorkers(opts)
 
 	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
 
-	// Full scan of the signature file (SC_SIG page reads).
+	// Full scan of the signature file (SC_SIG page reads), sharded into
+	// one contiguous page range per worker. Each shard collects matches
+	// and counts pages locally; the shards are then stitched back in
+	// index order, so the match list and IndexPages are exactly those of
+	// a single sequential pass.
+	npages := (s.count + s.sigsPerPage - 1) / s.sigsPerPage
+	nshards := workers
+	if nshards > npages {
+		nshards = npages
+	}
+	shardMatches := make([][]int, nshards)
+	shardStats := make([]SearchStats, nshards)
+	err := forEachTask(workers, nshards, func(shard int) error {
+		pLo, pHi := shardRange(npages, nshards, shard)
+		m, err := s.scanRange(pred, qsig, pLo, pHi, &shardStats[shard])
+		if err != nil {
+			return err
+		}
+		shardMatches[shard] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var matchIdx []int
+	for _, m := range shardMatches {
+		matchIdx = append(matchIdx, m...)
+	}
+	addStats(&stats, shardStats)
+
+	// OID look-up (LC_OID): indexes are produced in ascending order, so
+	// each OID page is read at most once.
+	candidates, oidPages, err := s.oid.getMany(matchIdx)
+	if err != nil {
+		return nil, err
+	}
+	stats.OIDPages = oidPages
+
+	// False drop resolution.
+	results, err := verifyCandidates(s.src, pred, query, candidates, &stats, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// scanRange scans signature pages [pLo, pHi), returning the matching
+// signature indexes in ascending order and counting the page reads into
+// stats. It allocates its own page buffer and scratch signature so
+// concurrent shards share nothing.
+func (s *SSF) scanRange(pred signature.Predicate, qsig *bitset.BitSet, pLo, pHi int, stats *SearchStats) ([]int, error) {
 	var matchIdx []int
 	buf := make([]byte, pagestore.PageSize)
-	for p := 0; p*s.sigsPerPage < s.count; p++ {
+	tsig := bitset.New(s.scheme.F())
+	for p := pLo; p < pHi; p++ {
 		if err := s.sig.ReadPage(pagestore.PageID(p), buf); err != nil {
 			return nil, fmt.Errorf("core: SSF scan: %w", err)
 		}
@@ -170,8 +261,7 @@ func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptio
 			limit = s.sigsPerPage
 		}
 		for i := 0; i < limit; i++ {
-			tsig, err := bitset.UnmarshalBinary(s.scheme.F(), buf[i*s.sigBytes:(i+1)*s.sigBytes])
-			if err != nil {
+			if err := tsig.LoadBinary(buf[i*s.sigBytes : (i+1)*s.sigBytes]); err != nil {
 				return nil, fmt.Errorf("core: SSF scan page %d slot %d: %w", p, i, err)
 			}
 			hit, err := signature.Matches(pred, tsig, qsig)
@@ -183,21 +273,7 @@ func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptio
 			}
 		}
 	}
-
-	// OID look-up (LC_OID): indexes are produced in ascending order, so
-	// each OID page is read at most once.
-	candidates, oidPages, err := s.oid.getMany(matchIdx)
-	if err != nil {
-		return nil, err
-	}
-	stats.OIDPages = oidPages
-
-	// False drop resolution.
-	results, err := verifyCandidates(s.src, pred, query, candidates, &stats)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{OIDs: results, Stats: stats}, nil
+	return matchIdx, nil
 }
 
 // Compact rebuilds the signature and OID files without tombstoned
@@ -205,6 +281,8 @@ func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptio
 // paper's update model leaves open). The store must be the one the SSF
 // was created with; compaction rewrites in place.
 func (s *SSF) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	type rec struct {
 		oid uint64
 		sig []byte

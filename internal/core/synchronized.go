@@ -8,15 +8,13 @@ import (
 
 // Synchronized wraps an AccessMethod with a readers-writer lock so it can
 // be shared across goroutines: searches run concurrently, updates
-// exclusively. The underlying facilities are deliberately single-writer
-// (the paper's model has no concurrency dimension); this wrapper is the
-// deployment-facing convenience.
+// exclusively.
 //
-// Search mutates no index state and so takes the read lock; callers must
-// not bypass the wrapper once it is in use. One caveat: NIX attributes
-// tree page reads to a search by diffing the shared page counters, so
-// under concurrent searches the IndexPages of individual results can
-// swap between them (their sum stays correct); answers are unaffected.
+// The package's own facilities (SSF, BSSF, NIX, FSSF) now carry this
+// exact reader/writer contract internally and do not need the wrapper;
+// it remains for third-party AccessMethod implementations that are not
+// concurrency-safe on their own, and for callers that want one lock
+// around a facility plus surrounding state.
 type Synchronized struct {
 	mu sync.RWMutex
 	am AccessMethod

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"sigfile/internal/costmodel"
+)
+
+// These golden tests pin the analytical model to the worked numbers
+// recorded in EXPERIMENTS.md (themselves the paper's narration and
+// Table 6), so a refactor of the cost formulas cannot silently drift
+// the reproduction. Tolerances are half a unit in the last printed
+// digit.
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, want %.1f (±%.2f)", name, got, want, tol)
+	}
+}
+
+// TestGoldenFig4 pins the m = m_opt retrieval costs of Figure 4:
+// NIX 27.6 → 6.0 → … → 30.0 over Dq=1..10, SSF F=250 at 294.6 (Dq=1)
+// on its flat 245-page scan, BSSF F=250 from 66.4 to 125.0.
+func TestGoldenFig4(t *testing.T) {
+	p250 := costmodel.Paper(10, 250, 0).WithOptimalM()
+
+	near(t, "NIX RC(1)", p250.NIXRetrievalSuperset(1), 27.6, 0.05)
+	near(t, "NIX RC(2)", p250.NIXRetrievalSuperset(2), 6.0, 0.05)
+	near(t, "NIX RC(10)", p250.NIXRetrievalSuperset(10), 30.0, 0.05)
+
+	near(t, "SSF F=250 RC(1)", p250.SSFRetrievalSuperset(1), 294.6, 0.05)
+
+	near(t, "BSSF F=250 RC(1)", p250.BSSFRetrievalSuperset(1), 66.4, 0.05)
+	near(t, "BSSF F=250 RC(10)", p250.BSSFRetrievalSuperset(10), 125.0, 0.05)
+}
+
+// TestGoldenFig5 pins the small-m worked values of Figure 5 (F=500):
+// the paper's own narration RC(Dq=3, m=2) = 6.0 and the model's
+// RC(2, m=2) = 4.2; at Dq=1 BSSF m=2 costs 138.8 vs NIX 27.6.
+func TestGoldenFig5(t *testing.T) {
+	m2 := costmodel.Paper(10, 500, 2)
+
+	near(t, "BSSF m=2 RC(3)", m2.BSSFRetrievalSuperset(3), 6.0, 0.05)
+	near(t, "BSSF m=2 RC(2)", m2.BSSFRetrievalSuperset(2), 4.2, 0.05)
+	near(t, "BSSF m=2 RC(1)", m2.BSSFRetrievalSuperset(1), 138.8, 0.05)
+	near(t, "NIX RC(1)", m2.NIXRetrievalSuperset(1), 27.6, 0.05)
+}
+
+// TestGoldenTable6 pins the storage costs of the paper's four design
+// points (Table 6) and the §6 SSF/NIX ratios.
+func TestGoldenTable6(t *testing.T) {
+	cases := []struct {
+		dt             float64
+		f, m           int
+		ssf, bssf, nix float64
+		ratioPct       float64
+	}{
+		{10, 250, 2, 308, 313, 690, 45},
+		{10, 500, 2, 556, 563, 690, 81},
+		{100, 1000, 3, 1063, 1063, 6531, 16},
+		{100, 2500, 3, 2525, 2563, 6531, 39},
+	}
+	for _, c := range cases {
+		p := costmodel.Paper(c.dt, c.f, float64(c.m))
+		near(t, "SSF SC", p.SSFStorage(), c.ssf, 0.5)
+		near(t, "BSSF SC", p.BSSFStorage(), c.bssf, 0.5)
+		near(t, "NIX SC", p.NIXStorage(), c.nix, 0.5)
+		near(t, "SSF/NIX %", 100*p.SSFStorage()/p.NIXStorage(), c.ratioPct, 0.5)
+	}
+}
+
+// TestGoldenTable5 pins the NIX storage decomposition (Table 5):
+// lp=685, nlp=5, SC=690 at Dt=10 and lp=6500, nlp=31, SC=6531 at
+// Dt=100.
+func TestGoldenTable5(t *testing.T) {
+	p10 := costmodel.Paper(10, 250, 2)
+	near(t, "Dt=10 leaf", p10.NIXLeafPages(), 685, 0.5)
+	near(t, "Dt=10 nonleaf", p10.NIXNonLeafPages(), 5, 0.5)
+	near(t, "Dt=10 SC", p10.NIXStorage(), 690, 0.5)
+
+	p100 := costmodel.Paper(100, 1000, 3)
+	near(t, "Dt=100 leaf", p100.NIXLeafPages(), 6500, 0.5)
+	near(t, "Dt=100 nonleaf", p100.NIXNonLeafPages(), 31, 0.5)
+	near(t, "Dt=100 SC", p100.NIXStorage(), 6531, 0.5)
+}

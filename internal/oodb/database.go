@@ -3,6 +3,7 @@ package oodb
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sigfile/internal/pagestore"
 )
@@ -10,10 +11,17 @@ import (
 // Database binds a schema to object storage and allocates OIDs. Objects of
 // all classes share one OID space; each class gets its own heap file in
 // the backing Store (named "objects/<class>").
+//
+// A Database is safe for concurrent use: reads (Get, Scan, the
+// SetSources) run from any number of goroutines while Insert, Delete and
+// Update take the write lock; the per-class heaps add their own locking
+// underneath.
 type Database struct {
-	schema  *Schema
-	store   pagestore.Store
-	heaps   map[string]*ObjectStore
+	schema *Schema
+	store  pagestore.Store
+	heaps  map[string]*ObjectStore
+	// mu guards classOf and nextOID, the cross-heap mutable state.
+	mu      sync.RWMutex
 	classOf map[OID]string
 	nextOID OID
 }
@@ -123,6 +131,8 @@ func (db *Database) Insert(class string, attrs map[string]Value) (OID, error) {
 	if err := c.Validate(attrs); err != nil {
 		return NilOID, err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	oid := db.nextOID
 	o := &Object{OID: oid, Class: class, Attrs: attrs}
 	if err := db.heaps[class].Put(o); err != nil {
@@ -135,7 +145,9 @@ func (db *Database) Insert(class string, attrs map[string]Value) (OID, error) {
 
 // Get fetches an object by OID (one page read).
 func (db *Database) Get(oid OID) (*Object, error) {
+	db.mu.RLock()
 	class, ok := db.classOf[oid]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("oodb: object %d not found", oid)
 	}
@@ -144,6 +156,8 @@ func (db *Database) Get(oid OID) (*Object, error) {
 
 // Delete removes an object.
 func (db *Database) Delete(oid OID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	class, ok := db.classOf[oid]
 	if !ok {
 		return fmt.Errorf("oodb: object %d not found", oid)
@@ -158,6 +172,8 @@ func (db *Database) Delete(oid OID) error {
 // Update replaces the attributes of an existing object. It validates like
 // Insert and rewrites the record (delete + put under the same OID).
 func (db *Database) Update(oid OID, attrs map[string]Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	class, ok := db.classOf[oid]
 	if !ok {
 		return fmt.Errorf("oodb: object %d not found", oid)

@@ -3,6 +3,7 @@ package oodb
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"sigfile/internal/pagestore"
 )
@@ -20,7 +21,14 @@ import (
 // recLen 0 marks a deleted slot (tombstone), matching the paper's
 // delete-flag model of updates. Fetching an object costs exactly one page
 // read, the paper's P_s = P_u = 1.
+//
+// An ObjectStore is safe for concurrent use: Get and Scan may run from
+// any number of goroutines (each decodes out of its own page buffer),
+// while Put, Delete and RebuildIndex take the write lock.
 type ObjectStore struct {
+	// mu guards loc, lastPage/hasPage and the shared scratch buffer buf;
+	// readers decode from per-call buffers and hold it shared.
+	mu   sync.RWMutex
 	file pagestore.File
 	// loc maps every live OID to its location. The paper assumes direct
 	// access by OID; the map plays the role of the OID→address table and
@@ -64,6 +72,12 @@ func NewObjectStore(file pagestore.File) (*ObjectStore, error) {
 
 // RebuildIndex scans every page and reconstructs the OID→location map.
 func (s *ObjectStore) RebuildIndex() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuildIndex()
+}
+
+func (s *ObjectStore) rebuildIndex() error {
 	s.loc = make(map[OID]objLoc)
 	for p := 0; p < s.file.NumPages(); p++ {
 		if err := s.file.ReadPage(pagestore.PageID(p), s.buf); err != nil {
@@ -99,7 +113,11 @@ func setSlotEntry(page []byte, slot, off, length int) {
 }
 
 // Count returns the number of live objects.
-func (s *ObjectStore) Count() int { return len(s.loc) }
+func (s *ObjectStore) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.loc)
+}
 
 // Pages returns the number of pages the store occupies.
 func (s *ObjectStore) Pages() int { return s.file.NumPages() }
@@ -109,12 +127,16 @@ func (s *ObjectStore) Stats() *pagestore.Stats { return s.file.Stats() }
 
 // Contains reports whether the store holds a live object with the OID.
 func (s *ObjectStore) Contains(oid OID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.loc[oid]
 	return ok
 }
 
 // OIDs returns the OIDs of all live objects in unspecified order.
 func (s *ObjectStore) OIDs() []OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]OID, 0, len(s.loc))
 	for oid := range s.loc {
 		out = append(out, oid)
@@ -125,6 +147,8 @@ func (s *ObjectStore) OIDs() []OID {
 // Put stores the encoded object and records its location. The object's
 // OID must be nonzero and not already present.
 func (s *ObjectStore) Put(o *Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if o.OID == NilOID {
 		return fmt.Errorf("oodb: Put: object has no OID")
 	}
@@ -205,20 +229,24 @@ func (s *ObjectStore) placeRecord(rec []byte) (int, bool) {
 }
 
 // Get fetches and decodes the object with the given OID, costing one page
-// read.
+// read. Safe to call from many goroutines at once: each call reads into
+// its own buffer under the shared lock.
 func (s *ObjectStore) Get(oid OID) (*Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	l, ok := s.loc[oid]
 	if !ok {
 		return nil, fmt.Errorf("oodb: object %d not found", oid)
 	}
-	if err := s.file.ReadPage(l.page, s.buf); err != nil {
+	buf := make([]byte, pagestore.PageSize)
+	if err := s.file.ReadPage(l.page, buf); err != nil {
 		return nil, fmt.Errorf("oodb: Get %d: %w", oid, err)
 	}
-	off, length := slotEntry(s.buf, l.slot)
+	off, length := slotEntry(buf, l.slot)
 	if length == 0 {
 		return nil, fmt.Errorf("oodb: object %d location points at dead slot", oid)
 	}
-	o, err := DecodeObject(s.buf[off : off+length])
+	o, err := DecodeObject(buf[off : off+length])
 	if err != nil {
 		return nil, fmt.Errorf("oodb: Get %d: %w", oid, err)
 	}
@@ -231,6 +259,8 @@ func (s *ObjectStore) Get(oid OID) (*Object, error) {
 // Delete tombstones the object's slot. The space is reclaimed when the
 // slot is reused by a later insert to the same page.
 func (s *ObjectStore) Delete(oid OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	l, ok := s.loc[oid]
 	if !ok {
 		return fmt.Errorf("oodb: Delete: object %d not found", oid)
@@ -248,8 +278,11 @@ func (s *ObjectStore) Delete(oid OID) error {
 }
 
 // Scan invokes fn for every live object in page order. Scanning reads
-// every page once (a full heap scan).
+// every page once (a full heap scan). The shared lock is held for the
+// whole scan, so fn must not call Put, Delete or RebuildIndex.
 func (s *ObjectStore) Scan(fn func(*Object) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	buf := make([]byte, pagestore.PageSize)
 	for p := 0; p < s.file.NumPages(); p++ {
 		if err := s.file.ReadPage(pagestore.PageID(p), buf); err != nil {

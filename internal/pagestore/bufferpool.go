@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferPool is a write-back LRU page cache layered over a File.
@@ -25,9 +26,12 @@ type BufferPool struct {
 	capacity int
 	lru      *list.List               // front = most recently used
 	byID     map[PageID]*list.Element // page id -> lru element
-	hits     int64
-	misses   int64
-	stats    Stats // logical accesses through the pool
+	// hits and misses are atomics, not mu-guarded fields: the stats
+	// methods are called from monitoring and test goroutines while
+	// searches hold mu in ReadPage, and must neither race nor block.
+	hits   atomic.Int64
+	misses atomic.Int64
+	stats  Stats // logical accesses through the pool
 }
 
 type poolEntry struct {
@@ -53,28 +57,19 @@ func NewBufferPool(inner File, capacity int) (*BufferPool, error) {
 // HitRatio returns the fraction of reads served from the cache, or 0 if no
 // reads have happened.
 func (p *BufferPool) HitRatio() float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	total := p.hits + p.misses
+	hits, misses := p.hits.Load(), p.misses.Load()
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(p.hits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
 // Hits returns the number of reads served from the cache.
-func (p *BufferPool) Hits() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits
-}
+func (p *BufferPool) Hits() int64 { return p.hits.Load() }
 
 // Misses returns the number of reads that had to touch the inner file.
-func (p *BufferPool) Misses() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.misses
-}
+func (p *BufferPool) Misses() int64 { return p.misses.Load() }
 
 // get returns the cached entry for id, faulting it in from the inner file
 // if needed. Caller holds p.mu.
@@ -124,9 +119,9 @@ func (p *BufferPool) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, p.inner.NumPages())
 	}
 	if _, ok := p.byID[id]; ok {
-		p.hits++
+		p.hits.Add(1)
 	} else {
-		p.misses++
+		p.misses.Add(1)
 	}
 	e, err := p.get(id, true)
 	if err != nil {

@@ -43,6 +43,9 @@ func (k IndexKind) String() string {
 type Engine struct {
 	db      *oodb.Database
 	indexes map[string]*indexEntry // key: "Class.attr"
+	// parallelism is forwarded as SearchOptions.Parallelism to every
+	// index search the engine drives; 0 keeps searches sequential.
+	parallelism int
 }
 
 type indexEntry struct {
@@ -77,6 +80,13 @@ func NewEngine(db *oodb.Database) (*Engine, error) {
 
 // DB returns the underlying database.
 func (e *Engine) DB() *oodb.Database { return e.db }
+
+// SetSearchParallelism makes every index search the engine drives fan
+// across up to n goroutines (0 or 1 = sequential, negative = one per
+// CPU). Query answers and reported IndexStats are identical at any
+// setting — parallelism changes wall-clock only. Set it before sharing
+// the engine across goroutines.
+func (e *Engine) SetSearchParallelism(n int) { e.parallelism = n }
 
 // CreateIndex builds a set access facility of the given kind on the path
 // class.attr, bulk-loading it from the existing objects. attr may be a
@@ -269,7 +279,11 @@ func (e *Engine) Execute(q *Query) (*ResultSet, error) {
 
 	d := parts[driver]
 	ent := e.indexes[q.Class+"."+d.set.Attr]
-	res, err := ent.am.Search(d.set.Op, d.elems, nil)
+	var opts *core.SearchOptions
+	if e.parallelism != 0 {
+		opts = &core.SearchOptions{Parallelism: e.parallelism}
+	}
+	res, err := ent.am.Search(d.set.Op, d.elems, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,154 @@
+package sigfile
+
+// Throughput benchmarks for the parallel search layer. The workload is
+// chosen so the dominant cost is the CPU work parallelism shards — the
+// SSF page-scan decode+match loop and the BSSF slice combine — over an
+// in-memory store:
+//
+//	go test -bench BenchmarkSearchParallel -benchtime=2s
+//
+// On a 4+ core machine P=4/P=8 should finish the same search ≥2x faster
+// than P=1; on fewer cores the ratios compress toward 1. Committed
+// results live in BENCH_parallel.json (regenerate with
+// scripts/bench_parallel.sh).
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+const (
+	benchN  = 16384 // objects indexed
+	benchDt = 8     // target cardinality
+	benchV  = 400   // element universe
+	benchF  = 500   // signature width
+	benchM  = 3     // bits per element
+)
+
+type parallelFixture struct {
+	ssf     *SSF
+	bssf    *BSSF
+	sets    MapSource
+	queries [][]string
+}
+
+var (
+	parFixOnce sync.Once
+	parFix     *parallelFixture
+)
+
+// parallelBenchFixture builds one shared SSF and BSSF over a synthetic
+// instance big enough that a search is milliseconds of real work.
+func parallelBenchFixture(b *testing.B) *parallelFixture {
+	b.Helper()
+	parFixOnce.Do(func() {
+		rng := rand.New(rand.NewSource(1993))
+		universe := make([]string, benchV)
+		for i := range universe {
+			universe[i] = fmt.Sprintf("elem-%05d", i)
+		}
+		sets := make(MapSource, benchN)
+		entries := make([]Entry, 0, benchN)
+		for oid := uint64(1); oid <= benchN; oid++ {
+			perm := rng.Perm(benchV)[:benchDt]
+			set := make([]string, benchDt)
+			for i, j := range perm {
+				set[i] = universe[j]
+			}
+			sets[oid] = set
+			entries = append(entries, Entry{OID: oid, Elems: set})
+		}
+		scheme, err := NewScheme(benchF, benchM)
+		if err != nil {
+			panic(err)
+		}
+		ssf, err := NewSSF(scheme, sets, nil)
+		if err != nil {
+			panic(err)
+		}
+		if err := ssf.InsertBatch(entries); err != nil {
+			panic(err)
+		}
+		bssf, err := NewBSSF(scheme, sets, nil)
+		if err != nil {
+			panic(err)
+		}
+		if err := bssf.InsertBatch(entries); err != nil {
+			panic(err)
+		}
+		queries := make([][]string, 16)
+		for i := range queries {
+			dq := 2 + rng.Intn(3)
+			perm := rng.Perm(benchV)[:dq]
+			q := make([]string, dq)
+			for j, k := range perm {
+				q[j] = universe[k]
+			}
+			queries[i] = q
+		}
+		parFix = &parallelFixture{ssf: ssf, bssf: bssf, sets: sets, queries: queries}
+	})
+	return parFix
+}
+
+// BenchmarkSearchParallel measures one Superset search on the SSF (the
+// scan-bound facility, where sharding pays most) at P = 1, 4, 8.
+func BenchmarkSearchParallel(b *testing.B) {
+	f := parallelBenchFixture(b)
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			opts := &SearchOptions{Parallelism: p}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.ssf.Search(Superset, f.queries[i%len(f.queries)], opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchParallelBSSF measures the slice-read + combine path at
+// P = 1, 4, 8 on a Subset search (which touches F−m_q ≈ all slices, the
+// heaviest BSSF case).
+func BenchmarkSearchParallelBSSF(b *testing.B) {
+	f := parallelBenchFixture(b)
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			opts := &SearchOptions{Parallelism: p}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.bssf.Search(Subset, f.queries[i%len(f.queries)], opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchMany measures serving-style throughput: a batch of 16
+// mixed searches against the BSSF, fanned at P = 1, 4, 8. Each request
+// runs sequentially inside; the batch supplies the parallelism.
+func BenchmarkSearchMany(b *testing.B) {
+	f := parallelBenchFixture(b)
+	reqs := make([]SearchRequest, len(f.queries))
+	for i, q := range f.queries {
+		pred := Superset
+		if i%2 == 1 {
+			pred = Overlap
+		}
+		reqs[i] = SearchRequest{Pred: pred, Query: q}
+	}
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SearchMany(f.bssf, reqs, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

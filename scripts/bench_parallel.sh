@@ -1,0 +1,40 @@
+#!/bin/sh
+# Regenerates BENCH_parallel.json from the parallel-search benchmarks.
+#
+#   scripts/bench_parallel.sh [benchtime]
+#
+# The JSON records ns/op per parallelism level alongside the measuring
+# machine's CPU count: the P>1 speedup only materializes on multi-core
+# hardware, so the environment is part of the result.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+OUT="BENCH_parallel.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSearch(Parallel|ParallelBSSF|Many)$' \
+    -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v cores="$(nproc 2>/dev/null || echo unknown)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    split($1, parts, "/")
+    bench = substr(parts[1], 10)       # strip "Benchmark"
+    sub(/-[0-9]+$/, "", parts[2])      # strip GOMAXPROCS suffix
+    p = substr(parts[2], 3)            # strip "P="
+    lines[n++] = sprintf("    {\"benchmark\": \"%s\", \"parallelism\": %s, \"ns_per_op\": %s, \"iterations\": %s}",
+                         bench, p, $3, $2)
+}
+END {
+    printf "{\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cores\": %s,\n", (cores == "unknown" ? "null" : cores)
+    printf "  \"note\": \"ns_per_op ratios across parallelism levels depend on cores; on a single-core runner P=1/4/8 are expected to be flat\",\n"
+    printf "  \"results\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

@@ -73,8 +73,11 @@ type (
 	// paper's RC formulas do.
 	SearchStats = core.SearchStats
 	// SearchOptions selects a retrieval strategy (the paper's smart
-	// object retrieval).
+	// object retrieval) and, via Parallelism, how many goroutines a
+	// search fans across — results are identical at any setting.
 	SearchOptions = core.SearchOptions
+	// SearchRequest is one search of a batch passed to SearchMany.
+	SearchRequest = core.SearchRequest
 	// SetSource resolves an OID to its stored set during false-drop
 	// resolution.
 	SetSource = core.SetSource
@@ -153,9 +156,21 @@ func NewFSSF(scheme *FrameScheme, src SetSource, store Store) (*FSSF, error) {
 	return core.NewFSSF(scheme, src, store)
 }
 
+// SearchMany answers a batch of searches against one facility, fanning
+// the requests across up to parallelism goroutines (0 or 1 = one at a
+// time; negative = one per CPU). Result i corresponds to request i.
+// The built-in facilities are internally safe for concurrent searches,
+// so SearchMany serves throughput workloads while every individual
+// Result stays identical to a sequential call.
+func SearchMany(am AccessMethod, reqs []SearchRequest, parallelism int) ([]*Result, error) {
+	return core.SearchMany(am, reqs, parallelism)
+}
+
 // Synchronize wraps an access method with a readers-writer lock so it
 // can be shared across goroutines (concurrent searches, exclusive
-// updates).
+// updates). The built-in facilities carry this contract internally and
+// do not need the wrapper; it remains for custom AccessMethod
+// implementations.
 func Synchronize(am AccessMethod) AccessMethod { return core.Synchronize(am) }
 
 // NewMemStore returns an in-memory page store.
