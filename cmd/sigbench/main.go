@@ -9,11 +9,20 @@
 //	sigbench -experiment fig8        # one artifact
 //	sigbench -measured -scale 8      # add measured columns at 1/8 scale
 //	sigbench -throughput -workers 8  # parallel-search QPS (not a paper artifact)
+//	sigbench -metrics                # drift check + metrics dump; exits 1 on drift
 //	sigbench -list                   # enumerate experiment ids
 //
 // Experiment ids: fig1 fig2 fig4..fig10 (the paper's figures), tab5 tab6
-// tab7 (its tables), xval (model-vs-measured cross-validation) and the
-// ablation-* studies documented in DESIGN.md.
+// tab7 (its tables), xval (model-vs-measured cross-validation), drift (the
+// tolerance-gated cost-model drift check) and the ablation-* studies
+// documented in DESIGN.md.
+//
+// -metrics runs the drift check against the paper's Table 2 design point
+// at the chosen -scale, then dumps the process metrics registry (every
+// sigfile_* counter and histogram the run populated) in Prometheus text
+// exposition format, or flat JSON with -metrics-format json. The exit
+// status is 1 when any point drifts outside tolerance, so CI can gate on
+// it directly.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"os"
 
 	"sigfile/internal/experiments"
+	"sigfile/internal/obs"
 )
 
 func main() {
@@ -33,6 +43,9 @@ func main() {
 		trials   = flag.Int("trials", 5, "random queries averaged per measured point")
 		seed     = flag.Int64("seed", 1, "seed for measured workloads")
 
+		metrics       = flag.Bool("metrics", false, "run the cost-model drift check, dump the metrics registry, exit 1 on drift")
+		metricsFormat = flag.String("metrics-format", "prom", "metrics dump format: prom (Prometheus text) or json")
+
 		throughput = flag.Bool("throughput", false, "measure parallel-search QPS instead of paper artifacts")
 		facility   = flag.String("facility", "all", "throughput mode: ssf, bssf, nix, fssf or all")
 		objects    = flag.Int("objects", 8192, "throughput mode: objects indexed")
@@ -41,6 +54,14 @@ func main() {
 		seconds    = flag.Int("seconds", 2, "throughput mode: wall-clock budget per point")
 	)
 	flag.Parse()
+
+	if *metrics {
+		opt := experiments.Options{Scale: *scale, Trials: *trials, Seed: *seed}
+		if err := runMetrics(os.Stdout, opt, *metricsFormat); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *throughput {
 		cfg := throughputConfig{
@@ -75,6 +96,33 @@ func main() {
 	if err := e.Run(os.Stdout, opt); err != nil {
 		fatal(err)
 	}
+}
+
+// runMetrics is the -metrics mode: drift check first (its searches also
+// populate the registry), then the metrics dump, then the verdict.
+func runMetrics(w *os.File, opt experiments.Options, format string) error {
+	fmt.Fprintln(w, "==== cost-model drift check (Table 2 design point) ====")
+	failures, err := experiments.RunDrift(w, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n==== metrics registry (%s) ====\n", format)
+	switch format {
+	case "prom":
+		err = obs.Default().WritePrometheus(w)
+	case "json":
+		err = obs.Default().WriteJSON(w)
+	default:
+		err = fmt.Errorf("unknown -metrics-format %q (want prom or json)", format)
+	}
+	if err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d drift point(s) outside tolerance", failures)
+	}
+	fmt.Fprintln(w, "\ndrift check passed")
+	return nil
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ import (
 	"os"
 	"strings"
 
+	"sigfile/internal/obs"
 	"sigfile/internal/oodb"
 	"sigfile/internal/pagestore"
 	"sigfile/internal/query"
@@ -156,6 +157,10 @@ func runREPL(eng *query.Engine, db *oodb.Database, in io.Reader, out io.Writer) 
 			printHelp(out)
 		case line == "stats":
 			printStats(out, eng, db)
+		case line == "metrics":
+			if err := obs.Default().WritePrometheus(out); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
 		case strings.HasPrefix(line, "explain "):
 			plan, err := eng.Explain(strings.TrimPrefix(line, "explain "))
 			if err != nil {
@@ -178,6 +183,11 @@ func run(out io.Writer, eng *query.Engine, line string) {
 	fmt.Fprintf(out, "plan: %s\n", res.Plan)
 	if res.IndexStats != nil {
 		fmt.Fprintf(out, "cost: %s\n", res.IndexStats)
+	}
+	if res.Trace != nil {
+		// EXPLAIN ANALYZE-style phase decomposition of the driving index
+		// search; the span page counts sum exactly to the cost line.
+		fmt.Fprintf(out, "trace: %s\n", res.Trace)
 	}
 	limit := len(res.Objects)
 	if limit > 10 {
@@ -220,6 +230,7 @@ func printHelp(out io.Writer) {
 commands:
   explain <query>   show the plan without materializing objects
   stats             storage summary
+  metrics           process metrics registry (Prometheus text format)
   save              checkpoint a -db database (commit + truncate WAL)
   quit              exit (checkpoints a -db database)
 `)

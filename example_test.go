@@ -1,6 +1,7 @@
 package sigfile_test
 
 import (
+	"context"
 	"fmt"
 
 	"sigfile"
@@ -59,6 +60,48 @@ func ExampleSearchOptions() {
 	full, _ := idx.Search(sigfile.Superset, []string{"a", "b", "c", "d", "e"}, nil)
 	smart, _ := idx.Search(sigfile.Superset, []string{"a", "b", "c", "d", "e"},
 		&sigfile.SearchOptions{MaxProbeElements: 2})
+	fmt.Println(len(full.OIDs) == len(smart.OIDs), smart.Stats.SlicesRead < full.Stats.SlicesRead)
+	// Output: true true
+}
+
+// The context-aware API: WithTrace captures the search's phase
+// decomposition — index scan, OID map, false-drop resolution — whose page
+// counts sum exactly to the reported SearchStats.
+func ExampleWithTrace() {
+	sets := sigfile.MapSource{
+		1: {"Baseball", "Fishing"},
+		2: {"Baseball", "Golf", "Fishing"},
+		3: {"Tennis"},
+	}
+	scheme, _ := sigfile.NewScheme(250, 2)
+	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
+	for oid := uint64(1); oid <= 3; oid++ {
+		idx.Insert(oid, sets[oid])
+	}
+	var traces sigfile.TraceCollector
+	res, _ := idx.SearchContext(context.Background(), sigfile.Superset,
+		[]string{"Baseball", "Fishing"}, sigfile.WithTrace(&traces))
+	tr := traces.Traces()[0]
+	fmt.Println(res.OIDs, tr.Facility, len(tr.Spans), tr.TotalPages() == res.Stats.TotalPages())
+	// Output: [1 2] BSSF 3 true
+}
+
+// WithSmartRetrieval lets the facility pick its own probe cap (§5.1.3);
+// resolution keeps the answer exact while reading fewer slices.
+func ExampleWithSmartRetrieval() {
+	sets := sigfile.MapSource{}
+	for oid := uint64(1); oid <= 8; oid++ {
+		sets[oid] = []string{"a", "b", "c", "d", "e"}
+	}
+	scheme, _ := sigfile.NewScheme(250, 2)
+	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
+	for oid, set := range sets {
+		idx.Insert(oid, set)
+	}
+	full, _ := idx.SearchContext(context.Background(), sigfile.Superset,
+		[]string{"a", "b", "c", "d", "e"})
+	smart, _ := idx.SearchContext(context.Background(), sigfile.Superset,
+		[]string{"a", "b", "c", "d", "e"}, sigfile.WithSmartRetrieval())
 	fmt.Println(len(full.OIDs) == len(smart.OIDs), smart.Stats.SlicesRead < full.Stats.SlicesRead)
 	// Output: true true
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,15 +45,20 @@ func main() {
 		}
 
 		// Q1 (T ⊇ Q): who has BOTH Baseball and Fishing among their
-		// hobbies?
-		q1, err := am.Search(sigfile.Superset, []string{"Baseball", "Fishing"}, nil)
+		// hobbies? SearchContext is the context-aware API; a trace
+		// collector receives the per-phase page decomposition.
+		var traces sigfile.TraceCollector
+		ctx := context.Background()
+		q1, err := am.SearchContext(ctx, sigfile.Superset,
+			[]string{"Baseball", "Fishing"}, sigfile.WithTrace(&traces))
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Q2 (T ⊆ Q): whose hobbies are CONTAINED IN {Baseball, Fishing,
 		// Tennis}?
-		q2, err := am.Search(sigfile.Subset, []string{"Baseball", "Fishing", "Tennis"}, nil)
+		q2, err := am.SearchContext(ctx, sigfile.Subset,
+			[]string{"Baseball", "Fishing", "Tennis"}, sigfile.WithTrace(&traces))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,6 +66,9 @@ func main() {
 		fmt.Printf("%-4s  storage=%3d pages\n", am.Name(), am.StoragePages())
 		fmt.Printf("      T ⊇ {Baseball, Fishing}          -> %v   (%s)\n", q1.OIDs, q1.Stats)
 		fmt.Printf("      T ⊆ {Baseball, Fishing, Tennis}  -> %v   (%s)\n", q2.OIDs, q2.Stats)
+		for _, tr := range traces.Traces() {
+			fmt.Printf("      trace: %s\n", tr)
+		}
 	}
 
 	// The analytical cost model answers design questions before any data

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -67,7 +68,10 @@ func main() {
 	}
 
 	search := func(keywords ...string) {
-		res, err := index.Search(sigfile.Superset, keywords, nil)
+		// The context-aware API with smart retrieval: the index picks its
+		// own probe cap (§5.1.3) and resolution keeps the answer exact.
+		res, err := index.SearchContext(context.Background(), sigfile.Superset,
+			keywords, sigfile.WithSmartRetrieval())
 		if err != nil {
 			log.Fatal(err)
 		}

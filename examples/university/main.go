@@ -45,6 +45,11 @@ func main() {
 		if res.IndexStats != nil {
 			fmt.Printf("  cost: %s\n", res.IndexStats)
 		}
+		if res.Trace != nil {
+			// Per-phase decomposition of the driving index search; the
+			// span page counts sum exactly to the cost line.
+			fmt.Printf("  trace: %s\n", res.Trace)
+		}
 		fmt.Printf("  -> %d students\n\n", len(res.Objects))
 	}
 

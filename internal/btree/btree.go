@@ -24,7 +24,19 @@ import (
 	"fmt"
 	"sort"
 
+	"sigfile/internal/obs"
 	"sigfile/internal/pagestore"
+)
+
+// Process-wide structural counters, exported through the obs registry so
+// the observability surfaces (sigbench -metrics, Prometheus text) can
+// relate lookup traffic to tree maintenance (splits) without touching the
+// per-call page accounting that the paper's cost comparisons rely on.
+var (
+	obsLookups = obs.Default().Counter("sigfile_btree_lookups_total")
+	obsInserts = obs.Default().Counter("sigfile_btree_inserts_total")
+	obsDeletes = obs.Default().Counter("sigfile_btree_deletes_total")
+	obsSplits  = obs.Default().Counter("sigfile_btree_splits_total")
 )
 
 // MaxKeyLen is the largest accepted key length in bytes. It is chosen so
@@ -362,6 +374,7 @@ func (t *Tree) LookupPages(key []byte) ([]uint64, int64, error) {
 	if err := checkKey(key); err != nil {
 		return nil, 0, err
 	}
+	obsLookups.Add(1)
 	var pages int64
 	n, err := t.descend(key, &pages)
 	if err != nil {
@@ -466,6 +479,7 @@ func (t *Tree) Insert(key []byte, oid uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
 	}
+	obsInserts.Add(1)
 	sep, right, changed, err := t.insert(t.root, 1, key, oid)
 	if err != nil {
 		return err
@@ -638,6 +652,7 @@ func (t *Tree) overflowPush(e *leafEntry, oid uint64) error {
 // splitLeaf splits n into two leaves and returns the separator (the first
 // key of the right leaf) and the right leaf's page id.
 func (t *Tree) splitLeaf(n *node) ([]byte, pagestore.PageID, error) {
+	obsSplits.Add(1)
 	split := splitPoint(len(n.entries), func(i int) int { return n.entries[i].size() })
 	rightID, err := t.file.Allocate()
 	if err != nil {
@@ -663,6 +678,7 @@ func (t *Tree) splitLeaf(n *node) ([]byte, pagestore.PageID, error) {
 // splitInternal splits internal node n; the middle key moves up as the
 // separator (it does not stay in either half).
 func (t *Tree) splitInternal(n *node) ([]byte, pagestore.PageID, bool, error) {
+	obsSplits.Add(1)
 	mid := splitPoint(len(n.keys), func(i int) int { return internalEntrySize(n.keys[i]) })
 	if mid >= len(n.keys) {
 		mid = len(n.keys) - 1
@@ -738,6 +754,7 @@ func (t *Tree) Delete(key []byte, oid uint64) error {
 	if err := checkKey(key); err != nil {
 		return err
 	}
+	obsDeletes.Add(1)
 	n, err := t.descend(key, nil)
 	if err != nil {
 		return err

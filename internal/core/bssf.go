@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"sigfile/internal/bitset"
+	"sigfile/internal/obs"
 	"sigfile/internal/pagestore"
 	"sigfile/internal/signature"
 )
@@ -41,6 +44,8 @@ type BSSF struct {
 	// reproducing the paper's worst-case UC_I = F + 1; when clear only
 	// slices whose bit is 1 are written (the improvement §6 anticipates).
 	worstCaseInsert bool
+
+	metrics *facilityMetrics
 }
 
 // bitsPerSlicePage is the number of objects one slice page covers
@@ -69,7 +74,7 @@ func NewBSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store, opt
 	if store == nil {
 		store = pagestore.NewMemStore()
 	}
-	b := &BSSF{scheme: scheme, src: src}
+	b := &BSSF{scheme: scheme, src: src, metrics: newFacilityMetrics("BSSF")}
 	for _, opt := range opts {
 		opt(b)
 	}
@@ -205,12 +210,16 @@ func (b *BSSF) Delete(oid uint64, _ []string) error {
 // readSlice loads slice j over all count bit positions, adding the page
 // reads to stats. A slice page is a word-aligned run of positions
 // (bitsPerSlicePage is a multiple of 64), so each page lands in the
-// result with one bulk word copy.
-func (b *BSSF) readSlice(j int, stats *SearchStats) (*bitset.BitSet, error) {
+// result with one bulk word copy. Cancellation is checked before each
+// page read.
+func (b *BSSF) readSlice(ctx context.Context, j int, stats *SearchStats) (*bitset.BitSet, error) {
 	out := bitset.New(b.count)
 	buf := make([]byte, pagestore.PageSize)
 	stats.SlicesRead++
 	for p := 0; p*bitsPerSlicePage < b.count; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := b.slices[j].ReadPage(pagestore.PageID(p), buf); err != nil {
 			return nil, fmt.Errorf("core: read slice %d page %d: %w", j, p, err)
 		}
@@ -225,11 +234,11 @@ func (b *BSSF) readSlice(j int, stats *SearchStats) (*bitset.BitSet, error) {
 // each read counts pages into its own per-slice stats, folded into stats
 // in js order — so SlicesRead and IndexPages match a sequential pass
 // exactly.
-func (b *BSSF) readSlices(js []int, workers int, stats *SearchStats) ([]*bitset.BitSet, error) {
+func (b *BSSF) readSlices(ctx context.Context, js []int, workers int, stats *SearchStats) ([]*bitset.BitSet, error) {
 	out := make([]*bitset.BitSet, len(js))
 	parts := make([]SearchStats, len(js))
-	err := forEachTask(workers, len(js), func(i int) error {
-		s, err := b.readSlice(js[i], &parts[i])
+	err := forEachTask(ctx, workers, len(js), func(i int) error {
+		s, err := b.readSlice(ctx, js[i], &parts[i])
 		if err != nil {
 			return err
 		}
@@ -250,40 +259,66 @@ func (b *BSSF) readSlices(js []int, workers int, stats *SearchStats) ([]*bitset.
 // AND/OR combine splits its word range across the same workers; AND and
 // OR are commutative, so the Result is identical at any setting.
 func (b *BSSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	return b.searchCtx(context.Background(), pred, query, opts)
+}
+
+// SearchContext implements AccessMethod: Search with cancellation
+// honored at every slice-page read and worker-task boundary, and trace
+// spans emitted to the WithTrace/context sink. WithSmartRetrieval
+// derives the §5.1.3 probe cap and the §5.2.2 zero-slice cap from the
+// file's own size.
+func (b *BSSF) SearchContext(ctx context.Context, pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return b.searchCtx(ctx, pred, query, newSearchOptions(opts))
+}
+
+func (b *BSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions) (res *Result, err error) {
 	if !pred.Valid() {
-		return nil, fmt.Errorf("core: invalid predicate")
+		return nil, errInvalidPredicate(pred)
 	}
+	start := time.Now()
+	defer func() { b.metrics.observe(start, res, err) }()
+	tr := obs.StartTrace(traceSink(ctx, opts), b.Name(), pred.String())
+	defer func() { tr.Finish(err) }()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	if opts != nil && opts.Smart {
+		o := *opts
+		if o.MaxProbeElements == 0 {
+			o.MaxProbeElements = smartProbeCap(b.count, b.scheme.M())
+		}
+		if o.MaxZeroSlices == 0 {
+			o.MaxZeroSlices = smartZeroSliceCap(b.count)
+		}
+		opts = &o
+	}
 	query = dedup(query)
 	probe := probeElements(query, opts, pred)
 	qsig := b.scheme.SetSignatureStrings(probe)
 	workers := searchWorkers(opts)
 	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
 
+	phase := tr.Begin()
 	var candidateBits *bitset.BitSet
-	var err error
 	switch pred {
 	case signature.Superset, signature.Contains:
-		candidateBits, err = b.andOnes(qsig, workers, &stats)
+		candidateBits, err = b.andOnes(ctx, qsig, workers, &stats)
 	case signature.Subset:
 		maxZero := 0
 		if opts != nil {
 			maxZero = opts.MaxZeroSlices
 		}
-		candidateBits, err = b.orZerosComplement(qsig, maxZero, workers, &stats)
+		candidateBits, err = b.orZerosComplement(ctx, qsig, maxZero, workers, &stats)
 	case signature.Overlap:
-		candidateBits, err = b.orOnes(qsig, workers, &stats)
+		candidateBits, err = b.orOnes(ctx, qsig, workers, &stats)
 	case signature.Equals:
 		// Equality needs both conditions: 1s everywhere the query has 1s
 		// and 0s everywhere it has 0s.
-		ones, err1 := b.andOnes(qsig, workers, &stats)
-		if err1 != nil {
-			return nil, err1
+		var ones, zeros *bitset.BitSet
+		if ones, err = b.andOnes(ctx, qsig, workers, &stats); err != nil {
+			return nil, err
 		}
-		zeros, err2 := b.orZerosComplement(qsig, 0, workers, &stats)
-		if err2 != nil {
-			return nil, err2
+		if zeros, err = b.orZerosComplement(ctx, qsig, 0, workers, &stats); err != nil {
+			return nil, err
 		}
 		ones.And(zeros)
 		candidateBits = ones
@@ -291,27 +326,32 @@ func (b *BSSF) Search(pred signature.Predicate, query []string, opts *SearchOpti
 	if err != nil {
 		return nil, err
 	}
+	tr.End(obs.PhaseIndexScan, phase, stats.IndexPages)
 
+	phase = tr.Begin()
 	matchIdx := candidateBits.Ones()
 	candidates, oidPages, err := b.oid.getMany(matchIdx)
 	if err != nil {
 		return nil, err
 	}
 	stats.OIDPages = oidPages
+	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
 
-	results, err := verifyCandidates(b.src, pred, query, candidates, &stats, workers)
+	phase = tr.Begin()
+	results, err := verifyCandidates(ctx, b.src, pred, query, candidates, &stats, workers)
 	if err != nil {
 		return nil, err
 	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
 	return &Result{OIDs: results, Stats: stats}, nil
 }
 
 // andOnes ANDs the slices at the query signature's one-positions; an
 // empty probe yields all positions (everything matches a vacuous ⊇).
-func (b *BSSF) andOnes(qsig *bitset.BitSet, workers int, stats *SearchStats) (*bitset.BitSet, error) {
+func (b *BSSF) andOnes(ctx context.Context, qsig *bitset.BitSet, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	acc := bitset.New(b.count)
 	acc.Fill()
-	slices, err := b.readSlices(qsig.Ones(), workers, stats)
+	slices, err := b.readSlices(ctx, qsig.Ones(), workers, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -323,9 +363,9 @@ func (b *BSSF) andOnes(qsig *bitset.BitSet, workers int, stats *SearchStats) (*b
 }
 
 // orOnes ORs the slices at the query's one-positions (overlap search).
-func (b *BSSF) orOnes(qsig *bitset.BitSet, workers int, stats *SearchStats) (*bitset.BitSet, error) {
+func (b *BSSF) orOnes(ctx context.Context, qsig *bitset.BitSet, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	acc := bitset.New(b.count)
-	slices, err := b.readSlices(qsig.Ones(), workers, stats)
+	slices, err := b.readSlices(ctx, qsig.Ones(), workers, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -337,13 +377,13 @@ func (b *BSSF) orOnes(qsig *bitset.BitSet, workers int, stats *SearchStats) (*bi
 // complements: surviving positions have 0 at every scanned zero slice —
 // the T ⊆ Q match condition. maxZero > 0 caps how many zero slices are
 // scanned (smart strategy; the filter stays sound, just weaker).
-func (b *BSSF) orZerosComplement(qsig *bitset.BitSet, maxZero, workers int, stats *SearchStats) (*bitset.BitSet, error) {
+func (b *BSSF) orZerosComplement(ctx context.Context, qsig *bitset.BitSet, maxZero, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	zeros := qsig.Zeros()
 	if maxZero > 0 && len(zeros) > maxZero {
 		zeros = zeros[:maxZero]
 	}
 	acc := bitset.New(b.count)
-	slices, err := b.readSlices(zeros, workers, stats)
+	slices, err := b.readSlices(ctx, zeros, workers, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +411,7 @@ func (b *BSSF) Compact() error {
 	var st SearchStats // discarded; readSlice wants stats
 	newCount := len(keep)
 	for j := range b.slices {
-		old, err := b.readSlice(j, &st)
+		old, err := b.readSlice(context.Background(), j, &st)
 		if err != nil {
 			return err
 		}

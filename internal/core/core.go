@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -93,6 +94,12 @@ type Result struct {
 }
 
 // SearchOptions selects a retrieval strategy.
+//
+// Compatibility shim: this positional struct predates the functional
+// options accepted by SearchContext (WithParallelism, WithSmartRetrieval,
+// WithTrace, ...). It remains fully supported — Search takes it directly
+// and WithOptions folds it into a SearchContext call — but new code
+// should prefer the option functions.
 type SearchOptions struct {
 	// MaxProbeElements, when positive, limits how many query elements are
 	// used to form the probe (the query signature for SSF/BSSF, the index
@@ -114,6 +121,15 @@ type SearchOptions struct {
 	// worker per CPU. The result — OIDs and every Stats field — is
 	// identical at any setting.
 	Parallelism int
+	// Smart asks the facility to derive its own probe caps — the paper's
+	// smart object retrieval without hand-tuned constants. Explicit
+	// MaxProbeElements/MaxZeroSlices values take precedence; SSF ignores
+	// it. Set through WithSmartRetrieval.
+	Smart bool
+	// Trace, when non-nil, receives a per-phase trace of the search. Set
+	// through WithTrace; a sink riding the context (obs.ContextWithSink)
+	// is used when this is nil.
+	Trace TraceSink
 }
 
 var defaultOptions = SearchOptions{}
@@ -133,12 +149,28 @@ type AccessMethod interface {
 	// Search returns the OIDs of objects satisfying pred against query,
 	// resolving false drops through the SetSource supplied at
 	// construction. opts selects a retrieval strategy; nil means default.
+	// It is the legacy entry point, equivalent to SearchContext with
+	// context.Background() and WithOptions(opts).
 	Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error)
+	// SearchContext is Search with a context and functional options: the
+	// search honors ctx cancellation/deadline at page-scan and
+	// worker-task boundaries (returning an error satisfying
+	// errors.Is(err, ctx.Err()) without corrupting facility state), and a
+	// trace sink — from WithTrace or obs.ContextWithSink — receives the
+	// search's phase decomposition.
+	SearchContext(ctx context.Context, pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error)
 	// StoragePages returns the number of pages the facility occupies
 	// (the paper's SC).
 	StoragePages() int
 	// Count returns the number of live indexed objects.
 	Count() int
+}
+
+// errInvalidPredicate builds the error every facility returns for an
+// out-of-range Predicate, wrapping signature.ErrInvalidPredicate so
+// callers can match it with errors.Is.
+func errInvalidPredicate(pred signature.Predicate) error {
+	return fmt.Errorf("core: %w: %d", signature.ErrInvalidPredicate, int(pred))
 }
 
 // dedup returns query with duplicates removed, preserving order; the
@@ -183,9 +215,9 @@ func probeElements(query []string, opts *SearchOptions, pred signature.Predicate
 // result set and every stats field are independent of worker count. On
 // error the stats are unreliable and the caller must discard them, which
 // also means a partial fetch count need not be reported.
-func verifyCandidates(src SetSource, pred signature.Predicate, query []string, candidates []uint64, stats *SearchStats, workers int) ([]uint64, error) {
+func verifyCandidates(ctx context.Context, src SetSource, pred signature.Predicate, query []string, candidates []uint64, stats *SearchStats, workers int) ([]uint64, error) {
 	keep := make([]bool, len(candidates))
-	err := forEachTask(workers, len(candidates), func(i int) error {
+	err := forEachTask(ctx, workers, len(candidates), func(i int) error {
 		oid := candidates[i]
 		target, err := src.Set(oid)
 		if err != nil {

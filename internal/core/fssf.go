@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sigfile/internal/bitset"
+	"sigfile/internal/obs"
 	"sigfile/internal/pagestore"
 	"sigfile/internal/signature"
 )
@@ -41,6 +44,8 @@ type FSSF struct {
 	recBytes    int // bytes per frame record (⌈S/8⌉)
 	recsPerPage int
 	tails       [][]byte
+
+	metrics *facilityMetrics
 }
 
 // NewFSSF creates (or reopens) a frame-sliced signature file in store
@@ -61,6 +66,7 @@ func NewFSSF(scheme *signature.FrameScheme, src SetSource, store pagestore.Store
 		src:         src,
 		recBytes:    recBytes,
 		recsPerPage: pagestore.PageSize / recBytes,
+		metrics:     newFacilityMetrics("FSSF"),
 	}
 	if f.recsPerPage == 0 {
 		return nil, fmt.Errorf("core: frame size S=%d (%d bytes) exceeds page size", scheme.S(), recBytes)
@@ -187,11 +193,14 @@ func (f *FSSF) Delete(oid uint64, _ []string) error {
 // each record's index and content. The record bitset is reused between
 // calls; fn must not retain it. It allocates its own buffers, so
 // concurrent scans of different frames share nothing.
-func (f *FSSF) scanFrame(j int, stats *SearchStats, fn func(idx int, rec *bitset.BitSet)) error {
+func (f *FSSF) scanFrame(ctx context.Context, j int, stats *SearchStats, fn func(idx int, rec *bitset.BitSet)) error {
 	buf := make([]byte, pagestore.PageSize)
 	rec := bitset.New(f.scheme.S())
 	stats.SlicesRead++
 	for p := 0; p*f.recsPerPage < f.count; p++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := f.frames[j].ReadPage(pagestore.PageID(p), buf); err != nil {
 			return fmt.Errorf("core: read frame %d page %d: %w", j, p, err)
 		}
@@ -214,13 +223,13 @@ func (f *FSSF) scanFrame(j int, stats *SearchStats, fn func(idx int, rec *bitset
 // scan building its own position mask (bit idx set iff pass reported the
 // record qualifying) and counting pages locally; the per-frame stats are
 // folded into stats in js order, so the counts match a sequential pass.
-func (f *FSSF) frameMasks(js []int, workers int, stats *SearchStats, pass func(j int, rec *bitset.BitSet) bool) ([]*bitset.BitSet, error) {
+func (f *FSSF) frameMasks(ctx context.Context, js []int, workers int, stats *SearchStats, pass func(j int, rec *bitset.BitSet) bool) ([]*bitset.BitSet, error) {
 	masks := make([]*bitset.BitSet, len(js))
 	parts := make([]SearchStats, len(js))
-	err := forEachTask(workers, len(js), func(i int) error {
+	err := forEachTask(ctx, workers, len(js), func(i int) error {
 		j := js[i]
 		mask := bitset.New(f.count)
-		err := f.scanFrame(j, &parts[i], func(idx int, rec *bitset.BitSet) {
+		err := f.scanFrame(ctx, j, &parts[i], func(idx int, rec *bitset.BitSet) {
 			if pass(j, rec) {
 				mask.Set(idx)
 			}
@@ -243,48 +252,75 @@ func (f *FSSF) frameMasks(js []int, workers int, stats *SearchStats, pass func(j
 // mask; the masks are then intersected or unioned — both commutative —
 // so the Result is identical at any setting.
 func (f *FSSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	return f.searchCtx(context.Background(), pred, query, opts)
+}
+
+// SearchContext implements AccessMethod: Search with cancellation
+// honored at every frame-page read and worker-task boundary, and trace
+// spans emitted to the WithTrace/context sink. WithSmartRetrieval caps
+// the T ⊇ Q probe à la §5.1.3, reading fewer frame files.
+func (f *FSSF) SearchContext(ctx context.Context, pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return f.searchCtx(ctx, pred, query, newSearchOptions(opts))
+}
+
+func (f *FSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions) (res *Result, err error) {
 	if !pred.Valid() {
-		return nil, fmt.Errorf("core: invalid predicate")
+		return nil, errInvalidPredicate(pred)
 	}
+	start := time.Now()
+	defer func() { f.metrics.observe(start, res, err) }()
+	tr := obs.StartTrace(traceSink(ctx, opts), f.Name(), pred.String())
+	defer func() { tr.Finish(err) }()
 	f.mu.RLock()
 	defer f.mu.RUnlock()
+	if opts != nil && opts.Smart && opts.MaxProbeElements == 0 {
+		o := *opts
+		o.MaxProbeElements = smartProbeCap(f.count, f.scheme.M())
+		opts = &o
+	}
 	query = dedup(query)
 	probe := probeElements(query, opts, pred)
 	workers := searchWorkers(opts)
 	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
 
+	phase := tr.Begin()
 	var candidateBits *bitset.BitSet
-	var err error
 	switch pred {
 	case signature.Superset, signature.Contains:
-		candidateBits, err = f.supersetCandidates(probe, workers, &stats)
+		candidateBits, err = f.supersetCandidates(ctx, probe, workers, &stats)
 	case signature.Subset:
-		candidateBits, err = f.subsetCandidates(query, workers, &stats)
+		candidateBits, err = f.subsetCandidates(ctx, query, workers, &stats)
 	case signature.Overlap:
-		candidateBits, err = f.overlapCandidates(query, workers, &stats)
+		candidateBits, err = f.overlapCandidates(ctx, query, workers, &stats)
 	case signature.Equals:
-		candidateBits, err = f.equalsCandidates(query, workers, &stats)
+		candidateBits, err = f.equalsCandidates(ctx, query, workers, &stats)
 	}
 	if err != nil {
 		return nil, err
 	}
+	tr.End(obs.PhaseIndexScan, phase, stats.IndexPages)
 
+	phase = tr.Begin()
 	candidates, oidPages, err := f.oid.getMany(candidateBits.Ones())
 	if err != nil {
 		return nil, err
 	}
 	stats.OIDPages = oidPages
-	results, err := verifyCandidates(f.src, pred, query, candidates, &stats, workers)
+	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
+
+	phase = tr.Begin()
+	results, err := verifyCandidates(ctx, f.src, pred, query, candidates, &stats, workers)
 	if err != nil {
 		return nil, err
 	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
 	return &Result{OIDs: results, Stats: stats}, nil
 }
 
 // supersetCandidates reads only the frames the probe elements hash to:
 // a target qualifies if, in every touched frame, its frame content
 // covers the union of the probe elements' bits there.
-func (f *FSSF) supersetCandidates(probe []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
+func (f *FSSF) supersetCandidates(ctx context.Context, probe []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	need := make(map[int]*bitset.BitSet)
 	for _, e := range probe {
 		frame, bits := f.scheme.ElementFrame([]byte(e))
@@ -295,7 +331,7 @@ func (f *FSSF) supersetCandidates(probe []string, workers int, stats *SearchStat
 			need[frame].Set(b)
 		}
 	}
-	masks, err := f.frameMasks(sortedKeys(need), workers, stats, func(j int, rec *bitset.BitSet) bool {
+	masks, err := f.frameMasks(ctx, sortedKeys(need), workers, stats, func(j int, rec *bitset.BitSet) bool {
 		return rec.ContainsAll(need[j])
 	})
 	if err != nil {
@@ -309,7 +345,7 @@ func (f *FSSF) supersetCandidates(probe []string, workers int, stats *SearchStat
 
 // subsetCandidates reads every frame: a target qualifies if each of its
 // frame contents is contained in the query's.
-func (f *FSSF) subsetCandidates(query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
+func (f *FSSF) subsetCandidates(ctx context.Context, query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	qsig := f.scheme.SetSignature(query)
 	empty := bitset.New(f.scheme.S())
 	qframe := func(j int) *bitset.BitSet {
@@ -318,7 +354,7 @@ func (f *FSSF) subsetCandidates(query []string, workers int, stats *SearchStats)
 		}
 		return empty
 	}
-	masks, err := f.frameMasks(allFrames(f.scheme.K()), workers, stats, func(j int, rec *bitset.BitSet) bool {
+	masks, err := f.frameMasks(ctx, allFrames(f.scheme.K()), workers, stats, func(j int, rec *bitset.BitSet) bool {
 		return rec.SubsetOf(qframe(j))
 	})
 	if err != nil {
@@ -332,7 +368,7 @@ func (f *FSSF) subsetCandidates(query []string, workers int, stats *SearchStats)
 
 // overlapCandidates marks targets whose frame contains all bits of at
 // least one query element — a finer filter than bit-level intersection.
-func (f *FSSF) overlapCandidates(query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
+func (f *FSSF) overlapCandidates(ctx context.Context, query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	perFrame := make(map[int][]*bitset.BitSet)
 	for _, e := range query {
 		frame, bits := f.scheme.ElementFrame([]byte(e))
@@ -342,7 +378,7 @@ func (f *FSSF) overlapCandidates(query []string, workers int, stats *SearchStats
 		}
 		perFrame[frame] = append(perFrame[frame], eb)
 	}
-	masks, err := f.frameMasks(sortedKeys(perFrame), workers, stats, func(j int, rec *bitset.BitSet) bool {
+	masks, err := f.frameMasks(ctx, sortedKeys(perFrame), workers, stats, func(j int, rec *bitset.BitSet) bool {
 		for _, eb := range perFrame[j] {
 			if rec.ContainsAll(eb) {
 				return true
@@ -360,7 +396,7 @@ func (f *FSSF) overlapCandidates(query []string, workers int, stats *SearchStats
 
 // equalsCandidates reads every frame: the target's frame content must
 // equal the query signature's in each frame.
-func (f *FSSF) equalsCandidates(query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
+func (f *FSSF) equalsCandidates(ctx context.Context, query []string, workers int, stats *SearchStats) (*bitset.BitSet, error) {
 	qsig := f.scheme.SetSignature(query)
 	empty := bitset.New(f.scheme.S())
 	qframe := func(j int) *bitset.BitSet {
@@ -369,7 +405,7 @@ func (f *FSSF) equalsCandidates(query []string, workers int, stats *SearchStats)
 		}
 		return empty
 	}
-	masks, err := f.frameMasks(allFrames(f.scheme.K()), workers, stats, func(j int, rec *bitset.BitSet) bool {
+	masks, err := f.frameMasks(ctx, allFrames(f.scheme.K()), workers, stats, func(j int, rec *bitset.BitSet) bool {
 		return rec.Equal(qframe(j))
 	})
 	if err != nil {

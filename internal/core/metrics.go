@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"sigfile/internal/obs"
+)
+
+// facilityMetrics are the per-facility instruments every search feeds
+// into the process-wide obs registry. Resolved once at construction so
+// the per-search cost is a handful of atomic adds.
+type facilityMetrics struct {
+	searches   *obs.Counter
+	errors     *obs.Counter
+	cancels    *obs.Counter
+	falseDrops *obs.Counter
+	pages      *obs.Histogram
+	latency    *obs.Histogram
+}
+
+func newFacilityMetrics(facility string) *facilityMetrics {
+	r := obs.Default()
+	return &facilityMetrics{
+		searches:   r.Counter("sigfile_searches_total", "facility", facility),
+		errors:     r.Counter("sigfile_search_errors_total", "facility", facility),
+		cancels:    r.Counter("sigfile_search_cancellations_total", "facility", facility),
+		falseDrops: r.Counter("sigfile_false_drops_total", "facility", facility),
+		pages:      r.Histogram("sigfile_search_pages", obs.PageBuckets, "facility", facility),
+		latency:    r.Histogram("sigfile_search_duration_ms", obs.DurationBucketsMs, "facility", facility),
+	}
+}
+
+// observe records one finished search. Cancellations are counted apart
+// from errors: a deadline firing under load is an operational signal, not
+// a fault.
+func (m *facilityMetrics) observe(start time.Time, res *Result, err error) {
+	m.searches.Inc()
+	m.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	switch {
+	case err == nil:
+		if res != nil {
+			m.pages.Observe(float64(res.Stats.TotalPages()))
+			m.falseDrops.Add(int64(res.Stats.FalseDrops))
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.cancels.Inc()
+	default:
+		m.errors.Inc()
+	}
+}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sigfile/internal/btree"
+	"sigfile/internal/obs"
 	"sigfile/internal/pagestore"
 	"sigfile/internal/signature"
 )
@@ -44,6 +47,8 @@ type NIX struct {
 	// with no postings left no trace — so persistent deployments should
 	// not index empty sets; the signature files handle them natively.)
 	empty map[uint64]struct{}
+
+	metrics *facilityMetrics
 }
 
 // NewNIX creates (or reopens) a nested index in store using the file
@@ -63,7 +68,7 @@ func NewNIX(src SetSource, store pagestore.Store) (*NIX, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &NIX{tree: tree, src: src, live: make(map[uint64]struct{}), empty: make(map[uint64]struct{})}
+	n := &NIX{tree: tree, src: src, live: make(map[uint64]struct{}), empty: make(map[uint64]struct{}), metrics: newFacilityMetrics("NIX")}
 	// Recover the live-object set from the postings.
 	if err := tree.Range(nil, nil, func(_ []byte, oids []uint64) bool {
 		for _, oid := range oids {
@@ -152,11 +157,34 @@ func (n *NIX) Delete(oid uint64, elems []string) error {
 // lookup counts its own tree pages (btree.LookupPages), so IndexPages is
 // exact and identical at any worker count.
 func (n *NIX) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	return n.searchCtx(context.Background(), pred, query, opts)
+}
+
+// SearchContext implements AccessMethod: Search with cancellation
+// honored at every probe lookup and worker-task boundary, and trace
+// spans emitted to the WithTrace/context sink. WithSmartRetrieval probes
+// a single element on T ⊇ Q — the strongest form of §5.1.3, since each
+// NIX lookup costs tree-height pages and the intersection only shrinks
+// the candidate set the resolution step re-checks anyway.
+func (n *NIX) SearchContext(ctx context.Context, pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return n.searchCtx(ctx, pred, query, newSearchOptions(opts))
+}
+
+func (n *NIX) searchCtx(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions) (res *Result, err error) {
 	if !pred.Valid() {
-		return nil, fmt.Errorf("core: invalid predicate")
+		return nil, errInvalidPredicate(pred)
 	}
+	start := time.Now()
+	defer func() { n.metrics.observe(start, res, err) }()
+	tr := obs.StartTrace(traceSink(ctx, opts), n.Name(), pred.String())
+	defer func() { tr.Finish(err) }()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if opts != nil && opts.Smart && opts.MaxProbeElements == 0 {
+		o := *opts
+		o.MaxProbeElements = 1
+		opts = &o
+	}
 	query = dedup(query)
 	probe := probeElements(query, opts, pred)
 	workers := searchWorkers(opts)
@@ -165,9 +193,10 @@ func (n *NIX) Search(pred signature.Predicate, query []string, opts *SearchOptio
 	// Look up the probe elements, each lookup counting the tree pages it
 	// touched into its own slot; the slots sum to exactly the sequential
 	// page count.
+	phase := tr.Begin()
 	postings := make([][]uint64, len(probe))
 	pages := make([]int64, len(probe))
-	err := forEachTask(workers, len(probe), func(i int) error {
+	err = forEachTask(ctx, workers, len(probe), func(i int) error {
 		oids, np, err := n.tree.LookupPages([]byte(probe[i]))
 		if err != nil {
 			return fmt.Errorf("core: NIX lookup %q: %w", probe[i], err)
@@ -182,7 +211,12 @@ func (n *NIX) Search(pred signature.Predicate, query []string, opts *SearchOptio
 	for _, np := range pages {
 		stats.IndexPages += np
 	}
+	tr.End(obs.PhaseIndexScan, phase, stats.IndexPages)
 
+	// NIX keeps OIDs in its postings, so the OID-map phase reads nothing
+	// (the paper's LC_OID = 0 for the nested index); the span records the
+	// candidate-set combine.
+	phase = tr.Begin()
 	var candidates []uint64
 	switch pred {
 	case signature.Superset, signature.Contains, signature.Equals:
@@ -205,11 +239,14 @@ func (n *NIX) Search(pred signature.Predicate, query []string, opts *SearchOptio
 	case signature.Overlap:
 		candidates = unionSorted(postings)
 	}
+	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
 
-	results, err := verifyCandidates(n.src, pred, query, candidates, &stats, workers)
+	phase = tr.Begin()
+	results, err := verifyCandidates(ctx, n.src, pred, query, candidates, &stats, workers)
 	if err != nil {
 		return nil, err
 	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
 	return &Result{OIDs: results, Stats: stats}, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -45,7 +46,12 @@ func searchWorkers(opts *SearchOptions) int {
 // counter, so uneven task costs balance across the pool. All tasks run
 // even if one fails; the joined errors are returned so a fault is never
 // masked by a faster worker's success.
-func forEachTask(workers, ntasks int, fn func(task int) error) error {
+//
+// Cancellation is checked before each task claim: once ctx is done no
+// new task starts, in-flight tasks finish (per-task slots stay
+// consistent), and the returned error includes ctx.Err() — so
+// errors.Is(err, ctx.Err()) holds for the caller.
+func forEachTask(ctx context.Context, workers, ntasks int, fn func(task int) error) error {
 	if ntasks <= 0 {
 		return nil
 	}
@@ -55,6 +61,10 @@ func forEachTask(workers, ntasks int, fn func(task int) error) error {
 	if workers <= 1 {
 		var errs []error
 		for i := 0; i < ntasks; i++ {
+			if err := ctx.Err(); err != nil {
+				errs = append(errs, err)
+				break
+			}
 			if err := fn(i); err != nil {
 				errs = append(errs, err)
 			}
@@ -71,7 +81,7 @@ func forEachTask(workers, ntasks int, fn func(task int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				task := int(next.Add(1)) - 1
 				if task >= ntasks {
 					return
@@ -85,6 +95,9 @@ func forEachTask(workers, ntasks int, fn func(task int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
 	return errors.Join(errs...)
 }
 
@@ -129,10 +142,19 @@ type SearchRequest struct {
 // serving-style entry point: throughput scales with the pool while every
 // individual Result stays identical to a sequential call.
 func SearchMany(am AccessMethod, reqs []SearchRequest, parallelism int) ([]*Result, error) {
+	return SearchManyContext(context.Background(), am, reqs, parallelism)
+}
+
+// SearchManyContext is SearchMany with a context: cancellation stops
+// unstarted requests (their slots stay nil and the joined error includes
+// ctx.Err()) and propagates into each in-flight search, which observes
+// it at its own page-scan and worker-task boundaries. A trace sink on
+// ctx receives one trace per request.
+func SearchManyContext(ctx context.Context, am AccessMethod, reqs []SearchRequest, parallelism int) ([]*Result, error) {
 	out := make([]*Result, len(reqs))
 	workers := searchWorkers(&SearchOptions{Parallelism: parallelism})
-	err := forEachTask(workers, len(reqs), func(i int) error {
-		res, err := am.Search(reqs[i].Pred, reqs[i].Query, reqs[i].Opts)
+	err := forEachTask(ctx, workers, len(reqs), func(i int) error {
+		res, err := am.SearchContext(ctx, reqs[i].Pred, reqs[i].Query, WithOptions(reqs[i].Opts))
 		if err != nil {
 			return fmt.Errorf("core: SearchMany request %d: %w", i, err)
 		}

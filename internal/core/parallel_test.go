@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -131,7 +132,7 @@ func TestSearchWorkers(t *testing.T) {
 func TestForEachTaskErrors(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		ran := make([]bool, 10)
-		err := forEachTask(workers, len(ran), func(i int) error {
+		err := forEachTask(context.Background(), workers, len(ran), func(i int) error {
 			ran[i] = true
 			if i == 3 || i == 7 {
 				return fmt.Errorf("task %d failed", i)

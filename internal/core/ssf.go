@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"sigfile/internal/bitset"
+	"sigfile/internal/obs"
 	"sigfile/internal/pagestore"
 	"sigfile/internal/signature"
 )
@@ -41,6 +44,8 @@ type SSF struct {
 	// write.
 	tail     []byte
 	tailPage pagestore.PageID
+
+	metrics *facilityMetrics
 }
 
 // NewSSF creates (or reopens) a sequential signature file in store using
@@ -77,6 +82,7 @@ func NewSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store) (*SS
 		sigBytes:    sigBytes,
 		sigsPerPage: pagestore.PageSize / sigBytes,
 		tail:        make([]byte, pagestore.PageSize),
+		metrics:     newFacilityMetrics("SSF"),
 	}
 	if s.sigsPerPage == 0 {
 		return nil, fmt.Errorf("core: signature width F=%d (%d bytes) exceeds page size", scheme.F(), sigBytes)
@@ -185,9 +191,26 @@ func (s *SSF) Delete(oid uint64, _ []string) error {
 // and drop resolution fans across the same worker count; the Result is
 // identical either way.
 func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	return s.searchCtx(context.Background(), pred, query, opts)
+}
+
+// SearchContext implements AccessMethod: Search with cancellation
+// honored at every scanned page and worker-task boundary, and trace
+// spans emitted to the WithTrace/context sink.
+func (s *SSF) SearchContext(ctx context.Context, pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return s.searchCtx(ctx, pred, query, newSearchOptions(opts))
+}
+
+func (s *SSF) searchCtx(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions) (res *Result, err error) {
 	if !pred.Valid() {
-		return nil, fmt.Errorf("core: invalid predicate")
+		return nil, errInvalidPredicate(pred)
 	}
+	start := time.Now()
+	defer func() { s.metrics.observe(start, res, err) }()
+	tr := obs.StartTrace(traceSink(ctx, opts), s.Name(), pred.String())
+	defer func() { tr.Finish(err) }()
+	// SSF ignores opts.Smart: the scan reads every signature page no
+	// matter how weak the probe is, so a probe cap only adds false drops.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	query = dedup(query)
@@ -202,6 +225,7 @@ func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptio
 	// and counts pages locally; the shards are then stitched back in
 	// index order, so the match list and IndexPages are exactly those of
 	// a single sequential pass.
+	phase := tr.Begin()
 	npages := (s.count + s.sigsPerPage - 1) / s.sigsPerPage
 	nshards := workers
 	if nshards > npages {
@@ -209,9 +233,9 @@ func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptio
 	}
 	shardMatches := make([][]int, nshards)
 	shardStats := make([]SearchStats, nshards)
-	err := forEachTask(workers, nshards, func(shard int) error {
+	err = forEachTask(ctx, workers, nshards, func(shard int) error {
 		pLo, pHi := shardRange(npages, nshards, shard)
-		m, err := s.scanRange(pred, qsig, pLo, pHi, &shardStats[shard])
+		m, err := s.scanRange(ctx, pred, qsig, pLo, pHi, &shardStats[shard])
 		if err != nil {
 			return err
 		}
@@ -226,32 +250,41 @@ func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptio
 		matchIdx = append(matchIdx, m...)
 	}
 	addStats(&stats, shardStats)
+	tr.End(obs.PhaseIndexScan, phase, stats.IndexPages)
 
 	// OID look-up (LC_OID): indexes are produced in ascending order, so
 	// each OID page is read at most once.
+	phase = tr.Begin()
 	candidates, oidPages, err := s.oid.getMany(matchIdx)
 	if err != nil {
 		return nil, err
 	}
 	stats.OIDPages = oidPages
+	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
 
 	// False drop resolution.
-	results, err := verifyCandidates(s.src, pred, query, candidates, &stats, workers)
+	phase = tr.Begin()
+	results, err := verifyCandidates(ctx, s.src, pred, query, candidates, &stats, workers)
 	if err != nil {
 		return nil, err
 	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
 	return &Result{OIDs: results, Stats: stats}, nil
 }
 
 // scanRange scans signature pages [pLo, pHi), returning the matching
 // signature indexes in ascending order and counting the page reads into
 // stats. It allocates its own page buffer and scratch signature so
-// concurrent shards share nothing.
-func (s *SSF) scanRange(pred signature.Predicate, qsig *bitset.BitSet, pLo, pHi int, stats *SearchStats) ([]int, error) {
+// concurrent shards share nothing. Cancellation is checked before each
+// page read.
+func (s *SSF) scanRange(ctx context.Context, pred signature.Predicate, qsig *bitset.BitSet, pLo, pHi int, stats *SearchStats) ([]int, error) {
 	var matchIdx []int
 	buf := make([]byte, pagestore.PageSize)
 	tsig := bitset.New(s.scheme.F())
 	for p := pLo; p < pHi; p++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.sig.ReadPage(pagestore.PageID(p), buf); err != nil {
 			return nil, fmt.Errorf("core: SSF scan: %w", err)
 		}

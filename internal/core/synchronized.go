@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"sigfile/internal/signature"
@@ -55,6 +56,13 @@ func (s *Synchronized) Search(pred signature.Predicate, query []string, opts *Se
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.am.Search(pred, query, opts)
+}
+
+// SearchContext implements AccessMethod (shared).
+func (s *Synchronized) SearchContext(ctx context.Context, pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.am.SearchContext(ctx, pred, query, opts...)
 }
 
 // StoragePages implements AccessMethod (shared).

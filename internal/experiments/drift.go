@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sigfile/internal/core"
+	"sigfile/internal/obs"
+	"sigfile/internal/signature"
+	"sigfile/internal/workload"
+)
+
+// This file adds the drift experiment: the cost-model drift checker
+// (internal/obs) run against a live build at the paper's Table 2 design
+// point (scaled). Where xval prints measured-vs-model ratios for a human
+// to eyeball, drift applies the tolerance and yields a pass/fail verdict
+// a CI job can gate on — `sigbench -metrics` exits nonzero when any
+// point drifts outside obs.DefaultDriftFactor.
+
+func init() {
+	register(Experiment{
+		ID:       "drift",
+		Artifact: "Drift check (ours)",
+		Title:    "Cost-model drift: measured RC vs Table 5/6 predictions, tolerance-gated",
+		Run: func(w io.Writer, opt Options) error {
+			_, err := RunDrift(w, opt)
+			return err
+		},
+	})
+}
+
+// RunDrift builds the three modeled facilities at the paper's Table 2
+// configuration (F=250, m=2, N and V scaled by opt.Scale), measures the
+// mean retrieval cost of random T ⊇ Q and T ⊆ Q queries across a range
+// of query cardinalities, and checks every point against the analytical
+// model with the default tolerance. It writes the drift table to w and
+// returns the number of points outside tolerance. The experiment itself
+// never fails on drift — callers that want a verdict (sigbench -metrics)
+// use the returned count.
+func RunDrift(w io.Writer, opt Options) (int, error) {
+	opt = opt.withDefaults()
+	const f, m = 250, 2
+	cfg := workload.Scaled(10, opt.Scale)
+	setup, err := buildMeasured(cfg, f, m)
+	if err != nil {
+		return 0, err
+	}
+	p := setup.params(f, m)
+	// Measured runs resolve exact integer signature weights; compare
+	// against the exact combinatorial false-drop forms, as xval does.
+	p.UseExact = true
+	checker := obs.NewDriftChecker(p, 0)
+
+	type point struct {
+		am   core.AccessMethod
+		pred signature.Predicate
+		dq   int
+	}
+	var points []point
+	for _, dq := range []int{1, 2, 5, 10} {
+		for _, am := range []core.AccessMethod{setup.ssf, setup.bssf, setup.nix} {
+			points = append(points, point{am, signature.Superset, dq})
+		}
+	}
+	for _, dq := range []int{10, 20, 50} {
+		if dq > cfg.V {
+			continue
+		}
+		for _, am := range []core.AccessMethod{setup.ssf, setup.bssf, setup.nix} {
+			points = append(points, point{am, signature.Subset, dq})
+		}
+	}
+	for _, pt := range points {
+		meas, err := setup.avgCost(pt.am, pt.pred, pt.dq, opt.Trials, opt.Seed, nil)
+		if err != nil {
+			return 0, err
+		}
+		checker.Record(pt.am.Name(), pt.pred, pt.dq, meas)
+	}
+	failures := checker.Report(w)
+	fmt.Fprintf(w, "  (scale 1/%d: N=%d, V=%d, F=%d, m=%d, tolerance factor %.1f)\n",
+		opt.Scale, cfg.N, cfg.V, f, m, checker.Factor())
+	return failures, nil
+}

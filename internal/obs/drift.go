@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"sigfile/internal/costmodel"
+	"sigfile/internal/signature"
+)
+
+// This file is the cost-model drift checker: it compares measured page
+// accesses against the analytical predictions of costmodel.Params and
+// flags divergence beyond a tolerance. The golden tests pin the model to
+// the paper; the drift checker pins the *running system* to the model,
+// so a regression that changes real page traffic (a broken buffer
+// strategy, an accidental extra scan) surfaces as drift even when the
+// answer set stays correct.
+
+// Drift is the outcome of one measured-vs-model comparison.
+type Drift struct {
+	Facility  string
+	Predicate string
+	Dq        int
+	// Model is the analytical RC prediction; Measured the observed mean
+	// page accesses. Ratio is Measured/Model.
+	Model, Measured, Ratio float64
+	// HasModel is false when the paper's model has no formula for this
+	// facility/predicate pair (e.g. FSSF); such points are recorded but
+	// never counted as failures.
+	HasModel bool
+	// Within reports |drift| inside tolerance: 1/factor ≤ Ratio ≤ factor.
+	Within bool
+}
+
+func (d Drift) String() string {
+	if !d.HasModel {
+		return fmt.Sprintf("%s %s Dq=%d measured=%.1f (no model)", d.Facility, d.Predicate, d.Dq, d.Measured)
+	}
+	status := "ok"
+	if !d.Within {
+		status = "DRIFT"
+	}
+	return fmt.Sprintf("%s %s Dq=%d model=%.1f measured=%.1f ratio=%.2f %s",
+		d.Facility, d.Predicate, d.Dq, d.Model, d.Measured, d.Ratio, status)
+}
+
+// DriftChecker accumulates measured-vs-model comparisons for one
+// parameter set. Safe for concurrent Record calls.
+type DriftChecker struct {
+	params costmodel.Params
+	factor float64
+
+	mu     sync.Mutex
+	checks []Drift
+
+	recorded *Counter
+	failed   *Counter
+}
+
+// DefaultDriftFactor is the default multiplicative tolerance: measured
+// page accesses must stay within 2× of the model in either direction.
+// Cross-validation (the xval experiment) holds the implementation within
+// ~1.35× of the model across every facility and query type, so 2×
+// leaves headroom for workload noise while still catching a facility
+// whose page traffic regressed structurally.
+const DefaultDriftFactor = 2.0
+
+// NewDriftChecker returns a checker against params with the given
+// multiplicative tolerance factor (≤ 0 selects DefaultDriftFactor).
+func NewDriftChecker(params costmodel.Params, factor float64) *DriftChecker {
+	if factor <= 0 {
+		factor = DefaultDriftFactor
+	}
+	return &DriftChecker{
+		params:   params,
+		factor:   factor,
+		recorded: Default().Counter("sigfile_drift_checks_total"),
+		failed:   Default().Counter("sigfile_drift_failures_total"),
+	}
+}
+
+// Params returns the model parameters the checker compares against.
+func (c *DriftChecker) Params() costmodel.Params { return c.params }
+
+// Factor returns the multiplicative tolerance.
+func (c *DriftChecker) Factor() float64 { return c.factor }
+
+// Record compares one measured retrieval cost (mean page accesses of a
+// query of cardinality dq) against the model's prediction and stores the
+// verdict.
+func (c *DriftChecker) Record(facility string, pred signature.Predicate, dq int, measured float64) Drift {
+	model, ok := ModelRC(c.params, facility, pred, float64(dq))
+	d := Drift{
+		Facility:  facility,
+		Predicate: pred.String(),
+		Dq:        dq,
+		Measured:  measured,
+		HasModel:  ok,
+		Within:    true,
+	}
+	if ok {
+		d.Model = model
+		if model > 0 {
+			d.Ratio = measured / model
+			d.Within = d.Ratio >= 1/c.factor && d.Ratio <= c.factor
+		} else {
+			d.Within = measured == 0
+		}
+	}
+	c.recorded.Inc()
+	if !d.Within {
+		c.failed.Inc()
+	}
+	c.mu.Lock()
+	c.checks = append(c.checks, d)
+	c.mu.Unlock()
+	return d
+}
+
+// Checks returns every recorded comparison in order.
+func (c *DriftChecker) Checks() []Drift {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Drift, len(c.checks))
+	copy(out, c.checks)
+	return out
+}
+
+// Failures returns the comparisons that exceeded tolerance.
+func (c *DriftChecker) Failures() []Drift {
+	var out []Drift
+	for _, d := range c.Checks() {
+		if !d.Within {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Report writes a fixed-width table of every check to w and returns the
+// number of failures.
+func (c *DriftChecker) Report(w io.Writer) int {
+	checks := c.Checks()
+	fmt.Fprintf(w, "  %-8s %-8s %4s %10s %10s %6s  %s\n",
+		"facility", "query", "Dq", "model RC", "measured", "ratio", "status")
+	failures := 0
+	for _, d := range checks {
+		status := "ok"
+		ratio := "-"
+		model := "-"
+		switch {
+		case !d.HasModel:
+			status = "no model"
+		case !d.Within:
+			status = "DRIFT"
+			failures++
+		}
+		if d.HasModel {
+			model = fmt.Sprintf("%.1f", d.Model)
+			ratio = fmt.Sprintf("%.2f", d.Ratio)
+		}
+		fmt.Fprintf(w, "  %-8s %-8s %4d %10s %10.1f %6s  %s\n",
+			d.Facility, d.Predicate, d.Dq, model, d.Measured, ratio, status)
+	}
+	fmt.Fprintf(w, "  %d checks, %d outside tolerance (factor %.2f)\n", len(checks), failures, c.factor)
+	return failures
+}
+
+// ModelRC returns the analytical retrieval-cost prediction for one
+// facility and predicate at query cardinality dq, and whether the model
+// covers that pair at all. The facility name is the AccessMethod.Name()
+// value; FSSF (and unknown facilities) have no Table 5/6 formula and
+// report false.
+func ModelRC(p costmodel.Params, facility string, pred signature.Predicate, dq float64) (float64, bool) {
+	switch facility {
+	case "SSF":
+		switch pred {
+		case signature.Superset:
+			return p.SSFRetrievalSuperset(dq), true
+		case signature.Subset:
+			return p.SSFRetrievalSubset(dq), true
+		case signature.Overlap:
+			return p.SSFRetrievalOverlap(dq), true
+		case signature.Equals:
+			return p.SSFRetrievalEquals(dq), true
+		case signature.Contains:
+			return p.SSFRetrievalContains(), true
+		}
+	case "BSSF":
+		switch pred {
+		case signature.Superset:
+			return p.BSSFRetrievalSuperset(dq), true
+		case signature.Subset:
+			return p.BSSFRetrievalSubset(dq), true
+		case signature.Overlap:
+			return p.BSSFRetrievalOverlap(dq), true
+		case signature.Equals:
+			return p.BSSFRetrievalEquals(dq), true
+		case signature.Contains:
+			return p.BSSFRetrievalContains(), true
+		}
+	case "NIX":
+		switch pred {
+		case signature.Superset:
+			return p.NIXRetrievalSuperset(dq), true
+		case signature.Subset:
+			return p.NIXRetrievalSubset(dq), true
+		case signature.Overlap:
+			return p.NIXRetrievalOverlap(dq), true
+		case signature.Equals:
+			return p.NIXRetrievalEquals(dq), true
+		case signature.Contains:
+			return p.NIXRetrievalContains(), true
+		}
+	}
+	return 0, false
+}

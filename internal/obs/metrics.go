@@ -1,0 +1,344 @@
+// Package obs is the observability layer of the library: a lightweight
+// metrics registry fed by the storage and facility packages, per-search
+// trace spans that decompose a search into the paper's retrieval-cost
+// phases, and a drift checker comparing measured page accesses against
+// the analytical cost model.
+//
+// The paper's entire evaluation is a page-access cost model; this package
+// makes the running system report itself in exactly those terms, so a
+// deployment can watch where a live search spends its pages and detect
+// when measured behaviour drifts from the model the golden tests pin.
+//
+// Design constraints:
+//
+//   - Zero allocation on the hot path. Instruments are resolved once
+//     (package-level vars in the instrumented packages) and updated with
+//     single atomic operations. A disabled trace is a nil pointer whose
+//     methods no-op.
+//   - No dependencies on the facility packages, so every layer — from
+//     pagestore up to query — can feed the same registry without cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string // full identity, labels included
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the counter's full name, labels included.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the gauge's full name, labels included.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram counts observations into fixed upper-bound buckets
+// (cumulative on export, Prometheus style) plus a running sum and count.
+// Observations are atomic; the bucket search is a short linear scan over
+// a few bounds, with no allocation.
+type Histogram struct {
+	name    string
+	bounds  []float64 // ascending upper bounds; an implicit +Inf follows
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Name returns the histogram's full name, labels included.
+func (h *Histogram) Name() string { return h.name }
+
+// snapshot returns cumulative bucket counts aligned with bounds plus the
+// +Inf bucket.
+func (h *Histogram) snapshot() []int64 {
+	out := make([]int64, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// PageBuckets is the default histogram layout for page-access counts:
+// the paper's interesting range runs from a handful of pages (BSSF smart
+// retrieval) to full scans in the thousands.
+var PageBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// DurationBucketsMs is the default histogram layout for wall-clock
+// milliseconds.
+var DurationBucketsMs = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// Registry holds named instruments. Lookups take the registry lock;
+// instrument updates are lock-free — resolve instruments once and keep
+// the pointers.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry every instrumented package
+// feeds. Exported through Default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// fullName renders name plus label pairs ("k1", "v1", "k2", "v2", ...)
+// into the canonical identity `name{k1="v1",k2="v2"}` with keys sorted.
+func fullName(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for %s", name))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating if needed) the counter with the given name
+// and optional label pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	id := fullName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[id]
+	if !ok {
+		c = &Counter{name: id}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name and
+// optional label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	id := fullName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[id]
+	if !ok {
+		g = &Gauge{name: id}
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name, bucket upper bounds and optional label pairs. The bounds of an
+// existing histogram are not changed.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	id := fullName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[id]
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{name: id, bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		r.histograms[id] = h
+	}
+	return h
+}
+
+// instruments returns every instrument sorted by full name, for stable
+// export output.
+func (r *Registry) instruments() (cs []*Counter, gs []*Gauge, hs []*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		cs = append(cs, c)
+	}
+	for _, g := range r.gauges {
+		gs = append(gs, g)
+	}
+	for _, h := range r.histograms {
+		hs = append(hs, h)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	return cs, gs, hs
+}
+
+// WriteJSON writes every instrument as one flat JSON object in expvar
+// style: counters and gauges as numbers, histograms as
+// {"count":…,"sum":…,"buckets":{"le_10":…,"le_+Inf":…}}. Keys are the
+// full instrument names, sorted, so the output is diff-stable.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	cs, gs, hs := r.instruments()
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	field := func(format string, args ...any) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		b.WriteString("\n  ")
+		fmt.Fprintf(&b, format, args...)
+	}
+	for _, c := range cs {
+		field("%q: %d", c.name, c.Value())
+	}
+	for _, g := range gs {
+		field("%q: %d", g.name, g.Value())
+	}
+	for _, h := range hs {
+		cum := h.snapshot()
+		var hb strings.Builder
+		for i, bound := range h.bounds {
+			fmt.Fprintf(&hb, "%q: %d, ", fmt.Sprintf("le_%g", bound), cum[i])
+		}
+		fmt.Fprintf(&hb, "%q: %d", "le_+Inf", cum[len(cum)-1])
+		field("%q: {\"count\": %d, \"sum\": %g, \"buckets\": {%s}}",
+			h.name, h.Count(), h.Sum(), hb.String())
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promBase splits a full instrument name into its base name and label
+// block ("" when unlabeled).
+func promBase(id string) (base, labels string) {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i], id[i:]
+	}
+	return id, ""
+}
+
+// WritePrometheus writes every instrument in the Prometheus text
+// exposition format (one # TYPE line per metric family, cumulative
+// histogram buckets with an explicit +Inf).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	cs, gs, hs := r.instruments()
+	var b strings.Builder
+	lastType := map[string]string{}
+	typeLine := func(base, typ string) {
+		if lastType[base] != typ {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+			lastType[base] = typ
+		}
+	}
+	for _, c := range cs {
+		base, labels := promBase(c.name)
+		typeLine(base, "counter")
+		fmt.Fprintf(&b, "%s%s %d\n", base, labels, c.Value())
+	}
+	for _, g := range gs {
+		base, labels := promBase(g.name)
+		typeLine(base, "gauge")
+		fmt.Fprintf(&b, "%s%s %d\n", base, labels, g.Value())
+	}
+	for _, h := range hs {
+		base, labels := promBase(h.name)
+		typeLine(base, "histogram")
+		cum := h.snapshot()
+		for i, bound := range h.bounds {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, mergeLabel(labels, "le", fmt.Sprintf("%g", bound)), cum[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, mergeLabel(labels, "le", "+Inf"), cum[len(cum)-1])
+		fmt.Fprintf(&b, "%s_sum%s %g\n", base, labels, h.Sum())
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// mergeLabel splices an extra label into an existing `{...}` block (or
+// creates one).
+func mergeLabel(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sigfile/internal/costmodel"
+	"sigfile/internal/signature"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total"); again != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestLabeledNamesCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("searches_total", "facility", "SSF", "op", "superset")
+	b := r.Counter("searches_total", "op", "superset", "facility", "SSF")
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+	want := `searches_total{facility="SSF",op="superset"}`
+	if a.Name() != want {
+		t.Fatalf("name = %q, want %q", a.Name(), want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pages", []float64{10, 100})
+	for _, v := range []float64{1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 1066 {
+		t.Fatalf("sum = %g, want 1066", h.Sum())
+	}
+	cum := h.snapshot()
+	// le_10: 1,5,10 → 3; le_100: +50 → 4; +Inf: 5.
+	if cum[0] != 3 || cum[1] != 4 || cum[2] != 5 {
+		t.Fatalf("cumulative buckets = %v, want [3 4 5]", cum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", DurationBucketsMs)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Fatalf("count=%d sum=%g, want 8000/8000", h.Count(), h.Sum())
+	}
+}
+
+func TestWriteJSONIsValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b", "k", "v").Set(-2)
+	r.Histogram("c_pages", []float64{1, 10}).Observe(4)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded["a_total"] != float64(3) {
+		t.Errorf("a_total = %v, want 3", decoded["a_total"])
+	}
+	if decoded[`b{k="v"}`] != float64(-2) {
+		t.Errorf("labeled gauge = %v, want -2", decoded[`b{k="v"}`])
+	}
+	hist, ok := decoded["c_pages"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Errorf("histogram export wrong: %v", decoded["c_pages"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads_total", "file", "ssf.sig").Add(7)
+	h := r.Histogram("pages", []float64{10})
+	h.Observe(3)
+	h.Observe(30)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE reads_total counter",
+		`reads_total{file="ssf.sig"} 7`,
+		"# TYPE pages histogram",
+		`pages_bucket{le="10"} 1`,
+		`pages_bucket{le="+Inf"} 2`,
+		"pages_sum 33",
+		"pages_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilTraceNoops(t *testing.T) {
+	var tr *Trace
+	t0 := tr.Begin()
+	if !t0.IsZero() {
+		t.Error("nil trace Begin should return the zero time")
+	}
+	tr.End(PhaseIndexScan, t0, 10) // must not panic
+	tr.Finish(nil)
+	if tr.TotalPages() != 0 {
+		t.Error("nil trace TotalPages != 0")
+	}
+	if _, ok := tr.SpanPages(PhaseResolve); ok {
+		t.Error("nil trace reported a span")
+	}
+	if tr.String() != "<no trace>" {
+		t.Errorf("nil trace String = %q", tr.String())
+	}
+	if StartTrace(nil, "SSF", "x") != nil {
+		t.Error("nil sink must yield a nil (disabled) trace")
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	var col Collector
+	tr := StartTrace(&col, "BSSF", "T ⊇ Q")
+	t0 := tr.Begin()
+	tr.End(PhaseIndexScan, t0, 12)
+	t0 = tr.Begin()
+	tr.End(PhaseOIDMap, t0, 2)
+	t0 = tr.Begin()
+	tr.End(PhaseResolve, t0, 5)
+	tr.Finish(errors.New("boom"))
+
+	traces := col.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("collector got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.TotalPages() != 19 {
+		t.Errorf("TotalPages = %d, want 19", got.TotalPages())
+	}
+	if n, ok := got.SpanPages(PhaseOIDMap); !ok || n != 2 {
+		t.Errorf("oid-map span = %d,%v, want 2,true", n, ok)
+	}
+	if got.Err != "boom" {
+		t.Errorf("Err = %q, want boom", got.Err)
+	}
+	if got.Duration <= 0 {
+		t.Error("Duration not set")
+	}
+	s := got.String()
+	for _, want := range []string{"BSSF", "index-scan=12pg", "resolve=5pg", "total=19pg", `err="boom"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestContextSink(t *testing.T) {
+	var col Collector
+	ctx := ContextWithSink(t.Context(), &col)
+	if SinkFrom(ctx) != &col {
+		t.Fatal("sink did not round-trip through the context")
+	}
+	if SinkFrom(t.Context()) != nil {
+		t.Fatal("empty context should carry no sink")
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got *Trace
+	sink := SinkFunc(func(t *Trace) { got = t })
+	tr := StartTrace(sink, "NIX", "q ∈ T")
+	tr.Finish(nil)
+	if got == nil || got.Facility != "NIX" {
+		t.Fatalf("SinkFunc not invoked: %v", got)
+	}
+	_ = time.Now // keep time imported via use above
+}
+
+func TestDriftChecker(t *testing.T) {
+	p := costmodel.Paper(10, 250, 2)
+	c := NewDriftChecker(p, 2.0)
+
+	model, ok := ModelRC(p, "BSSF", signature.Superset, 3)
+	if !ok || model <= 0 {
+		t.Fatalf("ModelRC(BSSF, ⊇, 3) = %v, %v", model, ok)
+	}
+
+	// Within tolerance.
+	d := c.Record("BSSF", signature.Superset, 3, model*1.3)
+	if !d.Within || !d.HasModel {
+		t.Errorf("ratio 1.3 flagged as drift: %+v", d)
+	}
+	// Outside tolerance, both directions.
+	if d := c.Record("BSSF", signature.Superset, 3, model*2.5); d.Within {
+		t.Errorf("ratio 2.5 not flagged: %+v", d)
+	}
+	if d := c.Record("BSSF", signature.Superset, 3, model/2.5); d.Within {
+		t.Errorf("ratio 0.4 not flagged: %+v", d)
+	}
+	// Facility without a model: recorded, never a failure.
+	if d := c.Record("FSSF", signature.Superset, 3, 123); d.HasModel || !d.Within {
+		t.Errorf("FSSF should have no model and no failure: %+v", d)
+	}
+
+	if got := len(c.Checks()); got != 4 {
+		t.Fatalf("checks = %d, want 4", got)
+	}
+	if got := len(c.Failures()); got != 2 {
+		t.Fatalf("failures = %d, want 2", got)
+	}
+	var sb strings.Builder
+	if n := c.Report(&sb); n != 2 {
+		t.Fatalf("Report failures = %d, want 2", n)
+	}
+	if !strings.Contains(sb.String(), "DRIFT") || !strings.Contains(sb.String(), "no model") {
+		t.Errorf("report missing statuses:\n%s", sb.String())
+	}
+}
+
+func TestModelRCCoverage(t *testing.T) {
+	p := costmodel.Paper(10, 250, 2)
+	preds := []signature.Predicate{
+		signature.Superset, signature.Subset, signature.Overlap,
+		signature.Equals, signature.Contains,
+	}
+	for _, fac := range []string{"SSF", "BSSF", "NIX"} {
+		for _, pred := range preds {
+			dq := 3.0
+			if pred == signature.Subset {
+				dq = 20 // subset queries need Dq ≥ Dt to have answers
+			}
+			if rc, ok := ModelRC(p, fac, pred, dq); !ok || rc <= 0 {
+				t.Errorf("ModelRC(%s, %v) = %v, %v; want positive model", fac, pred, rc, ok)
+			}
+		}
+	}
+	if _, ok := ModelRC(p, "FSSF", signature.Superset, 3); ok {
+		t.Error("FSSF unexpectedly has a model")
+	}
+}

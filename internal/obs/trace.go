@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names one step of a search, mapped to the terms of the paper's
+// retrieval-cost formulas (RC = index pages + OID-file pages + object
+// fetches). Every facility decomposes the same way, so traces compare
+// across facilities exactly as the paper's tables do.
+type Phase string
+
+const (
+	// PhaseIndexScan is the index-structure step: the signature-file
+	// scan (SSF), the bit-slice reads (BSSF), the frame scans (FSSF) or
+	// the B⁺-tree probes (NIX). Its page count is SearchStats.IndexPages.
+	PhaseIndexScan Phase = "index-scan"
+	// PhaseOIDMap is the OID-file look-up mapping matching signature
+	// positions to OIDs — the paper's LC_OID term. Its page count is
+	// SearchStats.OIDPages (zero for NIX, which stores OIDs in its
+	// postings).
+	PhaseOIDMap Phase = "oid-map"
+	// PhaseResolve is false-drop resolution plus result materialization:
+	// one object fetch per candidate (P_s = P_u = 1). Its page count is
+	// SearchStats.ObjectFetches.
+	PhaseResolve Phase = "resolve"
+)
+
+// Span is one completed phase of a traced search.
+type Span struct {
+	Phase Phase
+	// Pages is the number of page accesses the phase performed. The
+	// spans of one trace sum exactly to the search's
+	// SearchStats.TotalPages().
+	Pages int64
+	// Duration is the wall-clock time of the phase.
+	Duration time.Duration
+}
+
+// Trace records one search's phase decomposition. A nil *Trace is the
+// disabled state: every method no-ops, so the facilities call trace
+// methods unconditionally with no branching or allocation when tracing
+// is off.
+type Trace struct {
+	// Facility is the access method's Name() ("SSF", "BSSF", ...).
+	Facility string
+	// Predicate is the searched operator ("T ⊇ Q", ...).
+	Predicate string
+	// Start is when the search began.
+	Start time.Time
+	// Duration is the total wall-clock time, set by Finish.
+	Duration time.Duration
+	// Spans are the completed phases in execution order.
+	Spans []Span
+	// Err is the search's error, if any ("" on success), set by Finish.
+	Err string
+
+	sink TraceSink
+}
+
+// TraceSink receives completed traces. Implementations must be safe for
+// concurrent use; searches on different goroutines may emit at once.
+type TraceSink interface {
+	EmitTrace(*Trace)
+}
+
+// StartTrace begins a trace that will be emitted to sink on Finish. A
+// nil sink returns a nil trace (tracing disabled).
+func StartTrace(sink TraceSink, facility, predicate string) *Trace {
+	if sink == nil {
+		return nil
+	}
+	return &Trace{Facility: facility, Predicate: predicate, Start: time.Now(), sink: sink}
+}
+
+// Begin marks the start of a phase. On a nil trace it returns the zero
+// time without touching the clock.
+func (t *Trace) Begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End records a completed phase started at the Begin timestamp with the
+// given page count. No-op on a nil trace.
+func (t *Trace) End(ph Phase, started time.Time, pages int64) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Phase: ph, Pages: pages, Duration: time.Since(started)})
+}
+
+// Finish completes the trace and emits it to the sink. No-op on a nil
+// trace. err may be nil.
+func (t *Trace) Finish(err error) {
+	if t == nil {
+		return
+	}
+	t.Duration = time.Since(t.Start)
+	if err != nil {
+		t.Err = err.Error()
+	}
+	if t.sink != nil {
+		t.sink.EmitTrace(t)
+	}
+}
+
+// TotalPages sums the page counts of all spans — by construction equal
+// to the search's SearchStats.TotalPages().
+func (t *Trace) TotalPages() int64 {
+	if t == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range t.Spans {
+		n += s.Pages
+	}
+	return n
+}
+
+// SpanPages returns the page count of the named phase (summing repeats),
+// and whether the phase appears at all.
+func (t *Trace) SpanPages(ph Phase) (int64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	var n int64
+	found := false
+	for _, s := range t.Spans {
+		if s.Phase == ph {
+			n += s.Pages
+			found = true
+		}
+	}
+	return n, found
+}
+
+// String renders the trace as a one-line EXPLAIN ANALYZE-style report:
+//
+//	SSF T ⊇ Q: index-scan=13pg/1.2ms oid-map=1pg/80µs resolve=4pg/0.4ms total=18pg/1.7ms
+func (t *Trace) String() string {
+	if t == nil {
+		return "<no trace>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s:", t.Facility, t.Predicate)
+	for _, s := range t.Spans {
+		fmt.Fprintf(&b, " %s=%dpg/%s", s.Phase, s.Pages, s.Duration.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, " total=%dpg/%s", t.TotalPages(), t.Duration.Round(time.Microsecond))
+	if t.Err != "" {
+		fmt.Fprintf(&b, " err=%q", t.Err)
+	}
+	return b.String()
+}
+
+// Collector is a TraceSink that retains every emitted trace; tests and
+// per-query reporting use it.
+type Collector struct {
+	mu     sync.Mutex
+	traces []*Trace
+}
+
+// EmitTrace implements TraceSink.
+func (c *Collector) EmitTrace(t *Trace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.traces = append(c.traces, t)
+}
+
+// Traces returns the collected traces in emission order.
+func (c *Collector) Traces() []*Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Trace, len(c.traces))
+	copy(out, c.traces)
+	return out
+}
+
+// Reset drops all collected traces.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.traces = nil
+}
+
+// SinkFunc adapts a function to the TraceSink interface.
+type SinkFunc func(*Trace)
+
+// EmitTrace implements TraceSink.
+func (f SinkFunc) EmitTrace(t *Trace) { f(t) }
+
+// sinkKey keys the trace sink in a context.
+type sinkKey struct{}
+
+// ContextWithSink returns a context carrying a trace sink; every
+// SearchContext under it is traced, and the spans ride the context
+// through nested calls (e.g. the query engine driving a facility).
+func ContextWithSink(ctx context.Context, sink TraceSink) context.Context {
+	return context.WithValue(ctx, sinkKey{}, sink)
+}
+
+// SinkFrom returns the trace sink carried by ctx, or nil.
+func SinkFrom(ctx context.Context) TraceSink {
+	sink, _ := ctx.Value(sinkKey{}).(TraceSink)
+	return sink
+}

@@ -5,7 +5,18 @@ import (
 	"fmt"
 	"sync"
 
+	"sigfile/internal/obs"
 	"sigfile/internal/pagestore"
+)
+
+// Process-wide object-store traffic, exported through the obs registry.
+// Gets correspond to the paper's candidate fetches (P_s = 1 each), so
+// relating sigfile_oodb_gets_total to the facilities' false-drop counters
+// shows how much resolution work the heap absorbs.
+var (
+	obsPuts    = obs.Default().Counter("sigfile_oodb_puts_total")
+	obsGets    = obs.Default().Counter("sigfile_oodb_gets_total")
+	obsDeletes = obs.Default().Counter("sigfile_oodb_deletes_total")
 )
 
 // ObjectStore is a heap of objects in slotted pages over a pagestore.File.
@@ -149,6 +160,7 @@ func (s *ObjectStore) OIDs() []OID {
 func (s *ObjectStore) Put(o *Object) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	obsPuts.Add(1)
 	if o.OID == NilOID {
 		return fmt.Errorf("oodb: Put: object has no OID")
 	}
@@ -234,6 +246,7 @@ func (s *ObjectStore) placeRecord(rec []byte) (int, bool) {
 func (s *ObjectStore) Get(oid OID) (*Object, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	obsGets.Add(1)
 	l, ok := s.loc[oid]
 	if !ok {
 		return nil, fmt.Errorf("oodb: object %d not found", oid)
@@ -261,6 +274,7 @@ func (s *ObjectStore) Get(oid OID) (*Object, error) {
 func (s *ObjectStore) Delete(oid OID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	obsDeletes.Add(1)
 	l, ok := s.loc[oid]
 	if !ok {
 		return fmt.Errorf("oodb: Delete: object %d not found", oid)

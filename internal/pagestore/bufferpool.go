@@ -128,7 +128,7 @@ func (p *BufferPool) ReadPage(id PageID, buf []byte) error {
 		return err
 	}
 	copy(buf[:PageSize], e.data)
-	p.stats.reads.Add(1)
+	p.stats.countRead()
 	return nil
 }
 
@@ -150,7 +150,7 @@ func (p *BufferPool) WritePage(id PageID, buf []byte) error {
 	}
 	copy(e.data, buf[:PageSize])
 	e.dirty = true
-	p.stats.writes.Add(1)
+	p.stats.countWrite()
 	return nil
 }
 
@@ -162,7 +162,7 @@ func (p *BufferPool) Allocate() (PageID, error) {
 	if err != nil {
 		return 0, err
 	}
-	p.stats.allocs.Add(1)
+	p.stats.countAlloc()
 	return id, nil
 }
 

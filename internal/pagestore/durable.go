@@ -104,7 +104,7 @@ func (f *DurableFile) ReadPage(id PageID, buf []byte) error {
 	}
 	if img, ok := f.pending[id]; ok {
 		copy(buf[:PageSize], img)
-		f.stats.reads.Add(1)
+		f.stats.countRead()
 		return nil
 	}
 	if int(id) >= f.inner.NumPages() {
@@ -112,13 +112,13 @@ func (f *DurableFile) ReadPage(id PageID, buf []byte) error {
 		for i := range buf[:PageSize] {
 			buf[i] = 0
 		}
-		f.stats.reads.Add(1)
+		f.stats.countRead()
 		return nil
 	}
 	if err := f.inner.ReadPage(id, buf); err != nil {
 		return err
 	}
-	f.stats.reads.Add(1)
+	f.stats.countRead()
 	return nil
 }
 
@@ -142,7 +142,7 @@ func (f *DurableFile) WritePage(id PageID, buf []byte) error {
 		f.pending[id] = img
 	}
 	copy(img, buf[:PageSize])
-	f.stats.writes.Add(1)
+	f.stats.countWrite()
 	return nil
 }
 
@@ -155,7 +155,7 @@ func (f *DurableFile) Allocate() (PageID, error) {
 		return 0, ErrClosed
 	}
 	f.npages++
-	f.stats.allocs.Add(1)
+	f.stats.countAlloc()
 	return PageID(f.npages - 1), nil
 }
 

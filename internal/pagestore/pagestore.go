@@ -26,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"sigfile/internal/obs"
 )
 
 // PageSize is the size of every page in bytes, the paper's parameter
@@ -49,6 +51,16 @@ var ErrClosed = errors.New("pagestore: file is closed")
 // an unprotected torn page is detected, never silently read.
 var ErrChecksum = errors.New("pagestore: page checksum mismatch")
 
+// Process-wide page-access instruments: every Stats increment also feeds
+// these obs counters, so the metrics export sees the total page traffic
+// of all files — memory, disk, buffered — without per-file registry
+// lookups on the hot path.
+var (
+	obsReads  = obs.Default().Counter("sigfile_pagestore_reads_total")
+	obsWrites = obs.Default().Counter("sigfile_pagestore_writes_total")
+	obsAllocs = obs.Default().Counter("sigfile_pagestore_allocs_total")
+)
+
 // Stats counts physical page accesses. All counters are cumulative; use
 // Snapshot/Reset around a measured operation. Counters are updated
 // atomically so a File may be shared across goroutines.
@@ -56,6 +68,25 @@ type Stats struct {
 	reads  atomic.Int64
 	writes atomic.Int64
 	allocs atomic.Int64
+}
+
+// countRead records one page read in this file's counters and the
+// process-wide metrics. countWrite and countAlloc mirror it. Every File
+// implementation accounts through these, so the obs registry's totals
+// cover exactly what Stats covers.
+func (s *Stats) countRead() {
+	s.reads.Add(1)
+	obsReads.Inc()
+}
+
+func (s *Stats) countWrite() {
+	s.writes.Add(1)
+	obsWrites.Inc()
+}
+
+func (s *Stats) countAlloc() {
+	s.allocs.Add(1)
+	obsAllocs.Inc()
 }
 
 // Reads returns the cumulative number of page reads.
@@ -147,7 +178,7 @@ func (f *MemFile) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, len(f.pages))
 	}
 	copy(buf[:PageSize], f.pages[id])
-	f.stats.reads.Add(1)
+	f.stats.countRead()
 	return nil
 }
 
@@ -165,7 +196,7 @@ func (f *MemFile) WritePage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, id, len(f.pages))
 	}
 	copy(f.pages[id], buf[:PageSize])
-	f.stats.writes.Add(1)
+	f.stats.countWrite()
 	return nil
 }
 
@@ -177,7 +208,7 @@ func (f *MemFile) Allocate() (PageID, error) {
 		return 0, ErrClosed
 	}
 	f.pages = append(f.pages, make([]byte, PageSize))
-	f.stats.allocs.Add(1)
+	f.stats.countAlloc()
 	return PageID(len(f.pages) - 1), nil
 }
 
@@ -304,7 +335,7 @@ func (d *DiskFile) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: %s page %d crc %#x, stored %#x", ErrChecksum, d.name, id, got, want)
 	}
 	copy(buf[:PageSize], d.frame[:PageSize])
-	d.stats.reads.Add(1)
+	d.stats.countRead()
 	return nil
 }
 
@@ -327,7 +358,7 @@ func (d *DiskFile) WritePage(id PageID, buf []byte) error {
 	if _, err := d.f.WriteAt(d.frame[:], int64(id)*diskFrameSize); err != nil {
 		return fmt.Errorf("pagestore: write page %d: %w", id, err)
 	}
-	d.stats.writes.Add(1)
+	d.stats.countWrite()
 	return nil
 }
 
@@ -344,7 +375,7 @@ func (d *DiskFile) Allocate() (PageID, error) {
 		return 0, fmt.Errorf("pagestore: extend to page %d: %w", d.npages, err)
 	}
 	d.npages++
-	d.stats.allocs.Add(1)
+	d.stats.countAlloc()
 	return PageID(d.npages - 1), nil
 }
 

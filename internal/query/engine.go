@@ -1,15 +1,32 @@
 package query
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"sigfile/internal/core"
+	"sigfile/internal/obs"
 	"sigfile/internal/oodb"
 	"sigfile/internal/pagestore"
 	"sigfile/internal/signature"
+)
+
+// Process-wide query metrics, exported through the obs registry. The
+// "plan" label separates index-driven queries from heap scans, so the
+// ratio is the observability view of how often the facilities actually
+// serve the workload.
+var (
+	obsIndexQueries = obs.Default().Counter("sigfile_queries_total", "plan", "index")
+	obsScanQueries  = obs.Default().Counter("sigfile_queries_total", "plan", "scan")
+	obsQueryErrors  = obs.Default().Counter("sigfile_query_errors_total")
+	obsQueryLatency = obs.Default().Histogram("sigfile_query_duration_ms", obs.DurationBucketsMs)
+	obsSlowQueries  = obs.Default().Counter("sigfile_slow_queries_total")
 )
 
 // IndexKind selects a set access facility for CreateIndex.
@@ -46,6 +63,13 @@ type Engine struct {
 	// parallelism is forwarded as SearchOptions.Parallelism to every
 	// index search the engine drives; 0 keeps searches sequential.
 	parallelism int
+
+	// slowMu guards the slow-search log configuration; the log writer
+	// itself is serialized under the same lock so interleaved queries
+	// produce whole lines.
+	slowMu        sync.Mutex
+	slowLog       io.Writer
+	slowThreshold time.Duration
 }
 
 type indexEntry struct {
@@ -87,6 +111,45 @@ func (e *Engine) DB() *oodb.Database { return e.db }
 // setting — parallelism changes wall-clock only. Set it before sharing
 // the engine across goroutines.
 func (e *Engine) SetSearchParallelism(n int) { e.parallelism = n }
+
+// SetSlowSearchLog makes the engine write a one-line report — query,
+// plan, latency and, for index-driven queries, the per-phase trace — for
+// every query slower than threshold. A nil writer (or threshold ≤ 0)
+// turns the log off. Safe to call while queries run.
+func (e *Engine) SetSlowSearchLog(w io.Writer, threshold time.Duration) {
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
+	if threshold <= 0 {
+		w = nil
+	}
+	e.slowLog = w
+	e.slowThreshold = threshold
+}
+
+// observeQuery records one finished query in the obs registry and the
+// slow-search log.
+func (e *Engine) observeQuery(q *Query, rs *ResultSet, err error, elapsed time.Duration) {
+	obsQueryLatency.Observe(float64(elapsed) / float64(time.Millisecond))
+	switch {
+	case err != nil:
+		obsQueryErrors.Inc()
+	case rs.IndexStats != nil:
+		obsIndexQueries.Inc()
+	default:
+		obsScanQueries.Inc()
+	}
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
+	if e.slowLog == nil || elapsed < e.slowThreshold || err != nil {
+		return
+	}
+	obsSlowQueries.Inc()
+	line := fmt.Sprintf("slow query (%s): %s | plan: %s", elapsed.Round(time.Microsecond), q, rs.Plan)
+	if rs.Trace != nil {
+		line += " | " + rs.Trace.String()
+	}
+	fmt.Fprintln(e.slowLog, line)
+}
 
 // CreateIndex builds a set access facility of the given kind on the path
 // class.attr, bulk-loading it from the existing objects. attr may be a
@@ -231,6 +294,10 @@ type ResultSet struct {
 	// IndexStats holds the access-method cost decomposition when an
 	// index served the query.
 	IndexStats *core.SearchStats
+	// Trace is the driving index search's phase decomposition (nil for
+	// heap scans). Its span page counts sum exactly to
+	// IndexStats.TotalPages().
+	Trace *obs.Trace
 }
 
 // OIDs returns the result OIDs.
@@ -244,11 +311,17 @@ func (r *ResultSet) OIDs() []oodb.OID {
 
 // Run parses and executes a query in one step.
 func (e *Engine) Run(input string) (*ResultSet, error) {
+	return e.RunContext(context.Background(), input)
+}
+
+// RunContext parses and executes a query in one step, honoring ctx
+// cancellation inside the index searches it drives.
+func (e *Engine) RunContext(ctx context.Context, input string) (*ResultSet, error) {
 	q, err := Parse(input)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(q)
+	return e.ExecuteContext(ctx, q)
 }
 
 // Execute runs a parsed query. Conjunctions are driven by the first set
@@ -256,11 +329,27 @@ func (e *Engine) Run(input string) (*ResultSet, error) {
 // filter its candidates per object. Without an indexable part the query
 // falls back to a heap scan evaluating every part.
 func (e *Engine) Execute(q *Query) (*ResultSet, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: ctx is threaded into every
+// index search (and subquery), which return ctx.Err() promptly when it
+// fires. The driving search is always traced; the trace lands in
+// ResultSet.Trace and additionally in any sink already riding ctx
+// (obs.ContextWithSink).
+func (e *Engine) ExecuteContext(ctx context.Context, q *Query) (*ResultSet, error) {
+	start := time.Now()
+	rs, err := e.executeCtx(ctx, q)
+	e.observeQuery(q, rs, err, time.Since(start))
+	return rs, err
+}
+
+func (e *Engine) executeCtx(ctx context.Context, q *Query) (*ResultSet, error) {
 	cls, ok := e.db.Schema().Class(q.Class)
 	if !ok {
 		return nil, fmt.Errorf("query: unknown class %q", q.Class)
 	}
-	parts, err := e.compileParts(cls, q.Where)
+	parts, err := e.compileParts(ctx, cls, q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -279,17 +368,27 @@ func (e *Engine) Execute(q *Query) (*ResultSet, error) {
 
 	d := parts[driver]
 	ent := e.indexes[q.Class+"."+d.set.Attr]
-	var opts *core.SearchOptions
-	if e.parallelism != 0 {
-		opts = &core.SearchOptions{Parallelism: e.parallelism}
+	// Trace the driving search into a local collector; a sink already on
+	// ctx keeps receiving the trace too.
+	collector := &obs.Collector{}
+	sink := obs.TraceSink(collector)
+	if parent := obs.SinkFrom(ctx); parent != nil {
+		sink = obs.SinkFunc(func(t *obs.Trace) {
+			collector.EmitTrace(t)
+			parent.EmitTrace(t)
+		})
 	}
-	res, err := ent.am.Search(d.set.Op, d.elems, opts)
+	res, err := ent.am.SearchContext(ctx, d.set.Op, d.elems,
+		core.WithParallelism(e.parallelism), core.WithTrace(sink))
 	if err != nil {
 		return nil, err
 	}
 	rest := append(append([]compiledPart{}, parts[:driver]...), parts[driver+1:]...)
 	objs := make([]*oodb.Object, 0, len(res.OIDs))
 	for _, oid := range res.OIDs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		o, err := e.db.Get(oodb.OID(oid))
 		if err != nil {
 			return nil, err
@@ -308,7 +407,13 @@ func (e *Engine) Execute(q *Query) (*ResultSet, error) {
 	}
 	plan += subPlans(parts)
 	stats := res.Stats
-	return &ResultSet{Objects: objs, Plan: plan, IndexStats: &stats}, nil
+	rs := &ResultSet{Objects: objs, Plan: plan, IndexStats: &stats}
+	// The driver emitted exactly one trace; subquery traces (if any) were
+	// recorded by the subquery's own ResultSet, so take the last.
+	if traces := collector.Traces(); len(traces) > 0 {
+		rs.Trace = traces[len(traces)-1]
+	}
+	return rs, nil
 }
 
 // compiledPart is a predicate with its operands resolved (subqueries
@@ -333,12 +438,12 @@ func flattenPredicate(p Predicate) []Predicate {
 }
 
 // compileParts validates and resolves every part of the where clause.
-func (e *Engine) compileParts(cls *oodb.Class, where Predicate) ([]compiledPart, error) {
+func (e *Engine) compileParts(ctx context.Context, cls *oodb.Class, where Predicate) ([]compiledPart, error) {
 	var out []compiledPart
 	for _, p := range flattenPredicate(where) {
 		switch pred := p.(type) {
 		case *SetPredicate:
-			elems, subPlan, err := e.resolveElems(cls, pred)
+			elems, subPlan, err := e.resolveElems(ctx, cls, pred)
 			if err != nil {
 				return nil, err
 			}
@@ -482,7 +587,7 @@ func (e *Engine) scanAll(class string, cls *oodb.Class, parts []compiledPart) (*
 // resolveElems materializes the query set of a set predicate, executing
 // the subquery if present. Subquery results are encoded as OID elements,
 // so they are only meaningful against set<ref> attributes.
-func (e *Engine) resolveElems(cls *oodb.Class, pred *SetPredicate) ([]string, string, error) {
+func (e *Engine) resolveElems(ctx context.Context, cls *oodb.Class, pred *SetPredicate) ([]string, string, error) {
 	if strings.Contains(pred.Attr, ".") {
 		// Nested path: the indexed elements are the (scalar) leaf values,
 		// so literals pass through and subqueries are rejected.
@@ -516,7 +621,7 @@ func (e *Engine) resolveElems(cls *oodb.Class, pred *SetPredicate) ([]string, st
 	if kind != oodb.KindRefSet {
 		return nil, "", fmt.Errorf("query: %s.%s is %v; a subquery operand needs a set<ref> attribute", cls.Name, pred.Attr, kind)
 	}
-	sub, err := e.Execute(pred.Sub)
+	sub, err := e.executeCtx(ctx, pred.Sub)
 	if err != nil {
 		return nil, "", fmt.Errorf("query: subquery: %w", err)
 	}

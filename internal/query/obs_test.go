@@ -1,0 +1,99 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sigfile/internal/obs"
+	"sigfile/internal/signature"
+)
+
+// TestResultSetTrace: an index-driven query carries the driving search's
+// phase trace, its page counts agree with IndexStats, and a sink riding
+// the caller's context receives the same trace.
+func TestResultSetTrace(t *testing.T) {
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "hobbies", KindBSSF, signature.MustNew(128, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	var collector obs.Collector
+	ctx := obs.ContextWithSink(context.Background(), &collector)
+	res, err := e.RunContext(ctx, `select Student where hobbies has-subset ("Baseball", "Fishing")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("index-driven query has no trace")
+	}
+	if res.Trace.Facility != "BSSF" {
+		t.Errorf("trace facility %q, want BSSF", res.Trace.Facility)
+	}
+	if res.Trace.TotalPages() != res.IndexStats.TotalPages() {
+		t.Errorf("trace total %d != IndexStats total %d", res.Trace.TotalPages(), res.IndexStats.TotalPages())
+	}
+	traces := collector.Traces()
+	if len(traces) != 1 || traces[0] != res.Trace {
+		t.Errorf("context sink saw %d traces, want exactly the ResultSet's", len(traces))
+	}
+
+	// A heap scan has no index search, hence no trace.
+	scan := newUniversity(t)
+	sres, err := scan.Run(`select Student where hobbies has-element "Chess"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Trace != nil {
+		t.Error("scan query produced a trace")
+	}
+}
+
+// TestSlowSearchLog: queries over the threshold are reported with plan
+// and trace; a zero threshold logs everything, disabling stops the log.
+func TestSlowSearchLog(t *testing.T) {
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "hobbies", KindBSSF, signature.MustNew(128, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	e.SetSlowSearchLog(&buf, time.Nanosecond) // everything is slow
+	if _, err := e.Run(`select Student where hobbies has-element "Chess"`); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow query") || !strings.Contains(out, "plan: index(BSSF") {
+		t.Errorf("slow log missing query/plan: %q", out)
+	}
+	if !strings.Contains(out, "index-scan=") {
+		t.Errorf("slow log missing trace: %q", out)
+	}
+
+	e.SetSlowSearchLog(nil, 0)
+	before := buf.String()
+	if _, err := e.Run(`select Student where hobbies has-element "Chess"`); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != before {
+		t.Error("disabled slow log still wrote")
+	}
+}
+
+// TestEngineContextCancellation: a canceled context surfaces ctx.Err()
+// from the driving index search, and the engine still answers afterwards.
+func TestEngineContextCancellation(t *testing.T) {
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "hobbies", KindSSF, signature.MustNew(128, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const q = `select Student where hobbies has-subset ("Baseball")`
+	if _, err := e.RunContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if _, err := e.RunContext(context.Background(), q); err != nil {
+		t.Errorf("engine broken after cancellation: %v", err)
+	}
+}

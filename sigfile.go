@@ -43,8 +43,12 @@
 package sigfile
 
 import (
+	"context"
+	"io"
+
 	"sigfile/internal/core"
 	"sigfile/internal/costmodel"
+	"sigfile/internal/obs"
 	"sigfile/internal/pagestore"
 	"sigfile/internal/signature"
 )
@@ -101,6 +105,34 @@ type (
 	// page writes across a bulk load (the insertion-cost improvement the
 	// paper's §6 anticipates, taken to its limit).
 	BatchInserter = core.BatchInserter
+	// SearchOption configures one SearchContext call; see WithParallelism,
+	// WithSmartRetrieval, WithTrace, WithOptions.
+	SearchOption = core.SearchOption
+	// Trace is one search's phase decomposition: index scan → OID map →
+	// false-drop resolution, with page counts summing exactly to the
+	// search's SearchStats.
+	Trace = obs.Trace
+	// TraceSink receives completed traces (must be concurrency-safe).
+	TraceSink = obs.TraceSink
+	// TraceCollector is a TraceSink retaining every emitted trace.
+	TraceCollector = obs.Collector
+	// Drift is one measured-vs-model retrieval-cost comparison.
+	Drift = obs.Drift
+	// DriftChecker compares measured page accesses against the analytical
+	// cost model and flags divergence beyond a tolerance factor.
+	DriftChecker = obs.DriftChecker
+)
+
+// Sentinel errors, matchable with errors.Is through every wrapping layer.
+var (
+	// ErrWidthMismatch reports a signature whose width differs from the
+	// scheme's F (e.g. reopening a facility under a different scheme).
+	ErrWidthMismatch = signature.ErrWidthMismatch
+	// ErrInvalidPredicate reports a Predicate value outside the five
+	// operators of the paper's §2.
+	ErrInvalidPredicate = signature.ErrInvalidPredicate
+	// ErrClosed reports an operation on a closed page file.
+	ErrClosed = pagestore.ErrClosed
 )
 
 // The set predicates of the paper's §2.
@@ -165,6 +197,67 @@ func NewFSSF(scheme *FrameScheme, src SetSource, store Store) (*FSSF, error) {
 func SearchMany(am AccessMethod, reqs []SearchRequest, parallelism int) ([]*Result, error) {
 	return core.SearchMany(am, reqs, parallelism)
 }
+
+// SearchManyContext is SearchMany with cancellation: when ctx fires,
+// in-flight searches stop at their next page access and the joined error
+// satisfies errors.Is(err, ctx.Err()).
+func SearchManyContext(ctx context.Context, am AccessMethod, reqs []SearchRequest, parallelism int) ([]*Result, error) {
+	return core.SearchManyContext(ctx, am, reqs, parallelism)
+}
+
+// Search options for AccessMethod.SearchContext. Each returns a
+// SearchOption; the positional SearchOptions struct remains as a
+// compatibility shim foldable through WithOptions.
+
+// WithParallelism fans the search across up to n goroutines (0 or 1 =
+// sequential, negative = one per CPU). The Result — OIDs and every Stats
+// field — is identical at any setting.
+func WithParallelism(n int) SearchOption { return core.WithParallelism(n) }
+
+// WithSmartRetrieval lets the facility pick its own probe caps — the
+// paper's smart object retrieval (§5.1.3, §5.2.2) without hand-tuned
+// constants. Explicit WithMaxProbeElements/WithMaxZeroSlices values take
+// precedence; SSF ignores the option (its scan cost is fixed).
+func WithSmartRetrieval() SearchOption { return core.WithSmartRetrieval() }
+
+// WithMaxProbeElements caps how many query elements form the probe on
+// T ⊇ Q searches (the paper's §5.1.3 smart retrieval). Zero = all.
+func WithMaxProbeElements(k int) SearchOption { return core.WithMaxProbeElements(k) }
+
+// WithMaxZeroSlices caps how many zero-position bit slices a BSSF T ⊆ Q
+// search reads (§5.2.2). Zero = exhaustive.
+func WithMaxZeroSlices(z int) SearchOption { return core.WithMaxZeroSlices(z) }
+
+// WithTrace emits the search's phase trace to sink; it overrides any sink
+// riding the context (ContextWithTraceSink).
+func WithTrace(sink TraceSink) SearchOption { return core.WithTrace(sink) }
+
+// WithOptions folds a legacy SearchOptions struct into an option list,
+// for callers migrating incrementally. nil is a no-op.
+func WithOptions(legacy *SearchOptions) SearchOption { return core.WithOptions(legacy) }
+
+// ContextWithTraceSink returns a context carrying a trace sink: every
+// SearchContext under it emits its phase trace there, including searches
+// the query engine drives on the caller's behalf.
+func ContextWithTraceSink(ctx context.Context, sink TraceSink) context.Context {
+	return obs.ContextWithSink(ctx, sink)
+}
+
+// NewDriftChecker returns a cost-model drift checker against model with
+// the given multiplicative tolerance factor (≤ 0 selects the default,
+// 2×). Record measured mean page accesses per (facility, predicate, Dq)
+// point; Report writes the verdict table.
+func NewDriftChecker(model CostModel, factor float64) *DriftChecker {
+	return obs.NewDriftChecker(model, factor)
+}
+
+// WriteMetricsJSON dumps the process metrics registry — every sigfile_*
+// counter, gauge and histogram — as a flat JSON object.
+func WriteMetricsJSON(w io.Writer) error { return obs.Default().WriteJSON(w) }
+
+// WriteMetricsPrometheus dumps the process metrics registry in Prometheus
+// text exposition format.
+func WriteMetricsPrometheus(w io.Writer) error { return obs.Default().WritePrometheus(w) }
 
 // Synchronize wraps an access method with a readers-writer lock so it
 // can be shared across goroutines (concurrent searches, exclusive
