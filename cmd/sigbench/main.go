@@ -9,20 +9,22 @@
 //	sigbench -experiment fig8        # one artifact
 //	sigbench -measured -scale 8      # add measured columns at 1/8 scale
 //	sigbench -throughput -workers 8  # parallel-search QPS (not a paper artifact)
-//	sigbench -metrics                # drift check + metrics dump; exits 1 on drift
+//	sigbench -metrics                # drift + planner checks + metrics dump; exits 1 on failure
 //	sigbench -list                   # enumerate experiment ids
 //
 // Experiment ids: fig1 fig2 fig4..fig10 (the paper's figures), tab5 tab6
 // tab7 (its tables), xval (model-vs-measured cross-validation), drift (the
-// tolerance-gated cost-model drift check) and the ablation-* studies
+// tolerance-gated cost-model drift check), planner (the cost-based
+// planner's chosen-plan-vs-measured gate) and the ablation-* studies
 // documented in DESIGN.md.
 //
-// -metrics runs the drift check against the paper's Table 2 design point
-// at the chosen -scale, then dumps the process metrics registry (every
-// sigfile_* counter and histogram the run populated) in Prometheus text
-// exposition format, or flat JSON with -metrics-format json. The exit
-// status is 1 when any point drifts outside tolerance, so CI can gate on
-// it directly.
+// -metrics runs the drift check and the planner check against the
+// paper's Table 2 design point at the chosen -scale, then dumps the
+// process metrics registry (every sigfile_* counter and histogram the
+// run populated) in Prometheus text exposition format, or flat JSON
+// with -metrics-format json. The exit status is 1 when any drift point
+// is outside tolerance or any chosen plan measures above the planner
+// gate, so CI can gate on it directly.
 package main
 
 import (
@@ -98,11 +100,17 @@ func main() {
 	}
 }
 
-// runMetrics is the -metrics mode: drift check first (its searches also
-// populate the registry), then the metrics dump, then the verdict.
+// runMetrics is the -metrics mode: drift check and planner check first
+// (their searches also populate the registry), then the metrics dump,
+// then the verdict.
 func runMetrics(w *os.File, opt experiments.Options, format string) error {
 	fmt.Fprintln(w, "==== cost-model drift check (Table 2 design point) ====")
-	failures, err := experiments.RunDrift(w, opt)
+	driftFailures, err := experiments.RunDrift(w, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n==== planner check (chosen plan vs measured) ====")
+	planFailures, err := experiments.RunPlannerCheck(w, opt)
 	if err != nil {
 		return err
 	}
@@ -118,10 +126,13 @@ func runMetrics(w *os.File, opt experiments.Options, format string) error {
 	if err != nil {
 		return err
 	}
-	if failures > 0 {
-		return fmt.Errorf("%d drift point(s) outside tolerance", failures)
+	if driftFailures > 0 {
+		return fmt.Errorf("%d drift point(s) outside tolerance", driftFailures)
 	}
-	fmt.Fprintln(w, "\ndrift check passed")
+	if planFailures > 0 {
+		return fmt.Errorf("%d chosen plan(s) measured above the planner gate", planFailures)
+	}
+	fmt.Fprintln(w, "\ndrift and planner checks passed")
 	return nil
 }
 

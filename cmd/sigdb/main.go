@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sigdb [-students 2000] [-index bssf|ssf|nix|none] [-f 256] [-m 2] [-db dir]
+//	sigdb [-students 2000] [-index bssf|ssf|fssf|nix|none] [-f 256] [-m 2] [-db dir]
 //
 // With -db the database (heaps and indexes) lives in a crash-safe
 // durable store under dir: the sample data is generated only on first
@@ -40,7 +40,7 @@ import (
 func main() {
 	var (
 		students = flag.Int("students", 2000, "number of Student objects")
-		indexSel = flag.String("index", "bssf", "facility for Student set attributes: ssf, bssf, nix, none")
+		indexSel = flag.String("index", "bssf", "facility for Student set attributes: ssf, bssf, fssf, nix, none")
 		f        = flag.Int("f", 256, "signature width F (ssf/bssf)")
 		m        = flag.Int("m", 2, "element signature weight m (ssf/bssf)")
 		seed     = flag.Int64("seed", 1, "data generator seed")
@@ -96,6 +96,8 @@ func main() {
 		kind = query.KindBSSF
 	case "nix":
 		kind = query.KindNIX
+	case "fssf":
+		kind = query.KindFSSF
 	case "none":
 		withIndex = false
 	default:
@@ -161,8 +163,10 @@ func runREPL(eng *query.Engine, db *oodb.Database, in io.Reader, out io.Writer) 
 			if err := obs.Default().WritePrometheus(out); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
-		case strings.HasPrefix(line, "explain "):
-			plan, err := eng.Explain(strings.TrimPrefix(line, "explain "))
+		case strings.EqualFold(firstWord(line), "explain"):
+			// eng.Explain parses the full `EXPLAIN SELECT ...` statement,
+			// so the whole line goes through unchanged.
+			plan, err := eng.Explain(line)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				continue
@@ -234,6 +238,15 @@ commands:
   save              checkpoint a -db database (commit + truncate WAL)
   quit              exit (checkpoints a -db database)
 `)
+}
+
+// firstWord returns the first whitespace-delimited token of line, or ""
+// for a blank line.
+func firstWord(line string) string {
+	if fs := strings.Fields(line); len(fs) > 0 {
+		return fs[0]
+	}
+	return ""
 }
 
 func fatal(err error) {

@@ -29,12 +29,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for _, build := range []func() (sigfile.AccessMethod, error){
-		func() (sigfile.AccessMethod, error) { return sigfile.NewSSF(scheme, sets, nil) },
-		func() (sigfile.AccessMethod, error) { return sigfile.NewBSSF(scheme, sets, nil) },
-		func() (sigfile.AccessMethod, error) { return sigfile.NewNIX(sets, nil) },
-	} {
-		am, err := build()
+	// One construction entry point for every facility: pick a Kind, share
+	// the scheme and set source.
+	for _, kind := range []sigfile.Kind{sigfile.KindSSF, sigfile.KindBSSF, sigfile.KindNIX} {
+		am, err := sigfile.Open(sigfile.Config{Kind: kind, Scheme: scheme, Source: sets})
 		if err != nil {
 			log.Fatal(err)
 		}

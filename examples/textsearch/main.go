@@ -57,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	index, err := sigfile.NewBSSF(scheme, docs, nil)
+	index, err := sigfile.Open(sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: docs})
 	if err != nil {
 		log.Fatal(err)
 	}

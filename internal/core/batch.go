@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"sigfile/internal/pagestore"
 )
@@ -73,7 +74,8 @@ func (b *BSSF) InsertBatch(entries []Entry) error {
 				}
 			}
 		}
-		sig := b.scheme.SetSignatureStrings(dedup(e.Elems))
+		deduped := dedup(e.Elems)
+		sig := b.scheme.SetSignatureStrings(deduped)
 		bit := idx % bitsPerSlicePage
 		for _, j := range sig.Ones() {
 			b.tails[j][bit/8] |= 1 << uint(bit%8)
@@ -86,23 +88,78 @@ func (b *BSSF) InsertBatch(entries []Entry) error {
 			return err
 		}
 		b.count++
+		b.card.add(len(deduped))
 	}
 	return flush()
 }
 
 // InsertBatch implements BatchInserter for SSF: signature and OID tail
 // pages are written once per fill instead of once per insert, so a bulk
-// load of N objects costs ~N/sigsPerPage + N/O_P writes.
+// load of N objects costs ~⌈N/sigsPerPage⌉ + ⌈N/O_P⌉ page writes instead
+// of 2·N — the same page-granular amortization as BSSF's batch path.
 func (s *SSF) InsertBatch(entries []Entry) error {
-	// SSF's single-insert cost is already the minimal 2 writes, so the
-	// batch path simply loops; it exists to satisfy BatchInserter and to
-	// keep bulk-load call sites uniform.
+	if len(entries) == 0 {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Validate up front: a failed entry mid-batch must not leave the two
+	// files out of lockstep.
 	for _, e := range entries {
-		if err := s.insert(e.OID, e.Elems); err != nil {
-			return err
+		if e.OID == 0 {
+			return fmt.Errorf("core: SSF batch: OID 0 is reserved")
 		}
+	}
+	dirty := false
+	flush := func() error {
+		if !dirty {
+			return nil
+		}
+		if err := s.sig.WritePage(s.tailPage, s.tail); err != nil {
+			return fmt.Errorf("core: SSF batch flush: %w", err)
+		}
+		dirty = false
+		return nil
+	}
+	oids := make([]uint64, 0, len(entries))
+	cards := make([]int, 0, len(entries))
+	for _, e := range entries {
+		deduped := dedup(e.Elems)
+		sig := s.scheme.SetSignatureStrings(deduped)
+		slot := s.count % s.sigsPerPage
+		if slot == 0 {
+			if err := flush(); err != nil {
+				s.count = s.oid.n
+				return err
+			}
+			id, err := s.sig.Allocate()
+			if err != nil {
+				s.count = s.oid.n
+				return fmt.Errorf("core: SSF batch: %w", err)
+			}
+			s.tailPage = id
+			for i := range s.tail {
+				s.tail[i] = 0
+			}
+		}
+		sig.MarshalBinaryTo(s.tail[slot*s.sigBytes:])
+		dirty = true
+		s.count++
+		oids = append(oids, e.OID)
+		cards = append(cards, len(deduped))
+	}
+	if err := flush(); err != nil {
+		s.count = s.oid.n
+		return err
+	}
+	if err := s.oid.appendBatch(oids); err != nil {
+		// Realign with the OID file (the authority for count); the extra
+		// signatures past count are stale slots the next insert overwrites.
+		s.count = s.oid.n
+		return err
+	}
+	for _, c := range cards {
+		s.card.add(c)
 	}
 	return nil
 }
@@ -147,7 +204,8 @@ func (f *FSSF) InsertBatch(entries []Entry) error {
 				}
 			}
 		}
-		sig := f.scheme.SetSignature(dedup(e.Elems))
+		deduped := dedup(e.Elems)
+		sig := f.scheme.SetSignature(deduped)
 		for _, j := range sig.TouchedFrames() {
 			sig.Frame(j).MarshalBinaryTo(f.tails[j][slot*f.recBytes:])
 			dirty[j] = struct{}{}
@@ -156,20 +214,62 @@ func (f *FSSF) InsertBatch(entries []Entry) error {
 			return err
 		}
 		f.count++
+		f.card.add(len(deduped))
 	}
 	return flush()
 }
 
-// InsertBatch implements BatchInserter for NIX by looping: B⁺-tree
-// insertions have no page-level batching win without a full bulk-load
-// rebuild, which Delete-free workloads rarely need.
+// InsertBatch implements BatchInserter for NIX: the batch's postings are
+// grouped by element and inserted in sorted key order, so consecutive
+// B⁺-tree insertions land on the same leaf instead of hopping across the
+// tree once per (object × element). Per-element posting lists come out in
+// entry order, exactly as the one-at-a-time path builds them.
 func (n *NIX) InsertBatch(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// Validate up front: OID 0 and duplicates (against the index and
+	// within the batch) fail before any tree mutation.
+	inBatch := make(map[uint64]struct{}, len(entries))
 	for _, e := range entries {
-		if err := n.insert(e.OID, e.Elems); err != nil {
-			return err
+		if e.OID == 0 {
+			return fmt.Errorf("core: NIX batch: OID 0 is reserved")
 		}
+		if _, dup := n.live[e.OID]; dup {
+			return fmt.Errorf("core: NIX batch: OID %d already indexed", e.OID)
+		}
+		if _, dup := inBatch[e.OID]; dup {
+			return fmt.Errorf("core: NIX batch: OID %d appears twice", e.OID)
+		}
+		inBatch[e.OID] = struct{}{}
+	}
+	posts := make(map[string][]uint64)
+	for _, e := range entries {
+		for _, elem := range dedup(e.Elems) {
+			posts[elem] = append(posts[elem], e.OID)
+		}
+	}
+	keys := make([]string, 0, len(posts))
+	for k := range posts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, oid := range posts[k] {
+			if err := n.tree.Insert([]byte(k), oid); err != nil {
+				return fmt.Errorf("core: NIX batch insert %q: %w", k, err)
+			}
+		}
+	}
+	for _, e := range entries {
+		deduped := dedup(e.Elems)
+		n.live[e.OID] = struct{}{}
+		if len(deduped) == 0 {
+			n.empty[e.OID] = struct{}{}
+		}
+		n.card.add(len(deduped))
 	}
 	return nil
 }

@@ -247,3 +247,105 @@ func TestBSSFMultiPageSlices(t *testing.T) {
 		t.Fatalf("post-boundary insert invisible: %d vs %d", len(res.OIDs), want+1)
 	}
 }
+
+// TestBatchAmortizesSSFWrites: the loop path writes the signature tail
+// page and the OID tail page once per insert (~2·N writes); the batch
+// path writes each tail page once per fill.
+func TestBatchAmortizesSSFWrites(t *testing.T) {
+	entries, src := randomEntries(500, 5, 60, 34)
+	scheme := signature.MustNew(120, 3)
+
+	loopStore := pagestore.NewMemStore()
+	loop, err := NewSSF(scheme, src, loopStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := loop.Insert(e.OID, e.Elems); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, loopWrites := loopStore.TotalStats()
+
+	batchStore := pagestore.NewMemStore()
+	batch, err := NewSSF(scheme, src, batchStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.InsertBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	_, batchWrites := batchStore.TotalStats()
+
+	if batchWrites >= loopWrites/5 {
+		t.Fatalf("SSF batch writes %d not far below loop writes %d", batchWrites, loopWrites)
+	}
+	// And the loaded state is byte-for-byte the loop's: same page counts,
+	// so a reopen sees an identical file.
+	if loop.StoragePages() != batch.StoragePages() {
+		t.Fatalf("storage differs: loop %d pages, batch %d", loop.StoragePages(), batch.StoragePages())
+	}
+}
+
+// TestSSFBatchThenReopen: a batch-loaded SSF must recover from its store
+// exactly like a loop-loaded one.
+func TestSSFBatchThenReopen(t *testing.T) {
+	entries, src := randomEntries(300, 4, 40, 35)
+	scheme := signature.MustNew(96, 2)
+	store := pagestore.NewMemStore()
+	ssf, err := NewSSF(scheme, src, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssf.InsertBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewSSF(scheme, src, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Count() != 300 {
+		t.Fatalf("reopened Count = %d, want 300", re.Count())
+	}
+	q := src[7][:2]
+	want := bruteForce(map[uint64][]string(src), signature.Superset, q)
+	res, err := re.Search(signature.Superset, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOIDs(res.OIDs, want) {
+		t.Fatal("reopened batch-loaded SSF answers wrong")
+	}
+}
+
+// TestNIXBatchValidation: the NIX batch path validates before touching
+// the tree, so a rejected batch leaves no partial postings.
+func TestNIXBatchValidation(t *testing.T) {
+	src := MapSource{1: {"a"}, 2: {"b"}}
+	nix, err := NewNIX(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nix.Insert(1, src[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate against a live OID.
+	if err := nix.InsertBatch([]Entry{{OID: 2, Elems: []string{"b"}}, {OID: 1, Elems: []string{"a"}}}); err == nil {
+		t.Fatal("NIX batch accepted an already-indexed OID")
+	}
+	// Duplicate within the batch.
+	if err := nix.InsertBatch([]Entry{{OID: 3, Elems: []string{"c"}}, {OID: 3, Elems: []string{"d"}}}); err == nil {
+		t.Fatal("NIX batch accepted a repeated OID")
+	}
+	// Both rejections must have left the index untouched.
+	if nix.Count() != 1 {
+		t.Fatalf("failed batches mutated the index: Count = %d, want 1", nix.Count())
+	}
+	res, err := nix.Search(signature.Contains, []string{"b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OIDs) != 0 {
+		t.Fatalf("rejected batch left postings behind: %v", res.OIDs)
+	}
+}

@@ -45,6 +45,9 @@ type BSSF struct {
 	// slices whose bit is 1 are written (the improvement §6 anticipates).
 	worstCaseInsert bool
 
+	// card accumulates inserted set cardinalities for Describe.
+	card cardStats
+
 	metrics *facilityMetrics
 }
 
@@ -157,7 +160,8 @@ func (b *BSSF) Insert(oid uint64, elems []string) error {
 }
 
 func (b *BSSF) insert(oid uint64, elems []string) error {
-	sig := b.scheme.SetSignatureStrings(dedup(elems))
+	deduped := dedup(elems)
+	sig := b.scheme.SetSignatureStrings(deduped)
 	idx := b.count
 	if idx%bitsPerSlicePage == 0 {
 		// Crossing a page boundary: extend every slice file. Fresh pages
@@ -188,6 +192,7 @@ func (b *BSSF) insert(oid uint64, elems []string) error {
 		return err
 	}
 	b.count++
+	b.card.add(len(deduped))
 	return nil
 }
 

@@ -45,6 +45,9 @@ type FSSF struct {
 	recsPerPage int
 	tails       [][]byte
 
+	// card accumulates inserted set cardinalities for Describe.
+	card cardStats
+
 	metrics *facilityMetrics
 }
 
@@ -147,7 +150,8 @@ func (f *FSSF) Insert(oid uint64, elems []string) error {
 }
 
 func (f *FSSF) insert(oid uint64, elems []string) error {
-	sig := f.scheme.SetSignature(dedup(elems))
+	deduped := dedup(elems)
+	sig := f.scheme.SetSignature(deduped)
 	idx := f.count
 	slot := idx % f.recsPerPage
 	if slot == 0 {
@@ -171,6 +175,7 @@ func (f *FSSF) insert(oid uint64, elems []string) error {
 		return err
 	}
 	f.count++
+	f.card.add(len(deduped))
 	return nil
 }
 

@@ -48,6 +48,9 @@ type NIX struct {
 	// not index empty sets; the signature files handle them natively.)
 	empty map[uint64]struct{}
 
+	// card accumulates inserted set cardinalities for Describe.
+	card cardStats
+
 	metrics *facilityMetrics
 }
 
@@ -131,6 +134,7 @@ func (n *NIX) insert(oid uint64, elems []string) error {
 	if len(deduped) == 0 {
 		n.empty[oid] = struct{}{}
 	}
+	n.card.add(len(deduped))
 	return nil
 }
 

@@ -95,6 +95,47 @@ func (f *oidFile) append(oid uint64) (int, error) {
 	return idx, nil
 }
 
+// appendBatch adds a run of OIDs (all nonzero), writing each touched tail
+// page once instead of once per entry — the OID-file half of a batch
+// load's page-write amortization.
+func (f *oidFile) appendBatch(oids []uint64) error {
+	dirty := false
+	flush := func() error {
+		if !dirty {
+			return nil
+		}
+		if err := f.file.WritePage(f.tailPage, f.tail); err != nil {
+			return fmt.Errorf("core: oid file: %w", err)
+		}
+		dirty = false
+		return nil
+	}
+	for _, oid := range oids {
+		if oid == 0 {
+			return fmt.Errorf("core: OID 0 is reserved as the delete flag")
+		}
+		slot := f.n % oidsPerPage
+		if slot == 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+			id, err := f.file.Allocate()
+			if err != nil {
+				return fmt.Errorf("core: oid file: %w", err)
+			}
+			f.tailPage = id
+			for i := range f.tail {
+				f.tail[i] = 0
+			}
+		}
+		binary.LittleEndian.PutUint64(f.tail[slot*8:], oid)
+		dirty = true
+		f.n++
+		f.live++
+	}
+	return flush()
+}
+
 // get reads the OID at entry idx (0 = tombstoned/absent) straight from
 // the file, costing one page read.
 func (f *oidFile) get(idx int) (uint64, error) {

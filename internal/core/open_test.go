@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// TestOpenAllKinds: the unified constructor builds every facility and
+// each answers queries exactly.
+func TestOpenAllKinds(t *testing.T) {
+	entries, src := randomEntries(200, 4, 40, 41)
+	scheme := signature.MustNew(64, 2)
+	for _, kind := range []Kind{KindSSF, KindBSSF, KindNIX, KindFSSF} {
+		am, err := Open(Config{Kind: kind, Scheme: scheme, Source: src})
+		if err != nil {
+			t.Fatalf("Open(%s): %v", kind, err)
+		}
+		if am.Name() != kind.String() {
+			t.Fatalf("Open(%s) built a %s", kind, am.Name())
+		}
+		if err := InsertAll(am, entries); err != nil {
+			t.Fatal(err)
+		}
+		q := src[3][:2]
+		want := bruteForce(map[uint64][]string(src), signature.Superset, q)
+		res, err := am.Search(signature.Superset, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameOIDs(res.OIDs, want) {
+			t.Fatalf("%s: Open-built facility answers wrong", kind)
+		}
+	}
+}
+
+// TestOpenOptions: functional options land in the Config, and the FSSF
+// frame split derives from the flat scheme.
+func TestOpenOptions(t *testing.T) {
+	src := MapSource{1: {"a", "b"}}
+	scheme := signature.MustNew(64, 2)
+
+	// Default derivation: largest power of two ≤ 16 dividing F=64 → K=16.
+	am, err := Open(Config{Kind: KindFSSF, Scheme: scheme, Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := am.(*FSSF).Describe().Frames; k != 16 {
+		t.Fatalf("derived frame count %d, want 16", k)
+	}
+	// Explicit WithFrames.
+	am, err = Open(Config{Kind: KindFSSF, Scheme: scheme, Source: src}, WithFrames(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := am.(*FSSF).Describe().Frames; k != 8 {
+		t.Fatalf("frame count %d, want 8", k)
+	}
+	// An explicit FrameScheme wins over derivation.
+	am, err = Open(Config{Kind: KindFSSF, FrameScheme: signature.MustFrameScheme(4, 16, 2), Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := am.(*FSSF).Describe().Frames; k != 4 {
+		t.Fatalf("frame count %d, want 4", k)
+	}
+
+	// WithStore + WithPrefix: two facilities share one store.
+	store := pagestore.NewMemStore()
+	a, err := Open(Config{Kind: KindBSSF, Scheme: scheme, Source: src}, WithStore(store), WithPrefix("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(Config{Kind: KindBSSF, Scheme: scheme, Source: src}, WithStore(store), WithPrefix("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Insert(1, src[1]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != 0 {
+		t.Fatal("prefix namespaces leaked between facilities")
+	}
+}
+
+// TestOpenErrors: the constructor rejects inconsistent configs.
+func TestOpenErrors(t *testing.T) {
+	src := MapSource{}
+	scheme := signature.MustNew(64, 2)
+	cases := []struct {
+		name string
+		cfg  Config
+		opts []OpenOption
+	}{
+		{"nil source", Config{Kind: KindBSSF, Scheme: scheme}, nil},
+		{"unknown kind", Config{Kind: Kind(99), Source: src}, nil},
+		{"FSSF without scheme", Config{Kind: KindFSSF, Source: src}, nil},
+		{"FSSF frames not dividing F", Config{Kind: KindFSSF, Scheme: scheme, Source: src}, []OpenOption{WithFrames(5)}},
+	}
+	for _, c := range cases {
+		if _, err := Open(c.cfg, c.opts...); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("Kind(99).String() = %q", got)
+	}
+}
+
+// TestDescribe: every facility self-describes with the statistics the
+// planner needs — count, design constants, measured mean cardinality.
+func TestDescribe(t *testing.T) {
+	entries, src := randomEntries(150, 4, 30, 42)
+	scheme := signature.MustNew(64, 2)
+	for _, kind := range []Kind{KindSSF, KindBSSF, KindNIX, KindFSSF} {
+		am, err := Open(Config{Kind: kind, Scheme: scheme, Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := InsertAll(am, entries); err != nil {
+			t.Fatal(err)
+		}
+		d := am.(Describer).Describe()
+		if d.Facility != kind.String() {
+			t.Errorf("%s: Facility = %q", kind, d.Facility)
+		}
+		if d.Count != 150 {
+			t.Errorf("%s: Count = %d, want 150", kind, d.Count)
+		}
+		// Every set had exactly 4 distinct elements.
+		if math.Abs(d.AvgSetCard-4) > 1e-9 {
+			t.Errorf("%s: AvgSetCard = %v, want 4", kind, d.AvgSetCard)
+		}
+		if d.StoragePages <= 0 {
+			t.Errorf("%s: StoragePages = %d", kind, d.StoragePages)
+		}
+		switch kind {
+		case KindSSF, KindBSSF:
+			if d.F != 64 || d.M != 2 {
+				t.Errorf("%s: F=%d M=%d, want 64/2", kind, d.F, d.M)
+			}
+		case KindFSSF:
+			if d.F != 64 || d.Frames != 16 {
+				t.Errorf("FSSF: F=%d Frames=%d", d.F, d.Frames)
+			}
+		case KindNIX:
+			if d.DistinctElems != 30 {
+				t.Errorf("NIX: DistinctElems = %d, want 30", d.DistinctElems)
+			}
+			if d.LookupPages < 1 {
+				t.Errorf("NIX: LookupPages = %d", d.LookupPages)
+			}
+		}
+	}
+}

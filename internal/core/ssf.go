@@ -45,6 +45,9 @@ type SSF struct {
 	tail     []byte
 	tailPage pagestore.PageID
 
+	// card accumulates inserted set cardinalities for Describe.
+	card cardStats
+
 	metrics *facilityMetrics
 }
 
@@ -142,7 +145,8 @@ func (s *SSF) Insert(oid uint64, elems []string) error {
 }
 
 func (s *SSF) insert(oid uint64, elems []string) error {
-	sig := s.scheme.SetSignatureStrings(dedup(elems))
+	deduped := dedup(elems)
+	sig := s.scheme.SetSignatureStrings(deduped)
 	slot := s.count % s.sigsPerPage
 	if slot == 0 {
 		id, err := s.sig.Allocate()
@@ -166,6 +170,7 @@ func (s *SSF) insert(oid uint64, elems []string) error {
 		s.count--
 		return err
 	}
+	s.card.add(len(deduped))
 	return nil
 }
 

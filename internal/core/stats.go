@@ -1,0 +1,134 @@
+package core
+
+// This file is the catalog-statistics surface of the facilities: a
+// point-in-time snapshot of the numbers a cost-based planner needs to
+// evaluate the paper's retrieval-cost formulas (N, D_t, F, m, rc) against
+// a live facility instead of the Table 2 constants.
+
+// FacilityStats is a snapshot of one facility's catalog statistics. All
+// fields describe the facility at the moment Describe was called; a
+// planner holding one across later Inserts sees slightly stale numbers,
+// which is the usual catalog trade-off.
+type FacilityStats struct {
+	// Facility is the access-method name: "SSF", "BSSF", "FSSF" or "NIX".
+	Facility string
+	// Count is the number of live (non-tombstoned) objects indexed — the
+	// cost model's N.
+	Count int
+	// AvgSetCard is the mean cardinality of the indexed sets over every
+	// insert this instance performed — the cost model's D_t. It is 0
+	// (unknown) for a facility reopened from a persistent store, whose
+	// insert history predates the process; callers fall back to a default.
+	AvgSetCard float64
+	// F and M are the signature design (signature width in bits and
+	// element weight); both 0 for NIX.
+	F, M int
+	// Frames is the frame count K of an FSSF; 0 otherwise.
+	Frames int
+	// DistinctElems is the number of distinct indexed element values —
+	// an exact lower bound on the domain cardinality V. Only NIX knows it
+	// (its B⁺-tree keys are the elements); 0 elsewhere.
+	DistinctElems int
+	// LookupPages is the page cost of one element lookup (the paper's
+	// rc = h + 1) for NIX; 0 for the signature files.
+	LookupPages int
+	// StoragePages is the facility's total storage cost SC in pages.
+	StoragePages int
+}
+
+// Describer is implemented by facilities that can report catalog
+// statistics. All four shipped facilities implement it.
+type Describer interface {
+	Describe() FacilityStats
+}
+
+// cardStats accumulates the cardinalities of inserted sets so Describe
+// can report the measured D_t. Guarded by the owning facility's mutex.
+type cardStats struct {
+	sum int64
+	n   int64
+}
+
+func (c *cardStats) add(card int) {
+	c.sum += int64(card)
+	c.n++
+}
+
+func (c *cardStats) avg() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(c.sum) / float64(c.n)
+}
+
+// Describe implements Describer.
+func (s *SSF) Describe() FacilityStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return FacilityStats{
+		Facility:     s.Name(),
+		Count:        s.oid.live,
+		AvgSetCard:   s.card.avg(),
+		F:            s.scheme.F(),
+		M:            s.scheme.M(),
+		StoragePages: s.sig.NumPages() + s.oid.pages(),
+	}
+}
+
+// Describe implements Describer.
+func (b *BSSF) Describe() FacilityStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := b.oid.pages()
+	for _, f := range b.slices {
+		n += f.NumPages()
+	}
+	return FacilityStats{
+		Facility:     b.Name(),
+		Count:        b.oid.live,
+		AvgSetCard:   b.card.avg(),
+		F:            b.scheme.F(),
+		M:            b.scheme.M(),
+		StoragePages: n,
+	}
+}
+
+// Describe implements Describer.
+func (f *FSSF) Describe() FacilityStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := f.oid.pages()
+	for _, file := range f.frames {
+		n += file.NumPages()
+	}
+	return FacilityStats{
+		Facility:     f.Name(),
+		Count:        f.oid.live,
+		AvgSetCard:   f.card.avg(),
+		F:            f.scheme.F(),
+		M:            f.scheme.M(),
+		Frames:       f.scheme.K(),
+		StoragePages: n,
+	}
+}
+
+// Describe implements Describer.
+func (n *NIX) Describe() FacilityStats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return FacilityStats{
+		Facility:      n.Name(),
+		Count:         len(n.live),
+		AvgSetCard:    n.card.avg(),
+		DistinctElems: n.tree.Keys(),
+		LookupPages:   n.tree.Height(),
+		StoragePages:  n.tree.Pages(),
+	}
+}
+
+var (
+	_ Describer = (*SSF)(nil)
+	_ Describer = (*BSSF)(nil)
+	_ Describer = (*FSSF)(nil)
+	_ Describer = (*NIX)(nil)
+)

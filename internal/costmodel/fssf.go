@@ -58,6 +58,55 @@ func (p FSSFParams) FSSFRetrievalSubset(dq float64) float64 {
 	return float64(p.K)*p.FramePages() + p.LCOID(fd, a) + p.dropResolution(fd, a)
 }
 
+// FSSFSmartSupersetFixed evaluates the fixed-k smart strategy (§5.1.3
+// applied to FSSF): probe with min(dq, k) query elements, reading only
+// the frames those k elements hash to, and resolve the weaker filter's
+// extra drops against the objects.
+func (p FSSFParams) FSSFSmartSupersetFixed(dq, k float64) float64 {
+	if k > dq {
+		k = dq
+	}
+	fd := p.FdSuperset(k)
+	a := p.ActualDropsSuperset(k)
+	return p.FramePages()*p.TouchedFrames(k) + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// FSSFSmartSuperset returns the best achievable smart cost over
+// k = 1..dq and the k attaining it, mirroring BSSFSmartSuperset.
+func (p FSSFParams) FSSFSmartSuperset(dq float64) (cost float64, k int) {
+	best := math.Inf(1)
+	bestK := 1
+	for kk := 1; float64(kk) <= dq; kk++ {
+		c := p.FSSFSmartSupersetFixed(dq, float64(kk))
+		if c < best {
+			best, bestK = c, kk
+		}
+	}
+	return best, bestK
+}
+
+// FSSFRetrievalOverlap returns RC for the overlap operator: like T ⊇ Q,
+// only the frames the query elements hash to are scanned (a record
+// overlapping the query must share an element, hence a touched frame),
+// with the overlap drop terms.
+func (p FSSFParams) FSSFRetrievalOverlap(dq float64) float64 {
+	fd := p.FdOverlap(dq)
+	a := p.ActualDropsOverlap(dq)
+	return p.FramePages()*p.TouchedFrames(dq) + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// FSSFRetrievalEquals returns RC for set equality: the superset filter
+// over the query's frames plus a cardinality check, with equality drops.
+func (p FSSFParams) FSSFRetrievalEquals(dq float64) float64 {
+	fd := p.FdEquals(dq)
+	a := p.ActualDropsEquals(dq)
+	return p.FramePages()*p.TouchedFrames(dq) + p.LCOID(fd, a) + p.dropResolution(fd, a)
+}
+
+// FSSFRetrievalContains returns RC for single-element membership — a
+// one-element superset query touching exactly one frame.
+func (p FSSFParams) FSSFRetrievalContains() float64 { return p.FSSFRetrievalSuperset(1) }
+
 // FSSFInsertCost returns UC_I: one page write per frame the object's
 // elements touch, plus the OID file — K·(1−(1−1/K)^Dt) + 1.
 func (p FSSFParams) FSSFInsertCost() float64 {

@@ -14,7 +14,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"tab5", "tab6", "tab7", "xval", "drift", "ext-fssf", "ext-operators", "summary", "fullscale",
+		"tab5", "tab6", "tab7", "xval", "drift", "planner", "ext-fssf", "ext-operators", "summary", "fullscale",
 		"ablation-smartk", "ablation-buffer", "ablation-hash", "ablation-varcard",
 	}
 	for _, id := range want {

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sigfile/internal/core"
+	"sigfile/internal/planner"
+	"sigfile/internal/signature"
+	"sigfile/internal/workload"
+)
+
+// This file adds the planner experiment: the cost-based planner
+// (internal/planner) run against a live build at the paper's Table 2
+// design point (scaled). For each query shape the planner picks a
+// facility and strategy from the facilities' own Describe() snapshots;
+// the chosen plan is then executed for real, with its caps, and the
+// measured mean page count is gated against the estimate that won the
+// plan. A chosen plan costing more than plannerCheckFactor × its own
+// estimate means the planner is being misled by its inputs — a verdict
+// `sigbench -metrics` exits nonzero on, next to the drift check.
+
+// plannerCheckFactor is the gate: the chosen plan's measured RC must
+// not exceed this multiple of the best (winning) estimate. Looser than
+// obs.DefaultDriftFactor because the planner's estimate is evaluated
+// from catalog snapshots, not the exact instance parameters.
+const plannerCheckFactor = 2.0
+
+func init() {
+	register(Experiment{
+		ID:       "planner",
+		Artifact: "Planner check (ours)",
+		Title:    "Cost-based planner: measured RC of each chosen plan vs its winning estimate, gated",
+		Run: func(w io.Writer, opt Options) error {
+			_, err := RunPlannerCheck(w, opt)
+			return err
+		},
+	})
+}
+
+// RunPlannerCheck builds the three modeled facilities at the paper's
+// Table 2 configuration (F=250, m=2, N and V scaled by opt.Scale),
+// plans a spread of query shapes through the cost-based planner, runs
+// each winning plan (facility, strategy and caps) for real, and writes
+// a plan-vs-measured table to w. It returns the number of plans whose
+// measured cost exceeded plannerCheckFactor × the winning estimate.
+// Like RunDrift, the experiment itself never fails on the gate; callers
+// that want a verdict (sigbench -metrics) use the returned count.
+func RunPlannerCheck(w io.Writer, opt Options) (int, error) {
+	opt = opt.withDefaults()
+	const f, m = 250, 2
+	cfg := workload.Scaled(10, opt.Scale)
+	setup, err := buildMeasured(cfg, f, m)
+	if err != nil {
+		return 0, err
+	}
+
+	// The planner sees exactly what the query engine would hand it: each
+	// facility's self-description plus the attribute catalog.
+	ams := []core.AccessMethod{setup.ssf, setup.bssf, setup.nix}
+	descs := make([]core.FacilityStats, len(ams))
+	for i, am := range ams {
+		descs[i] = am.(core.Describer).Describe()
+	}
+	cat := planner.Catalog{N: cfg.N, Dt: float64(cfg.Dt), V: cfg.V}
+	pl := planner.New()
+
+	type point struct {
+		pred signature.Predicate
+		dq   int
+	}
+	points := []point{
+		{signature.Contains, 1},
+		{signature.Superset, 2},
+		{signature.Superset, 5},
+		{signature.Overlap, 2},
+		{signature.Subset, 10},
+		{signature.Subset, 20},
+	}
+
+	fmt.Fprintf(w, "  %-9s %3s | %-18s | %9s %9s %7s\n",
+		"predicate", "Dq", "chosen plan", "est", "measured", "")
+	failures := 0
+	for _, pt := range points {
+		if pt.dq > cfg.V {
+			continue
+		}
+		plan := pl.Plan(pt.pred, pt.dq, cat, descs)
+		c := plan.Chosen()
+		if c == nil || c.Unmodeled {
+			return failures, fmt.Errorf("planner check: no modeled plan for %s Dq=%d", pt.pred, pt.dq)
+		}
+		opts := &core.SearchOptions{
+			MaxProbeElements: c.MaxProbeElements,
+			MaxZeroSlices:    c.MaxZeroSlices,
+		}
+		meas, err := setup.avgCost(ams[c.Index], pt.pred, pt.dq, opt.Trials, opt.Seed, opts)
+		if err != nil {
+			return failures, err
+		}
+		verdict := ""
+		if meas > plannerCheckFactor*c.EstimatedRC {
+			verdict = "FAIL"
+			failures++
+		}
+		chosen := c.Facility + " " + string(c.Strategy)
+		if c.MaxProbeElements > 0 {
+			chosen += fmt.Sprintf(" k=%d", c.MaxProbeElements)
+		}
+		if c.MaxZeroSlices > 0 {
+			chosen += fmt.Sprintf(" z=%d", c.MaxZeroSlices)
+		}
+		fmt.Fprintf(w, "  %-9s %3d | %-18s | %9.1f %9.1f %7s\n",
+			pt.pred, pt.dq, chosen, c.EstimatedRC, meas, verdict)
+	}
+	fmt.Fprintf(w, "  (scale 1/%d: N=%d, V=%d, F=%d, m=%d, gate: measured ≤ %.0f× winning estimate)\n",
+		opt.Scale, cfg.N, cfg.V, f, m, plannerCheckFactor)
+	return failures, nil
+}

@@ -1,0 +1,441 @@
+// Package planner implements cost-based access-path selection over the
+// set access facilities, the decision procedure the paper runs by hand
+// across Figures 5–10: given a query (predicate + cardinality D_q) and
+// the facilities registered on an attribute, evaluate the analytical
+// retrieval-cost formulas of internal/costmodel against live catalog
+// statistics (N, D_t, F, m, rc) and pick the facility and retrieval
+// strategy — naive, or smart with a probe cap k (T ⊇ Q, §5.1.3) or a
+// zero-slice cap (T ⊆ Q, §5.2.2) — with the lowest estimated page count.
+//
+// The planner reproduces the paper's crossovers by construction: NIX
+// wins T ⊇ Q only at D_q = 1 (Fig. 7), smart BSSF holds a small constant
+// cost on T ⊆ Q where NIX degrades linearly in D_q (Figs. 9–10).
+//
+// In adaptive mode the analytical estimate is multiplied by a measured
+// correction: an exponentially weighted average of measured/estimated
+// page ratios fed back per (facility, predicate) through Feedback —
+// closing the loop with the observability layer's page histograms.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"sigfile/internal/core"
+	"sigfile/internal/costmodel"
+	"sigfile/internal/obs"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// Fallbacks for catalog statistics a facility cannot supply (for
+// example after reopening from a persistent store, where the insert
+// history — and with it the measured D_t — predates the process). The
+// values are the paper's Table 2 design point.
+const (
+	DefaultDt = 10.0
+	DefaultV  = 13000
+)
+
+// Catalog carries the attribute-level statistics shared by every
+// facility on the indexed attribute.
+type Catalog struct {
+	// N is the number of indexed objects.
+	N int
+	// Dt is the mean target-set cardinality; 0 = unknown (DefaultDt).
+	Dt float64
+	// V is the domain cardinality (distinct element values); 0 = unknown
+	// (DefaultV).
+	V int
+	// PageSize in bytes; 0 = pagestore.PageSize.
+	PageSize int
+}
+
+// Strategy names a retrieval strategy.
+type Strategy string
+
+// The strategies the planner chooses between.
+const (
+	Naive Strategy = "naive"
+	Smart Strategy = "smart"
+)
+
+// Candidate is one (facility, strategy) pair the planner costed.
+type Candidate struct {
+	// Index is the position of the facility in the slice given to Plan,
+	// so callers can map the winner back to their own handle.
+	Index int
+	// Facility is the access-method name.
+	Facility string
+	// Strategy is Naive or Smart.
+	Strategy Strategy
+	// MaxProbeElements, when positive, is the smart probe cap k for
+	// T ⊇ Q — the value to pass as core.WithMaxProbeElements.
+	MaxProbeElements int
+	// MaxZeroSlices, when positive, is the smart zero-slice cap for
+	// BSSF's T ⊆ Q — the value to pass as core.WithMaxZeroSlices.
+	MaxZeroSlices int
+	// EstimatedRC is the analytical retrieval cost in pages.
+	EstimatedRC float64
+	// CorrectedRC is EstimatedRC scaled by the adaptive measured/model
+	// correction; equal to EstimatedRC when adaptive mode is off or no
+	// feedback exists yet. Candidates are ranked by it.
+	CorrectedRC float64
+	// Unmodeled marks a facility with no analytical formula for this
+	// predicate; it is ranked last and never chosen over a modeled one.
+	Unmodeled bool
+}
+
+// String renders the candidate for cost tables.
+func (c Candidate) String() string {
+	s := string(c.Strategy)
+	if c.MaxProbeElements > 0 {
+		s += fmt.Sprintf(" k=%d", c.MaxProbeElements)
+	}
+	if c.MaxZeroSlices > 0 {
+		s += fmt.Sprintf(" z=%d", c.MaxZeroSlices)
+	}
+	return fmt.Sprintf("%s %s est=%.1f corrected=%.1f", c.Facility, s, c.EstimatedRC, c.CorrectedRC)
+}
+
+// Plan is the planner's decision: every costed candidate, cheapest
+// first, plus the inputs that produced them.
+type Plan struct {
+	Predicate  signature.Predicate
+	Dq         int
+	Catalog    Catalog
+	Candidates []Candidate
+	// Reason states why the winner won, for EXPLAIN output.
+	Reason string
+}
+
+// Chosen returns the winning candidate (the cheapest), or nil when no
+// facility produced one.
+func (pl *Plan) Chosen() *Candidate {
+	if pl == nil || len(pl.Candidates) == 0 {
+		return nil
+	}
+	return &pl.Candidates[0]
+}
+
+// Planner evaluates plans and accumulates adaptive feedback. The zero
+// value is not usable; call New. A Planner is safe for concurrent use.
+type Planner struct {
+	mu       sync.Mutex
+	adaptive bool
+	// ratios holds the EWMA of measured/estimated page ratios per
+	// "facility|predicate".
+	ratios map[string]float64
+}
+
+// ewmaAlpha weighs new feedback against history; correctionClamp bounds
+// how far feedback can push an estimate, so one outlier measurement
+// cannot invert every future decision.
+const (
+	ewmaAlpha       = 0.3
+	correctionClamp = 4.0
+)
+
+// New returns a Planner with adaptive correction off.
+func New() *Planner {
+	return &Planner{ratios: make(map[string]float64)}
+}
+
+// SetAdaptive turns measured-feedback correction on or off. Feedback is
+// accumulated either way; the flag only gates whether it adjusts ranks.
+func (p *Planner) SetAdaptive(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.adaptive = on
+}
+
+// Adaptive reports whether correction is on.
+func (p *Planner) Adaptive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.adaptive
+}
+
+// Feedback records the measured page count of an executed plan against
+// its estimate, updating the (facility, predicate) correction and the
+// obs registry's planner histograms.
+func (p *Planner) Feedback(facility string, pred signature.Predicate, estimated, measured float64) {
+	if estimated <= 0 || measured < 0 || math.IsInf(estimated, 0) {
+		return
+	}
+	ratio := measured / estimated
+	p.mu.Lock()
+	key := facility + "|" + pred.String()
+	if old, ok := p.ratios[key]; ok {
+		ratio = (1-ewmaAlpha)*old + ewmaAlpha*ratio
+	}
+	p.ratios[key] = ratio
+	p.mu.Unlock()
+
+	obs.Default().Histogram("sigfile_planner_estimated_pages", obs.PageBuckets, "facility", facility).Observe(estimated)
+	obs.Default().Histogram("sigfile_planner_measured_pages", obs.PageBuckets, "facility", facility).Observe(measured)
+	// The drift between model and reality, scaled ×1000 into an integer
+	// gauge (1000 = perfect agreement).
+	obs.Default().Gauge("sigfile_planner_cost_ratio_milli", "facility", facility, "predicate", pred.String()).Set(int64(ratio * 1000))
+}
+
+// correction returns the clamped multiplicative correction for a
+// (facility, predicate), 1 when adaptive mode is off or nothing is
+// known.
+func (p *Planner) correction(facility string, pred signature.Predicate) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.adaptive {
+		return 1
+	}
+	r, ok := p.ratios[facility+"|"+pred.String()]
+	if !ok {
+		return 1
+	}
+	if r < 1/correctionClamp {
+		r = 1 / correctionClamp
+	}
+	if r > correctionClamp {
+		r = correctionClamp
+	}
+	return r
+}
+
+// Plan costs every registered facility (and, where the paper defines
+// one, its smart strategy) for a query with the given predicate and
+// cardinality, and returns the candidates cheapest-first. facilities is
+// the Describe() snapshot of each facility on the attribute.
+func (p *Planner) Plan(pred signature.Predicate, dq int, cat Catalog, facilities []core.FacilityStats) *Plan {
+	if dq < 1 {
+		// A vacuous query set; the formulas are meaningless, so cost it
+		// as the cheapest defined point.
+		dq = 1
+	}
+	pl := &Plan{Predicate: pred, Dq: dq, Catalog: cat}
+	for i, desc := range facilities {
+		pl.Candidates = append(pl.Candidates, p.candidates(pred, dq, cat, i, desc)...)
+	}
+	for i := range pl.Candidates {
+		c := &pl.Candidates[i]
+		c.CorrectedRC = c.EstimatedRC * p.correction(c.Facility, pred)
+	}
+	sort.SliceStable(pl.Candidates, func(i, j int) bool {
+		a, b := pl.Candidates[i], pl.Candidates[j]
+		if a.Unmodeled != b.Unmodeled {
+			return !a.Unmodeled
+		}
+		return a.CorrectedRC < b.CorrectedRC
+	})
+	pl.Reason = reason(pl)
+	if c := pl.Chosen(); c != nil {
+		obs.Default().Counter("sigfile_planner_plans_total", "facility", c.Facility, "strategy", string(c.Strategy)).Inc()
+	}
+	return pl
+}
+
+// reason renders a one-line justification of the winner.
+func reason(pl *Plan) string {
+	c := pl.Chosen()
+	if c == nil {
+		return "no facility available"
+	}
+	if c.Unmodeled {
+		return fmt.Sprintf("%s chosen without a cost model (no modeled alternative)", c.Facility)
+	}
+	for _, other := range pl.Candidates[1:] {
+		if other.Facility == c.Facility {
+			continue
+		}
+		if other.Unmodeled {
+			break
+		}
+		return fmt.Sprintf("%s %s estimated at %.1f pages vs %.1f for %s %s at Dq=%d",
+			c.Facility, c.Strategy, c.CorrectedRC, other.CorrectedRC, other.Facility, other.Strategy, pl.Dq)
+	}
+	return fmt.Sprintf("%s %s is the only modeled candidate (%.1f pages)", c.Facility, c.Strategy, c.CorrectedRC)
+}
+
+// params assembles the cost-model parameters for one facility from the
+// shared catalog plus the facility's own design constants.
+func params(cat Catalog, desc core.FacilityStats) costmodel.Params {
+	dt := cat.Dt
+	if dt <= 0 {
+		if desc.AvgSetCard > 0 {
+			dt = desc.AvgSetCard
+		} else {
+			dt = DefaultDt
+		}
+	}
+	v := cat.V
+	if v <= 0 {
+		v = desc.DistinctElems
+	}
+	if v <= 0 {
+		v = DefaultV
+	}
+	if float64(v) < dt {
+		v = int(math.Ceil(dt))
+	}
+	n := cat.N
+	if n <= 0 {
+		n = desc.Count
+	}
+	if n < 1 {
+		n = 1
+	}
+	ps := cat.PageSize
+	if ps <= 0 {
+		ps = pagestore.PageSize
+	}
+	return costmodel.Params{
+		N: n, P: ps, OIDSize: 8, V: v, Dt: dt,
+		F: desc.F, M: float64(desc.M),
+		KeyLen: 8, MIDLen: 2, Fanout: 218, Ps: 1, Pu: 1,
+		// The catalog describes a real instance with integer element
+		// weights, so the exact combinatorial false-drop forms apply.
+		UseExact: true,
+	}
+}
+
+// candidates enumerates the costed strategies of one facility.
+func (p *Planner) candidates(pred signature.Predicate, dq int, cat Catalog, idx int, desc core.FacilityStats) []Candidate {
+	cm := params(cat, desc)
+	mk := func(strategy Strategy, rc float64) Candidate {
+		return Candidate{Index: idx, Facility: desc.Facility, Strategy: strategy, EstimatedRC: rc}
+	}
+	d := float64(dq)
+	switch desc.Facility {
+	case "SSF":
+		// SSF has no smart strategy: the full scan dominates regardless
+		// of probe strength.
+		var rc float64
+		switch pred {
+		case signature.Superset:
+			rc = cm.SSFRetrievalSuperset(d)
+		case signature.Subset:
+			rc = cm.SSFRetrievalSubset(d)
+		case signature.Overlap:
+			rc = cm.SSFRetrievalOverlap(d)
+		case signature.Equals:
+			rc = cm.SSFRetrievalEquals(d)
+		case signature.Contains:
+			rc = cm.SSFRetrievalContains()
+		}
+		return []Candidate{mk(Naive, rc)}
+
+	case "BSSF":
+		switch pred {
+		case signature.Superset:
+			out := []Candidate{mk(Naive, cm.BSSFRetrievalSuperset(d))}
+			if cost, k := cm.BSSFSmartSuperset(d); k < dq {
+				c := mk(Smart, cost)
+				c.MaxProbeElements = k
+				out = append(out, c)
+			}
+			return out
+		case signature.Subset:
+			out := []Candidate{mk(Naive, cm.BSSFRetrievalSubset(d))}
+			if dqOpt := cm.BSSFSubsetDqOpt(); d < dqOpt {
+				// Scan only the zero slices a D_q^opt-element query
+				// would have: F − m_q(D_q^opt) of them (§5.2.2).
+				z := int(math.Round(float64(cm.F) - cm.Mq(dqOpt)))
+				if z >= 1 {
+					c := mk(Smart, cm.BSSFSmartSubset(d))
+					c.MaxZeroSlices = z
+					out = append(out, c)
+				}
+			}
+			return out
+		case signature.Overlap:
+			return []Candidate{mk(Naive, cm.BSSFRetrievalOverlap(d))}
+		case signature.Equals:
+			return []Candidate{mk(Naive, cm.BSSFRetrievalEquals(d))}
+		case signature.Contains:
+			return []Candidate{mk(Naive, cm.BSSFRetrievalContains())}
+		}
+
+	case "FSSF":
+		if desc.Frames <= 0 || desc.F <= 0 || desc.F%desc.Frames != 0 {
+			return []Candidate{unmodeled(idx, desc)}
+		}
+		fp := cm.FSSF(desc.Frames)
+		switch pred {
+		case signature.Superset:
+			out := []Candidate{mk(Naive, fp.FSSFRetrievalSuperset(d))}
+			if cost, k := fp.FSSFSmartSuperset(d); k < dq {
+				c := mk(Smart, cost)
+				c.MaxProbeElements = k
+				out = append(out, c)
+			}
+			return out
+		case signature.Subset:
+			return []Candidate{mk(Naive, fp.FSSFRetrievalSubset(d))}
+		case signature.Overlap:
+			return []Candidate{mk(Naive, fp.FSSFRetrievalOverlap(d))}
+		case signature.Equals:
+			return []Candidate{mk(Naive, fp.FSSFRetrievalEquals(d))}
+		case signature.Contains:
+			return []Candidate{mk(Naive, fp.FSSFRetrievalContains())}
+		}
+
+	case "NIX":
+		// rc is the measured tree height when the snapshot has one,
+		// otherwise the fanout model's estimate.
+		rc := float64(desc.LookupPages)
+		if rc <= 0 {
+			rc = cm.NIXLookupCost()
+		}
+		switch pred {
+		case signature.Superset, signature.Contains:
+			if pred == signature.Contains {
+				d = 1
+			}
+			out := []Candidate{mk(Naive, rc*d+cm.Ps*cm.ActualDropsSuperset(d))}
+			if cost, k := nixSmartSuperset(cm, rc, d); k < int(d) {
+				c := mk(Smart, cost)
+				c.MaxProbeElements = k
+				out = append(out, c)
+			}
+			return out
+		case signature.Subset:
+			// Appendix B with the measured rc substituted.
+			overlap := cm.ProbOverlap(d)
+			subset := cm.ActualDropsSubset(d) / float64(cm.N)
+			nonQual := overlap - subset
+			if nonQual < 0 {
+				nonQual = 0
+			}
+			return []Candidate{mk(Naive, rc*d+cm.Pu*float64(cm.N)*nonQual+cm.Ps*float64(cm.N)*subset)}
+		case signature.Overlap:
+			return []Candidate{mk(Naive, rc*d+cm.Ps*cm.ActualDropsOverlap(d))}
+		case signature.Equals:
+			return []Candidate{mk(Naive, rc*d+cm.Pu*cm.ActualDropsSuperset(d))}
+		}
+	}
+	return []Candidate{unmodeled(idx, desc)}
+}
+
+// nixSmartSuperset is costmodel.NIXSmartSuperset with the measured
+// lookup cost substituted for the fanout model's.
+func nixSmartSuperset(cm costmodel.Params, rc, dq float64) (cost float64, k int) {
+	best := math.Inf(1)
+	bestK := 1
+	for kk := 1; float64(kk) <= dq; kk++ {
+		c := rc*float64(kk) + cm.Ps*cm.ActualDropsSuperset(float64(kk))
+		if c < best {
+			best, bestK = c, kk
+		}
+	}
+	return best, bestK
+}
+
+// unmodeled builds the ranked-last candidate for a facility the cost
+// model does not cover.
+func unmodeled(idx int, desc core.FacilityStats) Candidate {
+	return Candidate{
+		Index: idx, Facility: desc.Facility, Strategy: Naive,
+		EstimatedRC: math.Inf(1), CorrectedRC: math.Inf(1), Unmodeled: true,
+	}
+}

@@ -1,0 +1,285 @@
+package planner
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sigfile/internal/core"
+	"sigfile/internal/signature"
+)
+
+// paperCatalog is the Table 2 design point the figures are drawn at.
+func paperCatalog() Catalog { return Catalog{N: 32000, Dt: 10, V: 13000} }
+
+// paperFacilities is a Describe() snapshot of the three main facilities
+// built at the paper's parameters (F=252, m=2; a three-level B⁺-tree).
+func paperFacilities() []core.FacilityStats {
+	return []core.FacilityStats{
+		{Facility: "SSF", Count: 32000, F: 252, M: 2},
+		{Facility: "BSSF", Count: 32000, F: 252, M: 2},
+		{Facility: "NIX", Count: 32000, DistinctElems: 13000, LookupPages: 3},
+	}
+}
+
+func findCand(t *testing.T, pl *Plan, facility string, strategy Strategy) Candidate {
+	t.Helper()
+	for _, c := range pl.Candidates {
+		if c.Facility == facility && c.Strategy == strategy {
+			return c
+		}
+	}
+	t.Fatalf("no %s %s candidate in %v", facility, strategy, pl.Candidates)
+	return Candidate{}
+}
+
+// TestGoldenSupersetDq1 pins Fig. 7's left edge: for T ⊇ Q at D_q = 1
+// the nested index wins — one root-to-leaf descent beats reading even a
+// single bit slice plus drop resolution.
+func TestGoldenSupersetDq1(t *testing.T) {
+	pl := New().Plan(signature.Superset, 1, paperCatalog(), paperFacilities())
+	c := pl.Chosen()
+	if c == nil {
+		t.Fatal("no candidate chosen")
+	}
+	if c.Facility != "NIX" {
+		t.Fatalf("superset Dq=1: chose %s, want NIX (Fig. 7)", c.Facility)
+	}
+	if c.Strategy != Naive {
+		t.Fatalf("superset Dq=1: strategy %s, want naive", c.Strategy)
+	}
+	// And NIX must genuinely undercut the signature files, not tie.
+	bssf := findCand(t, pl, "BSSF", Naive)
+	if !(c.EstimatedRC < bssf.EstimatedRC/5) {
+		t.Fatalf("NIX %.1f should be far below BSSF %.1f at Dq=1", c.EstimatedRC, bssf.EstimatedRC)
+	}
+}
+
+// TestGoldenSupersetSmart pins Fig. 7's right side: past the crossover
+// the smart strategies (probe with k ≪ D_q elements) dominate every
+// naive plan, and the sequential file is never competitive.
+func TestGoldenSupersetSmart(t *testing.T) {
+	pl := New().Plan(signature.Superset, 10, paperCatalog(), paperFacilities())
+	c := pl.Chosen()
+	if c == nil {
+		t.Fatal("no candidate chosen")
+	}
+	if c.Facility == "SSF" {
+		t.Fatal("superset Dq=10: SSF chosen; the full scan should never win here")
+	}
+	if c.Strategy != Smart {
+		t.Fatalf("superset Dq=10: strategy %s, want smart", c.Strategy)
+	}
+	if c.MaxProbeElements < 1 || c.MaxProbeElements > 4 {
+		t.Fatalf("superset Dq=10: probe cap k=%d, want a small cap (1..4)", c.MaxProbeElements)
+	}
+	for _, fac := range []string{"SSF", "BSSF"} {
+		naive := findCand(t, pl, fac, Naive)
+		if !(c.EstimatedRC < naive.EstimatedRC) {
+			t.Fatalf("smart %.1f should beat %s naive %.1f", c.EstimatedRC, fac, naive.EstimatedRC)
+		}
+	}
+}
+
+// TestGoldenSubsetLargeDq pins Figs. 9–10: for T ⊆ Q at large D_q the
+// smart bit-sliced strategy (read only ~F−m_q(D_q^opt) zero slices)
+// holds a small, D_q-independent cost while NIX degrades linearly —
+// every query element costs a tree descent.
+func TestGoldenSubsetLargeDq(t *testing.T) {
+	p := New()
+	var bssfCosts, nixCosts []float64
+	for _, dq := range []int{20, 50, 100} {
+		pl := p.Plan(signature.Subset, dq, paperCatalog(), paperFacilities())
+		c := pl.Chosen()
+		if c == nil {
+			t.Fatal("no candidate chosen")
+		}
+		if c.Facility != "BSSF" || c.Strategy != Smart {
+			t.Fatalf("subset Dq=%d: chose %s %s, want BSSF smart (Figs. 9-10)", dq, c.Facility, c.Strategy)
+		}
+		if c.MaxZeroSlices < 1 {
+			t.Fatalf("subset Dq=%d: smart plan has no zero-slice cap", dq)
+		}
+		bssfCosts = append(bssfCosts, c.EstimatedRC)
+		nixCosts = append(nixCosts, findCand(t, pl, "NIX", Naive).EstimatedRC)
+	}
+	// The smart cost is flat in D_q (same zero-slice budget every time)…
+	for _, c := range bssfCosts[1:] {
+		if math.Abs(c-bssfCosts[0]) > 1e-9 {
+			t.Fatalf("smart BSSF subset cost should be Dq-independent: %v", bssfCosts)
+		}
+	}
+	// …while NIX strictly degrades.
+	for i := 1; i < len(nixCosts); i++ {
+		if !(nixCosts[i] > nixCosts[i-1]) {
+			t.Fatalf("NIX subset cost should grow with Dq: %v", nixCosts)
+		}
+	}
+	if !(nixCosts[1] > 5*bssfCosts[1]) {
+		t.Fatalf("at Dq=50 NIX (%.1f) should be far above smart BSSF (%.1f)", nixCosts[1], bssfCosts[1])
+	}
+}
+
+// TestFallbackStats exercises planning with an empty shared catalog: the
+// per-facility Describe() numbers (and ultimately the Table 2 defaults)
+// must carry the estimate, never an Inf/NaN.
+func TestFallbackStats(t *testing.T) {
+	p := New()
+	facs := []core.FacilityStats{
+		{Facility: "BSSF", Count: 500, AvgSetCard: 4, F: 64, M: 2},
+		{Facility: "NIX", Count: 500, DistinctElems: 40, LookupPages: 2},
+	}
+	for _, pred := range []signature.Predicate{
+		signature.Superset, signature.Subset, signature.Overlap,
+		signature.Equals, signature.Contains,
+	} {
+		pl := p.Plan(pred, 3, Catalog{}, facs)
+		for _, c := range pl.Candidates {
+			if math.IsInf(c.EstimatedRC, 0) || math.IsNaN(c.EstimatedRC) {
+				t.Fatalf("%s: non-finite estimate for %v", pred, c)
+			}
+		}
+		if pl.Chosen() == nil {
+			t.Fatalf("%s: nothing chosen", pred)
+		}
+	}
+	// A wholly unknown facility still plans, on defaults alone.
+	pl := p.Plan(signature.Superset, 2, Catalog{}, []core.FacilityStats{{Facility: "BSSF", F: 64, M: 2}})
+	if c := pl.Chosen(); c == nil || math.IsInf(c.EstimatedRC, 0) {
+		t.Fatalf("defaults-only plan failed: %v", pl.Candidates)
+	}
+}
+
+// TestAdaptiveCorrection: measured feedback showing the model underprices
+// BSSF subset retrieval 3× flips the choice away from BSSF — but only
+// once adaptive mode is on, and never by more than the clamp.
+func TestAdaptiveCorrection(t *testing.T) {
+	p := New()
+	cat, facs := paperCatalog(), paperFacilities()
+
+	pl := p.Plan(signature.Subset, 10, cat, facs)
+	base := pl.Chosen()
+	if base.Facility != "BSSF" || base.Strategy != Smart {
+		t.Fatalf("precondition: expected BSSF smart, got %v", base)
+	}
+	// Reality reports 3× the estimate for BSSF on this predicate.
+	p.Feedback("BSSF", signature.Subset, base.EstimatedRC, 3*base.EstimatedRC)
+
+	// Feedback accumulates, but with adaptive off it must not change ranks.
+	pl = p.Plan(signature.Subset, 10, cat, facs)
+	if c := pl.Chosen(); c.Facility != "BSSF" || c.CorrectedRC != c.EstimatedRC {
+		t.Fatalf("adaptive off: feedback leaked into the plan: %v", c)
+	}
+
+	p.SetAdaptive(true)
+	if !p.Adaptive() {
+		t.Fatal("Adaptive() should report true")
+	}
+	pl = p.Plan(signature.Subset, 10, cat, facs)
+	c := pl.Chosen()
+	if c.Facility == "BSSF" {
+		t.Fatalf("adaptive on: 3x-corrected BSSF (%.1f) should lose its lead; chose %v",
+			3*base.EstimatedRC, c)
+	}
+	bssf := findCand(t, pl, "BSSF", Smart)
+	if math.Abs(bssf.CorrectedRC-3*bssf.EstimatedRC) > 1e-6 {
+		t.Fatalf("corrected %.2f, want 3x estimate %.2f", bssf.CorrectedRC, 3*bssf.EstimatedRC)
+	}
+
+	// An absurd measurement is clamped: corrections never exceed 4x.
+	p.Feedback("NIX", signature.Superset, 1, 1000)
+	pl = p.Plan(signature.Superset, 1, cat, facs)
+	nix := findCand(t, pl, "NIX", Naive)
+	if nix.CorrectedRC > 4*nix.EstimatedRC+1e-6 {
+		t.Fatalf("correction escaped the clamp: est %.1f corrected %.1f", nix.EstimatedRC, nix.CorrectedRC)
+	}
+}
+
+// TestUnmodeledRankedLast: a facility without a cost model never beats a
+// modeled one, but is still chosen when it is all there is.
+func TestUnmodeledRankedLast(t *testing.T) {
+	p := New()
+	facs := []core.FacilityStats{
+		{Facility: "EXOTIC"},
+		{Facility: "BSSF", Count: 1000, F: 64, M: 2},
+	}
+	pl := p.Plan(signature.Superset, 2, Catalog{Dt: 4, V: 100}, facs)
+	if c := pl.Chosen(); c.Facility != "BSSF" {
+		t.Fatalf("unmodeled facility won: %v", c)
+	}
+	last := pl.Candidates[len(pl.Candidates)-1]
+	if !last.Unmodeled || last.Facility != "EXOTIC" {
+		t.Fatalf("unmodeled candidate not ranked last: %v", pl.Candidates)
+	}
+
+	pl = p.Plan(signature.Superset, 2, Catalog{}, facs[:1])
+	c := pl.Chosen()
+	if c == nil || !c.Unmodeled {
+		t.Fatalf("sole unmodeled facility should still be chosen: %v", c)
+	}
+	if !strings.Contains(pl.Reason, "without a cost model") {
+		t.Fatalf("reason should flag the missing model: %q", pl.Reason)
+	}
+}
+
+// TestFSSFCandidates: the frame-sliced file is modeled (including the
+// smart superset probe) when K divides F, and degrades to unmodeled when
+// the snapshot's frame split is inconsistent.
+func TestFSSFCandidates(t *testing.T) {
+	p := New()
+	good := []core.FacilityStats{{Facility: "FSSF", Count: 32000, F: 256, M: 2, Frames: 16}}
+	pl := p.Plan(signature.Superset, 10, Catalog{N: 32000, Dt: 10, V: 13000}, good)
+	smart := findCand(t, pl, "FSSF", Smart)
+	if smart.MaxProbeElements < 1 || math.IsInf(smart.EstimatedRC, 0) {
+		t.Fatalf("FSSF smart superset not costed: %v", smart)
+	}
+	naive := findCand(t, pl, "FSSF", Naive)
+	if !(smart.EstimatedRC < naive.EstimatedRC) {
+		t.Fatalf("FSSF smart %.1f should beat naive %.1f at Dq=10", smart.EstimatedRC, naive.EstimatedRC)
+	}
+	for _, pred := range []signature.Predicate{signature.Subset, signature.Overlap, signature.Equals, signature.Contains} {
+		pl := p.Plan(pred, 5, Catalog{N: 32000, Dt: 10, V: 13000}, good)
+		if c := pl.Chosen(); c == nil || c.Unmodeled {
+			t.Fatalf("FSSF %s should be modeled, got %v", pred, c)
+		}
+	}
+
+	bad := []core.FacilityStats{{Facility: "FSSF", Count: 100, F: 252, M: 2, Frames: 16}}
+	pl = p.Plan(signature.Superset, 3, Catalog{}, bad)
+	if c := pl.Chosen(); !c.Unmodeled {
+		t.Fatalf("FSSF with K∤F should be unmodeled, got %v", c)
+	}
+}
+
+// TestPlanShape covers the small API contracts EXPLAIN leans on.
+func TestPlanShape(t *testing.T) {
+	p := New()
+	pl := p.Plan(signature.Superset, 0, paperCatalog(), paperFacilities())
+	if pl.Dq != 1 {
+		t.Fatalf("Dq=0 should clamp to 1, got %d", pl.Dq)
+	}
+	for i := 1; i < len(pl.Candidates); i++ {
+		a, b := pl.Candidates[i-1], pl.Candidates[i]
+		if !a.Unmodeled && !b.Unmodeled && a.CorrectedRC > b.CorrectedRC {
+			t.Fatalf("candidates not sorted cheapest-first: %v", pl.Candidates)
+		}
+	}
+	if pl.Reason == "" {
+		t.Fatal("plan has no reason")
+	}
+	c := pl.Chosen()
+	if c.Index < 0 || c.Index >= len(paperFacilities()) {
+		t.Fatalf("chosen Index %d out of range", c.Index)
+	}
+	if got := (Candidate{Facility: "BSSF", Strategy: Smart, MaxProbeElements: 2, EstimatedRC: 6, CorrectedRC: 6}).String(); !strings.Contains(got, "BSSF smart k=2") {
+		t.Fatalf("Candidate.String: %q", got)
+	}
+
+	if (&Plan{}).Chosen() != nil || (*Plan)(nil).Chosen() != nil {
+		t.Fatal("empty/nil plan should have no chosen candidate")
+	}
+	empty := p.Plan(signature.Superset, 1, Catalog{}, nil)
+	if empty.Chosen() != nil || empty.Reason != "no facility available" {
+		t.Fatalf("empty facility list: %v / %q", empty.Candidates, empty.Reason)
+	}
+}

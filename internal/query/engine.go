@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"sigfile/internal/obs"
 	"sigfile/internal/oodb"
 	"sigfile/internal/pagestore"
+	"sigfile/internal/planner"
 	"sigfile/internal/signature"
 )
 
@@ -37,6 +39,7 @@ const (
 	KindSSF IndexKind = iota
 	KindBSSF
 	KindNIX
+	KindFSSF
 )
 
 // String implements fmt.Stringer.
@@ -48,8 +51,26 @@ func (k IndexKind) String() string {
 		return "BSSF"
 	case KindNIX:
 		return "NIX"
+	case KindFSSF:
+		return "FSSF"
 	default:
 		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// coreKind maps the engine-level kind to the unified construction API's.
+func (k IndexKind) coreKind() (core.Kind, error) {
+	switch k {
+	case KindSSF:
+		return core.KindSSF, nil
+	case KindBSSF:
+		return core.KindBSSF, nil
+	case KindNIX:
+		return core.KindNIX, nil
+	case KindFSSF:
+		return core.KindFSSF, nil
+	default:
+		return 0, fmt.Errorf("query: unknown index kind %d", int(k))
 	}
 }
 
@@ -58,8 +79,15 @@ func (k IndexKind) String() string {
 // facilities across inserts and deletes. Mutations must flow through the
 // engine (Insert/Delete), not the raw database, or indexes go stale.
 type Engine struct {
-	db      *oodb.Database
-	indexes map[string]*indexEntry // key: "Class.attr"
+	db *oodb.Database
+	// indexes maps "Class.attr" to every facility registered on that
+	// path; the planner chooses among them per query.
+	indexes map[string][]*indexEntry
+	// cats holds per-attribute element statistics (the planner's V),
+	// maintained on Insert/Delete and seeded at CreateIndex.
+	cats map[string]*attrCatalog
+	// pl is the cost-based planner driving access-path selection.
+	pl *planner.Planner
 	// parallelism is forwarded as SearchOptions.Parallelism to every
 	// index search the engine drives; 0 keeps searches sequential.
 	parallelism int
@@ -74,6 +102,7 @@ type Engine struct {
 
 type indexEntry struct {
 	am    core.AccessMethod
+	kind  IndexKind
 	class string
 	attr  string // direct attribute name, or dotted "setAttr.leafAttr" path
 	// nested resolves the paper's §4.3 nested path (attr contains a
@@ -99,11 +128,20 @@ func NewEngine(db *oodb.Database) (*Engine, error) {
 	if db == nil {
 		return nil, fmt.Errorf("query: nil database")
 	}
-	return &Engine{db: db, indexes: make(map[string]*indexEntry)}, nil
+	return &Engine{
+		db:      db,
+		indexes: make(map[string][]*indexEntry),
+		cats:    make(map[string]*attrCatalog),
+		pl:      planner.New(),
+	}, nil
 }
 
 // DB returns the underlying database.
 func (e *Engine) DB() *oodb.Database { return e.db }
+
+// Planner returns the engine's cost-based planner, e.g. to switch
+// adaptive correction on: e.Planner().SetAdaptive(true).
+func (e *Engine) Planner() *planner.Planner { return e.pl }
 
 // SetSearchParallelism makes every index search the engine drives fan
 // across up to n goroutines (0 or 1 = sequential, negative = one per
@@ -155,8 +193,13 @@ func (e *Engine) observeQuery(q *Query, rs *ResultSet, err error, elapsed time.D
 // class.attr, bulk-loading it from the existing objects. attr may be a
 // nested path "setAttr.leafAttr" through a set<ref> attribute — the
 // paper's §4.3 example is the NIX on "Student.courses.category". scheme
-// is required for SSF/BSSF and ignored for NIX. store receives the
-// facility's files (nil = in-memory).
+// is required for SSF/BSSF/FSSF (the FSSF frame split is derived from
+// it) and ignored for NIX. store receives the facility's files (nil =
+// in-memory).
+//
+// Several facilities of different kinds may index the same path; the
+// planner picks the cheapest per query. Only a second facility of the
+// same kind is rejected.
 //
 // Nested indexes are maintained when objects of the indexed class are
 // inserted or deleted through the engine; like the paper's model, they
@@ -165,12 +208,17 @@ func (e *Engine) observeQuery(q *Query, rs *ResultSet, err error, elapsed time.D
 // nested-index maintenance problem, out of scope here.
 func (e *Engine) CreateIndex(class, attr string, kind IndexKind, scheme *signature.Scheme, store pagestore.Store) (core.AccessMethod, error) {
 	key := class + "." + attr
-	if _, dup := e.indexes[key]; dup {
-		return nil, fmt.Errorf("query: index on %s already exists", key)
+	for _, ent := range e.indexes[key] {
+		if ent.kind == kind {
+			return nil, fmt.Errorf("query: %s index on %s already exists", kind, key)
+		}
+	}
+	ck, err := kind.coreKind()
+	if err != nil {
+		return nil, err
 	}
 	var src core.SetSource
 	var nested *oodb.NestedSetSource
-	var err error
 	if setAttr, leafAttr, isNested := strings.Cut(attr, "."); isNested {
 		nested, err = e.db.NewNestedSetSource(class, setAttr, leafAttr)
 		src = nested
@@ -182,106 +230,196 @@ func (e *Engine) CreateIndex(class, attr string, kind IndexKind, scheme *signatu
 	}
 	if store != nil {
 		// Namespace the facility's files so several indexes can share
-		// one store.
+		// one store; the per-kind file names keep kinds apart within it.
 		store = pagestore.Prefixed(store, key)
 	}
-	var am core.AccessMethod
-	switch kind {
-	case KindSSF:
-		am, err = core.NewSSF(scheme, src, store)
-	case KindBSSF:
-		am, err = core.NewBSSF(scheme, src, store)
-	case KindNIX:
-		am, err = core.NewNIX(src, store)
-	default:
-		return nil, fmt.Errorf("query: unknown index kind %d", kind)
-	}
+	am, err := core.Open(core.Config{Kind: ck, Scheme: scheme, Source: src, Store: store})
 	if err != nil {
 		return nil, err
+	}
+	// Seed the attribute catalog on the first facility for this path; a
+	// second facility reuses it.
+	cat := e.cats[key]
+	fill := cat == nil
+	if fill {
+		cat = newAttrCatalog()
+	}
+	scanElems := func(fn func(oid uint64, elems []string) error) error {
+		return e.db.Scan(class, func(o *oodb.Object) error {
+			var elems []string
+			var err error
+			if nested != nil {
+				elems, err = nested.Set(uint64(o.OID))
+			} else {
+				elems, err = o.SetAttr(attr)
+			}
+			if err != nil {
+				return err
+			}
+			return fn(uint64(o.OID), elems)
+		})
 	}
 	if am.Count() > 0 {
 		// The store already holds this facility's files (a persistent
 		// store reopened after a shutdown or crash): the constructor
-		// recovered its state, so bulk loading would double-insert.
-		e.indexes[key] = &indexEntry{am: am, class: class, attr: attr, nested: nested}
-		return am, nil
-	}
-	// Bulk load from the heap, batching page writes where the facility
-	// supports it.
-	var entries []core.Entry
-	err = e.db.Scan(class, func(o *oodb.Object) error {
-		var elems []string
-		var err error
-		if nested != nil {
-			elems, err = nested.Set(uint64(o.OID))
-		} else {
-			elems, err = o.SetAttr(attr)
+		// recovered its state, so bulk loading would double-insert. The
+		// catalog still needs seeding from the heap.
+		if fill {
+			if err := scanElems(func(_ uint64, elems []string) error {
+				cat.add(elems)
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("query: seed catalog %s: %w", key, err)
+			}
+		}
+	} else {
+		// Bulk load from the heap, batching page writes where the
+		// facility supports it.
+		var entries []core.Entry
+		err = scanElems(func(oid uint64, elems []string) error {
+			entries = append(entries, core.Entry{OID: oid, Elems: elems})
+			if fill {
+				cat.add(elems)
+			}
+			return nil
+		})
+		if err == nil {
+			err = core.InsertAll(am, entries)
 		}
 		if err != nil {
-			return err
+			return nil, fmt.Errorf("query: bulk load %s: %w", key, err)
 		}
-		entries = append(entries, core.Entry{OID: uint64(o.OID), Elems: elems})
-		return nil
-	})
-	if err == nil {
-		err = am.(core.BatchInserter).InsertBatch(entries)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("query: bulk load %s: %w", key, err)
-	}
-	e.indexes[key] = &indexEntry{am: am, class: class, attr: attr, nested: nested}
+	e.cats[key] = cat
+	e.indexes[key] = append(e.indexes[key], &indexEntry{am: am, kind: kind, class: class, attr: attr, nested: nested})
 	return am, nil
 }
 
-// Index returns the access method registered on class.attr, or nil.
+// Index returns the first access method registered on class.attr, or
+// nil. With several facilities on the path, Indexes lists them all.
 func (e *Engine) Index(class, attr string) core.AccessMethod {
-	ent := e.indexes[class+"."+attr]
-	if ent == nil {
+	ents := e.indexes[class+"."+attr]
+	if len(ents) == 0 {
 		return nil
 	}
-	return ent.am
+	return ents[0].am
 }
 
-// Insert stores a new object and maintains every index on its class.
+// Indexes returns every access method registered on class.attr in
+// creation order.
+func (e *Engine) Indexes(class, attr string) []core.AccessMethod {
+	ents := e.indexes[class+"."+attr]
+	out := make([]core.AccessMethod, len(ents))
+	for i, ent := range ents {
+		out[i] = ent.am
+	}
+	return out
+}
+
+// Insert stores a new object and maintains every index (and its
+// attribute catalog) on its class.
 func (e *Engine) Insert(class string, attrs map[string]oodb.Value) (oodb.OID, error) {
 	oid, err := e.db.Insert(class, attrs)
 	if err != nil {
 		return oodb.NilOID, err
 	}
-	for _, ent := range e.indexes {
-		if ent.class != class {
+	for key, ents := range e.indexes {
+		if len(ents) == 0 || ents[0].class != class {
 			continue
 		}
-		elems, err := ent.elemsOf(e.db, oid)
+		elems, err := ents[0].elemsOf(e.db, oid)
 		if err != nil {
-			return oodb.NilOID, fmt.Errorf("query: maintain index %s.%s: %w", ent.class, ent.attr, err)
+			return oodb.NilOID, fmt.Errorf("query: maintain index %s: %w", key, err)
 		}
-		if err := ent.am.Insert(uint64(oid), elems); err != nil {
-			return oodb.NilOID, fmt.Errorf("query: maintain index %s.%s: %w", ent.class, ent.attr, err)
+		for _, ent := range ents {
+			if err := ent.am.Insert(uint64(oid), elems); err != nil {
+				return oodb.NilOID, fmt.Errorf("query: maintain index %s: %w", key, err)
+			}
+		}
+		if cat := e.cats[key]; cat != nil {
+			cat.add(elems)
 		}
 	}
 	return oid, nil
 }
 
-// Delete removes an object and maintains every index on its class.
+// Delete removes an object and maintains every index (and its attribute
+// catalog) on its class.
 func (e *Engine) Delete(oid oodb.OID) error {
 	o, err := e.db.Get(oid)
 	if err != nil {
 		return err
 	}
-	for _, ent := range e.indexes {
-		if ent.class != o.Class {
+	for key, ents := range e.indexes {
+		if len(ents) == 0 || ents[0].class != o.Class {
 			continue
 		}
-		elems, err := ent.elemsOf(e.db, oid)
+		elems, err := ents[0].elemsOf(e.db, oid)
 		if err != nil {
 			return err
 		}
-		if err := ent.am.Delete(uint64(oid), elems); err != nil {
-			return fmt.Errorf("query: maintain index %s.%s: %w", ent.class, ent.attr, err)
+		for _, ent := range ents {
+			if err := ent.am.Delete(uint64(oid), elems); err != nil {
+				return fmt.Errorf("query: maintain index %s: %w", key, err)
+			}
+		}
+		if cat := e.cats[key]; cat != nil {
+			cat.remove(elems)
 		}
 	}
 	return e.db.Delete(oid)
+}
+
+// attrCatalog tracks element reference counts on one indexed path, so
+// the planner's domain cardinality V stays fresh across mutations.
+type attrCatalog struct {
+	mu   sync.RWMutex
+	refs map[string]int
+}
+
+func newAttrCatalog() *attrCatalog { return &attrCatalog{refs: make(map[string]int)} }
+
+func (c *attrCatalog) add(elems []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range dedupElems(elems) {
+		c.refs[el]++
+	}
+}
+
+func (c *attrCatalog) remove(elems []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range dedupElems(elems) {
+		if n := c.refs[el]; n <= 1 {
+			delete(c.refs, el)
+		} else {
+			c.refs[el] = n - 1
+		}
+	}
+}
+
+// distinct returns V, the number of distinct element values live on the
+// attribute.
+func (c *attrCatalog) distinct() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.refs)
+}
+
+// dedupElems returns the distinct elements of a set value, preserving
+// first-occurrence order.
+func dedupElems(elems []string) []string {
+	seen := make(map[string]struct{}, len(elems))
+	out := make([]string, 0, len(elems))
+	for _, el := range elems {
+		if _, dup := seen[el]; dup {
+			continue
+		}
+		seen[el] = struct{}{}
+		out = append(out, el)
+	}
+	return out
 }
 
 // ResultSet is the outcome of a query.
@@ -289,8 +427,15 @@ type ResultSet struct {
 	// Objects are the qualifying objects in ascending OID order.
 	Objects []*oodb.Object
 	// Plan describes how the query was executed, e.g.
-	// "index(BSSF Student.hobbies T ⊇ Q)" or "scan(Student)".
+	// "index(BSSF Student.hobbies T ⊇ Q)" or "scan(Student)". It is
+	// PlanNode.String() of the structured plan.
 	Plan string
+	// PlanNode is the structured form of Plan.
+	PlanNode *PlanNode
+	// Planning is the cost-based planner's full decision — every costed
+	// (facility, strategy) candidate and the reason the winner won; nil
+	// for heap scans.
+	Planning *planner.Plan
 	// IndexStats holds the access-method cost decomposition when an
 	// index served the query.
 	IndexStats *core.SearchStats
@@ -354,20 +499,15 @@ func (e *Engine) executeCtx(ctx context.Context, q *Query) (*ResultSet, error) {
 		return nil, err
 	}
 
-	// Pick the driver: the first indexed set predicate.
-	driver := -1
-	for i, p := range parts {
-		if p.set != nil && e.indexes[q.Class+"."+p.set.Attr] != nil {
-			driver = i
-			break
-		}
-	}
-	if driver < 0 {
+	// Pick the driver: the cheapest (facility, strategy) pair across the
+	// indexed set predicates, per the cost-based planner.
+	dp := e.pickDriver(q.Class, parts)
+	if dp == nil {
 		return e.scanAll(q.Class, cls, parts)
 	}
 
-	d := parts[driver]
-	ent := e.indexes[q.Class+"."+d.set.Attr]
+	d := parts[dp.part]
+	ent := dp.ent
 	// Trace the driving search into a local collector; a sink already on
 	// ctx keeps receiving the trace too.
 	collector := &obs.Collector{}
@@ -378,12 +518,21 @@ func (e *Engine) executeCtx(ctx context.Context, q *Query) (*ResultSet, error) {
 			parent.EmitTrace(t)
 		})
 	}
-	res, err := ent.am.SearchContext(ctx, d.set.Op, d.elems,
-		core.WithParallelism(e.parallelism), core.WithTrace(sink))
+	opts := []core.SearchOption{core.WithParallelism(e.parallelism), core.WithTrace(sink)}
+	if dp.cand.MaxProbeElements > 0 {
+		opts = append(opts, core.WithMaxProbeElements(dp.cand.MaxProbeElements))
+	}
+	if dp.cand.MaxZeroSlices > 0 {
+		opts = append(opts, core.WithMaxZeroSlices(dp.cand.MaxZeroSlices))
+	}
+	res, err := ent.am.SearchContext(ctx, d.set.Op, d.elems, opts...)
 	if err != nil {
 		return nil, err
 	}
-	rest := append(append([]compiledPart{}, parts[:driver]...), parts[driver+1:]...)
+	// Close the planning loop: the measured page count corrects future
+	// estimates for this (facility, predicate) in adaptive mode.
+	e.pl.Feedback(ent.am.Name(), d.set.Op, dp.cand.EstimatedRC, float64(res.Stats.TotalPages()))
+	rest := append(append([]compiledPart{}, parts[:dp.part]...), parts[dp.part+1:]...)
 	objs := make([]*oodb.Object, 0, len(res.OIDs))
 	for _, oid := range res.OIDs {
 		if err := ctx.Err(); err != nil {
@@ -401,13 +550,23 @@ func (e *Engine) executeCtx(ctx context.Context, q *Query) (*ResultSet, error) {
 			objs = append(objs, o)
 		}
 	}
-	plan := fmt.Sprintf("index(%s %s.%s %s)", ent.am.Name(), q.Class, d.set.Attr, d.set.Op)
-	if len(rest) > 0 {
-		plan += fmt.Sprintf(" + filter(%d)", len(rest))
+	node := &PlanNode{
+		Kind:             "index",
+		Facility:         ent.am.Name(),
+		Class:            q.Class,
+		Attr:             d.set.Attr,
+		Predicate:        d.set.Op.String(),
+		Strategy:         string(dp.cand.Strategy),
+		MaxProbeElements: dp.cand.MaxProbeElements,
+		MaxZeroSlices:    dp.cand.MaxZeroSlices,
+		Filters:          len(rest),
+		Children:         childPlans(parts),
 	}
-	plan += subPlans(parts)
+	if !math.IsInf(dp.cand.CorrectedRC, 0) {
+		node.EstimatedPages = dp.cand.CorrectedRC
+	}
 	stats := res.Stats
-	rs := &ResultSet{Objects: objs, Plan: plan, IndexStats: &stats}
+	rs := &ResultSet{Objects: objs, Plan: node.String(), PlanNode: node, Planning: dp.plan, IndexStats: &stats}
 	// The driver emitted exactly one trace; subquery traces (if any) were
 	// recorded by the subquery's own ResultSet, so take the last.
 	if traces := collector.Traces(); len(traces) > 0 {
@@ -419,13 +578,78 @@ func (e *Engine) executeCtx(ctx context.Context, q *Query) (*ResultSet, error) {
 // compiledPart is a predicate with its operands resolved (subqueries
 // executed, attribute kinds validated).
 type compiledPart struct {
-	set     *SetPredicate
-	elems   []string // resolved query set (set parts only)
-	subPlan string
+	set   *SetPredicate
+	elems []string // resolved query set (set parts only)
+	sub   *PlanNode
 	// nested resolves a dotted-path set predicate per object.
 	nested  *oodb.NestedSetSource
 	cmp     *ComparePredicate
 	cmpKind oodb.Kind
+}
+
+// driverPlan is the planner's winning access path for one conjunction:
+// which part drives, through which facility, with what strategy.
+type driverPlan struct {
+	part int
+	ent  *indexEntry
+	cand planner.Candidate
+	plan *planner.Plan
+}
+
+// pickDriver costs every indexed set predicate of the conjunction
+// against every facility on its attribute and returns the cheapest
+// (part, facility, strategy), or nil when nothing is indexed.
+func (e *Engine) pickDriver(class string, parts []compiledPart) *driverPlan {
+	var best *driverPlan
+	for i, p := range parts {
+		if p.set == nil {
+			continue
+		}
+		key := class + "." + p.set.Attr
+		ents := e.indexes[key]
+		if len(ents) == 0 {
+			continue
+		}
+		pl := e.planFor(key, ents, p.set.Op, len(dedupElems(p.elems)))
+		c := pl.Chosen()
+		if c == nil || c.Index >= len(ents) {
+			continue
+		}
+		if best == nil || c.CorrectedRC < best.cand.CorrectedRC {
+			best = &driverPlan{part: i, ent: ents[c.Index], cand: *c, plan: pl}
+		}
+	}
+	return best
+}
+
+// planFor runs the cost-based planner over the facilities registered on
+// one path, assembling the shared catalog from the attribute statistics
+// and the facilities' own Describe() snapshots.
+func (e *Engine) planFor(key string, ents []*indexEntry, op signature.Predicate, dq int) *planner.Plan {
+	descs := make([]core.FacilityStats, len(ents))
+	for i, ent := range ents {
+		if d, ok := ent.am.(core.Describer); ok {
+			descs[i] = d.Describe()
+		} else {
+			descs[i] = core.FacilityStats{Facility: ent.am.Name(), Count: ent.am.Count()}
+		}
+	}
+	cat := planner.Catalog{}
+	if c := e.cats[key]; c != nil {
+		cat.V = c.distinct()
+	}
+	for _, d := range descs {
+		if d.Count > cat.N {
+			cat.N = d.Count
+		}
+		if cat.Dt == 0 && d.AvgSetCard > 0 {
+			cat.Dt = d.AvgSetCard
+		}
+		if d.DistinctElems > cat.V {
+			cat.V = d.DistinctElems
+		}
+	}
+	return e.pl.Plan(op, dq, cat, descs)
 }
 
 // flattenPredicate lists the conjunction's parts (a simple predicate is
@@ -443,11 +667,11 @@ func (e *Engine) compileParts(ctx context.Context, cls *oodb.Class, where Predic
 	for _, p := range flattenPredicate(where) {
 		switch pred := p.(type) {
 		case *SetPredicate:
-			elems, subPlan, err := e.resolveElems(ctx, cls, pred)
+			elems, sub, err := e.resolveElems(ctx, cls, pred)
 			if err != nil {
 				return nil, err
 			}
-			part := compiledPart{set: pred, elems: elems, subPlan: subPlan}
+			part := compiledPart{set: pred, elems: elems, sub: sub}
 			if setAttr, leafAttr, isNested := strings.Cut(pred.Attr, "."); isNested {
 				part.nested, err = e.db.NewNestedSetSource(cls.Name, setAttr, leafAttr)
 				if err != nil {
@@ -541,12 +765,12 @@ func evalPart(o *oodb.Object, p compiledPart) (bool, error) {
 	return hit != p.cmp.Neq, nil
 }
 
-// subPlans concatenates the subquery plans of all parts for display.
-func subPlans(parts []compiledPart) string {
-	out := ""
+// childPlans collects the subquery plans of all parts in order.
+func childPlans(parts []compiledPart) []*PlanNode {
+	var out []*PlanNode
 	for _, p := range parts {
-		if p.subPlan != "" {
-			out += " <- " + p.subPlan
+		if p.sub != nil {
+			out = append(out, p.sub)
 		}
 	}
 	return out
@@ -576,32 +800,28 @@ func (e *Engine) scanAll(class string, cls *oodb.Class, parts []compiledPart) (*
 			desc = append(desc, p.set.Op.String())
 		}
 	}
-	plan := fmt.Sprintf("scan(%s)", class)
-	if len(desc) > 0 {
-		plan = fmt.Sprintf("scan(%s filter %s)", class, strings.Join(desc, ","))
-	}
-	plan += subPlans(parts)
-	return &ResultSet{Objects: objs, Plan: plan}, nil
+	node := &PlanNode{Kind: "scan", Class: class, FilterOps: desc, Children: childPlans(parts)}
+	return &ResultSet{Objects: objs, Plan: node.String(), PlanNode: node}, nil
 }
 
 // resolveElems materializes the query set of a set predicate, executing
 // the subquery if present. Subquery results are encoded as OID elements,
 // so they are only meaningful against set<ref> attributes.
-func (e *Engine) resolveElems(ctx context.Context, cls *oodb.Class, pred *SetPredicate) ([]string, string, error) {
+func (e *Engine) resolveElems(ctx context.Context, cls *oodb.Class, pred *SetPredicate) ([]string, *PlanNode, error) {
 	if strings.Contains(pred.Attr, ".") {
 		// Nested path: the indexed elements are the (scalar) leaf values,
 		// so literals pass through and subqueries are rejected.
 		if pred.Sub != nil {
-			return nil, "", fmt.Errorf("query: nested path %s.%s does not take a subquery operand", cls.Name, pred.Attr)
+			return nil, nil, fmt.Errorf("query: nested path %s.%s does not take a subquery operand", cls.Name, pred.Attr)
 		}
-		return pred.Elems, "", nil
+		return pred.Elems, nil, nil
 	}
 	kind, ok := cls.AttrKind(pred.Attr)
 	if !ok {
-		return nil, "", fmt.Errorf("query: class %s has no attribute %q", cls.Name, pred.Attr)
+		return nil, nil, fmt.Errorf("query: class %s has no attribute %q", cls.Name, pred.Attr)
 	}
 	if !kind.IsSet() {
-		return nil, "", fmt.Errorf("query: %s.%s is %v; set operators need a set attribute", cls.Name, pred.Attr, kind)
+		return nil, nil, fmt.Errorf("query: %s.%s is %v; set operators need a set attribute", cls.Name, pred.Attr, kind)
 	}
 	if pred.Sub == nil {
 		if kind == oodb.KindRefSet {
@@ -610,26 +830,26 @@ func (e *Engine) resolveElems(ctx context.Context, cls *oodb.Class, pred *SetPre
 			for _, lit := range pred.Elems {
 				oid, err := strconv.ParseUint(lit, 10, 64)
 				if err != nil {
-					return nil, "", fmt.Errorf("query: %s.%s is set<ref>; element %q is not an OID", cls.Name, pred.Attr, lit)
+					return nil, nil, fmt.Errorf("query: %s.%s is set<ref>; element %q is not an OID", cls.Name, pred.Attr, lit)
 				}
 				elems = append(elems, oodb.EncodeOID(oodb.OID(oid)))
 			}
-			return elems, "", nil
+			return elems, nil, nil
 		}
-		return pred.Elems, "", nil
+		return pred.Elems, nil, nil
 	}
 	if kind != oodb.KindRefSet {
-		return nil, "", fmt.Errorf("query: %s.%s is %v; a subquery operand needs a set<ref> attribute", cls.Name, pred.Attr, kind)
+		return nil, nil, fmt.Errorf("query: %s.%s is %v; a subquery operand needs a set<ref> attribute", cls.Name, pred.Attr, kind)
 	}
 	sub, err := e.executeCtx(ctx, pred.Sub)
 	if err != nil {
-		return nil, "", fmt.Errorf("query: subquery: %w", err)
+		return nil, nil, fmt.Errorf("query: subquery: %w", err)
 	}
 	elems := make([]string, 0, len(sub.Objects))
 	for _, o := range sub.Objects {
 		elems = append(elems, oodb.EncodeOID(o.OID))
 	}
-	return elems, sub.Plan, nil
+	return elems, sub.PlanNode, nil
 }
 
 func sortObjects(objs []*oodb.Object) {
@@ -637,41 +857,104 @@ func sortObjects(objs []*oodb.Object) {
 }
 
 // Explain returns the plan a query would use without running the data
-// access (subqueries are still executed to resolve their plans).
+// access (subqueries are still executed to resolve their plans). The
+// input may carry a redundant leading EXPLAIN keyword. When the planner
+// can cost the query, the report includes its full per-candidate cost
+// table and the reason the winner won.
 func (e *Engine) Explain(input string) (string, error) {
-	q, err := Parse(input)
+	stmt, err := ParseStatement(input)
 	if err != nil {
 		return "", err
 	}
+	return e.ExplainQuery(stmt.Query)
+}
+
+// ExplainQuery is Explain over an already-parsed query.
+func (e *Engine) ExplainQuery(q *Query) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %s\n", q)
+	// Cost the query exactly like executeCtx would. Compilation can fail
+	// where Explain should still answer (unknown class, bad subquery);
+	// then fall back to inspection-only output.
+	var dp *driverPlan
+	driverIdx := -1
+	if cls, ok := e.db.Schema().Class(q.Class); ok {
+		if parts, err := e.compileParts(context.Background(), cls, q.Where); err == nil {
+			if dp = e.pickDriver(q.Class, parts); dp != nil {
+				driverIdx = dp.part
+			}
+		}
+	}
+	legacyIdx := -1
+	if dp == nil {
+		legacyIdx = firstIndexed(e, q)
+	}
 	for i, part := range flattenPredicate(q.Where) {
 		prefix := "plan: "
 		if i > 0 {
 			prefix = "  and "
 		}
-		if sp, ok := part.(*SetPredicate); ok {
-			if ent := e.indexes[q.Class+"."+sp.Attr]; ent != nil && i == firstIndexed(e, q) {
-				fmt.Fprintf(&b, "%s index(%s %s.%s %s)\n", prefix, ent.am.Name(), q.Class, sp.Attr, sp.Op)
-				continue
-			}
+		sp, ok := part.(*SetPredicate)
+		switch {
+		case ok && i == driverIdx:
+			suffix := smartSuffix(string(dp.cand.Strategy), dp.cand.MaxProbeElements, dp.cand.MaxZeroSlices)
+			fmt.Fprintf(&b, "%s index(%s %s.%s %s)%s\n", prefix, dp.ent.am.Name(), q.Class, sp.Attr, sp.Op, suffix)
+		case ok && i == legacyIdx:
+			ent := e.indexes[q.Class+"."+sp.Attr][0]
+			fmt.Fprintf(&b, "%s index(%s %s.%s %s)\n", prefix, ent.am.Name(), q.Class, sp.Attr, sp.Op)
+		case ok:
 			fmt.Fprintf(&b, "%s filter %s on %s\n", prefix, sp.Op, q.Class)
-			continue
+		default:
+			fmt.Fprintf(&b, "%s filter compare on %s\n", prefix, q.Class)
 		}
-		fmt.Fprintf(&b, "%s filter compare on %s\n", prefix, q.Class)
 	}
-	if firstIndexed(e, q) < 0 {
-		fmt.Fprintf(&b, "  via scan(%s)", q.Class)
+	if driverIdx < 0 && legacyIdx < 0 {
+		fmt.Fprintf(&b, "  via scan(%s)\n", q.Class)
+	}
+	if dp != nil {
+		writeCostTable(&b, dp.plan)
 	}
 	return strings.TrimRight(b.String(), "\n"), nil
 }
 
+// writeCostTable renders the planner's per-candidate cost table for
+// EXPLAIN output.
+func writeCostTable(b *strings.Builder, pl *planner.Plan) {
+	fmt.Fprintf(b, "planner: Dq=%d N=%d Dt=%.1f V=%d\n", pl.Dq, pl.Catalog.N, pl.Catalog.Dt, pl.Catalog.V)
+	for i, c := range pl.Candidates {
+		marker := " "
+		if i == 0 {
+			marker = "*"
+		}
+		label := string(c.Strategy) + smartCaps(c)
+		if c.Unmodeled {
+			fmt.Fprintf(b, "  %s %-5s %-12s (no cost model)\n", marker, c.Facility, label)
+			continue
+		}
+		fmt.Fprintf(b, "  %s %-5s %-12s est=%.1f corrected=%.1f\n", marker, c.Facility, label, c.EstimatedRC, c.CorrectedRC)
+	}
+	fmt.Fprintf(b, "reason: %s\n", pl.Reason)
+}
+
+// smartCaps renders a candidate's smart parameters ("" for naive).
+func smartCaps(c planner.Candidate) string {
+	switch {
+	case c.MaxProbeElements > 0:
+		return fmt.Sprintf(" k=%d", c.MaxProbeElements)
+	case c.MaxZeroSlices > 0:
+		return fmt.Sprintf(" z=%d", c.MaxZeroSlices)
+	default:
+		return ""
+	}
+}
+
 // firstIndexed returns the index of the first part of q's conjunction
-// that an access facility can drive, or -1.
+// that an access facility can drive, or -1. It is the inspection-only
+// fallback for Explain when compilation fails.
 func firstIndexed(e *Engine, q *Query) int {
 	for i, part := range flattenPredicate(q.Where) {
 		if sp, ok := part.(*SetPredicate); ok {
-			if e.indexes[q.Class+"."+sp.Attr] != nil {
+			if len(e.indexes[q.Class+"."+sp.Attr]) > 0 {
 				return i
 			}
 		}

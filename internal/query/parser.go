@@ -25,6 +25,35 @@ func Parse(input string) (*Query, error) {
 	return q, nil
 }
 
+// Statement is one top-level statement: a select, optionally prefixed
+// with EXPLAIN to request the plan instead of the results.
+type Statement struct {
+	Explain bool
+	Query   *Query
+}
+
+// ParseStatement parses `[EXPLAIN] SELECT ...`.
+func ParseStatement(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st := &Statement{}
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "explain") {
+		p.next()
+		st.Explain = true
+	}
+	st.Query, err = p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting with %s", p.peek().kind)
+	}
+	return st, nil
+}
+
 type parser struct {
 	toks []token
 	pos  int

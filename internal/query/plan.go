@@ -1,0 +1,82 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanNode is the structured form of a query plan. ResultSet.Plan is
+// PlanNode.String() of the root node, so string-matching callers keep
+// working; programmatic callers read the fields.
+type PlanNode struct {
+	// Kind is "index" for a facility-driven conjunction and "scan" for a
+	// heap scan.
+	Kind string
+	// Facility is the access-method name driving an index node (e.g.
+	// "BSSF").
+	Facility string
+	// Class is the queried class.
+	Class string
+	// Attr is the driven set attribute (index nodes only).
+	Attr string
+	// Predicate is the driven set operator, rendered (e.g. "T ⊇ Q").
+	Predicate string
+	// Strategy is "naive" or "smart" when the planner chose the access
+	// path, empty otherwise.
+	Strategy string
+	// MaxProbeElements is the smart probe cap k (T ⊇ Q), 0 if unused.
+	MaxProbeElements int
+	// MaxZeroSlices is the smart zero-slice cap (BSSF T ⊆ Q), 0 if unused.
+	MaxZeroSlices int
+	// EstimatedPages is the planner's (corrected) page estimate for the
+	// driving access, 0 when no estimate exists.
+	EstimatedPages float64
+	// Filters counts the residual predicate parts applied to the driver's
+	// candidates (index nodes only).
+	Filters int
+	// FilterOps lists the set operators a scan node evaluates.
+	FilterOps []string
+	// Children are subquery plans feeding this node's operands.
+	Children []*PlanNode
+}
+
+// smartSuffix renders the smart-strategy annotation appended to an index
+// plan, empty for naive plans.
+func smartSuffix(strategy string, k, z int) string {
+	if strategy != "smart" {
+		return ""
+	}
+	switch {
+	case k > 0:
+		return fmt.Sprintf(" smart[k=%d]", k)
+	case z > 0:
+		return fmt.Sprintf(" smart[z=%d]", z)
+	default:
+		return " smart"
+	}
+}
+
+// String renders the node in the engine's classical plan syntax:
+// "index(BSSF Student.hobbies T ⊇ Q) smart[k=2] + filter(1) <- scan(Course)".
+func (n *PlanNode) String() string {
+	if n == nil {
+		return ""
+	}
+	var b strings.Builder
+	if n.Kind == "index" {
+		fmt.Fprintf(&b, "index(%s %s.%s %s)", n.Facility, n.Class, n.Attr, n.Predicate)
+		b.WriteString(smartSuffix(n.Strategy, n.MaxProbeElements, n.MaxZeroSlices))
+		if n.Filters > 0 {
+			fmt.Fprintf(&b, " + filter(%d)", n.Filters)
+		}
+	} else if len(n.FilterOps) > 0 {
+		fmt.Fprintf(&b, "scan(%s filter %s)", n.Class, strings.Join(n.FilterOps, ","))
+	} else {
+		fmt.Fprintf(&b, "scan(%s)", n.Class)
+	}
+	for _, c := range n.Children {
+		b.WriteString(" <- ")
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

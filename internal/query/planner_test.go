@@ -1,0 +1,234 @@
+package query
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sigfile/internal/oodb"
+	"sigfile/internal/signature"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// multiIndexUniversity registers two facilities on Student.hobbies so
+// the planner has a real choice to make.
+func multiIndexUniversity(t *testing.T) *Engine {
+	t.Helper()
+	e := newUniversity(t)
+	if _, err := e.CreateIndex("Student", "hobbies", KindBSSF, signature.MustNew(64, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateIndex("Student", "hobbies", KindNIX, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineMultiIndexPlannerChoice: with several facilities on one
+// attribute the engine costs them all, drives the winner, and reports
+// the full decision — while answers stay identical to a plain scan.
+func TestEngineMultiIndexPlannerChoice(t *testing.T) {
+	e := multiIndexUniversity(t)
+	plain := newUniversity(t) // no indexes: ground truth by scan
+
+	queries := []string{
+		`select Student where hobbies has-element "Chess"`,
+		`select Student where hobbies has-subset ("Chess", "Baseball")`,
+		`select Student where hobbies in-subset ("Chess", "Baseball", "Fishing", "Golf", "Tennis", "Reading", "Swimming", "Hiking")`,
+		`select Student where hobbies overlaps ("Chess", "Golf")`,
+	}
+	for _, src := range queries {
+		res, err := e.Run(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		want, err := plain.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Objects) != len(want.Objects) {
+			t.Fatalf("%s: %d objects, scan says %d", src, len(res.Objects), len(want.Objects))
+		}
+		for i := range res.Objects {
+			if res.Objects[i].OID != want.Objects[i].OID {
+				t.Fatalf("%s: OIDs diverge from scan", src)
+			}
+		}
+		if !strings.HasPrefix(res.Plan, "index(") {
+			t.Fatalf("%s: plan %q not index-driven", src, res.Plan)
+		}
+		// The planner's decision is exposed in full.
+		if res.Planning == nil {
+			t.Fatalf("%s: no Planning on an index-driven result", src)
+		}
+		seen := map[string]bool{}
+		for _, c := range res.Planning.Candidates {
+			seen[c.Facility] = true
+		}
+		if !seen["BSSF"] || !seen["NIX"] {
+			t.Fatalf("%s: candidates missing a facility: %v", src, res.Planning.Candidates)
+		}
+		chosen := res.Planning.Chosen()
+		if res.PlanNode == nil || res.PlanNode.Facility != chosen.Facility {
+			t.Fatalf("%s: PlanNode facility %v != chosen %v", src, res.PlanNode, chosen)
+		}
+		if res.PlanNode.String() != res.Plan {
+			t.Fatalf("%s: PlanNode.String() %q != Plan %q", src, res.PlanNode.String(), res.Plan)
+		}
+	}
+}
+
+// TestEngineSmartStrategyCaps: when the planner picks a smart strategy
+// its caps reach the facility (visible in the plan annotation), and the
+// answers remain exact.
+func TestEngineSmartStrategyCaps(t *testing.T) {
+	e := multiIndexUniversity(t)
+	plain := newUniversity(t)
+	// A wide superset query invites a probe cap; a wide subset query a
+	// zero-slice cap. Either way correctness is non-negotiable.
+	for _, src := range []string{
+		`select Student where hobbies has-subset ("Chess", "Baseball", "Fishing", "Golf")`,
+		`select Student where hobbies in-subset ("Chess", "Baseball", "Fishing", "Golf", "Tennis", "Reading", "Swimming", "Hiking", "Dancing", "Cooking")`,
+	} {
+		res, err := e.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plain.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Objects) != len(want.Objects) {
+			t.Fatalf("%s: smart strategy broke exactness (%d vs %d)", src, len(res.Objects), len(want.Objects))
+		}
+		c := res.Planning.Chosen()
+		if string(c.Strategy) == "smart" {
+			if c.MaxProbeElements == 0 && c.MaxZeroSlices == 0 {
+				t.Fatalf("%s: smart choice without caps: %v", src, c)
+			}
+			if !strings.Contains(res.Plan, " smart[") {
+				t.Fatalf("%s: smart choice not annotated in plan %q", src, res.Plan)
+			}
+		}
+	}
+}
+
+// TestEngineAdaptivePlanning: adaptive mode closes the loop from
+// measured page counts back into ranking without disturbing answers.
+func TestEngineAdaptivePlanning(t *testing.T) {
+	e := multiIndexUniversity(t)
+	e.Planner().SetAdaptive(true)
+	plain := newUniversity(t)
+	src := `select Student where hobbies has-subset ("Chess", "Baseball")`
+	want, err := plain.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // feedback accumulates across runs
+		res, err := e.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Objects) != len(want.Objects) {
+			t.Fatalf("run %d: adaptive planning changed answers", i)
+		}
+		if c := res.Planning.Chosen(); c.CorrectedRC <= 0 {
+			t.Fatalf("run %d: corrected cost %v", i, c.CorrectedRC)
+		}
+	}
+}
+
+// TestEngineCatalogMaintenance: Insert/Delete keep the attribute catalog
+// (the planner's V) in step with the data.
+func TestEngineCatalogMaintenance(t *testing.T) {
+	e := multiIndexUniversity(t)
+	cat := e.cats["Student.hobbies"]
+	if cat == nil {
+		t.Fatal("CreateIndex did not seed the catalog")
+	}
+	v0 := cat.distinct()
+	if v0 <= 0 {
+		t.Fatalf("catalog V = %d after bulk load", v0)
+	}
+	oid, err := e.Insert("Student", map[string]oodb.Value{
+		"name":    oodb.String("Newcomer"),
+		"courses": oodb.RefSet(),
+		"hobbies": oodb.StringSet("Zymurgy", "Quilling"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.distinct(); got != v0+2 {
+		t.Fatalf("V = %d after inserting 2 new elements, want %d", got, v0+2)
+	}
+	if err := e.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.distinct(); got != v0 {
+		t.Fatalf("V = %d after delete, want %d", got, v0)
+	}
+}
+
+// TestParseStatement: the EXPLAIN prefix parses case-insensitively and
+// plain selects still parse as statements.
+func TestParseStatement(t *testing.T) {
+	st, err := ParseStatement(`EXPLAIN select Student where hobbies has-element "Chess"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Explain || st.Query == nil || st.Query.Class != "Student" {
+		t.Fatalf("statement parsed wrong: %+v", st)
+	}
+	st, err = ParseStatement(`select Student where hobbies has-element "Chess"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Explain {
+		t.Fatal("plain select flagged as explain")
+	}
+	for _, bad := range []string{``, `explain`, `explain garbage`, `explain select Student where hobbies has-element "x" trailing`} {
+		if _, err := ParseStatement(bad); err == nil {
+			t.Errorf("ParseStatement(%q) accepted", bad)
+		}
+	}
+}
+
+// TestExplainGolden pins the full EXPLAIN report — per-candidate cost
+// table, chosen plan, reason — against a golden file. Regenerate with
+// `go test ./internal/query -run TestExplainGolden -update`.
+func TestExplainGolden(t *testing.T) {
+	e := multiIndexUniversity(t)
+	var b strings.Builder
+	for _, src := range []string{
+		`explain select Student where hobbies has-element "Chess"`,
+		`explain select Student where hobbies in-subset ("Chess", "Baseball", "Fishing", "Golf", "Tennis", "Reading")`,
+		`explain select Student where hobbies has-subset ("Chess", "Baseball") and name != "Nobody"`,
+	} {
+		out, err := e.Explain(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		b.WriteString(out)
+		b.WriteString("\n---\n")
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "explain.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("EXPLAIN output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

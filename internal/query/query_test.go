@@ -428,11 +428,19 @@ func TestEngineErrors(t *testing.T) {
 	if _, err := e.CreateIndex("Student", "hobbies", KindNIX, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.CreateIndex("Student", "hobbies", KindSSF, signature.MustNew(64, 2), nil); err == nil {
-		t.Fatal("duplicate index accepted")
+	if _, err := e.CreateIndex("Student", "hobbies", KindNIX, nil, nil); err == nil {
+		t.Fatal("duplicate same-kind index accepted")
+	}
+	// A second facility of a different kind on the same path is allowed:
+	// the planner chooses between them.
+	if _, err := e.CreateIndex("Student", "hobbies", KindSSF, signature.MustNew(64, 2), nil); err != nil {
+		t.Fatalf("second kind on the same path rejected: %v", err)
 	}
 	if e.Index("Student", "hobbies") == nil {
 		t.Fatal("Index lookup failed")
+	}
+	if got := len(e.Indexes("Student", "hobbies")); got != 2 {
+		t.Fatalf("Indexes: %d facilities, want 2", got)
 	}
 	if e.Index("Student", "courses") != nil {
 		t.Fatal("Index invented an access method")

@@ -3,7 +3,7 @@
 // reproducing "Evaluation of Signature Files as Set Access Facilities in
 // OODBs" (Ishikawa, Kitagawa, Ohbo; SIGMOD 1993).
 //
-// The library provides three facilities for indexing a set-valued
+// The library provides four facilities for indexing a set-valued
 // attribute, all behind the AccessMethod interface:
 //
 //   - SSF — the sequential signature file: superimposed-coding set
@@ -12,10 +12,13 @@
 //   - BSSF — the bit-sliced signature file: the signature matrix stored
 //     column-wise, one file per bit position, so a query touches only the
 //     slices it needs. The paper's recommended facility.
+//   - FSSF — the frame-sliced signature file: the signature split into K
+//     frames stored per-frame, a middle ground between SSF's cheap
+//     updates and BSSF's selective reads.
 //   - NIX — the nested index: a B⁺-tree from set element to the OIDs of
 //     objects containing it, the classical comparison baseline.
 //
-// All three answer the set predicates of the paper's §2: T ⊇ Q
+// All four answer the set predicates of the paper's §2: T ⊇ Q
 // (has-subset), T ⊆ Q (in-subset), overlap, set equality and membership —
 // with no false dismissals, resolving signature false drops against the
 // stored objects through a SetSource.
@@ -28,7 +31,7 @@
 //	    3: {"Tennis"},
 //	}
 //	scheme, _ := sigfile.NewScheme(250, 2) // F=250 bits, m=2 bits/element
-//	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
+//	idx, _ := sigfile.Open(sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets})
 //	for oid, set := range sets {
 //	    idx.Insert(oid, set)
 //	}
@@ -99,6 +102,21 @@ type (
 	// CostModel evaluates the paper's analytical formulas; construct
 	// with PaperModel or a costmodel literal.
 	CostModel = costmodel.Params
+	// Kind selects a facility for the unified Open constructor.
+	Kind = core.Kind
+	// Config describes the facility Open should build: Kind plus the
+	// scheme, set source and (optionally) store and frame split.
+	Config = core.Config
+	// OpenOption tweaks a Config functionally; see WithStore, WithPrefix,
+	// WithFrames, WithWorstCaseInserts.
+	OpenOption = core.OpenOption
+	// FacilityStats is a facility's self-description — object count,
+	// measured mean set cardinality, signature design, tree height — the
+	// statistics the cost-based planner feeds the analytical formulas.
+	FacilityStats = core.FacilityStats
+	// Describer is implemented by every built-in facility: Describe
+	// returns its FacilityStats snapshot.
+	Describer = core.Describer
 	// Entry is one (OID, set) pair for batch loading.
 	Entry = core.Entry
 	// BatchInserter is satisfied by every facility; InsertBatch amortizes
@@ -135,6 +153,14 @@ var (
 	ErrClosed = pagestore.ErrClosed
 )
 
+// The facility kinds Open constructs.
+const (
+	KindSSF  = core.KindSSF
+	KindBSSF = core.KindBSSF
+	KindNIX  = core.KindNIX
+	KindFSSF = core.KindFSSF
+)
+
 // The set predicates of the paper's §2.
 const (
 	// Superset is T ⊇ Q: targets containing every query element.
@@ -159,18 +185,61 @@ func NewScheme(f, m int) (*Scheme, error) { return signature.New(f, m) }
 // smaller m (2–3) usually yields better total retrieval cost.
 func OptimalM(f int, dt float64) int { return signature.OptimalMInt(f, dt) }
 
+// Open creates (or reopens) a set access facility from a Config — the
+// unified construction entry point:
+//
+//	idx, err := sigfile.Open(sigfile.Config{
+//	    Kind:   sigfile.KindBSSF,
+//	    Scheme: scheme,
+//	    Source: sets,
+//	}, sigfile.WithStore(store))
+//
+// Scheme is required for the signature-file kinds (for KindFSSF the
+// frame split is derived from it unless a FrameScheme or frame count is
+// given) and ignored for KindNIX. A nil store keeps the facility in
+// memory.
+func Open(cfg Config, opts ...OpenOption) (AccessMethod, error) {
+	return core.Open(cfg, opts...)
+}
+
+// WithStore directs the facility's files to store.
+func WithStore(store Store) OpenOption { return core.WithStore(store) }
+
+// WithPrefix namespaces the facility's files inside its store, so
+// several facilities can share one.
+func WithPrefix(prefix string) OpenOption { return core.WithPrefix(prefix) }
+
+// WithFrames sets the FSSF frame count used when deriving the frame
+// split from a flat Scheme; the count must divide F.
+func WithFrames(k int) OpenOption { return core.WithFrames(k) }
+
+// WithWorstCaseInserts makes BSSF insertion touch all F slice files —
+// the paper's UC_I = F+1 accounting — instead of only the set bits.
+func WithWorstCaseInserts() OpenOption { return core.WithWorstCaseInserts() }
+
+// InsertAll loads entries into a facility, using its batch path (page
+// writes amortized across the batch) when it implements BatchInserter
+// and falling back to one-at-a-time inserts otherwise.
+func InsertAll(am AccessMethod, entries []Entry) error { return core.InsertAll(am, entries) }
+
 // NewSSF creates (or reopens) a sequential signature file in store (nil
 // for in-memory). src resolves OIDs during false-drop resolution.
+//
+// Deprecated: use Open with KindSSF.
 func NewSSF(scheme *Scheme, src SetSource, store Store) (*SSF, error) {
 	return core.NewSSF(scheme, src, store)
 }
 
 // NewBSSF creates (or reopens) a bit-sliced signature file.
+//
+// Deprecated: use Open with KindBSSF.
 func NewBSSF(scheme *Scheme, src SetSource, store Store) (*BSSF, error) {
 	return core.NewBSSF(scheme, src, store)
 }
 
 // NewNIX creates (or reopens) a nested index.
+//
+// Deprecated: use Open with KindNIX.
 func NewNIX(src SetSource, store Store) (*NIX, error) {
 	return core.NewNIX(src, store)
 }
@@ -184,6 +253,8 @@ func NewFrameScheme(k, s, m int) (*FrameScheme, error) {
 // NewFSSF creates (or reopens) a frame-sliced signature file — cheap
 // insertion like SSF, T ⊇ Q retrieval that reads only the frames the
 // query hashes to.
+//
+// Deprecated: use Open with KindFSSF.
 func NewFSSF(scheme *FrameScheme, src SetSource, store Store) (*FSSF, error) {
 	return core.NewFSSF(scheme, src, store)
 }
