@@ -1,0 +1,75 @@
+// Command sigvet runs the project's custom static analyzers over a set
+// of packages and reports invariant violations. It is the mechanical
+// enforcement layer for the codebase's concurrency, context, and
+// page-accounting contracts:
+//
+//	go run ./cmd/sigvet ./...
+//
+// Individual analyzers can be switched off, e.g. -lockcheck=false.
+// Findings are suppressed per line with a justified directive:
+//
+//	//sigvet:ignore <reason>
+//
+// which covers its own line and the line below it. A directive with no
+// reason, or one that suppresses nothing, is itself a finding. The
+// exit status is nonzero when any finding remains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigfile/internal/analysis/ctxcheck"
+	"sigfile/internal/analysis/errwrap"
+	"sigfile/internal/analysis/lockcheck"
+	"sigfile/internal/analysis/pageacct"
+	"sigfile/internal/analysis/sigvet"
+)
+
+func main() {
+	all := []*sigvet.Analyzer{
+		ctxcheck.Analyzer,
+		errwrap.Analyzer,
+		lockcheck.Analyzer,
+		pageacct.Analyzer,
+	}
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+a.Doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sigvet [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var run []*sigvet.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+
+	pkgs, err := sigvet.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigvet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := sigvet.Run(pkgs, run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sigvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sigvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,192 @@
+// Package ctxcheck enforces the context-cancellation invariants of the
+// observability layer (PR 3): every search honors ctx at page
+// granularity, and context errors stay matchable with
+// errors.Is(err, ctx.Err()).
+//
+// Rule 1 (per-page polling): in a function that takes a
+// context.Context, a loop that performs page I/O (a call into the
+// pagestore package: ReadPage, WritePage, Allocate) must poll
+// cancellation — ctx.Err(), ctx.Done(), or a call that forwards the
+// context — inside the loop. This is the scanRange/readSlice/scanFrame
+// contract: a scan over an unbounded page file must notice cancellation
+// before the next read, not after the whole pass.
+//
+// Rule 2 (wrap transparency): a context error passed to fmt.Errorf must
+// use the %w verb. Formatting ctx.Err() with %v or %s produces an error
+// for which errors.Is(err, context.Canceled) is false, breaking every
+// caller that distinguishes cancellation from failure (the query
+// engine's slow-search log, the parallel layer's joined errors, the
+// facilities' state-intact guarantee).
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sigfile/internal/analysis/sigvet"
+)
+
+// Analyzer is the ctxcheck analyzer.
+var Analyzer = &sigvet.Analyzer{
+	Name: "ctxcheck",
+	Doc: "page-I/O loops in context-aware functions must poll ctx, and " +
+		"context errors must be wrapped with %w so errors.Is(err, ctx.Err()) holds",
+	Run: run,
+}
+
+// pageIONames are the pagestore entry points whose presence makes a loop
+// a page-scan loop.
+var pageIONames = []string{"ReadPage", "WritePage", "Allocate"}
+
+func run(pass *sigvet.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkWrap(pass, fd)
+			if sigvet.ContextParam(pass.TypesInfo, fd) == nil {
+				continue
+			}
+			checkLoops(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkLoops walks fd's body attributing each page-I/O call to its
+// innermost enclosing loop, then reports loops that never poll the
+// context. Function literals are walked too: the facilities' shard
+// callbacks run synchronously inside the search.
+func checkLoops(pass *sigvet.Pass, fd *ast.FuncDecl) {
+	type loopInfo struct {
+		node   ast.Node // *ast.ForStmt or *ast.RangeStmt
+		pos    token.Pos
+		hasIO  bool
+		polled bool
+	}
+	var stack []*loopInfo
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			li := &loopInfo{node: n, pos: n.Pos()}
+			stack = append(stack, li)
+			// Walk children manually so we can pop afterwards.
+			body, post := loopParts(n)
+			if post != nil {
+				ast.Inspect(post, visit)
+			}
+			ast.Inspect(body, visit)
+			stack = stack[:len(stack)-1]
+			if li.hasIO && !li.polled {
+				pass.Reportf(li.pos,
+					"page-I/O loop in context-aware function %s does not poll ctx.Err(); "+
+						"cancellation must be honored per page", fd.Name.Name)
+			}
+			return false
+		case *ast.CallExpr:
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if sigvet.IsMethodCallIn(pass.TypesInfo, n, "pagestore", pageIONames...) {
+					top.hasIO = true
+				}
+				if pollsContext(pass.TypesInfo, n) {
+					top.polled = true
+				}
+			}
+			return true
+		case *ast.UnaryExpr:
+			// <-ctx.Done() outside a select.
+			if n.Op == token.ARROW && len(stack) > 0 && isCtxDone(pass.TypesInfo, n.X) {
+				stack[len(stack)-1].polled = true
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+// loopParts returns the body and (for a ForStmt) the condition
+// expression of a loop, so `for ctx.Err() == nil { ... }` counts as
+// polling.
+func loopParts(n ast.Node) (body *ast.BlockStmt, cond ast.Node) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body, n.Cond
+	case *ast.RangeStmt:
+		return n.Body, nil
+	}
+	return nil, nil
+}
+
+// pollsContext reports whether call observes or forwards a context:
+// ctx.Err(), ctx.Done(), or any call taking a context-typed argument
+// (delegating per-page polling to the callee).
+func pollsContext(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContextExpr(info, sel.X) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if isContextExpr(info, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxDone(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done" && isContextExpr(info, sel.X)
+}
+
+func isContextExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && sigvet.IsContextType(tv.Type)
+}
+
+// checkWrap flags fmt.Errorf calls formatting a context error with a
+// verb other than %w.
+func checkWrap(pass *sigvet.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		format, ok := sigvet.ErrorfCall(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		verbs := sigvet.FormatVerbs(format)
+		for i, arg := range call.Args[1:] {
+			if !isCtxErrCall(pass.TypesInfo, arg) {
+				continue
+			}
+			if i < len(verbs) && verbs[i] != 'w' {
+				pass.Reportf(arg.Pos(),
+					"context error formatted with %%%c; use %%w so errors.Is(err, ctx.Err()) holds", verbs[i])
+			}
+		}
+		return true
+	})
+}
+
+// isCtxErrCall reports whether expr is a direct X.Err() call on a
+// context value.
+func isCtxErrCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Err" && isContextExpr(info, sel.X)
+}

@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/ctxcheck"
+	"sigfile/internal/analysis/vettest"
+)
+
+func TestCtxcheck(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), ctxcheck.Analyzer, "ctxdata")
+}

@@ -1,0 +1,134 @@
+// Package ctxdata exercises the ctxcheck analyzer: per-page
+// cancellation polling and %w wrapping of context errors.
+package ctxdata
+
+import (
+	"context"
+	"fmt"
+
+	"pagestore"
+)
+
+// ScanPollOK polls ctx.Err() before every page read — the
+// scanRange/readSlice/scanFrame contract.
+func ScanPollOK(ctx context.Context, f pagestore.File, n int) error {
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p < n; p++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := f.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return fmt.Errorf("ctxdata: read page %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// ScanNoPoll reads pages in a loop without ever observing ctx.
+func ScanNoPoll(ctx context.Context, f pagestore.File, n int) error {
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p < n; p++ { // want `page-I/O loop in context-aware function ScanNoPoll does not poll ctx`
+		if err := f.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+	}
+	return ctx.Err() // polling after the loop is not per-page
+}
+
+// ScanDoneOK selects on ctx.Done() each iteration.
+func ScanDoneOK(ctx context.Context, f pagestore.File, n int) error {
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p < n; p++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := f.WritePage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanCondOK polls through the loop condition, like forEachTask's
+// worker loop.
+func ScanCondOK(ctx context.Context, f pagestore.File, n int) error {
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; ctx.Err() == nil && p < n; p++ {
+		if err := f.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// ScanDelegatesOK forwards ctx into the per-page callee, which owns the
+// polling.
+func ScanDelegatesOK(ctx context.Context, f pagestore.File, n int) error {
+	for p := 0; p < n; p++ {
+		if err := readOne(ctx, f, pagestore.PageID(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readOne(ctx context.Context, f pagestore.File, id pagestore.PageID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return f.ReadPage(id, make([]byte, pagestore.PageSize))
+}
+
+// RangeNoPoll: range loops are loops too.
+func RangeNoPoll(ctx context.Context, f pagestore.File, ids []pagestore.PageID) error {
+	buf := make([]byte, pagestore.PageSize)
+	for _, id := range ids { // want `page-I/O loop in context-aware function RangeNoPoll does not poll ctx`
+		if err := f.ReadPage(id, buf); err != nil {
+			return err
+		}
+	}
+	_ = ctx
+	return nil
+}
+
+// NoCtxNoRule: without a context parameter the per-page rule does not
+// apply (update paths are not cancellable by design).
+func NoCtxNoRule(f pagestore.File, n int) error {
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p < n; p++ {
+		if err := f.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WrapOK wraps the context error with %w.
+func WrapOK(ctx context.Context, task int) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("ctxdata: task %d: %w", task, ctx.Err())
+	}
+	return nil
+}
+
+// WrapSevered formats ctx.Err() with %v — errors.Is no longer matches.
+func WrapSevered(ctx context.Context, task int) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("ctxdata: task %d: %v", task, ctx.Err()) // want `context error formatted with %v`
+	}
+	return nil
+}
+
+// IgnoredScan carries a justified suppression on the loop line.
+func IgnoredScan(ctx context.Context, f pagestore.File, n int) error {
+	buf := make([]byte, pagestore.PageSize)
+	//sigvet:ignore bounded two-page loop, cancellation checked by caller
+	for p := 0; p < n; p++ {
+		if err := f.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,19 @@
+// Package pagestore mocks the real sigfile/internal/pagestore surface
+// for analyzer testdata: the analyzers match page-I/O calls by method
+// name plus the package-path suffix "pagestore", so this stand-in
+// triggers them exactly like the real package does.
+package pagestore
+
+// PageID identifies a page within a File.
+type PageID uint32
+
+// PageSize mirrors the real constant.
+const PageSize = 4096
+
+// File is the page-file interface the facilities scan.
+type File interface {
+	ReadPage(id PageID, buf []byte) error
+	WritePage(id PageID, buf []byte) error
+	Allocate() (PageID, error)
+	NumPages() int
+}

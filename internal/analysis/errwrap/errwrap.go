@@ -1,0 +1,165 @@
+// Package errwrap enforces the repository's error-handling invariants,
+// introduced with the crash-safe persistence layer (PR 1), which
+// replaced library panics with sentinel errors (signature.ErrWidthMismatch,
+// signature.ErrInvalidPredicate, core.ErrClosed, ...) that callers match
+// with errors.Is:
+//
+//  1. Library packages (anything that is not package main) must not
+//     panic on runtime conditions. A panic is allowed only as a
+//     programmer-error guard: inside an init function, inside a
+//     Must*/must* helper (the documented panicking twin of a
+//     constructor), or with a constant message built from a string
+//     literal or fmt.Sprintf — the idiom of the bitset bounds guards.
+//     `panic(err)` swallows a recoverable error and is always flagged.
+//
+//  2. fmt.Errorf calls that pass a sentinel error variable (a
+//     package-level `var Err...` of type error) must format it with %w,
+//     so errors.Is keeps matching through the wrap. A sentinel under %v
+//     or %s silently severs the chain — the exact bug class PR 1's
+//     migration fixed.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sigfile/internal/analysis/sigvet"
+)
+
+// Analyzer is the errwrap analyzer.
+var Analyzer = &sigvet.Analyzer{
+	Name: "errwrap",
+	Doc: "library code must return wrapped sentinel errors, not panic: " +
+		"panics only in init/Must* helpers or as constant-message guards; " +
+		"fmt.Errorf must use %w for Err* sentinels",
+	Run: run,
+}
+
+func run(pass *sigvet.Pass) (any, error) {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body == nil {
+				continue
+			}
+			var exemptPanics bool
+			if ok {
+				exemptPanics = isPanicExemptFunc(fd.Name.Name)
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isMain && !exemptPanics && isPanicCall(pass.TypesInfo, call) {
+					checkPanic(pass, call)
+				}
+				checkErrorf(pass, call)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isPanicExemptFunc reports whether panics in the named function are
+// programmer-error guards by convention.
+func isPanicExemptFunc(name string) bool {
+	return name == "init" || strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must")
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// checkPanic flags panic calls whose argument is not a constant-style
+// message (string literal or fmt.Sprintf).
+func checkPanic(pass *sigvet.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if a.Kind == token.STRING {
+			return // panic("message"): assertion-style guard.
+		}
+	case *ast.CallExpr:
+		if fn := sigvet.CalleeFunc(pass.TypesInfo, a); fn != nil &&
+			fn.Name() == "Sprintf" && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			return // panic(fmt.Sprintf(...)): formatted guard message.
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"panic in library code: return a (wrapped) error instead, or move the panic into an init/Must* guard")
+}
+
+// checkErrorf flags fmt.Errorf calls where a sentinel error argument is
+// not formatted with %w.
+func checkErrorf(pass *sigvet.Pass, call *ast.CallExpr) {
+	format, ok := sigvet.ErrorfCall(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	verbs := sigvet.FormatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if !isSentinelRef(pass.TypesInfo, arg) {
+			continue
+		}
+		if i >= len(verbs) {
+			continue // malformed format; vet's printf check owns that.
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(),
+				"sentinel error %s formatted with %%%c; use %%w so errors.Is matches through the wrap",
+				exprString(arg), verbs[i])
+		}
+	}
+}
+
+// isSentinelRef reports whether expr references a package-level error
+// variable named Err* (an exported or unexported sentinel).
+func isSentinelRef(info *types.Info, expr ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false // not package-level: a local err, not a sentinel.
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(v.Type(), errIface)
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "argument"
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/errwrap"
+	"sigfile/internal/analysis/vettest"
+)
+
+func TestErrwrap(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), errwrap.Analyzer, "errdata")
+}

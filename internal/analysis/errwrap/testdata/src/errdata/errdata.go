@@ -1,0 +1,95 @@
+// Package errdata exercises the errwrap analyzer: sentinel wrapping and
+// the library-panic ban.
+package errdata
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is a sentinel in the style of signature.ErrWidthMismatch.
+var ErrNotFound = errors.New("errdata: not found")
+
+// errInternal is an unexported sentinel.
+var errInternal = errors.New("errdata: internal")
+
+// WrapOK wraps the sentinel with %w — errors.Is keeps matching.
+func WrapOK(key string) error {
+	return fmt.Errorf("errdata: lookup %q: %w", key, ErrNotFound)
+}
+
+// WrapBoth wraps two errors correctly.
+func WrapBoth(err error) error {
+	return fmt.Errorf("errdata: %w then %w", err, errInternal)
+}
+
+// SeverChain formats the sentinel with %v, severing the errors.Is chain.
+func SeverChain(key string) error {
+	return fmt.Errorf("errdata: lookup %q: %v", key, ErrNotFound) // want `sentinel error ErrNotFound formatted with %v`
+}
+
+// SeverUnexported severs an unexported sentinel with %s.
+func SeverUnexported() error {
+	return fmt.Errorf("errdata: %s", errInternal) // want `sentinel error errInternal formatted with %s`
+}
+
+// LocalErrOK: a local variable named err is not a sentinel; %v is a
+// deliberate choice the analyzer must not second-guess.
+func LocalErrOK(err error) error {
+	return fmt.Errorf("errdata: op failed: %v", err)
+}
+
+// PanicErr panics with an error value — always a finding in library code.
+func PanicErr(err error) {
+	if err != nil {
+		panic(err) // want `panic in library code`
+	}
+}
+
+// PanicValue panics with a computed value — a finding too.
+func PanicValue(n int) {
+	panic(n) // want `panic in library code`
+}
+
+// GuardOK is an assertion-style guard: constant message, allowed.
+func GuardOK(n int) {
+	if n < 0 {
+		panic("errdata: negative length")
+	}
+}
+
+// GuardSprintfOK formats its guard message, like the bitset bounds
+// checks; allowed.
+func GuardSprintfOK(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("errdata: bad length %d", n))
+	}
+}
+
+// MustParse is a documented panicking twin — allowed.
+func MustParse(s string) int {
+	n, err := parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func parse(s string) (int, error) {
+	if s == "" {
+		return 0, ErrNotFound
+	}
+	return len(s), nil
+}
+
+// Ignored panics with an error but carries a justified suppression.
+func Ignored(err error) {
+	//sigvet:ignore test of the suppression directive
+	panic(err)
+}
+
+func init() {
+	if len("x") != 1 {
+		panic(errInternal) // init-time guards are allowed
+	}
+}

@@ -1,0 +1,478 @@
+// Package lockcheck enforces the public-locks→unexported-helper
+// concurrency pattern the parallel search layer (PR 2) established for
+// every facility and store type:
+//
+//   - a "locked type" is a struct with a sync.Mutex/RWMutex field;
+//   - its exported methods are the locking boundary: an exported method
+//     that touches a guarded field (directly or through unexported
+//     helpers) must acquire the mutex first;
+//   - helpers below the boundary run with the lock already held and
+//     must not re-acquire it — on a sync.RWMutex, Lock inside Lock
+//     self-deadlocks immediately, and RLock inside Lock deadlocks as
+//     soon as a writer is waiting.
+//
+// A field is guarded if any method of the type writes it (fields only
+// ever assigned during construction — scheme, src, metrics — are
+// immutable and may be read lock-free). Both failure modes are
+// reported: the missed lock on the public boundary, and the re-acquire
+// (potential self-deadlock) below it, including transitively through
+// helper calls.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sigfile/internal/analysis/sigvet"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &sigvet.Analyzer{
+	Name: "lockcheck",
+	Doc: "exported methods of mutex-guarded types must acquire the mutex " +
+		"before touching guarded fields; internal helpers must not re-acquire it",
+	Run: run,
+}
+
+// addrArg records a `&recv.field` argument handed to a same-type
+// method: the caller only computes the address; whether the access is
+// lock-safe depends on whether the callee acquires before
+// dereferencing (the FaultFile.trip(&f.failReadAfter) pattern).
+type addrArg struct {
+	field  string
+	callee *types.Func
+}
+
+// method is the per-method analysis state.
+type method struct {
+	decl     *ast.FuncDecl
+	fn       *types.Func
+	acquires bool            // calls recv.mu.Lock or recv.mu.RLock
+	accessed map[string]bool // first-level receiver fields read or written directly
+	writes   map[string]bool // first-level receiver fields written
+	calls    []*types.Func   // methods of the same type called on recv
+	callSites []*ast.CallExpr // call sites of same-type methods (parallel to calls)
+	addrArgs []addrArg
+}
+
+// lockedType is one struct type with a mutex field and its methods.
+type lockedType struct {
+	name     *types.TypeName
+	muFields map[string]bool
+	methods  map[*types.Func]*method
+	// guarded is the set of fields the mutex protects: written by some
+	// method AND accessed somewhere under the lock (in an acquiring
+	// method, or in a helper such a method calls). A mutex only guards
+	// the fields its critical sections actually touch — Engine.slowMu
+	// guards the slow-log configuration, not the index catalog that the
+	// documented setup-then-share contract covers.
+	guarded map[string]bool
+}
+
+func run(pass *sigvet.Pass) (any, error) {
+	locked := findLockedTypes(pass)
+	if len(locked) == 0 {
+		return nil, nil
+	}
+	byRecv := make(map[*types.TypeName]*lockedType, len(locked))
+	for _, lt := range locked {
+		byRecv[lt.name] = lt
+	}
+
+	// Attach methods to their locked types.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			named := sigvet.NamedReceiver(pass.TypesInfo, fd)
+			if named == nil {
+				continue
+			}
+			lt, ok := byRecv[named.Obj()]
+			if !ok {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			lt.methods[fn] = analyzeMethod(pass, lt, fd, fn)
+		}
+	}
+
+	for _, lt := range locked {
+		computeGuarded(lt)
+		reportMissedLocks(pass, lt)
+		reportReacquires(pass, lt)
+	}
+	return nil, nil
+}
+
+// findLockedTypes collects the package's struct types that contain a
+// mutex field.
+func findLockedTypes(pass *sigvet.Pass) []*lockedType {
+	var out []*lockedType
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		mus := make(map[string]bool)
+		for i := 0; i < st.NumFields(); i++ {
+			if sigvet.IsMutexType(st.Field(i).Type()) {
+				mus[st.Field(i).Name()] = true
+			}
+		}
+		if len(mus) > 0 {
+			out = append(out, &lockedType{name: tn, muFields: mus, methods: make(map[*types.Func]*method)})
+		}
+	}
+	return out
+}
+
+// analyzeMethod extracts a method's lock acquisitions, receiver-field
+// accesses and same-type calls. Function literals are included: the
+// facilities' worker callbacks run within the method's critical
+// section.
+func analyzeMethod(pass *sigvet.Pass, lt *lockedType, fd *ast.FuncDecl, fn *types.Func) *method {
+	m := &method{
+		decl:     fd,
+		fn:       fn,
+		accessed: make(map[string]bool),
+		writes:   make(map[string]bool),
+	}
+	recv := sigvet.ReceiverObject(pass.TypesInfo, fd)
+	if recv == nil {
+		return m
+	}
+	// Selector nodes consumed as &recv.field arguments to same-type
+	// calls; handled via addrArgs instead of the plain access rule.
+	claimed := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, meth, ok := mutexCall(pass.TypesInfo, recv, lt, n); ok {
+				if meth == "Lock" || meth == "RLock" {
+					m.acquires = true
+				}
+				return true
+			}
+			if callee := sameTypeCallee(pass.TypesInfo, recv, lt, n); callee != nil {
+				m.calls = append(m.calls, callee)
+				m.callSites = append(m.callSites, n)
+				for _, arg := range n.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if f, ok := firstRecvField(pass.TypesInfo, recv, sel); ok {
+						m.addrArgs = append(m.addrArgs, addrArg{field: f, callee: callee})
+						claimed[sel] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f, ok := firstRecvField(pass.TypesInfo, recv, lhs); ok {
+					m.writes[f] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if f, ok := firstRecvField(pass.TypesInfo, recv, n.X); ok {
+				m.writes[f] = true
+			}
+		case *ast.SelectorExpr:
+			if claimed[n] {
+				return true
+			}
+			if f, ok := firstRecvField(pass.TypesInfo, recv, n); ok {
+				m.accessed[f] = true
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// mutexCall matches recv.<mu>.<Lock|RLock|Unlock|RUnlock|TryLock|...>().
+func mutexCall(info *types.Info, recv types.Object, lt *lockedType, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	root, ok := ast.Unparen(inner.X).(*ast.Ident)
+	if !ok || info.Uses[root] != recv {
+		return "", "", false
+	}
+	if !lt.muFields[inner.Sel.Name] {
+		return "", "", false
+	}
+	return inner.Sel.Name, sel.Sel.Name, true
+}
+
+// sameTypeCallee resolves recv.<method>(...) to a method of the same
+// locked type.
+func sameTypeCallee(info *types.Info, recv types.Object, lt *lockedType, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	root, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || info.Uses[root] != recv {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	named := sigvet.NamedOf(sig.Recv().Type())
+	if named == nil || named.Obj() != lt.name {
+		return nil
+	}
+	return fn
+}
+
+// firstRecvField returns the first-level receiver field of a selector
+// chain rooted at recv: s.count -> count, s.oid.n -> oid,
+// s.tails[j][i] -> tails. Mutex fields and method selections return
+// !ok.
+func firstRecvField(info *types.Info, recv types.Object, expr ast.Expr) (string, bool) {
+	sel, ok := peel(expr).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Walk to the innermost selector.
+	for {
+		inner, ok := peel(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		sel = inner
+	}
+	root, ok := peel(sel.X).(*ast.Ident)
+	if !ok || info.Uses[root] != recv {
+		return "", false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func peel(expr ast.Expr) ast.Expr {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return expr
+		}
+	}
+}
+
+// computeGuarded derives the type's guarded field set: fields written
+// by at least one method (construction-only fields are immutable) that
+// are also accessed inside some critical section — in a method that
+// acquires the mutex, or in a helper reachable from one through
+// same-type calls. Fields never touched under the lock are governed by
+// a different contract (e.g. Engine's setup-then-share catalog) and are
+// not the mutex's business.
+func computeGuarded(lt *lockedType) {
+	written := make(map[string]bool)
+	for _, m := range lt.methods {
+		for f := range m.writes {
+			if !lt.muFields[f] {
+				written[f] = true
+			}
+		}
+	}
+	underLock := make(map[string]bool)
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		m := lt.methods[fn]
+		if m == nil {
+			return
+		}
+		for f := range m.accessed {
+			underLock[f] = true
+		}
+		for _, callee := range m.calls {
+			if cm := lt.methods[callee]; cm != nil && !cm.acquires {
+				visit(callee)
+			}
+		}
+	}
+	for fn, m := range lt.methods {
+		if m.acquires {
+			visit(fn)
+		}
+	}
+	lt.guarded = make(map[string]bool)
+	for f := range written {
+		if underLock[f] {
+			lt.guarded[f] = true
+		}
+	}
+}
+
+// reportMissedLocks flags exported methods that reach guarded fields
+// without acquiring the mutex. needsLock is computed transitively: a
+// method inherits the needs of every same-type callee that does not
+// itself acquire.
+func reportMissedLocks(pass *sigvet.Pass, lt *lockedType) {
+	memo := make(map[*types.Func]map[string]bool)
+	var needs func(fn *types.Func, seen map[*types.Func]bool) map[string]bool
+	needs = func(fn *types.Func, seen map[*types.Func]bool) map[string]bool {
+		if got, ok := memo[fn]; ok {
+			return got
+		}
+		if seen[fn] {
+			return nil
+		}
+		seen[fn] = true
+		m := lt.methods[fn]
+		if m == nil {
+			return nil
+		}
+		out := make(map[string]bool, len(m.accessed))
+		for f := range m.accessed {
+			if lt.guarded[f] {
+				out[f] = true
+			}
+		}
+		for _, aa := range m.addrArgs {
+			// &recv.field handed to a callee: safe only when the callee
+			// locks before dereferencing.
+			if cm := lt.methods[aa.callee]; (cm == nil || !cm.acquires) && lt.guarded[aa.field] {
+				out[aa.field] = true
+			}
+		}
+		for _, callee := range m.calls {
+			cm := lt.methods[callee]
+			if cm == nil || cm.acquires {
+				continue // callee locks for itself; nothing inherited.
+			}
+			for f := range needs(callee, seen) {
+				out[f] = true
+			}
+		}
+		memo[fn] = out
+		return out
+	}
+	for fn, m := range lt.methods {
+		if !fn.Exported() || m.acquires {
+			continue
+		}
+		needed := needs(fn, make(map[*types.Func]bool))
+		if len(needed) == 0 {
+			continue
+		}
+		fields := make([]string, 0, len(needed))
+		for f := range needed {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		mu := muFieldName(lt)
+		pass.Reportf(m.decl.Name.Pos(),
+			"exported method %s.%s touches guarded field(s) %s without acquiring %s "+
+				"(public-locks/unexported-helper pattern)",
+			lt.name.Name(), fn.Name(), strings.Join(fields, ", "), mu)
+	}
+}
+
+// reportReacquires flags methods that acquire the mutex and then call —
+// possibly through non-acquiring helpers — another method that acquires
+// it again.
+func reportReacquires(pass *sigvet.Pass, lt *lockedType) {
+	type risk struct {
+		witness *types.Func // the method that re-acquires
+	}
+	memo := make(map[*types.Func]*risk)
+	var riskOf func(fn *types.Func, seen map[*types.Func]bool) *risk
+	riskOf = func(fn *types.Func, seen map[*types.Func]bool) *risk {
+		if r, ok := memo[fn]; ok {
+			return r
+		}
+		if seen[fn] {
+			return nil
+		}
+		seen[fn] = true
+		m := lt.methods[fn]
+		if m == nil {
+			return nil
+		}
+		if m.acquires {
+			r := &risk{witness: fn}
+			memo[fn] = r
+			return r
+		}
+		for _, callee := range m.calls {
+			if r := riskOf(callee, seen); r != nil {
+				memo[fn] = r
+				return r
+			}
+		}
+		memo[fn] = nil
+		return nil
+	}
+	for fn, m := range lt.methods {
+		if !m.acquires {
+			continue
+		}
+		for i, callee := range m.calls {
+			r := riskOf(callee, make(map[*types.Func]bool))
+			if r == nil {
+				continue
+			}
+			via := ""
+			if r.witness != callee {
+				via = fmt.Sprintf(" (via %s)", callee.Name())
+			}
+			pass.Reportf(m.callSites[i].Pos(),
+				"%s.%s holds %s and calls %s%s, which acquires it again: self-deadlock",
+				lt.name.Name(), fn.Name(), muFieldName(lt), r.witness.Name(), via)
+		}
+	}
+}
+
+func muFieldName(lt *lockedType) string {
+	names := make([]string, 0, len(lt.muFields))
+	for f := range lt.muFields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/lockcheck"
+	"sigfile/internal/analysis/vettest"
+)
+
+func TestLockcheck(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), lockcheck.Analyzer, "lockdata")
+}

@@ -1,0 +1,93 @@
+// Package lockdata exercises the lockcheck analyzer: the
+// public-locks/unexported-helper pattern, missed locks on exported
+// methods, and self-deadlocks from re-acquiring below the boundary.
+package lockdata
+
+import "sync"
+
+// Facility mirrors the SSF shape: a mutex, an immutable scheme set at
+// construction, and mutable state guarded by the mutex.
+type Facility struct {
+	mu     sync.RWMutex
+	scheme int
+	count  int
+	live   map[int]bool
+}
+
+// New writes fields outside any method; construction does not make a
+// field guarded.
+func New(scheme int) *Facility {
+	return &Facility{scheme: scheme, live: make(map[int]bool)}
+}
+
+// Insert is the pattern done right: lock at the public boundary, then
+// delegate to the unexported helper.
+func (f *Facility) Insert(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.insert(k)
+}
+
+// insert runs with f.mu held by the caller.
+func (f *Facility) insert(k int) {
+	f.live[k] = true
+	f.count++
+}
+
+// Count reads guarded state without the lock.
+func (f *Facility) Count() int { // want `exported method Facility.Count touches guarded field\(s\) count without acquiring mu`
+	return f.count
+}
+
+// CountLocked is the correct reader.
+func (f *Facility) CountLocked() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.count
+}
+
+// Scheme reads an immutable field; no lock needed.
+func (f *Facility) Scheme() int { return f.scheme }
+
+// Reset inherits the helper's guarded accesses transitively.
+func (f *Facility) Reset() { // want `exported method Facility.Reset touches guarded field\(s\) count, live without acquiring mu`
+	f.insert(0)
+	f.count = 0
+}
+
+// Size is a correct locked reader used as a deadlock witness below.
+func (f *Facility) Size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.count
+}
+
+// Clear re-acquires directly: Size locks again under f.mu.
+func (f *Facility) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_ = f.Size() // want `Facility.Clear holds mu and calls Size, which acquires it again: self-deadlock`
+	f.count = 0
+}
+
+// Drain re-acquires transitively through the flush helper.
+func (f *Facility) Drain() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flush() // want `Facility.Drain holds mu and calls Size \(via flush\), which acquires it again: self-deadlock`
+}
+
+func (f *Facility) flush() {
+	_ = f.Size()
+}
+
+// Peek documents a deliberate unlocked read via the directive.
+func (f *Facility) Peek() int { //sigvet:ignore stats endpoint tolerates a stale word-sized read
+	return f.count
+}
+
+// Plain has no mutex; lockcheck ignores it entirely.
+type Plain struct{ n int }
+
+// Bump mutates freely: Plain is single-goroutine by contract.
+func (p *Plain) Bump() { p.n++ }

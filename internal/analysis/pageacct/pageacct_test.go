@@ -1,0 +1,12 @@
+package pageacct_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/pageacct"
+	"sigfile/internal/analysis/vettest"
+)
+
+func TestPageacct(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), pageacct.Analyzer, "pagedata")
+}

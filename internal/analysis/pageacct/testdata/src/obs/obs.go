@@ -1,0 +1,20 @@
+// Package obs mocks the real sigfile/internal/obs tracing surface for
+// analyzer testdata (matched by path suffix and type/method name).
+package obs
+
+import "time"
+
+// Phase names one step of a traced search.
+type Phase string
+
+// PhaseIndexScan mirrors the real phase constant.
+const PhaseIndexScan Phase = "index-scan"
+
+// Trace records one search's phase decomposition.
+type Trace struct{}
+
+// Begin marks the start of a phase.
+func (t *Trace) Begin() time.Time { return time.Now() }
+
+// End records a completed phase with its page count.
+func (t *Trace) End(ph Phase, started time.Time, pages int64) {}

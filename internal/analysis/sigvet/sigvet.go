@@ -1,0 +1,189 @@
+// Package sigvet is the project's static-analysis framework: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface that the repository's custom analyzers (lockcheck, ctxcheck,
+// pageacct, errwrap) are written against.
+//
+// The module deliberately has no third-party dependencies, so instead of
+// x/tools' loader the framework type-checks packages with the standard
+// library alone: source files are parsed with go/parser and checked with
+// go/types against compiler export data obtained from `go list -export`
+// (see load.go). The analyzer API mirrors x/tools closely enough that the
+// analyzers would port to a *analysis.Analyzer with mechanical changes
+// only.
+//
+// Every analyzer honors the uniform suppression directive
+//
+//	//sigvet:ignore <reason>
+//
+// placed on (or on the line directly above) the offending line. The
+// reason is mandatory: a bare //sigvet:ignore is itself reported. The
+// directive is handled here in Pass.Reportf, so no analyzer needs its
+// own filtering.
+package sigvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker: a name, what it enforces,
+// and the function that checks a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and command-line flags.
+	Name string
+	// Doc is the invariant the analyzer encodes, shown by `sigvet -help`.
+	Doc string
+	// Run analyzes one package through pass and reports findings with
+	// pass.Reportf. The returned value is unused (kept for parity with
+	// go/analysis); errors abort the whole run.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	findings *[]Finding
+	ignores  map[string]map[int]*ignoreDirective // file -> line -> directive
+}
+
+// Finding is one reported diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Reportf records a finding at pos unless a //sigvet:ignore directive
+// covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if dir := p.ignoreAt(position); dir != nil {
+		dir.used = true
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreAt returns the directive covering position, if any. A directive
+// covers its own line (trailing-comment form) and the line below it
+// (standalone-comment form).
+func (p *Pass) ignoreAt(pos token.Position) *ignoreDirective {
+	lines := p.ignores[pos.Filename]
+	if d := lines[pos.Line]; d != nil {
+		return d
+	}
+	return lines[pos.Line-1]
+}
+
+// ignoreDirective is one parsed //sigvet:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	reason string
+	used   bool
+}
+
+const ignorePrefix = "//sigvet:ignore"
+
+// buildIgnoreIndex scans the files' comments for //sigvet:ignore
+// directives. Directives with an empty reason are reported immediately
+// (into findings, under the analyzer name "sigvet") — suppressions must
+// say why.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, findings *[]Finding) map[string]map[int]*ignoreDirective {
+	idx := make(map[string]map[int]*ignoreDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				pos := fset.Position(c.Pos())
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					// e.g. //sigvet:ignoreXYZ — not ours.
+					continue
+				}
+				reason := strings.TrimSpace(rest)
+				if reason == "" {
+					*findings = append(*findings, Finding{
+						Analyzer: "sigvet",
+						Pos:      pos,
+						Message:  "//sigvet:ignore directive requires a reason",
+					})
+					continue
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]*ignoreDirective)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = &ignoreDirective{pos: pos, reason: reason}
+			}
+		}
+	}
+	return idx
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. Unused //sigvet:ignore directives are
+// themselves findings: a suppression that no longer suppresses anything
+// is stale and must be deleted.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files, &findings)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				findings:  &findings,
+				ignores:   ignores,
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("sigvet: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		for _, byLine := range ignores {
+			for _, d := range byLine {
+				if !d.used {
+					findings = append(findings, Finding{
+						Analyzer: "sigvet",
+						Pos:      d.pos,
+						Message:  fmt.Sprintf("unused //sigvet:ignore directive (reason: %s)", d.reason),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

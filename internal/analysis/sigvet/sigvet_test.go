@@ -1,0 +1,82 @@
+package sigvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// incdec reports every ++/-- statement — a trivial analyzer that makes
+// the directive machinery observable.
+var incdec = &Analyzer{
+	Name: "incdec",
+	Doc:  "reports every IncDecStmt",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if s, ok := n.(*ast.IncDecStmt); ok {
+					pass.Reportf(s.Pos(), "inc/dec statement")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+const directiveSrc = `package p
+
+func f() {
+	x := 0
+	x++ //sigvet:ignore same-line suppression under test
+	//sigvet:ignore previous-line suppression under test
+	x++
+	x++
+	x-- //sigvet:ignore
+	_ = x
+	//sigvet:ignore this directive suppresses nothing
+	_ = x
+}
+`
+
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	findings, err := Run([]*Package{loadSrc(t, directiveSrc)}, []*Analyzer{incdec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		line int
+		frag string
+	}{
+		{8, "inc/dec statement"},                 // bare x++ two lines below a directive: not covered
+		{9, "inc/dec statement"},                 // a reasonless directive suppresses nothing
+		{9, "directive requires a reason"},       // ...and is itself a finding
+		{11, "unused //sigvet:ignore directive"}, // directive with a reason but nothing to suppress
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d: %v", len(findings), len(want), findings)
+	}
+	for i, w := range want {
+		if findings[i].Pos.Line != w.line || !strings.Contains(findings[i].Message, w.frag) {
+			t.Errorf("finding %d = %s; want line %d containing %q", i, findings[i], w.line, w.frag)
+		}
+	}
+}

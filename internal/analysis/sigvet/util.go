@@ -1,0 +1,195 @@
+package sigvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// This file holds the small type/AST queries shared by the analyzers.
+// They are deliberately name-and-path based where the real types are
+// involved (e.g. "a method named ReadPage declared in a package whose
+// path ends in /pagestore"): the analyzers must work both on the real
+// tree and on the self-contained mock packages under each analyzer's
+// testdata directory, exactly like go/analysis testdata does.
+
+// CalleeFunc resolves the statically-called function or method of call,
+// or nil for dynamic calls (function values, type conversions).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// PkgPathEndsWith reports whether pkg's import path is name or ends in
+// "/name".
+func PkgPathEndsWith(pkg *types.Package, name string) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == name || strings.HasSuffix(pkg.Path(), "/"+name)
+}
+
+// IsMethodCallIn reports whether call statically invokes a function or
+// method with one of the given names declared in a package whose path
+// ends with pkgName.
+func IsMethodCallIn(info *types.Info, call *ast.CallExpr, pkgName string, names ...string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || !PkgPathEndsWith(fn.Pkg(), pkgName) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ContextParam returns the object of the first context.Context parameter
+// of the function declaration, or nil.
+func ContextParam(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && IsContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// NamedReceiver returns the named type of decl's receiver (through one
+// pointer), or nil if decl is not a method.
+func NamedReceiver(info *types.Info, decl *ast.FuncDecl) *types.Named {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[decl.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return NamedOf(tv.Type)
+}
+
+// NamedOf returns t as a named type, looking through one pointer.
+func NamedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// ReceiverObject returns the receiver variable of decl, or nil if the
+// receiver is unnamed.
+func ReceiverObject(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[decl.Recv.List[0].Names[0]]
+}
+
+// RootIdentObject resolves the object of the identifier at the root of a
+// selector chain (`x` in x.a.b.c), or nil.
+func RootIdentObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return info.Uses[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// FormatVerbs returns the verb letter consumed by each successive
+// argument of a Printf-style format string: FormatVerbs("%d: %w") is
+// ['d','w']. %% consumes nothing; width/precision stars consume an
+// argument and are recorded as '*'. The errwrap and ctxcheck analyzers
+// use it to pair fmt.Errorf arguments with their verbs.
+func FormatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	verb:
+		for ; i < len(format); i++ {
+			c := format[i]
+			switch {
+			case c == '%':
+				break verb
+			case c == '*':
+				verbs = append(verbs, '*')
+			case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+				verbs = append(verbs, c)
+				break verb
+			}
+		}
+	}
+	return verbs
+}
+
+// ErrorfCall reports whether call is fmt.Errorf with a constant format
+// string, returning the unquoted format and true.
+func ErrorfCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	if len(call.Args) < 2 {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return format, true
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func IsMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,222 @@
+// Package vettest runs sigvet analyzers over testdata packages and
+// checks their findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the project's own
+// dependency-free framework (see internal/analysis/sigvet).
+//
+// Layout follows analysistest: an analyzer's test calls
+//
+//	vettest.Run(t, vettest.TestData(), lockcheck.Analyzer, "lockdata")
+//
+// where testdata/src/lockdata/*.go is a self-contained package.
+// Imports inside testdata packages resolve first against sibling
+// directories under testdata/src (so tests can mock project packages
+// like pagestore or obs by path suffix), then against the real build's
+// export data via `go list -export`.
+//
+// Expectations are trailing comments of the form
+//
+//	x.count++ // want `missed lock`
+//
+// where the backquoted text is a regular expression matched against
+// findings reported on that line. Multiple `want` patterns on one line
+// must each match a distinct finding. Lines with findings but no
+// matching want, and wants with no matching finding, fail the test.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"sigfile/internal/analysis/sigvet"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		//sigvet:ignore test harness helper with no error path; fails fast before any test runs
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads testdata/src/<pkgpath> for each pkgpath, applies the
+// analyzer, and checks findings against the // want comments.
+func Run(t *testing.T, testdata string, a *sigvet.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, pkgpath := range pkgpaths {
+		pkg, err := l.load(pkgpath)
+		if err != nil {
+			t.Fatalf("load %s: %v", pkgpath, err)
+		}
+		findings, err := sigvet.Run([]*sigvet.Package{pkg}, []*sigvet.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkgpath, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+// loader resolves testdata packages and their imports.
+type loader struct {
+	srcDir  string
+	fset    *token.FileSet
+	cache   map[string]*sigvet.Package
+	imp     types.Importer
+	exports map[string]string // real-build export data, lazily filled
+}
+
+func newLoader(srcDir string) *loader {
+	l := &loader{
+		srcDir:  srcDir,
+		fset:    token.NewFileSet(),
+		cache:   make(map[string]*sigvet.Package),
+		exports: make(map[string]string),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// load parses and type-checks the testdata package at srcDir/pkgpath.
+func (l *loader) load(pkgpath string) (*sigvet.Package, error) {
+	if pkg, ok := l.cache[pkgpath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcDir, pkgpath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := sigvet.NewInfo()
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		// Sibling testdata package?
+		if _, err := os.Stat(filepath.Join(l.srcDir, path)); err == nil {
+			pkg, err := l.load(path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Pkg, nil
+		}
+		return l.imp.Import(path)
+	})}
+	pkg, err := conf.Check(pkgpath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	out := &sigvet.Package{
+		ImportPath: pkgpath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}
+	l.cache[pkgpath] = out
+	return out, nil
+}
+
+// lookup feeds the gc importer with export data for real (non-testdata)
+// imports, resolved through `go list -export` on first use.
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	if exp, ok := l.exports[path]; ok {
+		return os.Open(exp)
+	}
+	listed, err := sigvet.GoListExports(".", []string{path})
+	if err != nil {
+		return nil, err
+	}
+	for p, exp := range listed {
+		l.exports[p] = exp
+	}
+	exp, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("vettest: no export data for %q", path)
+	}
+	return os.Open(exp)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantRe matches one expectation: // want `regexp` (analysistest's
+// double-quoted form is accepted too).
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+// checkWants verifies findings against the package's want comments.
+func checkWants(t *testing.T, pkg *sigvet.Package, findings []sigvet.Finding) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		line    int
+		file    string
+		matched bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat := m[1][1 : len(m[1])-1]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{re: re, line: pos.Line, file: pos.Filename})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, fd := range findings {
+		covered := false
+		for _, w := range wants {
+			if !w.matched && w.file == fd.Pos.Filename && w.line == fd.Pos.Line && w.re.MatchString(fd.Message) {
+				w.matched = true
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("unexpected finding: %s", fd)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

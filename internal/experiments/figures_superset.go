@@ -71,11 +71,11 @@ func runFig1(w io.Writer, _ Options) error {
 		tsig := s.SetSignatureStrings(target)
 		match, err := signature.Matches(signature.Superset, tsig, qsig)
 		if err != nil {
-			panic(err) // static predicate: cannot fail
+			return fmt.Errorf("fig1: match %v: %w", target, err)
 		}
 		truth, err := signature.EvaluateSets(signature.Superset, target, query)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("fig1: evaluate %v: %w", target, err)
 		}
 		t.addf(fmt.Sprintf("%v", target), tsig.String(), match, truth, classify(match, truth))
 	}
@@ -99,11 +99,11 @@ func runFig2(w io.Writer, _ Options) error {
 		tsig := s.SetSignatureStrings(target)
 		match, err := signature.Matches(signature.Subset, tsig, qsig)
 		if err != nil {
-			panic(err) // static predicate: cannot fail
+			return fmt.Errorf("fig2: match %v: %w", target, err)
 		}
 		truth, err := signature.EvaluateSets(signature.Subset, target, query)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("fig2: evaluate %v: %w", target, err)
 		}
 		t.addf(fmt.Sprintf("%v", target), tsig.String(), match, truth, classify(match, truth))
 	}

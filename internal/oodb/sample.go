@@ -27,11 +27,7 @@ func SampleSchema() *Schema {
 		AttrDef{Name: "courses", Kind: KindRefSet},
 		AttrDef{Name: "hobbies", Kind: KindStringSet},
 	)
-	s, err := NewSchema(teacher, course, student)
-	if err != nil {
-		panic(err)
-	}
-	return s
+	return MustSchema(teacher, course, student)
 }
 
 // SampleConfig controls the size and shape of the generated university

@@ -49,6 +49,16 @@ func MustClass(name string, attrs ...AttrDef) *Class {
 	return c
 }
 
+// MustSchema is like NewSchema but panics on error, for statically
+// known-good schemas such as the paper's running example.
+func MustSchema(classes ...*Class) *Schema {
+	s, err := NewSchema(classes...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // AttrKind returns the kind of the named attribute and whether it exists.
 func (c *Class) AttrKind(name string) (Kind, bool) {
 	k, ok := c.byName[name]

@@ -1,0 +1,75 @@
+package signature
+
+import (
+	"bytes"
+	"testing"
+
+	"sigfile/internal/bitset"
+)
+
+// FuzzSchemeRoundTrip drives an arbitrary (F, m) scheme over an
+// arbitrary element multiset and checks the properties every facility
+// build relies on: superimposition (each element signature is contained
+// in the set signature, so Superset matching can never falsely
+// dismiss), per-element weight bounds, duplicate- and order-invariance
+// of the set signature, and a lossless MarshalBinaryTo/UnmarshalBinary
+// round trip at the scheme's exact width.
+func FuzzSchemeRoundTrip(f *testing.F) {
+	f.Add(uint16(250), uint8(10), []byte("Baseball\x00Golf\x00Fishing"))
+	f.Add(uint16(8), uint8(2), []byte("Baseball\x00Baseball"))
+	f.Add(uint16(1), uint8(1), []byte{})
+	f.Add(uint16(4000), uint8(160), bytes.Repeat([]byte{0xff, 0x00}, 40))
+	f.Fuzz(func(t *testing.T, fraw uint16, mraw uint8, data []byte) {
+		width := int(fraw)%4096 + 1
+		m := int(mraw)%width + 1
+		s, err := New(width, m)
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", width, m, err)
+		}
+
+		elems := bytes.Split(data, []byte{0})
+		set := s.SetSignature(elems)
+		if set.Len() != width {
+			t.Fatalf("set signature width %d, want %d", set.Len(), width)
+		}
+
+		for _, e := range elems {
+			es := s.ElementSignature(e)
+			if c := es.Count(); c < 1 || c > m {
+				t.Fatalf("element %q signature weight %d outside [1, m=%d]", e, c, m)
+			}
+			if !set.ContainsAll(es) {
+				t.Fatalf("element %q signature not superimposed into set signature", e)
+			}
+			if ok, err := Matches(Superset, set, es); err != nil || !ok {
+				t.Fatalf("Superset(set, elem %q) = %v, %v; a member must never be dismissed", e, ok, err)
+			}
+		}
+
+		// The set signature is a pure OR over element signatures:
+		// duplicates and order must not matter.
+		seen := make(map[string]bool, len(elems))
+		var reversedUnique [][]byte
+		for i := len(elems) - 1; i >= 0; i-- {
+			if !seen[string(elems[i])] {
+				seen[string(elems[i])] = true
+				reversedUnique = append(reversedUnique, elems[i])
+			}
+		}
+		if again := s.SetSignature(reversedUnique); !set.Equal(again) {
+			t.Fatalf("set signature depends on element order or multiplicity")
+		}
+
+		buf := make([]byte, bitset.ByteLen(width))
+		if n := set.MarshalBinaryTo(buf); n != len(buf) {
+			t.Fatalf("MarshalBinaryTo wrote %d bytes, want %d", n, len(buf))
+		}
+		back, err := bitset.UnmarshalBinary(width, buf)
+		if err != nil {
+			t.Fatalf("UnmarshalBinary: %v", err)
+		}
+		if !set.Equal(back) {
+			t.Fatalf("signature did not survive the marshal round trip")
+		}
+	})
+}

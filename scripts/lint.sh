@@ -1,0 +1,37 @@
+#!/bin/sh
+# Runs the exact lint gauntlet CI's lint job runs (see
+# .github/workflows/ci.yml), so a clean local run means a green lint
+# column:
+#
+#   scripts/lint.sh
+#
+# go vet and sigvet (the project's own analyzers — lockcheck, ctxcheck,
+# pageacct, errwrap; DESIGN.md §11) always run. staticcheck and
+# govulncheck run when installed; install the CI-pinned versions with
+#
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1.1
+#   go install golang.org/x/vuln/cmd/govulncheck@v1.1.4
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> sigvet"
+go run ./cmd/sigvet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "==> staticcheck"
+	staticcheck ./...
+else
+	echo "==> staticcheck not installed; skipping (CI runs 2025.1.1)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "==> govulncheck"
+	govulncheck ./...
+else
+	echo "==> govulncheck not installed; skipping (CI runs v1.1.4)"
+fi
+
+echo "lint OK"
