@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sigfile"
@@ -15,7 +18,7 @@ import (
 type throughputConfig struct {
 	facility string // ssf | bssf | nix | fssf | all
 	n        int    // objects indexed
-	queries  int    // batch size per SearchMany round
+	queries  int    // distinct request shapes in the measured mix
 	workers  int    // parallelism levels measured: 1 and this
 	seconds  int    // wall-clock budget per (facility, level)
 	seed     int64
@@ -83,7 +86,7 @@ func runThroughput(w io.Writer, cfg throughputConfig) error {
 
 	fmt.Fprintf(w, "throughput: N=%d, batch=%d queries (Superset/Overlap mix), %ds per point\n",
 		cfg.n, cfg.queries, cfg.seconds)
-	fmt.Fprintf(w, "%-6s %10s %14s %10s\n", "fac", "workers", "searches/sec", "speedup")
+	fmt.Fprintf(w, "%-6s %10s %14s %10s %10s %10s\n", "fac", "workers", "searches/sec", "p50(ms)", "p99(ms)", "speedup")
 	for _, b := range builders {
 		if cfg.facility != "all" && cfg.facility != b.name {
 			continue
@@ -97,17 +100,18 @@ func runThroughput(w io.Writer, cfg throughputConfig) error {
 		}
 		var baseQPS float64
 		for _, workers := range []int{1, cfg.workers} {
-			qps, err := measureQPS(am, reqs, workers, time.Duration(cfg.seconds)*time.Second)
+			m, err := measureQPS(am, reqs, workers, time.Duration(cfg.seconds)*time.Second)
 			if err != nil {
 				return fmt.Errorf("%s workers=%d: %w", b.name, workers, err)
 			}
 			speedup := "1.00x"
 			if workers == 1 {
-				baseQPS = qps
+				baseQPS = m.qps
 			} else if baseQPS > 0 {
-				speedup = fmt.Sprintf("%.2fx", qps/baseQPS)
+				speedup = fmt.Sprintf("%.2fx", m.qps/baseQPS)
 			}
-			fmt.Fprintf(w, "%-6s %10d %14.0f %10s\n", b.name, workers, qps, speedup)
+			fmt.Fprintf(w, "%-6s %10d %14.0f %10.3f %10.3f %10s\n",
+				b.name, workers, m.qps, ms(m.p50), ms(m.p99), speedup)
 			if cfg.workers == 1 {
 				break
 			}
@@ -116,17 +120,80 @@ func runThroughput(w io.Writer, cfg throughputConfig) error {
 	return nil
 }
 
-// measureQPS runs SearchMany rounds until the budget elapses and returns
-// completed searches per second.
-func measureQPS(am sigfile.AccessMethod, reqs []sigfile.SearchRequest, workers int, budget time.Duration) (float64, error) {
-	var done int
-	start := time.Now()
-	for time.Since(start) < budget {
-		if _, err := sigfile.SearchMany(am, reqs, workers); err != nil {
-			return 0, err
-		}
-		done += len(reqs)
+// latencyReport is one measured (facility, worker-count) point: overall
+// throughput plus the per-request latency distribution.
+type latencyReport struct {
+	qps      float64
+	p50, p99 time.Duration
+}
+
+// ms renders a duration in fractional milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// measureQPS drives the request mix through a pool of workers until the
+// budget elapses, timing every individual search, and returns completed
+// searches per second with p50/p99 request latency. Requests are handed
+// out round-robin from a shared counter, so every worker draws from the
+// same mix and the distribution covers all request shapes.
+func measureQPS(am sigfile.AccessMethod, reqs []sigfile.SearchRequest, workers int, budget time.Duration) (latencyReport, error) {
+	if workers < 1 {
+		workers = 1
 	}
+	var (
+		next     atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	lats := make([][]time.Duration, workers)
+	start := time.Now()
+	deadline := start.Add(budget)
+	for wk := 0; wk < workers; wk++ {
+		wk := wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				req := reqs[int(next.Add(1)-1)%len(reqs)]
+				t0 := time.Now()
+				if _, err := am.Search(req.Pred, req.Query, nil); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				lats[wk] = append(lats[wk], time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
 	elapsed := time.Since(start).Seconds()
-	return float64(done) / elapsed, nil
+	if err, ok := firstErr.Load().(error); ok {
+		return latencyReport{}, err
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return latencyReport{}, fmt.Errorf("no searches completed within the budget")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return latencyReport{
+		qps: float64(len(all)) / elapsed,
+		p50: percentile(all, 0.50),
+		p99: percentile(all, 0.99),
+	}, nil
+}
+
+// percentile picks the nearest-rank percentile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }

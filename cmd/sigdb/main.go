@@ -30,6 +30,7 @@ import (
 	"os"
 	"strings"
 
+	"sigfile/internal/core"
 	"sigfile/internal/obs"
 	"sigfile/internal/oodb"
 	"sigfile/internal/pagestore"
@@ -159,6 +160,8 @@ func runREPL(eng *query.Engine, db *oodb.Database, in io.Reader, out io.Writer) 
 			printHelp(out)
 		case line == "stats":
 			printStats(out, eng, db)
+		case line == "health":
+			printHealth(out, eng)
 		case line == "metrics":
 			if err := obs.Default().WritePrometheus(out); err != nil {
 				fmt.Fprintln(out, "error:", err)
@@ -220,6 +223,30 @@ func printStats(out io.Writer, eng *query.Engine, db *oodb.Database) {
 	}
 }
 
+// printHealth reports each registered facility's degradation state so an
+// operator can see at a glance which indexes are read-only or routed
+// around after storage faults.
+func printHealth(out io.Writer, eng *query.Engine) {
+	any := false
+	for _, attr := range []string{"hobbies", "courses"} {
+		for _, am := range eng.Indexes("Student", attr) {
+			any = true
+			h := core.HealthOf(am)
+			note := ""
+			switch h {
+			case core.Degraded:
+				note = "  (read-only: writes fail fast, planner prefers healthy siblings)"
+			case core.Failed:
+				note = "  (out of service: planner routes around it)"
+			}
+			fmt.Fprintf(out, "  %-5s Student.%-8s %s%s\n", am.Name(), attr, h, note)
+		}
+	}
+	if !any {
+		fmt.Fprintln(out, "  no indexes registered")
+	}
+}
+
 func printHelp(out io.Writer) {
 	fmt.Fprint(out, `queries (the paper's §2 language):
   select Student where hobbies has-subset ("Baseball", "Fishing")   # T ⊇ Q
@@ -234,6 +261,7 @@ func printHelp(out io.Writer) {
 commands:
   explain <query>   show the plan without materializing objects
   stats             storage summary
+  health            per-facility degradation state (healthy/degraded/failed)
   metrics           process metrics registry (Prometheus text format)
   save              checkpoint a -db database (commit + truncate WAL)
   quit              exit (checkpoints a -db database)

@@ -49,6 +49,7 @@ type BSSF struct {
 	card cardStats
 
 	metrics *facilityMetrics
+	health  *healthTracker
 }
 
 // bitsPerSlicePage is the number of objects one slice page covers
@@ -77,7 +78,7 @@ func NewBSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store, opt
 	if store == nil {
 		store = pagestore.NewMemStore()
 	}
-	b := &BSSF{scheme: scheme, src: src, metrics: newFacilityMetrics("BSSF")}
+	b := &BSSF{scheme: scheme, src: src, metrics: newFacilityMetrics("BSSF"), health: newHealthTracker("BSSF")}
 	for _, opt := range opts {
 		opt(b)
 	}
@@ -110,6 +111,12 @@ func NewBSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store, opt
 
 // Name implements AccessMethod.
 func (b *BSSF) Name() string { return "BSSF" }
+
+// Health implements HealthReporter.
+func (b *BSSF) Health() HealthState { return b.health.get() }
+
+// MarkRepaired implements Repairer.
+func (b *BSSF) MarkRepaired() { b.health.reset() }
 
 // Count implements AccessMethod.
 func (b *BSSF) Count() int {
@@ -154,9 +161,19 @@ func (b *BSSF) StoragePages() int {
 // the set signature (≈ m_t writes) plus one OID-file write. With
 // WithWorstCaseInsert: F + 1 writes, the paper's Table 7 value.
 func (b *BSSF) Insert(oid uint64, elems []string) error {
+	if err := b.health.gateWrite(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.insert(oid, elems)
+	if err := b.insert(oid, elems); err != nil {
+		// A partial insert may have left stray bits in the tail caches;
+		// degrading to read-only (for terminal faults) keeps any later
+		// insert from committing them for a different object.
+		b.health.noteWrite(err)
+		return err
+	}
+	return nil
 }
 
 func (b *BSSF) insert(oid uint64, elems []string) error {
@@ -200,10 +217,14 @@ func (b *BSSF) insert(oid uint64, elems []string) error {
 // bits of the deleted object remain and are filtered at OID mapping time,
 // exactly the paper's delete-flag model (UC_D ≈ SC_OID/2).
 func (b *BSSF) Delete(oid uint64, _ []string) error {
+	if err := b.health.gateWrite(); err != nil {
+		return err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	found, err := b.oid.delete(oid)
 	if err != nil {
+		b.health.noteWrite(err)
 		return err
 	}
 	if !found {
@@ -280,8 +301,12 @@ func (b *BSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []
 	if !pred.Valid() {
 		return nil, errInvalidPredicate(pred)
 	}
+	if err := b.health.gateRead(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	defer func() { b.metrics.observe(start, res, err) }()
+	defer func() { b.health.noteRead(err) }()
 	tr := obs.StartTrace(traceSink(ctx, opts), b.Name(), pred.String())
 	defer func() { tr.Finish(err) }()
 	b.mu.RLock()

@@ -49,6 +49,7 @@ type FSSF struct {
 	card cardStats
 
 	metrics *facilityMetrics
+	health  *healthTracker
 }
 
 // NewFSSF creates (or reopens) a frame-sliced signature file in store
@@ -70,6 +71,7 @@ func NewFSSF(scheme *signature.FrameScheme, src SetSource, store pagestore.Store
 		recBytes:    recBytes,
 		recsPerPage: pagestore.PageSize / recBytes,
 		metrics:     newFacilityMetrics("FSSF"),
+		health:      newHealthTracker("FSSF"),
 	}
 	if f.recsPerPage == 0 {
 		return nil, fmt.Errorf("core: frame size S=%d (%d bytes) exceeds page size", scheme.S(), recBytes)
@@ -102,6 +104,12 @@ func NewFSSF(scheme *signature.FrameScheme, src SetSource, store pagestore.Store
 
 // Name implements AccessMethod.
 func (f *FSSF) Name() string { return "FSSF" }
+
+// Health implements HealthReporter.
+func (f *FSSF) Health() HealthState { return f.health.get() }
+
+// MarkRepaired implements Repairer.
+func (f *FSSF) MarkRepaired() { f.health.reset() }
 
 // Count implements AccessMethod.
 func (f *FSSF) Count() int {
@@ -144,9 +152,20 @@ func (f *FSSF) StoragePages() int {
 // Insert implements AccessMethod. Cost: one page write per frame the
 // object's elements hash to, plus one OID-file write.
 func (f *FSSF) Insert(oid uint64, elems []string) error {
+	if err := f.health.gateWrite(); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.insert(oid, elems)
+	if err := f.insert(oid, elems); err != nil {
+		// A failed insert may have written some frames but not others;
+		// the slot is masked while count excludes it, but a later
+		// successful insert would inherit the stale frame records.
+		// Degrading on terminal faults closes that window.
+		f.health.noteWrite(err)
+		return err
+	}
+	return nil
 }
 
 func (f *FSSF) insert(oid uint64, elems []string) error {
@@ -182,10 +201,14 @@ func (f *FSSF) insert(oid uint64, elems []string) error {
 // Delete implements AccessMethod: tombstones the OID entry, like the
 // other signature files.
 func (f *FSSF) Delete(oid uint64, _ []string) error {
+	if err := f.health.gateWrite(); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	found, err := f.oid.delete(oid)
 	if err != nil {
+		f.health.noteWrite(err)
 		return err
 	}
 	if !found {
@@ -272,8 +295,12 @@ func (f *FSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []
 	if !pred.Valid() {
 		return nil, errInvalidPredicate(pred)
 	}
+	if err := f.health.gateRead(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	defer func() { f.metrics.observe(start, res, err) }()
+	defer func() { f.health.noteRead(err) }()
 	tr := obs.StartTrace(traceSink(ctx, opts), f.Name(), pred.String())
 	defer func() { tr.Finish(err) }()
 	f.mu.RLock()

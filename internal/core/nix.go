@@ -52,6 +52,7 @@ type NIX struct {
 	card cardStats
 
 	metrics *facilityMetrics
+	health  *healthTracker
 }
 
 // NewNIX creates (or reopens) a nested index in store using the file
@@ -71,7 +72,7 @@ func NewNIX(src SetSource, store pagestore.Store) (*NIX, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &NIX{tree: tree, src: src, live: make(map[uint64]struct{}), empty: make(map[uint64]struct{}), metrics: newFacilityMetrics("NIX")}
+	n := &NIX{tree: tree, src: src, live: make(map[uint64]struct{}), empty: make(map[uint64]struct{}), metrics: newFacilityMetrics("NIX"), health: newHealthTracker("NIX")}
 	// Recover the live-object set from the postings.
 	if err := tree.Range(nil, nil, func(_ []byte, oids []uint64) bool {
 		for _, oid := range oids {
@@ -86,6 +87,12 @@ func NewNIX(src SetSource, store pagestore.Store) (*NIX, error) {
 
 // Name implements AccessMethod.
 func (n *NIX) Name() string { return "NIX" }
+
+// Health implements HealthReporter.
+func (n *NIX) Health() HealthState { return n.health.get() }
+
+// MarkRepaired implements Repairer.
+func (n *NIX) MarkRepaired() { n.health.reset() }
 
 // Count implements AccessMethod.
 func (n *NIX) Count() int {
@@ -112,9 +119,19 @@ func (n *NIX) LookupCost() int { return n.tree.Height() }
 // Insert implements AccessMethod: one B⁺-tree insertion per element,
 // D_t insertions in total (UC_I = rc·D_t).
 func (n *NIX) Insert(oid uint64, elems []string) error {
+	if err := n.health.gateWrite(); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.insert(oid, elems)
+	if err := n.insert(oid, elems); err != nil {
+		// A tree insertion that dies partway leaves some postings behind
+		// with live unmarked; degrading on terminal faults keeps the
+		// committed state frozen instead of compounding it.
+		n.health.noteWrite(err)
+		return err
+	}
+	return nil
 }
 
 func (n *NIX) insert(oid uint64, elems []string) error {
@@ -141,6 +158,9 @@ func (n *NIX) insert(oid uint64, elems []string) error {
 // Delete implements AccessMethod: elems must be the indexed set value of
 // the object (D_t deletions, UC_D = rc·D_t).
 func (n *NIX) Delete(oid uint64, elems []string) error {
+	if err := n.health.gateWrite(); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.live[oid]; !ok {
@@ -148,6 +168,7 @@ func (n *NIX) Delete(oid uint64, elems []string) error {
 	}
 	for _, e := range dedup(elems) {
 		if err := n.tree.Delete([]byte(e), oid); err != nil {
+			n.health.noteWrite(err)
 			return fmt.Errorf("core: NIX delete %q: %w", e, err)
 		}
 	}
@@ -178,8 +199,12 @@ func (n *NIX) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 	if !pred.Valid() {
 		return nil, errInvalidPredicate(pred)
 	}
+	if err := n.health.gateRead(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	defer func() { n.metrics.observe(start, res, err) }()
+	defer func() { n.health.noteRead(err) }()
 	tr := obs.StartTrace(traceSink(ctx, opts), n.Name(), pred.String())
 	defer func() { tr.Finish(err) }()
 	n.mu.RLock()

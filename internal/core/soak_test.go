@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"syscall"
+	"testing"
+	"time"
+
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// TestFaultSoak is the Jepsen-lite acceptance test for the resilience
+// stack: hundreds of seeded randomized fault schedules driven against
+// every facility kind through the full MemStore → FaultStore →
+// RetryStore sandwich, checking the three invariants end to end:
+//
+//  1. no lost committed writes — every successfully inserted object is
+//     found by every search whose predicate it satisfies;
+//  2. no fabricated answers — every search result satisfies its
+//     predicate against the heap, or belongs to an operation whose
+//     outcome is indeterminate (the op itself reported failure);
+//  3. health moves monotonically down the ladder until an explicit
+//     repair, and a degraded facility answers searches byte-identically
+//     while rejecting writes fast with ErrDegraded.
+func TestFaultSoak(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 100
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			soakOne(t, int64(seed))
+		})
+	}
+}
+
+// soakUniverse is the element vocabulary sets are drawn from.
+var soakUniverse = []string{"e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+
+var soakPreds = []signature.Predicate{signature.Superset, signature.Subset, signature.Overlap}
+
+func soakOne(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+
+	// src is the heap: every attempted insert lands here first (the
+	// object exists even when indexing it failed), and deletes never
+	// remove it so candidate verification of half-dead OIDs still works.
+	src := MapSource{}
+	// model holds the committed index contents; indeterminate the OIDs of
+	// operations that reported failure (their index state is unknown).
+	model := map[uint64][]string{}
+	indeterminate := map[uint64]bool{}
+
+	// Every fifth schedule runs hot enough to exhaust the retry budget
+	// now and then, exercising the degradation ladder organically.
+	p := 0.05
+	if seed%5 == 4 {
+		p = 0.35
+	}
+	faults := pagestore.NewFaultStore(pagestore.NewMemStore())
+	faults.SeedTransient(seed, pagestore.TransientFaults{PRead: p, PWrite: p, PAlloc: p})
+	store := pagestore.NewRetryStore(faults, pagestore.RetryPolicy{
+		MaxAttempts: 6,
+		Sleep:       func(time.Duration) {},
+	})
+
+	openFacility := func(s pagestore.Store) (AccessMethod, error) {
+		switch seed % 4 {
+		case 0:
+			return NewSSF(signature.MustNew(64, 8), src, s)
+		case 1:
+			return NewBSSF(signature.MustNew(32, 4), src, s)
+		case 2:
+			return NewFSSF(signature.MustFrameScheme(2, 32, 4), src, s)
+		default:
+			return NewNIX(src, s)
+		}
+	}
+	am, err := openFacility(store)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	lastHealth := HealthOf(am)
+	noteHealth := func(ctx string) {
+		h := HealthOf(am)
+		if h < lastHealth {
+			t.Fatalf("%s: health went up the ladder without repair: %v -> %v", ctx, lastHealth, h)
+		}
+		lastHealth = h
+	}
+
+	randSet := func() []string {
+		n := 1 + rng.Intn(4)
+		set := make([]string, 0, n)
+		for _, i := range rng.Perm(len(soakUniverse))[:n] {
+			set = append(set, soakUniverse[i])
+		}
+		return set
+	}
+	randQuery := func() []string {
+		n := 1 + rng.Intn(3)
+		q := make([]string, 0, n)
+		for _, i := range rng.Perm(len(soakUniverse))[:n] {
+			q = append(q, soakUniverse[i])
+		}
+		return q
+	}
+
+	checkOracle := func(ctx string) {
+		pred := soakPreds[rng.Intn(len(soakPreds))]
+		query := randQuery()
+		res, err := am.Search(pred, query, nil)
+		noteHealth(ctx + " search")
+		if err != nil {
+			// A failed search surfaces a classified storage error (retry
+			// exhaustion, failed facility) — never a wrong answer.
+			if pagestore.Classify(err) == pagestore.ClassNone && !errors.Is(err, ErrFailed) {
+				t.Fatalf("%s: search %v %v failed unclassified: %v", ctx, pred, query, err)
+			}
+			return
+		}
+		got := map[uint64]bool{}
+		for _, oid := range res.OIDs {
+			got[oid] = true
+		}
+		for oid, set := range model {
+			if predHolds(pred, set, query) && !got[oid] && !indeterminate[oid] {
+				t.Fatalf("%s: lost committed write: OID %d (set %v) missing from %v %v -> %v",
+					ctx, oid, set, pred, query, res.OIDs)
+			}
+		}
+		for oid := range got {
+			if set, ok := model[oid]; ok && predHolds(pred, set, query) {
+				continue
+			}
+			if indeterminate[oid] {
+				continue
+			}
+			t.Fatalf("%s: fabricated answer: OID %d in %v %v (model %v)",
+				ctx, oid, pred, query, model[oid])
+		}
+	}
+
+	// Phase 1: randomized ops under the transient schedule.
+	nextOID := uint64(1)
+	for op := 0; op < 40; op++ {
+		switch {
+		case rng.Float64() < 0.65 || len(model) == 0:
+			oid := nextOID
+			nextOID++
+			set := randSet()
+			src[oid] = set
+			err := am.Insert(oid, set)
+			noteHealth("insert")
+			switch {
+			case err == nil:
+				model[oid] = set
+			case errors.Is(err, ErrDegraded) || errors.Is(err, ErrFailed):
+				// Rejected before any page was touched: cleanly absent.
+			default:
+				indeterminate[oid] = true
+			}
+		case rng.Float64() < 0.5:
+			// Delete a random committed OID.
+			var oid uint64
+			for o := range model {
+				oid = o
+				break
+			}
+			err := am.Delete(oid, model[oid])
+			noteHealth("delete")
+			switch {
+			case err == nil:
+				delete(model, oid)
+			case errors.Is(err, ErrDegraded) || errors.Is(err, ErrFailed):
+			default:
+				indeterminate[oid] = true
+				delete(model, oid)
+			}
+		default:
+			checkOracle("op phase")
+		}
+	}
+	checkOracle("after ops")
+
+	// Phase 2 (half the schedules): a persistent disk-full fault. The
+	// facility must flip to read-only, keep answering byte-identically,
+	// and fail writes fast.
+	if seed%2 == 0 && HealthOf(am) == Healthy {
+		faults.Heal() // quiet reads so the before/after capture is stable
+		pred := soakPreds[rng.Intn(len(soakPreds))]
+		query := randQuery()
+		before, err := am.Search(pred, query, nil)
+		if err != nil {
+			t.Fatalf("degraded phase: search before fault: %v", err)
+		}
+		faults.FailWritesWith(syscall.ENOSPC)
+		oid, set := nextOID, randSet()
+		nextOID++
+		src[oid] = set
+		if err := am.Insert(oid, set); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("degraded phase: insert on full disk = %v, want ENOSPC", err)
+		}
+		indeterminate[oid] = true // pages were touched; index state unknown
+		noteHealth("degrading write")
+		if HealthOf(am) != Degraded {
+			t.Fatalf("degraded phase: health = %v, want degraded", HealthOf(am))
+		}
+		// Fail fast — rejected by the gate, not by the (still broken) disk.
+		if err := am.Insert(nextOID, randSet()); !errors.Is(err, ErrDegraded) {
+			t.Fatalf("degraded phase: second insert = %v, want ErrDegraded", err)
+		}
+		nextOID++
+		after, err := am.Search(pred, query, nil)
+		if err != nil {
+			t.Fatalf("degraded phase: search while degraded: %v", err)
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("degraded phase: search not byte-identical:\nbefore %+v\nafter  %+v", before, after)
+		}
+		noteHealth("degraded searches")
+	}
+
+	// Phase 3: repair. Heal the device; if any operation left residue in
+	// the index (a failed op may have written some pages), the honest
+	// repair is a rebuild from the committed state — stray signature bits
+	// in a reused slot would otherwise shadow the next insert (the hazard
+	// the write gate fences). A clean facility just resets its ladder.
+	faults.Heal()
+	if len(indeterminate) > 0 {
+		am, err = openFacility(nil) // fresh fault-free MemStore
+		if err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+		var oids []uint64
+		for oid := range model {
+			oids = append(oids, oid)
+		}
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+		for _, oid := range oids {
+			if err := am.Insert(oid, model[oid]); err != nil {
+				t.Fatalf("rebuild: insert %d: %v", oid, err)
+			}
+		}
+		indeterminate = map[uint64]bool{}
+	} else if r, ok := am.(Repairer); ok {
+		r.MarkRepaired()
+	}
+	lastHealth = HealthOf(am)
+	if lastHealth != Healthy {
+		t.Fatalf("after repair: health = %v, want healthy", lastHealth)
+	}
+	oid := nextOID
+	set := randSet()
+	src[oid] = set
+	if err := am.Insert(oid, set); err != nil {
+		t.Fatalf("after repair: insert: %v", err)
+	}
+	model[oid] = set
+	for _, pred := range soakPreds {
+		query := randQuery()
+		res, err := am.Search(pred, query, nil)
+		if err != nil {
+			t.Fatalf("after repair: search %v %v: %v", pred, query, err)
+		}
+		var want []uint64
+		for oid, set := range model {
+			if predHolds(pred, set, query) {
+				want = append(want, oid)
+			}
+		}
+		got := append([]uint64(nil), res.OIDs...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !equalOIDs(want, got) {
+			t.Fatalf("after repair: %v %v = %v, want %v", pred, query, got, want)
+		}
+	}
+}
+
+// equalOIDs compares sorted OID lists, treating nil and empty alike.
+func equalOIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// predHolds brute-force evaluates pred for target set T against query Q.
+func predHolds(pred signature.Predicate, set, query []string) bool {
+	in := func(list []string, e string) bool {
+		for _, v := range list {
+			if v == e {
+				return true
+			}
+		}
+		return false
+	}
+	switch pred {
+	case signature.Superset, signature.Contains:
+		for _, q := range query {
+			if !in(set, q) {
+				return false
+			}
+		}
+		return true
+	case signature.Subset:
+		for _, e := range set {
+			if !in(query, e) {
+				return false
+			}
+		}
+		return true
+	case signature.Overlap:
+		for _, e := range set {
+			if in(query, e) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -49,6 +49,7 @@ type SSF struct {
 	card cardStats
 
 	metrics *facilityMetrics
+	health  *healthTracker
 }
 
 // NewSSF creates (or reopens) a sequential signature file in store using
@@ -86,6 +87,7 @@ func NewSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store) (*SS
 		sigsPerPage: pagestore.PageSize / sigBytes,
 		tail:        make([]byte, pagestore.PageSize),
 		metrics:     newFacilityMetrics("SSF"),
+		health:      newHealthTracker("SSF"),
 	}
 	if s.sigsPerPage == 0 {
 		return nil, fmt.Errorf("core: signature width F=%d (%d bytes) exceeds page size", scheme.F(), sigBytes)
@@ -104,6 +106,13 @@ func NewSSF(scheme *signature.Scheme, src SetSource, store pagestore.Store) (*SS
 
 // Name implements AccessMethod.
 func (s *SSF) Name() string { return "SSF" }
+
+// Health implements HealthReporter.
+func (s *SSF) Health() HealthState { return s.health.get() }
+
+// MarkRepaired implements Repairer, returning the facility to service
+// after the storage fault is fixed (or the facility rebuilt).
+func (s *SSF) MarkRepaired() { s.health.reset() }
 
 // Count implements AccessMethod.
 func (s *SSF) Count() int {
@@ -137,11 +146,21 @@ func (s *SSF) StoragePages() int {
 }
 
 // Insert implements AccessMethod. Cost: one write to the signature file
-// and one to the OID file — the paper's UC_I = 2.
+// and one to the OID file — the paper's UC_I = 2. The health gate runs
+// before the lock so a degraded facility rejects writes immediately,
+// even while searches hold the lock shared; a terminal storage fault
+// degrades the facility to read-only.
 func (s *SSF) Insert(oid uint64, elems []string) error {
+	if err := s.health.gateWrite(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.insert(oid, elems)
+	if err := s.insert(oid, elems); err != nil {
+		s.health.noteWrite(err)
+		return err
+	}
+	return nil
 }
 
 func (s *SSF) insert(oid uint64, elems []string) error {
@@ -177,10 +196,14 @@ func (s *SSF) insert(oid uint64, elems []string) error {
 // Delete implements AccessMethod: tombstones the OID entry; the stale
 // signature remains and any future match on it resolves to nothing.
 func (s *SSF) Delete(oid uint64, _ []string) error {
+	if err := s.health.gateWrite(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	found, err := s.oid.delete(oid)
 	if err != nil {
+		s.health.noteWrite(err)
 		return err
 	}
 	if !found {
@@ -210,8 +233,12 @@ func (s *SSF) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 	if !pred.Valid() {
 		return nil, errInvalidPredicate(pred)
 	}
+	if err := s.health.gateRead(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	defer func() { s.metrics.observe(start, res, err) }()
+	defer func() { s.health.noteRead(err) }()
 	tr := obs.StartTrace(traceSink(ctx, opts), s.Name(), pred.String())
 	defer func() { tr.Finish(err) }()
 	// SSF ignores opts.Smart: the scan reads every signature page no

@@ -34,6 +34,9 @@ type FacilityStats struct {
 	LookupPages int
 	// StoragePages is the facility's total storage cost SC in pages.
 	StoragePages int
+	// Health is the facility's degradation state (healthy, degraded
+	// read-only, or failed) at snapshot time.
+	Health HealthState
 }
 
 // Describer is implemented by facilities that can report catalog
@@ -72,6 +75,7 @@ func (s *SSF) Describe() FacilityStats {
 		F:            s.scheme.F(),
 		M:            s.scheme.M(),
 		StoragePages: s.sig.NumPages() + s.oid.pages(),
+		Health:       s.health.get(),
 	}
 }
 
@@ -90,6 +94,7 @@ func (b *BSSF) Describe() FacilityStats {
 		F:            b.scheme.F(),
 		M:            b.scheme.M(),
 		StoragePages: n,
+		Health:       b.health.get(),
 	}
 }
 
@@ -109,6 +114,7 @@ func (f *FSSF) Describe() FacilityStats {
 		M:            f.scheme.M(),
 		Frames:       f.scheme.K(),
 		StoragePages: n,
+		Health:       f.health.get(),
 	}
 }
 
@@ -123,6 +129,7 @@ func (n *NIX) Describe() FacilityStats {
 		DistinctElems: n.tree.Keys(),
 		LookupPages:   n.tree.Height(),
 		StoragePages:  n.tree.Pages(),
+		Health:        n.health.get(),
 	}
 }
 

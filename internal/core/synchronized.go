@@ -79,4 +79,22 @@ func (s *Synchronized) Count() int {
 	return s.am.Count()
 }
 
+// Health implements HealthReporter by delegating to the wrapped method
+// (healthy when it does not report).
+func (s *Synchronized) Health() HealthState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return HealthOf(s.am)
+}
+
+// MarkRepaired implements Repairer by delegating to the wrapped method
+// when it supports repair; a no-op otherwise.
+func (s *Synchronized) MarkRepaired() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.am.(Repairer); ok {
+		r.MarkRepaired()
+	}
+}
+
 var _ AccessMethod = (*Synchronized)(nil)

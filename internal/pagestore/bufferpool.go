@@ -81,7 +81,7 @@ func (p *BufferPool) get(id PageID, loadFromInner bool) (*poolEntry, error) {
 	e := &poolEntry{id: id, data: make([]byte, PageSize)}
 	if loadFromInner {
 		if err := p.inner.ReadPage(id, e.data); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("pagestore: fault in page %d: %w", id, err)
 		}
 	}
 	if err := p.insert(e); err != nil {
@@ -160,7 +160,7 @@ func (p *BufferPool) Allocate() (PageID, error) {
 	defer p.mu.Unlock()
 	id, err := p.inner.Allocate()
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("pagestore: pool allocate: %w", err)
 	}
 	p.stats.countAlloc()
 	return id, nil
@@ -195,7 +195,10 @@ func (p *BufferPool) Sync() error {
 	if len(errs) > 0 {
 		return errors.Join(errs...)
 	}
-	return p.inner.Sync()
+	if err := p.inner.Sync(); err != nil {
+		return fmt.Errorf("pagestore: pool sync: %w", err)
+	}
+	return nil
 }
 
 // Close implements File: flushes and closes the inner file. If the flush

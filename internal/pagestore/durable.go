@@ -1,12 +1,22 @@
 package pagestore
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+
+	"sigfile/internal/obs"
+)
+
+// Corruption metrics: pages fenced off after an unrepairable checksum
+// mismatch, and pages rewritten from the log's last committed image.
+var (
+	obsQuarantined = obs.Default().Counter("sigfile_pagestore_quarantined_total")
+	obsRepaired    = obs.Default().Counter("sigfile_pagestore_repaired_total")
 )
 
 // Committer is implemented by the durable files and stores: their writes
@@ -40,9 +50,14 @@ type DurableFile struct {
 	wal     *wal
 	store   *DurableStore
 	pending map[PageID][]byte
-	npages  int
-	closed  bool
-	stats   Stats
+	// quarantined fences off pages whose on-disk image failed its
+	// checksum and could not be repaired from the log. Reads return
+	// ErrQuarantined instead of garbage; a committed write or a scrub
+	// pass that finds the page healthy releases it.
+	quarantined map[PageID]struct{}
+	npages      int
+	closed      bool
+	stats       Stats
 }
 
 // OpenDurableFile opens (creating if necessary) a crash-safe page file
@@ -89,11 +104,28 @@ func newStoreFile(inner *DiskFile, tag string, store *DurableStore) *DurableFile
 }
 
 // ReadPage implements File, serving pending writes from the overlay so a
-// transaction reads its own uncommitted data.
+// transaction reads its own uncommitted data. A checksum mismatch from
+// the disk triggers a repair attempt from the log's last committed image
+// of the page; if no image survives (the log was truncated at a
+// checkpoint) the page is quarantined and the read fails with
+// ErrQuarantined rather than ever returning corrupt bytes.
 func (f *DurableFile) ReadPage(id PageID, buf []byte) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("pagestore: read buffer %d bytes, need %d", len(buf), PageSize)
 	}
+	err := f.readPageOnce(id, buf)
+	if err == nil || !errors.Is(err, ErrChecksum) {
+		return err
+	}
+	if rerr := f.repair(id); rerr != nil {
+		return rerr
+	}
+	return f.readPageOnce(id, buf)
+}
+
+// readPageOnce is one read attempt through the overlay and the disk,
+// without the repair path.
+func (f *DurableFile) readPageOnce(id PageID, buf []byte) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
@@ -103,9 +135,14 @@ func (f *DurableFile) ReadPage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, f.npages)
 	}
 	if img, ok := f.pending[id]; ok {
+		// The overlay wins even over a quarantined page: the transaction
+		// reads its own write, and its commit will repair the disk.
 		copy(buf[:PageSize], img)
 		f.stats.countRead()
 		return nil
+	}
+	if _, bad := f.quarantined[id]; bad {
+		return fmt.Errorf("pagestore: %s page %d: %w", f.label(), id, ErrQuarantined)
 	}
 	if int(id) >= f.inner.NumPages() {
 		// Allocated in this transaction, never written: all zero.
@@ -116,10 +153,77 @@ func (f *DurableFile) ReadPage(id PageID, buf []byte) error {
 		return nil
 	}
 	if err := f.inner.ReadPage(id, buf); err != nil {
-		return err
+		return fmt.Errorf("pagestore: %s page %d: %w", f.label(), id, err)
 	}
 	f.stats.countRead()
 	return nil
+}
+
+// label names the file in errors: its store tag, or "durable file" for a
+// standalone file (whose WAL tag is the empty string).
+func (f *DurableFile) label() string {
+	if f.tag != "" {
+		return f.tag
+	}
+	return "durable file"
+}
+
+// repair rewrites page id from the log's last committed image,
+// quarantining the page when none survives. Store members route through
+// the store so the shared log is accessed under the commit path's
+// store→file lock order.
+func (f *DurableFile) repair(id PageID) error {
+	if f.store != nil {
+		return f.store.repairPage(f, id)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.repairLocked(f.wal, id)
+}
+
+// repairLocked is the repair step itself. Caller holds f.mu (and, for a
+// store member, the store mutex owning w).
+func (f *DurableFile) repairLocked(w *wal, id PageID) error {
+	img, err := w.latestImage(f.tag, id)
+	if err != nil {
+		return fmt.Errorf("pagestore: repair %s page %d: %w", f.label(), id, err)
+	}
+	if img == nil {
+		f.quarantineLocked(id)
+		return fmt.Errorf("pagestore: %s page %d: no committed image in log: %w", f.label(), id, ErrQuarantined)
+	}
+	if werr := f.inner.WritePage(id, img); werr != nil {
+		f.quarantineLocked(id)
+		return fmt.Errorf("pagestore: repair %s page %d: %w: %w", f.label(), id, ErrQuarantined, werr)
+	}
+	if _, ok := f.quarantined[id]; ok {
+		delete(f.quarantined, id)
+	}
+	obsRepaired.Inc()
+	return nil
+}
+
+// quarantineLocked fences off page id. Caller holds f.mu.
+func (f *DurableFile) quarantineLocked(id PageID) {
+	if f.quarantined == nil {
+		f.quarantined = make(map[PageID]struct{})
+	}
+	if _, ok := f.quarantined[id]; !ok {
+		f.quarantined[id] = struct{}{}
+		obsQuarantined.Inc()
+	}
+}
+
+// QuarantinedPages returns the ids currently fenced off, sorted.
+func (f *DurableFile) QuarantinedPages() []PageID {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := make([]PageID, 0, len(f.quarantined))
+	for id := range f.quarantined {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // WritePage implements File: the write lands in the pending overlay and
@@ -202,7 +306,7 @@ func (f *DurableFile) logPendingLocked(w *wal) error {
 // the commit record.
 func (f *DurableFile) applyPendingLocked() error {
 	if err := f.inner.extendTo(f.npages); err != nil {
-		return err
+		return fmt.Errorf("pagestore: extend %s to %d pages: %w", f.label(), f.npages, err)
 	}
 	ids := make([]PageID, 0, len(f.pending))
 	for id := range f.pending {
@@ -211,8 +315,11 @@ func (f *DurableFile) applyPendingLocked() error {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		if err := f.inner.WritePage(id, f.pending[id]); err != nil {
-			return err
+			return fmt.Errorf("pagestore: apply %s page %d: %w", f.label(), id, err)
 		}
+		// The committed image just replaced whatever was on disk, so a
+		// quarantined page is healthy again.
+		delete(f.quarantined, id)
 	}
 	f.pending = make(map[PageID][]byte)
 	return nil
@@ -258,7 +365,7 @@ func (f *DurableFile) Checkpoint() error {
 		return err
 	}
 	if err := f.inner.Sync(); err != nil {
-		return err
+		return fmt.Errorf("pagestore: checkpoint sync %s: %w", f.label(), err)
 	}
 	return f.wal.reset()
 }
@@ -335,7 +442,7 @@ func OpenDurableStore(dir string) (*DurableStore, error) {
 func OpenDurableStoreFS(fs BlockFS) (*DurableStore, error) {
 	dev, err := fs.Open(storeWALName)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pagestore: open %s: %w", storeWALName, err)
 	}
 	w, err := openWAL(dev, storeWALName)
 	if err != nil {
@@ -387,7 +494,7 @@ func (s *DurableStore) Open(name string) (File, error) {
 	}
 	dev, err := s.fs.Open(name + pageFileSuffix)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pagestore: open %s: %w", name+pageFileSuffix, err)
 	}
 	inner, err := newDiskFile(dev, name)
 	if err != nil {
@@ -397,6 +504,35 @@ func (s *DurableStore) Open(name string) (File, error) {
 	f := newStoreFile(inner, name, s)
 	s.files[name] = f
 	return f, nil
+}
+
+// repairPage rewrites one member page from the shared log. It takes the
+// store mutex then the file mutex — the same order as the commit path —
+// so a read-triggered repair cannot deadlock against a commit.
+func (s *DurableStore) repairPage(f *DurableFile, id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.repairLocked(s.wal, id)
+}
+
+// Quarantined returns the currently fenced-off pages of every member
+// file, keyed by tag; files with none are omitted.
+func (s *DurableStore) Quarantined() map[string][]PageID {
+	s.mu.Lock()
+	files := make([]*DurableFile, 0, len(s.files))
+	for _, f := range s.files {
+		files = append(files, f)
+	}
+	s.mu.Unlock()
+	out := make(map[string][]PageID)
+	for _, f := range files {
+		if ids := f.QuarantinedPages(); len(ids) > 0 {
+			out[f.tag] = ids
+		}
+	}
+	return out
 }
 
 // dirtyFilesLocked returns the members with uncommitted state, sorted by
@@ -465,7 +601,7 @@ func (s *DurableStore) Checkpoint() error {
 	}
 	for _, f := range s.files {
 		if err := f.inner.Sync(); err != nil {
-			return err
+			return fmt.Errorf("pagestore: checkpoint sync %s: %w", f.label(), err)
 		}
 	}
 	return s.wal.reset()

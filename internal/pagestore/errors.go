@@ -1,0 +1,124 @@
+// Error classification for the resilience layer.
+//
+// The paper's storage model is binary — a page access works or the run is
+// over — but a long-running sigfiled server sees a third regime: faults
+// that are worth retrying (a controller hiccup returning EIO, a short
+// write under memory pressure), faults that will not go away on their own
+// (the disk is full, the file system went read-only), and data that came
+// back wrong (a CRC mismatch). Classify sorts an error into one of those
+// three classes so every layer — RetryFile's backoff loop, DurableFile's
+// quarantine, core's facility health machine — makes the same call.
+package pagestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"syscall"
+)
+
+// ErrorClass partitions storage errors by the correct reaction to them.
+type ErrorClass int
+
+const (
+	// ClassNone is the class of nil and of errors that are not storage
+	// faults at all (context cancellation, invalid arguments). Retrying
+	// is pointless and degrading a facility over one would be wrong.
+	ClassNone ErrorClass = iota
+	// ClassTransient faults may succeed if retried: EIO, EINTR, EAGAIN,
+	// ETIMEDOUT, short writes, and anything marked with ErrTransient.
+	ClassTransient
+	// ClassTerminal faults will keep failing: ENOSPC, EROFS, closed or
+	// crashed devices, exhausted retries. The caller should stop writing
+	// and degrade.
+	ClassTerminal
+	// ClassCorrupt means bytes came back but failed verification:
+	// checksum mismatches and quarantined pages. Repair, not retry.
+	ClassCorrupt
+)
+
+// String returns the class name for logs and test failures.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassTerminal:
+		return "terminal"
+	case ClassCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("ErrorClass(%d)", int(c))
+}
+
+// ErrTransient marks an error as worth retrying. Fault injectors wrap
+// their scheduled errors with MarkTransient; real device errors are
+// classified by errno instead.
+var ErrTransient = errors.New("pagestore: transient fault")
+
+// ErrRetryExhausted wraps the final error after a RetryFile used up its
+// attempt budget. It classifies as terminal: the fault outlived every
+// retry the policy allowed, so callers must treat it as persistent.
+var ErrRetryExhausted = errors.New("pagestore: retries exhausted")
+
+// ErrQuarantined is returned when a page's on-disk image failed its
+// checksum and no committed image survives in the WAL to repair it from.
+// The page stays fenced off — served reads would be garbage — until a
+// write replaces it or a scrub finds it healthy again.
+var ErrQuarantined = errors.New("pagestore: page quarantined")
+
+// MarkTransient wraps err so Classify reports it transient while
+// errors.Is still matches the original. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// transientErrnos are device errors that historically clear on retry.
+var transientErrnos = []syscall.Errno{
+	syscall.EIO, syscall.EINTR, syscall.EAGAIN, syscall.ETIMEDOUT, syscall.EBUSY,
+}
+
+// terminalErrnos are device errors no retry will fix.
+var terminalErrnos = []syscall.Errno{
+	syscall.ENOSPC, syscall.EROFS, syscall.EDQUOT, syscall.EBADF, syscall.ENODEV,
+}
+
+// Classify sorts err into an ErrorClass. Explicit markers win over errno
+// inspection; context errors and unrecognized errors classify as
+// ClassNone so callers neither retry nor degrade over them.
+func Classify(err error) ErrorClass {
+	if err == nil {
+		return ClassNone
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassNone
+	}
+	if errors.Is(err, ErrChecksum) || errors.Is(err, ErrQuarantined) {
+		return ClassCorrupt
+	}
+	if errors.Is(err, ErrRetryExhausted) || errors.Is(err, ErrClosed) || errors.Is(err, ErrCrashed) {
+		return ClassTerminal
+	}
+	if errors.Is(err, ErrTransient) || errors.Is(err, io.ErrShortWrite) {
+		return ClassTransient
+	}
+	for _, e := range terminalErrnos {
+		if errors.Is(err, e) {
+			return ClassTerminal
+		}
+	}
+	for _, e := range transientErrnos {
+		if errors.Is(err, e) {
+			return ClassTransient
+		}
+	}
+	return ClassNone
+}
+
+// Retryable reports whether err is worth retrying.
+func Retryable(err error) bool { return Classify(err) == ClassTransient }

@@ -2,18 +2,123 @@ package pagestore
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
+	"syscall"
 )
 
 // ErrInjected is the error produced by a FaultFile when a scheduled fault
 // fires. Callers in tests match it with errors.Is.
 var ErrInjected = errors.New("pagestore: injected fault")
 
+// TransientFaults configures a seeded probabilistic schedule of
+// transient faults shared by every file of a FaultStore: each page
+// read/write/allocation independently fails with the given probability,
+// and the error is marked transient so the retry layer owns it.
+type TransientFaults struct {
+	PRead, PWrite, PAlloc float64
+	// Errs is the pool the injected error is drawn from; empty means
+	// syscall.EIO.
+	Errs []error
+}
+
+// faultSched is the store-wide fault state a FaultStore's files share:
+// the seeded transient schedule and any persistent failure modes. One
+// struct so a schedule spans a facility's files the way a sick disk
+// spans its partitions.
+type faultSched struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg TransientFaults
+
+	persistRead  error
+	persistWrite error
+}
+
+// opKind indexes the per-operation probability.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opAlloc
+)
+
+// seedTransient replaces the probabilistic schedule.
+func (t *faultSched) seedTransient(seed int64, cfg TransientFaults) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rng = rand.New(rand.NewSource(seed))
+	t.cfg = cfg
+}
+
+// failWritesWith sets (or, with nil, clears) the persistent write fault.
+func (t *faultSched) failWritesWith(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.persistWrite = err
+}
+
+// failReadsWith sets (or, with nil, clears) the persistent read fault.
+func (t *faultSched) failReadsWith(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.persistRead = err
+}
+
+// heal clears the probabilistic schedule and the persistent modes.
+func (t *faultSched) heal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rng = nil
+	t.cfg = TransientFaults{}
+	t.persistRead = nil
+	t.persistWrite = nil
+}
+
+// decide returns the error to inject for one operation of kind k, or
+// nil. Persistent modes win over the probabilistic schedule.
+func (t *faultSched) decide(k opKind) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k != opRead && t.persistWrite != nil {
+		return fmt.Errorf("%w: %w", ErrInjected, t.persistWrite)
+	}
+	if k == opRead && t.persistRead != nil {
+		return fmt.Errorf("%w: %w", ErrInjected, t.persistRead)
+	}
+	if t.rng == nil {
+		return nil
+	}
+	var p float64
+	switch k {
+	case opRead:
+		p = t.cfg.PRead
+	case opWrite:
+		p = t.cfg.PWrite
+	case opAlloc:
+		p = t.cfg.PAlloc
+	}
+	if p <= 0 || t.rng.Float64() >= p {
+		return nil
+	}
+	base := error(syscall.EIO)
+	if len(t.cfg.Errs) > 0 {
+		base = t.cfg.Errs[t.rng.Intn(len(t.cfg.Errs))]
+	}
+	return MarkTransient(fmt.Errorf("%w: %w", ErrInjected, base))
+}
+
 // FaultFile wraps a File and fails operations on demand. It exists for
 // failure-injection tests: the access facilities must propagate storage
 // errors instead of panicking or silently corrupting results.
 type FaultFile struct {
 	inner File
+	sched *faultSched // shared store schedule; nil for a standalone file
 
 	mu sync.Mutex
 	// failReadAfter / failWriteAfter count down on each operation; when a
@@ -70,6 +175,9 @@ func (f *FaultFile) ReadPage(id PageID, buf []byte) error {
 	if f.trip(&f.failReadAfter) {
 		return ErrInjected
 	}
+	if err := f.sched.decide(opRead); err != nil {
+		return err
+	}
 	return f.inner.ReadPage(id, buf)
 }
 
@@ -78,6 +186,9 @@ func (f *FaultFile) WritePage(id PageID, buf []byte) error {
 	if f.trip(&f.failWriteAfter) {
 		return ErrInjected
 	}
+	if err := f.sched.decide(opWrite); err != nil {
+		return err
+	}
 	return f.inner.WritePage(id, buf)
 }
 
@@ -85,6 +196,9 @@ func (f *FaultFile) WritePage(id PageID, buf []byte) error {
 func (f *FaultFile) Allocate() (PageID, error) {
 	if f.trip(&f.failAllocAfter) {
 		return 0, ErrInjected
+	}
+	if err := f.sched.decide(opAlloc); err != nil {
+		return 0, err
 	}
 	return f.inner.Allocate()
 }
@@ -104,9 +218,12 @@ func (f *FaultFile) Close() error { return f.inner.Close() }
 var _ File = (*FaultFile)(nil)
 
 // FaultStore wraps a Store so that every file it opens is wrapped in a
-// FaultFile. Opened fault files are retained for the test to arm.
+// FaultFile. Opened fault files are retained for the test to arm, and
+// all of them share one fault schedule (SeedTransient, FailWritesWith)
+// so a storm or a dead disk spans the whole facility.
 type FaultStore struct {
 	inner Store
+	sched *faultSched
 
 	mu    sync.Mutex
 	files map[string]*FaultFile
@@ -114,7 +231,33 @@ type FaultStore struct {
 
 // NewFaultStore wraps inner.
 func NewFaultStore(inner Store) *FaultStore {
-	return &FaultStore{inner: inner, files: make(map[string]*FaultFile)}
+	return &FaultStore{inner: inner, sched: &faultSched{}, files: make(map[string]*FaultFile)}
+}
+
+// SeedTransient arms a probabilistic schedule of transient faults on
+// every file (present and future) of the store, drawn from a generator
+// seeded with seed so a soak run replays identically.
+func (s *FaultStore) SeedTransient(seed int64, cfg TransientFaults) {
+	s.sched.seedTransient(seed, cfg)
+}
+
+// FailWritesWith fails every subsequent write and allocation on every
+// file of the store with err — a persistent fault like syscall.ENOSPC
+// that no retry clears. A nil err restores writes.
+func (s *FaultStore) FailWritesWith(err error) {
+	s.sched.failWritesWith(err)
+}
+
+// FailReadsWith fails every subsequent read on every file of the store
+// with err. A nil err restores reads.
+func (s *FaultStore) FailReadsWith(err error) {
+	s.sched.failReadsWith(err)
+}
+
+// Heal clears the probabilistic schedule and the persistent failure
+// modes. Deterministic per-file counters are unaffected.
+func (s *FaultStore) Heal() {
+	s.sched.heal()
 }
 
 // Open implements Store.
@@ -129,6 +272,7 @@ func (s *FaultStore) Open(name string) (File, error) {
 		return nil, err
 	}
 	f := NewFaultFile(inner)
+	f.sched = s.sched
 	s.files[name] = f
 	return f, nil
 }

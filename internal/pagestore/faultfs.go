@@ -1,0 +1,345 @@
+package pagestore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FaultOp names the block-device operation a fault schedule targets.
+type FaultOp int
+
+const (
+	FaultRead FaultOp = iota
+	FaultWrite
+	FaultSync
+	FaultTruncate
+)
+
+// String returns the operation name for schedules and test failures.
+func (op FaultOp) String() string {
+	switch op {
+	case FaultRead:
+		return "read"
+	case FaultWrite:
+		return "write"
+	case FaultSync:
+		return "sync"
+	case FaultTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("FaultOp(%d)", int(op))
+}
+
+// FaultSpec describes one injected fault.
+type FaultSpec struct {
+	// Err is the error the operation returns. The zero spec injects
+	// nothing (useful for latency-only arms).
+	Err error
+	// Transient wraps Err with MarkTransient so the retry layer
+	// classifies it retryable regardless of its errno.
+	Transient bool
+	// KeepBytes is, for writes, how many leading bytes still land before
+	// the fault fires — a short write. Negative keeps half (a torn
+	// write, like CrashClock's expiring operation). Zero keeps nothing.
+	KeepBytes int
+	// Delay stalls the operation before it proceeds or fails, modeling a
+	// slow device.
+	Delay time.Duration
+}
+
+// err returns the spec's error with the transient marker applied.
+func (s FaultSpec) err() error {
+	if s.Err == nil {
+		return nil
+	}
+	err := fmt.Errorf("%w: %w", ErrInjected, s.Err)
+	if s.Transient {
+		err = MarkTransient(err)
+	}
+	return err
+}
+
+// faultArm is a deterministic one-shot schedule entry: the (after+1)-th
+// operation of kind op across the filesystem trips spec.
+type faultArm struct {
+	op    FaultOp
+	after int
+	spec  FaultSpec
+}
+
+// FaultFS is an in-memory BlockFS sibling of CrashFS that injects
+// transient and persistent device faults instead of crashes. Schedules
+// come in three shapes, combinable:
+//
+//   - deterministic: ArmAfter fires a spec on the n-th operation of a
+//     kind, for pinpoint tests ("the second WAL write hits ENOSPC");
+//   - probabilistic: SeedProbabilistic fires a spec on each operation
+//     with per-kind probability from a seeded generator, for soak tests
+//     that need reproducible chaos;
+//   - persistent: FailPersistently fails every operation of a kind until
+//     Heal, modeling a full disk or a read-only remount.
+//
+// Corrupt flips bytes at rest, which the checksum layer must catch on
+// the next read — the scrubber's prey.
+type FaultFS struct {
+	mu    sync.Mutex
+	files map[string]*faultBlockFile
+	arms  []faultArm
+	rng   *rand.Rand
+	prob  map[FaultOp]float64
+	pspec FaultSpec
+	pers  map[FaultOp]FaultSpec
+	ops   map[FaultOp]int
+	// sleep is replaceable for tests exercising Delay without real time.
+	sleep func(time.Duration)
+}
+
+// NewFaultFS returns an empty filesystem with no faults armed.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{
+		files: make(map[string]*faultBlockFile),
+		pers:  make(map[FaultOp]FaultSpec),
+		ops:   make(map[FaultOp]int),
+		sleep: time.Sleep,
+	}
+}
+
+// Open implements BlockFS.
+func (fs *FaultFS) Open(name string) (BlockFile, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		f = &faultBlockFile{fs: fs, name: name}
+		fs.files[name] = f
+	}
+	return f, nil
+}
+
+// ArmAfter schedules spec to fire on the (n+1)-th subsequent operation
+// of kind op (n = 0 means the next one). Each arm fires once.
+func (fs *FaultFS) ArmAfter(op FaultOp, n int, spec FaultSpec) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.arms = append(fs.arms, faultArm{op: op, after: fs.ops[op] + n, spec: spec})
+}
+
+// SeedProbabilistic arms spec to fire on each operation of kind op with
+// probability prob[op], drawn from a generator seeded with seed so a
+// soak schedule replays identically. A second call replaces the first.
+func (fs *FaultFS) SeedProbabilistic(seed int64, prob map[FaultOp]float64, spec FaultSpec) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.rng = rand.New(rand.NewSource(seed))
+	fs.prob = prob
+	fs.pspec = spec
+}
+
+// FailPersistently fails every subsequent operation of kind op with
+// spec until Heal clears it.
+func (fs *FaultFS) FailPersistently(op FaultOp, spec FaultSpec) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.pers[op] = spec
+}
+
+// Heal clears every armed, probabilistic, and persistent fault. Bytes
+// already corrupted or torn stay as they are.
+func (fs *FaultFS) Heal() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.arms = nil
+	fs.rng = nil
+	fs.prob = nil
+	fs.pers = make(map[FaultOp]FaultSpec)
+}
+
+// Corrupt XOR-flips the byte at off in the named file, simulating silent
+// media corruption under the checksum layer.
+func (fs *FaultFS) Corrupt(name string, off int64, mask byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("pagestore: faultfs corrupt: no file %q", name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("pagestore: faultfs corrupt %s at %d beyond size %d", name, off, len(f.data))
+	}
+	if mask == 0 {
+		mask = 0xff
+	}
+	f.data[off] ^= mask
+	return nil
+}
+
+// Names returns the file names present, sorted.
+func (fs *FaultFS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the byte size of the named file, or -1 if absent.
+func (fs *FaultFS) Size(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return -1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data))
+}
+
+// decide accounts one operation of kind op and returns the fault to
+// apply, if any. The precedence — persistent, then deterministic arms,
+// then the probabilistic schedule — makes pinpoint arms reliable even
+// while chaos is running.
+func (fs *FaultFS) decide(op FaultOp) (FaultSpec, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.ops[op]
+	fs.ops[op] = n + 1
+	if spec, ok := fs.pers[op]; ok {
+		return spec, true
+	}
+	for i, arm := range fs.arms {
+		if arm.op == op && arm.after == n {
+			fs.arms = append(fs.arms[:i], fs.arms[i+1:]...)
+			return arm.spec, true
+		}
+	}
+	if fs.rng != nil && fs.prob[op] > 0 && fs.rng.Float64() < fs.prob[op] {
+		return fs.pspec, true
+	}
+	return FaultSpec{}, false
+}
+
+// faultBlockFile is an in-memory BlockFile whose operations consult the
+// owning FaultFS before touching the byte array.
+type faultBlockFile struct {
+	fs   *FaultFS
+	name string
+
+	mu   sync.Mutex
+	data []byte
+}
+
+// ReadAt implements BlockFile.
+func (f *faultBlockFile) ReadAt(p []byte, off int64) (int, error) {
+	if spec, ok := f.fs.decide(FaultRead); ok {
+		if spec.Delay > 0 {
+			f.fs.sleep(spec.Delay)
+		}
+		if err := spec.err(); err != nil {
+			return 0, fmt.Errorf("pagestore: faultfs read %s at %d: %w", f.name, off, err)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off >= int64(len(f.data)) {
+		return 0, fmt.Errorf("pagestore: faultfs read %s at %d beyond size %d", f.name, off, len(f.data))
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("pagestore: faultfs short read %s at %d", f.name, off)
+	}
+	return n, nil
+}
+
+// WriteAt implements BlockFile. A faulted write may land a prefix of its
+// bytes first (FaultSpec.KeepBytes), modeling short and torn writes.
+func (f *faultBlockFile) WriteAt(p []byte, off int64) (int, error) {
+	keep := len(p)
+	var ferr error
+	if spec, ok := f.fs.decide(FaultWrite); ok {
+		if spec.Delay > 0 {
+			f.fs.sleep(spec.Delay)
+		}
+		if err := spec.err(); err != nil {
+			ferr = fmt.Errorf("pagestore: faultfs write %s at %d: %w", f.name, off, err)
+			keep = spec.KeepBytes
+			if keep < 0 {
+				keep = len(p) / 2
+			}
+			if keep > len(p) {
+				keep = len(p)
+			}
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if keep > 0 {
+		end := off + int64(keep)
+		if end > int64(len(f.data)) {
+			f.data = append(f.data, make([]byte, end-int64(len(f.data)))...)
+		}
+		copy(f.data[off:end], p[:keep])
+	}
+	if ferr != nil {
+		return keep, ferr
+	}
+	return len(p), nil
+}
+
+// Truncate implements BlockFile. A faulted truncate does not happen —
+// truncation is metadata, atomic in the model.
+func (f *faultBlockFile) Truncate(size int64) error {
+	if spec, ok := f.fs.decide(FaultTruncate); ok {
+		if spec.Delay > 0 {
+			f.fs.sleep(spec.Delay)
+		}
+		if err := spec.err(); err != nil {
+			return fmt.Errorf("pagestore: faultfs truncate %s: %w", f.name, err)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int64(len(f.data)) > size {
+		f.data = f.data[:size]
+	} else {
+		f.data = append(f.data, make([]byte, size-int64(len(f.data)))...)
+	}
+	return nil
+}
+
+// Sync implements BlockFile; the in-memory device is otherwise always
+// durable.
+func (f *faultBlockFile) Sync() error {
+	if spec, ok := f.fs.decide(FaultSync); ok {
+		if spec.Delay > 0 {
+			f.fs.sleep(spec.Delay)
+		}
+		if err := spec.err(); err != nil {
+			return fmt.Errorf("pagestore: faultfs sync %s: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+// Size implements BlockFile.
+func (f *faultBlockFile) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data)), nil
+}
+
+// Close implements BlockFile; the bytes persist in the FaultFS.
+func (f *faultBlockFile) Close() error { return nil }
+
+var (
+	_ BlockFile = (*faultBlockFile)(nil)
+	_ BlockFS   = (*FaultFS)(nil)
+)

@@ -1,0 +1,253 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+)
+
+// openStoreFile opens a DurableStore over fs with one member file and
+// returns both.
+func openStoreFile(t *testing.T, fs BlockFS, name string) (*DurableStore, File) {
+	t.Helper()
+	store, err := OpenDurableStoreFS(fs)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	f, err := store.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	return store, f
+}
+
+// fillPage returns a page stamped with b.
+func fillPage(b byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestFaultFSArmAfter(t *testing.T) {
+	fs := NewFaultFS()
+	dev, err := fs.Open("x")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	fs.ArmAfter(FaultWrite, 1, FaultSpec{Err: syscall.EIO, Transient: true})
+	if _, err := dev.WriteAt([]byte("aa"), 0); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	_, err = dev.WriteAt([]byte("bb"), 2)
+	if !errors.Is(err, syscall.EIO) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write = %v, want injected EIO", err)
+	}
+	if Classify(err) != ClassTransient {
+		t.Fatalf("Classify = %v, want transient", Classify(err))
+	}
+	// The arm fired once; writes work again.
+	if _, err := dev.WriteAt([]byte("cc"), 2); err != nil {
+		t.Fatalf("third write: %v", err)
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	fs := NewFaultFS()
+	dev, err := fs.Open("x")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	fs.ArmAfter(FaultWrite, 0, FaultSpec{Err: syscall.EIO, KeepBytes: 3})
+	n, err := dev.WriteAt([]byte("abcdef"), 0)
+	if err == nil {
+		t.Fatal("short write did not error")
+	}
+	if n != 3 {
+		t.Fatalf("short write landed %d bytes, want 3", n)
+	}
+	if got := fs.Size("x"); got != 3 {
+		t.Fatalf("file size %d, want 3", got)
+	}
+	buf := make([]byte, 3)
+	if _, err := dev.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(buf) != "abc" {
+		t.Fatalf("surviving bytes %q, want %q", buf, "abc")
+	}
+}
+
+func TestFaultFSPersistentAndHeal(t *testing.T) {
+	fs := NewFaultFS()
+	dev, err := fs.Open("x")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	fs.FailPersistently(FaultWrite, FaultSpec{Err: syscall.ENOSPC})
+	for i := 0; i < 3; i++ {
+		if _, err := dev.WriteAt([]byte("a"), 0); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d = %v, want ENOSPC", i, err)
+		}
+	}
+	fs.Heal()
+	if _, err := dev.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+func TestFaultFSProbabilisticIsDeterministic(t *testing.T) {
+	run := func() []int {
+		fs := NewFaultFS()
+		dev, _ := fs.Open("x")
+		fs.SeedProbabilistic(7, map[FaultOp]float64{FaultWrite: 0.5}, FaultSpec{Err: syscall.EIO, Transient: true})
+		var failed []int
+		for i := 0; i < 40; i++ {
+			if _, err := dev.WriteAt([]byte{byte(i)}, int64(i)); err != nil {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 40 {
+		t.Fatalf("schedule fired %d/40 times; want a mix", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+}
+
+// TestCheckpointENOSPCRecovery is the satellite coverage for a WAL
+// checkpoint hitting ENOSPC mid-write: the page files are being
+// rewritten in place when the device fills, the store reports the
+// error, and reopening the surviving bytes replays the log so no
+// committed write is lost.
+func TestCheckpointENOSPCRecovery(t *testing.T) {
+	fs := NewFaultFS()
+	store, f := openStoreFile(t, fs, "data")
+
+	// Commit two pages; the commit lands images in the WAL and applies
+	// them in place. Then dirty them again and checkpoint into a full
+	// disk partway through the apply.
+	for i := 0; i < 2; i++ {
+		if _, err := f.Allocate(); err != nil {
+			t.Fatalf("allocate: %v", err)
+		}
+		if err := f.WritePage(PageID(i), fillPage(byte('A'+i))); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := store.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	if err := f.WritePage(0, fillPage('X')); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if err := f.WritePage(1, fillPage('Y')); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	// The checkpoint sequence is: append page images to the WAL, commit
+	// record + sync, then write the pages in place. Fail the 2nd write
+	// after this point — the WAL append succeeds, the in-place apply
+	// tears — with half the bytes landing (a torn page at ENOSPC).
+	fs.ArmAfter(FaultWrite, 3, FaultSpec{Err: syscall.ENOSPC, KeepBytes: -1})
+	err := store.Checkpoint()
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("checkpoint = %v, want ENOSPC", err)
+	}
+
+	// The process would now degrade or die; model a restart. Recovery
+	// must replay the committed images over the torn page.
+	reopened, err := OpenDurableStoreFS(fs)
+	if err != nil {
+		t.Fatalf("reopen after ENOSPC: %v", err)
+	}
+	rf, err := reopened.Open("data")
+	if err != nil {
+		t.Fatalf("reopen data: %v", err)
+	}
+	buf := make([]byte, PageSize)
+	for i, want := range []byte{'X', 'Y'} {
+		if err := rf.ReadPage(PageID(i), buf); err != nil {
+			t.Fatalf("read page %d after recovery: %v", i, err)
+		}
+		if !bytes.Equal(buf, fillPage(want)) {
+			t.Fatalf("page %d byte[0] = %#x, want %q", i, buf[0], want)
+		}
+	}
+	// And the page files pass a full checksum walk.
+	if err := VerifyChecksums(fs, "data"+pageFileSuffix); err != nil {
+		t.Fatalf("checksums after recovery: %v", err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestCheckpointENOSPCEveryPoint sweeps the fault over every write the
+// checkpoint makes, reopening after each: wherever the disk fills, a
+// committed transaction survives recovery intact.
+func TestCheckpointENOSPCEveryPoint(t *testing.T) {
+	for point := 0; ; point++ {
+		fs := NewFaultFS()
+		store, f := openStoreFile(t, fs, "data")
+		for i := 0; i < 3; i++ {
+			if _, err := f.Allocate(); err != nil {
+				t.Fatalf("allocate: %v", err)
+			}
+			if err := f.WritePage(PageID(i), fillPage(byte('a'+i))); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+		fs.ArmAfter(FaultWrite, point, FaultSpec{Err: syscall.ENOSPC, KeepBytes: -1})
+		err := store.Checkpoint()
+		if err == nil {
+			// The arm never fired: the schedule is longer than the
+			// checkpoint. The sweep is done.
+			if point == 0 {
+				t.Fatal("checkpoint made no writes")
+			}
+			return
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("point %d: checkpoint = %v, want ENOSPC", point, err)
+		}
+
+		reopened, rerr := OpenDurableStoreFS(fs)
+		if rerr != nil {
+			t.Fatalf("point %d: reopen: %v", point, rerr)
+		}
+		rf, rerr := reopened.Open("data")
+		if rerr != nil {
+			t.Fatalf("point %d: reopen data: %v", point, rerr)
+		}
+		buf := make([]byte, PageSize)
+		// The transaction either committed (WAL sync happened before the
+		// fault) and must be fully visible, or it did not and the file
+		// must be empty — never a mix.
+		n := rf.NumPages()
+		switch n {
+		case 0:
+			// Nothing committed; fine.
+		case 3:
+			for i := 0; i < 3; i++ {
+				if err := rf.ReadPage(PageID(i), buf); err != nil {
+					t.Fatalf("point %d: read %d: %v", point, i, err)
+				}
+				if buf[0] != byte('a'+i) {
+					t.Fatalf("point %d: page %d = %#x, want %#x", point, i, buf[0], byte('a'+i))
+				}
+			}
+		default:
+			t.Fatalf("point %d: %d pages visible, want 0 or 3", point, n)
+		}
+		if err := reopened.Close(); err != nil {
+			t.Fatalf("point %d: close: %v", point, err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package pagestore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sigfile/internal/obs"
+)
+
+// RetryPolicy bounds how hard the retry layer fights a transient fault:
+// capped exponential backoff with jitter, classified by Classify so
+// terminal faults (disk full, device gone) fail immediately instead of
+// burning the budget.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Zero means DefaultRetryPolicy.MaxAttempts.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each subsequent wait
+	// doubles, capped at MaxDelay. Zero means the defaults (1ms / 50ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter scales each wait by a random factor in [1-Jitter, 1] to
+	// decorrelate retries across files. 0 disables jitter.
+	Jitter float64
+	// Sleep overrides the wait for tests (nil = real time). It receives
+	// the jittered delay and must honor it or return immediately.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the policy NewRetryFile applies when fields are
+// zero: 4 attempts, 1ms base, 50ms cap, 50% jitter — a worst case of
+// ~87ms blocked in backoff before a read reports ErrRetryExhausted.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    50 * time.Millisecond,
+	Jitter:      0.5,
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// delay returns the jittered backoff before retry attempt (1-based).
+func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay << uint(attempt-1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && rng != nil {
+		d = time.Duration(float64(d) * (1 - p.Jitter*rng.Float64()))
+	}
+	return d
+}
+
+// Retry metrics. Counters, not per-file gauges: the interesting signal is
+// process-wide retry pressure, which feeds alerting for the sigfiled
+// deployment the ROADMAP aims at.
+var (
+	obsRetries   = obs.Default().Counter("sigfile_pagestore_retries_total")
+	obsExhausted = obs.Default().Counter("sigfile_pagestore_retry_exhausted_total")
+)
+
+// Do runs op under pol, retrying transient faults until the attempt
+// budget or ctx expires. It is the context-aware entry point for callers
+// that have one (the scrubber, maintenance jobs); RetryFile wires the
+// same loop into the File interface, whose methods carry no context and
+// instead abort backoff on Close.
+func Do(ctx context.Context, pol RetryPolicy, op func() error) error {
+	return retryLoop(ctx, nil, pol.withDefaults(), nil, op)
+}
+
+// retryLoop is the shared engine behind Do and RetryFile. Exactly one of
+// ctx and stop may be non-nil; either aborts a backoff wait early. rng
+// may be nil (no jitter source).
+func retryLoop(ctx context.Context, stop <-chan struct{}, pol RetryPolicy, rng func() *rand.Rand, op func() error) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || !Retryable(err) {
+			return err
+		}
+		if attempt >= pol.MaxAttempts {
+			obsExhausted.Inc()
+			return fmt.Errorf("%w: %d attempts: %w", ErrRetryExhausted, attempt, err)
+		}
+		obsRetries.Inc()
+		var r *rand.Rand
+		if rng != nil {
+			r = rng()
+		}
+		d := pol.delay(attempt, r)
+		if pol.Sleep != nil {
+			pol.Sleep(d)
+			continue
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-stop:
+			t.Stop()
+			return fmt.Errorf("pagestore: retry aborted by close: %w", err)
+		case <-ctxDone(ctx):
+			t.Stop()
+			return fmt.Errorf("pagestore: retry aborted: %w", ctx.Err())
+		}
+	}
+}
+
+// ctxDone returns ctx.Done() or a nil channel for a nil context, keeping
+// the select in retryLoop uniform.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// RetryFile wraps a File so transient faults from the layers below
+// (device hiccups, injected schedules) are absorbed by bounded backoff
+// instead of surfacing to the facility. Terminal and corrupt errors pass
+// straight through — retrying a full disk or a bad checksum only delays
+// the right reaction (degrade, repair).
+//
+// File methods carry no context, so backoff waits are interruptible by
+// Close instead: closing the file fails the in-flight retry promptly.
+// Callers holding a context use Do.
+type RetryFile struct {
+	inner File
+	pol   RetryPolicy
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	stop chan struct{}
+	done bool
+}
+
+// NewRetryFile wraps inner with pol (zero fields take defaults). The
+// jitter source is seeded from the policy's base delay and the wall
+// clock unless seeded tests override Sleep anyway.
+func NewRetryFile(inner File, pol RetryPolicy) *RetryFile {
+	return &RetryFile{
+		inner: inner,
+		pol:   pol.withDefaults(),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		stop:  make(chan struct{}),
+	}
+}
+
+// jitterRNG hands the shared jitter source to retryLoop under the lock.
+func (f *RetryFile) jitterRNG() *rand.Rand {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// rand.Rand is not goroutine-safe; draw a child source per call so
+	// concurrent backoffs do not race on one generator.
+	return rand.New(rand.NewSource(f.rng.Int63()))
+}
+
+func (f *RetryFile) do(op func() error) error {
+	return retryLoop(nil, f.stop, f.pol, f.jitterRNG, op)
+}
+
+// ReadPage implements File with retries.
+func (f *RetryFile) ReadPage(id PageID, buf []byte) error {
+	return f.do(func() error { return f.inner.ReadPage(id, buf) })
+}
+
+// WritePage implements File with retries. Page writes are idempotent
+// full-page stores, so re-running a torn or failed write is safe.
+func (f *RetryFile) WritePage(id PageID, buf []byte) error {
+	return f.do(func() error { return f.inner.WritePage(id, buf) })
+}
+
+// Allocate implements File with retries. The fault injectors fail before
+// the inner allocation happens, and real allocation (extending a file)
+// is idempotent at this layer, so a retried Allocate cannot double-grow.
+func (f *RetryFile) Allocate() (PageID, error) {
+	var id PageID
+	err := f.do(func() error {
+		var err error
+		id, err = f.inner.Allocate()
+		return err
+	})
+	return id, err
+}
+
+// NumPages implements File.
+func (f *RetryFile) NumPages() int { return f.inner.NumPages() }
+
+// Stats implements File, delegating to the inner file: retries are
+// physical re-accesses and should be visible in the paper's page counts.
+func (f *RetryFile) Stats() *Stats { return f.inner.Stats() }
+
+// Sync implements File with retries.
+func (f *RetryFile) Sync() error {
+	return f.do(func() error { return f.inner.Sync() })
+}
+
+// Close implements File. It aborts any in-flight backoff wait and closes
+// the inner file; Close itself is not retried.
+func (f *RetryFile) Close() error {
+	f.mu.Lock()
+	if !f.done {
+		f.done = true
+		close(f.stop)
+	}
+	f.mu.Unlock()
+	return f.inner.Close()
+}
+
+var _ File = (*RetryFile)(nil)
+
+// RetryStore wraps a Store so every file it opens retries transient
+// faults under one policy. Layered between a facility and a FaultStore
+// it turns an injected transient schedule into, at worst, latency.
+type RetryStore struct {
+	inner Store
+	pol   RetryPolicy
+
+	mu    sync.Mutex
+	files map[string]*RetryFile
+}
+
+// NewRetryStore wraps inner with pol (zero fields take defaults).
+func NewRetryStore(inner Store, pol RetryPolicy) *RetryStore {
+	return &RetryStore{inner: inner, pol: pol.withDefaults(), files: make(map[string]*RetryFile)}
+}
+
+// Open implements Store.
+func (s *RetryStore) Open(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[name]; ok {
+		return f, nil
+	}
+	inner, err := s.inner.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: retry store open %s: %w", name, err)
+	}
+	f := NewRetryFile(inner, s.pol)
+	s.files[name] = f
+	return f, nil
+}
+
+// Close implements Store, aborting backoffs on every member first.
+func (s *RetryStore) Close() error {
+	s.mu.Lock()
+	for _, f := range s.files {
+		f.mu.Lock()
+		if !f.done {
+			f.done = true
+			close(f.stop)
+		}
+		f.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return s.inner.Close()
+}
+
+var _ Store = (*RetryStore)(nil)

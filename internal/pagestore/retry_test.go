@@ -1,0 +1,250 @@
+package pagestore
+
+import (
+	"context"
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// noSleep is the test policy: generous budget, no real waiting.
+func noSleep(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, Sleep: func(time.Duration) {}}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrorClass
+	}{
+		{nil, ClassNone},
+		{context.Canceled, ClassNone},
+		{context.DeadlineExceeded, ClassNone},
+		{errors.New("opaque"), ClassNone},
+		{ErrInjected, ClassNone},
+		{syscall.EIO, ClassTransient},
+		{syscall.EINTR, ClassTransient},
+		{io.ErrShortWrite, ClassTransient},
+		{MarkTransient(errors.New("opaque")), ClassTransient},
+		{MarkTransient(syscall.ENOSPC), ClassTransient}, // explicit marker wins
+		{syscall.ENOSPC, ClassTerminal},
+		{syscall.EROFS, ClassTerminal},
+		{ErrClosed, ClassTerminal},
+		{ErrCrashed, ClassTerminal},
+		{ErrChecksum, ClassCorrupt},
+		{ErrQuarantined, ClassCorrupt},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// The exhausted wrapper classifies terminal even around a transient
+	// cause: the budget is gone.
+	err := retryLoop(nil, nil, noSleep(2).withDefaults(), nil, func() error {
+		return MarkTransient(syscall.EIO)
+	})
+	if !errors.Is(err, ErrRetryExhausted) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("exhausted error = %v, want ErrRetryExhausted wrapping EIO", err)
+	}
+	if Classify(err) != ClassTerminal {
+		t.Fatalf("Classify(exhausted) = %v, want terminal", Classify(err))
+	}
+}
+
+func TestRetryFileAbsorbsTransientFaults(t *testing.T) {
+	mem := NewMemFile()
+	fault := NewFaultFile(mem)
+	f := NewRetryFile(fault, noSleep(4))
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	page := make([]byte, PageSize)
+	page[0] = 0xAB
+	if err := f.WritePage(id, page); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	// A store-level transient schedule that fails every read would
+	// exhaust the budget; fail just the next one via a wrapper instead.
+	var calls int
+	flaky := &opWrapper{File: mem, beforeRead: func() error {
+		calls++
+		if calls <= 2 {
+			return MarkTransient(syscall.EIO)
+		}
+		return nil
+	}}
+	rf := NewRetryFile(flaky, noSleep(4))
+	got := make([]byte, PageSize)
+	if err := rf.ReadPage(id, got); err != nil {
+		t.Fatalf("read through transient faults: %v", err)
+	}
+	if got[0] != 0xAB {
+		t.Fatalf("read returned wrong data: %#x", got[0])
+	}
+	if calls != 3 {
+		t.Fatalf("read attempted %d times, want 3", calls)
+	}
+}
+
+func TestRetryFileDoesNotRetryTerminal(t *testing.T) {
+	var calls int
+	f := NewRetryFile(&opWrapper{File: NewMemFile(), beforeWrite: func() error {
+		calls++
+		return syscall.ENOSPC
+	}}, noSleep(5))
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	err = f.WritePage(id, make([]byte, PageSize))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write = %v, want ENOSPC", err)
+	}
+	if calls != 1 {
+		t.Fatalf("terminal write attempted %d times, want 1", calls)
+	}
+}
+
+func TestRetryFileExhaustsBudget(t *testing.T) {
+	var calls int
+	f := NewRetryFile(&opWrapper{File: NewMemFile(), beforeRead: func() error {
+		calls++
+		return MarkTransient(syscall.EIO)
+	}}, noSleep(3))
+	if _, err := f.Allocate(); err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	err := f.ReadPage(0, make([]byte, PageSize))
+	if !errors.Is(err, ErrRetryExhausted) {
+		t.Fatalf("read = %v, want ErrRetryExhausted", err)
+	}
+	if calls != 3 {
+		t.Fatalf("read attempted %d times, want 3", calls)
+	}
+}
+
+func TestRetryDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	err := Do(ctx, RetryPolicy{MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour}, func() error {
+		calls++
+		cancel() // cancel while the loop would back off for an hour
+		return MarkTransient(syscall.EIO)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1", calls)
+	}
+}
+
+func TestRetryFileCloseAbortsBackoff(t *testing.T) {
+	f := NewRetryFile(&opWrapper{File: NewMemFile(), beforeRead: func() error {
+		return MarkTransient(syscall.EIO)
+	}}, RetryPolicy{MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour})
+	if _, err := f.Allocate(); err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.ReadPage(0, make([]byte, PageSize)) }()
+	time.Sleep(10 * time.Millisecond) // let the read enter backoff
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("aborted read = %v, want wrapped EIO", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read did not abort after Close")
+	}
+}
+
+func TestRetryStoreOverFaultStoreTransientSchedule(t *testing.T) {
+	faults := NewFaultStore(NewMemStore())
+	faults.SeedTransient(42, TransientFaults{PRead: 0.3, PWrite: 0.3, PAlloc: 0.3})
+	store := NewRetryStore(faults, noSleep(25))
+	f, err := store.Open("x")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	page := make([]byte, PageSize)
+	for i := 0; i < 50; i++ {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatalf("allocate %d: %v", i, err)
+		}
+		page[0] = byte(i)
+		if err := f.WritePage(id, page); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := f.ReadPage(PageID(i), page); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if page[0] != byte(i) {
+			t.Fatalf("page %d holds %#x, want %#x", i, page[0], byte(i))
+		}
+	}
+}
+
+func TestFaultStorePersistentWrites(t *testing.T) {
+	faults := NewFaultStore(NewMemStore())
+	f, err := faults.Open("x")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Allocate(); err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	faults.FailWritesWith(syscall.ENOSPC)
+	werr := f.WritePage(0, make([]byte, PageSize))
+	if !errors.Is(werr, syscall.ENOSPC) || !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write = %v, want injected ENOSPC", werr)
+	}
+	if Classify(werr) != ClassTerminal {
+		t.Fatalf("Classify = %v, want terminal", Classify(werr))
+	}
+	// Reads keep working: the model is a full disk, not a dead one.
+	if err := f.ReadPage(0, make([]byte, PageSize)); err != nil {
+		t.Fatalf("read under write fault: %v", err)
+	}
+	faults.Heal()
+	if err := f.WritePage(0, make([]byte, PageSize)); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+// opWrapper decorates a File with per-op hooks, for retry tests needing
+// exact failure counts.
+type opWrapper struct {
+	File
+	beforeRead  func() error
+	beforeWrite func() error
+}
+
+func (w *opWrapper) ReadPage(id PageID, buf []byte) error {
+	if w.beforeRead != nil {
+		if err := w.beforeRead(); err != nil {
+			return err
+		}
+	}
+	return w.File.ReadPage(id, buf)
+}
+
+func (w *opWrapper) WritePage(id PageID, buf []byte) error {
+	if w.beforeWrite != nil {
+		if err := w.beforeWrite(); err != nil {
+			return err
+		}
+	}
+	return w.File.WritePage(id, buf)
+}

@@ -1,0 +1,286 @@
+package pagestore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// corruptPage flips a data byte of page id inside the named page file.
+func corruptPage(t *testing.T, fs *FaultFS, name string, id PageID) {
+	t.Helper()
+	off := int64(id)*diskFrameSize + 17 // somewhere inside the data bytes
+	if err := fs.Corrupt(name+pageFileSuffix, off, 0x40); err != nil {
+		t.Fatalf("corrupt page %d: %v", id, err)
+	}
+}
+
+func TestReadRepairsCorruptPageFromWAL(t *testing.T) {
+	fs := NewFaultFS()
+	store, f := openStoreFile(t, fs, "data")
+	if _, err := f.Allocate(); err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	want := fillPage(0x5A)
+	if err := f.WritePage(0, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := store.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// The commit applied the page in place and the WAL still holds its
+	// image (no checkpoint). Rot a byte at rest.
+	corruptPage(t, fs, "data", 0)
+	got := make([]byte, PageSize)
+	if err := f.ReadPage(0, got); err != nil {
+		t.Fatalf("read of corrupt page did not self-repair: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("repaired read returned wrong data")
+	}
+	if q := store.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantined = %v, want none after repair", q)
+	}
+	// The disk itself is fixed, not just the served copy.
+	if err := VerifyChecksums(fs, "data"+pageFileSuffix); err != nil {
+		t.Fatalf("disk still corrupt after repair: %v", err)
+	}
+}
+
+func TestCorruptPageQuarantinedWhenLogEmpty(t *testing.T) {
+	fs := NewFaultFS()
+	store, f := openStoreFile(t, fs, "data")
+	if _, err := f.Allocate(); err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	if err := f.WritePage(0, fillPage(0x5A)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Checkpoint truncates the WAL: no committed image survives to
+	// repair from.
+	if err := store.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	corruptPage(t, fs, "data", 0)
+	buf := make([]byte, PageSize)
+	err := f.ReadPage(0, buf)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("read = %v, want ErrQuarantined", err)
+	}
+	if Classify(err) != ClassCorrupt {
+		t.Fatalf("Classify = %v, want corrupt", Classify(err))
+	}
+	// Repeated reads keep failing fast — corrupt bytes are never served.
+	if err := f.ReadPage(0, buf); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("second read = %v, want ErrQuarantined", err)
+	}
+	if q := store.Quarantined(); len(q["data"]) != 1 || q["data"][0] != 0 {
+		t.Fatalf("quarantined = %v, want data page 0", q)
+	}
+
+	// A committed write replaces the page and releases the quarantine.
+	want := fillPage(0x77)
+	if err := f.WritePage(0, want); err != nil {
+		t.Fatalf("rewrite quarantined page: %v", err)
+	}
+	if err := store.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if err := f.ReadPage(0, buf); err != nil {
+		t.Fatalf("read after rewrite: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("read after rewrite returned wrong data")
+	}
+	if q := store.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantined = %v, want none after rewrite", q)
+	}
+}
+
+func TestScrubRepairsAndQuarantines(t *testing.T) {
+	fs := NewFaultFS()
+	store, f := openStoreFile(t, fs, "data")
+	for i := 0; i < 4; i++ {
+		if _, err := f.Allocate(); err != nil {
+			t.Fatalf("allocate: %v", err)
+		}
+		if err := f.WritePage(PageID(i), fillPage(byte(i+1))); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := store.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// Pages 1 and 3 rot while their WAL images survive: repairable.
+	corruptPage(t, fs, "data", 1)
+	corruptPage(t, fs, "data", 3)
+	rep, err := store.Scrub(context.Background())
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if rep.Files != 1 || rep.Pages != 4 || rep.Corrupt != 2 || rep.Repaired != 2 || rep.Quarantined != 0 {
+		t.Fatalf("report = %+v, want 4 pages / 2 corrupt / 2 repaired", rep)
+	}
+
+	// After a checkpoint the log is empty; rot is unrepairable and the
+	// scrub fences it off.
+	if err := store.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	corruptPage(t, fs, "data", 2)
+	rep, err = store.Scrub(context.Background())
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if rep.Corrupt != 1 || rep.Repaired != 0 || rep.Quarantined != 1 {
+		t.Fatalf("report = %+v, want 1 corrupt / 1 quarantined", rep)
+	}
+	buf := make([]byte, PageSize)
+	if err := f.ReadPage(2, buf); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("read of quarantined page = %v, want ErrQuarantined", err)
+	}
+
+	// Undo the rot (XOR with the same mask restores the byte): the next
+	// pass finds the page healthy and releases it.
+	corruptPage(t, fs, "data", 2)
+	rep, err = store.Scrub(context.Background())
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if rep.Corrupt != 0 || rep.Cleared != 1 {
+		t.Fatalf("report = %+v, want 1 cleared", rep)
+	}
+	if err := f.ReadPage(2, buf); err != nil {
+		t.Fatalf("read after clear: %v", err)
+	}
+}
+
+func TestScrubHonorsContext(t *testing.T) {
+	fs := NewFaultFS()
+	store, f := openStoreFile(t, fs, "data")
+	if _, err := f.Allocate(); err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	if err := store.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := store.Scrub(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("scrub = %v, want context.Canceled", err)
+	}
+}
+
+func TestStartScrubberRepairsInBackground(t *testing.T) {
+	fs := NewFaultFS()
+	store, f := openStoreFile(t, fs, "data")
+	if _, err := f.Allocate(); err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	want := fillPage(0x33)
+	if err := f.WritePage(0, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := store.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	corruptPage(t, fs, "data", 0)
+
+	reports := make(chan ScrubReport, 16)
+	stop := store.StartScrubber(time.Millisecond, func(rep ScrubReport, err error) {
+		if err == nil {
+			reports <- rep
+		}
+	})
+	defer stop()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case rep := <-reports:
+			if rep.Repaired >= 1 {
+				stop()
+				if err := VerifyChecksums(fs, "data"+pageFileSuffix); err != nil {
+					t.Fatalf("disk corrupt after background repair: %v", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("scrubber never repaired the page")
+		}
+	}
+}
+
+// TestScrubSoak drives seeded random corruption against stores with and
+// without checkpoints, asserting the core promise: a read never returns
+// wrong bytes — every page is served correct or refused.
+func TestScrubSoak(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		fs := NewFaultFS()
+		store, f := openStoreFile(t, fs, "data")
+		const npages = 8
+		want := make(map[PageID][]byte)
+		for i := 0; i < npages; i++ {
+			if _, err := f.Allocate(); err != nil {
+				t.Fatalf("seed %d: allocate: %v", seed, err)
+			}
+			img := fillPage(byte(rng.Intn(256)))
+			want[PageID(i)] = img
+			if err := f.WritePage(PageID(i), img); err != nil {
+				t.Fatalf("seed %d: write: %v", seed, err)
+			}
+		}
+		if err := store.Commit(); err != nil {
+			t.Fatalf("seed %d: commit: %v", seed, err)
+		}
+		checkpointed := rng.Intn(2) == 0
+		if checkpointed {
+			if err := store.Checkpoint(); err != nil {
+				t.Fatalf("seed %d: checkpoint: %v", seed, err)
+			}
+		}
+		corrupted := make(map[PageID]bool)
+		for i := 0; i < 3; i++ {
+			id := PageID(rng.Intn(npages))
+			corrupted[id] = true
+			off := int64(id)*diskFrameSize + int64(rng.Intn(PageSize))
+			if err := fs.Corrupt("data"+pageFileSuffix, off, byte(1+rng.Intn(255))); err != nil {
+				t.Fatalf("seed %d: corrupt: %v", seed, err)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if _, err := store.Scrub(context.Background()); err != nil {
+				t.Fatalf("seed %d: scrub: %v", seed, err)
+			}
+		}
+		buf := make([]byte, PageSize)
+		for i := 0; i < npages; i++ {
+			id := PageID(i)
+			err := f.ReadPage(id, buf)
+			switch {
+			case err == nil:
+				if !bytes.Equal(buf, want[id]) {
+					t.Fatalf("seed %d: page %d served wrong bytes", seed, id)
+				}
+			case errors.Is(err, ErrQuarantined):
+				if !checkpointed || !corrupted[id] {
+					t.Fatalf("seed %d: page %d quarantined unexpectedly (checkpointed=%v corrupted=%v)",
+						seed, id, checkpointed, corrupted[id])
+				}
+			default:
+				t.Fatalf("seed %d: page %d read = %v", seed, id, err)
+			}
+		}
+		if err := store.Close(); err != nil {
+			t.Fatalf("seed %d: close: %v", seed, err)
+		}
+	}
+}

@@ -251,6 +251,23 @@ func (w *wal) replay() (images []walImage, extents map[string]int, err error) {
 	return images, extents, nil
 }
 
+// latestImage returns the most recent committed image of page id in
+// file tag, or nil if the log holds none — after a checkpoint the log is
+// empty and a corrupt page can only be repaired by a fresh write.
+func (w *wal) latestImage(tag string, id PageID) ([]byte, error) {
+	images, _, err := w.replay()
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, img := range images {
+		if img.tag == tag && img.id == id {
+			out = img.data
+		}
+	}
+	return out, nil
+}
+
 // replayInto applies the committed state of the log to page files opened
 // through open, syncing each touched file, then truncates the log. open
 // is called at most once per distinct tag.

@@ -598,7 +598,12 @@ type driverPlan struct {
 
 // pickDriver costs every indexed set predicate of the conjunction
 // against every facility on its attribute and returns the cheapest
-// (part, facility, strategy), or nil when nothing is indexed.
+// (part, facility, strategy), or nil when nothing is indexed. Unhealthy
+// facilities are routed around: failed ones are never considered, and
+// degraded (read-only) ones only when no healthy facility covers the
+// attribute — a degraded signature file still answers exactly, it just
+// may be slower to come back, so it beats a heap scan but not a healthy
+// sibling.
 func (e *Engine) pickDriver(class string, parts []compiledPart) *driverPlan {
 	var best *driverPlan
 	for i, p := range parts {
@@ -606,7 +611,7 @@ func (e *Engine) pickDriver(class string, parts []compiledPart) *driverPlan {
 			continue
 		}
 		key := class + "." + p.set.Attr
-		ents := e.indexes[key]
+		ents := servableEntries(e.indexes[key])
 		if len(ents) == 0 {
 			continue
 		}
@@ -620,6 +625,26 @@ func (e *Engine) pickDriver(class string, parts []compiledPart) *driverPlan {
 		}
 	}
 	return best
+}
+
+// servableEntries filters one path's facilities by health: failed ones
+// are dropped, degraded ones kept only when nothing healthy remains.
+// The returned slice is what planFor costs, so Candidate.Index stays
+// aligned with it.
+func servableEntries(ents []*indexEntry) []*indexEntry {
+	var healthy, degraded []*indexEntry
+	for _, ent := range ents {
+		switch core.HealthOf(ent.am) {
+		case core.Healthy:
+			healthy = append(healthy, ent)
+		case core.Degraded:
+			degraded = append(degraded, ent)
+		}
+	}
+	if len(healthy) > 0 {
+		return healthy
+	}
+	return degraded
 }
 
 // planFor runs the cost-based planner over the facilities registered on

@@ -1,0 +1,107 @@
+package query
+
+import (
+	"strings"
+	"syscall"
+	"testing"
+
+	"sigfile/internal/core"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// degradeByRead pushes am one step down the health ladder through a
+// terminal read fault — a search against a device returning EBADF. Read
+// faults leave no partial index state behind, so the facility's answers
+// stay exact for the rest of the test.
+func degradeByRead(t *testing.T, am core.AccessMethod, fs *pagestore.FaultStore) {
+	t.Helper()
+	fs.FailReadsWith(syscall.EBADF)
+	if _, err := am.Search(signature.Superset, []string{"Chess"}, nil); err == nil {
+		t.Fatal("search on a broken device succeeded")
+	}
+	fs.Heal()
+}
+
+// TestPlannerRoutesAroundUnhealthyFacilities: with two facilities on one
+// attribute, the planner skips a degraded one while a healthy sibling
+// covers the path, still uses a degraded one when it is all that is
+// left, drops failed ones entirely, and comes back after repair. The
+// answer set never changes.
+func TestPlannerRoutesAroundUnhealthyFacilities(t *testing.T) {
+	e := newUniversity(t)
+	bssfStore := pagestore.NewFaultStore(pagestore.NewMemStore())
+	nixStore := pagestore.NewFaultStore(pagestore.NewMemStore())
+	bssf, err := e.CreateIndex("Student", "hobbies", KindBSSF, signature.MustNew(64, 2), bssfStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nix, err := e.CreateIndex("Student", "hobbies", KindNIX, nil, nixStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `select Student where hobbies has-element "Chess"`
+	run := func(stage string) *ResultSet {
+		t.Helper()
+		res, err := e.Run(q)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		return res
+	}
+	want := run("both healthy")
+	sameAnswers := func(stage string, res *ResultSet) {
+		t.Helper()
+		if len(res.Objects) != len(want.Objects) {
+			t.Fatalf("%s: %d objects, want %d", stage, len(res.Objects), len(want.Objects))
+		}
+		for i := range res.Objects {
+			if res.Objects[i].OID != want.Objects[i].OID {
+				t.Fatalf("%s: answers diverge from healthy run", stage)
+			}
+		}
+	}
+	wantPlan := func(stage string, res *ResultSet, prefix string) {
+		t.Helper()
+		if !strings.HasPrefix(res.Plan, prefix) {
+			t.Fatalf("%s: plan = %q, want prefix %q", stage, res.Plan, prefix)
+		}
+		sameAnswers(stage, res)
+	}
+
+	// Degraded BSSF, healthy NIX: the planner must not touch the BSSF
+	// even if it would be cheaper.
+	degradeByRead(t, bssf, bssfStore)
+	if core.HealthOf(bssf) != core.Degraded {
+		t.Fatalf("bssf health = %v, want degraded", core.HealthOf(bssf))
+	}
+	wantPlan("bssf degraded", run("bssf degraded"), "index(NIX")
+
+	// Both degraded: a read-only facility still beats a heap scan.
+	degradeByRead(t, nix, nixStore)
+	if core.HealthOf(nix) != core.Degraded {
+		t.Fatalf("nix health = %v, want degraded", core.HealthOf(nix))
+	}
+	wantPlan("both degraded", run("both degraded"), "index(")
+
+	// Failed BSSF: gone from planning; the degraded NIX carries on.
+	degradeByRead(t, bssf, bssfStore)
+	if core.HealthOf(bssf) != core.Failed {
+		t.Fatalf("bssf health = %v, want failed", core.HealthOf(bssf))
+	}
+	wantPlan("bssf failed", run("bssf failed"), "index(NIX")
+
+	// Both failed: nothing left to drive with — the engine answers by
+	// scanning the heap instead of erroring out.
+	degradeByRead(t, nix, nixStore)
+	if core.HealthOf(nix) != core.Failed {
+		t.Fatalf("nix health = %v, want failed", core.HealthOf(nix))
+	}
+	wantPlan("both failed", run("both failed"), "scan(")
+
+	// Repair brings index plans back.
+	bssf.(core.Repairer).MarkRepaired()
+	nix.(core.Repairer).MarkRepaired()
+	wantPlan("repaired", run("repaired"), "index(")
+}

@@ -139,6 +139,32 @@ type (
 	// DriftChecker compares measured page accesses against the analytical
 	// cost model and flags divergence beyond a tolerance factor.
 	DriftChecker = obs.DriftChecker
+	// HealthState is a facility's degradation state: Healthy, Degraded
+	// (read-only after a terminal storage fault) or Failed.
+	HealthState = core.HealthState
+	// HealthReporter is implemented by every built-in facility: Health
+	// returns its current HealthState.
+	HealthReporter = core.HealthReporter
+	// Repairer resets a facility's health after the operator repaired (or
+	// rebuilt) the underlying storage.
+	Repairer = core.Repairer
+	// RetryPolicy bounds the transient-fault retry loop of a RetryStore:
+	// attempt budget, exponential backoff base/cap, jitter.
+	RetryPolicy = pagestore.RetryPolicy
+	// ScrubReport summarizes one background scrub pass: pages verified,
+	// corruption found, repaired from the log, quarantined, released.
+	ScrubReport = pagestore.ScrubReport
+	// FaultStore wraps a Store for failure injection: armed counters,
+	// seeded probabilistic transient schedules, persistent read/write
+	// fault modes. Test tooling, usable for soak tests of client code.
+	FaultStore = pagestore.FaultStore
+	// TransientFaults configures a FaultStore's seeded probabilistic
+	// schedule (per-operation fault probabilities and the errno mix).
+	TransientFaults = pagestore.TransientFaults
+	// DurableStore is the crash-safe store OpenDurableStore returns; it
+	// adds Commit/Checkpoint, Scrub/StartScrubber and Quarantined to
+	// Store.
+	DurableStore = pagestore.DurableStore
 )
 
 // Sentinel errors, matchable with errors.Is through every wrapping layer.
@@ -151,7 +177,50 @@ var (
 	ErrInvalidPredicate = signature.ErrInvalidPredicate
 	// ErrClosed reports an operation on a closed page file.
 	ErrClosed = pagestore.ErrClosed
+	// ErrDegraded reports a write rejected by a degraded (read-only)
+	// facility; searches keep serving. Repair with MarkRepaired.
+	ErrDegraded = core.ErrDegraded
+	// ErrFailed reports any operation on a failed facility.
+	ErrFailed = core.ErrFailed
+	// ErrChecksum reports a page whose on-disk checksum did not match —
+	// detected corruption, never served to the caller.
+	ErrChecksum = pagestore.ErrChecksum
+	// ErrQuarantined reports a read of a corrupt page that could not be
+	// repaired from the write-ahead log; a committed rewrite releases it.
+	ErrQuarantined = pagestore.ErrQuarantined
+	// ErrRetryExhausted reports a transient fault that persisted through
+	// the whole retry budget; classified terminal.
+	ErrRetryExhausted = pagestore.ErrRetryExhausted
 )
+
+// Facility health states, on a ladder that only descends until repair.
+const (
+	Healthy  = core.Healthy
+	Degraded = core.Degraded
+	Failed   = core.Failed
+)
+
+// HealthOf returns am's degradation state; access methods that do not
+// track health read as Healthy.
+func HealthOf(am AccessMethod) HealthState { return core.HealthOf(am) }
+
+// DefaultRetryPolicy is the RetryPolicy NewRetryStore applies when given
+// a zero policy: a small bounded exponential backoff with jitter.
+var DefaultRetryPolicy = pagestore.DefaultRetryPolicy
+
+// NewRetryStore wraps a store so every page operation retries
+// transient faults (EIO, EINTR, short writes, ...) under pol before
+// giving up with ErrRetryExhausted. Terminal faults (ENOSPC, corruption)
+// are returned immediately.
+func NewRetryStore(inner Store, pol RetryPolicy) Store {
+	return pagestore.NewRetryStore(inner, pol)
+}
+
+// NewFaultStore wraps a store with the failure-injection device the
+// resilience test suite uses: arm per-file fault counters, seed a
+// probabilistic transient schedule, or fail all reads/writes
+// persistently, then Heal.
+func NewFaultStore(inner Store) *FaultStore { return pagestore.NewFaultStore(inner) }
 
 // The facility kinds Open constructs.
 const (
@@ -348,9 +417,10 @@ func NewDiskStore(dir string) (Store, error) { return pagestore.NewDiskStore(dir
 // before applying, and every on-disk page carries a checksum verified on
 // read. Opening the store replays any committed-but-unapplied log tail,
 // so a facility survives a crash at any instant in exactly its last
-// committed state. The returned store also implements
-// pagestore.Committer (Commit, Checkpoint) and io.Closer.
-func OpenDurableStore(dir string) (Store, error) { return pagestore.OpenDurableStore(dir) }
+// committed state. The returned store is a *DurableStore: beyond Store
+// it carries Commit/Checkpoint, io.Closer, and Scrub/StartScrubber
+// (checksum verification with WAL repair and quarantine).
+func OpenDurableStore(dir string) (*DurableStore, error) { return pagestore.OpenDurableStore(dir) }
 
 // PaperModel returns the analytical cost model instantiated with the
 // paper's Table 2 constants (N=32000, P=4096, V=13000) for target
