@@ -54,6 +54,9 @@ func main() {
 		queries    = flag.Int("queries", 64, "throughput mode: distinct query shapes in the request mix")
 		workers    = flag.Int("workers", 4, "throughput mode: parallelism compared against workers=1")
 		seconds    = flag.Int("seconds", 2, "throughput mode: wall-clock budget per point")
+		mix        = flag.String("mix", "", "throughput mode: insert:search ratio (e.g. 4:1) — runs the write-heavy mixed workload, legacy vs LSM, instead of search QPS")
+		mixOps     = flag.Int("mix-ops", 4096, "mixed mode: total operations in the stream")
+		jsonOut    = flag.String("json", "", "mixed mode: also write the machine-readable report (BENCH_lsm.json) here")
 	)
 	flag.Parse()
 
@@ -66,6 +69,20 @@ func main() {
 	}
 
 	if *throughput {
+		if *mix != "" {
+			ins, sch, err := parseMix(*mix)
+			if err != nil {
+				fatal(err)
+			}
+			cfg := mixedConfig{
+				ops: *mixOps, insRatio: ins, schRatio: sch,
+				seed: *seed, jsonPath: *jsonOut,
+			}
+			if err := runMixed(os.Stdout, cfg); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		cfg := throughputConfig{
 			facility: *facility, n: *objects, queries: *queries,
 			workers: *workers, seconds: *seconds, seed: *seed,

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sigfile"
+	"sigfile/internal/pagestore"
+)
+
+// mixedConfig drives the write-heavy mixed-workload throughput mode
+// (-throughput -mix I:S): one deterministic stream of interleaved
+// inserts and searches executed in lockstep against the legacy in-place
+// BSSF (the paper's worst-case UC_I = F+1 accounting) and the same kind
+// on the LSM write path. It reports inserts/sec, pages written per
+// insert, and the LSM's compaction pause p99 — the three numbers ISSUE
+// 7's amortization claim is made of — and asserts every interleaved
+// search answered byte-identically on both paths.
+type mixedConfig struct {
+	ops      int // total operations in the stream
+	insRatio int // inserts per mix unit
+	schRatio int // searches per mix unit
+	seed     int64
+	jsonPath string // when non-empty, write the machine-readable report here
+}
+
+// parseMix parses an "I:S" insert:search ratio, e.g. "4:1".
+func parseMix(s string) (ins, sch int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mix %q: want insert:search, e.g. 4:1", s)
+	}
+	ins, err = strconv.Atoi(parts[0])
+	if err == nil {
+		sch, err = strconv.Atoi(parts[1])
+	}
+	if err != nil || ins < 1 || sch < 0 {
+		return 0, 0, fmt.Errorf("mix %q: want positive insert count and non-negative search count", s)
+	}
+	return ins, sch, nil
+}
+
+// mixedSideReport is one path's measurements over the shared stream.
+type mixedSideReport struct {
+	Path                 string  `json:"path"` // "legacy" or "lsm"
+	Inserts              int     `json:"inserts"`
+	Searches             int     `json:"searches"`
+	InsertsPerSec        float64 `json:"inserts_per_sec"`
+	PagesWritten         int64   `json:"pages_written"`
+	PagesWrittenPerIns   float64 `json:"pages_written_per_insert"`
+	Segments             int     `json:"segments,omitempty"`
+	Compactions          int     `json:"compactions,omitempty"`
+	CompactionPauseP99Ms float64 `json:"compaction_pause_p99_ms,omitempty"`
+}
+
+// mixedReport is the full machine-readable result (BENCH_lsm.json).
+type mixedReport struct {
+	Bench            string          `json:"bench"`
+	Mix              string          `json:"mix"`
+	Ops              int             `json:"ops"`
+	F                int             `json:"f"`
+	Wall             int             `json:"f_plus_1_wall"`
+	Seed             int64           `json:"seed"`
+	Legacy           mixedSideReport `json:"legacy"`
+	LSM              mixedSideReport `json:"lsm"`
+	IdenticalResults bool            `json:"identical_results"`
+}
+
+// runMixed executes the mixed stream and prints/stores the comparison.
+func runMixed(w io.Writer, cfg mixedConfig) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	universe := make([]string, tpV)
+	for i := range universe {
+		universe[i] = fmt.Sprintf("elem-%05d", i)
+	}
+	scheme, err := sigfile.NewScheme(tpF, tpM)
+	if err != nil {
+		return err
+	}
+	src := sigfile.MapSource{}
+
+	legacyStore := pagestore.NewMemStore()
+	legacy, err := sigfile.Open(sigfile.Config{
+		Kind: sigfile.KindBSSF, Scheme: scheme, Source: src, Store: legacyStore,
+	}, sigfile.WithWorstCaseInserts())
+	if err != nil {
+		return fmt.Errorf("open legacy: %w", err)
+	}
+	lsmStore := pagestore.NewMemStore()
+	am, err := sigfile.Open(sigfile.Config{
+		Kind: sigfile.KindBSSF, Scheme: scheme, Source: src, Store: lsmStore,
+	}, sigfile.WithLSMMemtableSize(128), sigfile.WithLSMCompactAfter(4))
+	if err != nil {
+		return fmt.Errorf("open lsm: %w", err)
+	}
+	lsm := am.(*sigfile.LSM)
+
+	var (
+		legacyIns, lsmIns time.Duration
+		inserts, searches int
+		identical         = true
+		nextOID           = uint64(1)
+		unit              = cfg.insRatio + cfg.schRatio
+	)
+	for op := 0; op < cfg.ops; op++ {
+		if op%unit < cfg.insRatio || nextOID == 1 {
+			// Insert a fresh object on both paths, timing each side.
+			oid := nextOID
+			nextOID++
+			perm := rng.Perm(tpV)[:tpDt]
+			set := make([]string, tpDt)
+			for i, j := range perm {
+				set[i] = universe[j]
+			}
+			src[oid] = set
+			t0 := time.Now()
+			if err := legacy.Insert(oid, set); err != nil {
+				return fmt.Errorf("legacy insert %d: %w", oid, err)
+			}
+			t1 := time.Now()
+			if err := lsm.Insert(oid, set); err != nil {
+				return fmt.Errorf("lsm insert %d: %w", oid, err)
+			}
+			legacyIns += t1.Sub(t0)
+			lsmIns += time.Since(t1)
+			inserts++
+			continue
+		}
+		// Search both paths with the same request; answers must agree.
+		dq := 1 + rng.Intn(4)
+		perm := rng.Perm(tpV)[:dq]
+		q := make([]string, dq)
+		for i, j := range perm {
+			q[i] = universe[j]
+		}
+		pred := sigfile.Superset
+		if op%2 == 1 {
+			pred = sigfile.Overlap
+		}
+		lr, err := legacy.Search(pred, q, nil)
+		if err != nil {
+			return fmt.Errorf("legacy search: %w", err)
+		}
+		sr, err := lsm.Search(pred, q, nil)
+		if err != nil {
+			return fmt.Errorf("lsm search: %w", err)
+		}
+		if len(lr.OIDs) != len(sr.OIDs) {
+			identical = false
+		} else {
+			for i := range lr.OIDs {
+				if lr.OIDs[i] != sr.OIDs[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		searches++
+	}
+
+	_, legacyWrites := legacyStore.TotalStats()
+	_, lsmWrites := lsmStore.TotalStats()
+	pauses := lsm.Pauses()
+	var p99 time.Duration
+	if len(pauses) > 0 {
+		sorted := append([]time.Duration(nil), pauses...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		p99 = percentile(sorted, 0.99)
+	}
+	rep := mixedReport{
+		Bench: "lsm_mixed_write_throughput",
+		Mix:   fmt.Sprintf("%d:%d", cfg.insRatio, cfg.schRatio),
+		Ops:   cfg.ops, F: tpF, Wall: tpF + 1, Seed: cfg.seed,
+		Legacy: mixedSideReport{
+			Path: "legacy", Inserts: inserts, Searches: searches,
+			InsertsPerSec:      float64(inserts) / legacyIns.Seconds(),
+			PagesWritten:       legacyWrites,
+			PagesWrittenPerIns: float64(legacyWrites) / float64(inserts),
+		},
+		LSM: mixedSideReport{
+			Path: "lsm", Inserts: inserts, Searches: searches,
+			InsertsPerSec:        float64(inserts) / lsmIns.Seconds(),
+			PagesWritten:         lsmWrites,
+			PagesWrittenPerIns:   float64(lsmWrites) / float64(inserts),
+			Segments:             lsm.Segments(),
+			Compactions:          len(pauses),
+			CompactionPauseP99Ms: ms(p99),
+		},
+		IdenticalResults: identical,
+	}
+
+	fmt.Fprintf(w, "mixed workload: %d ops at insert:search = %s (F=%d, worst-case legacy vs lsm)\n",
+		cfg.ops, rep.Mix, tpF)
+	fmt.Fprintf(w, "%-8s %10s %10s %14s %18s %10s %14s\n",
+		"path", "inserts", "searches", "inserts/sec", "pages/insert", "segments", "compact p99(ms)")
+	for _, s := range []mixedSideReport{rep.Legacy, rep.LSM} {
+		fmt.Fprintf(w, "%-8s %10d %10d %14.0f %18.2f %10d %14.3f\n",
+			s.Path, s.Inserts, s.Searches, s.InsertsPerSec, s.PagesWrittenPerIns, s.Segments, s.CompactionPauseP99Ms)
+	}
+	fmt.Fprintf(w, "identical search results on both paths: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("lsm and legacy search results diverged")
+	}
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}

@@ -87,7 +87,7 @@ func searchReachable(pass *sigvet.Pass, decls map[*types.Func]*ast.FuncDecl) map
 	reachable := make(map[*types.Func]bool)
 	var visit func(fn *types.Func)
 	visit = func(fn *types.Func) {
-		if reachable[fn] {
+		if reachable[fn] || isMaintenance(fn.Name()) {
 			return
 		}
 		reachable[fn] = true
@@ -102,6 +102,17 @@ func searchReachable(pass *sigvet.Pass, decls map[*types.Func]*ast.FuncDecl) map
 		}
 	}
 	return reachable
+}
+
+// isMaintenance reports whether name denotes LSM maintenance machinery —
+// memtable flushes and segment compaction. Those functions write pages by
+// design (sealing a segment, merging segments) under the facility's write
+// lock, so their writes are update-path writes even when a search-named
+// caller is what triggers them; the reachability sweep stops at them
+// rather than misreading compaction writes as search-path writes.
+func isMaintenance(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "flush") || strings.HasPrefix(lower, "compact")
 }
 
 // checkFunc applies the three rules to one reachable function.

@@ -100,6 +100,49 @@ func (f *Facility) searchBadSpan(n int64) {
 	tr.End(obs.PhaseIndexScan, phase, n) // want `trace span page count must be a SearchStats field`
 }
 
+// searchThenMaintain is a search entry point that triggers LSM
+// maintenance: the reachability sweep must stop at flush*/compact*
+// callees, whose page writes are update-path writes made under the
+// facility's write lock — not search-path writes.
+func (f *Facility) searchThenMaintain(n int) error {
+	var stats SearchStats
+	buf := make([]byte, pagestore.PageSize)
+	if err := f.sig.ReadPage(0, buf); err != nil {
+		return err
+	}
+	stats.IndexPages++
+	if err := f.flushMemtable(n); err != nil {
+		return err
+	}
+	return f.compactSegments(n)
+}
+
+// flushMemtable seals pages — carved out of the search sweep by name.
+func (f *Facility) flushMemtable(n int) error {
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p < n; p++ {
+		if err := f.sig.WritePage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactSegments merges pages — also carved out by name; its reads
+// need no SearchStats accounting either.
+func (f *Facility) compactSegments(n int) error {
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p < n; p++ {
+		if err := f.sig.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+		if err := f.sig.WritePage(pagestore.PageID(p), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Rebuild reads and writes pages but is not reachable from any search
 // entry point: update paths are exempt from all three rules.
 func (f *Facility) Rebuild(n int) error {

@@ -311,6 +311,31 @@ func (b *BSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []
 	defer func() { tr.Finish(err) }()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	query = dedup(query)
+	workers := searchWorkers(opts)
+	stats := SearchStats{QueryCardinality: len(query)}
+
+	candidates, err := b.candidatesLocked(ctx, pred, query, opts, &stats, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	phase := tr.Begin()
+	results, err := verifyCandidates(ctx, b.src, pred, query, candidates, &stats, workers)
+	if err != nil {
+		return nil, err
+	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// candidatesLocked runs the slice-scan and OID-map phases of a search
+// and returns the candidate OIDs, leaving false-drop resolution to the
+// caller. The caller must hold b.mu (shared or exclusive) and pass the
+// deduplicated query. Smart caps left at zero are filled from this
+// file's own count, so a caller fanning one search across several
+// segments should pin explicit caps first if it wants uniform filters.
+func (b *BSSF) candidatesLocked(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions, stats *SearchStats, tr *obs.Trace) ([]uint64, error) {
 	if opts != nil && opts.Smart {
 		o := *opts
 		if o.MaxProbeElements == 0 {
@@ -321,33 +346,33 @@ func (b *BSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []
 		}
 		opts = &o
 	}
-	query = dedup(query)
 	probe := probeElements(query, opts, pred)
 	qsig := b.scheme.SetSignatureStrings(probe)
 	workers := searchWorkers(opts)
-	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+	stats.ProbedElements = len(probe)
 
 	phase := tr.Begin()
 	var candidateBits *bitset.BitSet
+	var err error
 	switch pred {
 	case signature.Superset, signature.Contains:
-		candidateBits, err = b.andOnes(ctx, qsig, workers, &stats)
+		candidateBits, err = b.andOnes(ctx, qsig, workers, stats)
 	case signature.Subset:
 		maxZero := 0
 		if opts != nil {
 			maxZero = opts.MaxZeroSlices
 		}
-		candidateBits, err = b.orZerosComplement(ctx, qsig, maxZero, workers, &stats)
+		candidateBits, err = b.orZerosComplement(ctx, qsig, maxZero, workers, stats)
 	case signature.Overlap:
-		candidateBits, err = b.orOnes(ctx, qsig, workers, &stats)
+		candidateBits, err = b.orOnes(ctx, qsig, workers, stats)
 	case signature.Equals:
 		// Equality needs both conditions: 1s everywhere the query has 1s
 		// and 0s everywhere it has 0s.
 		var ones, zeros *bitset.BitSet
-		if ones, err = b.andOnes(ctx, qsig, workers, &stats); err != nil {
+		if ones, err = b.andOnes(ctx, qsig, workers, stats); err != nil {
 			return nil, err
 		}
-		if zeros, err = b.orZerosComplement(ctx, qsig, 0, workers, &stats); err != nil {
+		if zeros, err = b.orZerosComplement(ctx, qsig, 0, workers, stats); err != nil {
 			return nil, err
 		}
 		ones.And(zeros)
@@ -366,14 +391,28 @@ func (b *BSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []
 	}
 	stats.OIDPages = oidPages
 	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
+	return candidates, nil
+}
 
-	phase = tr.Begin()
-	results, err := verifyCandidates(ctx, b.src, pred, query, candidates, &stats, workers)
-	if err != nil {
-		return nil, err
-	}
-	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
-	return &Result{OIDs: results, Stats: stats}, nil
+// segmentCandidates implements segmentSearcher: the candidate phases of
+// a search under this facility's own shared lock, untraced.
+func (b *BSSF) segmentCandidates(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions, stats *SearchStats) ([]uint64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.candidatesLocked(ctx, pred, query, opts, stats, nil)
+}
+
+// liveOIDs implements segmentSearcher: every non-tombstoned OID in
+// storage order.
+func (b *BSSF) liveOIDs() ([]uint64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []uint64
+	err := b.oid.scan(func(_ int, oid uint64) error {
+		out = append(out, oid)
+		return nil
+	})
+	return out, err
 }
 
 // andOnes ANDs the slices at the query signature's one-positions; an

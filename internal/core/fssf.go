@@ -305,27 +305,51 @@ func (f *FSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []
 	defer func() { tr.Finish(err) }()
 	f.mu.RLock()
 	defer f.mu.RUnlock()
+	query = dedup(query)
+	workers := searchWorkers(opts)
+	stats := SearchStats{QueryCardinality: len(query)}
+
+	candidates, err := f.candidatesLocked(ctx, pred, query, opts, &stats, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	phase := tr.Begin()
+	results, err := verifyCandidates(ctx, f.src, pred, query, candidates, &stats, workers)
+	if err != nil {
+		return nil, err
+	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// candidatesLocked runs the frame-scan and OID-map phases of a search
+// and returns the candidate OIDs, leaving false-drop resolution to the
+// caller. The caller must hold f.mu (shared or exclusive) and pass the
+// deduplicated query. The smart probe cap, if left at zero, is filled
+// from this file's own count.
+func (f *FSSF) candidatesLocked(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions, stats *SearchStats, tr *obs.Trace) ([]uint64, error) {
 	if opts != nil && opts.Smart && opts.MaxProbeElements == 0 {
 		o := *opts
 		o.MaxProbeElements = smartProbeCap(f.count, f.scheme.M())
 		opts = &o
 	}
-	query = dedup(query)
 	probe := probeElements(query, opts, pred)
 	workers := searchWorkers(opts)
-	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+	stats.ProbedElements = len(probe)
 
 	phase := tr.Begin()
 	var candidateBits *bitset.BitSet
+	var err error
 	switch pred {
 	case signature.Superset, signature.Contains:
-		candidateBits, err = f.supersetCandidates(ctx, probe, workers, &stats)
+		candidateBits, err = f.supersetCandidates(ctx, probe, workers, stats)
 	case signature.Subset:
-		candidateBits, err = f.subsetCandidates(ctx, query, workers, &stats)
+		candidateBits, err = f.subsetCandidates(ctx, query, workers, stats)
 	case signature.Overlap:
-		candidateBits, err = f.overlapCandidates(ctx, query, workers, &stats)
+		candidateBits, err = f.overlapCandidates(ctx, query, workers, stats)
 	case signature.Equals:
-		candidateBits, err = f.equalsCandidates(ctx, query, workers, &stats)
+		candidateBits, err = f.equalsCandidates(ctx, query, workers, stats)
 	}
 	if err != nil {
 		return nil, err
@@ -339,14 +363,28 @@ func (f *FSSF) searchCtx(ctx context.Context, pred signature.Predicate, query []
 	}
 	stats.OIDPages = oidPages
 	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
+	return candidates, nil
+}
 
-	phase = tr.Begin()
-	results, err := verifyCandidates(ctx, f.src, pred, query, candidates, &stats, workers)
-	if err != nil {
-		return nil, err
-	}
-	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
-	return &Result{OIDs: results, Stats: stats}, nil
+// segmentCandidates implements segmentSearcher: the candidate phases of
+// a search under this facility's own shared lock, untraced.
+func (f *FSSF) segmentCandidates(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions, stats *SearchStats) ([]uint64, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.candidatesLocked(ctx, pred, query, opts, stats, nil)
+}
+
+// liveOIDs implements segmentSearcher: every non-tombstoned OID in
+// storage order.
+func (f *FSSF) liveOIDs() ([]uint64, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []uint64
+	err := f.oid.scan(func(_ int, oid uint64) error {
+		out = append(out, oid)
+		return nil
+	})
+	return out, err
 }
 
 // supersetCandidates reads only the frames the probe elements hash to:

@@ -1,0 +1,568 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sigfile/internal/obs"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// LSM is the log-structured write path over any of the four facilities
+// (DESIGN.md §13): a WAL-backed in-memory memtable absorbs inserts and
+// deletes, flushing every memtableOps operations into a sealed on-disk
+// segment (a full facility of the configured kind, served through a
+// read-only store view); compaction merges the segments back into one.
+// Deletes become O(1) tombstones instead of the legacy SC_OID/2 OID-file
+// scan, and an insert costs one log-page write amortized against the
+// batched segment build — the paper's Table 7 F+1 wall for BSSF falls.
+//
+// A search scatter-gathers across the memtable and every segment and
+// resolves candidates in one verification pass. The authoritative
+// liveness map (where) assigns each live OID to exactly one location, so
+// the per-segment candidate lists are disjoint and results are
+// byte-identical to the legacy path at any parallelism.
+//
+// An LSM is safe for concurrent use under the same discipline as the
+// facilities it wraps: searches share the lock, updates exclude them.
+type LSM struct {
+	// mu: searches hold it shared, updates (and flush/compaction, which
+	// run on the updating goroutine) exclusive.
+	mu   sync.RWMutex
+	cfg  Config
+	kind Kind
+	src  SetSource
+
+	store pagestore.Store
+	mem   *lsmMemtable
+	log   *lsmLog
+	// gen is the current log generation; nextSeg the next segment ID.
+	gen     uint64
+	nextSeg uint64
+	// segs holds the sealed segments, oldest first.
+	segs []*lsmSegment
+	// where maps every live OID to its single authoritative location.
+	where map[uint64]lsmLoc
+
+	// memtableOps triggers a flush once the memtable holds that many
+	// operations (entries + tombstones); compactAfter triggers a
+	// compaction once that many segments exist.
+	memtableOps  int
+	compactAfter int
+
+	// smartM is the element weight the smart probe cap derives from
+	// (0 for NIX, which probes a single element).
+	smartM int
+
+	// pauses records the wall-clock duration of every compaction, the
+	// stall a writer experienced (compaction runs on the writer's
+	// goroutine under the exclusive lock).
+	pauses []time.Duration
+
+	// card accumulates inserted set cardinalities for Describe.
+	card cardStats
+
+	manifest pagestore.File
+	metrics  *facilityMetrics
+	health   *healthTracker
+}
+
+// lsmLoc locates one live OID: the segment holding it (or lsmMemtableSeg
+// for memtable residents) and whether its set value is empty — empty
+// sets live only in segment metadata, never in the inner facility.
+type lsmLoc struct {
+	seg   uint64
+	empty bool
+}
+
+// lsmMemtableSeg is the pseudo-segment ID of memtable residents.
+const lsmMemtableSeg = ^uint64(0)
+
+// Default flush/compaction triggers; see WithLSMMemtableSize and
+// WithLSMCompactAfter.
+const (
+	defaultLSMMemtableOps  = 256
+	defaultLSMCompactAfter = 4
+)
+
+// newLSM opens (or recovers) the log-structured form of cfg. store is
+// the (already prefix-wrapped) store; nil gets a fresh MemStore.
+func newLSM(cfg Config, store pagestore.Store) (*LSM, error) {
+	if store == nil {
+		store = pagestore.NewMemStore()
+	}
+	l := &LSM{
+		cfg:          cfg,
+		kind:         cfg.Kind,
+		src:          cfg.Source,
+		store:        store,
+		mem:          newLSMMemtable(),
+		where:        make(map[uint64]lsmLoc),
+		memtableOps:  cfg.LSMMemtableOps,
+		compactAfter: cfg.LSMCompactAfter,
+		metrics:      newFacilityMetrics(cfg.Kind.String()),
+		health:       newHealthTracker(cfg.Kind.String()),
+	}
+	if l.memtableOps <= 0 {
+		l.memtableOps = defaultLSMMemtableOps
+	}
+	if l.compactAfter <= 1 {
+		l.compactAfter = defaultLSMCompactAfter
+	}
+	switch {
+	case cfg.Kind == KindNIX:
+		l.smartM = 0
+	case cfg.FrameScheme != nil:
+		l.smartM = cfg.FrameScheme.M()
+	case cfg.Scheme != nil:
+		l.smartM = cfg.Scheme.M()
+	}
+	mf, err := store.Open(lsmManifestName)
+	if err != nil {
+		return nil, fmt.Errorf("core: lsm open manifest: %w", err)
+	}
+	l.manifest = mf
+	man, err := readManifest(mf)
+	if err != nil {
+		return nil, err
+	}
+	if man != nil {
+		l.gen = man.Gen
+		l.nextSeg = man.NextSeg
+		for _, meta := range man.Segments {
+			seg, err := reopenSegment(&l.cfg, store, meta)
+			if err != nil {
+				return nil, err
+			}
+			l.segs = append(l.segs, seg)
+			// Rebuild liveness oldest→newest: a segment's tombstones kill
+			// older occurrences first, then its own content goes live (an
+			// OID tombstoned and re-inserted in the same memtable has both
+			// a tombstone and an entry; this order lets the entry win).
+			for _, oid := range meta.Tombs {
+				delete(l.where, oid)
+			}
+			live, err := seg.inner.liveOIDs()
+			if err != nil {
+				return nil, fmt.Errorf("core: lsm segment %d liveness: %w", meta.ID, err)
+			}
+			for _, oid := range live {
+				l.where[oid] = lsmLoc{seg: meta.ID}
+			}
+			for _, oid := range meta.Empties {
+				l.where[oid] = lsmLoc{seg: meta.ID, empty: true}
+			}
+		}
+	}
+	logF, err := store.Open(lsmLogName(l.gen))
+	if err != nil {
+		return nil, fmt.Errorf("core: lsm open log: %w", err)
+	}
+	if l.log, err = openLSMLog(logF); err != nil {
+		return nil, err
+	}
+	if err := l.log.replay(func(op byte, oid uint64, elems []string) error {
+		switch op {
+		case lsmOpInsert:
+			l.mem.insert(oid, elems)
+			l.where[oid] = lsmLoc{seg: lsmMemtableSeg, empty: len(elems) == 0}
+			l.card.add(len(elems))
+		case lsmOpDelete:
+			l.mem.delete(oid)
+			delete(l.where, oid)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Name implements AccessMethod: the wrapped facility kind's name, so the
+// planner's per-facility cost formulas apply unchanged.
+func (l *LSM) Name() string { return l.kind.String() }
+
+// Health implements HealthReporter.
+func (l *LSM) Health() HealthState { return l.health.get() }
+
+// MarkRepaired implements Repairer.
+func (l *LSM) MarkRepaired() { l.health.reset() }
+
+// Count implements AccessMethod.
+func (l *LSM) Count() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.where)
+}
+
+// Segments returns the number of sealed segments (diagnostics/tests).
+func (l *LSM) Segments() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.segs)
+}
+
+// MemtableOps returns the current memtable operation count
+// (diagnostics/tests).
+func (l *LSM) MemtableOps() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.mem.ops()
+}
+
+// Pauses returns the wall-clock duration of every compaction so far —
+// the write-stall record the throughput benchmark summarizes as p99.
+func (l *LSM) Pauses() []time.Duration {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]time.Duration, len(l.pauses))
+	copy(out, l.pauses)
+	return out
+}
+
+// Generation returns the current log generation (diagnostics/tests).
+func (l *LSM) Generation() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.gen
+}
+
+// StoragePages implements AccessMethod: the segments' pages plus the
+// log and manifest.
+func (l *LSM) StoragePages() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := l.manifest.NumPages() + l.log.npages
+	for _, seg := range l.segs {
+		n += seg.inner.StoragePages()
+	}
+	return n
+}
+
+// Insert implements AccessMethod: one log append (typically a single
+// page write) plus the in-memory memtable update; the segment build
+// amortizes the signature-file writes over the whole memtable. May
+// trigger a flush and then a compaction before returning.
+func (l *LSM) Insert(oid uint64, elems []string) error {
+	if err := l.health.gateWrite(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.insert(oid, elems); err != nil {
+		l.health.noteWrite(err)
+		return err
+	}
+	return nil
+}
+
+func (l *LSM) insert(oid uint64, elems []string) error {
+	if oid == 0 {
+		return fmt.Errorf("core: OID 0 is reserved")
+	}
+	if _, dup := l.where[oid]; dup {
+		return fmt.Errorf("core: %s insert: OID %d already indexed", l.Name(), oid)
+	}
+	deduped := dedup(elems)
+	if err := l.log.appendInsert(oid, deduped); err != nil {
+		return err
+	}
+	l.mem.insert(oid, deduped)
+	l.where[oid] = lsmLoc{seg: lsmMemtableSeg, empty: len(deduped) == 0}
+	l.card.add(len(deduped))
+	return l.maybeRoll()
+}
+
+// Delete implements AccessMethod: one log append plus two map updates —
+// O(1), against the legacy paths' SC_OID/2 OID-file scan (signature
+// files) or rc·D_t tree deletions (NIX).
+func (l *LSM) Delete(oid uint64, _ []string) error {
+	if err := l.health.gateWrite(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.deleteLocked(oid); err != nil {
+		l.health.noteWrite(err)
+		return err
+	}
+	return nil
+}
+
+func (l *LSM) deleteLocked(oid uint64) error {
+	if _, ok := l.where[oid]; !ok {
+		return fmt.Errorf("core: %s delete: OID %d not present", l.Name(), oid)
+	}
+	if err := l.log.appendDelete(oid); err != nil {
+		return err
+	}
+	l.mem.delete(oid)
+	delete(l.where, oid)
+	return l.maybeRoll()
+}
+
+// maybeRoll applies the flush and compaction triggers after a mutation.
+// Caller holds l.mu exclusively.
+func (l *LSM) maybeRoll() error {
+	if l.mem.ops() < l.memtableOps {
+		return nil
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if len(l.segs) >= l.compactAfter {
+		return l.compactLocked()
+	}
+	return nil
+}
+
+// Flush seals the current memtable into a segment (no-op when empty).
+func (l *LSM) Flush() error {
+	if err := l.health.gateWrite(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
+		l.health.noteWrite(err)
+		return err
+	}
+	return nil
+}
+
+func (l *LSM) flushLocked() error {
+	if l.mem.ops() == 0 {
+		return nil
+	}
+	var entries []Entry
+	var empties []uint64
+	for _, oid := range l.mem.sortedOIDs() {
+		elems := l.mem.entries[oid]
+		if len(elems) == 0 {
+			empties = append(empties, oid)
+			continue
+		}
+		entries = append(entries, Entry{OID: oid, Elems: elems})
+	}
+	id := l.nextSeg
+	seg, err := buildSegment(&l.cfg, l.store, id, entries, l.mem.sortedTombs(), empties)
+	if err != nil {
+		return err
+	}
+	l.nextSeg++
+	l.segs = append(l.segs, seg)
+	for _, e := range entries {
+		l.where[e.OID] = lsmLoc{seg: id}
+	}
+	for _, oid := range empties {
+		l.where[oid] = lsmLoc{seg: id, empty: true}
+	}
+	oldGen := l.gen
+	l.gen++
+	logF, err := l.store.Open(lsmLogName(l.gen))
+	if err != nil {
+		return fmt.Errorf("core: lsm open log gen %d: %w", l.gen, err)
+	}
+	if l.log, err = openLSMLog(logF); err != nil {
+		return err
+	}
+	l.mem.reset()
+	if err := l.writeManifestLocked(); err != nil {
+		return err
+	}
+	// The old generation's log is dead weight now; reclaim best-effort.
+	_ = pagestore.RemoveIfSupported(l.store, lsmLogName(oldGen))
+	return nil
+}
+
+// writeManifestLocked persists the segment list and generation.
+func (l *LSM) writeManifestLocked() error {
+	man := &lsmManifest{Gen: l.gen, NextSeg: l.nextSeg, Segments: make([]lsmSegMeta, len(l.segs))}
+	for i, seg := range l.segs {
+		man.Segments[i] = seg.meta
+	}
+	return writeManifest(l.manifest, man)
+}
+
+// Search implements AccessMethod.
+func (l *LSM) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+	return l.searchCtx(context.Background(), pred, query, opts)
+}
+
+// SearchContext implements AccessMethod: the search scatter-gathers
+// across the memtable and every sealed segment, then resolves all
+// candidates in one verification pass. Cancellation is honored at every
+// segment-page read and worker-task boundary; WithSmartRetrieval caps
+// derive from the total live count so every segment applies the same
+// filter strength.
+func (l *LSM) SearchContext(ctx context.Context, pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return l.searchCtx(ctx, pred, query, newSearchOptions(opts))
+}
+
+func (l *LSM) searchCtx(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions) (res *Result, err error) {
+	if !pred.Valid() {
+		return nil, errInvalidPredicate(pred)
+	}
+	if err := l.health.gateRead(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	defer func() { l.metrics.observe(start, res, err) }()
+	defer func() { l.health.noteRead(err) }()
+	tr := obs.StartTrace(traceSink(ctx, opts), l.Name(), pred.String())
+	defer func() { tr.Finish(err) }()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+
+	// Pin the smart caps from the total live count so every segment
+	// applies the same filter strength regardless of its own size. The
+	// per-segment massage only fills zero-valued caps, so explicit values
+	// here win.
+	if opts != nil && opts.Smart {
+		o := *opts
+		if o.MaxProbeElements == 0 {
+			if l.kind == KindNIX {
+				o.MaxProbeElements = 1
+			} else if l.smartM > 0 {
+				o.MaxProbeElements = smartProbeCap(len(l.where), l.smartM)
+			}
+		}
+		if o.MaxZeroSlices == 0 && l.kind == KindBSSF {
+			o.MaxZeroSlices = smartZeroSliceCap(len(l.where))
+		}
+		opts = &o
+	}
+	query = dedup(query)
+	probe := probeElements(query, opts, pred)
+	workers := searchWorkers(opts)
+	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+
+	// The per-segment searches must not re-trace or re-massage: strip
+	// the trace sink and the smart flag, keeping the pinned caps.
+	var segOpts *SearchOptions
+	if opts != nil {
+		o := *opts
+		o.Smart = false
+		o.Trace = nil
+		segOpts = &o
+	}
+
+	// Index phase: every segment's candidate scan, fanned across the
+	// worker pool with per-segment result and stats slots folded in
+	// segment order — deterministic at any parallelism.
+	phase := tr.Begin()
+	segCands := make([][]uint64, len(l.segs))
+	parts := make([]SearchStats, len(l.segs))
+	err = forEachTask(ctx, workers, len(l.segs), func(i int) error {
+		seg := l.segs[i]
+		cands, err := seg.inner.segmentCandidates(ctx, pred, query, segOpts, &parts[i])
+		if err != nil {
+			return fmt.Errorf("core: lsm segment %d search: %w", seg.id, err)
+		}
+		// Keep only candidates this segment still owns: an OID deleted or
+		// re-inserted later resolves elsewhere (or nowhere), and the
+		// disjointness of the kept lists is what makes the final gather a
+		// plain concatenation.
+		kept := cands[:0]
+		for _, oid := range cands {
+			if loc, ok := l.where[oid]; ok && loc.seg == seg.id && !loc.empty {
+				kept = append(kept, oid)
+			}
+		}
+		// Empty sets live only in segment metadata. They are candidates
+		// whenever an empty set could satisfy the predicate (∅ ⊆ Q always;
+		// a vacuous query makes ⊇/= possible too); verification is exact,
+		// so over-inclusion only costs a fetch.
+		if pred == signature.Subset || len(query) == 0 {
+			for _, oid := range seg.meta.Empties {
+				if loc, ok := l.where[oid]; ok && loc.seg == seg.id && loc.empty {
+					kept = append(kept, oid)
+				}
+			}
+		}
+		segCands[i] = kept
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addStats(&stats, parts)
+	tr.End(obs.PhaseIndexScan, phase, stats.IndexPages)
+
+	// OID-map phase: the per-segment OID reads already happened inside
+	// segmentCandidates (counted into OIDPages above); the memtable holds
+	// actual set values, so its candidates cost no pages.
+	phase = tr.Begin()
+	memCands, err := l.mem.candidates(pred, query)
+	if err != nil {
+		return nil, err
+	}
+	candidates := make([]uint64, 0, len(memCands))
+	for _, c := range segCands {
+		candidates = append(candidates, c...)
+	}
+	candidates = append(candidates, memCands...)
+	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
+
+	phase = tr.Begin()
+	results, err := verifyCandidates(ctx, l.src, pred, query, candidates, &stats, workers)
+	if err != nil {
+		return nil, err
+	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// Describe implements Describer. SegmentCounts and MemtableCount let the
+// planner add the per-segment scatter overhead to its RC estimates.
+func (l *LSM) Describe() FacilityStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	st := FacilityStats{
+		Facility:      l.Name(),
+		Count:         len(l.where),
+		AvgSetCard:    l.card.avg(),
+		MemtableCount: len(l.mem.entries),
+		Health:        l.health.get(),
+	}
+	if l.kind != KindNIX {
+		if l.cfg.FrameScheme != nil {
+			st.F = l.cfg.FrameScheme.K() * l.cfg.FrameScheme.S()
+			st.M = l.cfg.FrameScheme.M()
+			st.Frames = l.cfg.FrameScheme.K()
+		} else if l.cfg.Scheme != nil {
+			st.F = l.cfg.Scheme.F()
+			st.M = l.cfg.Scheme.M()
+		}
+		if l.kind == KindFSSF && st.Frames == 0 {
+			if fs, err := deriveFrameScheme(l.cfg.Scheme, l.cfg.Frames); err == nil {
+				st.Frames = fs.K()
+			}
+		}
+	}
+	n := l.manifest.NumPages() + l.log.npages
+	for _, seg := range l.segs {
+		inner := seg.inner.Describe()
+		n += inner.StoragePages
+		st.SegmentCounts = append(st.SegmentCounts, seg.meta.Count+len(seg.meta.Empties))
+		if l.kind == KindNIX {
+			st.DistinctElems += inner.DistinctElems
+			if inner.LookupPages > st.LookupPages {
+				st.LookupPages = inner.LookupPages
+			}
+		}
+	}
+	if l.kind == KindNIX && st.LookupPages == 0 {
+		st.LookupPages = 1
+	}
+	st.StoragePages = n
+	return st
+}
+
+var (
+	_ AccessMethod = (*LSM)(nil)
+	_ Describer    = (*LSM)(nil)
+)

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// TestBSSFInsertAmortizationGolden pins the headline economics of the
+// LSM write path (ISSUE 7): the paper's Table 7 charges a worst-case
+// BSSF insert UC_I = F+1 page writes — the "F+1 wall" that makes
+// bit-sliced signatures expensive to load. On the LSM path inserts land
+// in a WAL-backed memtable and are sealed in batches, so the amortized
+// page writes per insert fall to o(F), while searches stay byte-
+// identical to the in-place facility.
+func TestBSSFInsertAmortizationGolden(t *testing.T) {
+	const n = 128
+	scheme := signature.MustNew(64, 2)
+	src := MapSource{}
+	sets := make([][]string, n+1)
+	for i := 1; i <= n; i++ {
+		sets[i] = []string{
+			fmt.Sprintf("e%d", i%8),
+			fmt.Sprintf("f%d", i%5),
+		}
+		src[uint64(i)] = sets[i]
+	}
+
+	// Legacy worst-case path: exactly F+1 page writes per insert, the
+	// golden Table 7 value.
+	legacyStore := pagestore.NewMemStore()
+	legacy, err := Open(Config{
+		Kind: KindBSSF, Scheme: scheme, Source: src,
+		Store: legacyStore, WorstCaseInsert: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := legacy.Insert(uint64(i), sets[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, legacyWrites := legacyStore.TotalStats()
+	wall := int64(scheme.F() + 1)
+	if legacyWrites != int64(n)*wall {
+		t.Fatalf("legacy worst-case load wrote %d pages for %d inserts, want exactly N·(F+1) = %d",
+			legacyWrites, n, int64(n)*wall)
+	}
+
+	// LSM path: same objects, same scheme. The memtable batches 16
+	// inserts per sealed segment and compaction folds segments together,
+	// so total writes per insert must come in far under the wall even
+	// though compaction re-writes live data.
+	lsmStore := pagestore.NewMemStore()
+	am, err := Open(Config{Kind: KindBSSF, Scheme: scheme, Source: src, Store: lsmStore},
+		WithLSMMemtableSize(16), WithLSMCompactAfter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := am.(*LSM)
+	for i := 1; i <= n; i++ {
+		if err := l.Insert(uint64(i), sets[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, lsmWrites := lsmStore.TotalStats()
+	perInsert := float64(lsmWrites) / n
+	t.Logf("pages written per insert: legacy worst-case = %d (F+1), lsm amortized = %.2f (%d writes / %d inserts, %d segments)",
+		wall, perInsert, lsmWrites, n, l.Segments())
+	if perInsert >= float64(wall)/2 {
+		t.Fatalf("lsm amortized insert cost %.2f pages has not broken the F+1 wall (F+1 = %d)", perInsert, wall)
+	}
+
+	// The cheaper write path must not cost anything on reads: every
+	// predicate answers byte-identically to the legacy facility.
+	for _, pred := range diffPreds {
+		q := []string{"e1", "f2"}
+		if pred == signature.Contains {
+			q = []string{"e1"}
+		}
+		lr, err := legacy.Search(pred, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := l.Search(pred, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalOIDs(lr.OIDs, sr.OIDs) {
+			t.Fatalf("%v %v: legacy %v != lsm %v", pred, q, lr.OIDs, sr.OIDs)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sigfile/internal/pagestore"
+	"sigfile/internal/pagestore/crashtest"
+	"sigfile/internal/signature"
+)
+
+// LSM crash-consistency scenarios: the crashtest harness kills the
+// store after every prefix of the mutating I/O schedule of a flush, a
+// compaction, and a tombstone commit, then reopens and asserts the
+// recovered facility is exactly pre- or exactly post-update — no lost
+// committed insert, no resurrected tombstone, no half-sealed segment.
+//
+// The fingerprint deliberately includes the LSM's physical shape
+// (generation, segment count) on top of the logical search results:
+// compaction does not change answers, so without the physical part the
+// harness would reject the scenario as vacuous.
+
+// lsmCrashOpen opens the LSM form of kind over the durable store.
+func lsmCrashOpen(kind Kind, memOps, compactAfter int) func(store pagestore.Store) (AccessMethod, error) {
+	return func(store pagestore.Store) (AccessMethod, error) {
+		cfg := Config{Kind: kind, Scheme: signature.MustNew(64, 8), Source: crashSource, Store: store}
+		if kind == KindFSSF {
+			cfg.FrameScheme = signature.MustFrameScheme(8, 8, 4)
+		}
+		return Open(cfg, WithLSMMemtableSize(memOps), WithLSMCompactAfter(compactAfter))
+	}
+}
+
+// lsmCrashFingerprint is crashFingerprint plus the LSM physical shape.
+func lsmCrashFingerprint(am AccessMethod) (string, error) {
+	logical, err := crashFingerprint(am)
+	if err != nil {
+		return "", err
+	}
+	l, ok := am.(*LSM)
+	if !ok {
+		return "", fmt.Errorf("facility %T is not LSM-backed", am)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "gen=%d segs=%d memops=%d ", l.Generation(), l.Segments(), l.MemtableOps())
+	sb.WriteString(logical)
+	return sb.String(), nil
+}
+
+// lsmFlushScenario: setup leaves one op in the memtable; the crashed
+// update's insert fills the memtable and triggers a flush, so the crash
+// schedule covers every write of log append + segment build + manifest
+// rewrite + log rotation.
+func lsmFlushScenario(kind Kind) crashtest.Scenario {
+	open := lsmCrashOpen(kind, 2, 100)
+	return crashtest.Scenario{
+		Setup: func(s *pagestore.DurableStore) error {
+			am, err := open(s)
+			if err != nil {
+				return err
+			}
+			for oid := uint64(1); oid <= 3; oid++ { // 1,2 flush; 3 stays in the memtable
+				if err := am.Insert(oid, crashSource[oid]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Update: func(s *pagestore.DurableStore) error {
+			am, err := open(s)
+			if err != nil {
+				return err
+			}
+			if err := am.Insert(5, crashSource[5]); err != nil {
+				return err
+			}
+			return s.Commit()
+		},
+		Fingerprint: func(s *pagestore.DurableStore) (string, error) {
+			am, err := open(s)
+			if err != nil {
+				return "", err
+			}
+			return lsmCrashFingerprint(am)
+		},
+	}
+}
+
+// lsmCompactScenario: setup seals two segments; the crashed update
+// inserts, flushes, and compacts everything into one merged segment.
+// Pre and post differ physically (3 segments vs 1) while remaining
+// logically consistent at every crash point.
+func lsmCompactScenario(kind Kind) crashtest.Scenario {
+	open := lsmCrashOpen(kind, 2, 100)
+	return crashtest.Scenario{
+		Setup: func(s *pagestore.DurableStore) error {
+			am, err := open(s)
+			if err != nil {
+				return err
+			}
+			for oid := uint64(1); oid <= 4; oid++ { // two sealed segments
+				if err := am.Insert(oid, crashSource[oid]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Update: func(s *pagestore.DurableStore) error {
+			am, err := open(s)
+			if err != nil {
+				return err
+			}
+			l := am.(*LSM)
+			if err := l.Insert(5, crashSource[5]); err != nil {
+				return err
+			}
+			if err := l.Flush(); err != nil {
+				return err
+			}
+			if err := l.Compact(); err != nil {
+				return err
+			}
+			return s.Commit()
+		},
+		Fingerprint: func(s *pagestore.DurableStore) (string, error) {
+			am, err := open(s)
+			if err != nil {
+				return "", err
+			}
+			return lsmCrashFingerprint(am)
+		},
+	}
+}
+
+// lsmTombstoneScenario: the crashed update deletes an object living in
+// a sealed segment and flushes the tombstone into a new segment. A
+// recovered store must never resurrect the deleted object.
+func lsmTombstoneScenario(kind Kind) crashtest.Scenario {
+	open := lsmCrashOpen(kind, 2, 100)
+	return crashtest.Scenario{
+		Setup: func(s *pagestore.DurableStore) error {
+			am, err := open(s)
+			if err != nil {
+				return err
+			}
+			for oid := uint64(1); oid <= 5; oid++ {
+				if err := am.Insert(oid, crashSource[oid]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Update: func(s *pagestore.DurableStore) error {
+			am, err := open(s)
+			if err != nil {
+				return err
+			}
+			l := am.(*LSM)
+			if err := l.Delete(2, crashSource[2]); err != nil {
+				return err
+			}
+			if err := l.Flush(); err != nil { // seal the tombstone
+				return err
+			}
+			return s.Commit()
+		},
+		Fingerprint: func(s *pagestore.DurableStore) (string, error) {
+			am, err := open(s)
+			if err != nil {
+				return "", err
+			}
+			return lsmCrashFingerprint(am)
+		},
+	}
+}
+
+func TestCrashConsistencyLSMFlush(t *testing.T) {
+	for _, kind := range []Kind{KindSSF, KindBSSF, KindFSSF, KindNIX} {
+		t.Run(kind.String(), func(t *testing.T) {
+			crashtest.Run(t, lsmFlushScenario(kind))
+		})
+	}
+}
+
+func TestCrashConsistencyLSMCompact(t *testing.T) {
+	for _, kind := range []Kind{KindSSF, KindBSSF, KindFSSF, KindNIX} {
+		t.Run(kind.String(), func(t *testing.T) {
+			crashtest.Run(t, lsmCompactScenario(kind))
+		})
+	}
+}
+
+func TestCrashConsistencyLSMTombstone(t *testing.T) {
+	for _, kind := range []Kind{KindSSF, KindBSSF, KindFSSF, KindNIX} {
+		t.Run(kind.String(), func(t *testing.T) {
+			crashtest.Run(t, lsmTombstoneScenario(kind))
+		})
+	}
+}

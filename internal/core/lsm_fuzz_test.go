@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// FuzzMemtableSegmentEquivalence decodes an arbitrary byte stream into
+// an insert/delete/flush/compact/search program, runs it against the
+// LSM form of one facility kind, and checks every search against a
+// brute-force model over the live sets. The fuzzer chooses where
+// flushes land, so any op stream exercises arbitrary splits of the same
+// logical state across memtable and sealed segments — the answers must
+// never depend on that split.
+//
+// CI runs this target in the fuzz-seeds job; reproduce a failure with
+//
+//	go test -fuzz FuzzMemtableSegmentEquivalence -run '^$' ./internal/core/
+func FuzzMemtableSegmentEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 1, 0x03, 0, 2, 0x05, 7, 0, 0, 5, 0, 0, 6, 0, 0, 7, 1, 0x07})
+	f.Add([]byte{1, 2, 1, 0, 1, 0xff, 4, 1, 0, 0, 1, 0x0f, 7, 2, 0x03})
+	f.Add([]byte{2, 0, 2, 0, 3, 0x11, 0, 4, 0x22, 5, 0, 0, 0, 5, 0x33, 7, 3, 0x11})
+	f.Add([]byte{3, 7, 3, 0, 6, 0x81, 0, 7, 0x42, 6, 0, 0, 7, 4, 0x81})
+
+	elems := []string{"e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7"}
+	decodeSet := func(bits byte) []string {
+		var out []string
+		for i := 0; i < 8; i++ {
+			if bits&(1<<i) != 0 {
+				out = append(out, elems[i])
+			}
+		}
+		return out
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		kind := Kind(data[0] % 4)
+		cfg := Config{
+			Kind:   kind,
+			Scheme: signature.MustNew(32, 3),
+			Store:  pagestore.NewMemStore(),
+		}
+		if kind == KindFSSF {
+			cfg.FrameScheme = signature.MustFrameScheme(4, 8, 3)
+		}
+		src := MapSource{}
+		cfg.Source = src
+		am, err := Open(cfg,
+			WithLSMMemtableSize(1+int(data[1]%8)), WithLSMCompactAfter(2+int(data[2]%4)))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		l := am.(*LSM)
+		model := map[uint64][]string{}
+
+		check := func(pred signature.Predicate, query []string) {
+			var want []uint64
+			for oid, set := range model {
+				ok, err := signature.EvaluateSets(pred, set, query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					want = append(want, oid)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			res, err := l.Search(pred, query, nil)
+			if err != nil {
+				t.Fatalf("search %v %v: %v", pred, query, err)
+			}
+			if !equalOIDs(res.OIDs, want) {
+				t.Fatalf("%v %v: lsm %v, model %v (segments=%d memops=%d)",
+					pred, query, res.OIDs, want, l.Segments(), l.MemtableOps())
+			}
+			checkStats(t, "fuzz", res)
+		}
+
+		for i := 3; i+2 < len(data); i += 3 {
+			op, arg, bits := data[i]%8, data[i+1], data[i+2]
+			oid := 1 + uint64(arg%16)
+			switch {
+			case op < 4: // insert
+				if _, live := model[oid]; live {
+					continue // the LSM rejects double inserts by design
+				}
+				set := decodeSet(bits)
+				src[oid] = set
+				if err := l.Insert(oid, set); err != nil {
+					t.Fatalf("insert %d %v: %v", oid, set, err)
+				}
+				model[oid] = dedup(set)
+			case op == 4: // delete
+				if _, live := model[oid]; !live {
+					continue
+				}
+				if err := l.Delete(oid, src[oid]); err != nil {
+					t.Fatalf("delete %d: %v", oid, err)
+				}
+				delete(model, oid)
+				delete(src, oid)
+			case op == 5: // flush at an arbitrary point
+				if err := l.Flush(); err != nil {
+					t.Fatalf("flush: %v", err)
+				}
+			case op == 6: // compact at an arbitrary point
+				if err := l.Compact(); err != nil {
+					t.Fatalf("compact: %v", err)
+				}
+			default: // search
+				pred := diffPreds[arg%5]
+				query := decodeSet(bits)
+				if pred == signature.Contains {
+					query = []string{elems[bits%8]}
+				}
+				check(pred, query)
+			}
+		}
+		// Closing sweep: every predicate over a fixed query, so even a
+		// stream with no search ops verifies its final state.
+		for _, pred := range diffPreds {
+			q := []string{"e0", "e1"}
+			if pred == signature.Contains {
+				q = []string{"e0"}
+			}
+			check(pred, q)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sigfile/internal/pagestore"
+)
+
+// lsmLog is the write-ahead log of one LSM memtable generation: every
+// Insert and Delete is appended here before the in-memory state changes,
+// so a reopened facility can replay the memtable exactly. One log file
+// exists per generation ("lsm.log.<gen>"); a flush seals the memtable
+// into a segment, bumps the generation and starts an empty log, making
+// the old one dead weight that is removed best-effort.
+//
+// Page layout: a 4-byte little-endian used-byte count followed by
+// payload. Records are a byte stream across pages — each record is a
+// 4-byte length prefix plus body:
+//
+//	[1 op] [8 oid]                                  op = lsmOpDelete
+//	[1 op] [8 oid] [4 n] n × ([4 len] [len bytes])  op = lsmOpInsert
+//
+// The used count of a page is written in the same page write as the
+// bytes it covers, so a torn append leaves a shorter committed stream,
+// never a corrupt one; replay treats a truncated trailing record as an
+// append that did not happen.
+type lsmLog struct {
+	file pagestore.File
+
+	// tail caches the page currently being appended to; tailUsed is the
+	// committed payload byte count of that page.
+	tail     []byte
+	tailUsed int
+	tailPage pagestore.PageID
+	npages   int
+}
+
+const (
+	lsmOpInsert = 1
+	lsmOpDelete = 2
+
+	// lsmLogHeader is the per-page used-count prefix.
+	lsmLogHeader = 4
+	// lsmLogPayload is the payload capacity of one log page.
+	lsmLogPayload = pagestore.PageSize - lsmLogHeader
+)
+
+// openLSMLog opens (or creates) the log file and positions the tail for
+// appending. The committed byte stream is not parsed here; replay does
+// that.
+func openLSMLog(file pagestore.File) (*lsmLog, error) {
+	l := &lsmLog{file: file, tail: make([]byte, pagestore.PageSize), npages: file.NumPages()}
+	if l.npages > 0 {
+		l.tailPage = pagestore.PageID(l.npages - 1)
+		if err := file.ReadPage(l.tailPage, l.tail); err != nil {
+			return nil, fmt.Errorf("core: lsm log recover tail: %w", err)
+		}
+		l.tailUsed = int(binary.LittleEndian.Uint32(l.tail))
+		if l.tailUsed > lsmLogPayload {
+			return nil, fmt.Errorf("core: lsm log tail page %d claims %d payload bytes (max %d)", l.tailPage, l.tailUsed, lsmLogPayload)
+		}
+	}
+	return l, nil
+}
+
+// appendRecord frames body with its length and appends it to the byte
+// stream, writing each touched tail page once. A record smaller than the
+// tail's remaining capacity costs one page write.
+func (l *lsmLog) appendRecord(body []byte) error {
+	rec := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(rec, uint32(len(body)))
+	copy(rec[4:], body)
+	for len(rec) > 0 {
+		if l.npages == 0 || l.tailUsed == lsmLogPayload {
+			if _, err := l.file.Allocate(); err != nil {
+				return fmt.Errorf("core: lsm log extend: %w", err)
+			}
+			l.tailPage = pagestore.PageID(l.npages)
+			l.npages++
+			l.tailUsed = 0
+			for i := range l.tail {
+				l.tail[i] = 0
+			}
+		}
+		n := copy(l.tail[lsmLogHeader+l.tailUsed:], rec)
+		l.tailUsed += n
+		rec = rec[n:]
+		binary.LittleEndian.PutUint32(l.tail, uint32(l.tailUsed))
+		if err := l.file.WritePage(l.tailPage, l.tail); err != nil {
+			return fmt.Errorf("core: lsm log write page %d: %w", l.tailPage, err)
+		}
+	}
+	return nil
+}
+
+// appendInsert logs an insert of a deduplicated set value.
+func (l *lsmLog) appendInsert(oid uint64, elems []string) error {
+	n := 1 + 8 + 4
+	for _, e := range elems {
+		n += 4 + len(e)
+	}
+	body := make([]byte, n)
+	body[0] = lsmOpInsert
+	binary.LittleEndian.PutUint64(body[1:], oid)
+	binary.LittleEndian.PutUint32(body[9:], uint32(len(elems)))
+	off := 13
+	for _, e := range elems {
+		binary.LittleEndian.PutUint32(body[off:], uint32(len(e)))
+		off += 4
+		off += copy(body[off:], e)
+	}
+	return l.appendRecord(body)
+}
+
+// appendDelete logs a tombstone.
+func (l *lsmLog) appendDelete(oid uint64) error {
+	body := make([]byte, 9)
+	body[0] = lsmOpDelete
+	binary.LittleEndian.PutUint64(body[1:], oid)
+	return l.appendRecord(body)
+}
+
+// replay invokes fn for every committed record in append order. A
+// truncated trailing record (torn multi-page append) ends the replay
+// silently; a semantically invalid record is an error, because the used
+// counters said it was committed.
+func (l *lsmLog) replay(fn func(op byte, oid uint64, elems []string) error) error {
+	var stream []byte
+	buf := make([]byte, pagestore.PageSize)
+	for p := 0; p < l.npages; p++ {
+		if err := l.file.ReadPage(pagestore.PageID(p), buf); err != nil {
+			return fmt.Errorf("core: lsm log read page %d: %w", p, err)
+		}
+		used := int(binary.LittleEndian.Uint32(buf))
+		if used > lsmLogPayload {
+			return fmt.Errorf("core: lsm log page %d claims %d payload bytes (max %d)", p, used, lsmLogPayload)
+		}
+		stream = append(stream, buf[lsmLogHeader:lsmLogHeader+used]...)
+	}
+	for len(stream) >= 4 {
+		n := int(binary.LittleEndian.Uint32(stream))
+		if len(stream)-4 < n {
+			return nil // torn trailing record: the append never committed
+		}
+		body := stream[4 : 4+n]
+		stream = stream[4+n:]
+		op, oid, elems, err := parseLSMRecord(body)
+		if err != nil {
+			return err
+		}
+		if err := fn(op, oid, elems); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseLSMRecord decodes one framed record body.
+func parseLSMRecord(body []byte) (op byte, oid uint64, elems []string, err error) {
+	if len(body) < 9 {
+		return 0, 0, nil, fmt.Errorf("core: lsm log record too short (%d bytes)", len(body))
+	}
+	op = body[0]
+	oid = binary.LittleEndian.Uint64(body[1:])
+	switch op {
+	case lsmOpDelete:
+		return op, oid, nil, nil
+	case lsmOpInsert:
+		if len(body) < 13 {
+			return 0, 0, nil, fmt.Errorf("core: lsm log insert record too short (%d bytes)", len(body))
+		}
+		n := int(binary.LittleEndian.Uint32(body[9:]))
+		rest := body[13:]
+		elems = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			if len(rest) < 4 {
+				return 0, 0, nil, fmt.Errorf("core: lsm log insert record truncated element header")
+			}
+			el := int(binary.LittleEndian.Uint32(rest))
+			rest = rest[4:]
+			if len(rest) < el {
+				return 0, 0, nil, fmt.Errorf("core: lsm log insert record truncated element body")
+			}
+			elems = append(elems, string(rest[:el]))
+			rest = rest[el:]
+		}
+		return op, oid, elems, nil
+	default:
+		return 0, 0, nil, fmt.Errorf("core: lsm log unknown op %d", op)
+	}
+}
+
+// lsmLogName is the log file of generation gen.
+func lsmLogName(gen uint64) string { return fmt.Sprintf("lsm.log.%d", gen) }

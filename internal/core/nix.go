@@ -209,15 +209,37 @@ func (n *NIX) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 	defer func() { tr.Finish(err) }()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	query = dedup(query)
+	workers := searchWorkers(opts)
+	stats := SearchStats{QueryCardinality: len(query)}
+
+	candidates, err := n.candidatesLocked(ctx, pred, query, opts, &stats, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	phase := tr.Begin()
+	results, err := verifyCandidates(ctx, n.src, pred, query, candidates, &stats, workers)
+	if err != nil {
+		return nil, err
+	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// candidatesLocked runs the probe-lookup and combine phases of a search
+// and returns the candidate OIDs, leaving verification to the caller.
+// The caller must hold n.mu (shared or exclusive) and pass the
+// deduplicated query.
+func (n *NIX) candidatesLocked(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions, stats *SearchStats, tr *obs.Trace) ([]uint64, error) {
 	if opts != nil && opts.Smart && opts.MaxProbeElements == 0 {
 		o := *opts
 		o.MaxProbeElements = 1
 		opts = &o
 	}
-	query = dedup(query)
 	probe := probeElements(query, opts, pred)
 	workers := searchWorkers(opts)
-	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+	stats.ProbedElements = len(probe)
 
 	// Look up the probe elements, each lookup counting the tree pages it
 	// touched into its own slot; the slots sum to exactly the sequential
@@ -225,7 +247,7 @@ func (n *NIX) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 	phase := tr.Begin()
 	postings := make([][]uint64, len(probe))
 	pages := make([]int64, len(probe))
-	err = forEachTask(ctx, workers, len(probe), func(i int) error {
+	err := forEachTask(ctx, workers, len(probe), func(i int) error {
 		oids, np, err := n.tree.LookupPages([]byte(probe[i]))
 		if err != nil {
 			return fmt.Errorf("core: NIX lookup %q: %w", probe[i], err)
@@ -269,14 +291,33 @@ func (n *NIX) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 		candidates = unionSorted(postings)
 	}
 	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
+	return candidates, nil
+}
 
-	phase = tr.Begin()
-	results, err := verifyCandidates(ctx, n.src, pred, query, candidates, &stats, workers)
-	if err != nil {
-		return nil, err
+// segmentCandidates implements segmentSearcher: the candidate phases of
+// a search under this facility's own shared lock, untraced.
+func (n *NIX) segmentCandidates(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions, stats *SearchStats) ([]uint64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.candidatesLocked(ctx, pred, query, opts, stats, nil)
+}
+
+// liveOIDs implements segmentSearcher: every indexed OID, sorted. OIDs
+// of empty sets are excluded — they leave no postings, so a reopened
+// index cannot see them; the LSM layer persists them in segment
+// metadata instead.
+func (n *NIX) liveOIDs() ([]uint64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]uint64, 0, len(n.live))
+	for oid := range n.live {
+		if _, isEmpty := n.empty[oid]; isEmpty {
+			continue
+		}
+		out = append(out, oid)
 	}
-	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
-	return &Result{OIDs: results, Stats: stats}, nil
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
 }
 
 // allOIDs returns every indexed OID sorted (the candidate set of a

@@ -67,6 +67,18 @@ type Config struct {
 	// WorstCaseInsert makes a BSSF write every slice file on insert,
 	// reproducing the paper's worst-case UC_I = F + 1 (Table 7).
 	WorstCaseInsert bool
+	// LSM selects the log-structured write path (DESIGN.md §13): a
+	// WAL-backed memtable flushing into sealed segments of the configured
+	// Kind, with tombstone deletes and background-free compaction.
+	LSM bool
+	// LSMMemtableOps is the flush trigger: the memtable seals into a
+	// segment once it holds this many operations (entries + tombstones).
+	// 0 means the default (256).
+	LSMMemtableOps int
+	// LSMCompactAfter is the compaction trigger: once a flush leaves this
+	// many segments they are merged into one. 0 means the default (4);
+	// values below 2 also get the default.
+	LSMCompactAfter int
 }
 
 // OpenOption mutates a Config — the functional-options form of the
@@ -95,6 +107,25 @@ func WithWorstCaseInserts() OpenOption {
 	return func(c *Config) { c.WorstCaseInsert = true }
 }
 
+// WithLSM selects the log-structured write path: O(1) tombstone
+// deletes and amortized insert cost, at the price of a per-segment
+// read fan-out the planner accounts for.
+func WithLSM() OpenOption {
+	return func(c *Config) { c.LSM = true }
+}
+
+// WithLSMMemtableSize sets the flush trigger: the memtable seals into a
+// segment once it holds n operations. Implies WithLSM.
+func WithLSMMemtableSize(n int) OpenOption {
+	return func(c *Config) { c.LSM = true; c.LSMMemtableOps = n }
+}
+
+// WithLSMCompactAfter sets the compaction trigger: a flush leaving n or
+// more segments merges them into one. Implies WithLSM.
+func WithLSMCompactAfter(n int) OpenOption {
+	return func(c *Config) { c.LSM = true; c.LSMCompactAfter = n }
+}
+
 // Open builds (or reopens, when the store already holds its files) the
 // facility cfg describes. It is the single construction entry point the
 // per-facility constructors now forward to conceptually; they remain for
@@ -114,6 +145,23 @@ func Open(cfg Config, opts ...OpenOption) (AccessMethod, error) {
 			store = pagestore.NewMemStore()
 		}
 		store = pagestore.Prefixed(store, cfg.Prefix)
+	}
+	if cfg.LSM {
+		if cfg.Kind == KindFSSF && cfg.FrameScheme == nil {
+			// Pin the derived frame design now so every segment (and the
+			// file-name accounting for removal) uses the same split.
+			fs, err := deriveFrameScheme(cfg.Scheme, cfg.Frames)
+			if err != nil {
+				return nil, err
+			}
+			cfg.FrameScheme = fs
+		}
+		if cfg.Kind == KindSSF || cfg.Kind == KindBSSF {
+			if cfg.Scheme == nil {
+				return nil, fmt.Errorf("core: open %s: a signature scheme is required", cfg.Kind)
+			}
+		}
+		return newLSM(cfg, store)
 	}
 	switch cfg.Kind {
 	case KindSSF:

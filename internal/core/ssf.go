@@ -241,16 +241,43 @@ func (s *SSF) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 	defer func() { s.health.noteRead(err) }()
 	tr := obs.StartTrace(traceSink(ctx, opts), s.Name(), pred.String())
 	defer func() { tr.Finish(err) }()
-	// SSF ignores opts.Smart: the scan reads every signature page no
-	// matter how weak the probe is, so a probe cap only adds false drops.
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	query = dedup(query)
+	workers := searchWorkers(opts)
+	stats := SearchStats{QueryCardinality: len(query)}
+
+	candidates, err := s.candidatesLocked(ctx, pred, query, opts, &stats, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	// False drop resolution.
+	phase := tr.Begin()
+	results, err := verifyCandidates(ctx, s.src, pred, query, candidates, &stats, workers)
+	if err != nil {
+		return nil, err
+	}
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
+	return &Result{OIDs: results, Stats: stats}, nil
+}
+
+// candidatesLocked runs the index-scan and OID-map phases of a search —
+// everything up to (but not including) false-drop resolution — and
+// returns the candidate OIDs. The caller must hold s.mu (shared or
+// exclusive) and pass the deduplicated query; ProbedElements, SlicesRead,
+// IndexPages and OIDPages land in stats, and the two phases are emitted
+// as spans on tr (nil-safe). The LSM write path searches each sealed
+// segment through this entry so one resolution pass can cover memtable
+// and segments together.
+//
+// SSF ignores opts.Smart: the scan reads every signature page no matter
+// how weak the probe is, so a probe cap only adds false drops.
+func (s *SSF) candidatesLocked(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions, stats *SearchStats, tr *obs.Trace) ([]uint64, error) {
 	probe := probeElements(query, opts, pred)
 	qsig := s.scheme.SetSignatureStrings(probe)
 	workers := searchWorkers(opts)
-
-	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+	stats.ProbedElements = len(probe)
 
 	// Full scan of the signature file (SC_SIG page reads), sharded into
 	// one contiguous page range per worker. Each shard collects matches
@@ -265,7 +292,7 @@ func (s *SSF) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 	}
 	shardMatches := make([][]int, nshards)
 	shardStats := make([]SearchStats, nshards)
-	err = forEachTask(ctx, workers, nshards, func(shard int) error {
+	err := forEachTask(ctx, workers, nshards, func(shard int) error {
 		pLo, pHi := shardRange(npages, nshards, shard)
 		m, err := s.scanRange(ctx, pred, qsig, pLo, pHi, &shardStats[shard])
 		if err != nil {
@@ -281,7 +308,7 @@ func (s *SSF) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 	for _, m := range shardMatches {
 		matchIdx = append(matchIdx, m...)
 	}
-	addStats(&stats, shardStats)
+	addStats(stats, shardStats)
 	tr.End(obs.PhaseIndexScan, phase, stats.IndexPages)
 
 	// OID look-up (LC_OID): indexes are produced in ascending order, so
@@ -293,15 +320,29 @@ func (s *SSF) searchCtx(ctx context.Context, pred signature.Predicate, query []s
 	}
 	stats.OIDPages = oidPages
 	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
+	return candidates, nil
+}
 
-	// False drop resolution.
-	phase = tr.Begin()
-	results, err := verifyCandidates(ctx, s.src, pred, query, candidates, &stats, workers)
-	if err != nil {
-		return nil, err
-	}
-	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
-	return &Result{OIDs: results, Stats: stats}, nil
+// segmentCandidates implements segmentSearcher: the candidate phases of
+// a search under this facility's own shared lock, untraced. The LSM
+// layer fans one logical search across its segments through it.
+func (s *SSF) segmentCandidates(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions, stats *SearchStats) ([]uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.candidatesLocked(ctx, pred, query, opts, stats, nil)
+}
+
+// liveOIDs implements segmentSearcher: every non-tombstoned OID in
+// storage order.
+func (s *SSF) liveOIDs() ([]uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []uint64
+	err := s.oid.scan(func(_ int, oid uint64) error {
+		out = append(out, oid)
+		return nil
+	})
+	return out, err
 }
 
 // scanRange scans signature pages [pLo, pHi), returning the matching

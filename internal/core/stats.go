@@ -37,6 +37,14 @@ type FacilityStats struct {
 	// Health is the facility's degradation state (healthy, degraded
 	// read-only, or failed) at snapshot time.
 	Health HealthState
+	// SegmentCounts, for an LSM-backed facility, holds the live-entry
+	// count of each sealed segment (oldest first); nil for the legacy
+	// in-place path. A search fans out across len(SegmentCounts) files,
+	// which the planner folds into its RC estimates.
+	SegmentCounts []int
+	// MemtableCount is the number of live entries in the LSM memtable
+	// (searched for free — it is in memory); 0 for the legacy path.
+	MemtableCount int
 }
 
 // Describer is implemented by facilities that can report catalog

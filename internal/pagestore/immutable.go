@@ -1,0 +1,158 @@
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the storage surface of the LSM write path (DESIGN.md §13):
+// immutable segment serving (a read-only Store view that turns any write
+// into an error instead of a silent mutation of a sealed segment) and
+// best-effort file removal so flush and compaction can reclaim the space
+// of superseded logs and segments.
+
+// ErrReadOnly is returned by write operations on a file served through a
+// ReadOnly store view. Segments sealed by the LSM write path are served
+// through one, so an accidental write path into a sealed segment fails
+// loudly instead of corrupting it.
+var ErrReadOnly = errors.New("pagestore: file is read-only")
+
+// ErrRemoveUnsupported is returned by Remove on stores that cannot
+// delete files. Callers reclaiming space (the LSM write path) treat
+// removal as best-effort and ignore it.
+var ErrRemoveUnsupported = errors.New("pagestore: store does not support removal")
+
+// Remover is the optional Store extension for deleting a file outright.
+// MemStore and DiskStore implement it; wrappers forward it when their
+// inner store does. Removal is a space-reclamation concern only: callers
+// must already hold no open references they intend to keep using, and
+// must treat failure (including ErrRemoveUnsupported) as non-fatal.
+type Remover interface {
+	Remove(name string) error
+}
+
+// Remove implements Remover: the file is closed and dropped from the
+// store. Removing a name that was never opened is a no-op.
+func (s *MemStore) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[name]; ok {
+		f.Close()
+		delete(s.files, name)
+	}
+	return nil
+}
+
+// Remove implements Remover: the page file and its WAL sidecar (if any)
+// are deleted from the directory. Removing a name that does not exist is
+// a no-op.
+func (s *DiskStore) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" || strings.Contains(name, "..") || filepath.IsAbs(name) {
+		return fmt.Errorf("pagestore: invalid file name %q", name)
+	}
+	if f, ok := s.files[name]; ok {
+		f.Close()
+		delete(s.files, name)
+	}
+	path := filepath.Join(s.dir, filepath.FromSlash(name)+".pag")
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("pagestore: remove %s: %w", name, err)
+	}
+	if err := os.Remove(path + walSuffix); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("pagestore: remove %s sidecar: %w", name, err)
+	}
+	return nil
+}
+
+// Remove implements Remover by forwarding to the inner store when it
+// supports removal.
+func (s prefixStore) Remove(name string) error {
+	if r, ok := s.inner.(Remover); ok {
+		return r.Remove(s.prefix + "/" + name)
+	}
+	return ErrRemoveUnsupported
+}
+
+// RemoveIfSupported removes name from store when it implements Remover,
+// reporting ErrRemoveUnsupported otherwise — the best-effort removal
+// helper of the LSM write path.
+func RemoveIfSupported(store Store, name string) error {
+	if r, ok := store.(Remover); ok {
+		return r.Remove(name)
+	}
+	return ErrRemoveUnsupported
+}
+
+// readOnlyStore is a Store view whose files reject writes; see ReadOnly.
+type readOnlyStore struct {
+	inner Store
+}
+
+// ReadOnly returns a view of store in which every opened file serves
+// reads normally but fails WritePage and Allocate with ErrReadOnly. The
+// LSM write path serves sealed segments through it, making segment
+// immutability an enforced property rather than a convention. Closing
+// the view is a no-op; close the underlying store.
+func ReadOnly(store Store) Store {
+	return readOnlyStore{inner: store}
+}
+
+// Open implements Store.
+func (s readOnlyStore) Open(name string) (File, error) {
+	f, err := s.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &readOnlyFile{inner: f, name: name}, nil
+}
+
+// Close implements Store: a no-op, because the view does not own the
+// underlying store.
+func (s readOnlyStore) Close() error { return nil }
+
+// readOnlyFile wraps a File, rejecting mutations.
+type readOnlyFile struct {
+	inner File
+	name  string
+}
+
+// ReadPage implements File.
+func (f *readOnlyFile) ReadPage(id PageID, buf []byte) error {
+	return f.inner.ReadPage(id, buf)
+}
+
+// WritePage implements File: always ErrReadOnly.
+func (f *readOnlyFile) WritePage(id PageID, buf []byte) error {
+	return fmt.Errorf("%w: write page %d of %s", ErrReadOnly, id, f.name)
+}
+
+// Allocate implements File: always ErrReadOnly.
+func (f *readOnlyFile) Allocate() (PageID, error) {
+	return 0, fmt.Errorf("%w: allocate in %s", ErrReadOnly, f.name)
+}
+
+// NumPages implements File.
+func (f *readOnlyFile) NumPages() int { return f.inner.NumPages() }
+
+// Stats implements File.
+func (f *readOnlyFile) Stats() *Stats { return f.inner.Stats() }
+
+// Sync implements File: a read-only view has nothing to flush.
+func (f *readOnlyFile) Sync() error { return nil }
+
+// Close implements File: a no-op; the writable owner closes the file.
+func (f *readOnlyFile) Close() error { return nil }
+
+var (
+	_ Store   = readOnlyStore{}
+	_ File    = (*readOnlyFile)(nil)
+	_ Remover = (*MemStore)(nil)
+	_ Remover = (*DiskStore)(nil)
+	_ Remover = prefixStore{}
+)

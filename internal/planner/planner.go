@@ -215,7 +215,19 @@ func (p *Planner) Plan(pred signature.Predicate, dq int, cat Catalog, facilities
 	}
 	pl := &Plan{Predicate: pred, Dq: dq, Catalog: cat}
 	for i, desc := range facilities {
-		pl.Candidates = append(pl.Candidates, p.candidates(pred, dq, cat, i, desc)...)
+		cands := p.candidates(pred, dq, cat, i, desc)
+		// An LSM-backed facility scatters every search across its sealed
+		// segments; each extra segment re-pays the per-file page floor.
+		// The memtable adds nothing — it is searched in memory.
+		if extra := len(desc.SegmentCounts) - 1; extra > 0 {
+			cm := params(cat, desc)
+			for j := range cands {
+				if !cands[j].Unmodeled {
+					cands[j].EstimatedRC += float64(extra) * perSegmentFloor(cm, pred, dq, desc, cands[j])
+				}
+			}
+		}
+		pl.Candidates = append(pl.Candidates, cands...)
 	}
 	for i := range pl.Candidates {
 		c := &pl.Candidates[i]
@@ -429,6 +441,91 @@ func nixSmartSuperset(cm costmodel.Params, rc, dq float64) (cost float64, k int)
 		}
 	}
 	return best, bestK
+}
+
+// perSegmentFloor estimates the pages one extra LSM segment adds to a
+// search: every segment is a complete file set of the facility's kind,
+// so the scatter re-pays at least one page per slice, frame or probe
+// path the strategy touches, plus one OID-file page — regardless of how
+// few entries the segment holds. The single-file formulas already cover
+// the data-volume-proportional part (the total entry count is the same),
+// so the floor is what honesty about the fan-out requires.
+func perSegmentFloor(cm costmodel.Params, pred signature.Predicate, dq int, desc core.FacilityStats, c Candidate) float64 {
+	d := float64(dq)
+	switch desc.Facility {
+	case "SSF":
+		// One signature page plus one OID page per extra segment.
+		return 2
+	case "BSSF":
+		// One page per slice the strategy reads, plus one OID page.
+		var slices float64
+		switch pred {
+		case signature.Superset:
+			if c.MaxProbeElements > 0 {
+				slices = cm.Mq(float64(c.MaxProbeElements))
+			} else {
+				slices = cm.Mq(d)
+			}
+		case signature.Contains:
+			slices = cm.Mq(1)
+		case signature.Subset:
+			if c.MaxZeroSlices > 0 {
+				slices = float64(c.MaxZeroSlices)
+			} else {
+				slices = float64(cm.F) - cm.Mq(d)
+			}
+		case signature.Overlap:
+			slices = cm.Mq(d)
+		case signature.Equals:
+			slices = float64(cm.F)
+		}
+		if slices < 1 {
+			slices = 1
+		}
+		return slices + 1
+	case "FSSF":
+		// One page per frame file the strategy scans, plus one OID page.
+		k := float64(desc.Frames)
+		if k <= 0 {
+			return 2
+		}
+		var frames float64
+		switch pred {
+		case signature.Superset, signature.Overlap:
+			probe := d
+			if pred == signature.Superset && c.MaxProbeElements > 0 {
+				probe = float64(c.MaxProbeElements)
+			}
+			// Expected distinct frames hit by probe elements.
+			frames = k * (1 - math.Pow(1-1/k, probe))
+		case signature.Contains:
+			frames = 1
+		case signature.Subset, signature.Equals:
+			frames = k
+		}
+		if frames < 1 {
+			frames = 1
+		}
+		return frames + 1
+	case "NIX":
+		// Every probe repeats its rc-page descent in each segment's tree.
+		rc := float64(desc.LookupPages)
+		if rc <= 0 {
+			rc = cm.NIXLookupCost()
+		}
+		probes := d
+		switch {
+		case pred == signature.Contains:
+			probes = 1
+		case pred == signature.Superset && c.MaxProbeElements > 0:
+			probes = float64(c.MaxProbeElements)
+		}
+		if probes < 1 {
+			probes = 1
+		}
+		return rc * probes
+	}
+	return 1
 }
 
 // unmodeled builds the ranked-last candidate for a facility the cost

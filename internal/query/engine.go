@@ -189,6 +189,30 @@ func (e *Engine) observeQuery(q *Query, rs *ResultSet, err error, elapsed time.D
 	fmt.Fprintln(e.slowLog, line)
 }
 
+// IndexOption tunes the facility CreateIndex builds, applied to the
+// core.Config after the positional arguments are folded in.
+type IndexOption func(*core.Config)
+
+// WithLSMIndex builds the index on the log-structured write path
+// (DESIGN.md §13): WAL-backed memtable, sealed segments, O(1) tombstone
+// deletes. Search results are identical to the in-place path; the
+// planner accounts for the per-segment read fan-out.
+func WithLSMIndex() IndexOption {
+	return func(c *core.Config) { c.LSM = true }
+}
+
+// WithLSMMemtableSize selects the LSM write path with the given flush
+// trigger (memtable operations per segment).
+func WithLSMMemtableSize(n int) IndexOption {
+	return func(c *core.Config) { c.LSM = true; c.LSMMemtableOps = n }
+}
+
+// WithLSMCompactAfter selects the LSM write path with the given
+// compaction trigger (segment count that forces a merge).
+func WithLSMCompactAfter(n int) IndexOption {
+	return func(c *core.Config) { c.LSM = true; c.LSMCompactAfter = n }
+}
+
 // CreateIndex builds a set access facility of the given kind on the path
 // class.attr, bulk-loading it from the existing objects. attr may be a
 // nested path "setAttr.leafAttr" through a set<ref> attribute — the
@@ -206,7 +230,10 @@ func (e *Engine) observeQuery(q *Query, rs *ResultSet, err error, elapsed time.D
 // do NOT track updates to the *referenced* objects (changing a course's
 // category does not re-key the students pointing at it) — the classical
 // nested-index maintenance problem, out of scope here.
-func (e *Engine) CreateIndex(class, attr string, kind IndexKind, scheme *signature.Scheme, store pagestore.Store) (core.AccessMethod, error) {
+//
+// opts tune the facility's construction — WithLSMIndex selects the
+// log-structured write path (DESIGN.md §13).
+func (e *Engine) CreateIndex(class, attr string, kind IndexKind, scheme *signature.Scheme, store pagestore.Store, opts ...IndexOption) (core.AccessMethod, error) {
 	key := class + "." + attr
 	for _, ent := range e.indexes[key] {
 		if ent.kind == kind {
@@ -233,7 +260,13 @@ func (e *Engine) CreateIndex(class, attr string, kind IndexKind, scheme *signatu
 		// one store; the per-kind file names keep kinds apart within it.
 		store = pagestore.Prefixed(store, key)
 	}
-	am, err := core.Open(core.Config{Kind: ck, Scheme: scheme, Source: src, Store: store})
+	cfg := core.Config{Kind: ck, Scheme: scheme, Source: src, Store: store}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	am, err := core.Open(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerates BENCH_lsm.json from the write-heavy mixed workload: one
+# deterministic insert/search stream driven in lockstep through the
+# legacy worst-case BSSF (the paper's UC_I = F+1 accounting) and the
+# LSM write path (DESIGN.md §13).
+#
+#   scripts/bench_lsm.sh [mix] [ops]
+#
+# The JSON records inserts/sec, pages written per insert (legacy pins
+# exactly F+1; the LSM side is the amortized o(F) claim), segment and
+# compaction counts, the compaction pause p99, and whether every
+# interleaved search answered byte-identically on both paths (the run
+# fails if not).
+set -eu
+cd "$(dirname "$0")/.."
+
+MIX="${1:-4:1}"
+OPS="${2:-4096}"
+
+go run ./cmd/sigbench -throughput -mix "$MIX" -mix-ops "$OPS" -json BENCH_lsm.json

@@ -71,6 +71,10 @@ type (
 	// FSSF is the frame-sliced signature file (extension: the third
 	// classical organization, between SSF and BSSF).
 	FSSF = core.FSSF
+	// LSM is any facility kind on the log-structured write path:
+	// WAL-backed memtable, immutable segments, background compaction
+	// (DESIGN.md §13). Build one with Open plus WithLSM.
+	LSM = core.LSM
 	// FrameScheme is the frame-partitioned superimposed-coding
 	// configuration FSSF uses.
 	FrameScheme = signature.FrameScheme
@@ -285,6 +289,22 @@ func WithFrames(k int) OpenOption { return core.WithFrames(k) }
 // WithWorstCaseInserts makes BSSF insertion touch all F slice files —
 // the paper's UC_I = F+1 accounting — instead of only the set bits.
 func WithWorstCaseInserts() OpenOption { return core.WithWorstCaseInserts() }
+
+// WithLSM puts the facility on the log-structured write path: inserts
+// and deletes append to a WAL-backed memtable that seals into immutable
+// segments, with compaction merging segments in the background of the
+// caller's writes. Deletes become O(1) tombstone appends and insert
+// page writes amortize below the paper's F+1 wall (DESIGN.md §13).
+func WithLSM() OpenOption { return core.WithLSM() }
+
+// WithLSMMemtableSize sets how many memtable operations accumulate
+// before a flush seals them into a segment (default 256). Implies
+// WithLSM.
+func WithLSMMemtableSize(ops int) OpenOption { return core.WithLSMMemtableSize(ops) }
+
+// WithLSMCompactAfter sets the sealed-segment count that triggers a
+// compaction (default 4). Implies WithLSM.
+func WithLSMCompactAfter(n int) OpenOption { return core.WithLSMCompactAfter(n) }
 
 // InsertAll loads entries into a facility, using its batch path (page
 // writes amortized across the batch) when it implements BatchInserter
