@@ -1,0 +1,565 @@
+package api
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary protocol: a compact length-prefixed framing of the same
+// schema the HTTP/JSON endpoints speak, for clients that care about
+// per-request overhead.
+//
+// Connection layout:
+//
+//	handshake  = magic "SIGF" + version byte (BinaryVersion).
+//	frame      = uint32 big-endian payload length + payload.
+//	payload    = message-type byte + body.
+//
+// The server answers each request frame with exactly one response frame
+// (type = request type | MsgResponseFlag on success, MsgError on
+// failure), in order, so a connection is a sequential request/response
+// pipe; concurrency comes from opening several connections (the client
+// package pools them). Bodies are uvarint/length-prefixed encodings —
+// OID lists are delta-encoded, which together with uvarints makes a
+// 1000-OID search response a few KB instead of the tens of KB the JSON
+// form needs.
+//
+// Versioning: BinaryVersion is negotiated in the handshake; a server
+// refuses a handshake whose version it does not speak with an Error
+// frame (CodeBadRequest) before closing. Body layouts never change
+// within a version.
+
+// Handshake constants.
+var binaryMagic = [4]byte{'S', 'I', 'G', 'F'}
+
+// BinaryVersion is the protocol generation this package encodes.
+const BinaryVersion byte = 1
+
+// MaxFrame bounds a frame payload; a peer announcing more is treated as
+// corrupt framing and the connection is dropped.
+const MaxFrame = 16 << 20
+
+// Message types. Requests use the base value; the matching success
+// response sets MsgResponseFlag.
+const (
+	MsgInsert     byte = 1
+	MsgDelete     byte = 2
+	MsgSearch     byte = 3
+	MsgSearchMany byte = 4
+	MsgExplain    byte = 5
+	MsgHealth     byte = 6
+
+	// MsgResponseFlag marks a success response to the request type in
+	// the low bits.
+	MsgResponseFlag byte = 0x80
+	// MsgError is the failure response to any request: body = code
+	// string + message string.
+	MsgError byte = 0xFF
+)
+
+// WriteHandshake sends the protocol magic and version.
+func WriteHandshake(w io.Writer) error {
+	var hs [5]byte
+	copy(hs[:], binaryMagic[:])
+	hs[4] = BinaryVersion
+	_, err := w.Write(hs[:])
+	return err
+}
+
+// ReadHandshake consumes and validates a handshake, returning the
+// peer's version. A bad magic is a framing error; an unsupported
+// version is the caller's to refuse (so it can answer with a versioned
+// Error frame).
+func ReadHandshake(r io.Reader) (byte, error) {
+	var hs [5]byte
+	if _, err := io.ReadFull(r, hs[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(hs[:4]) != binaryMagic {
+		return 0, fmt.Errorf("api: bad protocol magic %q", hs[:4])
+	}
+	return hs[4], nil
+}
+
+// WriteFrame writes one frame: length prefix + payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("api: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(payload)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(n[:])
+	if size > MaxFrame {
+		return nil, fmt.Errorf("api: frame of %d bytes exceeds MaxFrame", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ---- body encoding primitives ----
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+// appendOIDs delta-encodes an ascending OID list (the search result
+// contract); out-of-order lists still round-trip via a zero delta reset
+// marker-free fallback: deltas are encoded as raw values when the list
+// is not ascending, flagged by the leading byte.
+func appendOIDs(b []byte, oids []uint64) []byte {
+	ascending := true
+	for i := 1; i < len(oids); i++ {
+		if oids[i] < oids[i-1] {
+			ascending = false
+			break
+		}
+	}
+	if ascending {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(oids)))
+		prev := uint64(0)
+		for _, o := range oids {
+			b = binary.AppendUvarint(b, o-prev)
+			prev = o
+		}
+		return b
+	}
+	b = append(b, 0)
+	b = binary.AppendUvarint(b, uint64(len(oids)))
+	for _, o := range oids {
+		b = binary.AppendUvarint(b, o)
+	}
+	return b
+}
+
+// decoder walks a body, latching the first error; callers check Err
+// once at the end instead of after every field.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("api: truncated or corrupt %s field", what)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) strings() []string {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) { // each element costs ≥1 byte
+		d.fail("string list")
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, d.string())
+	}
+	return out
+}
+
+func (d *decoder) oids() []uint64 {
+	ascending := d.byte()
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b))+1 { // each delta costs ≥1 byte (n may be 0)
+		d.fail("oid list")
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		v := d.uvarint()
+		if ascending == 1 {
+			v += prev
+			prev = v
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ---- message bodies ----
+// Every encoder produces the body only; the caller prepends the message
+// type byte and frames it. Every decoder takes the body after the type
+// byte. Tenant-scoped requests lead with the tenant name so the server
+// routes before decoding the rest.
+
+func appendOptions(b []byte, o *SearchOptions) []byte {
+	if o == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendVarint(b, int64(o.Parallelism))
+	b = appendUvarint(b, uint64(o.MaxProbeElements))
+	b = appendUvarint(b, uint64(o.MaxZeroSlices))
+	return b
+}
+
+func (d *decoder) options() *SearchOptions {
+	if d.byte() == 0 || d.err != nil {
+		return nil
+	}
+	var o SearchOptions
+	if v, n := binary.Varint(d.b); n > 0 {
+		o.Parallelism = int(v)
+		d.b = d.b[n:]
+	} else {
+		d.fail("options")
+		return nil
+	}
+	o.MaxProbeElements = int(d.uvarint())
+	o.MaxZeroSlices = int(d.uvarint())
+	return &o
+}
+
+// EncodeInsertRequest encodes (tenant, req) as a MsgInsert body.
+func EncodeInsertRequest(tenant string, req *InsertRequest) []byte {
+	b := appendString(nil, tenant)
+	b = appendUvarint(b, uint64(req.DeadlineMS))
+	return appendStrings(b, req.Elems)
+}
+
+// DecodeInsertRequest decodes a MsgInsert body.
+func DecodeInsertRequest(body []byte) (tenant string, req *InsertRequest, err error) {
+	d := &decoder{b: body}
+	tenant = d.string()
+	req = &InsertRequest{DeadlineMS: int64(d.uvarint())}
+	req.Elems = d.strings()
+	return tenant, req, d.err
+}
+
+// EncodeInsertResponse encodes a MsgInsert success body.
+func EncodeInsertResponse(resp *InsertResponse) []byte {
+	return appendUvarint(nil, resp.OID)
+}
+
+// DecodeInsertResponse decodes a MsgInsert success body.
+func DecodeInsertResponse(body []byte) (*InsertResponse, error) {
+	d := &decoder{b: body}
+	resp := &InsertResponse{OID: d.uvarint()}
+	return resp, d.err
+}
+
+// EncodeDeleteRequest encodes (tenant, req) as a MsgDelete body.
+func EncodeDeleteRequest(tenant string, req *DeleteRequest) []byte {
+	b := appendString(nil, tenant)
+	b = appendUvarint(b, uint64(req.DeadlineMS))
+	return appendUvarint(b, req.OID)
+}
+
+// DecodeDeleteRequest decodes a MsgDelete body.
+func DecodeDeleteRequest(body []byte) (tenant string, req *DeleteRequest, err error) {
+	d := &decoder{b: body}
+	tenant = d.string()
+	req = &DeleteRequest{DeadlineMS: int64(d.uvarint())}
+	req.OID = d.uvarint()
+	return tenant, req, d.err
+}
+
+// EncodeSearchRequest encodes (tenant, req) as a MsgSearch body.
+func EncodeSearchRequest(tenant string, req *SearchRequest) []byte {
+	b := appendString(nil, tenant)
+	b = appendUvarint(b, uint64(req.DeadlineMS))
+	b = appendString(b, req.Pred)
+	b = appendStrings(b, req.Query)
+	return appendOptions(b, req.Options)
+}
+
+// DecodeSearchRequest decodes a MsgSearch body.
+func DecodeSearchRequest(body []byte) (tenant string, req *SearchRequest, err error) {
+	d := &decoder{b: body}
+	tenant = d.string()
+	req = &SearchRequest{DeadlineMS: int64(d.uvarint())}
+	req.Pred = d.string()
+	req.Query = d.strings()
+	req.Options = d.options()
+	return tenant, req, d.err
+}
+
+func appendStats(b []byte, s *SearchStats) []byte {
+	if s == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	for _, v := range []uint64{
+		uint64(s.QueryCardinality), uint64(s.ProbedElements), uint64(s.SlicesRead),
+		uint64(s.IndexPages), uint64(s.OIDPages), uint64(s.ObjectFetches),
+		uint64(s.Candidates), uint64(s.Results), uint64(s.FalseDrops),
+		uint64(s.TotalPages),
+	} {
+		b = appendUvarint(b, v)
+	}
+	return b
+}
+
+func (d *decoder) stats() *SearchStats {
+	if d.byte() == 0 || d.err != nil {
+		return nil
+	}
+	return &SearchStats{
+		QueryCardinality: int(d.uvarint()),
+		ProbedElements:   int(d.uvarint()),
+		SlicesRead:       int(d.uvarint()),
+		IndexPages:       int64(d.uvarint()),
+		OIDPages:         int64(d.uvarint()),
+		ObjectFetches:    int64(d.uvarint()),
+		Candidates:       int(d.uvarint()),
+		Results:          int(d.uvarint()),
+		FalseDrops:       int(d.uvarint()),
+		TotalPages:       int64(d.uvarint()),
+	}
+}
+
+func appendSearchResponse(b []byte, resp *SearchResponse) []byte {
+	b = appendOIDs(b, resp.OIDs)
+	b = appendString(b, resp.Plan)
+	b = appendStats(b, resp.Stats)
+	return appendUvarint(b, uint64(resp.ElapsedUS))
+}
+
+func (d *decoder) searchResponse() *SearchResponse {
+	resp := &SearchResponse{OIDs: d.oids()}
+	resp.Plan = d.string()
+	resp.Stats = d.stats()
+	resp.ElapsedUS = int64(d.uvarint())
+	return resp
+}
+
+// EncodeSearchResponse encodes a MsgSearch success body.
+func EncodeSearchResponse(resp *SearchResponse) []byte {
+	return appendSearchResponse(nil, resp)
+}
+
+// DecodeSearchResponse decodes a MsgSearch success body.
+func DecodeSearchResponse(body []byte) (*SearchResponse, error) {
+	d := &decoder{b: body}
+	resp := d.searchResponse()
+	return resp, d.err
+}
+
+// EncodeSearchManyRequest encodes (tenant, req) as a MsgSearchMany body.
+func EncodeSearchManyRequest(tenant string, req *SearchManyRequest) []byte {
+	b := appendString(nil, tenant)
+	b = appendUvarint(b, uint64(req.DeadlineMS))
+	b = appendOptions(b, req.Options)
+	b = appendUvarint(b, uint64(len(req.Searches)))
+	for _, s := range req.Searches {
+		b = appendString(b, s.Pred)
+		b = appendStrings(b, s.Query)
+	}
+	return b
+}
+
+// DecodeSearchManyRequest decodes a MsgSearchMany body.
+func DecodeSearchManyRequest(body []byte) (tenant string, req *SearchManyRequest, err error) {
+	d := &decoder{b: body}
+	tenant = d.string()
+	req = &SearchManyRequest{DeadlineMS: int64(d.uvarint())}
+	req.Options = d.options()
+	n := d.uvarint()
+	if n > uint64(len(d.b)) {
+		d.fail("search list")
+		return tenant, req, d.err
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		item := SearchItem{Pred: d.string()}
+		item.Query = d.strings()
+		req.Searches = append(req.Searches, item)
+	}
+	return tenant, req, d.err
+}
+
+// EncodeSearchManyResponse encodes a MsgSearchMany success body.
+func EncodeSearchManyResponse(resp *SearchManyResponse) []byte {
+	b := appendUvarint(nil, uint64(len(resp.Results)))
+	for i := range resp.Results {
+		b = appendSearchResponse(b, &resp.Results[i])
+	}
+	return b
+}
+
+// DecodeSearchManyResponse decodes a MsgSearchMany success body.
+func DecodeSearchManyResponse(body []byte) (*SearchManyResponse, error) {
+	d := &decoder{b: body}
+	n := d.uvarint()
+	if n > uint64(len(d.b))+1 {
+		d.fail("result list")
+		return nil, d.err
+	}
+	resp := &SearchManyResponse{}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		resp.Results = append(resp.Results, *d.searchResponse())
+	}
+	return resp, d.err
+}
+
+// EncodeExplainRequest encodes (tenant, req) as a MsgExplain body.
+func EncodeExplainRequest(tenant string, req *ExplainRequest) []byte {
+	b := appendString(nil, tenant)
+	b = appendUvarint(b, uint64(req.DeadlineMS))
+	b = appendString(b, req.Pred)
+	return appendStrings(b, req.Query)
+}
+
+// DecodeExplainRequest decodes a MsgExplain body.
+func DecodeExplainRequest(body []byte) (tenant string, req *ExplainRequest, err error) {
+	d := &decoder{b: body}
+	tenant = d.string()
+	req = &ExplainRequest{DeadlineMS: int64(d.uvarint())}
+	req.Pred = d.string()
+	req.Query = d.strings()
+	return tenant, req, d.err
+}
+
+// EncodeExplainResponse encodes a MsgExplain success body.
+func EncodeExplainResponse(resp *ExplainResponse) []byte {
+	return appendString(nil, resp.Text)
+}
+
+// DecodeExplainResponse decodes a MsgExplain success body.
+func DecodeExplainResponse(body []byte) (*ExplainResponse, error) {
+	d := &decoder{b: body}
+	resp := &ExplainResponse{Text: d.string()}
+	return resp, d.err
+}
+
+// EncodeHealthResponse encodes a MsgHealth success body.
+func EncodeHealthResponse(resp *HealthResponse) []byte {
+	b := appendString(nil, resp.Status)
+	b = appendString(b, resp.Version)
+	b = appendUvarint(b, uint64(len(resp.Tenants)))
+	for _, t := range resp.Tenants {
+		b = appendString(b, t.Name)
+		b = appendUvarint(b, uint64(t.Objects))
+		b = appendUvarint(b, uint64(t.QueueDepth))
+		b = appendUvarint(b, uint64(t.QueueCap))
+		b = appendUvarint(b, uint64(len(t.Facilities)))
+		for _, f := range t.Facilities {
+			b = appendString(b, f.Kind)
+			b = appendString(b, f.Health)
+			b = appendUvarint(b, uint64(f.Pages))
+			b = appendUvarint(b, uint64(f.Entries))
+		}
+	}
+	return b
+}
+
+// DecodeHealthResponse decodes a MsgHealth success body.
+func DecodeHealthResponse(body []byte) (*HealthResponse, error) {
+	d := &decoder{b: body}
+	resp := &HealthResponse{Status: d.string(), Version: d.string()}
+	n := d.uvarint()
+	if n > uint64(len(d.b))+1 {
+		d.fail("tenant list")
+		return nil, d.err
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		t := TenantHealth{Name: d.string()}
+		t.Objects = int(d.uvarint())
+		t.QueueDepth = int(d.uvarint())
+		t.QueueCap = int(d.uvarint())
+		fn := d.uvarint()
+		if fn > uint64(len(d.b))+1 {
+			d.fail("facility list")
+			break
+		}
+		for j := uint64(0); j < fn && d.err == nil; j++ {
+			f := FacilityHealth{Kind: d.string(), Health: d.string()}
+			f.Pages = int(d.uvarint())
+			f.Entries = int(d.uvarint())
+			t.Facilities = append(t.Facilities, f)
+		}
+		resp.Tenants = append(resp.Tenants, t)
+	}
+	return resp, d.err
+}
+
+// EncodeError encodes a MsgError body.
+func EncodeError(werr *Error) []byte {
+	b := appendString(nil, string(werr.Code))
+	return appendString(b, werr.Message)
+}
+
+// DecodeError decodes a MsgError body.
+func DecodeError(body []byte) (*Error, error) {
+	d := &decoder{b: body}
+	werr := &Error{Code: Code(d.string())}
+	werr.Message = d.string()
+	return werr, d.err
+}

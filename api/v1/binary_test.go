@@ -1,0 +1,203 @@
+package api
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := ReadHandshake(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != BinaryVersion {
+		t.Fatalf("version = %d, want %d", ver, BinaryVersion)
+	}
+	if _, err := ReadHandshake(bytes.NewReader([]byte("NOPE\x01"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+	// Oversized announcement is refused before allocation.
+	var huge bytes.Buffer
+	huge.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&huge); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestInsertRequestRoundTrip(t *testing.T) {
+	req := &InsertRequest{Elems: []string{"a", "b", "c"}, DeadlineMS: 1500}
+	tn, got, err := DecodeInsertRequest(EncodeInsertRequest("acme", req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn != "acme" || !reflect.DeepEqual(got, req) {
+		t.Fatalf("got tenant=%q req=%+v", tn, got)
+	}
+}
+
+func TestDeleteRequestRoundTrip(t *testing.T) {
+	req := &DeleteRequest{OID: 42, DeadlineMS: 7}
+	tn, got, err := DecodeDeleteRequest(EncodeDeleteRequest("t1", req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn != "t1" || !reflect.DeepEqual(got, req) {
+		t.Fatalf("got tenant=%q req=%+v", tn, got)
+	}
+}
+
+func TestSearchRequestRoundTrip(t *testing.T) {
+	for _, req := range []*SearchRequest{
+		{Pred: PredSuperset, Query: []string{"x", "y"}},
+		{Pred: PredOverlap, Query: nil, DeadlineMS: 250,
+			Options: &SearchOptions{Parallelism: -1, MaxProbeElements: 3, MaxZeroSlices: 9}},
+	} {
+		tn, got, err := DecodeSearchRequest(EncodeSearchRequest("ten", req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tn != "ten" {
+			t.Fatalf("tenant = %q", tn)
+		}
+		if got.Pred != req.Pred || !reflect.DeepEqual(got.Options, req.Options) ||
+			got.DeadlineMS != req.DeadlineMS || len(got.Query) != len(req.Query) {
+			t.Fatalf("got %+v, want %+v", got, req)
+		}
+	}
+}
+
+func TestSearchResponseRoundTrip(t *testing.T) {
+	for _, resp := range []*SearchResponse{
+		{OIDs: []uint64{3, 17, 17, 4000000}, Plan: "index(BSSF ...)", ElapsedUS: 12345,
+			Stats: &SearchStats{QueryCardinality: 3, IndexPages: 7, OIDPages: 2,
+				ObjectFetches: 5, Candidates: 5, Results: 4, FalseDrops: 1, TotalPages: 14}},
+		{OIDs: []uint64{9, 3, 120}, Plan: "", ElapsedUS: 0}, // non-ascending fallback
+		{OIDs: nil},
+	} {
+		got, err := DecodeSearchResponse(EncodeSearchResponse(resp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.OIDs) != len(resp.OIDs) {
+			t.Fatalf("oids = %v, want %v", got.OIDs, resp.OIDs)
+		}
+		for i := range resp.OIDs {
+			if got.OIDs[i] != resp.OIDs[i] {
+				t.Fatalf("oids = %v, want %v", got.OIDs, resp.OIDs)
+			}
+		}
+		if got.Plan != resp.Plan || got.ElapsedUS != resp.ElapsedUS ||
+			!reflect.DeepEqual(got.Stats, resp.Stats) {
+			t.Fatalf("got %+v, want %+v", got, resp)
+		}
+	}
+}
+
+func TestSearchManyRoundTrip(t *testing.T) {
+	req := &SearchManyRequest{
+		Searches: []SearchItem{
+			{Pred: PredSuperset, Query: []string{"a"}},
+			{Pred: PredEquals, Query: []string{"b", "c"}},
+		},
+		Options:    &SearchOptions{Parallelism: 4},
+		DeadlineMS: 99,
+	}
+	tn, got, err := DecodeSearchManyRequest(EncodeSearchManyRequest("bulk", req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn != "bulk" || len(got.Searches) != 2 || got.Searches[1].Pred != PredEquals {
+		t.Fatalf("got tenant=%q req=%+v", tn, got)
+	}
+
+	resp := &SearchManyResponse{Results: []SearchResponse{
+		{OIDs: []uint64{1, 2}, ElapsedUS: 10},
+		{OIDs: nil, Plan: "scan(Item)"},
+	}}
+	gotR, err := DecodeSearchManyResponse(EncodeSearchManyResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotR.Results) != 2 || len(gotR.Results[0].OIDs) != 2 || gotR.Results[1].Plan != "scan(Item)" {
+		t.Fatalf("got %+v", gotR)
+	}
+}
+
+func TestExplainRoundTrip(t *testing.T) {
+	tn, req, err := DecodeExplainRequest(EncodeExplainRequest("t", &ExplainRequest{Pred: PredSubset, Query: []string{"q"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn != "t" || req.Pred != PredSubset {
+		t.Fatalf("got %q %+v", tn, req)
+	}
+	resp, err := DecodeExplainResponse(EncodeExplainResponse(&ExplainResponse{Text: "plan table"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "plan table" {
+		t.Fatalf("text = %q", resp.Text)
+	}
+}
+
+func TestHealthResponseRoundTrip(t *testing.T) {
+	resp := &HealthResponse{
+		Status: "degraded", Version: Version,
+		Tenants: []TenantHealth{
+			{Name: "a", Objects: 10, QueueDepth: 1, QueueCap: 256,
+				Facilities: []FacilityHealth{{Kind: "BSSF", Health: "healthy", Pages: 12, Entries: 10}}},
+			{Name: "b"},
+		},
+	}
+	got, err := DecodeHealthResponse(EncodeHealthResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("got %+v, want %+v", got, resp)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	werr := &Error{Code: CodeDegraded, Message: "facility degraded"}
+	got, err := DecodeError(EncodeError(werr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, werr) {
+		t.Fatalf("got %+v, want %+v", got, werr)
+	}
+}
+
+// TestDecoderTruncation asserts truncated bodies fail instead of
+// panicking or fabricating values.
+func TestDecoderTruncation(t *testing.T) {
+	full := EncodeSearchRequest("tenant", &SearchRequest{Pred: PredSuperset, Query: []string{"abc", "def"}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeSearchRequest(full[:cut]); err == nil {
+			// A prefix may parse cleanly only if it happens to decode to
+			// a shorter valid message; for this shape it must not.
+			t.Fatalf("truncated body of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}

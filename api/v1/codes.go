@@ -1,0 +1,171 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sigfile"
+)
+
+// Code is a stable wire error code. Codes are part of the versioned
+// schema: clients switch on them, so a code, once shipped, never changes
+// meaning and is never removed within a version.
+//
+// Every sentinel error the library exports maps to exactly one code
+// (sentinelCodes below); TestSentinelCoverage parses the facade package
+// and fails when a new sentinel appears without a code assignment here.
+type Code string
+
+// The wire error codes of schema v1.
+const (
+	// CodeOK is never sent in an error body; it is the zero-cost verdict
+	// CodeOf returns for a nil error.
+	CodeOK Code = "OK"
+
+	// Library sentinels (see sentinelCodes for the mapping).
+	CodeInvalidPredicate Code = "INVALID_PREDICATE"
+	CodeWidthMismatch    Code = "WIDTH_MISMATCH"
+	CodeClosed           Code = "CLOSED"
+	CodeDegraded         Code = "DEGRADED"
+	CodeFailed           Code = "FAILED"
+	CodeCorrupt          Code = "CORRUPT"
+	CodeQuarantined      Code = "QUARANTINED"
+	CodeRetryExhausted   Code = "RETRY_EXHAUSTED"
+
+	// Request lifecycle.
+	CodeDeadlineExceeded Code = "DEADLINE_EXCEEDED"
+	CodeCanceled         Code = "CANCELED"
+
+	// Server-side conditions.
+	CodeOverloaded    Code = "OVERLOADED"
+	CodeNotFound      Code = "NOT_FOUND"
+	CodeAlreadyExists Code = "ALREADY_EXISTS"
+	CodeBadRequest    Code = "BAD_REQUEST"
+	CodeShuttingDown  Code = "SHUTTING_DOWN"
+	CodeInternal      Code = "INTERNAL"
+)
+
+// sentinelCodes maps every exported sentinel error of the sigfile facade
+// to its wire code. The Name column exists so TestSentinelCoverage can
+// cross-check this table against the parsed facade source: adding a new
+// `var ErrX = ...` to the facade without a row here fails that test.
+var sentinelCodes = []struct {
+	Name string
+	Err  error
+	Code Code
+}{
+	{"ErrInvalidPredicate", sigfile.ErrInvalidPredicate, CodeInvalidPredicate},
+	{"ErrWidthMismatch", sigfile.ErrWidthMismatch, CodeWidthMismatch},
+	{"ErrClosed", sigfile.ErrClosed, CodeClosed},
+	{"ErrDegraded", sigfile.ErrDegraded, CodeDegraded},
+	{"ErrFailed", sigfile.ErrFailed, CodeFailed},
+	{"ErrChecksum", sigfile.ErrChecksum, CodeCorrupt},
+	{"ErrQuarantined", sigfile.ErrQuarantined, CodeQuarantined},
+	{"ErrRetryExhausted", sigfile.ErrRetryExhausted, CodeRetryExhausted},
+}
+
+// CodeOf classifies an error into its wire code: the library sentinels
+// through errors.Is (so wrapping depth does not matter), context errors
+// to the lifecycle codes, *Error pass-through, and everything else to
+// CodeInternal.
+//
+// Order matters where errors wrap each other: a search canceled by its
+// deadline wraps context.DeadlineExceeded, which must win over any
+// storage error it interrupted, so the lifecycle checks run first.
+func CodeOf(err error) Code {
+	if err == nil {
+		return CodeOK
+	}
+	var werr *Error
+	if errors.As(err, &werr) {
+		return werr.Code
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	}
+	// ErrQuarantined wraps ErrChecksum conceptually (both are corruption
+	// verdicts); check the more specific sentinel first.
+	if errors.Is(err, sigfile.ErrQuarantined) {
+		return CodeQuarantined
+	}
+	for _, sc := range sentinelCodes {
+		if errors.Is(err, sc.Err) {
+			return sc.Code
+		}
+	}
+	return CodeInternal
+}
+
+// Sentinel returns the library sentinel a code maps back from, or nil
+// for server-only and lifecycle codes. It is the inverse of CodeOf for
+// the sentinel rows, letting Error.Unwrap re-establish errors.Is
+// matches on the client side of the wire.
+func (c Code) Sentinel() error {
+	switch c {
+	case CodeDeadlineExceeded:
+		return context.DeadlineExceeded
+	case CodeCanceled:
+		return context.Canceled
+	}
+	for _, sc := range sentinelCodes {
+		if sc.Code == c {
+			return sc.Err
+		}
+	}
+	return nil
+}
+
+// HTTPStatus maps a code onto the HTTP response status the server uses.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeOK:
+		return http.StatusOK
+	case CodeBadRequest, CodeInvalidPredicate, CodeWidthMismatch:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeAlreadyExists:
+		return http.StatusConflict
+	case CodeOverloaded:
+		// The backpressure verdict: the tenant's bounded write queue is
+		// full. Retryable; clients should back off.
+		return http.StatusTooManyRequests
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		// The client went away mid-request; 499 per the de-facto
+		// (nginx) convention. Mostly appears in logs and metrics — the
+		// canceled client is not reading the response.
+		return 499
+	case CodeDegraded, CodeFailed, CodeQuarantined, CodeRetryExhausted,
+		CodeClosed, CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case CodeCorrupt, CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Errorf builds a wire error with the given code.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WrapErr converts any error into a wire error, classifying it through
+// CodeOf and preserving the message.
+func WrapErr(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var werr *Error
+	if errors.As(err, &werr) {
+		return werr
+	}
+	return &Error{Code: CodeOf(err), Message: err.Error()}
+}

@@ -1,0 +1,163 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sigfile"
+)
+
+// TestSentinelCoverage parses the sigfile facade package and asserts
+// every exported sentinel error (top-level `var ErrX = ...`) has a row
+// in sentinelCodes. This is the guard the wire schema needs: a new
+// sentinel added to the library without a stable code assignment would
+// otherwise silently cross the wire as CodeInternal.
+func TestSentinelCoverage(t *testing.T) {
+	root := "../.."
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var sentinels []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(root, name), nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		if f.Name.Name != "sigfile" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					if strings.HasPrefix(id.Name, "Err") && ast.IsExported(id.Name) {
+						sentinels = append(sentinels, id.Name)
+					}
+				}
+			}
+		}
+	}
+	if len(sentinels) == 0 {
+		t.Fatal("found no exported sentinels in the facade — parser broken?")
+	}
+
+	mapped := map[string]bool{}
+	for _, sc := range sentinelCodes {
+		mapped[sc.Name] = true
+	}
+	for _, name := range sentinels {
+		if !mapped[name] {
+			t.Errorf("facade sentinel sigfile.%s has no wire code: add a sentinelCodes row (and a Code constant) in api/v1/codes.go", name)
+		}
+	}
+	// The inverse direction: every table row must name a sentinel that
+	// still exists, so stale rows are caught too.
+	exists := map[string]bool{}
+	for _, name := range sentinels {
+		exists[name] = true
+	}
+	for _, sc := range sentinelCodes {
+		if !exists[sc.Name] {
+			t.Errorf("sentinelCodes row %q names no facade sentinel — remove or rename it", sc.Name)
+		}
+	}
+}
+
+// TestSentinelCodesDistinct asserts no two sentinels share a code and
+// no row is incomplete.
+func TestSentinelCodesDistinct(t *testing.T) {
+	seenCode := map[Code]string{}
+	for _, sc := range sentinelCodes {
+		if sc.Err == nil || sc.Name == "" || sc.Code == "" {
+			t.Fatalf("incomplete sentinelCodes row %+v", sc)
+		}
+		if prev, dup := seenCode[sc.Code]; dup {
+			t.Errorf("code %s assigned to both %s and %s", sc.Code, prev, sc.Name)
+		}
+		seenCode[sc.Code] = sc.Name
+	}
+}
+
+// TestCodeRoundTrip asserts CodeOf and Sentinel are inverses over the
+// table, and that the wire Error's Unwrap keeps errors.Is working
+// across a marshal/unmarshal boundary.
+func TestCodeRoundTrip(t *testing.T) {
+	for _, sc := range sentinelCodes {
+		if got := CodeOf(sc.Err); got != sc.Code {
+			t.Errorf("CodeOf(%s) = %s, want %s", sc.Name, got, sc.Code)
+		}
+		if got := CodeOf(fmt.Errorf("wrapped: %w", sc.Err)); got != sc.Code {
+			t.Errorf("CodeOf(wrapped %s) = %s, want %s", sc.Name, got, sc.Code)
+		}
+		if got := sc.Code.Sentinel(); !errors.Is(got, sc.Err) {
+			t.Errorf("Sentinel(%s) = %v, want %s", sc.Code, got, sc.Name)
+		}
+		werr := &Error{Code: sc.Code, Message: "over the wire"}
+		if !errors.Is(werr, sc.Err) {
+			t.Errorf("errors.Is(*Error{%s}, %s) = false, want true", sc.Code, sc.Name)
+		}
+	}
+}
+
+// TestCodeOfLifecycle asserts context errors classify to the lifecycle
+// codes even when wrapped around storage errors.
+func TestCodeOfLifecycle(t *testing.T) {
+	if got := CodeOf(context.DeadlineExceeded); got != CodeDeadlineExceeded {
+		t.Errorf("CodeOf(DeadlineExceeded) = %s", got)
+	}
+	if got := CodeOf(context.Canceled); got != CodeCanceled {
+		t.Errorf("CodeOf(Canceled) = %s", got)
+	}
+	both := fmt.Errorf("search: %w (after %w)", context.DeadlineExceeded, sigfile.ErrDegraded)
+	if got := CodeOf(both); got != CodeDeadlineExceeded {
+		t.Errorf("CodeOf(deadline wrapping degraded) = %s, want %s", got, CodeDeadlineExceeded)
+	}
+	if got := CodeOf(nil); got != CodeOK {
+		t.Errorf("CodeOf(nil) = %s", got)
+	}
+	if got := CodeOf(errors.New("mystery")); got != CodeInternal {
+		t.Errorf("CodeOf(unknown) = %s", got)
+	}
+}
+
+// TestHTTPStatusTotal asserts every declared code has an explicit,
+// sane status mapping.
+func TestHTTPStatusTotal(t *testing.T) {
+	codes := []Code{
+		CodeOK, CodeInvalidPredicate, CodeWidthMismatch, CodeClosed,
+		CodeDegraded, CodeFailed, CodeCorrupt, CodeQuarantined,
+		CodeRetryExhausted, CodeDeadlineExceeded, CodeCanceled,
+		CodeOverloaded, CodeNotFound, CodeAlreadyExists, CodeBadRequest,
+		CodeShuttingDown, CodeInternal,
+	}
+	for _, c := range codes {
+		st := c.HTTPStatus()
+		if st < 200 || st > 599 {
+			t.Errorf("HTTPStatus(%s) = %d out of range", c, st)
+		}
+		if c != CodeOK && st < 400 {
+			t.Errorf("HTTPStatus(%s) = %d, want an error status", c, st)
+		}
+	}
+}

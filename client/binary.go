@@ -1,0 +1,234 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	api "sigfile/api/v1"
+)
+
+// binaryTransport speaks the compact binary protocol. It pools
+// connections — the protocol is a sequential request/response pipe per
+// connection, so concurrency = pooled connections — and establishes
+// them lazily.
+//
+// Tenant management (create/list) is an HTTP-only surface by design:
+// the binary protocol covers the data path, where per-request overhead
+// matters; management operations happen once per tenant lifetime.
+type binaryTransport struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*binConn
+	live   map[*binConn]struct{} // every open conn, idle or in-flight
+	closed bool
+}
+
+// maxIdleConns caps pooled connections; extra connections dial and
+// close per request under burst.
+const maxIdleConns = 16
+
+func newBinaryTransport(addr string) *binaryTransport {
+	return &binaryTransport{addr: addr, live: map[*binConn]struct{}{}}
+}
+
+type binConn struct {
+	c net.Conn
+}
+
+// get returns a pooled connection or dials a new one.
+func (t *binaryTransport) get(ctx context.Context) (*binConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("client: transport closed")
+	}
+	if n := len(t.idle); n > 0 {
+		bc := t.idle[n-1]
+		t.idle = t.idle[:n-1]
+		t.mu.Unlock()
+		return bc, nil
+	}
+	t.mu.Unlock()
+
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", t.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := api.WriteHandshake(c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	ver, err := api.ReadHandshake(c)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if ver != api.BinaryVersion {
+		c.Close()
+		return nil, fmt.Errorf("client: server speaks binary protocol v%d, want v%d", ver, api.BinaryVersion)
+	}
+	bc := &binConn{c: c}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("client: transport closed")
+	}
+	t.live[bc] = struct{}{}
+	t.mu.Unlock()
+	return bc, nil
+}
+
+// drop closes a connection and forgets it.
+func (t *binaryTransport) drop(bc *binConn) {
+	bc.c.Close()
+	t.mu.Lock()
+	delete(t.live, bc)
+	t.mu.Unlock()
+}
+
+// put returns a healthy connection to the pool.
+func (t *binaryTransport) put(bc *binConn) {
+	t.mu.Lock()
+	if t.closed || len(t.idle) >= maxIdleConns {
+		delete(t.live, bc)
+		t.mu.Unlock()
+		bc.c.Close()
+		return
+	}
+	t.idle = append(t.idle, bc)
+	t.mu.Unlock()
+}
+
+// close terminates every connection, idle and in-flight. An in-flight
+// request fails with a connection error; on the server its context is
+// canceled, aborting the work it was waiting for.
+func (t *binaryTransport) close() error {
+	t.mu.Lock()
+	t.closed = true
+	for bc := range t.live {
+		bc.c.Close()
+	}
+	t.live = map[*binConn]struct{}{}
+	t.idle = nil
+	t.mu.Unlock()
+	return nil
+}
+
+// roundTrip sends one request frame and reads its response frame. A ctx
+// that fires mid-request closes the connection, which both unblocks the
+// read here and — on the server — cancels the in-flight search through
+// the connection-context plumbing. The closed connection is not pooled.
+func (t *binaryTransport) roundTrip(ctx context.Context, msg byte, body []byte) (byte, []byte, error) {
+	bc, err := t.get(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	watchDone := make(chan struct{})
+	watcherExit := make(chan struct{})
+	go func() {
+		defer close(watcherExit)
+		select {
+		case <-ctx.Done():
+			bc.c.Close()
+		case <-watchDone:
+		}
+	}()
+
+	werr := api.WriteFrame(bc.c, append([]byte{msg}, body...))
+	var payload []byte
+	if werr == nil {
+		payload, werr = api.ReadFrame(bc.c)
+	}
+	close(watchDone)
+	<-watcherExit // after this the watcher can no longer close bc.c
+
+	if werr != nil {
+		t.drop(bc)
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, cerr
+		}
+		return 0, nil, werr
+	}
+	if ctx.Err() != nil {
+		// ctx fired between the successful read and here; the watcher may
+		// have closed the conn, so do not pool it.
+		t.drop(bc)
+	} else {
+		t.put(bc)
+	}
+
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("client: empty response frame")
+	}
+	rt, rbody := payload[0], payload[1:]
+	if rt == api.MsgError {
+		serr, derr := api.DecodeError(rbody)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, serr
+	}
+	if rt != msg|api.MsgResponseFlag {
+		return 0, nil, fmt.Errorf("client: response type %d for request type %d", rt, msg)
+	}
+	return rt, rbody, nil
+}
+
+func (t *binaryTransport) insert(ctx context.Context, tenant string, req *api.InsertRequest) (*api.InsertResponse, error) {
+	_, body, err := t.roundTrip(ctx, api.MsgInsert, api.EncodeInsertRequest(tenant, req))
+	if err != nil {
+		return nil, err
+	}
+	return api.DecodeInsertResponse(body)
+}
+
+func (t *binaryTransport) delete(ctx context.Context, tenant string, req *api.DeleteRequest) error {
+	_, _, err := t.roundTrip(ctx, api.MsgDelete, api.EncodeDeleteRequest(tenant, req))
+	return err
+}
+
+func (t *binaryTransport) search(ctx context.Context, tenant string, req *api.SearchRequest) (*api.SearchResponse, error) {
+	_, body, err := t.roundTrip(ctx, api.MsgSearch, api.EncodeSearchRequest(tenant, req))
+	if err != nil {
+		return nil, err
+	}
+	return api.DecodeSearchResponse(body)
+}
+
+func (t *binaryTransport) searchMany(ctx context.Context, tenant string, req *api.SearchManyRequest) (*api.SearchManyResponse, error) {
+	_, body, err := t.roundTrip(ctx, api.MsgSearchMany, api.EncodeSearchManyRequest(tenant, req))
+	if err != nil {
+		return nil, err
+	}
+	return api.DecodeSearchManyResponse(body)
+}
+
+func (t *binaryTransport) explain(ctx context.Context, tenant string, req *api.ExplainRequest) (*api.ExplainResponse, error) {
+	_, body, err := t.roundTrip(ctx, api.MsgExplain, api.EncodeExplainRequest(tenant, req))
+	if err != nil {
+		return nil, err
+	}
+	return api.DecodeExplainResponse(body)
+}
+
+func (t *binaryTransport) health(ctx context.Context) (*api.HealthResponse, error) {
+	_, body, err := t.roundTrip(ctx, api.MsgHealth, nil)
+	if err != nil {
+		return nil, err
+	}
+	return api.DecodeHealthResponse(body)
+}
+
+func (t *binaryTransport) createTenant(ctx context.Context, req *api.CreateTenantRequest) (*api.TenantInfo, error) {
+	return nil, fmt.Errorf("client: tenant management needs the HTTP API (use client.New)")
+}
+
+func (t *binaryTransport) tenants(ctx context.Context) (*api.TenantsResponse, error) {
+	return nil, fmt.Errorf("client: tenant management needs the HTTP API (use client.New)")
+}

@@ -1,0 +1,120 @@
+// Package client is the Go client for a sigfiled server. One Client
+// speaks either the HTTP/JSON API (New) or the compact binary protocol
+// (Dial); both expose the same method set over the versioned schema in
+// sigfile/api/v1.
+//
+// Errors returned by the server arrive as *api.Error carrying a stable
+// wire code; because api.Error unwraps to the library sentinel its code
+// maps from, callers keep using errors.Is(err, sigfile.ErrDegraded) (or
+// ErrQuarantined, ErrInvalidPredicate, ...) across the network boundary
+// exactly as they would against an embedded facility.
+//
+// Context deadlines map onto the server's request deadlines: a ctx that
+// expires in 2s travels as deadline_ms=2000, so the server stops the
+// search (same SearchContext cancellation an embedded caller gets) at
+// the moment the client stops waiting.
+package client
+
+import (
+	"context"
+	"time"
+
+	api "sigfile/api/v1"
+)
+
+// transport is the wire behind a Client: one round trip per call.
+type transport interface {
+	insert(ctx context.Context, tenant string, req *api.InsertRequest) (*api.InsertResponse, error)
+	delete(ctx context.Context, tenant string, req *api.DeleteRequest) error
+	search(ctx context.Context, tenant string, req *api.SearchRequest) (*api.SearchResponse, error)
+	searchMany(ctx context.Context, tenant string, req *api.SearchManyRequest) (*api.SearchManyResponse, error)
+	explain(ctx context.Context, tenant string, req *api.ExplainRequest) (*api.ExplainResponse, error)
+	health(ctx context.Context) (*api.HealthResponse, error)
+	createTenant(ctx context.Context, req *api.CreateTenantRequest) (*api.TenantInfo, error)
+	tenants(ctx context.Context) (*api.TenantsResponse, error)
+	close() error
+}
+
+// Client talks to one sigfiled server.
+type Client struct {
+	t transport
+}
+
+// New returns a client over the HTTP/JSON API at baseURL, e.g.
+// "http://127.0.0.1:8080".
+func New(baseURL string) *Client {
+	return &Client{t: newHTTPTransport(baseURL)}
+}
+
+// Dial returns a client over the binary protocol at addr, e.g.
+// "127.0.0.1:8081". Connections are pooled (one per concurrent
+// request, capped) and established lazily.
+func Dial(addr string) *Client {
+	return &Client{t: newBinaryTransport(addr)}
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() error { return c.t.close() }
+
+// deadlineMS converts a context deadline into the wire's deadline_ms
+// field (0 = inherit the server default).
+func deadlineMS(ctx context.Context) int64 {
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			return ms
+		}
+		return 1 // already (nearly) expired: tell the server to give up fast
+	}
+	return 0
+}
+
+// CreateTenant creates a tenant database on the server.
+func (c *Client) CreateTenant(ctx context.Context, name string, cfg api.TenantConfig) (*api.TenantInfo, error) {
+	return c.t.createTenant(ctx, &api.CreateTenantRequest{Name: name, Config: cfg})
+}
+
+// Tenants lists the server's tenants.
+func (c *Client) Tenants(ctx context.Context) (*api.TenantsResponse, error) {
+	return c.t.tenants(ctx)
+}
+
+// Insert registers one object's set value with a tenant and returns the
+// server-assigned OID. The write is durable when Insert returns.
+func (c *Client) Insert(ctx context.Context, tenant string, elems []string) (uint64, error) {
+	resp, err := c.t.insert(ctx, tenant, &api.InsertRequest{Elems: elems, DeadlineMS: deadlineMS(ctx)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.OID, nil
+}
+
+// Delete removes one object from a tenant.
+func (c *Client) Delete(ctx context.Context, tenant string, oid uint64) error {
+	return c.t.delete(ctx, tenant, &api.DeleteRequest{OID: oid, DeadlineMS: deadlineMS(ctx)})
+}
+
+// Search answers one set predicate (an api.Pred* string) against a
+// tenant. opts may be nil to let the server's planner choose everything.
+func (c *Client) Search(ctx context.Context, tenant, pred string, query []string, opts *api.SearchOptions) (*api.SearchResponse, error) {
+	return c.t.search(ctx, tenant, &api.SearchRequest{
+		Pred: pred, Query: query, Options: opts, DeadlineMS: deadlineMS(ctx),
+	})
+}
+
+// SearchMany answers a batch of searches in one round trip.
+func (c *Client) SearchMany(ctx context.Context, tenant string, searches []api.SearchItem, opts *api.SearchOptions) (*api.SearchManyResponse, error) {
+	return c.t.searchMany(ctx, tenant, &api.SearchManyRequest{
+		Searches: searches, Options: opts, DeadlineMS: deadlineMS(ctx),
+	})
+}
+
+// Explain plans a search without executing it, returning the planner's
+// full cost table.
+func (c *Client) Explain(ctx context.Context, tenant, pred string, query []string) (*api.ExplainResponse, error) {
+	return c.t.explain(ctx, tenant, &api.ExplainRequest{Pred: pred, Query: query})
+}
+
+// Health reports the server's per-tenant, per-facility health ladder.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	return c.t.health(ctx)
+}

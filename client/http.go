@@ -1,0 +1,133 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	api "sigfile/api/v1"
+)
+
+// httpTransport speaks the HTTP/JSON API.
+type httpTransport struct {
+	base string
+	hc   *http.Client
+}
+
+func newHTTPTransport(baseURL string) *httpTransport {
+	return &httpTransport{
+		base: strings.TrimRight(baseURL, "/"),
+		// A dedicated client so Close can drop idle connections without
+		// touching http.DefaultClient.
+		hc: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
+	}
+}
+
+func (t *httpTransport) close() error {
+	t.hc.CloseIdleConnections()
+	return nil
+}
+
+// do runs one JSON round trip; out may be nil for empty responses.
+func (t *httpTransport) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb api.ErrorBody
+		if jerr := json.NewDecoder(resp.Body).Decode(&eb); jerr == nil && eb.Error != nil {
+			return eb.Error
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func tenantPath(tenant, op string) string {
+	return api.PathPrefix + "/t/" + tenant + "/" + op
+}
+
+func (t *httpTransport) insert(ctx context.Context, tenant string, req *api.InsertRequest) (*api.InsertResponse, error) {
+	var resp api.InsertResponse
+	if err := t.do(ctx, http.MethodPost, tenantPath(tenant, "insert"), req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *httpTransport) delete(ctx context.Context, tenant string, req *api.DeleteRequest) error {
+	return t.do(ctx, http.MethodPost, tenantPath(tenant, "delete"), req, nil)
+}
+
+func (t *httpTransport) search(ctx context.Context, tenant string, req *api.SearchRequest) (*api.SearchResponse, error) {
+	var resp api.SearchResponse
+	if err := t.do(ctx, http.MethodPost, tenantPath(tenant, "search"), req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *httpTransport) searchMany(ctx context.Context, tenant string, req *api.SearchManyRequest) (*api.SearchManyResponse, error) {
+	var resp api.SearchManyResponse
+	if err := t.do(ctx, http.MethodPost, tenantPath(tenant, "search_many"), req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *httpTransport) explain(ctx context.Context, tenant string, req *api.ExplainRequest) (*api.ExplainResponse, error) {
+	var resp api.ExplainResponse
+	if err := t.do(ctx, http.MethodPost, tenantPath(tenant, "explain"), req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *httpTransport) health(ctx context.Context) (*api.HealthResponse, error) {
+	var resp api.HealthResponse
+	if err := t.do(ctx, http.MethodGet, api.PathPrefix+"/health", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *httpTransport) createTenant(ctx context.Context, req *api.CreateTenantRequest) (*api.TenantInfo, error) {
+	var resp api.TenantInfo
+	if err := t.do(ctx, http.MethodPost, api.PathPrefix+"/tenants", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *httpTransport) tenants(ctx context.Context) (*api.TenantsResponse, error) {
+	var resp api.TenantsResponse
+	if err := t.do(ctx, http.MethodGet, api.PathPrefix+"/tenants", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -56,7 +56,7 @@ func main() {
 		seconds    = flag.Int("seconds", 2, "throughput mode: wall-clock budget per point")
 		mix        = flag.String("mix", "", "throughput mode: insert:search ratio (e.g. 4:1) — runs the write-heavy mixed workload, legacy vs LSM, instead of search QPS")
 		mixOps     = flag.Int("mix-ops", 4096, "mixed mode: total operations in the stream")
-		jsonOut    = flag.String("json", "", "mixed mode: also write the machine-readable report (BENCH_lsm.json) here")
+		jsonOut    = flag.String("json", "", "throughput/mixed mode: also write the machine-readable benchfmt report here")
 	)
 	flag.Parse()
 
@@ -86,6 +86,7 @@ func main() {
 		cfg := throughputConfig{
 			facility: *facility, n: *objects, queries: *queries,
 			workers: *workers, seconds: *seconds, seed: *seed,
+			jsonPath: *jsonOut,
 		}
 		if err := runThroughput(os.Stdout, cfg); err != nil {
 			fatal(err)

@@ -1,17 +1,16 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"sigfile"
+	"sigfile/internal/benchfmt"
 	"sigfile/internal/pagestore"
 )
 
@@ -47,34 +46,12 @@ func parseMix(s string) (ins, sch int, err error) {
 	return ins, sch, nil
 }
 
-// mixedSideReport is one path's measurements over the shared stream.
-type mixedSideReport struct {
-	Path                 string  `json:"path"` // "legacy" or "lsm"
-	Inserts              int     `json:"inserts"`
-	Searches             int     `json:"searches"`
-	InsertsPerSec        float64 `json:"inserts_per_sec"`
-	PagesWritten         int64   `json:"pages_written"`
-	PagesWrittenPerIns   float64 `json:"pages_written_per_insert"`
-	Segments             int     `json:"segments,omitempty"`
-	Compactions          int     `json:"compactions,omitempty"`
-	CompactionPauseP99Ms float64 `json:"compaction_pause_p99_ms,omitempty"`
-}
-
-// mixedReport is the full machine-readable result (BENCH_lsm.json).
-type mixedReport struct {
-	Bench            string          `json:"bench"`
-	Mix              string          `json:"mix"`
-	Ops              int             `json:"ops"`
-	F                int             `json:"f"`
-	Wall             int             `json:"f_plus_1_wall"`
-	Seed             int64           `json:"seed"`
-	Legacy           mixedSideReport `json:"legacy"`
-	LSM              mixedSideReport `json:"lsm"`
-	IdenticalResults bool            `json:"identical_results"`
-}
-
-// runMixed executes the mixed stream and prints/stores the comparison.
+// runMixed executes the mixed stream and prints/stores the comparison
+// as a benchfmt report with one workload entry per path ("legacy",
+// "lsm") — the same schema sigload and the plain throughput mode emit,
+// so BENCH_lsm.json and BENCH_server.json read alike.
 func runMixed(w io.Writer, cfg mixedConfig) error {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(cfg.seed))
 	universe := make([]string, tpV)
 	for i := range universe {
@@ -144,11 +121,11 @@ func runMixed(w io.Writer, cfg mixedConfig) error {
 		if op%2 == 1 {
 			pred = sigfile.Overlap
 		}
-		lr, err := legacy.Search(pred, q, nil)
+		lr, err := legacy.SearchContext(ctx, pred, q)
 		if err != nil {
 			return fmt.Errorf("legacy search: %w", err)
 		}
-		sr, err := lsm.Search(pred, q, nil)
+		sr, err := lsm.SearchContext(ctx, pred, q)
 		if err != nil {
 			return fmt.Errorf("lsm search: %w", err)
 		}
@@ -168,52 +145,49 @@ func runMixed(w io.Writer, cfg mixedConfig) error {
 	_, legacyWrites := legacyStore.TotalStats()
 	_, lsmWrites := lsmStore.TotalStats()
 	pauses := lsm.Pauses()
-	var p99 time.Duration
-	if len(pauses) > 0 {
-		sorted := append([]time.Duration(nil), pauses...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		p99 = percentile(sorted, 0.99)
-	}
-	rep := mixedReport{
-		Bench: "lsm_mixed_write_throughput",
-		Mix:   fmt.Sprintf("%d:%d", cfg.insRatio, cfg.schRatio),
-		Ops:   cfg.ops, F: tpF, Wall: tpF + 1, Seed: cfg.seed,
-		Legacy: mixedSideReport{
-			Path: "legacy", Inserts: inserts, Searches: searches,
-			InsertsPerSec:      float64(inserts) / legacyIns.Seconds(),
-			PagesWritten:       legacyWrites,
-			PagesWrittenPerIns: float64(legacyWrites) / float64(inserts),
+	p99 := benchfmt.Percentile(pauses, 0.99)
+
+	mix := fmt.Sprintf("%d:%d", cfg.insRatio, cfg.schRatio)
+	rep := benchfmt.New("lsm_mixed_write_throughput", cfg.seed)
+	rep.F = tpF
+	rep.FPlus1Wall = tpF + 1
+	rep.IdenticalResults = &identical
+	rep.Workloads = []benchfmt.Workload{
+		{
+			Name: "legacy", Facility: "bssf", Mix: mix,
+			Ops: cfg.ops, Inserts: inserts, Searches: searches,
+			Seconds:               legacyIns.Seconds(),
+			InsertsPerSec:         float64(inserts) / legacyIns.Seconds(),
+			PagesWritten:          legacyWrites,
+			PagesWrittenPerInsert: float64(legacyWrites) / float64(inserts),
 		},
-		LSM: mixedSideReport{
-			Path: "lsm", Inserts: inserts, Searches: searches,
-			InsertsPerSec:        float64(inserts) / lsmIns.Seconds(),
-			PagesWritten:         lsmWrites,
-			PagesWrittenPerIns:   float64(lsmWrites) / float64(inserts),
-			Segments:             lsm.Segments(),
-			Compactions:          len(pauses),
-			CompactionPauseP99Ms: ms(p99),
+		{
+			Name: "lsm", Facility: "bssf", Mix: mix,
+			Ops: cfg.ops, Inserts: inserts, Searches: searches,
+			Seconds:               lsmIns.Seconds(),
+			InsertsPerSec:         float64(inserts) / lsmIns.Seconds(),
+			PagesWritten:          lsmWrites,
+			PagesWrittenPerInsert: float64(lsmWrites) / float64(inserts),
+			Segments:              lsm.Segments(),
+			Compactions:           len(pauses),
+			CompactionPauseP99Ms:  benchfmt.Ms(p99),
 		},
-		IdenticalResults: identical,
 	}
 
 	fmt.Fprintf(w, "mixed workload: %d ops at insert:search = %s (F=%d, worst-case legacy vs lsm)\n",
-		cfg.ops, rep.Mix, tpF)
+		cfg.ops, mix, tpF)
 	fmt.Fprintf(w, "%-8s %10s %10s %14s %18s %10s %14s\n",
 		"path", "inserts", "searches", "inserts/sec", "pages/insert", "segments", "compact p99(ms)")
-	for _, s := range []mixedSideReport{rep.Legacy, rep.LSM} {
+	for _, s := range rep.Workloads {
 		fmt.Fprintf(w, "%-8s %10d %10d %14.0f %18.2f %10d %14.3f\n",
-			s.Path, s.Inserts, s.Searches, s.InsertsPerSec, s.PagesWrittenPerIns, s.Segments, s.CompactionPauseP99Ms)
+			s.Name, s.Inserts, s.Searches, s.InsertsPerSec, s.PagesWrittenPerInsert, s.Segments, s.CompactionPauseP99Ms)
 	}
 	fmt.Fprintf(w, "identical search results on both paths: %v\n", identical)
 	if !identical {
 		return fmt.Errorf("lsm and legacy search results diverged")
 	}
 	if cfg.jsonPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := rep.WriteFile(cfg.jsonPath, false); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)

@@ -1,15 +1,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sigfile"
+	"sigfile/internal/benchfmt"
 )
 
 // throughputConfig drives the -throughput mode: a serving-style QPS
@@ -22,6 +23,7 @@ type throughputConfig struct {
 	workers  int    // parallelism levels measured: 1 and this
 	seconds  int    // wall-clock budget per (facility, level)
 	seed     int64
+	jsonPath string // when non-empty, write the benchfmt report here
 }
 
 const (
@@ -76,14 +78,15 @@ func runThroughput(w io.Writer, cfg throughputConfig) error {
 	}
 	builders := []struct {
 		name string
-		mk   func() (sigfile.AccessMethod, error)
+		cfg  sigfile.Config
 	}{
-		{"ssf", func() (sigfile.AccessMethod, error) { return sigfile.NewSSF(scheme, sets, nil) }},
-		{"bssf", func() (sigfile.AccessMethod, error) { return sigfile.NewBSSF(scheme, sets, nil) }},
-		{"nix", func() (sigfile.AccessMethod, error) { return sigfile.NewNIX(sets, nil) }},
-		{"fssf", func() (sigfile.AccessMethod, error) { return sigfile.NewFSSF(fscheme, sets, nil) }},
+		{"ssf", sigfile.Config{Kind: sigfile.KindSSF, Scheme: scheme, Source: sets}},
+		{"bssf", sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets}},
+		{"nix", sigfile.Config{Kind: sigfile.KindNIX, Source: sets}},
+		{"fssf", sigfile.Config{Kind: sigfile.KindFSSF, FrameScheme: fscheme, Source: sets}},
 	}
 
+	rep := benchfmt.New("search_throughput", cfg.seed)
 	fmt.Fprintf(w, "throughput: N=%d, batch=%d queries (Superset/Overlap mix), %ds per point\n",
 		cfg.n, cfg.queries, cfg.seconds)
 	fmt.Fprintf(w, "%-6s %10s %14s %10s %10s %10s\n", "fac", "workers", "searches/sec", "p50(ms)", "p99(ms)", "speedup")
@@ -91,7 +94,7 @@ func runThroughput(w io.Writer, cfg throughputConfig) error {
 		if cfg.facility != "all" && cfg.facility != b.name {
 			continue
 		}
-		am, err := b.mk()
+		am, err := sigfile.Open(b.cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.name, err)
 		}
@@ -106,36 +109,36 @@ func runThroughput(w io.Writer, cfg throughputConfig) error {
 			}
 			speedup := "1.00x"
 			if workers == 1 {
-				baseQPS = m.qps
+				baseQPS = m.QPS
 			} else if baseQPS > 0 {
-				speedup = fmt.Sprintf("%.2fx", m.qps/baseQPS)
+				speedup = fmt.Sprintf("%.2fx", m.QPS/baseQPS)
 			}
 			fmt.Fprintf(w, "%-6s %10d %14.0f %10.3f %10.3f %10s\n",
-				b.name, workers, m.qps, ms(m.p50), ms(m.p99), speedup)
+				b.name, workers, m.QPS, m.P50Ms, m.P99Ms, speedup)
+			m.Name = fmt.Sprintf("%s_w%d", b.name, workers)
+			m.Facility = b.name
+			rep.Workloads = append(rep.Workloads, m)
 			if cfg.workers == 1 {
 				break
 			}
 		}
 	}
+	if cfg.jsonPath != "" {
+		if err := rep.WriteFile(cfg.jsonPath, false); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)
+	}
 	return nil
 }
 
-// latencyReport is one measured (facility, worker-count) point: overall
-// throughput plus the per-request latency distribution.
-type latencyReport struct {
-	qps      float64
-	p50, p99 time.Duration
-}
-
-// ms renders a duration in fractional milliseconds.
-func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-
 // measureQPS drives the request mix through a pool of workers until the
 // budget elapses, timing every individual search, and returns completed
-// searches per second with p50/p99 request latency. Requests are handed
-// out round-robin from a shared counter, so every worker draws from the
-// same mix and the distribution covers all request shapes.
-func measureQPS(am sigfile.AccessMethod, reqs []sigfile.SearchRequest, workers int, budget time.Duration) (latencyReport, error) {
+// searches per second with p50/p99 request latency in the shared
+// benchfmt schema. Requests are handed out round-robin from a shared
+// counter, so every worker draws from the same mix and the distribution
+// covers all request shapes.
+func measureQPS(am sigfile.AccessMethod, reqs []sigfile.SearchRequest, workers int, budget time.Duration) (benchfmt.Workload, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -144,6 +147,7 @@ func measureQPS(am sigfile.AccessMethod, reqs []sigfile.SearchRequest, workers i
 		firstErr atomic.Value
 		wg       sync.WaitGroup
 	)
+	ctx := context.Background()
 	lats := make([][]time.Duration, workers)
 	start := time.Now()
 	deadline := start.Add(budget)
@@ -155,7 +159,7 @@ func measureQPS(am sigfile.AccessMethod, reqs []sigfile.SearchRequest, workers i
 			for time.Now().Before(deadline) {
 				req := reqs[int(next.Add(1)-1)%len(reqs)]
 				t0 := time.Now()
-				if _, err := am.Search(req.Pred, req.Query, nil); err != nil {
+				if _, err := am.SearchContext(ctx, req.Pred, req.Query); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
@@ -166,34 +170,22 @@ func measureQPS(am sigfile.AccessMethod, reqs []sigfile.SearchRequest, workers i
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 	if err, ok := firstErr.Load().(error); ok {
-		return latencyReport{}, err
+		return benchfmt.Workload{}, err
 	}
 	var all []time.Duration
 	for _, l := range lats {
 		all = append(all, l...)
 	}
 	if len(all) == 0 {
-		return latencyReport{}, fmt.Errorf("no searches completed within the budget")
+		return benchfmt.Workload{}, fmt.Errorf("no searches completed within the budget")
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	return latencyReport{
-		qps: float64(len(all)) / elapsed,
-		p50: percentile(all, 0.50),
-		p99: percentile(all, 0.99),
+	return benchfmt.Workload{
+		Workers:  workers,
+		Ops:      len(all),
+		Searches: len(all),
+		Seconds:  elapsed,
+		QPS:      float64(len(all)) / elapsed,
+		P50Ms:    benchfmt.Ms(benchfmt.Percentile(all, 0.50)),
+		P99Ms:    benchfmt.Ms(benchfmt.Percentile(all, 0.99)),
 	}, nil
-}
-
-// percentile picks the nearest-rank percentile from sorted latencies.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

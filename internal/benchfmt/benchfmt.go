@@ -1,0 +1,149 @@
+// Package benchfmt defines the one JSON report schema every throughput
+// benchmark in this repository emits — `sigbench -throughput -json`,
+// `sigload -json`, and the scripts that pin BENCH_lsm.json and
+// BENCH_server.json — so the recorded numbers stay comparable across
+// benches: same field names, same units (QPS, fractional milliseconds),
+// same environment stamp (cores, CPU model).
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Report is one benchmark run: an environment stamp plus one Workload
+// entry per measured point. Optional sections (Verify) record follow-up
+// checks a harness ran against the same instance.
+type Report struct {
+	// Bench names the benchmark family, e.g. "search_throughput",
+	// "lsm_mixed_write_throughput", "sigfiled_server".
+	Bench string `json:"bench"`
+	// CPU is the CPU model string when known, "" otherwise.
+	CPU string `json:"cpu,omitempty"`
+	// Cores is runtime.NumCPU() on the measuring machine — part of the
+	// result, since parallel speedups only materialize on multi-core.
+	Cores int `json:"cores"`
+	// Seed is the workload generator seed, for reproduction.
+	Seed int64 `json:"seed"`
+	// Tenants is the number of server tenants driven (server benches).
+	Tenants int `json:"tenants,omitempty"`
+	// F and FPlus1Wall pin the signature design the write benches
+	// measure against (the paper's UC_I = F+1 insertion wall).
+	F          int `json:"f,omitempty"`
+	FPlus1Wall int `json:"f_plus_1_wall,omitempty"`
+	// IdenticalResults reports the differential gate of benches that run
+	// the same stream down two paths (legacy vs LSM); nil when the bench
+	// has no such gate.
+	IdenticalResults *bool `json:"identical_results,omitempty"`
+	// Workloads are the measured points.
+	Workloads []Workload `json:"workloads"`
+	// Verify records a reopen-and-check pass (server benches: every
+	// acknowledged write found again after a graceful restart).
+	Verify *Verify `json:"verify,omitempty"`
+}
+
+// Workload is one measured point: a named request mix driven for a
+// while, with throughput and latency percentiles.
+type Workload struct {
+	Name     string `json:"name"`
+	Facility string `json:"facility,omitempty"`
+	Proto    string `json:"proto,omitempty"`
+	Mix      string `json:"mix,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+
+	Ops      int     `json:"ops"`
+	Inserts  int     `json:"inserts,omitempty"`
+	Searches int     `json:"searches,omitempty"`
+	Errors   int     `json:"errors,omitempty"`
+	Seconds  float64 `json:"seconds,omitempty"`
+
+	QPS   float64 `json:"qps"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+
+	// Write-path accounting (benches that meter page writes).
+	InsertsPerSec         float64 `json:"inserts_per_sec,omitempty"`
+	PagesWritten          int64   `json:"pages_written,omitempty"`
+	PagesWrittenPerInsert float64 `json:"pages_written_per_insert,omitempty"`
+	Segments              int     `json:"segments,omitempty"`
+	Compactions           int     `json:"compactions,omitempty"`
+	CompactionPauseP99Ms  float64 `json:"compaction_pause_p99_ms,omitempty"`
+}
+
+// Verify is the result of a reopen-and-check pass: Checked acknowledged
+// writes re-queried after a restart, Missing of them not found. A
+// nonzero Missing is a lost committed write — the failure the graceful
+// shutdown path exists to prevent.
+type Verify struct {
+	Checked int `json:"checked"`
+	Missing int `json:"missing"`
+}
+
+// New returns a Report stamped with this machine's environment.
+func New(bench string, seed int64) *Report {
+	return &Report{Bench: bench, Cores: runtime.NumCPU(), Seed: seed}
+}
+
+// WriteFile writes the report as indented JSON. With appendTo set, an
+// existing well-formed report at path is loaded first and its workload
+// list extended (environment fields keep the existing report's values),
+// so a multi-phase harness can build one file across several runs.
+func (r *Report) WriteFile(path string, appendTo bool) error {
+	out := r
+	if appendTo {
+		if prev, err := ReadFile(path); err == nil {
+			prev.Workloads = append(prev.Workloads, r.Workloads...)
+			if r.Verify != nil {
+				prev.Verify = r.Verify
+			}
+			if prev.Tenants == 0 {
+				prev.Tenants = r.Tenants
+			}
+			out = prev
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Percentile picks the nearest-rank percentile (0 < p ≤ 1) from an
+// unsorted latency sample; it sorts a copy and leaves lats untouched.
+func Percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Ms renders a duration in fractional milliseconds, the schema's
+// latency unit.
+func Ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

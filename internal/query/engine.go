@@ -516,13 +516,35 @@ func (e *Engine) Execute(q *Query) (*ResultSet, error) {
 // ResultSet.Trace and additionally in any sink already riding ctx
 // (obs.ContextWithSink).
 func (e *Engine) ExecuteContext(ctx context.Context, q *Query) (*ResultSet, error) {
+	return e.ExecuteOptions(ctx, q, nil)
+}
+
+// ExecOptions overrides the engine's defaults for one query — the
+// per-request strategy surface the sigfiled server exposes on its wire
+// API. The zero value (or nil) changes nothing: the planner still picks
+// the facility and its smart caps, and searches run at the engine-wide
+// parallelism.
+type ExecOptions struct {
+	// Parallelism overrides the engine's search parallelism when
+	// nonzero (negative = one goroutine per CPU).
+	Parallelism int
+	// MaxProbeElements, when positive, overrides the planner's probe
+	// cap for the driving superset/contains search (§5.1.3).
+	MaxProbeElements int
+	// MaxZeroSlices, when positive, overrides the planner's zero-slice
+	// cap for the driving BSSF subset search (§5.2.2).
+	MaxZeroSlices int
+}
+
+// ExecuteOptions is ExecuteContext with per-query option overrides.
+func (e *Engine) ExecuteOptions(ctx context.Context, q *Query, eo *ExecOptions) (*ResultSet, error) {
 	start := time.Now()
-	rs, err := e.executeCtx(ctx, q)
+	rs, err := e.executeCtx(ctx, q, eo)
 	e.observeQuery(q, rs, err, time.Since(start))
 	return rs, err
 }
 
-func (e *Engine) executeCtx(ctx context.Context, q *Query) (*ResultSet, error) {
+func (e *Engine) executeCtx(ctx context.Context, q *Query, eo *ExecOptions) (*ResultSet, error) {
 	cls, ok := e.db.Schema().Class(q.Class)
 	if !ok {
 		return nil, fmt.Errorf("query: unknown class %q", q.Class)
@@ -551,12 +573,27 @@ func (e *Engine) executeCtx(ctx context.Context, q *Query) (*ResultSet, error) {
 			parent.EmitTrace(t)
 		})
 	}
-	opts := []core.SearchOption{core.WithParallelism(e.parallelism), core.WithTrace(sink)}
-	if dp.cand.MaxProbeElements > 0 {
-		opts = append(opts, core.WithMaxProbeElements(dp.cand.MaxProbeElements))
+	parallelism := e.parallelism
+	probeCap, zeroCap := dp.cand.MaxProbeElements, dp.cand.MaxZeroSlices
+	if eo != nil {
+		// Per-request overrides (the server's wire options) win over the
+		// planner's choices; zero values defer to the planner.
+		if eo.Parallelism != 0 {
+			parallelism = eo.Parallelism
+		}
+		if eo.MaxProbeElements > 0 {
+			probeCap = eo.MaxProbeElements
+		}
+		if eo.MaxZeroSlices > 0 {
+			zeroCap = eo.MaxZeroSlices
+		}
 	}
-	if dp.cand.MaxZeroSlices > 0 {
-		opts = append(opts, core.WithMaxZeroSlices(dp.cand.MaxZeroSlices))
+	opts := []core.SearchOption{core.WithParallelism(parallelism), core.WithTrace(sink)}
+	if probeCap > 0 {
+		opts = append(opts, core.WithMaxProbeElements(probeCap))
+	}
+	if zeroCap > 0 {
+		opts = append(opts, core.WithMaxZeroSlices(zeroCap))
 	}
 	res, err := ent.am.SearchContext(ctx, d.set.Op, d.elems, opts...)
 	if err != nil {
@@ -590,8 +627,8 @@ func (e *Engine) executeCtx(ctx context.Context, q *Query) (*ResultSet, error) {
 		Attr:             d.set.Attr,
 		Predicate:        d.set.Op.String(),
 		Strategy:         string(dp.cand.Strategy),
-		MaxProbeElements: dp.cand.MaxProbeElements,
-		MaxZeroSlices:    dp.cand.MaxZeroSlices,
+		MaxProbeElements: probeCap,
+		MaxZeroSlices:    zeroCap,
 		Filters:          len(rest),
 		Children:         childPlans(parts),
 	}
@@ -899,7 +936,7 @@ func (e *Engine) resolveElems(ctx context.Context, cls *oodb.Class, pred *SetPre
 	if kind != oodb.KindRefSet {
 		return nil, nil, fmt.Errorf("query: %s.%s is %v; a subquery operand needs a set<ref> attribute", cls.Name, pred.Attr, kind)
 	}
-	sub, err := e.executeCtx(ctx, pred.Sub)
+	sub, err := e.executeCtx(ctx, pred.Sub, nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("query: subquery: %w", err)
 	}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"time"
+
+	api "sigfile/api/v1"
+)
+
+// serveBinary accepts binary-protocol connections until the listener
+// closes (Shutdown).
+func (s *Server) serveBinary(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.binClosed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.binConns.Add(1)
+		go func() {
+			defer s.binConns.Done()
+			s.serveBinaryConn(conn)
+		}()
+	}
+}
+
+// serveBinaryConn speaks the protocol on one connection: handshake,
+// then a sequential request/response loop.
+//
+// Frames are read by a dedicated goroutine feeding a channel, so the
+// handler loop can select on {next frame, connection gone, server
+// shutting down}. When the read side fails — the client disconnected —
+// the per-connection context is canceled, which cancels whatever search
+// is in flight through the same SearchContext plumbing a deadline uses.
+// That is the disconnect-cancellation contract the e2e test exercises.
+func (s *Server) serveBinaryConn(conn net.Conn) {
+	defer conn.Close()
+
+	ver, err := api.ReadHandshake(conn)
+	if err != nil {
+		return
+	}
+	if ver != api.BinaryVersion {
+		body := api.EncodeError(api.Errorf(api.CodeBadRequest,
+			"unsupported binary protocol version %d (server speaks %d)", ver, api.BinaryVersion))
+		api.WriteFrame(conn, append([]byte{api.MsgError}, body...))
+		return
+	}
+	if err := api.WriteHandshake(conn); err != nil {
+		return
+	}
+
+	connCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	frames := make(chan []byte)
+	go func() {
+		defer close(frames)
+		for {
+			payload, err := api.ReadFrame(conn)
+			if err != nil {
+				cancel() // client gone: cancel any in-flight request
+				return
+			}
+			select {
+			case frames <- payload:
+			case <-connCtx.Done():
+				return
+			}
+		}
+	}()
+
+	for {
+		var payload []byte
+		var ok bool
+		select {
+		case payload, ok = <-frames:
+			if !ok {
+				return
+			}
+		case <-s.binClosed:
+			body := api.EncodeError(api.Errorf(api.CodeShuttingDown, "server is shutting down"))
+			api.WriteFrame(conn, append([]byte{api.MsgError}, body...))
+			return
+		}
+		if len(payload) == 0 {
+			return
+		}
+		msg, body := payload[0], payload[1:]
+		respType, respBody := s.handleBinary(connCtx, msg, body)
+		if err := api.WriteFrame(conn, append([]byte{respType}, respBody...)); err != nil {
+			return
+		}
+	}
+}
+
+// handleBinary dispatches one decoded request and encodes its outcome.
+func (s *Server) handleBinary(connCtx context.Context, msg byte, body []byte) (byte, []byte) {
+	start := time.Now()
+	op := "unknown"
+	var resp []byte
+	err := func() error {
+		switch msg {
+		case api.MsgInsert:
+			op = "insert"
+			tn, req, derr := api.DecodeInsertRequest(body)
+			if derr != nil {
+				return api.WrapErr(api.Errorf(api.CodeBadRequest, "%v", derr))
+			}
+			t, terr := s.Tenant(tn)
+			if terr != nil {
+				return terr
+			}
+			ctx, cancel := s.requestCtx(connCtx, req.DeadlineMS)
+			defer cancel()
+			oid, ierr := t.insert(ctx, req.Elems)
+			if ierr != nil {
+				return ierr
+			}
+			resp = api.EncodeInsertResponse(&api.InsertResponse{OID: oid})
+			return nil
+
+		case api.MsgDelete:
+			op = "delete"
+			tn, req, derr := api.DecodeDeleteRequest(body)
+			if derr != nil {
+				return api.Errorf(api.CodeBadRequest, "%v", derr)
+			}
+			t, terr := s.Tenant(tn)
+			if terr != nil {
+				return terr
+			}
+			ctx, cancel := s.requestCtx(connCtx, req.DeadlineMS)
+			defer cancel()
+			if derr := t.delete(ctx, req.OID); derr != nil {
+				return derr
+			}
+			resp = nil
+			return nil
+
+		case api.MsgSearch:
+			op = "search"
+			tn, req, derr := api.DecodeSearchRequest(body)
+			if derr != nil {
+				return api.Errorf(api.CodeBadRequest, "%v", derr)
+			}
+			t, terr := s.Tenant(tn)
+			if terr != nil {
+				return terr
+			}
+			ctx, cancel := s.requestCtx(connCtx, req.DeadlineMS)
+			defer cancel()
+			r, serr := t.search(ctx, req)
+			if serr != nil {
+				return serr
+			}
+			resp = api.EncodeSearchResponse(r)
+			return nil
+
+		case api.MsgSearchMany:
+			op = "search_many"
+			tn, req, derr := api.DecodeSearchManyRequest(body)
+			if derr != nil {
+				return api.Errorf(api.CodeBadRequest, "%v", derr)
+			}
+			t, terr := s.Tenant(tn)
+			if terr != nil {
+				return terr
+			}
+			ctx, cancel := s.requestCtx(connCtx, req.DeadlineMS)
+			defer cancel()
+			r, serr := t.searchMany(ctx, req)
+			if serr != nil {
+				return serr
+			}
+			resp = api.EncodeSearchManyResponse(r)
+			return nil
+
+		case api.MsgExplain:
+			op = "explain"
+			tn, req, derr := api.DecodeExplainRequest(body)
+			if derr != nil {
+				return api.Errorf(api.CodeBadRequest, "%v", derr)
+			}
+			t, terr := s.Tenant(tn)
+			if terr != nil {
+				return terr
+			}
+			r, eerr := t.explain(req)
+			if eerr != nil {
+				return eerr
+			}
+			resp = api.EncodeExplainResponse(r)
+			return nil
+
+		case api.MsgHealth:
+			op = "health"
+			h := s.Health()
+			resp = api.EncodeHealthResponse(&h)
+			return nil
+
+		default:
+			return api.Errorf(api.CodeBadRequest, "unknown message type %d", msg)
+		}
+	}()
+	s.observe(op, "binary", start, err)
+	if err != nil {
+		return api.MsgError, api.EncodeError(api.WrapErr(err))
+	}
+	return msg | api.MsgResponseFlag, resp
+}

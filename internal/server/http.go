@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	api "sigfile/api/v1"
+	"sigfile/internal/obs"
+)
+
+// maxHTTPBody bounds request bodies; matches the binary protocol's
+// frame cap so neither transport accepts more than the other.
+const maxHTTPBody = api.MaxFrame
+
+// httpHandler builds the versioned route table. Tenant-scoped data
+// operations are POSTs under /v1/t/{tenant}/; management and
+// introspection endpoints sit beside them.
+func (s *Server) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST "+api.PathPrefix+"/tenants", s.handleCreateTenant)
+	mux.HandleFunc("GET "+api.PathPrefix+"/tenants", s.handleListTenants)
+	mux.HandleFunc("GET "+api.PathPrefix+"/health", s.handleHealth)
+
+	mux.HandleFunc("POST "+api.PathPrefix+"/t/{tenant}/insert", s.tenantOp("insert", s.handleInsert))
+	mux.HandleFunc("POST "+api.PathPrefix+"/t/{tenant}/delete", s.tenantOp("delete", s.handleDelete))
+	mux.HandleFunc("POST "+api.PathPrefix+"/t/{tenant}/search", s.tenantOp("search", s.handleSearch))
+	mux.HandleFunc("POST "+api.PathPrefix+"/t/{tenant}/search_many", s.tenantOp("search_many", s.handleSearchMany))
+	mux.HandleFunc("POST "+api.PathPrefix+"/t/{tenant}/explain", s.tenantOp("explain", s.handleExplain))
+
+	// Unversioned conveniences: liveness probe and metrics scrape.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.Default().WritePrometheus(w)
+	})
+	return mux
+}
+
+// writeJSON writes a success body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes the JSON error envelope with the code's HTTP status.
+func writeErr(w http.ResponseWriter, err error) {
+	werr := api.WrapErr(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(werr.Code.HTTPStatus())
+	json.NewEncoder(w).Encode(api.ErrorBody{Error: werr})
+}
+
+// readJSON decodes a bounded request body into v.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHTTPBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return api.Errorf(api.CodeBadRequest, "decode request: %v", err)
+	}
+	return nil
+}
+
+// tenantOp wraps a tenant-scoped handler with tenant resolution,
+// metrics, and error envelope handling.
+func (s *Server) tenantOp(op string, h func(t *tenant, w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		t, err := s.Tenant(r.PathValue("tenant"))
+		if err == nil {
+			err = h(t, w, r)
+		}
+		s.observe(op, "http", start, err)
+		if err != nil {
+			// A canceled request usually has no reader left; write the
+			// envelope anyway for the deadline (non-disconnect) case.
+			writeErr(w, err)
+		}
+	}
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req api.CreateTenantRequest
+	if err := readJSON(w, r, &req); err != nil {
+		s.observe("create_tenant", "http", start, err)
+		writeErr(w, err)
+		return
+	}
+	info, err := s.CreateTenant(req.Name, req.Config)
+	s.observe("create_tenant", "http", start, err)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, api.TenantsResponse{Tenants: s.TenantInfos()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Health())
+}
+
+func (s *Server) handleInsert(t *tenant, w http.ResponseWriter, r *http.Request) error {
+	var req api.InsertRequest
+	if err := readJSON(w, r, &req); err != nil {
+		return err
+	}
+	ctx, cancel := s.requestCtx(r.Context(), req.DeadlineMS)
+	defer cancel()
+	oid, err := t.insert(ctx, req.Elems)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, api.InsertResponse{OID: oid})
+	return nil
+}
+
+func (s *Server) handleDelete(t *tenant, w http.ResponseWriter, r *http.Request) error {
+	var req api.DeleteRequest
+	if err := readJSON(w, r, &req); err != nil {
+		return err
+	}
+	ctx, cancel := s.requestCtx(r.Context(), req.DeadlineMS)
+	defer cancel()
+	if err := t.delete(ctx, req.OID); err != nil {
+		return err
+	}
+	writeJSON(w, api.DeleteResponse{})
+	return nil
+}
+
+func (s *Server) handleSearch(t *tenant, w http.ResponseWriter, r *http.Request) error {
+	var req api.SearchRequest
+	if err := readJSON(w, r, &req); err != nil {
+		return err
+	}
+	ctx, cancel := s.requestCtx(r.Context(), req.DeadlineMS)
+	defer cancel()
+	resp, err := t.search(ctx, &req)
+	if err != nil {
+		// Distinguish a client disconnect (conn ctx canceled) from the
+		// deadline for metrics; both surface through the same ctx plumbing.
+		if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+			err = api.Errorf(api.CodeCanceled, "client disconnected")
+		}
+		return err
+	}
+	writeJSON(w, resp)
+	return nil
+}
+
+func (s *Server) handleSearchMany(t *tenant, w http.ResponseWriter, r *http.Request) error {
+	var req api.SearchManyRequest
+	if err := readJSON(w, r, &req); err != nil {
+		return err
+	}
+	ctx, cancel := s.requestCtx(r.Context(), req.DeadlineMS)
+	defer cancel()
+	resp, err := t.searchMany(ctx, &req)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, resp)
+	return nil
+}
+
+func (s *Server) handleExplain(t *tenant, w http.ResponseWriter, r *http.Request) error {
+	var req api.ExplainRequest
+	if err := readJSON(w, r, &req); err != nil {
+		return err
+	}
+	resp, err := t.explain(&req)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, resp)
+	return nil
+}

@@ -1,0 +1,362 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	api "sigfile/api/v1"
+	"sigfile/internal/obs"
+	"sigfile/internal/pagestore"
+)
+
+// Server is the sigfiled daemon: per-tenant signature-file databases
+// behind a versioned HTTP/JSON API and a compact binary protocol.
+//
+// The server owns process-wide concerns — listener lifecycle,
+// connection limits, deadline defaults, graceful shutdown — while every
+// data-path concern (WAL, checkpoints, backpressure, facility health)
+// lives with the tenant that owns it (tenant.go).
+type Server struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+	closing bool
+
+	httpSrv   *http.Server
+	httpLn    net.Listener
+	binLn     net.Listener
+	binConns  sync.WaitGroup
+	binClosed chan struct{}
+
+	reqMS *obs.Histogram
+}
+
+// Config configures a Server. The zero value is usable for tests: no
+// listeners are opened until ListenHTTP/ListenBinary, and DataDir
+// defaults to a required field checked by New.
+type Config struct {
+	// DataDir is the root directory; each tenant is a subdirectory.
+	DataDir string
+	// DefaultDeadline bounds requests that do not carry their own
+	// DeadlineMS; zero means 30s.
+	DefaultDeadline time.Duration
+	// CheckpointEvery is the default per-tenant checkpoint interval;
+	// zero means 10s. A tenant's CheckpointSec overrides it.
+	CheckpointEvery time.Duration
+	// WriteQueue caps each tenant's pending-write queue (the
+	// backpressure boundary); zero means 256.
+	WriteQueue int
+	// MaxConns caps concurrently served connections per listener;
+	// zero means 1024.
+	MaxConns int
+	// WrapStore, when non-nil, wraps each tenant's page store before the
+	// database and facilities see it. Tests use it to inject fault or
+	// delay stores; production leaves it nil.
+	WrapStore func(tenant string, s pagestore.Store) pagestore.Store
+}
+
+// ErrOverloaded is the backpressure verdict: the tenant's bounded write
+// queue is full. It maps to CodeOverloaded / HTTP 429 on the wire.
+var ErrOverloaded = api.Errorf(api.CodeOverloaded, "write queue full, retry with backoff")
+
+// Process-wide serving metrics, registered on the default registry so
+// /metrics serves them next to the library's facility metrics.
+var (
+	srvRequests = func(op, proto string) *obs.Counter {
+		return obs.Default().Counter("sigfile_server_requests_total", "op", op, "proto", proto)
+	}
+	srvErrors = func(code api.Code) *obs.Counter {
+		return obs.Default().Counter("sigfile_server_errors_total", "code", string(code))
+	}
+	srvOverloaded  = obs.Default().Counter("sigfile_server_overloaded_total")
+	srvCanceled    = obs.Default().Counter("sigfile_server_canceled_total")
+	srvActiveConns = obs.Default().Gauge("sigfile_server_active_conns")
+)
+
+// New opens a server over cfg.DataDir, reopening every tenant directory
+// found there (a tenant is any subdirectory holding a tenant.json).
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: DataDir is required")
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 30 * time.Second
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 10 * time.Second
+	}
+	if cfg.WriteQueue <= 0 {
+		cfg.WriteQueue = 256
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		tenants:   map[string]*tenant{},
+		binClosed: make(chan struct{}),
+		reqMS: obs.Default().Histogram("sigfile_server_request_ms",
+			[]float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000}),
+	}
+	entries, err := os.ReadDir(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if _, err := os.Stat(filepath.Join(cfg.DataDir, name, tenantFileName)); err != nil {
+			continue
+		}
+		t, err := s.openTenant(name, filepath.Join(cfg.DataDir, name), api.TenantConfig{}, false)
+		if err != nil {
+			closeTenants(s.tenants)
+			return nil, fmt.Errorf("server: reopen tenant %s: %w", name, err)
+		}
+		s.tenants[name] = t
+	}
+	return s, nil
+}
+
+// CreateTenant creates and opens a new tenant database.
+func (s *Server) CreateTenant(name string, cfg api.TenantConfig) (api.TenantInfo, error) {
+	if !validTenantName(name) {
+		return api.TenantInfo{}, api.Errorf(api.CodeBadRequest,
+			"invalid tenant name %q (want [a-z0-9._-]{1,%d}, no leading dot)", name, maxTenantName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return api.TenantInfo{}, api.Errorf(api.CodeShuttingDown, "server is shutting down")
+	}
+	if _, ok := s.tenants[name]; ok {
+		return api.TenantInfo{}, api.Errorf(api.CodeAlreadyExists, "tenant %q already exists", name)
+	}
+	t, err := s.openTenant(name, filepath.Join(s.cfg.DataDir, name), cfg, true)
+	if err != nil {
+		return api.TenantInfo{}, err
+	}
+	s.tenants[name] = t
+	return t.info(), nil
+}
+
+// Tenant resolves a tenant by name.
+func (s *Server) Tenant(name string) (*tenant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closing {
+		return nil, api.Errorf(api.CodeShuttingDown, "server is shutting down")
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, api.Errorf(api.CodeNotFound, "no tenant %q", name)
+	}
+	return t, nil
+}
+
+// TenantInfos lists every tenant, sorted by name.
+func (s *Server) TenantInfos() []api.TenantInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos := make([]api.TenantInfo, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		infos = append(infos, t.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Health snapshots every tenant and facility for the health endpoint.
+func (s *Server) Health() api.HealthResponse {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := api.HealthResponse{Status: "ok", Version: api.Version}
+	for _, t := range s.tenants {
+		th := t.health()
+		for _, f := range th.Facilities {
+			if f.Health != "healthy" {
+				resp.Status = "degraded"
+			}
+		}
+		resp.Tenants = append(resp.Tenants, th)
+	}
+	sort.Slice(resp.Tenants, func(i, j int) bool { return resp.Tenants[i].Name < resp.Tenants[j].Name })
+	return resp
+}
+
+// requestCtx derives the per-request context: the client's DeadlineMS
+// when given, the server default otherwise, both layered over the
+// connection context so a client disconnect cancels the work mid-flight.
+func (s *Server) requestCtx(parent context.Context, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// observe records one request's outcome in the serving metrics.
+func (s *Server) observe(op, proto string, start time.Time, err error) {
+	srvRequests(op, proto).Inc()
+	s.reqMS.Observe(float64(time.Since(start).Microseconds()) / 1000)
+	if err == nil {
+		return
+	}
+	code := api.CodeOf(err)
+	srvErrors(code).Inc()
+	if code == api.CodeCanceled {
+		srvCanceled.Inc()
+	}
+}
+
+// ListenHTTP starts serving the HTTP/JSON API on addr and returns the
+// bound address (useful with ":0").
+func (s *Server) ListenHTTP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.httpHandler()}
+	lln := limitListener(ln, s.cfg.MaxConns)
+	s.setHTTP(srv, lln)
+	go func() {
+		if err := srv.Serve(lln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "sigfiled: http serve: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// ListenBinary starts serving the binary protocol on addr and returns
+// the bound address.
+func (s *Server) ListenBinary(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	bln := limitListener(ln, s.cfg.MaxConns)
+	s.setBinary(bln)
+	go s.serveBinary(bln)
+	return ln.Addr().String(), nil
+}
+
+// setHTTP / setBinary publish the listener fields under the lock so
+// Shutdown (possibly concurrent) sees them.
+func (s *Server) setHTTP(srv *http.Server, ln net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.httpSrv = srv
+	s.httpLn = ln
+}
+
+func (s *Server) setBinary(ln net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.binLn = ln
+}
+
+// Shutdown stops the server gracefully: listeners close, in-flight
+// requests get ctx to finish, then every tenant drains its write queue,
+// takes a final checkpoint, and closes. Committed writes survive — the
+// shutdown test reopens the data dir and checks every acknowledged OID.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true
+	httpSrv := s.httpSrv
+	binLn := s.binLn
+	tenants := s.tenants
+	s.tenants = map[string]*tenant{}
+	s.mu.Unlock()
+
+	var errs []error
+	if httpSrv != nil {
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("http shutdown: %w", err))
+		}
+	}
+	if binLn != nil {
+		close(s.binClosed)
+		binLn.Close()
+		done := make(chan struct{})
+		go func() { s.binConns.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			errs = append(errs, fmt.Errorf("binary shutdown: %w", ctx.Err()))
+		}
+	}
+	if err := closeTenants(tenants); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// closeTenants closes every tenant (final checkpoint included). The
+// caller has already taken sole ownership of the map — Shutdown swaps
+// it out under the lock, New's error path never published the server —
+// so no lock is held here.
+func closeTenants(tenants map[string]*tenant) error {
+	var errs []error
+	for _, t := range tenants {
+		if err := t.close(); err != nil {
+			errs = append(errs, fmt.Errorf("tenant %s: %w", t.name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// limitListener caps concurrently accepted connections with a
+// semaphore; Accept blocks while the cap is reached. (The x/net
+// LimitListener shape, restated locally — the module is stdlib-only.)
+func limitListener(ln net.Listener, n int) net.Listener {
+	return &limitedListener{Listener: ln, sem: make(chan struct{}, n)}
+}
+
+type limitedListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *limitedListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	srvActiveConns.Add(1)
+	return &limitedConn{Conn: c, release: func() {
+		<-l.sem
+		srvActiveConns.Add(-1)
+	}}, nil
+}
+
+type limitedConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+func (c *limitedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}
