@@ -66,6 +66,10 @@ type TenantConfig struct {
 	// CheckpointSec overrides the server's default checkpoint interval
 	// for this tenant; zero inherits the server default.
 	CheckpointSec int `json:"checkpoint_sec,omitempty"`
+	// Shards, when ≥ 2, hash-partitions every facility's OID space across
+	// that many inner facilities with scatter-gather search (DESIGN.md
+	// §16). 0 or 1 means unsharded.
+	Shards int `json:"shards,omitempty"`
 }
 
 // CreateTenantRequest creates a tenant: POST {PathPrefix}/tenants.
@@ -224,6 +228,55 @@ type HealthResponse struct {
 	Status  string         `json:"status"`
 	Version string         `json:"version"`
 	Tenants []TenantHealth `json:"tenants"`
+}
+
+// FacilityStats is one facility's catalog snapshot in a stats report:
+// the numbers the server's cost-based planner feeds the paper's
+// retrieval-cost formulas, frozen as a wire type. It mirrors the
+// library's FacilityStats the way SearchStats mirrors its namesake.
+type FacilityStats struct {
+	// Kind is the facility name: "SSF", "BSSF", "FSSF" or "NIX".
+	Kind string `json:"kind"`
+	// Count is the number of live indexed objects (the cost model's N).
+	Count int `json:"count"`
+	// AvgSetCard is the measured mean set cardinality D_t; 0 when the
+	// insert history predates the process.
+	AvgSetCard float64 `json:"avg_set_card,omitempty"`
+	// F and M are the signature design; both 0 for NIX.
+	F int `json:"f,omitempty"`
+	M int `json:"m,omitempty"`
+	// Frames is the FSSF frame count K; 0 otherwise.
+	Frames int `json:"frames,omitempty"`
+	// DistinctElems is a lower bound on the element-domain cardinality V
+	// (exact for NIX); 0 elsewhere.
+	DistinctElems int `json:"distinct_elems,omitempty"`
+	// LookupPages is the per-lookup page cost rc = h + 1 for NIX.
+	LookupPages int `json:"lookup_pages,omitempty"`
+	// StoragePages is the facility's storage cost SC in pages.
+	StoragePages int `json:"storage_pages"`
+	// Health is the facility's aggregate degradation state:
+	// "healthy" | "degraded" | "failed". For a sharded facility it is the
+	// worst shard's state.
+	Health string `json:"health"`
+	// Shards is the partition count K of a sharded facility; 0 when
+	// unsharded.
+	Shards int `json:"shards,omitempty"`
+	// ShardHealth lists every shard's own health state in shard order;
+	// empty when unsharded.
+	ShardHealth []string `json:"shard_health,omitempty"`
+	// SegmentCounts holds the live-entry count of each sealed LSM segment
+	// (concatenated across shards when sharded); empty off the LSM path.
+	SegmentCounts []int `json:"segment_counts,omitempty"`
+	// MemtableCount is the number of live LSM memtable entries.
+	MemtableCount int `json:"memtable_count,omitempty"`
+}
+
+// StatsResponse is GET {PathPrefix}/tenants/{tenant}/stats: the catalog
+// snapshot of every facility the tenant maintains.
+type StatsResponse struct {
+	Tenant     string          `json:"tenant"`
+	Objects    int             `json:"objects"`
+	Facilities []FacilityStats `json:"facilities"`
 }
 
 // ErrorBody is the JSON error envelope every failed HTTP request

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
 // The binary protocol: a compact length-prefixed framing of the same
@@ -49,6 +50,7 @@ const (
 	MsgSearchMany byte = 4
 	MsgExplain    byte = 5
 	MsgHealth     byte = 6
+	MsgStats      byte = 7
 
 	// MsgResponseFlag marks a success response to the request type in
 	// the low bits.
@@ -546,6 +548,103 @@ func DecodeHealthResponse(body []byte) (*HealthResponse, error) {
 			t.Facilities = append(t.Facilities, f)
 		}
 		resp.Tenants = append(resp.Tenants, t)
+	}
+	return resp, d.err
+}
+
+// EncodeStatsRequest encodes a MsgStats body: just the tenant name (the
+// HTTP form is a body-less GET).
+func EncodeStatsRequest(tenant string) []byte {
+	return appendString(nil, tenant)
+}
+
+// DecodeStatsRequest decodes a MsgStats body.
+func DecodeStatsRequest(body []byte) (tenant string, err error) {
+	d := &decoder{b: body}
+	tenant = d.string()
+	return tenant, d.err
+}
+
+// appendInts uvarint-encodes a non-negative int list with a count prefix.
+func appendInts(b []byte, vs []int) []byte {
+	b = appendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = appendUvarint(b, uint64(v))
+	}
+	return b
+}
+
+func (d *decoder) ints() []int {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b))+1 { // each element costs ≥1 byte (n may be 0)
+		d.fail("int list")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, int(d.uvarint()))
+	}
+	return out
+}
+
+// EncodeStatsResponse encodes a MsgStats success body.
+func EncodeStatsResponse(resp *StatsResponse) []byte {
+	b := appendString(nil, resp.Tenant)
+	b = appendUvarint(b, uint64(resp.Objects))
+	b = appendUvarint(b, uint64(len(resp.Facilities)))
+	for _, f := range resp.Facilities {
+		b = appendString(b, f.Kind)
+		b = appendUvarint(b, uint64(f.Count))
+		b = appendUvarint(b, math.Float64bits(f.AvgSetCard))
+		b = appendUvarint(b, uint64(f.F))
+		b = appendUvarint(b, uint64(f.M))
+		b = appendUvarint(b, uint64(f.Frames))
+		b = appendUvarint(b, uint64(f.DistinctElems))
+		b = appendUvarint(b, uint64(f.LookupPages))
+		b = appendUvarint(b, uint64(f.StoragePages))
+		b = appendString(b, f.Health)
+		b = appendUvarint(b, uint64(f.Shards))
+		b = appendStrings(b, f.ShardHealth)
+		b = appendInts(b, f.SegmentCounts)
+		b = appendUvarint(b, uint64(f.MemtableCount))
+	}
+	return b
+}
+
+// DecodeStatsResponse decodes a MsgStats success body.
+func DecodeStatsResponse(body []byte) (*StatsResponse, error) {
+	d := &decoder{b: body}
+	resp := &StatsResponse{Tenant: d.string()}
+	resp.Objects = int(d.uvarint())
+	n := d.uvarint()
+	if n > uint64(len(d.b))+1 {
+		d.fail("facility list")
+		return nil, d.err
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		f := FacilityStats{Kind: d.string()}
+		f.Count = int(d.uvarint())
+		f.AvgSetCard = math.Float64frombits(d.uvarint())
+		f.F = int(d.uvarint())
+		f.M = int(d.uvarint())
+		f.Frames = int(d.uvarint())
+		f.DistinctElems = int(d.uvarint())
+		f.LookupPages = int(d.uvarint())
+		f.StoragePages = int(d.uvarint())
+		f.Health = d.string()
+		f.Shards = int(d.uvarint())
+		if sh := d.strings(); len(sh) > 0 {
+			f.ShardHealth = sh
+		}
+		f.SegmentCounts = d.ints()
+		f.MemtableCount = int(d.uvarint())
+		resp.Facilities = append(resp.Facilities, f)
 	}
 	return resp, d.err
 }

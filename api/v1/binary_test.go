@@ -178,6 +178,42 @@ func TestHealthResponseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStatsRoundTrip(t *testing.T) {
+	tn, err := DecodeStatsRequest(EncodeStatsRequest("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn != "acme" {
+		t.Fatalf("tenant = %q", tn)
+	}
+	resp := &StatsResponse{
+		Tenant: "acme", Objects: 1200,
+		Facilities: []FacilityStats{
+			{Kind: "BSSF", Count: 1200, AvgSetCard: 4.75, F: 256, M: 2,
+				StoragePages: 310, Health: "healthy", Shards: 4,
+				ShardHealth: []string{"healthy", "degraded", "healthy", "healthy"}},
+			{Kind: "NIX", Count: 1200, DistinctElems: 400, LookupPages: 3,
+				StoragePages: 690, Health: "degraded",
+				SegmentCounts: []int{100, 250}, MemtableCount: 17},
+			{Kind: "FSSF", Frames: 16, Health: "failed"},
+		},
+	}
+	got, err := DecodeStatsResponse(EncodeStatsResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("got %+v, want %+v", got, resp)
+	}
+	// Truncated bodies fail instead of fabricating a snapshot.
+	full := EncodeStatsResponse(resp)
+	for cut := 1; cut < len(full); cut++ {
+		if r, err := DecodeStatsResponse(full[:cut]); err == nil && reflect.DeepEqual(r, resp) {
+			t.Fatalf("truncated stats body of %d/%d bytes decoded to the full response", cut, len(full))
+		}
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	werr := &Error{Code: CodeDegraded, Message: "facility degraded"}
 	got, err := DecodeError(EncodeError(werr))

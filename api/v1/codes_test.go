@@ -141,6 +141,33 @@ func TestCodeOfLifecycle(t *testing.T) {
 	}
 }
 
+// TestStatsRouteCodes pins the error surface of the stats endpoint
+// (GET /v1/tenants/{tenant}/stats and MsgStats): an unknown tenant is
+// CodeNotFound (404) and a corrupt binary body is CodeBadRequest (400),
+// and both survive the binary error frame with their code intact so
+// errors.Is keeps working on the far side.
+func TestStatsRouteCodes(t *testing.T) {
+	for _, tc := range []struct {
+		code Code
+		want int
+	}{
+		{CodeNotFound, 404},
+		{CodeBadRequest, 400},
+	} {
+		if got := tc.code.HTTPStatus(); got != tc.want {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", tc.code, got, tc.want)
+		}
+		werr := Errorf(tc.code, "stats route failure")
+		got, err := DecodeError(EncodeError(werr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Code != tc.code {
+			t.Errorf("error frame round trip changed code %s to %s", tc.code, got.Code)
+		}
+	}
+}
+
 // TestHTTPStatusTotal asserts every declared code has an explicit,
 // sane status mapping.
 func TestHTTPStatusTotal(t *testing.T) {

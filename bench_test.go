@@ -83,9 +83,9 @@ func BenchmarkAblationVarCard(b *testing.B) { benchArtifact(b, "ablation-varcard
 
 type benchSystem struct {
 	inst    *workload.Instance
-	ssf     *SSF
-	bssf    *BSSF
-	nix     *NIX
+	ssf     AccessMethod
+	bssf    AccessMethod
+	nix     AccessMethod
 	queries [][]string
 }
 
@@ -101,13 +101,13 @@ func newBenchSystem(b *testing.B, dq int) *benchSystem {
 		b.Fatal(err)
 	}
 	s := &benchSystem{inst: inst}
-	if s.ssf, err = NewSSF(scheme, inst, nil); err != nil {
+	if s.ssf, err = Open(Config{Kind: KindSSF, Scheme: scheme, Source: inst}); err != nil {
 		b.Fatal(err)
 	}
-	if s.bssf, err = NewBSSF(scheme, inst, nil); err != nil {
+	if s.bssf, err = Open(Config{Kind: KindBSSF, Scheme: scheme, Source: inst}); err != nil {
 		b.Fatal(err)
 	}
-	if s.nix, err = NewNIX(inst, nil); err != nil {
+	if s.nix, err = Open(Config{Kind: KindNIX, Source: inst}); err != nil {
 		b.Fatal(err)
 	}
 	for oid := uint64(1); oid <= uint64(cfg.N); oid++ {
@@ -134,7 +134,7 @@ func benchSearch(b *testing.B, am AccessMethod, pred Predicate, sys *benchSystem
 	b.ResetTimer()
 	var pages int64
 	for i := 0; i < b.N; i++ {
-		res, err := am.Search(pred, sys.queries[i%len(sys.queries)], nil)
+		res, err := am.Search(pred, sys.queries[i%len(sys.queries)])
 		if err != nil {
 			b.Fatal(err)
 		}

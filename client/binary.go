@@ -225,6 +225,14 @@ func (t *binaryTransport) health(ctx context.Context) (*api.HealthResponse, erro
 	return api.DecodeHealthResponse(body)
 }
 
+func (t *binaryTransport) stats(ctx context.Context, tenant string) (*api.StatsResponse, error) {
+	_, body, err := t.roundTrip(ctx, api.MsgStats, api.EncodeStatsRequest(tenant))
+	if err != nil {
+		return nil, err
+	}
+	return api.DecodeStatsResponse(body)
+}
+
 func (t *binaryTransport) createTenant(ctx context.Context, req *api.CreateTenantRequest) (*api.TenantInfo, error) {
 	return nil, fmt.Errorf("client: tenant management needs the HTTP API (use client.New)")
 }

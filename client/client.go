@@ -30,6 +30,7 @@ type transport interface {
 	searchMany(ctx context.Context, tenant string, req *api.SearchManyRequest) (*api.SearchManyResponse, error)
 	explain(ctx context.Context, tenant string, req *api.ExplainRequest) (*api.ExplainResponse, error)
 	health(ctx context.Context) (*api.HealthResponse, error)
+	stats(ctx context.Context, tenant string) (*api.StatsResponse, error)
 	createTenant(ctx context.Context, req *api.CreateTenantRequest) (*api.TenantInfo, error)
 	tenants(ctx context.Context) (*api.TenantsResponse, error)
 	close() error
@@ -117,4 +118,12 @@ func (c *Client) Explain(ctx context.Context, tenant, pred string, query []strin
 // Health reports the server's per-tenant, per-facility health ladder.
 func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
 	return c.t.health(ctx)
+}
+
+// Stats reports a tenant's per-facility catalog statistics — the
+// numbers the server's cost-based planner reads (N, D_t, F, m, storage
+// pages), plus the shard layout and per-shard health when the tenant is
+// sharded.
+func (c *Client) Stats(ctx context.Context, tenant string) (*api.StatsResponse, error) {
+	return c.t.stats(ctx, tenant)
 }

@@ -116,6 +116,14 @@ func (t *httpTransport) health(ctx context.Context) (*api.HealthResponse, error)
 	return &resp, nil
 }
 
+func (t *httpTransport) stats(ctx context.Context, tenant string) (*api.StatsResponse, error) {
+	var resp api.StatsResponse
+	if err := t.do(ctx, http.MethodGet, api.PathPrefix+"/tenants/"+tenant+"/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 func (t *httpTransport) createTenant(ctx context.Context, req *api.CreateTenantRequest) (*api.TenantInfo, error) {
 	var resp api.TenantInfo
 	if err := t.do(ctx, http.MethodPost, api.PathPrefix+"/tenants", req, &resp); err != nil {

@@ -9,6 +9,7 @@
 //	sigbench -experiment fig8        # one artifact
 //	sigbench -measured -scale 8      # add measured columns at 1/8 scale
 //	sigbench -throughput -workers 8  # parallel-search QPS + p50/p99 (not a paper artifact)
+//	sigbench -throughput -shards 4   # K-way sharded vs unsharded QPS at the same worker count
 //	sigbench -metrics                # drift + planner checks + metrics dump; exits 1 on failure
 //	sigbench -list                   # enumerate experiment ids
 //
@@ -54,6 +55,7 @@ func main() {
 		queries    = flag.Int("queries", 64, "throughput mode: distinct query shapes in the request mix")
 		workers    = flag.Int("workers", 4, "throughput mode: parallelism compared against workers=1")
 		seconds    = flag.Int("seconds", 2, "throughput mode: wall-clock budget per point")
+		shards     = flag.Int("shards", 0, "throughput mode: compare a K-way sharded facility against the unsharded one at the same worker count")
 		mix        = flag.String("mix", "", "throughput mode: insert:search ratio (e.g. 4:1) — runs the write-heavy mixed workload, legacy vs LSM, instead of search QPS")
 		mixOps     = flag.Int("mix-ops", 4096, "mixed mode: total operations in the stream")
 		jsonOut    = flag.String("json", "", "throughput/mixed mode: also write the machine-readable benchfmt report here")
@@ -85,8 +87,8 @@ func main() {
 		}
 		cfg := throughputConfig{
 			facility: *facility, n: *objects, queries: *queries,
-			workers: *workers, seconds: *seconds, seed: *seed,
-			jsonPath: *jsonOut,
+			workers: *workers, seconds: *seconds, shards: *shards,
+			seed: *seed, jsonPath: *jsonOut,
 		}
 		if err := runThroughput(os.Stdout, cfg); err != nil {
 			fatal(err)

@@ -22,6 +22,7 @@ type throughputConfig struct {
 	queries  int    // distinct request shapes in the measured mix
 	workers  int    // parallelism levels measured: 1 and this
 	seconds  int    // wall-clock budget per (facility, level)
+	shards   int    // when > 1, compare sharded (K=this) against unsharded at the same worker count
 	seed     int64
 	jsonPath string // when non-empty, write the benchfmt report here
 }
@@ -76,14 +77,15 @@ func runThroughput(w io.Writer, cfg throughputConfig) error {
 	if err != nil {
 		return err
 	}
-	builders := []struct {
-		name string
-		cfg  sigfile.Config
-	}{
+	builders := []tpBuilder{
 		{"ssf", sigfile.Config{Kind: sigfile.KindSSF, Scheme: scheme, Source: sets}},
 		{"bssf", sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets}},
 		{"nix", sigfile.Config{Kind: sigfile.KindNIX, Source: sets}},
 		{"fssf", sigfile.Config{Kind: sigfile.KindFSSF, FrameScheme: fscheme, Source: sets}},
+	}
+
+	if cfg.shards > 1 {
+		return runShardThroughput(w, cfg, builders, entries, reqs)
 	}
 
 	rep := benchfmt.New("search_throughput", cfg.seed)
@@ -121,6 +123,67 @@ func runThroughput(w io.Writer, cfg throughputConfig) error {
 			if cfg.workers == 1 {
 				break
 			}
+		}
+	}
+	if cfg.jsonPath != "" {
+		if err := rep.WriteFile(cfg.jsonPath, false); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+// tpBuilder names one facility configuration of the throughput bench.
+type tpBuilder struct {
+	name string
+	cfg  sigfile.Config
+}
+
+// runShardThroughput is the -shards form of the throughput bench: per
+// facility it measures the unsharded instance and the K-way sharded one
+// over the same data and request mix, at the same worker count, so the
+// recorded ratio isolates what partitioned scatter-gather buys (or
+// costs) on this machine's cores.
+func runShardThroughput(w io.Writer, cfg throughputConfig, builders []tpBuilder, entries []sigfile.Entry, reqs []sigfile.SearchRequest) error {
+	rep := benchfmt.New("sharded_search_throughput", cfg.seed)
+	fmt.Fprintf(w, "sharded throughput: N=%d, batch=%d queries (Superset/Overlap mix), %ds per point, workers=%d\n",
+		cfg.n, cfg.queries, cfg.seconds, cfg.workers)
+	fmt.Fprintf(w, "%-6s %8s %10s %14s %10s %10s %10s\n",
+		"fac", "shards", "workers", "searches/sec", "p50(ms)", "p99(ms)", "vs k=1")
+	for _, b := range builders {
+		if cfg.facility != "all" && cfg.facility != b.name {
+			continue
+		}
+		var baseQPS float64
+		for _, k := range []int{1, cfg.shards} {
+			var opts []sigfile.OpenOption
+			if k > 1 {
+				opts = append(opts, sigfile.WithShards(k))
+			}
+			am, err := sigfile.Open(b.cfg, opts...)
+			if err != nil {
+				return fmt.Errorf("%s k=%d: %w", b.name, k, err)
+			}
+			if err := am.(sigfile.BatchInserter).InsertBatch(entries); err != nil {
+				return fmt.Errorf("%s k=%d load: %w", b.name, k, err)
+			}
+			m, err := measureQPS(am, reqs, cfg.workers, time.Duration(cfg.seconds)*time.Second)
+			if err != nil {
+				return fmt.Errorf("%s k=%d: %w", b.name, k, err)
+			}
+			ratio := "1.00x"
+			if k == 1 {
+				baseQPS = m.QPS
+			} else if baseQPS > 0 {
+				ratio = fmt.Sprintf("%.2fx", m.QPS/baseQPS)
+			}
+			fmt.Fprintf(w, "%-6s %8d %10d %14.0f %10.3f %10.3f %10s\n",
+				b.name, k, cfg.workers, m.QPS, m.P50Ms, m.P99Ms, ratio)
+			m.Name = fmt.Sprintf("%s_w%d_k%d", b.name, cfg.workers, k)
+			m.Facility = b.name
+			m.Shards = k
+			rep.Workloads = append(rep.Workloads, m)
 		}
 	}
 	if cfg.jsonPath != "" {

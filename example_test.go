@@ -10,18 +10,18 @@ import (
 // The paper's Query Q1 — "find all Students whose hobbies attribute
 // includes {Baseball, Fishing}" — as a T ⊇ Q search on a bit-sliced
 // signature file.
-func ExampleNewBSSF() {
+func ExampleOpen() {
 	sets := sigfile.MapSource{
 		1: {"Baseball", "Fishing"},
 		2: {"Baseball", "Golf", "Fishing"},
 		3: {"Baseball", "Football", "Tennis"},
 	}
 	scheme, _ := sigfile.NewScheme(250, 2)
-	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
+	idx, _ := sigfile.Open(sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets})
 	for oid := uint64(1); oid <= 3; oid++ {
 		idx.Insert(oid, sets[oid])
 	}
-	res, _ := idx.Search(sigfile.Superset, []string{"Baseball", "Fishing"}, nil)
+	res, _ := idx.Search(sigfile.Superset, []string{"Baseball", "Fishing"})
 	fmt.Println(res.OIDs)
 	// Output: [1 2]
 }
@@ -35,11 +35,11 @@ func ExampleSubset() {
 		3: {"Tennis"},
 	}
 	scheme, _ := sigfile.NewScheme(250, 2)
-	idx, _ := sigfile.NewSSF(scheme, sets, nil)
+	idx, _ := sigfile.Open(sigfile.Config{Kind: sigfile.KindSSF, Scheme: scheme, Source: sets})
 	for oid := uint64(1); oid <= 3; oid++ {
 		idx.Insert(oid, sets[oid])
 	}
-	res, _ := idx.Search(sigfile.Subset, []string{"Baseball", "Fishing", "Tennis"}, nil)
+	res, _ := idx.Search(sigfile.Subset, []string{"Baseball", "Fishing", "Tennis"})
 	fmt.Println(res.OIDs)
 	// Output: [1 3]
 }
@@ -47,19 +47,19 @@ func ExampleSubset() {
 // The smart object retrieval of §5.1.3: probing with only two query
 // elements reads fewer bit slices; false-drop resolution keeps the
 // answer exact.
-func ExampleSearchOptions() {
+func ExampleWithMaxProbeElements() {
 	sets := sigfile.MapSource{}
 	for oid := uint64(1); oid <= 8; oid++ {
 		sets[oid] = []string{"a", "b", "c", "d", "e"}
 	}
 	scheme, _ := sigfile.NewScheme(250, 2)
-	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
+	idx, _ := sigfile.Open(sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets})
 	for oid, set := range sets {
 		idx.Insert(oid, set)
 	}
-	full, _ := idx.Search(sigfile.Superset, []string{"a", "b", "c", "d", "e"}, nil)
+	full, _ := idx.Search(sigfile.Superset, []string{"a", "b", "c", "d", "e"})
 	smart, _ := idx.Search(sigfile.Superset, []string{"a", "b", "c", "d", "e"},
-		&sigfile.SearchOptions{MaxProbeElements: 2})
+		sigfile.WithMaxProbeElements(2))
 	fmt.Println(len(full.OIDs) == len(smart.OIDs), smart.Stats.SlicesRead < full.Stats.SlicesRead)
 	// Output: true true
 }
@@ -74,7 +74,7 @@ func ExampleWithTrace() {
 		3: {"Tennis"},
 	}
 	scheme, _ := sigfile.NewScheme(250, 2)
-	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
+	idx, _ := sigfile.Open(sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets})
 	for oid := uint64(1); oid <= 3; oid++ {
 		idx.Insert(oid, sets[oid])
 	}
@@ -94,7 +94,7 @@ func ExampleWithSmartRetrieval() {
 		sets[oid] = []string{"a", "b", "c", "d", "e"}
 	}
 	scheme, _ := sigfile.NewScheme(250, 2)
-	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
+	idx, _ := sigfile.Open(sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets})
 	for oid, set := range sets {
 		idx.Insert(oid, set)
 	}
@@ -104,6 +104,29 @@ func ExampleWithSmartRetrieval() {
 		[]string{"a", "b", "c", "d", "e"}, sigfile.WithSmartRetrieval())
 	fmt.Println(len(full.OIDs) == len(smart.OIDs), smart.Stats.SlicesRead < full.Stats.SlicesRead)
 	// Output: true true
+}
+
+// Horizontal sharding (DESIGN.md §16): WithShards hash-partitions the
+// OID space across K full facilities and scatter-gathers searches over
+// them — results are byte-identical to the unsharded facility at any K
+// and any parallelism.
+func ExampleWithShards() {
+	sets := sigfile.MapSource{
+		1: {"Baseball", "Fishing"},
+		2: {"Baseball", "Golf", "Fishing"},
+		3: {"Tennis"},
+	}
+	scheme, _ := sigfile.NewScheme(250, 2)
+	idx, _ := sigfile.Open(sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets},
+		sigfile.WithShards(4))
+	for oid := uint64(1); oid <= 3; oid++ {
+		idx.Insert(oid, sets[oid])
+	}
+	res, _ := idx.Search(sigfile.Superset, []string{"Baseball", "Fishing"},
+		sigfile.WithParallelism(4))
+	sh := idx.(*sigfile.ShardedFacility)
+	fmt.Println(res.OIDs, sh.Shards())
+	// Output: [1 2] 4
 }
 
 // The analytical cost model reproduces the paper's Table 6 storage costs
@@ -130,8 +153,8 @@ func ExampleBatchInserter() {
 		entries = append(entries, sigfile.Entry{OID: oid, Elems: set})
 	}
 	scheme, _ := sigfile.NewScheme(250, 2)
-	idx, _ := sigfile.NewBSSF(scheme, sets, nil)
-	if err := idx.InsertBatch(entries); err != nil {
+	idx, _ := sigfile.Open(sigfile.Config{Kind: sigfile.KindBSSF, Scheme: scheme, Source: sets})
+	if err := sigfile.InsertAll(idx, entries); err != nil {
 		fmt.Println(err)
 		return
 	}

@@ -54,6 +54,9 @@ type Workload struct {
 	Proto    string `json:"proto,omitempty"`
 	Mix      string `json:"mix,omitempty"`
 	Workers  int    `json:"workers,omitempty"`
+	// Shards is the facility's hash-partition count K for sharded
+	// benches; 0 or 1 means the unsharded facility.
+	Shards int `json:"shards,omitempty"`
 
 	Ops      int     `json:"ops"`
 	Inserts  int     `json:"inserts,omitempty"`

@@ -284,8 +284,8 @@ func (b *BSSF) readSlices(ctx context.Context, js []int, workers int, stats *Sea
 // opts.Parallelism > 1 the slice reads fan across a worker pool and the
 // AND/OR combine splits its word range across the same workers; AND and
 // OR are commutative, so the Result is identical at any setting.
-func (b *BSSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
-	return b.searchCtx(context.Background(), pred, query, opts)
+func (b *BSSF) Search(pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return b.searchCtx(context.Background(), pred, query, newSearchOptions(opts))
 }
 
 // SearchContext implements AccessMethod: Search with cancellation

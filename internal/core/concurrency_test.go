@@ -87,8 +87,7 @@ func stressFacility(t *testing.T, am AccessMethod, sets MapSource, queries [][]s
 				q := queries[(r*searchesPerReader+i)%len(queries)]
 				// Alternate sequential and parallel searches so both
 				// paths run against the writer.
-				opts := &SearchOptions{Parallelism: 1 + 3*(i%2)}
-				res, err := am.Search(pred, q, opts)
+				res, err := am.Search(pred, q, WithParallelism(1+3*(i%2)))
 				if err != nil {
 					t.Errorf("%s reader %d search: %v", am.Name(), r, err)
 					return
@@ -161,7 +160,7 @@ func TestConcurrentSearchMany(t *testing.T) {
 	var reqs []SearchRequest
 	for _, pred := range allPredicates {
 		for _, q := range queries {
-			reqs = append(reqs, SearchRequest{Pred: pred, Query: q, Opts: &SearchOptions{Parallelism: 2}})
+			reqs = append(reqs, SearchRequest{Pred: pred, Query: q, Opts: []SearchOption{WithParallelism(2)}})
 		}
 	}
 	var wg sync.WaitGroup

@@ -93,13 +93,12 @@ type Result struct {
 	Stats SearchStats
 }
 
-// SearchOptions selects a retrieval strategy.
-//
-// Compatibility shim: this positional struct predates the functional
-// options accepted by SearchContext (WithParallelism, WithSmartRetrieval,
-// WithTrace, ...). It remains fully supported — Search takes it directly
-// and WithOptions folds it into a SearchContext call — but new code
-// should prefer the option functions.
+// SearchOptions is the resolved form of a SearchOption list: the struct
+// the facilities consume internally after Search/SearchContext fold their
+// functional options (WithParallelism, WithSmartRetrieval, WithTrace, ...)
+// into one value. Callers configure searches exclusively through the
+// option functions; this struct is exported so they can inspect the
+// resolved strategy, not to be passed positionally.
 type SearchOptions struct {
 	// MaxProbeElements, when positive, limits how many query elements are
 	// used to form the probe (the query signature for SSF/BSSF, the index
@@ -148,10 +147,10 @@ type AccessMethod interface {
 	Delete(oid uint64, elems []string) error
 	// Search returns the OIDs of objects satisfying pred against query,
 	// resolving false drops through the SetSource supplied at
-	// construction. opts selects a retrieval strategy; nil means default.
-	// It is the legacy entry point, equivalent to SearchContext with
-	// context.Background() and WithOptions(opts).
-	Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error)
+	// construction. opts selects a retrieval strategy; none means the
+	// default. It is equivalent to SearchContext with
+	// context.Background().
+	Search(pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error)
 	// SearchContext is Search with a context and functional options: the
 	// search honors ctx cancellation/deadline at page-scan and
 	// worker-task boundaries (returning an error satisfying

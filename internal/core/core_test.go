@@ -147,7 +147,7 @@ func TestSmartSupersetStillExact(t *testing.T) {
 	want := bruteForce(fixtures[0].sets, signature.Superset, query)
 	for _, f := range fixtures {
 		for k := 1; k <= 5; k++ {
-			res, err := f.am.Search(signature.Superset, query, &SearchOptions{MaxProbeElements: k})
+			res, err := f.am.Search(signature.Superset, query, WithMaxProbeElements(k))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -177,7 +177,7 @@ func TestSmartSubsetCapStillExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		capped, err := bssf.Search(signature.Subset, universe, &SearchOptions{MaxZeroSlices: 10})
+		capped, err := bssf.Search(signature.Subset, universe, WithMaxZeroSlices(10))
 		if err != nil {
 			t.Fatal(err)
 		}

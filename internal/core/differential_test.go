@@ -191,19 +191,19 @@ func (h *diffHarness) doSearch(t *testing.T, rng *rand.Rand) {
 		// q ∈ T needs exactly one element; an empty query is invalid.
 		query = []string{diffElems[rng.Intn(len(diffElems))]}
 	}
-	var opts *SearchOptions
+	var opts []SearchOption
 	switch rng.Intn(3) {
 	case 1:
-		opts = &SearchOptions{Smart: true}
+		opts = append(opts, WithSmartRetrieval())
 	case 2:
-		opts = &SearchOptions{MaxProbeElements: 1 + rng.Intn(2)}
+		opts = append(opts, WithMaxProbeElements(1+rng.Intn(2)))
 	}
 	want := h.modelSearch(t, pred, query)
-	legacyRes, err := h.legacy.Search(pred, query, opts)
+	legacyRes, err := h.legacy.Search(pred, query, opts...)
 	if err != nil {
 		t.Fatalf("legacy search %v %v: %v", pred, query, err)
 	}
-	lsmRes, err := h.lsm.Search(pred, query, opts)
+	lsmRes, err := h.lsm.Search(pred, query, opts...)
 	if err != nil {
 		t.Fatalf("lsm search %v %v: %v", pred, query, err)
 	}
@@ -219,12 +219,8 @@ func (h *diffHarness) doSearch(t *testing.T, rng *rand.Rand) {
 	// A parallel LSM search must be byte-identical — OIDs and Stats — to
 	// the sequential one.
 	if rng.Intn(4) == 0 {
-		po := SearchOptions{Parallelism: 4}
-		if opts != nil {
-			po = *opts
-			po.Parallelism = 4
-		}
-		par, err := h.lsm.Search(pred, query, &po)
+		po := append(append([]SearchOption{}, opts...), WithParallelism(4))
+		par, err := h.lsm.Search(pred, query, po...)
 		if err != nil {
 			t.Fatalf("lsm parallel search: %v", err)
 		}

@@ -279,8 +279,8 @@ func (f *FSSF) frameMasks(ctx context.Context, js []int, workers int, stats *Sea
 // scans run on a worker pool, each producing a per-frame qualifying
 // mask; the masks are then intersected or unioned — both commutative —
 // so the Result is identical at any setting.
-func (f *FSSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
-	return f.searchCtx(context.Background(), pred, query, opts)
+func (f *FSSF) Search(pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return f.searchCtx(context.Background(), pred, query, newSearchOptions(opts))
 }
 
 // SearchContext implements AccessMethod: Search with cancellation

@@ -221,7 +221,7 @@ func TestFSSFSmartProbe(t *testing.T) {
 	query := []string{"elem-00001", "elem-00002", "elem-00003", "elem-00004"}
 	want := bruteForce(sets, signature.Superset, query)
 	for k := 1; k <= 4; k++ {
-		res, err := fssf.Search(signature.Superset, query, &SearchOptions{MaxProbeElements: k})
+		res, err := fssf.Search(signature.Superset, query, WithMaxProbeElements(k))
 		if err != nil {
 			t.Fatal(err)
 		}

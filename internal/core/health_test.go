@@ -227,12 +227,12 @@ func TestSynchronizedHealthDelegation(t *testing.T) {
 // stubAM is an AccessMethod with no health tracking.
 type stubAM struct{}
 
-func (stubAM) Name() string                          { return "stub" }
-func (stubAM) Insert(uint64, []string) error         { return nil }
-func (stubAM) Delete(uint64, []string) error         { return nil }
-func (stubAM) Count() int                            { return 0 }
-func (stubAM) StoragePages() int                     { return 0 }
-func (stubAM) Search(pred signature.Predicate, q []string, opts *SearchOptions) (*Result, error) {
+func (stubAM) Name() string                  { return "stub" }
+func (stubAM) Insert(uint64, []string) error { return nil }
+func (stubAM) Delete(uint64, []string) error { return nil }
+func (stubAM) Count() int                    { return 0 }
+func (stubAM) StoragePages() int             { return 0 }
+func (stubAM) Search(pred signature.Predicate, q []string, opts ...SearchOption) (*Result, error) {
 	return &Result{}, nil
 }
 func (stubAM) SearchContext(ctx context.Context, pred signature.Predicate, q []string, opts ...SearchOption) (*Result, error) {

@@ -388,8 +388,8 @@ func (l *LSM) writeManifestLocked() error {
 }
 
 // Search implements AccessMethod.
-func (l *LSM) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
-	return l.searchCtx(context.Background(), pred, query, opts)
+func (l *LSM) Search(pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return l.searchCtx(context.Background(), pred, query, newSearchOptions(opts))
 }
 
 // SearchContext implements AccessMethod: the search scatter-gathers

@@ -181,8 +181,8 @@ func (n *NIX) Delete(oid uint64, elems []string) error {
 // lookups and false-drop resolution fan across a worker pool; each
 // lookup counts its own tree pages (btree.LookupPages), so IndexPages is
 // exact and identical at any worker count.
-func (n *NIX) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
-	return n.searchCtx(context.Background(), pred, query, opts)
+func (n *NIX) Search(pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return n.searchCtx(context.Background(), pred, query, newSearchOptions(opts))
 }
 
 // SearchContext implements AccessMethod: Search with cancellation

@@ -196,11 +196,11 @@ func TestSearchContextCancelMidSearch(t *testing.T) {
 	}
 }
 
-// TestOptionsShimEquivalence: the functional options and the legacy
-// SearchOptions struct are two spellings of the same request — identical
-// OIDs and identical Stats, for every facility and predicate, including
-// the WithOptions fold and the smart strategy.
-func TestOptionsShimEquivalence(t *testing.T) {
+// TestSearchContextEquivalence: Search is SearchContext with a
+// background context — identical OIDs and identical Stats for the same
+// option list, for every facility and predicate, and the smart strategy
+// never costs correctness.
+func TestSearchContextEquivalence(t *testing.T) {
 	const n, dt, v = 250, 5, 40
 	fixtures := allFixtures(t, n, dt, v, 101)
 	queries := randomQueries(fixtures[0].sets, v, 6, 6, 102)
@@ -208,36 +208,22 @@ func TestOptionsShimEquivalence(t *testing.T) {
 	for _, f := range fixtures {
 		for _, pred := range allPredicates {
 			for qi, q := range queries {
-				legacy := &SearchOptions{Parallelism: 4, MaxProbeElements: 2, MaxZeroSlices: 3}
-				want, err := f.am.Search(pred, q, legacy)
+				want, err := f.am.Search(pred, q,
+					WithParallelism(4), WithMaxProbeElements(2), WithMaxZeroSlices(3))
 				if err != nil {
-					t.Fatalf("%s %v q%d legacy: %v", f.am.Name(), pred, qi, err)
+					t.Fatalf("%s %v q%d search: %v", f.am.Name(), pred, qi, err)
 				}
 				got, err := f.am.SearchContext(ctx, pred, q,
 					WithParallelism(4), WithMaxProbeElements(2), WithMaxZeroSlices(3))
 				if err != nil {
-					t.Fatalf("%s %v q%d options: %v", f.am.Name(), pred, qi, err)
+					t.Fatalf("%s %v q%d context: %v", f.am.Name(), pred, qi, err)
 				}
 				if !sameOIDs(want.OIDs, got.OIDs) || got.Stats != want.Stats {
-					t.Errorf("%s %v q%d: functional options diverge from legacy struct", f.am.Name(), pred, qi)
-				}
-				folded, err := f.am.SearchContext(ctx, pred, q, WithOptions(legacy))
-				if err != nil {
-					t.Fatalf("%s %v q%d WithOptions: %v", f.am.Name(), pred, qi, err)
-				}
-				if !sameOIDs(want.OIDs, folded.OIDs) || folded.Stats != want.Stats {
-					t.Errorf("%s %v q%d: WithOptions fold diverges from legacy struct", f.am.Name(), pred, qi)
-				}
-				smartLegacy, err := f.am.Search(pred, q, &SearchOptions{Smart: true})
-				if err != nil {
-					t.Fatalf("%s %v q%d smart legacy: %v", f.am.Name(), pred, qi, err)
+					t.Errorf("%s %v q%d: SearchContext diverges from Search", f.am.Name(), pred, qi)
 				}
 				smartOpt, err := f.am.SearchContext(ctx, pred, q, WithSmartRetrieval())
 				if err != nil {
 					t.Fatalf("%s %v q%d smart option: %v", f.am.Name(), pred, qi, err)
-				}
-				if !sameOIDs(smartLegacy.OIDs, smartOpt.OIDs) || smartOpt.Stats != smartLegacy.Stats {
-					t.Errorf("%s %v q%d: WithSmartRetrieval diverges from Smart struct field", f.am.Name(), pred, qi)
 				}
 				// Smart retrieval must never cost correctness.
 				if want := bruteForce(f.sets, pred, q); !sameOIDs(want, smartOpt.OIDs) {

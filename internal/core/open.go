@@ -79,6 +79,12 @@ type Config struct {
 	// many segments they are merged into one. 0 means the default (4);
 	// values below 2 also get the default.
 	LSMCompactAfter int
+	// Shards, when ≥ 2, hash-partitions the OID space across that many
+	// inner facilities, each a full instance of Kind under its own
+	// shard.%02d store prefix with its own lock and health ladder
+	// (DESIGN.md §16). 0 or 1 means unsharded. Composes with LSM: each
+	// shard runs its own log-structured write path.
+	Shards int
 }
 
 // OpenOption mutates a Config — the functional-options form of the
@@ -126,6 +132,13 @@ func WithLSMCompactAfter(n int) OpenOption {
 	return func(c *Config) { c.LSM = true; c.LSMCompactAfter = n }
 }
 
+// WithShards hash-partitions the OID space across k inner facilities
+// with deterministic scatter-gather search (DESIGN.md §16). k ≤ 1 means
+// unsharded.
+func WithShards(k int) OpenOption {
+	return func(c *Config) { c.Shards = k }
+}
+
 // Open builds (or reopens, when the store already holds its files) the
 // facility cfg describes. It is the single construction entry point the
 // per-facility constructors now forward to conceptually; they remain for
@@ -145,6 +158,12 @@ func Open(cfg Config, opts ...OpenOption) (AccessMethod, error) {
 			store = pagestore.NewMemStore()
 		}
 		store = pagestore.Prefixed(store, cfg.Prefix)
+	}
+	if cfg.Shards > 1 {
+		// The sharded facility re-enters Open per shard (with Shards
+		// cleared and a shard.%02d prefix layered onto this store), so
+		// every kind — LSM included — composes underneath it.
+		return newSharded(cfg, store)
 	}
 	if cfg.LSM {
 		if cfg.Kind == KindFSSF && cfg.FrameScheme == nil {

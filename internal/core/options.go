@@ -7,11 +7,10 @@ import (
 	"sigfile/internal/obs"
 )
 
-// This file is the functional-options surface of the context-aware search
-// API. SearchContext accepts SearchOption values; the positional
-// *SearchOptions struct remains as a compatibility shim, folded in through
-// WithOptions, so both styles resolve to the same SearchOptions value and
-// produce identical Results.
+// This file is the functional-options surface of the search API. Search
+// and SearchContext accept SearchOption values and resolve them to one
+// SearchOptions struct (newSearchOptions) that the facility internals
+// consume.
 
 // TraceSink re-exports obs.TraceSink, the consumer of per-search traces,
 // so SearchOptions can carry one without callers importing obs.
@@ -56,18 +55,13 @@ func WithTrace(sink obs.TraceSink) SearchOption {
 	return func(o *SearchOptions) { o.Trace = sink }
 }
 
-// WithOptions folds a legacy SearchOptions struct in, for callers
-// migrating incrementally. nil is a no-op. Options applied after it
-// override its fields.
-func WithOptions(legacy *SearchOptions) SearchOption {
+// withResolved copies an already-resolved SearchOptions value in. It is
+// the internal bridge composite facilities (LSM, ShardedFacility) use to
+// hand a pinned strategy to their inner facilities' SearchContext.
+func withResolved(resolved *SearchOptions) SearchOption {
 	return func(o *SearchOptions) {
-		if legacy != nil {
-			smart, trace := o.Smart, o.Trace
-			*o = *legacy
-			o.Smart = o.Smart || smart
-			if o.Trace == nil {
-				o.Trace = trace
-			}
+		if resolved != nil {
+			*o = *resolved
 		}
 	}
 }

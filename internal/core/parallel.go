@@ -123,11 +123,11 @@ func addStats(dst *SearchStats, parts []SearchStats) {
 type SearchRequest struct {
 	Pred  signature.Predicate
 	Query []string
-	// Opts selects the retrieval strategy of this request; nil means
-	// default. Per-request Parallelism multiplies with the batch-level
-	// fan-out, so serving workloads usually leave it zero and let the
-	// batch spread across the pool.
-	Opts *SearchOptions
+	// Opts selects the retrieval strategy of this request; empty means
+	// default. Per-request WithParallelism multiplies with the
+	// batch-level fan-out, so serving workloads usually omit it and let
+	// the batch spread across the pool.
+	Opts []SearchOption
 }
 
 // SearchMany answers a batch of searches against one facility, fanning
@@ -154,7 +154,7 @@ func SearchManyContext(ctx context.Context, am AccessMethod, reqs []SearchReques
 	out := make([]*Result, len(reqs))
 	workers := searchWorkers(&SearchOptions{Parallelism: parallelism})
 	err := forEachTask(ctx, workers, len(reqs), func(i int) error {
-		res, err := am.SearchContext(ctx, reqs[i].Pred, reqs[i].Query, WithOptions(reqs[i].Opts))
+		res, err := am.SearchContext(ctx, reqs[i].Pred, reqs[i].Query, reqs[i].Opts...)
 		if err != nil {
 			return fmt.Errorf("core: SearchMany request %d: %w", i, err)
 		}

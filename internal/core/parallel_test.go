@@ -54,12 +54,12 @@ func TestParallelSearchDeterministic(t *testing.T) {
 		}
 		for _, pred := range allPredicates {
 			for qi, q := range queries {
-				base, err := f.am.Search(pred, q, &SearchOptions{Parallelism: 1})
+				base, err := f.am.Search(pred, q, WithParallelism(1))
 				if err != nil {
 					t.Fatalf("%s %v q%d sequential: %v", f.am.Name(), pred, qi, err)
 				}
 				for _, p := range []int{2, 8} {
-					got, err := f.am.Search(pred, q, &SearchOptions{Parallelism: p})
+					got, err := f.am.Search(pred, q, WithParallelism(p))
 					if err != nil {
 						t.Fatalf("%s %v q%d P=%d: %v", f.am.Name(), pred, qi, p, err)
 					}
@@ -96,7 +96,7 @@ func TestParallelSearchMatchesBruteForce(t *testing.T) {
 		for _, pred := range allPredicates {
 			for qi, q := range queries {
 				want := bruteForce(f.sets, pred, q)
-				got, err := f.am.Search(pred, q, &SearchOptions{Parallelism: 8})
+				got, err := f.am.Search(pred, q, WithParallelism(8))
 				if err != nil {
 					t.Fatalf("%s %v q%d: %v", f.am.Name(), pred, qi, err)
 				}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"sigfile/internal/obs"
+	"sigfile/internal/pagestore"
+	"sigfile/internal/signature"
+)
+
+// ShardedFacility hash-partitions the OID space across K inner
+// facilities (DESIGN.md §16). Each shard is a full facility of the
+// configured kind — its own files under a `shard.%02d` store prefix, its
+// own WAL when the store is durable, its own lock and health ladder —
+// so writes to different shards never contend and a scatter-gather
+// search drives K independent I/O streams.
+//
+// Insert and Delete route to the owning shard (shardOf, a fixed integer
+// hash of the OID — stable across restarts, so a reopened store routes
+// identically). A search scatters across every shard with the per-task
+// slot-folding merge of forEachTask: per-shard results land in
+// preallocated slots and fold in shard order, and because the partitions
+// are disjoint and every shard returns ascending OIDs, the gathered
+// result is byte-identical to an unsharded facility at any K and any
+// parallelism.
+//
+// Composes with the LSM write path: Config{LSM: true, Shards: k} gives
+// every shard its own memtable, segments and compaction schedule.
+type ShardedFacility struct {
+	cfg    Config
+	kind   Kind
+	src    SetSource
+	shards []AccessMethod
+
+	// smartM is the element weight the smart probe cap derives from
+	// (0 for NIX, which probes a single element).
+	smartM int
+}
+
+// maxShards bounds Config.Shards: beyond this the per-shard fixed costs
+// (files, WALs, scatter overhead) dwarf any parallelism win.
+const maxShards = 64
+
+// shardOf is the partitioning function: a splitmix64-style finalizer
+// over the OID, reduced mod k. A fixed integer hash (not map order, not
+// insertion order) keeps the partition stable across processes and
+// restarts, which reopening a persistent sharded store depends on.
+func shardOf(oid uint64, k int) int {
+	z := oid + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(k))
+}
+
+// newSharded builds (or reopens) the K-shard form of cfg. store is the
+// (already prefix-wrapped) store; nil gets a fresh MemStore shared by
+// the shards through their per-shard prefixes.
+func newSharded(cfg Config, store pagestore.Store) (*ShardedFacility, error) {
+	k := cfg.Shards
+	if k < 2 || k > maxShards {
+		return nil, fmt.Errorf("core: open %s: Shards must be in [2,%d], got %d", cfg.Kind, maxShards, k)
+	}
+	if store == nil {
+		store = pagestore.NewMemStore()
+	}
+	s := &ShardedFacility{cfg: cfg, kind: cfg.Kind, src: cfg.Source}
+	switch {
+	case cfg.Kind == KindNIX:
+		s.smartM = 0
+	case cfg.FrameScheme != nil:
+		s.smartM = cfg.FrameScheme.M()
+	case cfg.Scheme != nil:
+		s.smartM = cfg.Scheme.M()
+	}
+	s.shards = make([]AccessMethod, k)
+	for i := range s.shards {
+		inner := cfg
+		inner.Shards = 0
+		inner.Prefix = "" // already applied to store by Open
+		inner.Store = pagestore.Prefixed(store, fmt.Sprintf("shard.%02d", i))
+		am, err := Open(inner)
+		if err != nil {
+			return nil, fmt.Errorf("core: open shard %02d: %w", i, err)
+		}
+		s.shards[i] = am
+	}
+	return s, nil
+}
+
+// Name implements AccessMethod: the inner kind's name, so planner cost
+// formulas select by facility exactly as for the unsharded form.
+func (s *ShardedFacility) Name() string { return s.kind.String() }
+
+// Shards returns K, the number of partitions.
+func (s *ShardedFacility) Shards() int { return len(s.shards) }
+
+// Shard exposes shard i for tests and repair tooling.
+func (s *ShardedFacility) Shard(i int) AccessMethod { return s.shards[i] }
+
+// Insert implements AccessMethod, routing to the owning shard.
+func (s *ShardedFacility) Insert(oid uint64, elems []string) error {
+	i := shardOf(oid, len(s.shards))
+	if err := s.shards[i].Insert(oid, elems); err != nil {
+		return fmt.Errorf("core: shard %02d insert: %w", i, err)
+	}
+	return nil
+}
+
+// Delete implements AccessMethod, routing to the owning shard.
+func (s *ShardedFacility) Delete(oid uint64, elems []string) error {
+	i := shardOf(oid, len(s.shards))
+	if err := s.shards[i].Delete(oid, elems); err != nil {
+		return fmt.Errorf("core: shard %02d delete: %w", i, err)
+	}
+	return nil
+}
+
+// InsertBatch implements BatchInserter: entries partition into per-shard
+// batches that load through each shard's own batch path.
+func (s *ShardedFacility) InsertBatch(entries []Entry) error {
+	buckets := make([][]Entry, len(s.shards))
+	for _, e := range entries {
+		i := shardOf(e.OID, len(s.shards))
+		buckets[i] = append(buckets[i], e)
+	}
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if err := InsertAll(s.shards[i], b); err != nil {
+			return fmt.Errorf("core: shard %02d batch insert: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Count implements AccessMethod: the sum over shards.
+func (s *ShardedFacility) Count() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Count()
+	}
+	return n
+}
+
+// StoragePages implements AccessMethod: the sum over shards.
+func (s *ShardedFacility) StoragePages() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.StoragePages()
+	}
+	return n
+}
+
+// Health implements HealthReporter: the worst state across shards. The
+// ladder is per-shard — one shard degrading rejects only the writes
+// routed to it — but the aggregate drives planner routing, which treats
+// the whole facility as degraded and prefers a healthy sibling.
+func (s *ShardedFacility) Health() HealthState {
+	worst := Healthy
+	for _, sh := range s.shards {
+		if h := HealthOf(sh); h > worst {
+			worst = h
+		}
+	}
+	return worst
+}
+
+// ShardHealth returns every shard's own health state, in shard order.
+func (s *ShardedFacility) ShardHealth() []HealthState {
+	out := make([]HealthState, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = HealthOf(sh)
+	}
+	return out
+}
+
+// MarkRepaired implements Repairer, resetting every shard's ladder.
+func (s *ShardedFacility) MarkRepaired() {
+	for _, sh := range s.shards {
+		if r, ok := sh.(Repairer); ok {
+			r.MarkRepaired()
+		}
+	}
+}
+
+// Search implements AccessMethod.
+func (s *ShardedFacility) Search(pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return s.searchCtx(context.Background(), pred, query, newSearchOptions(opts))
+}
+
+// SearchContext implements AccessMethod: the search scatters across
+// every shard — each an independent facility with its own files and
+// lock, so the per-shard searches do genuinely independent I/O — and
+// gathers the per-shard results in shard order. Cancellation propagates
+// into every in-flight shard search and stops unstarted ones.
+// WithSmartRetrieval caps derive from the total live count so every
+// shard applies the same filter strength.
+func (s *ShardedFacility) SearchContext(ctx context.Context, pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return s.searchCtx(ctx, pred, query, newSearchOptions(opts))
+}
+
+func (s *ShardedFacility) searchCtx(ctx context.Context, pred signature.Predicate, query []string, opts *SearchOptions) (res *Result, err error) {
+	if !pred.Valid() {
+		return nil, errInvalidPredicate(pred)
+	}
+	tr := obs.StartTrace(traceSink(ctx, opts), s.Name(), pred.String())
+	defer func() { tr.Finish(err) }()
+
+	// Pin the smart caps from the total live count so every shard applies
+	// the same filter strength regardless of its own size — the same
+	// pinning the LSM does per segment, and what keeps results identical
+	// to the unsharded facility.
+	if opts != nil && opts.Smart {
+		o := *opts
+		total := s.Count()
+		if o.MaxProbeElements == 0 {
+			if s.kind == KindNIX {
+				o.MaxProbeElements = 1
+			} else if s.smartM > 0 {
+				o.MaxProbeElements = smartProbeCap(total, s.smartM)
+			}
+		}
+		if o.MaxZeroSlices == 0 && s.kind == KindBSSF {
+			o.MaxZeroSlices = smartZeroSliceCap(total)
+		}
+		o.Smart = false
+		opts = &o
+	}
+	query = dedup(query)
+	probe := probeElements(query, opts, pred)
+	workers := searchWorkers(opts)
+	stats := SearchStats{QueryCardinality: len(query), ProbedElements: len(probe)}
+
+	// The per-shard searches must not re-trace or re-massage: divert
+	// their traces to a discard sink (an explicit opts.Trace wins over
+	// any sink riding ctx) and keep the pinned caps.
+	shardOpts := &SearchOptions{}
+	if opts != nil {
+		*shardOpts = *opts
+	}
+	shardOpts.Smart = false
+	shardOpts.Trace = discardTraces{}
+
+	// Scatter: every shard's full search (candidates and verification
+	// against the disjoint partition it owns), fanned across the worker
+	// pool with per-shard result slots folded in shard order —
+	// deterministic at any parallelism.
+	phase := tr.Begin()
+	parts := make([]*Result, len(s.shards))
+	err = forEachTask(ctx, workers, len(s.shards), func(i int) error {
+		r, serr := s.shards[i].SearchContext(ctx, pred, query, withResolved(shardOpts))
+		if serr != nil {
+			return fmt.Errorf("core: shard %02d search: %w", i, serr)
+		}
+		parts[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		stats.SlicesRead += p.Stats.SlicesRead
+		stats.IndexPages += p.Stats.IndexPages
+		stats.OIDPages += p.Stats.OIDPages
+		stats.ObjectFetches += p.Stats.ObjectFetches
+		stats.Candidates += p.Stats.Candidates
+		stats.Results += p.Stats.Results
+		stats.FalseDrops += p.Stats.FalseDrops
+		total += len(p.OIDs)
+	}
+	tr.End(obs.PhaseIndexScan, phase, stats.IndexPages)
+
+	// The per-shard OID-file reads and object fetches happened inside the
+	// scatter (counted into OIDPages/ObjectFetches above); the remaining
+	// spans keep the spans-sum-to-stats property.
+	phase = tr.Begin()
+	tr.End(obs.PhaseOIDMap, phase, stats.OIDPages)
+
+	// Gather: the partitions are disjoint and each list ascends, so
+	// sorting the concatenation yields exactly the unsharded result.
+	phase = tr.Begin()
+	oids := make([]uint64, 0, total)
+	for _, p := range parts {
+		oids = append(oids, p.OIDs...)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	tr.End(obs.PhaseResolve, phase, stats.ObjectFetches)
+	return &Result{OIDs: oids, Stats: stats}, nil
+}
+
+// discardTraces suppresses the inner shards' traces: the scatter emits
+// one aggregate trace for the whole search, not K+1.
+type discardTraces struct{}
+
+// EmitTrace implements obs.TraceSink.
+func (discardTraces) EmitTrace(*obs.Trace) {}
+
+// Describe implements Describer, aggregating the per-shard catalogs:
+// counts and storage sum, the signature design is common to all shards,
+// and Shards/ShardHealth expose the partition layout so the planner can
+// price the K-way scatter and route around degraded shards.
+func (s *ShardedFacility) Describe() FacilityStats {
+	st := FacilityStats{
+		Facility: s.Name(),
+		Shards:   len(s.shards),
+		Health:   Healthy,
+	}
+	var cardSum float64
+	var cardN int
+	for _, sh := range s.shards {
+		d, ok := sh.(Describer)
+		if !ok {
+			continue
+		}
+		inner := d.Describe()
+		st.Count += inner.Count
+		st.StoragePages += inner.StoragePages
+		st.MemtableCount += inner.MemtableCount
+		st.SegmentCounts = append(st.SegmentCounts, inner.SegmentCounts...)
+		if inner.F > 0 {
+			st.F, st.M, st.Frames = inner.F, inner.M, inner.Frames
+		}
+		if inner.AvgSetCard > 0 {
+			cardSum += inner.AvgSetCard * float64(inner.Count)
+			cardN += inner.Count
+		}
+		// Shards hold disjoint OIDs but overlapping element domains, so
+		// summing DistinctElems would overcount V; the max stays a lower
+		// bound, which is the planner contract.
+		if inner.DistinctElems > st.DistinctElems {
+			st.DistinctElems = inner.DistinctElems
+		}
+		if inner.LookupPages > st.LookupPages {
+			st.LookupPages = inner.LookupPages
+		}
+		st.ShardHealth = append(st.ShardHealth, inner.Health)
+		if inner.Health > st.Health {
+			st.Health = inner.Health
+		}
+	}
+	if cardN > 0 {
+		st.AvgSetCard = cardSum / float64(cardN)
+	}
+	return st
+}
+
+var (
+	_ AccessMethod   = (*ShardedFacility)(nil)
+	_ Describer      = (*ShardedFacility)(nil)
+	_ BatchInserter  = (*ShardedFacility)(nil)
+	_ HealthReporter = (*ShardedFacility)(nil)
+	_ Repairer       = (*ShardedFacility)(nil)
+)

@@ -218,8 +218,8 @@ func (s *SSF) Delete(oid uint64, _ []string) error {
 // opts.Parallelism > 1 the scan is sharded into contiguous page segments
 // and drop resolution fans across the same worker count; the Result is
 // identical either way.
-func (s *SSF) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
-	return s.searchCtx(context.Background(), pred, query, opts)
+func (s *SSF) Search(pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
+	return s.searchCtx(context.Background(), pred, query, newSearchOptions(opts))
 }
 
 // SearchContext implements AccessMethod: Search with cancellation

@@ -45,6 +45,15 @@ type FacilityStats struct {
 	// MemtableCount is the number of live entries in the LSM memtable
 	// (searched for free — it is in memory); 0 for the legacy path.
 	MemtableCount int
+	// Shards is the partition count K of a sharded facility — a search
+	// scatters across that many independent file sets, which the planner
+	// folds into its RC estimates the same way it folds SegmentCounts.
+	// 0 for an unsharded facility.
+	Shards int
+	// ShardHealth is every shard's own health state, in shard order, for
+	// a sharded facility; nil otherwise. Health above aggregates it
+	// (worst shard wins).
+	ShardHealth []HealthState
 }
 
 // Describer is implemented by facilities that can report catalog

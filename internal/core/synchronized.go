@@ -52,10 +52,10 @@ func (s *Synchronized) Delete(oid uint64, elems []string) error {
 }
 
 // Search implements AccessMethod (shared).
-func (s *Synchronized) Search(pred signature.Predicate, query []string, opts *SearchOptions) (*Result, error) {
+func (s *Synchronized) Search(pred signature.Predicate, query []string, opts ...SearchOption) (*Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.am.Search(pred, query, opts)
+	return s.am.Search(pred, query, opts...)
 }
 
 // SearchContext implements AccessMethod (shared).

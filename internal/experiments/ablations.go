@@ -263,11 +263,11 @@ func runAblationVarCard(w io.Writer, opt Options) error {
 		if dq > base.V {
 			continue
 		}
-		mf, err := setups[0].avgCost(setups[0].bssf, signature.Subset, dq, opt.Trials, opt.Seed, nil)
+		mf, err := setups[0].avgCost(setups[0].bssf, signature.Subset, dq, opt.Trials, opt.Seed)
 		if err != nil {
 			return err
 		}
-		mv, err := setups[1].avgCost(setups[1].bssf, signature.Subset, dq, opt.Trials, opt.Seed, nil)
+		mv, err := setups[1].avgCost(setups[1].bssf, signature.Subset, dq, opt.Trials, opt.Seed)
 		if err != nil {
 			return err
 		}

@@ -71,7 +71,7 @@ func RunDrift(w io.Writer, opt Options) (int, error) {
 		}
 	}
 	for _, pt := range points {
-		meas, err := setup.avgCost(pt.am, pt.pred, pt.dq, opt.Trials, opt.Seed, nil)
+		meas, err := setup.avgCost(pt.am, pt.pred, pt.dq, opt.Trials, opt.Seed)
 		if err != nil {
 			return 0, err
 		}

@@ -175,7 +175,7 @@ func TestAvgCostPropagatesQueryErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := setup.avgCost(setup.ssf, signature.Superset, 0, 1, 1, nil); err == nil {
+	if _, err := setup.avgCost(setup.ssf, signature.Superset, 0, 1, 1); err == nil {
 		t.Fatal("Dq=0 accepted")
 	}
 }

@@ -66,7 +66,7 @@ func runExtOperators(w io.Writer, opt Options) error {
 			{setup.bssf, ps.BSSFRetrievalOverlap(float64(dq))},
 			{setup.nix, ps.NIXRetrievalOverlap(float64(dq))},
 		} {
-			meas, err := setup.avgCost(x.am, signature.Overlap, dq, opt.Trials, opt.Seed, nil)
+			meas, err := setup.avgCost(x.am, signature.Overlap, dq, opt.Trials, opt.Seed)
 			if err != nil {
 				return err
 			}
@@ -81,7 +81,7 @@ func runExtOperators(w io.Writer, opt Options) error {
 		{setup.bssf, ps.BSSFRetrievalEquals(float64(setup.cfg.Dt))},
 		{setup.nix, ps.NIXRetrievalEquals(float64(setup.cfg.Dt))},
 	} {
-		meas, err := setup.avgCost(x.am, signature.Equals, setup.cfg.Dt, opt.Trials, opt.Seed, nil)
+		meas, err := setup.avgCost(x.am, signature.Equals, setup.cfg.Dt, opt.Trials, opt.Seed)
 		if err != nil {
 			return err
 		}

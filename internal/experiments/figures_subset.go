@@ -63,11 +63,11 @@ func runFig8(w io.Writer, opt Options) error {
 		}
 		if opt.Measured {
 			dqScaled := scaleDq(dq, setup.cfg.V, 13000)
-			mb, err := setup.avgCost(setup.bssf, signature.Subset, dqScaled, opt.Trials, opt.Seed, nil)
+			mb, err := setup.avgCost(setup.bssf, signature.Subset, dqScaled, opt.Trials, opt.Seed)
 			if err != nil {
 				return err
 			}
-			mn, err := setup.avgCost(setup.nix, signature.Subset, dqScaled, opt.Trials, opt.Seed, nil)
+			mn, err := setup.avgCost(setup.nix, signature.Subset, dqScaled, opt.Trials, opt.Seed)
 			if err != nil {
 				return err
 			}
@@ -130,11 +130,11 @@ func runSmartSubset(w io.Writer, opt Options, dt float64, m, f int, sweep []int)
 				maxZero = int(math.Round(float64(f) - ps.Mq(scaledOpt)))
 			}
 			mb, err := setup.avgCost(setup.bssf, signature.Subset, dqScaled, opt.Trials, opt.Seed,
-				&core.SearchOptions{MaxZeroSlices: maxZero})
+				core.WithMaxZeroSlices(maxZero))
 			if err != nil {
 				return err
 			}
-			mn, err := setup.avgCost(setup.nix, signature.Subset, dqScaled, opt.Trials, opt.Seed, nil)
+			mn, err := setup.avgCost(setup.nix, signature.Subset, dqScaled, opt.Trials, opt.Seed)
 			if err != nil {
 				return err
 			}

@@ -154,15 +154,15 @@ func runFig4(w io.Writer, opt Options) error {
 			p250.NIXRetrievalSuperset(dq),
 		}
 		if opt.Measured {
-			mssf, err := setup.avgCost(setup.ssf, signature.Superset, int(dq), opt.Trials, opt.Seed, nil)
+			mssf, err := setup.avgCost(setup.ssf, signature.Superset, int(dq), opt.Trials, opt.Seed)
 			if err != nil {
 				return err
 			}
-			mbssf, err := setup.avgCost(setup.bssf, signature.Superset, int(dq), opt.Trials, opt.Seed, nil)
+			mbssf, err := setup.avgCost(setup.bssf, signature.Superset, int(dq), opt.Trials, opt.Seed)
 			if err != nil {
 				return err
 			}
-			mnix, err := setup.avgCost(setup.nix, signature.Superset, int(dq), opt.Trials, opt.Seed, nil)
+			mnix, err := setup.avgCost(setup.nix, signature.Superset, int(dq), opt.Trials, opt.Seed)
 			if err != nil {
 				return err
 			}
@@ -203,7 +203,7 @@ func runFig5(w io.Writer, opt Options) error {
 		}
 		row = append(row, ms[0].NIXRetrievalSuperset(dq))
 		if opt.Measured {
-			meas, err := setup.avgCost(setup.bssf, signature.Superset, int(dq), opt.Trials, opt.Seed, nil)
+			meas, err := setup.avgCost(setup.bssf, signature.Superset, int(dq), opt.Trials, opt.Seed)
 			if err != nil {
 				return err
 			}
@@ -247,13 +247,13 @@ func runSmartSuperset(w io.Writer, opt Options, dt float64, m int, fs [2]int) er
 		if opt.Measured {
 			_, kScaled := ps.BSSFSmartSuperset(dq)
 			mb, err := setup.avgCost(setup.bssf, signature.Superset, int(dq), opt.Trials, opt.Seed,
-				&core.SearchOptions{MaxProbeElements: kScaled})
+				core.WithMaxProbeElements(kScaled))
 			if err != nil {
 				return err
 			}
 			_, kNScaled := ps.NIXSmartSuperset(dq)
 			mn, err := setup.avgCost(setup.nix, signature.Superset, int(dq), opt.Trials, opt.Seed,
-				&core.SearchOptions{MaxProbeElements: kNScaled})
+				core.WithMaxProbeElements(kNScaled))
 			if err != nil {
 				return err
 			}

@@ -76,14 +76,14 @@ func (s *measuredSetup) params(f int, m float64) costmodel.Params {
 
 // avgCost averages the measured total page accesses of `trials` random
 // queries of cardinality dq against the access method.
-func (s *measuredSetup) avgCost(am core.AccessMethod, pred signature.Predicate, dq, trials int, seed int64, opts *core.SearchOptions) (float64, error) {
+func (s *measuredSetup) avgCost(am core.AccessMethod, pred signature.Predicate, dq, trials int, seed int64, opts ...core.SearchOption) (float64, error) {
 	queries, err := s.inst.Queries(workload.RandomQuery, dq, trials, seed)
 	if err != nil {
 		return 0, err
 	}
 	var total int64
 	for _, q := range queries {
-		res, err := am.Search(pred, q, opts)
+		res, err := am.Search(pred, q, opts...)
 		if err != nil {
 			return 0, fmt.Errorf("measured %s: %w", am.Name(), err)
 		}

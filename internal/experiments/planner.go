@@ -90,11 +90,9 @@ func RunPlannerCheck(w io.Writer, opt Options) (int, error) {
 		if c == nil || c.Unmodeled {
 			return failures, fmt.Errorf("planner check: no modeled plan for %s Dq=%d", pt.pred, pt.dq)
 		}
-		opts := &core.SearchOptions{
-			MaxProbeElements: c.MaxProbeElements,
-			MaxZeroSlices:    c.MaxZeroSlices,
-		}
-		meas, err := setup.avgCost(ams[c.Index], pt.pred, pt.dq, opt.Trials, opt.Seed, opts)
+		meas, err := setup.avgCost(ams[c.Index], pt.pred, pt.dq, opt.Trials, opt.Seed,
+			core.WithMaxProbeElements(c.MaxProbeElements),
+			core.WithMaxZeroSlices(c.MaxZeroSlices))
 		if err != nil {
 			return failures, err
 		}

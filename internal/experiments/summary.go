@@ -144,11 +144,11 @@ func runFullScale(w io.Writer, opt Options) error {
 		var err error
 		switch pt.name {
 		case "SSF":
-			meas, err = setup.avgCost(setup.ssf, pt.pred, pt.dq, opt.Trials, opt.Seed, nil)
+			meas, err = setup.avgCost(setup.ssf, pt.pred, pt.dq, opt.Trials, opt.Seed)
 		case "BSSF":
-			meas, err = setup.avgCost(setup.bssf, pt.pred, pt.dq, opt.Trials, opt.Seed, nil)
+			meas, err = setup.avgCost(setup.bssf, pt.pred, pt.dq, opt.Trials, opt.Seed)
 		case "NIX":
-			meas, err = setup.avgCost(setup.nix, pt.pred, pt.dq, opt.Trials, opt.Seed, nil)
+			meas, err = setup.avgCost(setup.nix, pt.pred, pt.dq, opt.Trials, opt.Seed)
 		}
 		if err != nil {
 			return err

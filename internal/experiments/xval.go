@@ -67,7 +67,7 @@ func runXval(w io.Writer, opt Options) error {
 	}
 	var logRatios []float64
 	for _, pt := range points {
-		meas, err := setup.avgCost(pt.am, pt.pred, pt.dq, opt.Trials, opt.Seed, nil)
+		meas, err := setup.avgCost(pt.am, pt.pred, pt.dq, opt.Trials, opt.Seed)
 		if err != nil {
 			return err
 		}

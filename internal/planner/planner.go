@@ -216,10 +216,18 @@ func (p *Planner) Plan(pred signature.Predicate, dq int, cat Catalog, facilities
 	pl := &Plan{Predicate: pred, Dq: dq, Catalog: cat}
 	for i, desc := range facilities {
 		cands := p.candidates(pred, dq, cat, i, desc)
-		// An LSM-backed facility scatters every search across its sealed
-		// segments; each extra segment re-pays the per-file page floor.
-		// The memtable adds nothing — it is searched in memory.
-		if extra := len(desc.SegmentCounts) - 1; extra > 0 {
+		// A facility that scatters every search across several file sets
+		// re-pays the per-file page floor once per extra set. LSM
+		// facilities scatter across their sealed segments; a sharded
+		// facility scatters across its K shards (its SegmentCounts already
+		// concatenate the per-shard segments when the shards are LSM, so
+		// the segment count subsumes the shard count then). The memtable
+		// adds nothing — it is searched in memory.
+		fileSets := len(desc.SegmentCounts)
+		if fileSets == 0 && desc.Shards > 1 {
+			fileSets = desc.Shards
+		}
+		if extra := fileSets - 1; extra > 0 {
 			cm := params(cat, desc)
 			for j := range cands {
 				if !cands[j].Unmodeled {

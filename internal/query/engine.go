@@ -213,6 +213,14 @@ func WithLSMCompactAfter(n int) IndexOption {
 	return func(c *core.Config) { c.LSM = true; c.LSMCompactAfter = n }
 }
 
+// WithShardedIndex hash-partitions the index across k shards with
+// scatter-gather search (DESIGN.md §16). Results are identical to the
+// unsharded facility; the planner prices the K-way scatter and routes
+// around a facility whose worst shard is degraded.
+func WithShardedIndex(k int) IndexOption {
+	return func(c *core.Config) { c.Shards = k }
+}
+
 // CreateIndex builds a set access facility of the given kind on the path
 // class.attr, bulk-loading it from the existing objects. attr may be a
 // nested path "setAttr.leafAttr" through a set<ref> attribute — the

@@ -202,6 +202,19 @@ func (s *Server) handleBinary(connCtx context.Context, msg byte, body []byte) (b
 			resp = api.EncodeExplainResponse(r)
 			return nil
 
+		case api.MsgStats:
+			op = "stats"
+			tn, derr := api.DecodeStatsRequest(body)
+			if derr != nil {
+				return api.Errorf(api.CodeBadRequest, "%v", derr)
+			}
+			t, terr := s.Tenant(tn)
+			if terr != nil {
+				return terr
+			}
+			resp = api.EncodeStatsResponse(t.stats())
+			return nil
+
 		case api.MsgHealth:
 			op = "health"
 			h := s.Health()

@@ -32,6 +32,8 @@ func (s *Server) httpHandler() http.Handler {
 	mux.HandleFunc("POST "+api.PathPrefix+"/t/{tenant}/search_many", s.tenantOp("search_many", s.handleSearchMany))
 	mux.HandleFunc("POST "+api.PathPrefix+"/t/{tenant}/explain", s.tenantOp("explain", s.handleExplain))
 
+	mux.HandleFunc("GET "+api.PathPrefix+"/tenants/{tenant}/stats", s.tenantOp("stats", s.handleStats))
+
 	// Unversioned conveniences: liveness probe and metrics scrape.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -172,6 +174,11 @@ func (s *Server) handleSearchMany(t *tenant, w http.ResponseWriter, r *http.Requ
 		return err
 	}
 	writeJSON(w, resp)
+	return nil
+}
+
+func (s *Server) handleStats(t *tenant, w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, t.stats())
 	return nil
 }
 

@@ -651,3 +651,84 @@ func TestCheckpointTicker(t *testing.T) {
 		t.Fatal("checkpoint ticker never fired")
 	}
 }
+
+// TestStatsEndpoint drives GET /v1/tenants/{tenant}/stats and MsgStats
+// against a sharded tenant: both protocols return the identical catalog
+// snapshot, the shard layout is reported per facility, and the error
+// surface matches the route's declared codes.
+func TestStatsEndpoint(t *testing.T) {
+	_, httpURL, binAddr := startServer(t, nil)
+	hc := client.New(httpURL)
+	defer hc.Close()
+	bc := client.Dial(binAddr)
+	defer bc.Close()
+	ctx := context.Background()
+
+	if _, err := hc.CreateTenant(ctx, "sh", api.TenantConfig{
+		Kinds: []string{"bssf", "nix"}, Shards: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range shard counts are rejected at create time.
+	if _, err := hc.CreateTenant(ctx, "toomany", api.TenantConfig{Shards: 100}); api.CodeOf(err) != api.CodeBadRequest {
+		t.Fatalf("shards=100: err = %v, want BAD_REQUEST", err)
+	}
+
+	const n = 40
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		if _, err := hc.Insert(ctx, "sh", randSet(rng, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hs, err := hc.Stats(ctx, "sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := bc.Stats(ctx, "sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Protocol parity: the JSON and binary forms carry the same snapshot.
+	if fmt.Sprintf("%+v", hs) != fmt.Sprintf("%+v", bs) {
+		t.Fatalf("stats diverge across protocols:\nhttp:   %+v\nbinary: %+v", hs, bs)
+	}
+
+	if hs.Tenant != "sh" || hs.Objects != n {
+		t.Fatalf("tenant=%q objects=%d, want sh/%d", hs.Tenant, hs.Objects, n)
+	}
+	if len(hs.Facilities) != 2 {
+		t.Fatalf("facilities = %+v, want BSSF and NIX", hs.Facilities)
+	}
+	for _, f := range hs.Facilities {
+		if f.Count != n {
+			t.Errorf("%s count = %d, want %d", f.Kind, f.Count, n)
+		}
+		if f.Shards != 4 || len(f.ShardHealth) != 4 {
+			t.Errorf("%s shards = %d shard_health = %v, want K=4", f.Kind, f.Shards, f.ShardHealth)
+		}
+		for _, h := range f.ShardHealth {
+			if h != "healthy" {
+				t.Errorf("%s shard health %q, want healthy", f.Kind, h)
+			}
+		}
+		if f.Health != "healthy" || f.StoragePages <= 0 {
+			t.Errorf("%s health=%q pages=%d", f.Kind, f.Health, f.StoragePages)
+		}
+		if f.Kind == "BSSF" && (f.F != 256 || f.M != 2) {
+			t.Errorf("BSSF design F=%d m=%d, want 256/2", f.F, f.M)
+		}
+		if f.Kind == "NIX" && f.DistinctElems <= 0 {
+			t.Errorf("NIX distinct_elems = %d, want > 0", f.DistinctElems)
+		}
+	}
+
+	// Unknown tenant is NOT_FOUND on both protocols.
+	if _, err := hc.Stats(ctx, "nope"); api.CodeOf(err) != api.CodeNotFound {
+		t.Fatalf("http stats unknown tenant: err = %v, want NOT_FOUND", err)
+	}
+	if _, err := bc.Stats(ctx, "nope"); api.CodeOf(err) != api.CodeNotFound {
+		t.Fatalf("binary stats unknown tenant: err = %v, want NOT_FOUND", err)
+	}
+}

@@ -147,6 +147,12 @@ func normalizeConfig(cfg api.TenantConfig) (api.TenantConfig, error) {
 	if cfg.F < 8 || cfg.F > 1<<16 || cfg.M < 1 || cfg.M > cfg.F {
 		return cfg, api.Errorf(api.CodeBadRequest, "signature design F=%d m=%d out of range", cfg.F, cfg.M)
 	}
+	if cfg.Shards == 1 {
+		cfg.Shards = 0 // one shard is the unsharded facility
+	}
+	if cfg.Shards < 0 || cfg.Shards > 64 {
+		return cfg, api.Errorf(api.CodeBadRequest, "shard count %d out of range [2,64]", cfg.Shards)
+	}
 	return cfg, nil
 }
 
@@ -218,6 +224,9 @@ func (s *Server) openTenant(name, dir string, cfg api.TenantConfig, create bool)
 		if cfg.LSMCompactAfter > 0 {
 			iopts = append(iopts, query.WithLSMCompactAfter(cfg.LSMCompactAfter))
 		}
+	}
+	if cfg.Shards > 1 {
+		iopts = append(iopts, query.WithShardedIndex(cfg.Shards))
 	}
 	for _, ks := range cfg.Kinds {
 		kind, err := parseKind(ks)
@@ -550,6 +559,43 @@ func (t *tenant) health() api.TenantHealth {
 		})
 	}
 	return th
+}
+
+// stats snapshots every facility's catalog statistics for the stats
+// endpoint — the numbers the tenant's own cost-based planner reads,
+// exported on the wire.
+func (t *tenant) stats() *api.StatsResponse {
+	resp := &api.StatsResponse{
+		Tenant:  t.name,
+		Objects: t.db.Count(itemClass),
+	}
+	for _, am := range t.eng.Indexes(itemClass, setAttr) {
+		d, ok := am.(core.Describer)
+		if !ok {
+			continue
+		}
+		fs := d.Describe()
+		wf := api.FacilityStats{
+			Kind:          fs.Facility,
+			Count:         fs.Count,
+			AvgSetCard:    fs.AvgSetCard,
+			F:             fs.F,
+			M:             fs.M,
+			Frames:        fs.Frames,
+			DistinctElems: fs.DistinctElems,
+			LookupPages:   fs.LookupPages,
+			StoragePages:  fs.StoragePages,
+			Health:        fs.Health.String(),
+			Shards:        fs.Shards,
+			SegmentCounts: fs.SegmentCounts,
+			MemtableCount: fs.MemtableCount,
+		}
+		for _, h := range fs.ShardHealth {
+			wf.ShardHealth = append(wf.ShardHealth, h.String())
+		}
+		resp.Facilities = append(resp.Facilities, wf)
+	}
+	return resp
 }
 
 // info describes the tenant for the list endpoint.

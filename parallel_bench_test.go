@@ -28,8 +28,8 @@ const (
 )
 
 type parallelFixture struct {
-	ssf     *SSF
-	bssf    *BSSF
+	ssf     AccessMethod
+	bssf    AccessMethod
 	sets    MapSource
 	queries [][]string
 }
@@ -64,18 +64,18 @@ func parallelBenchFixture(b *testing.B) *parallelFixture {
 		if err != nil {
 			panic(err)
 		}
-		ssf, err := NewSSF(scheme, sets, nil)
+		ssf, err := Open(Config{Kind: KindSSF, Scheme: scheme, Source: sets})
 		if err != nil {
 			panic(err)
 		}
-		if err := ssf.InsertBatch(entries); err != nil {
+		if err := InsertAll(ssf, entries); err != nil {
 			panic(err)
 		}
-		bssf, err := NewBSSF(scheme, sets, nil)
+		bssf, err := Open(Config{Kind: KindBSSF, Scheme: scheme, Source: sets})
 		if err != nil {
 			panic(err)
 		}
-		if err := bssf.InsertBatch(entries); err != nil {
+		if err := InsertAll(bssf, entries); err != nil {
 			panic(err)
 		}
 		queries := make([][]string, 16)
@@ -99,10 +99,9 @@ func BenchmarkSearchParallel(b *testing.B) {
 	f := parallelBenchFixture(b)
 	for _, p := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
-			opts := &SearchOptions{Parallelism: p}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := f.ssf.Search(Superset, f.queries[i%len(f.queries)], opts); err != nil {
+				if _, err := f.ssf.Search(Superset, f.queries[i%len(f.queries)], WithParallelism(p)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -117,10 +116,9 @@ func BenchmarkSearchParallelBSSF(b *testing.B) {
 	f := parallelBenchFixture(b)
 	for _, p := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
-			opts := &SearchOptions{Parallelism: p}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := f.bssf.Search(Subset, f.queries[i%len(f.queries)], opts); err != nil {
+				if _, err := f.bssf.Search(Subset, f.queries[i%len(f.queries)], WithParallelism(p)); err != nil {
 					b.Fatal(err)
 				}
 			}

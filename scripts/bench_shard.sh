@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerates BENCH_shard.json: sharded (K-way) vs unsharded search QPS
+# and latency percentiles at a fixed worker count, per facility.
+#
+#   scripts/bench_shard.sh [seconds] [shards] [workers] [facility]
+#
+# The JSON records the measuring machine's core count alongside every
+# point: scatter-gather across K shards only buys throughput when there
+# are cores to scatter onto, so the environment is part of the result.
+# On a single-core machine K>1 is expected to cost a little (the merge
+# is pure overhead) — CI gates accordingly.
+set -eu
+cd "$(dirname "$0")/.."
+
+SECONDS_PER_POINT="${1:-3}"
+SHARDS="${2:-4}"
+WORKERS="${3:-4}"
+FACILITY="${4:-all}"
+OUT="BENCH_shard.json"
+
+go run ./cmd/sigbench -throughput \
+    -shards "$SHARDS" \
+    -workers "$WORKERS" \
+    -facility "$FACILITY" \
+    -seconds "$SECONDS_PER_POINT" \
+    -json "$OUT"
+
+echo "wrote $OUT"

@@ -35,7 +35,7 @@
 //	for oid, set := range sets {
 //	    idx.Insert(oid, set)
 //	}
-//	res, _ := idx.Search(sigfile.Superset, []string{"Baseball", "Fishing"}, nil)
+//	res, _ := idx.Search(sigfile.Superset, []string{"Baseball", "Fishing"})
 //	// res.OIDs == [1, 2]; res.Stats decomposes the page-access cost.
 //
 // Beyond the facilities themselves the module ships the paper's full
@@ -83,10 +83,15 @@ type (
 	// SearchStats decomposes a search's page accesses the way the
 	// paper's RC formulas do.
 	SearchStats = core.SearchStats
-	// SearchOptions selects a retrieval strategy (the paper's smart
-	// object retrieval) and, via Parallelism, how many goroutines a
-	// search fans across — results are identical at any setting.
+	// SearchOptions is the resolved form of a SearchOption list — the
+	// strategy struct the facilities consume after folding the option
+	// functions. Exported for inspection; configure searches through the
+	// WithX option functions.
 	SearchOptions = core.SearchOptions
+	// ShardedFacility hash-partitions the OID space across K inner
+	// facilities and scatter-gathers searches over them (DESIGN.md §16).
+	// Build one with Open plus WithShards.
+	ShardedFacility = core.ShardedFacility
 	// SearchRequest is one search of a batch passed to SearchMany.
 	SearchRequest = core.SearchRequest
 	// SetSource resolves an OID to its stored set during false-drop
@@ -127,8 +132,8 @@ type (
 	// page writes across a bulk load (the insertion-cost improvement the
 	// paper's §6 anticipates, taken to its limit).
 	BatchInserter = core.BatchInserter
-	// SearchOption configures one SearchContext call; see WithParallelism,
-	// WithSmartRetrieval, WithTrace, WithOptions.
+	// SearchOption configures one Search/SearchContext call; see
+	// WithParallelism, WithSmartRetrieval, WithTrace.
 	SearchOption = core.SearchOption
 	// Trace is one search's phase decomposition: index scan → OID map →
 	// false-drop resolution, with page counts summing exactly to the
@@ -306,46 +311,23 @@ func WithLSMMemtableSize(ops int) OpenOption { return core.WithLSMMemtableSize(o
 // compaction (default 4). Implies WithLSM.
 func WithLSMCompactAfter(n int) OpenOption { return core.WithLSMCompactAfter(n) }
 
+// WithShards hash-partitions the OID space across k inner facilities,
+// each a full instance of the configured kind under its own store
+// prefix, WAL and health ladder. Writes route to the owning shard;
+// searches scatter-gather across all shards with deterministic merging,
+// so results are byte-identical at any k (DESIGN.md §16). k ≤ 1 means
+// unsharded. Composes with WithLSM: each shard runs its own LSM.
+func WithShards(k int) OpenOption { return core.WithShards(k) }
+
 // InsertAll loads entries into a facility, using its batch path (page
 // writes amortized across the batch) when it implements BatchInserter
 // and falling back to one-at-a-time inserts otherwise.
 func InsertAll(am AccessMethod, entries []Entry) error { return core.InsertAll(am, entries) }
 
-// NewSSF creates (or reopens) a sequential signature file in store (nil
-// for in-memory). src resolves OIDs during false-drop resolution.
-//
-// Deprecated: use Open with KindSSF.
-func NewSSF(scheme *Scheme, src SetSource, store Store) (*SSF, error) {
-	return core.NewSSF(scheme, src, store)
-}
-
-// NewBSSF creates (or reopens) a bit-sliced signature file.
-//
-// Deprecated: use Open with KindBSSF.
-func NewBSSF(scheme *Scheme, src SetSource, store Store) (*BSSF, error) {
-	return core.NewBSSF(scheme, src, store)
-}
-
-// NewNIX creates (or reopens) a nested index.
-//
-// Deprecated: use Open with KindNIX.
-func NewNIX(src SetSource, store Store) (*NIX, error) {
-	return core.NewNIX(src, store)
-}
-
 // NewFrameScheme returns a frame-sliced coding scheme: k frames of s
 // bits (total width F = k·s) with m bits per element signature.
 func NewFrameScheme(k, s, m int) (*FrameScheme, error) {
 	return signature.NewFrameScheme(k, s, m)
-}
-
-// NewFSSF creates (or reopens) a frame-sliced signature file — cheap
-// insertion like SSF, T ⊇ Q retrieval that reads only the frames the
-// query hashes to.
-//
-// Deprecated: use Open with KindFSSF.
-func NewFSSF(scheme *FrameScheme, src SetSource, store Store) (*FSSF, error) {
-	return core.NewFSSF(scheme, src, store)
 }
 
 // SearchMany answers a batch of searches against one facility, fanning
@@ -365,9 +347,8 @@ func SearchManyContext(ctx context.Context, am AccessMethod, reqs []SearchReques
 	return core.SearchManyContext(ctx, am, reqs, parallelism)
 }
 
-// Search options for AccessMethod.SearchContext. Each returns a
-// SearchOption; the positional SearchOptions struct remains as a
-// compatibility shim foldable through WithOptions.
+// Search options for AccessMethod.Search and SearchContext. Each returns
+// a SearchOption; they are the only way to configure a search.
 
 // WithParallelism fans the search across up to n goroutines (0 or 1 =
 // sequential, negative = one per CPU). The Result — OIDs and every Stats
@@ -391,10 +372,6 @@ func WithMaxZeroSlices(z int) SearchOption { return core.WithMaxZeroSlices(z) }
 // WithTrace emits the search's phase trace to sink; it overrides any sink
 // riding the context (ContextWithTraceSink).
 func WithTrace(sink TraceSink) SearchOption { return core.WithTrace(sink) }
-
-// WithOptions folds a legacy SearchOptions struct into an option list,
-// for callers migrating incrementally. nil is a no-op.
-func WithOptions(legacy *SearchOptions) SearchOption { return core.WithOptions(legacy) }
 
 // ContextWithTraceSink returns a context carrying a trace sink: every
 // SearchContext under it emits its phase trace there, including searches

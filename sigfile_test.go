@@ -21,11 +21,11 @@ func TestQuickstart(t *testing.T) {
 		var am AccessMethod
 		switch name {
 		case "SSF":
-			am, err = NewSSF(scheme, sets, nil)
+			am, err = Open(Config{Kind: KindSSF, Scheme: scheme, Source: sets})
 		case "BSSF":
-			am, err = NewBSSF(scheme, sets, nil)
+			am, err = Open(Config{Kind: KindBSSF, Scheme: scheme, Source: sets})
 		case "NIX":
-			am, err = NewNIX(sets, nil)
+			am, err = Open(Config{Kind: KindNIX, Source: sets})
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -39,14 +39,14 @@ func TestQuickstart(t *testing.T) {
 	}
 	for _, name := range []string{"SSF", "BSSF", "NIX"} {
 		am := build(name)
-		res, err := am.Search(Superset, []string{"Baseball", "Fishing"}, nil)
+		res, err := am.Search(Superset, []string{"Baseball", "Fishing"})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(res.OIDs) != 2 || res.OIDs[0] != 1 || res.OIDs[1] != 2 {
 			t.Fatalf("%s: OIDs = %v, want [1 2]", name, res.OIDs)
 		}
-		res, err = am.Search(Subset, []string{"Tennis", "Chess"}, nil)
+		res, err = am.Search(Subset, []string{"Tennis", "Chess"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +66,7 @@ func TestDiskBackedFacility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ssf, err := NewSSF(scheme, sets, store)
+	ssf, err := Open(Config{Kind: KindSSF, Scheme: scheme, Source: sets, Store: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +76,11 @@ func TestDiskBackedFacility(t *testing.T) {
 		}
 	}
 	// Reopen from the same directory.
-	ssf2, err := NewSSF(scheme, sets, store)
+	ssf2, err := Open(Config{Kind: KindSSF, Scheme: scheme, Source: sets, Store: store})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ssf2.Search(Superset, []string{"b"}, nil)
+	res, err := ssf2.Search(Superset, []string{"b"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,14 +111,14 @@ func TestSmartOptionsFacade(t *testing.T) {
 		sets[oid] = []string{"x", "y", "z"}
 	}
 	scheme, _ := NewScheme(128, 2)
-	bssf, err := NewBSSF(scheme, sets, nil)
+	bssf, err := Open(Config{Kind: KindBSSF, Scheme: scheme, Source: sets})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for oid, set := range sets {
 		bssf.Insert(oid, set)
 	}
-	res, err := bssf.Search(Superset, []string{"x", "y", "z"}, &SearchOptions{MaxProbeElements: 1})
+	res, err := bssf.Search(Superset, []string{"x", "y", "z"}, WithMaxProbeElements(1))
 	if err != nil {
 		t.Fatal(err)
 	}
