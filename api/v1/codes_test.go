@@ -4,85 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
-	"strings"
 	"testing"
 
 	"sigfile"
 )
 
-// TestSentinelCoverage parses the sigfile facade package and asserts
-// every exported sentinel error (top-level `var ErrX = ...`) has a row
-// in sentinelCodes. This is the guard the wire schema needs: a new
-// sentinel added to the library without a stable code assignment would
-// otherwise silently cross the wire as CodeInternal.
-func TestSentinelCoverage(t *testing.T) {
-	root := "../.."
-	entries, err := os.ReadDir(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fset := token.NewFileSet()
-	var sentinels []string
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(root, name), nil, 0)
-		if err != nil {
-			t.Fatalf("parse %s: %v", name, err)
-		}
-		if f.Name.Name != "sigfile" {
-			continue
-		}
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.VAR {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, id := range vs.Names {
-					if strings.HasPrefix(id.Name, "Err") && ast.IsExported(id.Name) {
-						sentinels = append(sentinels, id.Name)
-					}
-				}
-			}
-		}
-	}
-	if len(sentinels) == 0 {
-		t.Fatal("found no exported sentinels in the facade — parser broken?")
-	}
-
-	mapped := map[string]bool{}
-	for _, sc := range sentinelCodes {
-		mapped[sc.Name] = true
-	}
-	for _, name := range sentinels {
-		if !mapped[name] {
-			t.Errorf("facade sentinel sigfile.%s has no wire code: add a sentinelCodes row (and a Code constant) in api/v1/codes.go", name)
-		}
-	}
-	// The inverse direction: every table row must name a sentinel that
-	// still exists, so stale rows are caught too.
-	exists := map[string]bool{}
-	for _, name := range sentinels {
-		exists[name] = true
-	}
-	for _, sc := range sentinelCodes {
-		if !exists[sc.Name] {
-			t.Errorf("sentinelCodes row %q names no facade sentinel — remove or rename it", sc.Name)
-		}
-	}
-}
+// Sentinel coverage — every exported facade Err* having a sentinelCodes
+// row with a live name, and the inverse — is enforced mechanically by
+// the wirecode analyzer (internal/analysis/wirecode, run by cmd/sigvet
+// in CI), which replaced the AST-walking TestSentinelCoverage that used
+// to live here.
 
 // TestSentinelCodesDistinct asserts no two sentinels share a code and
 // no row is incomplete.

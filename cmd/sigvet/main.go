@@ -1,12 +1,15 @@
 // Command sigvet runs the project's custom static analyzers over a set
 // of packages and reports invariant violations. It is the mechanical
-// enforcement layer for the codebase's concurrency, context, and
-// page-accounting contracts:
+// enforcement layer for the codebase's concurrency, context,
+// page-accounting, fault-classification, wire-schema, segment
+// immutability, determinism, and atomicity contracts:
 //
 //	go run ./cmd/sigvet ./...
 //
-// Individual analyzers can be switched off, e.g. -lockcheck=false.
-// Findings are suppressed per line with a justified directive:
+// Individual analyzers can be switched off, e.g. -lockcheck=false, and
+// -summary prints a per-analyzer pass/fail and timing table (CI runs
+// with it). Findings are suppressed per line with a justified
+// directive:
 //
 //	//sigvet:ignore <reason>
 //
@@ -19,25 +22,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"sigfile/internal/analysis/atomiccheck"
 	"sigfile/internal/analysis/ctxcheck"
+	"sigfile/internal/analysis/detorder"
 	"sigfile/internal/analysis/errwrap"
+	"sigfile/internal/analysis/faultclass"
 	"sigfile/internal/analysis/lockcheck"
 	"sigfile/internal/analysis/pageacct"
+	"sigfile/internal/analysis/segimmut"
 	"sigfile/internal/analysis/sigvet"
+	"sigfile/internal/analysis/wirecode"
 )
 
 func main() {
 	all := []*sigvet.Analyzer{
+		atomiccheck.Analyzer,
 		ctxcheck.Analyzer,
+		detorder.Analyzer,
 		errwrap.Analyzer,
+		faultclass.Analyzer,
 		lockcheck.Analyzer,
 		pageacct.Analyzer,
+		segimmut.Analyzer,
+		wirecode.Analyzer,
 	}
 	enabled := make(map[string]*bool, len(all))
 	for _, a := range all {
 		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+a.Doc)
 	}
+	summary := flag.Bool("summary", false, "print a per-analyzer pass/fail and timing summary")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: sigvet [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -60,13 +75,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sigvet: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := sigvet.Run(pkgs, run)
+	findings, stats, err := sigvet.RunStats(pkgs, run)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sigvet: %v\n", err)
 		os.Exit(2)
 	}
 	for _, f := range findings {
 		fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if *summary {
+		fmt.Fprintf(os.Stderr, "%-12s %9s %12s  %s\n", "analyzer", "findings", "time", "result")
+		for _, st := range stats {
+			result := "PASS"
+			if st.Findings > 0 {
+				result = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "%-12s %9d %12s  %s\n",
+				st.Name, st.Findings, st.Duration.Round(time.Microsecond), result)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "sigvet: %d finding(s)\n", len(findings))

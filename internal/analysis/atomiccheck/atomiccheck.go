@@ -1,0 +1,112 @@
+// Package atomiccheck guards the obs registry and server queue-depth
+// counters: a field accessed through sync/atomic anywhere must be
+// accessed atomically everywhere. Mixing atomic and plain access on the
+// same word is a data race the race detector only catches when the
+// schedule cooperates; the analyzer makes it a vet-time fact.
+//
+// Two rules:
+//
+//  1. A struct field whose address is passed to a legacy sync/atomic
+//     function (atomic.AddInt64(&x.n, 1), ...) must appear nowhere else
+//     except in other atomic calls or composite-literal initialization.
+//
+//  2. A value of an atomic.* type (atomic.Int64, atomic.Bool, ...) must
+//     not be reassigned wholesale (x.n = atomic.Int64{}): the store
+//     bypasses the type's atomicity; use its Store method.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sigfile/internal/analysis/sigvet"
+)
+
+// Analyzer is the atomiccheck analyzer.
+var Analyzer = &sigvet.Analyzer{
+	Name: "atomiccheck",
+	Doc: "a field accessed via sync/atomic anywhere must be accessed atomically " +
+		"everywhere, and atomic.* values must not be reassigned wholesale",
+	Run: run,
+}
+
+func run(pass *sigvet.Pass) (any, error) {
+	atomicFields := make(map[types.Object]bool)
+	sanctioned := make(map[ast.Node]bool)
+
+	// Pass 1: find fields addressed into legacy sync/atomic calls and
+	// sanction those references. (Composite-literal initialization is
+	// implicitly allowed: field keys are bare identifiers, which the
+	// reporting pass does not look at.)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := sigvet.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+					atomicFields[v] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: report plain accesses to atomic fields and wholesale
+	// reassignment of atomic.* values.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n] {
+					return true
+				}
+				v, ok := pass.TypesInfo.Uses[n.Sel].(*types.Var)
+				if !ok || !v.IsField() || !atomicFields[v] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"field %s is accessed with sync/atomic elsewhere; this plain access races with "+
+						"the atomic ones — use the atomic API for every access", v.Name())
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					tv, ok := pass.TypesInfo.Types[lhs]
+					if !ok || !isAtomicType(tv.Type) {
+						continue
+					}
+					pass.Reportf(lhs.Pos(),
+						"atomic value reassigned non-atomically; wholesale assignment bypasses the "+
+							"type's atomicity — use its Store method")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicType reports whether t is a named type of the sync/atomic
+// package (atomic.Int32, atomic.Int64, atomic.Uint64, atomic.Bool,
+// atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	named := sigvet.NamedOf(t)
+	return named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}

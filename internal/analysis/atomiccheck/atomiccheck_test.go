@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/atomiccheck"
+	"sigfile/internal/analysis/vettest"
+)
+
+func TestAtomicCheck(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), atomiccheck.Analyzer, "atomicdata")
+}

@@ -1,0 +1,44 @@
+// Package atomicdata exercises both atomiccheck rules.
+package atomicdata
+
+import "sync/atomic"
+
+// counterLegacy mixes legacy atomic calls with one plain access.
+type counterLegacy struct {
+	n    int64
+	name string
+}
+
+func newLegacy() *counterLegacy {
+	return &counterLegacy{n: 0, name: "x"} // composite-literal init is fine
+}
+
+func (c *counterLegacy) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counterLegacy) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counterLegacy) reset() {
+	c.n = 0 // want `accessed with sync/atomic elsewhere`
+}
+
+func (c *counterLegacy) label() string {
+	return c.name // never touched atomically; fine
+}
+
+// counterNew uses the typed API; methods are fine, wholesale
+// reassignment is not.
+type counterNew struct {
+	n atomic.Int64
+}
+
+func (c *counterNew) inc() { c.n.Add(1) }
+
+func (c *counterNew) resetGood() { c.n.Store(0) }
+
+func (c *counterNew) resetBad() {
+	c.n = atomic.Int64{} // want `atomic value reassigned non-atomically`
+}

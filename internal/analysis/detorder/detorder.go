@@ -1,0 +1,156 @@
+// Package detorder guards the determinism contract behind the
+// byte-identical-at-any-K/any-P guarantee (DESIGN.md §16): Go map
+// iteration order is deliberately random, so a slice built by appending
+// inside a map range carries a different order on every run. If that
+// slice becomes an ordered product — a result list, a wire-encoded
+// sequence, a joined error, a planner candidate table — determinism is
+// gone in a way differential tests only catch by luck.
+//
+// The rule: a function that appends to a pre-existing slice while
+// ranging over a map must, somewhere in the same function, sort that
+// slice — a sort./slices. call, or any callee whose name mentions sort
+// taking the slice as an argument (the sortedU64 helper idiom). Slices
+// declared inside the loop body (per-iteration scratch) are exempt, as
+// are folds into index-addressed slots, which cannot depend on
+// iteration order.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sigfile/internal/analysis/sigvet"
+)
+
+// Analyzer is the detorder analyzer.
+var Analyzer = &sigvet.Analyzer{
+	Name: "detorder",
+	Doc: "a slice appended to while ranging over a map must be sorted before it " +
+		"becomes an ordered product; map order is random",
+	Run: run,
+}
+
+func run(pass *sigvet.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *sigvet.Pass, fd *ast.FuncDecl) {
+	sorted := sortedVars(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rng, sorted)
+		return true
+	})
+}
+
+// sortedVars collects the objects of every variable that is, anywhere
+// in fd, passed to a sorting call: any function of the sort or slices
+// packages, or any callee whose name mentions "sort" (sort.Slice,
+// slices.SortFunc, the local sortedU64 helper, ...).
+func sortedVars(pass *sigvet.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := sigvet.RootIdentObject(pass.TypesInfo, arg); obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall reports whether call plausibly orders its arguments.
+func isSortCall(pass *sigvet.Pass, call *ast.CallExpr) bool {
+	if fn := sigvet.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		if fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+				return true
+			}
+		}
+		return strings.Contains(strings.ToLower(fn.Name()), "sort")
+	}
+	// Dynamic call: judge by the spelled name.
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(f.Name), "sort")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(f.Sel.Name), "sort")
+	}
+	return false
+}
+
+// checkMapRange reports appends inside rng that grow a slice declared
+// outside the loop and never sorted in the enclosing function.
+func checkMapRange(pass *sigvet.Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(assign.Lhs) {
+				continue
+			}
+			fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || fun.Name != "append" || len(call.Args) == 0 {
+				continue
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			// Slot-indexed fold: edges[k] = append(edges[k], ...) grows a
+			// per-key slot, whose content cannot depend on which order the
+			// keys were visited in.
+			if _, isIndex := ast.Unparen(call.Args[0]).(*ast.IndexExpr); isIndex {
+				continue
+			}
+			// The accumulator pattern: s = append(s, ...). Appends whose
+			// source and destination differ are not order-dependent
+			// growth of one product; leave them alone.
+			target := sigvet.RootIdentObject(pass.TypesInfo, call.Args[0])
+			if target == nil || target != sigvet.RootIdentObject(pass.TypesInfo, assign.Lhs[i]) {
+				continue
+			}
+			// Per-iteration scratch: declared inside the loop body.
+			if target.Pos() > rng.Pos() && target.Pos() < rng.End() {
+				continue
+			}
+			if sorted[target] {
+				continue
+			}
+			pass.Reportf(assign.Pos(),
+				"slice %s is appended to in map-iteration order and never sorted here; map order is "+
+					"random, so any ordered product built from it (results, wire lists, joined errors) "+
+					"breaks determinism — sort it or fold by index",
+				target.Name())
+		}
+		return true
+	})
+}

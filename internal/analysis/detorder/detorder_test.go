@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/detorder"
+	"sigfile/internal/analysis/vettest"
+)
+
+func TestDetOrder(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), detorder.Analyzer, "detdata")
+}

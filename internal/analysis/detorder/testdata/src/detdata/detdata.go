@@ -1,0 +1,92 @@
+// Package detdata exercises the detorder map-iteration rule.
+package detdata
+
+import "sort"
+
+// keysSorted accumulates then sorts: the canonical fix. No finding.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keysBad returns the slice in map order.
+func keysBad(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appended to in map-iteration order`
+	}
+	return keys
+}
+
+// sortedLater hands the slice to a sort-named helper: the sortedU64
+// idiom. No finding.
+func sortedLater(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return sortedCopy(keys)
+}
+
+func sortedCopy(s []string) []string {
+	sort.Strings(s)
+	return s
+}
+
+// sliceSort uses the comparator form. No finding.
+func sliceSort(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// perIter appends to a slice declared inside the loop body:
+// per-iteration scratch cannot leak iteration order. No finding.
+func perIter(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// sliceRange ranges a slice, not a map: order is already deterministic.
+// No finding.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// slotFold appends into a map slot keyed by the range variable: each
+// slot's content is independent of the order keys were visited in.
+// No finding.
+func slotFold(pairs map[string]string) map[string][]string {
+	index := make(map[string][]string)
+	for k, v := range pairs {
+		index[v] = append(index[v], k)
+	}
+	return index
+}
+
+// nestedBad hides the unsorted append in a condition inside the range.
+func nestedBad(m map[string]int) []string {
+	var hot []string
+	for k, v := range m {
+		if v > 10 {
+			hot = append(hot, k) // want `appended to in map-iteration order`
+		}
+	}
+	return hot
+}

@@ -1,0 +1,321 @@
+// Package faultclass enforces the fault-classification discipline of
+// the resilience layer (DESIGN.md §12): Classify is the single decision
+// procedure that sorts a storage error into transient / terminal /
+// corrupt, and every layer that reacts to an error — the retry loops,
+// the per-facility health ladder — must consult it rather than invent
+// its own verdict. Three rules make that mechanical:
+//
+//  1. A retry loop (a for statement that backs off — time.Sleep,
+//     time.After, time.NewTimer, or a pluggable Sleep hook — and exits
+//     or continues on an error condition) must call pagestore.Classify
+//     or pagestore.Retryable inside the loop. A loop retrying on a bare
+//     err != nil would retry terminal faults and, worse, context
+//     cancellations.
+//
+//  2. Context errors must never be retried: passing ctx.Err(),
+//     context.Canceled, or context.DeadlineExceeded into
+//     pagestore.MarkTransient manufactures a transient verdict for an
+//     error Classify deliberately maps to ClassNone.
+//
+//  3. In the pagestore package itself, every exported Err* sentinel
+//     must appear in Classify's table. A sentinel absent from the table
+//     silently classifies as ClassNone, so the retry layer would not
+//     retry it and the health ladder would not degrade over it — almost
+//     never what the author of a new sentinel intended, and if it is,
+//     the table must say so explicitly.
+//
+//  4. A function that moves the health ladder (calls escalateTo) must
+//     classify the error that triggered the transition.
+package faultclass
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sigfile/internal/analysis/sigvet"
+)
+
+// Analyzer is the faultclass analyzer.
+var Analyzer = &sigvet.Analyzer{
+	Name: "faultclass",
+	Doc: "errors feeding retry decisions or health-ladder transitions must pass " +
+		"through pagestore.Classify; context errors are never retried; every " +
+		"pagestore Err* sentinel has a Classify table entry",
+	Run: run,
+}
+
+func run(pass *sigvet.Pass) (any, error) {
+	checkSentinelTable(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkRetryLoops(pass, fd)
+			checkContextMarks(pass, fd)
+			checkEscalations(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkSentinelTable enforces rule 3: inside a pagestore package that
+// defines Classify, every exported package-level Err* sentinel of error
+// type must be referenced by Classify's body.
+func checkSentinelTable(pass *sigvet.Pass) {
+	if !sigvet.PkgPathEndsWith(pass.Pkg, "pagestore") {
+		return
+	}
+	var classify *ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "Classify" && fd.Body != nil {
+				classify = fd
+			}
+		}
+	}
+	if classify == nil {
+		return
+	}
+	referenced := make(map[types.Object]bool)
+	ast.Inspect(classify.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				referenced[obj] = true
+			}
+		}
+		return true
+	})
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") {
+			continue
+		}
+		v, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !isErrorType(v.Type()) || referenced[v] {
+			continue
+		}
+		pass.Reportf(v.Pos(),
+			"sentinel %s has no Classify table entry; every pagestore Err* sentinel must be "+
+				"classified (even as ClassNone, explicitly) so retry and health layers agree on its class",
+			name)
+	}
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
+}
+
+// checkRetryLoops enforces rule 1 on every for loop of fd.
+func checkRetryLoops(pass *sigvet.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if !hasBackoff(pass, loop.Body) || !hasErrorExit(pass, loop.Body) {
+			return true
+		}
+		if classifiesError(pass, loop.Body) {
+			return true
+		}
+		pass.Reportf(loop.Pos(),
+			"retry loop decides on an error it never classifies; gate retries with "+
+				"pagestore.Classify/Retryable so terminal and context errors are not retried")
+		return true
+	})
+}
+
+// inspectShallow walks body without descending into nested loops or
+// function literals, so each candidate retry loop is judged on its own
+// level.
+func inspectShallow(body *ast.BlockStmt, f func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		}
+		return f(n)
+	})
+}
+
+// hasBackoff reports whether the loop body waits between iterations: a
+// call to time.Sleep/After/NewTimer, or a dynamic call through a
+// func-typed Sleep hook (the RetryPolicy.Sleep test seam).
+func hasBackoff(pass *sigvet.Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := sigvet.CalleeFunc(pass.TypesInfo, call); fn != nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+				switch fn.Name() {
+				case "Sleep", "After", "NewTimer":
+					found = true
+				}
+			}
+			return true
+		}
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if f.Name == "Sleep" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if f.Sel.Name == "Sleep" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasErrorExit reports whether the loop body branches (return, break,
+// continue) on a condition that mentions an error-typed value — the
+// shape of a retry decision.
+func hasErrorExit(pass *sigvet.Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !mentionsError(pass, ifs.Cond) {
+			return true
+		}
+		if branches(ifs.Body) {
+			found = true
+		}
+		if block, ok := ifs.Else.(*ast.BlockStmt); ok && branches(block) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsError reports whether cond references a value of error type.
+func mentionsError(pass *sigvet.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar && isErrorType(obj.Type()) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// branches reports whether body contains a return, break, or continue.
+func branches(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// classifiesError reports whether the loop body consults a sanctioned
+// decision procedure: pagestore.Classify/Retryable, or the wire-layer
+// classifier api.CodeOf (which handles context errors the same way).
+func classifiesError(pass *sigvet.Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sigvet.IsMethodCallIn(pass.TypesInfo, call, "pagestore", "Classify", "Retryable") ||
+				sigvet.IsMethodCallIn(pass.TypesInfo, call, "v1", "CodeOf") ||
+				sigvet.IsMethodCallIn(pass.TypesInfo, call, "api", "CodeOf") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkContextMarks enforces rule 2: MarkTransient over a context error.
+func checkContextMarks(pass *sigvet.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !sigvet.IsMethodCallIn(pass.TypesInfo, call, "pagestore", "MarkTransient") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsContextError(pass, arg) {
+				pass.Reportf(call.Pos(),
+					"context errors must never be retried: MarkTransient on a context error "+
+						"defeats Classify's ClassNone verdict for cancellation")
+			}
+		}
+		return true
+	})
+}
+
+// mentionsContextError reports whether expr references context.Canceled,
+// context.DeadlineExceeded, or a ctx.Err() call.
+func mentionsContextError(pass *sigvet.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" &&
+				(obj.Name() == "Canceled" || obj.Name() == "DeadlineExceeded") {
+				found = true
+			}
+		case *ast.CallExpr:
+			fn := sigvet.CalleeFunc(pass.TypesInfo, n)
+			if fn != nil && fn.Name() == "Err" {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil && sigvet.IsContextType(recv.Type()) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkEscalations enforces rule 4: a function that calls escalateTo
+// (other than escalateTo itself) must classify in the same body.
+func checkEscalations(pass *sigvet.Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name == "escalateTo" {
+		return
+	}
+	var escalations []ast.Node
+	classifies := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := sigvet.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Name() == "escalateTo" {
+			escalations = append(escalations, call)
+		}
+		if sigvet.IsMethodCallIn(pass.TypesInfo, call, "pagestore", "Classify", "Retryable") {
+			classifies = true
+		}
+		return true
+	})
+	if classifies {
+		return
+	}
+	for _, call := range escalations {
+		pass.Reportf(call.Pos(),
+			"health transition without classification: %s escalates the health ladder but "+
+				"never calls pagestore.Classify on the triggering error", fd.Name.Name)
+	}
+}

@@ -1,0 +1,13 @@
+package faultclass_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/faultclass"
+	"sigfile/internal/analysis/vettest"
+)
+
+func TestFaultClass(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), faultclass.Analyzer,
+		"faultdata", "pagestore", "bad/pagestore")
+}

@@ -1,0 +1,18 @@
+// Package api mocks the wire-layer error classifier (api/v1.CodeOf)
+// for faultclass tests: client-side retry loops classify through it
+// rather than through pagestore.Classify.
+package api
+
+// Code is a wire error code.
+type Code string
+
+// CodeOverloaded marks a retryable server-side overload.
+const CodeOverloaded Code = "overloaded"
+
+// CodeOf maps an error to its wire code.
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	return "internal"
+}

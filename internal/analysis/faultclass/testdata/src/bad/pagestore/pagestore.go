@@ -1,0 +1,19 @@
+// Package pagestore (under bad/) has a Classify table that misses one
+// sentinel — the positive case for the sentinel-coverage rule.
+package pagestore
+
+import "errors"
+
+var ErrTransient = errors.New("transient")
+
+var ErrStuck = errors.New("stuck") // want `sentinel ErrStuck has no Classify table entry`
+
+// ErrCode is exported and Err-prefixed but not an error; no finding.
+var ErrCode = 3
+
+func Classify(err error) int {
+	if errors.Is(err, ErrTransient) {
+		return 1
+	}
+	return 0
+}

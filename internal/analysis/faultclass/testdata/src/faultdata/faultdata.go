@@ -1,0 +1,125 @@
+// Package faultdata exercises the faultclass retry-loop, context, and
+// escalation rules against the mock pagestore.
+package faultdata
+
+import (
+	"context"
+	"time"
+
+	"api"
+	"pagestore"
+)
+
+// retryGood classifies before deciding: no finding.
+func retryGood(op func() error) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		err = op()
+		if err == nil || !pagestore.Retryable(err) {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+// retryBad retries on a bare nil check: terminal and context errors
+// would be retried too.
+func retryBad(op func() error) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ { // want `retry loop decides on an error it never classifies`
+		err = op()
+		if err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+// policy carries the pluggable backoff hook retry loops use in tests.
+type policy struct {
+	Sleep func(time.Duration)
+}
+
+// retryDynamic backs off through the hook; still a retry loop.
+func retryDynamic(p policy, op func() error) error {
+	for { // want `retry loop decides on an error it never classifies`
+		err := op()
+		if err == nil {
+			return nil
+		}
+		p.Sleep(time.Millisecond)
+	}
+}
+
+// retryWire classifies through the wire-layer classifier, the way a
+// network client must (it never sees pagestore errors). No finding.
+func retryWire(op func() error) error {
+	for {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if api.CodeOf(err) != api.CodeOverloaded {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// pollLoop sleeps but makes no error decision: a periodic loop, not a
+// retry loop. No finding.
+func pollLoop(tick func()) {
+	for {
+		tick()
+		time.Sleep(time.Second)
+	}
+}
+
+// decideNoBackoff decides on errors but never waits: a plain error
+// return, not a retry loop. No finding.
+func decideNoBackoff(op func() error) error {
+	for i := 0; i < 3; i++ {
+		if err := op(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// markCtx manufactures a transient verdict for a cancellation.
+func markCtx(ctx context.Context) error {
+	return pagestore.MarkTransient(ctx.Err()) // want `context errors must never be retried`
+}
+
+// markCanceled does the same with the sentinel itself.
+func markCanceled() error {
+	return pagestore.MarkTransient(context.Canceled) // want `context errors must never be retried`
+}
+
+// markReal wraps a storage error: the intended use. No finding.
+func markReal(err error) error {
+	return pagestore.MarkTransient(err)
+}
+
+// tracker mirrors the core health ladder.
+type tracker struct {
+	state int
+}
+
+func (t *tracker) escalateTo(s int) { t.state = s }
+
+// noteGood classifies before escalating: no finding.
+func (t *tracker) noteGood(err error) {
+	if pagestore.Classify(err) == pagestore.ClassTerminal {
+		t.escalateTo(2)
+	}
+}
+
+// noteBad escalates on a bare nil check.
+func (t *tracker) noteBad(err error) {
+	if err != nil {
+		t.escalateTo(2) // want `health transition without classification`
+	}
+}

@@ -1,0 +1,50 @@
+// Package pagestore mocks the project's pagestore error-classification
+// surface for faultclass testdata. Its Classify table is complete, so
+// analyzing this package directly yields no findings (the negative case
+// for the sentinel-coverage rule).
+package pagestore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+type ErrorClass int
+
+const (
+	ClassNone ErrorClass = iota
+	ClassTransient
+	ClassTerminal
+	ClassCorrupt
+)
+
+var (
+	ErrTransient = errors.New("transient")
+	ErrClosed    = errors.New("closed")
+)
+
+// Classify references every exported sentinel above.
+func Classify(err error) ErrorClass {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return ClassNone
+	}
+	if errors.Is(err, ErrClosed) {
+		return ClassTerminal
+	}
+	if errors.Is(err, ErrTransient) {
+		return ClassTransient
+	}
+	return ClassNone
+}
+
+// Retryable reports whether err is worth retrying.
+func Retryable(err error) bool { return Classify(err) == ClassTransient }
+
+// MarkTransient wraps err so Classify reports it transient.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}

@@ -1,0 +1,12 @@
+package segimmut_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/segimmut"
+	"sigfile/internal/analysis/vettest"
+)
+
+func TestSegImmut(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), segimmut.Analyzer, "segdata")
+}

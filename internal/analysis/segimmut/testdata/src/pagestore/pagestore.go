@@ -1,0 +1,27 @@
+// Package pagestore mocks the storage surface segimmut matches against:
+// File/Store with mutating methods and the ReadOnly view constructor.
+package pagestore
+
+type PageID uint64
+
+type File interface {
+	ReadPage(id PageID, buf []byte) error
+	WritePage(id PageID, buf []byte) error
+	Allocate() (PageID, error)
+}
+
+type Store interface {
+	Open(name string) (File, error)
+	Close() error
+}
+
+type roStore struct{ inner Store }
+
+// ReadOnly returns a view whose files reject writes.
+func ReadOnly(store Store) Store { return roStore{inner: store} }
+
+func (s roStore) Open(name string) (File, error) { return s.inner.Open(name) }
+func (s roStore) Close() error                   { return nil }
+
+// RemoveIfSupported is the best-effort removal helper.
+func RemoveIfSupported(store Store, name string) error { return nil }

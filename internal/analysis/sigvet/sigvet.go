@@ -28,6 +28,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer describes one invariant checker: a name, what it enforces,
@@ -146,9 +147,30 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, findings *[]Findin
 // themselves findings: a suppression that no longer suppresses anything
 // is stale and must be deleted.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunStats(pkgs, analyzers)
+	return findings, err
+}
+
+// Stat summarizes one analyzer's work across a RunStats call: how many
+// findings it reported and how long it ran, totalled over all packages.
+// The directive machinery (reasonless and unused //sigvet:ignore) is
+// accounted under the pseudo-analyzer name "sigvet".
+type Stat struct {
+	Name     string
+	Findings int
+	Duration time.Duration
+}
+
+// RunStats is Run plus a per-analyzer summary, in analyzer order with a
+// trailing "sigvet" row for the directive checks. CI uses it for
+// per-analyzer pass/fail and timing output.
+func RunStats(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Stat, error) {
 	var findings []Finding
+	durations := make(map[string]time.Duration, len(analyzers)+1)
 	for _, pkg := range pkgs {
+		start := time.Now()
 		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files, &findings)
+		durations["sigvet"] += time.Since(start)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -159,10 +181,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				findings:  &findings,
 				ignores:   ignores,
 			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("sigvet: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			start = time.Now()
+			_, err := a.Run(pass)
+			durations[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sigvet: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
+		start = time.Now()
 		for _, byLine := range ignores {
 			for _, d := range byLine {
 				if !d.used {
@@ -174,6 +200,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				}
 			}
 		}
+		durations["sigvet"] += time.Since(start)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -185,5 +212,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	counts := make(map[string]int, len(analyzers)+1)
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	stats := make([]Stat, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		stats = append(stats, Stat{Name: a.Name, Findings: counts[a.Name], Duration: durations[a.Name]})
+	}
+	stats = append(stats, Stat{Name: "sigvet", Findings: counts["sigvet"], Duration: durations["sigvet"]})
+	return findings, stats, nil
 }

@@ -57,6 +57,78 @@ func loadSrc(t *testing.T, src string) *Package {
 	return &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info}
 }
 
+// deferstmt reports every defer statement — a second trivial analyzer,
+// disjoint from incdec, for cross-analyzer directive tests.
+var deferstmt = &Analyzer{
+	Name: "deferstmt",
+	Doc:  "reports every DeferStmt",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if s, ok := n.(*ast.DeferStmt); ok {
+					pass.Reportf(s.Pos(), "defer statement")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+const crossAnalyzerSrc = `package p
+
+func f() func() {
+	x := 0
+	x++ //sigvet:ignore suppresses incdec only
+
+	defer func() {}()
+	return func() { x-- }
+}
+`
+
+// TestUnusedIgnoreAcrossAnalyzers pins that directives are not scoped
+// to an analyzer: an ignore placed for analyzer A (incdec) is reported
+// as unused when only analyzer B (deferstmt) runs, because nothing B
+// reports lands on the directive's lines. Running A consumes it again.
+func TestUnusedIgnoreAcrossAnalyzers(t *testing.T) {
+	pkg := loadSrc(t, crossAnalyzerSrc)
+
+	findings, err := Run([]*Package{pkg}, []*Analyzer{deferstmt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unused, deferred int
+	for _, f := range findings {
+		switch {
+		case strings.Contains(f.Message, "unused //sigvet:ignore"):
+			unused++
+			if f.Pos.Line != 5 {
+				t.Errorf("unused directive reported at line %d, want 5", f.Pos.Line)
+			}
+		case strings.Contains(f.Message, "defer statement"):
+			deferred++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if unused != 1 || deferred != 1 {
+		t.Errorf("deferstmt-only run: got %d unused-directive and %d defer findings, want 1 and 1: %v",
+			unused, deferred, findings)
+	}
+
+	// With incdec in the run the directive suppresses x++ and is no
+	// longer unused; x-- still reports.
+	findings, err = Run([]*Package{pkg}, []*Analyzer{deferstmt, incdec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Message, "unused //sigvet:ignore") {
+			t.Errorf("directive reported unused even though incdec ran: %s", f)
+		}
+	}
+}
+
 func TestIgnoreDirectives(t *testing.T) {
 	findings, err := Run([]*Package{loadSrc(t, directiveSrc)}, []*Analyzer{incdec})
 	if err != nil {

@@ -1,0 +1,18 @@
+package vettest_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/atomiccheck"
+	"sigfile/internal/analysis/detorder"
+	"sigfile/internal/analysis/sigvet"
+	"sigfile/internal/analysis/vettest"
+)
+
+// TestMultiAnalyzer pins the framework's multi-analyzer behavior: two
+// analyzers run over one package load and their findings merge into one
+// stream checked against the combined want comments.
+func TestMultiAnalyzer(t *testing.T) {
+	vettest.RunAnalyzers(t, vettest.TestData(),
+		[]*sigvet.Analyzer{detorder.Analyzer, atomiccheck.Analyzer}, "multidata")
+}

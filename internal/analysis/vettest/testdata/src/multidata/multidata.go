@@ -1,0 +1,49 @@
+// Package multidata carries violations of two different analyzers in
+// one package, pinning that the framework runs analyzers together over
+// a single load and merges their findings.
+package multidata
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) set(x int64) { g.v.Store(x) }
+
+// clobber trips atomiccheck.
+func (g *gauge) clobber() {
+	g.v = atomic.Int64{} // want `atomic value reassigned non-atomically`
+}
+
+// keys trips detorder.
+func keys(m map[string]*gauge) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appended to in map-iteration order`
+	}
+	return out
+}
+
+// keysSorted trips neither.
+func keysSorted(m map[string]*gauge) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// both trips the two analyzers in one function body.
+func both(m map[string]*gauge, g *gauge) []string {
+	var out []string
+	for k := range m {
+		g.v = atomic.Int64{} // want `atomic value reassigned non-atomically`
+		out = append(out, k) // want `appended to in map-iteration order`
+	}
+	return out
+}

@@ -56,15 +56,28 @@ func TestData() string {
 // analyzer, and checks findings against the // want comments.
 func Run(t *testing.T, testdata string, a *sigvet.Analyzer, pkgpaths ...string) {
 	t.Helper()
+	RunAnalyzers(t, testdata, []*sigvet.Analyzer{a}, pkgpaths...)
+}
+
+// RunAnalyzers is the multi-analyzer form of Run: each testdata package
+// is loaded once and checked by every analyzer together, so want
+// comments see the combined findings — including the framework's own
+// directive diagnostics, exactly as `cmd/sigvet` would produce them.
+func RunAnalyzers(t *testing.T, testdata string, as []*sigvet.Analyzer, pkgpaths ...string) {
+	t.Helper()
 	l := newLoader(filepath.Join(testdata, "src"))
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
 	for _, pkgpath := range pkgpaths {
 		pkg, err := l.load(pkgpath)
 		if err != nil {
 			t.Fatalf("load %s: %v", pkgpath, err)
 		}
-		findings, err := sigvet.Run([]*sigvet.Package{pkg}, []*sigvet.Analyzer{a})
+		findings, err := sigvet.Run([]*sigvet.Package{pkg}, as)
 		if err != nil {
-			t.Fatalf("run %s on %s: %v", a.Name, pkgpath, err)
+			t.Fatalf("run %s on %s: %v", strings.Join(names, ","), pkgpath, err)
 		}
 		checkWants(t, pkg, findings)
 	}
@@ -166,9 +179,13 @@ type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// wantRe matches one expectation: // want `regexp` (analysistest's
-// double-quoted form is accepted too).
-var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+// wantRe matches one expectation comment: // want `regexp` [`regexp` ...]
+// (analysistest's double-quoted form is accepted too). A line with
+// several findings lists one pattern per finding after a single want.
+var wantRe = regexp.MustCompile("// want ((?:`[^`]*`|\"[^\"]*\")(?:\\s+(?:`[^`]*`|\"[^\"]*\"))*)")
+
+// patRe splits the pattern list of one want comment.
+var patRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
 
 // checkWants verifies findings against the package's want comments.
 func checkWants(t *testing.T, pkg *sigvet.Package, findings []sigvet.Finding) {
@@ -184,13 +201,15 @@ func checkWants(t *testing.T, pkg *sigvet.Package, findings []sigvet.Finding) {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
-					pat := m[1][1 : len(m[1])-1]
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("bad want pattern %q: %v", pat, err)
+					for _, quoted := range patRe.FindAllString(m[1], -1) {
+						pat := quoted[1 : len(quoted)-1]
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", pat, err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &want{re: re, line: pos.Line, file: pos.Filename})
 					}
-					pos := pkg.Fset.Position(c.Pos())
-					wants = append(wants, &want{re: re, line: pos.Line, file: pos.Filename})
 				}
 			}
 		}

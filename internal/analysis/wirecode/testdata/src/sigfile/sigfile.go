@@ -1,0 +1,14 @@
+// Package sigfile mocks the library facade for wirecode testdata: three
+// exported sentinels a wire-code table must cover.
+package sigfile
+
+import "errors"
+
+var (
+	ErrClosed   = errors.New("closed")
+	ErrDegraded = errors.New("degraded")
+	ErrOrphan   = errors.New("orphan")
+)
+
+// MaxWidth is exported but not a sentinel; never part of coverage.
+const MaxWidth = 4096

@@ -1,0 +1,43 @@
+// Package wirebad carries one of each wirecode violation: an unmapped
+// facade sentinel, a stale Name column, a duplicate code assignment,
+// and a code constant the HTTPStatus switch never names.
+package wirebad
+
+import "sigfile"
+
+type Code string
+
+const (
+	CodeClosed   Code = "CLOSED"
+	CodeDegraded Code = "DEGRADED"
+	CodeStray    Code = "STRAY" // want `wire code CodeStray has no explicit HTTPStatus case`
+)
+
+var sentinelCodes = []struct { // want `facade sentinel sigfile.ErrOrphan has no wire code`
+	Name string
+	Err  error
+	Code Code
+}{
+	{"ErrClosed", sigfile.ErrClosed, CodeClosed},
+	{"ErrShutdown", sigfile.ErrDegraded, CodeDegraded}, // want `row Name "ErrShutdown" does not match its sentinel ErrDegraded`
+	{"ErrDegraded", sigfile.ErrDegraded, CodeClosed},   // want `wire code CodeClosed is assigned to more than one sentinel`
+}
+
+// Sentinel maps a code back to its sentinel.
+func (c Code) Sentinel() error {
+	for _, sc := range sentinelCodes {
+		if sc.Code == c {
+			return sc.Err
+		}
+	}
+	return nil
+}
+
+// HTTPStatus forgets CodeStray.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeClosed, CodeDegraded:
+		return 503
+	}
+	return 500
+}

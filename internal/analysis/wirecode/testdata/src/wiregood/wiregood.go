@@ -1,0 +1,54 @@
+// Package wiregood is a complete wire-code table: every facade sentinel
+// has a row, names match, codes are unique, and both methods cover
+// every code. No findings.
+package wiregood
+
+import (
+	"net/http"
+
+	"sigfile"
+)
+
+type Code string
+
+const (
+	CodeOK       Code = "OK"
+	CodeClosed   Code = "CLOSED"
+	CodeDegraded Code = "DEGRADED"
+	CodeOrphan   Code = "ORPHAN"
+	CodeInternal Code = "INTERNAL"
+)
+
+var sentinelCodes = []struct {
+	Name string
+	Err  error
+	Code Code
+}{
+	{"ErrClosed", sigfile.ErrClosed, CodeClosed},
+	{"ErrDegraded", sigfile.ErrDegraded, CodeDegraded},
+	{Name: "ErrOrphan", Err: sigfile.ErrOrphan, Code: CodeOrphan},
+}
+
+// Sentinel maps a code back to its sentinel.
+func (c Code) Sentinel() error {
+	for _, sc := range sentinelCodes {
+		if sc.Code == c {
+			return sc.Err
+		}
+	}
+	return nil
+}
+
+// HTTPStatus maps every code explicitly.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeOK:
+		return http.StatusOK
+	case CodeClosed, CodeDegraded, CodeOrphan:
+		return http.StatusServiceUnavailable
+	case CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,17 @@
+// Package wirenone declares a wire-code table but neither inverse
+// method, and covers only one of the three facade sentinels.
+package wirenone
+
+import "sigfile"
+
+type Code string
+
+const CodeClosed Code = "CLOSED"
+
+var sentinelCodes = []struct { // want `facade sentinel sigfile.ErrDegraded has no wire code` `facade sentinel sigfile.ErrOrphan has no wire code` `no Sentinel method on Code` `no HTTPStatus method on Code`
+	Name string
+	Err  error
+	Code Code
+}{
+	{"ErrClosed", sigfile.ErrClosed, CodeClosed},
+}

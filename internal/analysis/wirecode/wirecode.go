@@ -1,0 +1,278 @@
+// Package wirecode mechanizes the wire-schema coverage contract of the
+// versioned API (DESIGN.md §15): every exported Err* sentinel of the
+// library facade must map to exactly one stable wire Code, every code
+// must have an explicit HTTPStatus case, and the package must provide
+// the Sentinel inverse so errors.Is keeps working across the wire.
+//
+// The analyzer anchors on a package-level `var sentinelCodes` table
+// whose rows are {Name string, Err error, Code Code} (the api/v1
+// layout). It then checks, in order:
+//
+//   - every exported Err* error variable of each facade package the
+//     table's Err column references has a row (a sentinel added to the
+//     facade without a code would silently cross the wire as INTERNAL);
+//   - each row's Name string matches its sentinel's identifier, so the
+//     human-readable column cannot drift from the error it describes;
+//   - no wire code is assigned to two sentinels;
+//   - the package declares Sentinel and HTTPStatus methods on the Code
+//     type, and every Code constant appears explicitly in the
+//     HTTPStatus switch (relying on the default arm hides new codes).
+//
+// This analyzer supersedes the api/v1 TestSentinelCoverage AST test:
+// the same guarantee now holds at vet time for any package shaped like
+// a wire-code table, not just the shipped one.
+package wirecode
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sigfile/internal/analysis/sigvet"
+)
+
+// Analyzer is the wirecode analyzer.
+var Analyzer = &sigvet.Analyzer{
+	Name: "wirecode",
+	Doc: "every exported facade Err* sentinel maps to a stable wire Code with an " +
+		"explicit HTTPStatus case and a Sentinel inverse",
+	Run: run,
+}
+
+// row is one parsed sentinelCodes entry.
+type row struct {
+	nameLit  *ast.BasicLit // the Name column string literal
+	name     string
+	errObj   types.Object // the sentinel variable
+	codeObj  types.Object // the Code constant
+	codePos  ast.Expr
+	errIdent string
+}
+
+func run(pass *sigvet.Pass) (any, error) {
+	tableIdent, tableLit := findTable(pass)
+	if tableLit == nil {
+		return nil, nil
+	}
+	rows := parseRows(pass, tableLit)
+	checkNamesAndDuplicates(pass, rows)
+	checkFacadeCoverage(pass, tableIdent, rows)
+	checkCodeMethods(pass, tableIdent, rows)
+	return nil, nil
+}
+
+// findTable locates the package-level `var sentinelCodes = []struct{...}{...}`
+// declaration, returning its name ident and composite literal.
+func findTable(pass *sigvet.Pass) (*ast.Ident, *ast.CompositeLit) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != "sentinelCodes" || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+						return id, lit
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// parseRows extracts the (Name, Err, Code) triple of each table row,
+// resolving the Err and Code columns to their objects. Rows that do not
+// type-check into the expected shape are skipped; go/types already
+// rejected anything malformed.
+func parseRows(pass *sigvet.Pass, table *ast.CompositeLit) []row {
+	var rows []row
+	for _, elt := range table.Elts {
+		lit, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		st, ok := pass.TypesInfo.Types[lit].Type.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fields := make(map[string]ast.Expr, st.NumFields())
+		for i, fe := range lit.Elts {
+			if kv, ok := fe.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					fields[key.Name] = kv.Value
+				}
+				continue
+			}
+			if i < st.NumFields() {
+				fields[st.Field(i).Name()] = fe
+			}
+		}
+		var r row
+		if nameLit, ok := ast.Unparen(fields["Name"]).(*ast.BasicLit); ok {
+			if s, err := strconv.Unquote(nameLit.Value); err == nil {
+				r.nameLit, r.name = nameLit, s
+			}
+		}
+		if errExpr := fields["Err"]; errExpr != nil {
+			r.errObj, r.errIdent = rightmostObject(pass, errExpr)
+		}
+		if codeExpr := fields["Code"]; codeExpr != nil {
+			r.codeObj, _ = rightmostObject(pass, codeExpr)
+			r.codePos = codeExpr
+		}
+		if r.nameLit != nil && r.errObj != nil && r.codeObj != nil {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// rightmostObject resolves `pkg.Ident` or `Ident` to its object and
+// identifier name.
+func rightmostObject(pass *sigvet.Pass, expr ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e], e.Name
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel], e.Sel.Name
+	}
+	return nil, ""
+}
+
+// checkNamesAndDuplicates enforces the Name column and code-uniqueness
+// rules.
+func checkNamesAndDuplicates(pass *sigvet.Pass, rows []row) {
+	seen := make(map[types.Object]string)
+	for _, r := range rows {
+		if r.name != r.errIdent {
+			pass.Reportf(r.nameLit.Pos(),
+				"sentinelCodes row Name %q does not match its sentinel %s; the name column must track the identifier",
+				r.name, r.errIdent)
+		}
+		if prev, dup := seen[r.codeObj]; dup {
+			pass.Reportf(r.codePos.Pos(),
+				"wire code %s is assigned to more than one sentinel (%s and %s); codes must map back uniquely",
+				r.codeObj.Name(), prev, r.errIdent)
+			continue
+		}
+		seen[r.codeObj] = r.errIdent
+	}
+}
+
+// checkFacadeCoverage enforces the forward direction: every exported
+// Err* error variable of each referenced facade package has a row.
+func checkFacadeCoverage(pass *sigvet.Pass, tableIdent *ast.Ident, rows []row) {
+	mapped := make(map[types.Object]bool, len(rows))
+	pkgs := make(map[*types.Package]bool)
+	for _, r := range rows {
+		mapped[r.errObj] = true
+		if p := r.errObj.Pkg(); p != nil {
+			pkgs[p] = true
+		}
+	}
+	ordered := make([]*types.Package, 0, len(pkgs))
+	for p := range pkgs {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Path() < ordered[j].Path() })
+	for _, p := range ordered {
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, "Err") || !ast.IsExported(name) {
+				continue
+			}
+			v, ok := scope.Lookup(name).(*types.Var)
+			if !ok || !isErrorType(v.Type()) || mapped[v] {
+				continue
+			}
+			pass.Reportf(tableIdent.Pos(),
+				"facade sentinel %s.%s has no wire code: add a sentinelCodes row and a Code constant, "+
+					"or it crosses the wire as INTERNAL", p.Name(), name)
+		}
+	}
+}
+
+// checkCodeMethods enforces the inverse direction: Sentinel and
+// HTTPStatus methods exist on the Code type and every Code constant has
+// an explicit HTTPStatus case.
+func checkCodeMethods(pass *sigvet.Pass, tableIdent *ast.Ident, rows []row) {
+	if len(rows) == 0 {
+		return
+	}
+	codeNamed := sigvet.NamedOf(rows[0].codeObj.Type())
+	if codeNamed == nil {
+		return
+	}
+	var httpStatus, sentinel *ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			recv := sigvet.NamedReceiver(pass.TypesInfo, fd)
+			if recv == nil || recv.Obj() != codeNamed.Obj() {
+				continue
+			}
+			switch fd.Name.Name {
+			case "HTTPStatus":
+				httpStatus = fd
+			case "Sentinel":
+				sentinel = fd
+			}
+		}
+	}
+	if sentinel == nil {
+		pass.Reportf(tableIdent.Pos(),
+			"no Sentinel method on %s: wire codes must map back to their sentinels so errors.Is survives the wire",
+			codeNamed.Obj().Name())
+	}
+	if httpStatus == nil {
+		pass.Reportf(tableIdent.Pos(),
+			"no HTTPStatus method on %s: every wire code needs an HTTP mapping", codeNamed.Obj().Name())
+		return
+	}
+	covered := make(map[types.Object]bool)
+	ast.Inspect(httpStatus.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			if obj, _ := rightmostObject(pass, expr); obj != nil {
+				covered[obj] = true
+			}
+		}
+		return true
+	})
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named := sigvet.NamedOf(c.Type())
+		if named == nil || named.Obj() != codeNamed.Obj() || covered[c] {
+			continue
+		}
+		pass.Reportf(c.Pos(),
+			"wire code %s has no explicit HTTPStatus case; relying on the default arm hides new codes from review",
+			name)
+	}
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
+}

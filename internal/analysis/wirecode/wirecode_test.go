@@ -1,0 +1,13 @@
+package wirecode_test
+
+import (
+	"testing"
+
+	"sigfile/internal/analysis/vettest"
+	"sigfile/internal/analysis/wirecode"
+)
+
+func TestWireCode(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), wirecode.Analyzer,
+		"wiregood", "wirebad", "wirenone")
+}
