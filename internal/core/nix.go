@@ -338,6 +338,7 @@ func (n *NIX) emptySetOIDs() []uint64 {
 	for oid := range n.empty {
 		out = append(out, oid)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,6 +1,9 @@
 package oodb
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // AttrDef declares one attribute of a class.
 type AttrDef struct {
@@ -108,11 +111,13 @@ func (s *Schema) Class(name string) (*Class, bool) {
 	return c, ok
 }
 
-// Classes returns the class names in unspecified order.
+// Classes returns the class names in lexical order, so every product
+// built from them (listings, wire responses) is deterministic.
 func (s *Schema) Classes() []string {
 	out := make([]string, 0, len(s.classes))
 	for name := range s.classes {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -3,6 +3,7 @@ package oodb
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"sigfile/internal/obs"
@@ -144,7 +145,8 @@ func (s *ObjectStore) Contains(oid OID) bool {
 	return ok
 }
 
-// OIDs returns the OIDs of all live objects in unspecified order.
+// OIDs returns the OIDs of all live objects in ascending order, so
+// full scans visit the heap deterministically.
 func (s *ObjectStore) OIDs() []OID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -152,6 +154,7 @@ func (s *ObjectStore) OIDs() []OID {
 	for oid := range s.loc {
 		out = append(out, oid)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

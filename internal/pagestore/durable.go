@@ -526,6 +526,7 @@ func (s *DurableStore) Quarantined() map[string][]PageID {
 		files = append(files, f)
 	}
 	s.mu.Unlock()
+	sort.Slice(files, func(i, j int) bool { return files[i].tag < files[j].tag })
 	out := make(map[string][]PageID)
 	for _, f := range files {
 		if ids := f.QuarantinedPages(); len(ids) > 0 {

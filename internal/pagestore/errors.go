@@ -101,7 +101,8 @@ func Classify(err error) ErrorClass {
 	if errors.Is(err, ErrChecksum) || errors.Is(err, ErrQuarantined) {
 		return ClassCorrupt
 	}
-	if errors.Is(err, ErrRetryExhausted) || errors.Is(err, ErrClosed) || errors.Is(err, ErrCrashed) {
+	if errors.Is(err, ErrRetryExhausted) || errors.Is(err, ErrClosed) || errors.Is(err, ErrCrashed) ||
+		errors.Is(err, ErrReadOnly) {
 		return ClassTerminal
 	}
 	if errors.Is(err, ErrTransient) || errors.Is(err, io.ErrShortWrite) {
@@ -116,6 +117,20 @@ func Classify(err error) ErrorClass {
 		if errors.Is(err, e) {
 			return ClassTransient
 		}
+	}
+	// Deliberately ClassNone, spelled out so the table is total over the
+	// package's sentinels:
+	//   - ErrPageOutOfRange and ErrRemoveUnsupported are caller mistakes
+	//     and capability signals, not device faults — retrying cannot
+	//     help and degrading a facility over them would be wrong.
+	//   - ErrInjected carries its verdict in what it wraps: transient
+	//     schedules mark it (matched above via ErrTransient), persistent
+	//     schedules wrap a real errno (matched by the errno loops). A
+	//     bare ErrInjected — the one-shot trip counters tests arm — is
+	//     an unclassified test fault on purpose.
+	if errors.Is(err, ErrPageOutOfRange) || errors.Is(err, ErrRemoveUnsupported) ||
+		errors.Is(err, ErrInjected) {
+		return ClassNone
 	}
 	return ClassNone
 }

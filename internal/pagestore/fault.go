@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"syscall"
 )
@@ -291,9 +292,14 @@ func (s *FaultStore) File(name string) *FaultFile {
 func (s *FaultStore) Files() []*FaultFile {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*FaultFile, 0, len(s.files))
-	for _, f := range s.files {
-		out = append(out, f)
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*FaultFile, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.files[name])
 	}
 	return out
 }

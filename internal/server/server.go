@@ -314,10 +314,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // it out under the lock, New's error path never published the server —
 // so no lock is held here.
 func closeTenants(tenants map[string]*tenant) error {
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var errs []error
-	for _, t := range tenants {
-		if err := t.close(); err != nil {
-			errs = append(errs, fmt.Errorf("tenant %s: %w", t.name, err))
+	for _, name := range names {
+		if err := tenants[name].close(); err != nil {
+			errs = append(errs, fmt.Errorf("tenant %s: %w", name, err))
 		}
 	}
 	return errors.Join(errs...)
