@@ -1,12 +1,15 @@
 #!/bin/sh
-# Runs the exact lint gauntlet CI's lint job runs (see
-# .github/workflows/ci.yml), so a clean local run means a green lint
-# column:
+# Runs the exact checks CI's lint and sigvet jobs run (see
+# .github/workflows/ci.yml), so a clean local run means green lint and
+# sigvet columns:
 #
 #   scripts/lint.sh
 #
-# go vet and sigvet (the project's own analyzers — lockcheck, ctxcheck,
-# pageacct, errwrap; DESIGN.md §11) always run. staticcheck and
+# go vet and sigvet (the project's nine invariant checkers — lockcheck,
+# ctxcheck, pageacct, errwrap, faultclass, wirecode, segimmut,
+# detorder, atomiccheck; DESIGN.md §11) always run; sigvet's -summary
+# table names the failing analyzer, and an unused //sigvet:ignore
+# directive anywhere in the repo fails the run. staticcheck and
 # govulncheck run when installed; install the CI-pinned versions with
 #
 #   go install honnef.co/go/tools/cmd/staticcheck@2025.1.1
@@ -18,7 +21,7 @@ echo "==> go vet"
 go vet ./...
 
 echo "==> sigvet"
-go run ./cmd/sigvet ./...
+go run ./cmd/sigvet -summary ./...
 
 if command -v staticcheck >/dev/null 2>&1; then
 	echo "==> staticcheck"
